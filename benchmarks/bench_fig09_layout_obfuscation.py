@@ -1,0 +1,32 @@
+"""Fig 9: mean image-hash distance per brand for ground-truth phishing.
+
+Paper: most brands average distance ≈ 20 or higher with large variance —
+layout obfuscation is pervasive and no universal similarity threshold works
+across brands.
+"""
+
+from repro.analysis.evasion import per_brand_layout_distances
+from repro.analysis.render import table
+
+from exhibits import print_exhibit
+
+
+def test_fig09_layout_obfuscation(benchmark, bench_result):
+    measurements = bench_result.evasion_reported + bench_result.evasion_squatting
+    per_brand = benchmark(per_brand_layout_distances, measurements)
+
+    rows = sorted(per_brand.items(), key=lambda kv: -kv[1][2])[:8]
+    print_exhibit(
+        "Fig 9 - mean image-hash distance per brand",
+        table(["brand", "mean", "std", "pages"],
+              [[brand, f"{mean:.1f}", f"{std:.1f}", n]
+               for brand, (mean, std, n) in rows]),
+    )
+
+    assert per_brand
+    big_brands = [(mean, std) for _, (mean, std, n) in per_brand.items() if n >= 5]
+    assert big_brands
+    means = [mean for mean, _ in big_brands]
+    assert sum(m >= 15 for m in means) / len(means) > 0.7   # ~20+ typical
+    # distances differ across brands (no universal threshold)
+    assert max(means) - min(means) > 3

@@ -1,0 +1,30 @@
+"""Fig 12: verified squatting-phishing domains per squatting type.
+
+Paper: phishing pages exist under every squatting method; combo squats are
+the most common carrier (cheapest to register), with 200+ pages spread
+across homograph/bits/typo and the fewest on wrongTLD.
+"""
+
+from repro.analysis.figures import phish_squat_type_histogram
+from repro.analysis.render import bar_chart
+
+from exhibits import print_exhibit
+
+
+def test_fig12_phish_squat_types(benchmark, bench_result):
+    histogram = benchmark(phish_squat_type_histogram, bench_result.verified)
+
+    web = phish_squat_type_histogram(bench_result.verified, profile="web")
+    mobile = phish_squat_type_histogram(bench_result.verified, profile="mobile")
+    print_exhibit(
+        "Fig 12 - verified squatting phishing by squat type",
+        bar_chart(histogram, title="union", width=40)
+        + "\n\n" + bar_chart(web, title="web", width=40)
+        + "\n\n" + bar_chart(mobile, title="mobile", width=40),
+    )
+
+    assert all(count > 0 for count in histogram.values())  # every method used
+    assert histogram["combo"] == max(histogram.values())   # combo leads
+    assert histogram["wrongTLD"] <= min(
+        histogram["homograph"], histogram["bits"], histogram["typo"],
+        histogram["combo"])

@@ -1,0 +1,28 @@
+"""Fig 13: the top brands targeted by squatting phishing.
+
+Paper: google stands out with 194 pages across web and mobile — several
+times the runner-up (all others ≤ ~40); ford, facebook, bitcoin, amazon,
+apple fill the head of the list, with a ~70-brand tail.
+"""
+
+from repro.analysis.figures import top_targeted_brands
+from repro.analysis.render import table
+
+from exhibits import print_exhibit
+
+
+def test_fig13_top_targeted_brands(benchmark, bench_result):
+    rows = benchmark(top_targeted_brands, bench_result.verified, 70)
+
+    print_exhibit(
+        "Fig 13 - top targeted brands (first 15 shown)",
+        table(["brand", "web", "mobile"],
+              [[brand, web, mobile] for brand, web, mobile in rows[:15]]),
+    )
+
+    assert rows[0][0] == "google"
+    google_total = rows[0][1] + rows[0][2]
+    runner_up_total = rows[1][1] + rows[1][2]
+    assert google_total >= 2 * runner_up_total      # paper: ~5x
+    # a long tail of targeted brands exists
+    assert len(rows) >= 15

@@ -1,0 +1,45 @@
+"""Table 1: example squatting domains per type for the facebook brand.
+
+Paper: faceb00k.pw (homograph), xn--fcebook-8va.com (IDN homograph),
+facebnok.tk (bits), facebo0ok.com / fcaebook.org (typo), facebook-story.de
+(combo), facebook.audi (wrongTLD).  The bench times candidate generation for
+one brand and verifies the detector classifies each paper example exactly.
+"""
+
+import pytest
+
+from repro.brands import Brand
+from repro.squatting.detector import SquattingDetector
+from repro.squatting.generator import SquattingGenerator
+from repro.squatting.types import SquatType
+
+from exhibits import print_exhibit
+
+PAPER_ROWS = [
+    ("faceb00k.pw", SquatType.HOMOGRAPH),
+    ("xn--fcebook-8va.com", SquatType.HOMOGRAPH),
+    ("facebnok.tk", SquatType.BITS),
+    ("facebo0ok.com", SquatType.TYPO),
+    ("fcaebook.org", SquatType.TYPO),
+    ("facebook-story.de", SquatType.COMBO),
+    ("facebook.audi", SquatType.WRONG_TLD),
+]
+
+
+def test_table01_squat_examples(benchmark, bench_world):
+    brand = bench_world.catalog.get("facebook")
+    generator = SquattingGenerator()
+
+    candidates = benchmark(generator.candidates, brand)
+    assert candidates.total() > 500
+
+    detector = SquattingDetector(bench_world.catalog)
+    lines = []
+    for domain, expected_type in PAPER_ROWS:
+        match = detector.classify_domain(domain)
+        assert match is not None, domain
+        assert match.brand == "facebook"
+        assert match.squat_type == expected_type, (domain, match.squat_type)
+        lines.append(f"{domain:<26} {match.squat_type.value}")
+    print_exhibit("Table 1 - squatting examples for facebook",
+                  "\n".join(lines))

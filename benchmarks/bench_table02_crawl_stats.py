@@ -1,0 +1,42 @@
+"""Table 2: crawl statistics — liveness and redirect destinations.
+
+Paper (web): 362,545 live of 657,663 (~55%); of the live domains 87.3% do
+not redirect, 1.7% redirect to the original brand, 3.0% to a domain
+marketplace, 8.0% elsewhere.  Mobile numbers are nearly identical.
+"""
+
+from repro.analysis.tables import crawl_stats
+from repro.analysis.render import table
+
+from exhibits import print_exhibit
+
+
+def test_table02_crawl_stats(benchmark, bench_result, bench_world):
+    snapshot = bench_result.crawl_snapshots[0]
+    rows = benchmark(crawl_stats, snapshot,
+                     bench_result.squat_matches, bench_world.catalog)
+
+    print_exhibit(
+        "Table 2 - crawling statistics",
+        table(
+            ["profile", "live", "no redirect", "to original", "to market", "other"],
+            [[r.profile, r.live_domains,
+              f"{r.no_redirect} ({100 * r.no_redirect / r.live_domains:.1f}%)",
+              f"{r.redirect_original} ({100 * r.redirect_original / r.live_domains:.1f}%)",
+              f"{r.redirect_market} ({100 * r.redirect_market / r.live_domains:.1f}%)",
+              f"{r.redirect_other} ({100 * r.redirect_other / r.live_domains:.1f}%)"]
+             for r in rows],
+        ),
+    )
+
+    total_squats = len(bench_result.squat_matches)
+    for row in rows:
+        live_rate = row.live_domains / total_squats
+        assert 0.45 < live_rate < 0.68                       # paper ~55%
+        assert row.no_redirect / row.live_domains > 0.78     # paper 87%
+        original_rate = row.redirect_original / row.live_domains
+        market_rate = row.redirect_market / row.live_domains
+        assert 0.005 < original_rate < 0.06                  # paper 1.7%
+        assert 0.01 < market_rate < 0.08                     # paper 3.0%
+    # web and mobile see nearly the same picture
+    assert abs(rows[0].live_domains - rows[1].live_domains) < 0.1 * rows[0].live_domains

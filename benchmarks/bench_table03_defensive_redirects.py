@@ -1,0 +1,37 @@
+"""Table 3: brands whose squats most often redirect to the original site.
+
+Paper: Shutterfly, Alliancebank, Rabobank, Priceline, Carfax lead — brands
+(often banks/health) that defensively registered their own squat space and
+bounce users back to the real site.
+"""
+
+from repro.analysis.tables import brand_redirect_rows
+from repro.analysis.render import table
+
+from exhibits import print_exhibit
+
+PAPER_DEFENSIVE = {"shutterfly", "alliancebank", "rabobank", "priceline", "carfax"}
+
+
+def test_table03_defensive_redirects(benchmark, bench_result, bench_world):
+    snapshot = bench_result.crawl_snapshots[0]
+    rows = benchmark(
+        brand_redirect_rows, snapshot, bench_result.squat_matches,
+        bench_world.catalog, "original", 5, 3,
+    )
+
+    print_exhibit(
+        "Table 3 - brands redirecting squats to their original site",
+        table(
+            ["brand", "redirecting", "share of live", "original", "market", "other"],
+            [[r.brand, r.redirecting, f"{100 * r.redirect_share:.0f}%",
+              f"{r.original} ({100 * r.original / r.redirecting:.0f}%)",
+              r.market, r.other] for r in rows],
+        ),
+    )
+
+    assert rows, "no redirecting brands found"
+    head = {r.brand for r in rows}
+    assert head & PAPER_DEFENSIVE           # the defensive brands surface
+    top = rows[0]
+    assert top.original / top.redirecting > 0.5   # paper: 45-68% to original

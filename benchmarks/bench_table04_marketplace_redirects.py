@@ -1,0 +1,37 @@
+"""Table 4: brands whose squats most often redirect to domain marketplaces.
+
+Paper: Zocdoc, Comerica, Verizon, Amazon, Paypal lead — squats of valuable
+brands get parked for resale (2,168 Amazon squats pointed at markets).
+"""
+
+from repro.analysis.tables import brand_redirect_rows
+from repro.analysis.render import table
+
+from exhibits import print_exhibit
+
+PAPER_MARKET = {"zocdoc", "comerica", "verizon", "amazon", "paypal"}
+
+
+def test_table04_marketplace_redirects(benchmark, bench_result, bench_world):
+    snapshot = bench_result.crawl_snapshots[0]
+    rows = benchmark(
+        brand_redirect_rows, snapshot, bench_result.squat_matches,
+        bench_world.catalog, "market", 5, 3,
+    )
+
+    print_exhibit(
+        "Table 4 - brands redirecting squats to marketplaces",
+        table(
+            ["brand", "redirecting", "share of live", "original", "market", "other"],
+            [[r.brand, r.redirecting, f"{100 * r.redirect_share:.0f}%",
+              r.original,
+              f"{r.market} ({100 * r.market / r.redirecting:.0f}%)",
+              r.other] for r in rows],
+        ),
+    )
+
+    assert rows
+    head = {r.brand for r in rows}
+    assert head & PAPER_MARKET
+    top = rows[0]
+    assert top.market / top.redirecting > 0.4     # paper: 38-78% to market

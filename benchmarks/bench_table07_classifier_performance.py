@@ -1,0 +1,39 @@
+"""Table 7: classifier performance on ground truth (10-fold CV).
+
+Paper: NaiveBayes FP .50 / FN .05 / AUC .64; KNN .04/.10/.92; RandomForest
+.03/.06/.97 with ACC .90 — Random Forest wins and gets deployed.
+Shape asserted here: RF best AUC, FP/FN in the low-percent band.
+"""
+
+from repro.analysis.render import table
+
+from exhibits import print_exhibit
+
+
+def test_table07_classifier_performance(benchmark, bench_pipeline, bench_result):
+    reports = bench_result.cv_reports
+
+    print_exhibit(
+        "Table 7 - classifier cross-validation",
+        table(
+            ["algorithm", "FP", "FN", "AUC", "ACC"],
+            [[name, f"{r.false_positive_rate:.3f}", f"{r.false_negative_rate:.3f}",
+              f"{r.auc:.3f}", f"{r.accuracy:.3f}"]
+             for name, r in reports.items()],
+        ),
+    )
+
+    rf = reports["random_forest"]
+    nb = reports["naive_bayes"]
+    knn = reports["knn"]
+    assert rf.auc >= max(nb.auc, knn.auc) - 0.01   # RF is (near-)best
+    assert rf.auc > 0.93                           # paper: 0.97
+    assert rf.false_positive_rate < 0.08           # paper: 0.03
+    assert rf.false_negative_rate < 0.12           # paper: 0.06
+    assert rf.accuracy > 0.88                      # paper: 0.90
+    assert nb.false_positive_rate >= rf.false_positive_rate  # NB worst FP
+
+    # time the deployed model's per-page scoring (the production-relevant cost)
+    sample = bench_result.ground_truth[0]
+    vector = bench_pipeline.embedder.transform([sample.features])
+    benchmark(bench_pipeline.model.predict_proba, vector)

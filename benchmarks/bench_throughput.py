@@ -1,0 +1,50 @@
+"""Subsystem throughput: the operational costs §3.2/§5 care about.
+
+The paper's deployment story (§7: a continuously-running scanner) depends
+on per-unit costs: squat classification per domain, page render + OCR per
+page, and feature extraction per page.  These benches time each unit.
+"""
+
+from repro.features.extraction import FeatureExtractor
+from repro.ocr.engine import OCREngine
+from repro.squatting.detector import SquattingDetector
+from repro.web.browser import Browser
+from repro.web.http import WEB_UA
+
+
+def test_throughput_squat_classification(benchmark, bench_world):
+    detector = SquattingDetector(bench_world.catalog)
+    domains = [record.name for record in list(bench_world.zone)[:500]]
+
+    def classify_batch():
+        return sum(1 for d in domains if detector.classify_domain(d) is not None)
+
+    hits = benchmark(classify_batch)
+    assert hits >= 0
+
+
+def test_throughput_page_render(benchmark, bench_world):
+    browser = Browser(bench_world.host, WEB_UA)
+    brand = bench_world.catalog.get("paypal")
+
+    capture = benchmark(browser.visit, f"http://{brand.domain}/")
+    assert capture is not None
+
+
+def test_throughput_ocr(benchmark, bench_world):
+    browser = Browser(bench_world.host, WEB_UA)
+    capture = browser.visit("http://paypal.com/")
+    engine = OCREngine()
+
+    result = benchmark(engine.recognize, capture.screenshot.pixels)
+    assert result.text
+
+
+def test_throughput_feature_extraction(benchmark, bench_world):
+    browser = Browser(bench_world.host, WEB_UA)
+    capture = browser.visit("http://paypal.com/")
+    extractor = FeatureExtractor(extra_lexicon=bench_world.catalog.names())
+
+    features = benchmark(extractor.extract, capture.html,
+                         capture.screenshot.pixels)
+    assert features.form_count >= 1

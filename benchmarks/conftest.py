@@ -1,0 +1,49 @@
+"""Shared bench fixtures: one mid-scale world + one full pipeline run.
+
+Every exhibit bench reads from the same session-scoped artifacts, so the
+expensive work (world build, crawl, OCR-heavy wild detection) happens once
+per ``pytest benchmarks/`` invocation.  The ``benchmark`` fixture then times
+the exhibit-producing analysis itself.
+
+Scale: ~1/250 of the paper's snapshot (2,500 squatting domains, 150 planted
+squatting-phishing domains, 700 PhishTank reports).  All exhibits are
+compared as rates/shapes, which are scale-invariant; see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PipelineConfig, SquatPhi
+from repro.phishworld.world import WorldConfig, build_world
+
+BENCH_WORLD_CONFIG = WorldConfig(
+    seed=1803,
+    n_organic_domains=2500,
+    n_squat_domains=2500,
+    n_phish_domains=150,
+    phishtank_reports=700,
+)
+
+BENCH_PIPELINE_CONFIG = PipelineConfig(cv_folds=10, rf_trees=30)
+
+
+@pytest.fixture(scope="session")
+def bench_world():
+    return build_world(BENCH_WORLD_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def bench_pipeline(bench_world):
+    return SquatPhi(bench_world, BENCH_PIPELINE_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def bench_result(bench_pipeline):
+    """The full SquatPhi run every exhibit bench consumes."""
+    return bench_pipeline.run(follow_up_snapshots=True)
+
+
+@pytest.fixture(scope="session")
+def bench_squat_matches(bench_result):
+    return bench_result.squat_matches

@@ -1,0 +1,9 @@
+"""Small helpers shared by the exhibit benches."""
+
+from __future__ import annotations
+
+
+def print_exhibit(title: str, body: str) -> None:
+    """Uniform exhibit output for bench logs."""
+    line = "=" * max(len(title), 20)
+    print(f"\n{line}\n{title}\n{line}\n{body}\n")

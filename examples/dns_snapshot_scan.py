@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Offline snapshot workflow: write an ActiveDNS-style dump, scan it later.
+
+The paper consumed a 224M-record ActiveDNS snapshot file.  This example
+shows the file-based workflow a downstream user would follow with their own
+zone data:
+
+1. export a synthetic world's DNS records to an ActiveDNS-style TSV dump;
+2. stream-load the dump into an indexed zone store (as if it were foreign
+   data);
+3. scan it for squats of a chosen brand list and print the per-type and
+   per-brand breakdown.
+
+Run:  python examples/dns_snapshot_scan.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from collections import Counter
+from pathlib import Path
+
+from repro import build_world, tiny_config
+from repro.analysis.render import bar_chart, table
+from repro.dns.activedns import load_snapshot, write_snapshot
+from repro.squatting.detector import SquattingDetector
+
+
+def main() -> None:
+    world = build_world(tiny_config())
+
+    with tempfile.TemporaryDirectory() as tmp:
+        dump = Path(tmp) / "activedns-snapshot.tsv.gz"
+        count = write_snapshot(iter(world.zone), dump)
+        size_kb = dump.stat().st_size / 1024
+        print(f"wrote {count} records to {dump.name} ({size_kb:.0f} KiB gzip)")
+
+        # pretend this is someone else's dump: re-load from disk
+        zone = load_snapshot(dump)
+        print(f"re-loaded: {zone.stats()}\n")
+
+        detector = SquattingDetector(world.catalog)
+        matches = detector.scan(zone)
+
+        print(bar_chart(
+            {t.value: c for t, c in detector.scan_counts(zone).items()},
+            title=f"{len(matches)} squatting domains by type (Fig 2 shape)",
+        ))
+        print()
+
+        top = Counter(m.brand for m in matches).most_common(8)
+        print(table(
+            ["brand", "squat domains", "percent"],
+            [[brand, count, f"{100 * count / len(matches):.1f}%"]
+             for brand, count in top],
+            title="brands attracting the most squats (Fig 4 shape)",
+        ))
+        print()
+
+        examples = [m for m in matches if m.brand == "facebook"][:8]
+        print(table(
+            ["domain", "type", "evidence"],
+            [[m.domain, m.squat_type.value, m.detail or ""] for m in examples],
+            title="facebook squat examples (Table 1 shape)",
+        ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Reproduce every exhibit in one run and archive a JSON report.
+
+This is the long-form driver behind EXPERIMENTS.md: builds a world, runs
+the full SquatPhi pipeline (all four weekly snapshots), prints each exhibit,
+and saves the structured results to ``squatphi_report.json``.
+
+Scale is configurable; the default is small enough for a laptop coffee
+break.  Pass ``--scale bench`` for the benchmark-suite scale.
+
+Run:  python examples/reproduce_all.py [--scale tiny|bench] [--out report.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro import PipelineConfig, SquatPhi, build_world
+from repro.analysis import measure_evasion
+from repro.analysis.figures import (
+    brand_accumulation_curve,
+    phish_squat_type_histogram,
+    squat_type_histogram,
+    top_brands_by_count,
+    top_targeted_brands,
+)
+from repro.analysis.render import bar_chart, table
+from repro.analysis.tables import (
+    blacklist_coverage,
+    crawl_stats,
+    ground_truth_decay,
+    wild_detection_rows,
+)
+from repro.core.reporting import build_report
+from repro.phishworld.world import WorldConfig, tiny_config
+
+SCALES = {
+    "tiny": tiny_config(),
+    "bench": WorldConfig(n_organic_domains=2500, n_squat_domains=2500,
+                         n_phish_domains=150, phishtank_reports=700),
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--scale", choices=sorted(SCALES), default="tiny")
+    parser.add_argument("--out", default="squatphi_report.json")
+    args = parser.parse_args()
+
+    started = time.time()
+    print(f"building the '{args.scale}' world ...")
+    world = build_world(SCALES[args.scale])
+    pipeline = SquatPhi(world, PipelineConfig())
+    print("running the full pipeline (4 snapshots) ...")
+    result = pipeline.run(follow_up_snapshots=True)
+    print(f"pipeline done in {time.time() - started:.0f}s\n")
+
+    # --- Fig 2-4: the squatting landscape -----------------------------
+    print(bar_chart(squat_type_histogram(result.squat_matches),
+                    title="Fig 2 - squatting domains by type"))
+    curve = brand_accumulation_curve(result.squat_matches)
+    print(f"\nFig 3 - top-20 brands cover {curve[19]:.1f}% of squats")
+    print(table(["brand", "count", "%"],
+                [[b, c, f"{p:.2f}"] for b, c, p in
+                 top_brands_by_count(result.squat_matches, 5)],
+                title="\nFig 4 - top squatted brands"))
+
+    # --- Table 2: crawling ---------------------------------------------
+    rows = crawl_stats(result.crawl_snapshots[0], result.squat_matches,
+                       world.catalog)
+    print(table(["profile", "live", "no-redir", "original", "market", "other"],
+                [[r.profile, r.live_domains, r.no_redirect,
+                  r.redirect_original, r.redirect_market, r.redirect_other]
+                 for r in rows],
+                title="\nTable 2 - crawl statistics"))
+
+    # --- Table 5 / Table 7 ---------------------------------------------
+    print(table(["brand", "URLs", "valid"],
+                [[r.brand, r.reported_urls, r.valid_phishing]
+                 for r in ground_truth_decay(world.phishtank)],
+                title="\nTable 5 - PhishTank ground-truth decay"))
+    print(table(["model", "FP", "FN", "AUC", "ACC"],
+                [[n, f"{r.false_positive_rate:.3f}",
+                  f"{r.false_negative_rate:.3f}", f"{r.auc:.3f}",
+                  f"{r.accuracy:.3f}"] for n, r in result.cv_reports.items()],
+                title="\nTable 7 - classifier cross-validation"))
+
+    # --- Table 8 / Fig 12-13 --------------------------------------------
+    print(table(["population", "flagged", "confirmed", "brands"],
+                [[r.population, r.classified_phishing, r.confirmed,
+                  r.related_brands]
+                 for r in wild_detection_rows(result, len(result.squat_matches))],
+                title="\nTable 8 - in-the-wild detection"))
+    print(bar_chart(phish_squat_type_histogram(result.verified),
+                    title="\nFig 12 - verified phishing by squat type"))
+    print(table(["brand", "web", "mobile"],
+                [[b, w, m] for b, w, m in
+                 top_targeted_brands(result.verified, 10)],
+                title="\nFig 13 - top targeted brands"))
+
+    # --- Table 11 / 12 ----------------------------------------------------
+    squat_summary = measure_evasion(result.evasion_squatting, "squatting")
+    reported_summary = measure_evasion(result.evasion_reported, "non-squatting")
+    print(table(["population", "layout", "string", "code"],
+                [[s.population,
+                  f"{s.layout_mean:.1f}±{s.layout_std:.1f}",
+                  f"{100 * s.string_rate:.0f}%",
+                  f"{100 * s.code_rate:.0f}%"]
+                 for s in (squat_summary, reported_summary)],
+                title="\nTable 11 - evasion comparison"))
+    print(table(["service", "detected", "rate"],
+                [[r.service, r.detected, f"{100 * r.rate:.1f}%"]
+                 for r in blacklist_coverage(world.blacklists,
+                                             result.verified_domains())],
+                title="\nTable 12 - blacklist coverage"))
+
+    report = build_report(result, world)
+    report.save(args.out)
+    print(f"\nstructured report written to {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Abuse-reporting campaign: the operational tail of the measurement (§7).
+
+After verifying 1,175 squatting-phishing domains, the paper reported the
+1,015 still-online ones to Google Safe Browsing — manually, one by one,
+through rate limits and CAPTCHAs.  This example runs that campaign against
+the simulated portal and reports what a deployment team actually faces:
+wall-clock cost, CAPTCHA churn, and how much of the list is actually taken
+down a month later.
+
+Run:  python examples/takedown_campaign.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import build_world, tiny_config
+from repro.analysis.render import table
+from repro.phishworld.takedown import ReportingCampaign, SafeBrowsingPortal
+
+
+def main() -> None:
+    world = build_world(tiny_config())
+    targets = [f"http://{domain}/" for domain in world.phishing_domains()]
+    print(f"{len(targets)} verified squatting-phishing URLs to report\n")
+
+    portal = SafeBrowsingPortal(
+        np.random.default_rng(23),
+        max_per_window=10,        # strict rate limit
+        window_minutes=60.0,
+        captcha_pass_rate=0.95,
+    )
+    campaign = ReportingCampaign(portal, minutes_per_submission=1.5)
+    stats = campaign.run(targets)
+
+    print(table(
+        ["metric", "value"],
+        [
+            ["URLs submitted", stats.urls],
+            ["accepted", stats.accepted],
+            ["CAPTCHA failures", stats.captcha_failures],
+            ["rate-limit stalls", stats.rate_limit_stalls],
+            ["wall-clock hours", f"{stats.elapsed_hours:.1f}"],
+            ["taken down within 30 days", stats.taken_down_30d],
+        ],
+        title="reporting campaign outcome",
+    ))
+
+    takedown_rate = stats.taken_down_30d / stats.accepted if stats.accepted else 0
+    print(f"\nonly {takedown_rate:.0%} of reported squatting phish are gone "
+          "after a month —")
+    print("consistent with §6.3: these pages survive far longer than "
+          "ordinary phishing.")
+
+
+if __name__ == "__main__":
+    main()

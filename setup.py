@@ -1,0 +1,10 @@
+"""Setuptools shim for environments without the wheel package.
+
+``pip install -e .`` on this machine (offline, no ``wheel``) falls back to the
+legacy editable path, which needs a ``setup.py``.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,45 @@
+"""SquatPhi reproduction: squatting phishing search & detection (IMC 2018).
+
+Public API tour:
+
+>>> from repro import WorldConfig, build_world, SquatPhi, PipelineConfig
+>>> world = build_world(WorldConfig(n_squat_domains=500))   # doctest: +SKIP
+>>> result = SquatPhi(world, PipelineConfig()).run()        # doctest: +SKIP
+>>> len(result.verified)                                    # doctest: +SKIP
+
+Subsystems (importable individually):
+
+* ``repro.squatting`` -- generation/detection of the five squat types;
+* ``repro.dns`` -- zone store, punycode codec, snapshot format;
+* ``repro.web`` -- HTML, layout, screenshots, hosting, crawling;
+* ``repro.ocr`` / ``repro.vision`` -- OCR engine and image hashing;
+* ``repro.features`` / ``repro.ml`` -- feature pipeline and classifiers;
+* ``repro.phishworld`` -- the synthetic internet;
+* ``repro.analysis`` -- evasion measurement and exhibit producers.
+"""
+
+from repro.brands import Brand, BrandCatalog, build_paper_catalog
+from repro.core import PipelineConfig, PipelineResult, SquatPhi
+from repro.phishworld import SyntheticInternet, WorldConfig, build_world
+from repro.phishworld.world import tiny_config
+from repro.squatting import SquatMatch, SquatType, SquattingDetector, SquattingGenerator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Brand",
+    "BrandCatalog",
+    "PipelineConfig",
+    "PipelineResult",
+    "SquatMatch",
+    "SquatPhi",
+    "SquatType",
+    "SquattingDetector",
+    "SquattingGenerator",
+    "SyntheticInternet",
+    "WorldConfig",
+    "build_paper_catalog",
+    "build_world",
+    "tiny_config",
+    "__version__",
+]

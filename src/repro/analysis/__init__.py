@@ -1,0 +1,23 @@
+"""Measurement analyses: evasion, longevity, and exhibit data producers.
+
+* :mod:`repro.analysis.evasion` — the §4.2 / §6.3 evasion measurements
+  (layout image-hash distances, string obfuscation test, code obfuscation
+  indicators);
+* :mod:`repro.analysis.figures` — data series behind every figure;
+* :mod:`repro.analysis.tables` — row producers behind every table, with
+  ASCII rendering helpers used by the benches and examples.
+"""
+
+from repro.analysis.evasion import (
+    EvasionMeasurement,
+    layout_distance,
+    measure_evasion,
+    string_obfuscated,
+)
+
+__all__ = [
+    "EvasionMeasurement",
+    "layout_distance",
+    "measure_evasion",
+    "string_obfuscated",
+]

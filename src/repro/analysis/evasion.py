@@ -1,0 +1,136 @@
+"""Evasion measurement (§4.2, §6.3).
+
+Three tests per phishing page, each against a specific detection family:
+
+* **layout obfuscation** — perceptual-hash hamming distance between the
+  phishing screenshot and the impersonated brand's original page screenshot
+  (Fig 8/9; distances ≳20 defeat visual-similarity detectors);
+* **string obfuscation** — the target brand name does not appear in the
+  page's HTML-extractable text (Table 6; defeats keyword matching);
+* **code obfuscation** — strong JavaScript obfuscation indicators present
+  (Table 6; FrameHanger-style).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.vision.imagehash import hamming_distance, phash
+from repro.web.html import parse_html, scripts, text_content
+from repro.web.javascript import analyze_scripts
+
+
+@dataclass
+class EvasionMeasurement:
+    """Per-page evasion verdicts."""
+
+    domain: str
+    brand: str
+    layout_distance: Optional[int] = None
+    string_obfuscated: bool = False
+    code_obfuscated: bool = False
+
+
+def layout_distance(phish_pixels, original_pixels) -> int:
+    """Image-hash distance between a phishing page and the brand original."""
+    return hamming_distance(phash(phish_pixels), phash(original_pixels))
+
+
+def string_obfuscated(html: str, brand_name: str) -> bool:
+    """True when the brand string is absent from the page's HTML text.
+
+    Mirrors the paper's test: extract all texts from the HTML source and
+    look for the brand name (case-folded).  Text drawn inside images or
+    homoglyph-perturbed strings both fail the lookup.
+    """
+    text = text_content(parse_html(html)).lower()
+    return brand_name.lower() not in text
+
+
+def code_obfuscated(html: str) -> bool:
+    """True when the page's scripts carry strong obfuscation indicators."""
+    return analyze_scripts(scripts(parse_html(html))).is_obfuscated
+
+
+def measure_page(
+    domain: str,
+    brand_name: str,
+    html: str,
+    phish_pixels=None,
+    original_pixels=None,
+) -> EvasionMeasurement:
+    """Run all three evasion tests on one page."""
+    distance = None
+    if phish_pixels is not None and original_pixels is not None:
+        distance = layout_distance(phish_pixels, original_pixels)
+    return EvasionMeasurement(
+        domain=domain,
+        brand=brand_name,
+        layout_distance=distance,
+        string_obfuscated=string_obfuscated(html, brand_name),
+        code_obfuscated=code_obfuscated(html),
+    )
+
+
+@dataclass
+class EvasionSummary:
+    """Aggregate row of Table 11."""
+
+    population: str
+    count: int
+    layout_mean: float
+    layout_std: float
+    string_rate: float
+    code_rate: float
+
+
+def measure_evasion(
+    measurements: Sequence[EvasionMeasurement],
+    population: str = "",
+) -> EvasionSummary:
+    """Summarize a set of per-page measurements (one Table 11 row)."""
+    distances = [m.layout_distance for m in measurements if m.layout_distance is not None]
+    count = len(measurements)
+    return EvasionSummary(
+        population=population,
+        count=count,
+        layout_mean=float(np.mean(distances)) if distances else 0.0,
+        layout_std=float(np.std(distances)) if distances else 0.0,
+        string_rate=(sum(1 for m in measurements if m.string_obfuscated) / count) if count else 0.0,
+        code_rate=(sum(1 for m in measurements if m.code_obfuscated) / count) if count else 0.0,
+    )
+
+
+def per_brand_layout_distances(
+    measurements: Sequence[EvasionMeasurement],
+) -> Dict[str, Tuple[float, float, int]]:
+    """Brand → (mean, std, n) layout distance (the Fig 9 series)."""
+    grouped: Dict[str, List[int]] = {}
+    for m in measurements:
+        if m.layout_distance is not None:
+            grouped.setdefault(m.brand, []).append(m.layout_distance)
+    return {
+        brand: (float(np.mean(values)), float(np.std(values)), len(values))
+        for brand, values in sorted(grouped.items())
+    }
+
+
+def per_brand_obfuscation_rates(
+    measurements: Sequence[EvasionMeasurement],
+) -> Dict[str, Tuple[float, float, int]]:
+    """Brand → (string rate, code rate, n) (the Table 6 rows)."""
+    grouped: Dict[str, List[EvasionMeasurement]] = {}
+    for m in measurements:
+        grouped.setdefault(m.brand, []).append(m)
+    out: Dict[str, Tuple[float, float, int]] = {}
+    for brand, items in grouped.items():
+        n = len(items)
+        out[brand] = (
+            sum(1 for m in items if m.string_obfuscated) / n,
+            sum(1 for m in items if m.code_obfuscated) / n,
+            n,
+        )
+    return dict(sorted(out.items(), key=lambda kv: -kv[1][0]))

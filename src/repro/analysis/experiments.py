@@ -1,0 +1,281 @@
+"""Experiment registry: one record per paper exhibit.
+
+The registry is the machine-readable version of DESIGN.md §3: every table
+and figure of the paper's evaluation, the headline numbers the paper
+reports, which modules implement the pieces, and which bench regenerates
+it.  EXPERIMENTS.md is rendered from here so the docs can never drift from
+the code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One exhibit of the paper's evaluation."""
+
+    exhibit: str                      # e.g. "Table 8" / "Fig 12"
+    title: str
+    paper_result: str                 # the headline numbers/shape as printed
+    shape_criteria: str               # what our reproduction must preserve
+    modules: Tuple[str, ...]
+    bench: str
+
+    @property
+    def key(self) -> str:
+        return self.exhibit.lower().replace(" ", "")
+
+
+REGISTRY: Tuple[Experiment, ...] = (
+    Experiment(
+        "Table 1", "Example squatting domains per type (facebook)",
+        "faceb00k.pw homograph; xn--fcebook-8va.com IDN; facebnok.tk bits; "
+        "facebo0ok.com/fcaebook.org typo; facebook-story.de combo; "
+        "facebook.audi wrongTLD",
+        "each example classified with the same brand and type",
+        ("repro.squatting",), "benchmarks/bench_table01_squat_examples.py",
+    ),
+    Experiment(
+        "Fig 2", "Squatting domains by type",
+        "combo 371,354 (56%); typo 166,152 (25%); bits 48,097; "
+        "wrongTLD 39,414; homograph 32,646 — total 657,663",
+        "combo majority (40-70%), typo second, all five present",
+        ("repro.squatting.detector", "repro.phishworld.world"),
+        "benchmarks/bench_fig02_squat_type_distribution.py",
+    ),
+    Experiment(
+        "Fig 3", "Accumulated % of squatting domains vs brand rank",
+        "top 20 brands cover >30% of all squatting domains",
+        "top-20 coverage >30%, curve monotone to 100%",
+        ("repro.analysis.figures",), "benchmarks/bench_fig03_brand_skew.py",
+    ),
+    Experiment(
+        "Fig 4", "Top-5 brands by squatting count",
+        "vice 5.98%, porn 2.76%, bt 2.46%, apple 2.05%, ford 1.85%",
+        "vice leads at 3-10%; ≥3 of the paper's five in the head",
+        ("repro.analysis.figures",), "benchmarks/bench_fig04_top_brands.py",
+    ),
+    Experiment(
+        "Table 2", "Crawl statistics: liveness + redirect split",
+        "web: 362,545 live (55%); 87.3% no redirect, 1.7% original, "
+        "3.0% market, 8.0% other; mobile nearly identical",
+        "live 45-68%; no-redirect >78%; original 0.5-6%; market 1-8%; "
+        "web≈mobile",
+        ("repro.web.crawler", "repro.analysis.tables"),
+        "benchmarks/bench_table02_crawl_stats.py",
+    ),
+    Experiment(
+        "Table 3", "Brands redirecting squats to the original site",
+        "Shutterfly 68%, Alliancebank 62%, Rabobank 61%, Priceline 53%, "
+        "Carfax 45% of their redirections go to the original",
+        "paper's defensive brands in the head; top share >50%",
+        ("repro.analysis.tables",),
+        "benchmarks/bench_table03_defensive_redirects.py",
+    ),
+    Experiment(
+        "Table 4", "Brands redirecting squats to marketplaces",
+        "Zocdoc 78%, Comerica 57%, Verizon 49%, Amazon 42% (2,168 domains), "
+        "Paypal 38%",
+        "paper's market brands in the head; top share >40%",
+        ("repro.analysis.tables",),
+        "benchmarks/bench_table04_marketplace_redirects.py",
+    ),
+    Experiment(
+        "Fig 5", "Accumulated % of PhishTank URLs vs brand",
+        "top 8 of 138 brands cover 59.1% of 6,755 reported URLs",
+        "top-8 coverage 45-72%; paypal then facebook lead",
+        ("repro.phishworld.phishtank",),
+        "benchmarks/bench_fig05_phishtank_skew.py",
+    ),
+    Experiment(
+        "Fig 6", "Alexa rank of PhishTank URL domains",
+        "4,749 of 6,755 (70%) beyond the top 1M; (1k-10k] is the largest "
+        "ranked bucket",
+        "beyond-1M share 60-80%; (1k-10k] largest ranked bucket",
+        ("repro.brands.alexa",), "benchmarks/bench_fig06_phishtank_alexa.py",
+    ),
+    Experiment(
+        "Fig 7", "Squatting types among PhishTank URLs",
+        "6,156 (91%) non-squatting; 592 combo; 3-4 typo; 1 homograph; "
+        "0 bits/wrongTLD",
+        "non-squatting 85-96%; combo >85% of the squatting remainder; "
+        "zero bits/wrongTLD",
+        ("repro.phishworld.phishtank", "repro.squatting.detector"),
+        "benchmarks/bench_fig07_phishtank_squatting.py",
+    ),
+    Experiment(
+        "Table 5", "Top-8 PhishTank brands and label decay",
+        "4,004 URLs (59.1%); only 1,731 (43.2%) still phishing when "
+        "crawled; facebook survives at 69%, paypal at 27%",
+        "paypal leads; aggregate survival 30-55%; facebook > paypal survival",
+        ("repro.phishworld.phishtank",),
+        "benchmarks/bench_table05_groundtruth_decay.py",
+    ),
+    Experiment(
+        "Fig 8", "Layout-obfuscation hash-distance examples",
+        "paypal phishing at distances 7 / 24 / 38 from the original; "
+        "distance 7 still visually similar, 24+ obfuscated",
+        "obfuscated variants reach the 20-50 band; faithful clone <20",
+        ("repro.vision.imagehash", "repro.phishworld.attacker"),
+        "benchmarks/bench_fig08_layout_example.py",
+    ),
+    Experiment(
+        "Fig 9", "Mean image-hash distance per brand",
+        "most brands average ≈20+ with large variance; no universal "
+        "similarity threshold works",
+        ">70% of well-sampled brands average ≥15; spread >3 across brands",
+        ("repro.analysis.evasion",),
+        "benchmarks/bench_fig09_layout_obfuscation.py",
+    ),
+    Experiment(
+        "Table 6", "String/code obfuscation rates per brand",
+        "string: santander 100% … ebay 8.9%; code: facebook 46.6% … "
+        "dropbox 1.5%",
+        "aggregate string 20-55%, code 20-55%; strong brand variation",
+        ("repro.analysis.evasion", "repro.web.javascript"),
+        "benchmarks/bench_table06_obfuscation_rates.py",
+    ),
+    Experiment(
+        "Table 7", "Classifier performance (10-fold CV)",
+        "NB .50/.05/.64/.44; KNN .04/.10/.92/.86; RF .03/.06/.97/.90 "
+        "(FP/FN/AUC/ACC)",
+        "RF (near-)best with AUC>0.93, FP<0.08, FN<0.12, ACC>0.88; "
+        "NB worst FP",
+        ("repro.ml", "repro.features"),
+        "benchmarks/bench_table07_classifier_performance.py",
+    ),
+    Experiment(
+        "Fig 10", "ROC curves of the three models",
+        "RF hugs the top-left; KNN close; NB clearly worse",
+        "RF dominates NB at FPR 0.05/0.10; RF TPR@0.05 > 0.85",
+        ("repro.ml.metrics",), "benchmarks/bench_fig10_roc_curves.py",
+    ),
+    Experiment(
+        "Table 8", "Wild detection: flagged vs confirmed",
+        "1,224 web / 1,269 mobile / 1,741 union flagged; 857 (70.0%) / "
+        "908 (72.0%) / 1,175 (67.4%) confirmed; 247/255/281 brands; "
+        "0.2% of squats",
+        "confirm rate 45-100%; union ≥ each side; phish fraction <12%; "
+        "mobile ≥ web",
+        ("repro.core.pipeline",), "benchmarks/bench_table08_wild_detection.py",
+    ),
+    Experiment(
+        "Table 9", "Per-brand predicted vs verified",
+        "google 112/105 (94%) web; facebook 21/18; apple 20/8; "
+        "bitcoin 19/16; uber 16/11 ...",
+        "google most-verified; verified ≤ predicted per profile",
+        ("repro.core.pipeline", "repro.analysis.tables"),
+        "benchmarks/bench_table09_brand_verification.py",
+    ),
+    Experiment(
+        "Fig 11", "CDF of verified phishing per brand",
+        "the vast majority of brands have <10 squatting phishing pages",
+        ">80% of brands below 10 pages; CDF reaches 100%",
+        ("repro.analysis.figures",), "benchmarks/bench_fig11_verified_cdf.py",
+    ),
+    Experiment(
+        "Fig 12", "Verified phishing by squat type",
+        "pages under every method; combo largest; 200+ in homograph/bits/"
+        "typo collectively; wrongTLD smallest",
+        "all five types present; combo max; wrongTLD min",
+        ("repro.analysis.figures",),
+        "benchmarks/bench_fig12_phish_squat_types.py",
+    ),
+    Experiment(
+        "Fig 13", "Top-70 targeted brands",
+        "google 194 pages, ~5x the runner-up; ford/facebook/bitcoin/amazon "
+        "head the rest",
+        "google #1 at ≥2x runner-up; ≥15 targeted brands",
+        ("repro.analysis.figures",),
+        "benchmarks/bench_fig13_top_targeted_brands.py",
+    ),
+    Experiment(
+        "Table 10", "Example phishing domains per brand/type",
+        "goog1e.nl, goofle.com.ua, facebook-c.com, face-book.online, "
+        "go-uberfreight.com, mobile-adp.com, ...",
+        "≥70% of the seeded case studies verified with matching brand+type",
+        ("repro.core.pipeline", "repro.phishworld.world"),
+        "benchmarks/bench_table10_phish_examples.py",
+    ),
+    Experiment(
+        "Fig 14", "Screenshot case studies",
+        "fake Google search (goofle.com.ua), Uber Freight scam, Microsoft "
+        "tech-support scam, ADP payroll scam with JS-injected form, "
+        "Citizens bank credential theft",
+        "each case live, rendered, and its scam signature OCR-readable",
+        ("repro.web.screenshot", "repro.ocr"),
+        "benchmarks/bench_fig14_case_studies.py",
+    ),
+    Experiment(
+        "Fig 15", "Hosting countries of phishing sites",
+        "1,021 IPs in 53 countries; US 494, DE 106, GB 77, FR 44, IE 39 ...",
+        "US #1 at ≥2x DE; ≥8 countries",
+        ("repro.phishworld.geoip",), "benchmarks/bench_fig15_geolocation.py",
+    ),
+    Experiment(
+        "Fig 16", "Registration years of phishing domains",
+        "mass within the recent 4 years (2015-2018); registrar data for "
+        "~63% (738); GoDaddy leads with 157",
+        "recent-4-years >70%; GoDaddy in top-2; coverage 40-85%",
+        ("repro.phishworld.whois",),
+        "benchmarks/bench_fig16_registration_time.py",
+    ),
+    Experiment(
+        "Fig 17", "Live phishing per weekly snapshot",
+        "~80% of pages still alive after at least a month",
+        "week-3 liveness ≥65% of week-0, both profiles",
+        ("repro.web.crawler", "repro.analysis.figures"),
+        "benchmarks/bench_fig17_longevity.py",
+    ),
+    Experiment(
+        "Table 11", "Evasion: squatting vs non-squatting",
+        "layout 28.4±11.8 vs 21.0±12.3; string 68.1% vs 35.9%; code 34.0% "
+        "vs 37.5%",
+        "squat string-rate 55-80% and ≥15pts above non-squat (25-48%); "
+        "layout means ≥15 and squat ≥ non-squat - 2; code rates within 20pts",
+        ("repro.analysis.evasion",),
+        "benchmarks/bench_table11_evasion_comparison.py",
+    ),
+    Experiment(
+        "Table 12", "Blacklist coverage after one month",
+        "PhishTank 0 (0.0%); VirusTotal 100 (8.5%); eCrimeX 2 (0.2%); "
+        "1,075 (91.5%) undetected",
+        "undetected >80%; PhishTank <5%; eCrimeX <8%; VT <25% and ≥ PT",
+        ("repro.phishworld.blacklists",),
+        "benchmarks/bench_table12_blacklist_evasion.py",
+    ),
+    Experiment(
+        "Table 13", "Per-domain liveness over the four crawls",
+        "4 facebook domains live all month; faceboolk.ml down after week 2; "
+        "tacebook.ga benign in week 3, phishing again in week 4",
+        "same per-domain liveness pattern for the seeded domains",
+        ("repro.analysis.tables", "repro.phishworld.world"),
+        "benchmarks/bench_table13_liveness_matrix.py",
+    ),
+)
+
+
+def get(exhibit: str) -> Optional[Experiment]:
+    """Look up an experiment by exhibit name (case/space insensitive)."""
+    key = exhibit.lower().replace(" ", "")
+    for experiment in REGISTRY:
+        if experiment.key == key:
+            return experiment
+    return None
+
+
+def render_index() -> str:
+    """Markdown index of all experiments (the EXPERIMENTS.md core)."""
+    lines = [
+        "| Exhibit | What the paper reports | Reproduction criteria | Bench |",
+        "|---|---|---|---|",
+    ]
+    for e in REGISTRY:
+        lines.append(
+            f"| **{e.exhibit}** — {e.title} | {e.paper_result} "
+            f"| {e.shape_criteria} | `{e.bench.split('/')[-1]}` |"
+        )
+    return "\n".join(lines)

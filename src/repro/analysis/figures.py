@@ -1,0 +1,136 @@
+"""Data series behind every figure in the paper's evaluation.
+
+Each function returns plain data (lists/dicts) that a bench renders; the
+ASCII renderers live in :mod:`repro.analysis.render`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.squatting.types import SQUAT_TYPE_ORDER, SquatMatch, SquatType
+
+
+def squat_type_histogram(matches: Sequence[SquatMatch]) -> Dict[str, int]:
+    """Fig 2: number of squatting domains per squatting type."""
+    counts = Counter(m.squat_type for m in matches)
+    return {t.value: counts.get(t, 0) for t in SQUAT_TYPE_ORDER}
+
+
+def brand_accumulation_curve(matches: Sequence[SquatMatch]) -> List[float]:
+    """Fig 3 / Fig 5: accumulated % of domains covered by top-k brands.
+
+    Brands are sorted by their domain counts, descending; entry k-1 is the
+    percentage covered by the top k brands.
+    """
+    counts = Counter(m.brand for m in matches)
+    total = sum(counts.values())
+    if total == 0:
+        return []
+    accumulated = 0
+    curve: List[float] = []
+    for _, count in counts.most_common():
+        accumulated += count
+        curve.append(100.0 * accumulated / total)
+    return curve
+
+
+def top_brands_by_count(
+    matches: Sequence[SquatMatch], n: int = 5
+) -> List[Tuple[str, int, float]]:
+    """Fig 4: (brand, count, percent) for the brands with most squats."""
+    counts = Counter(m.brand for m in matches)
+    total = sum(counts.values())
+    return [
+        (brand, count, 100.0 * count / total)
+        for brand, count in counts.most_common(n)
+    ]
+
+
+def alexa_rank_histogram(alexa, domains: Sequence[str]) -> Dict[str, int]:
+    """Fig 6: Alexa rank buckets of phishing URLs' domains."""
+    return alexa.histogram(domains)
+
+
+def phishtank_squatting_histogram(reports) -> Dict[str, int]:
+    """Fig 7: squatting types among PhishTank-reported URLs."""
+    order = [t.value for t in SQUAT_TYPE_ORDER] + ["No"]
+    counts: Dict[str, int] = {key: 0 for key in order}
+    for report in reports:
+        key = report.squat_type if report.squat_type is not None else "No"
+        if key not in counts:
+            counts[key] = 0
+        counts[key] += 1
+    return counts
+
+
+def verified_phish_cdf(
+    verified, profile: Optional[str] = None
+) -> List[Tuple[int, float]]:
+    """Fig 11: CDF of verified phishing domains per brand.
+
+    Returns (domains-per-brand x, % of brands with ≤ x) points.
+    """
+    filtered = [
+        v for v in verified
+        if profile is None or profile in v.profiles
+    ]
+    counts = Counter(v.brand for v in filtered)
+    if not counts:
+        return []
+    values = sorted(counts.values())
+    n = len(values)
+    points: List[Tuple[int, float]] = []
+    for i, value in enumerate(values, start=1):
+        points.append((value, 100.0 * i / n))
+    return points
+
+
+def phish_squat_type_histogram(verified, profile: Optional[str] = None) -> Dict[str, int]:
+    """Fig 12: verified squatting phishing domains per squat type."""
+    counts: Dict[str, int] = {t.value: 0 for t in SQUAT_TYPE_ORDER}
+    for v in verified:
+        if profile is not None and profile not in v.profiles:
+            continue
+        counts[v.squat_type.value] += 1
+    return counts
+
+
+def top_targeted_brands(verified, n: int = 70) -> List[Tuple[str, int, int]]:
+    """Fig 13: brands by verified phishing page count (web, mobile)."""
+    web = Counter(v.brand for v in verified if "web" in v.profiles)
+    mobile = Counter(v.brand for v in verified if "mobile" in v.profiles)
+    totals = Counter(v.brand for v in verified)
+    out: List[Tuple[str, int, int]] = []
+    for brand, _ in totals.most_common(n):
+        out.append((brand, web.get(brand, 0), mobile.get(brand, 0)))
+    return out
+
+
+def liveness_series(
+    snapshots, domains: Sequence[str]
+) -> Dict[str, List[int]]:
+    """Fig 17: live phishing pages per snapshot, split by profile."""
+    series: Dict[str, List[int]] = {"web": [], "mobile": []}
+    for snapshot in snapshots:
+        for profile in ("web", "mobile"):
+            live = sum(
+                1 for domain in domains
+                if (result := snapshot.get(domain, profile)) is not None
+                and result.live and not result.redirected
+            )
+            series[profile].append(live)
+    return series
+
+
+def registration_year_histogram(whois, domains: Sequence[str]) -> Dict[int, int]:
+    """Fig 16: registration years of phishing domains."""
+    return whois.year_histogram(domains)
+
+
+def geolocation_histogram(geoip, ips: Sequence[str]) -> Dict[str, int]:
+    """Fig 15: hosting countries of phishing sites."""
+    return geoip.histogram(ips)

@@ -1,0 +1,142 @@
+"""Phishing-page lifetime analysis (§6.3's longevity measurement).
+
+Fig 17 counts live pages per weekly snapshot; this module formalizes the
+underlying survival analysis so the longevity claim ("~80% alive after a
+month", vs compromised-server phishing blacklisted in <10 days [33]) can be
+computed, compared, and tested:
+
+* per-domain lifetimes from crawl snapshots (with right-censoring — a page
+  alive at the last snapshot has lifetime "at least N weeks");
+* a product-limit (Kaplan-Meier-style) survival curve over censored data;
+* summary statistics the discussion cites (survival at day 30, median
+  lifetime when observed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class DomainLifetime:
+    """Observed lifetime of one phishing domain, in snapshots.
+
+    ``lifetime`` counts snapshots the page was observed live before its
+    first disappearance; ``censored`` is True when the page was still live
+    at the last snapshot (true lifetime unknown, at least ``lifetime``).
+    """
+
+    domain: str
+    lifetime: int
+    censored: bool
+
+
+def observe_lifetimes(
+    snapshots,
+    domains: Sequence[str],
+    profile: str = "web",
+    fallback_profile: str = "mobile",
+) -> List[DomainLifetime]:
+    """Derive per-domain lifetimes from a crawl-snapshot series.
+
+    A domain's life ends at its first dead snapshot (takedowns that resurrect
+    later — Table 13's tacebook.ga — count their first life only, matching
+    how the paper reads Fig 17).
+    """
+    out: List[DomainLifetime] = []
+    total = len(snapshots)
+    for domain in domains:
+        lifetime = 0
+        died = False
+        for snapshot in snapshots:
+            result = snapshot.get(domain, profile)
+            if result is None or not result.live:
+                result = snapshot.get(domain, fallback_profile)
+            if result is not None and result.live:
+                lifetime += 1
+            else:
+                died = True
+                break
+        out.append(DomainLifetime(
+            domain=domain,
+            lifetime=lifetime,
+            censored=not died and lifetime == total,
+        ))
+    return out
+
+
+def survival_curve(
+    lifetimes: Sequence[DomainLifetime],
+) -> List[Tuple[int, float]]:
+    """Product-limit survival estimate over (possibly censored) lifetimes.
+
+    Returns (snapshot t, S(t)) points: the probability a page survives
+    *beyond* t snapshots.  Censored observations leave the risk set without
+    registering a death, exactly as in the Kaplan-Meier estimator.
+    """
+    if not lifetimes:
+        return []
+    max_t = max(item.lifetime for item in lifetimes)
+    survival = 1.0
+    curve: List[Tuple[int, float]] = [(0, 1.0)]
+    for t in range(1, max_t + 1):
+        at_risk = sum(1 for item in lifetimes if item.lifetime >= t)
+        deaths = sum(
+            1 for item in lifetimes
+            if item.lifetime == t and not item.censored
+        )
+        if at_risk > 0:
+            survival *= 1.0 - deaths / at_risk
+        curve.append((t, survival))
+    return curve
+
+
+def survival_at(lifetimes: Sequence[DomainLifetime], t: int) -> float:
+    """S(t): probability of surviving beyond ``t`` snapshots."""
+    curve = survival_curve(lifetimes)
+    value = 1.0
+    for point_t, point_s in curve:
+        if point_t <= t:
+            value = point_s
+    return value
+
+
+def median_lifetime(lifetimes: Sequence[DomainLifetime]) -> Optional[int]:
+    """Smallest t with S(t) <= 0.5, or None if the curve never crosses
+    (more than half the population outlives the observation window)."""
+    for t, s in survival_curve(lifetimes):
+        if t > 0 and s <= 0.5:
+            return t
+    return None
+
+
+@dataclass
+class LongevityComparison:
+    """The §6.3 contrast: squatting phish vs ordinary phishing takedown."""
+
+    squatting_survival_30d: float
+    ordinary_takedown_days: float = 10.0   # [33]: <10 days when blacklisted
+
+    @property
+    def is_consistent_with_paper(self) -> bool:
+        """Paper: ~80-90% of squatting phish outlive a month while ordinary
+        phishing dies within ~10 days."""
+        return self.squatting_survival_30d > 0.5
+
+
+def summarize_longevity(
+    snapshots,
+    domains: Sequence[str],
+) -> Dict[str, object]:
+    """One-call summary used by reports and benches."""
+    lifetimes = observe_lifetimes(snapshots, domains)
+    full_window = len(snapshots)
+    survivors = sum(1 for item in lifetimes if item.censored)
+    return {
+        "domains": len(lifetimes),
+        "alive_full_window": survivors,
+        "survival_curve": survival_curve(lifetimes),
+        "survival_end": survival_at(lifetimes, full_window),
+        "median_lifetime": median_lifetime(lifetimes),
+    }

@@ -1,0 +1,68 @@
+"""ASCII renderers for exhibit data (used by benches and examples)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def bar_chart(
+    data: Dict[str, float],
+    title: str = "",
+    width: int = 40,
+    value_format: str = "{:.0f}",
+) -> str:
+    """Horizontal ASCII bar chart."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    if not data:
+        return "\n".join(lines + ["(no data)"])
+    label_width = max(len(str(k)) for k in data)
+    maximum = max(data.values()) or 1.0
+    for key, value in data.items():
+        bar = "#" * max(0, int(round(width * value / maximum)))
+        lines.append(f"{str(key):<{label_width}}  {bar} {value_format.format(value)}")
+    return "\n".join(lines)
+
+
+def table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Aligned ASCII table."""
+    rendered_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(f"{h:<{w}}" for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(f"{cell:<{w}}" for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def curve(
+    points: Sequence[Tuple[float, float]],
+    title: str = "",
+    sample_at: Sequence[int] = (1, 5, 10, 20, 50, 100),
+) -> str:
+    """Render an accumulation curve as sampled checkpoints."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for k in sample_at:
+        if 1 <= k <= len(points):
+            x, y = points[k - 1] if isinstance(points[0], tuple) else (k, points[k - 1])
+            lines.append(f"  top {k:>4}: {y:6.1f}%")
+    return "\n".join(lines)
+
+
+def percent(value: float) -> str:
+    """Format a ratio as a percent string."""
+    return f"{100.0 * value:.1f}%"

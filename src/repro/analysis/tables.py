@@ -1,0 +1,313 @@
+"""Row producers behind every table in the paper's evaluation."""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.phishworld.marketplace import classify_redirect
+from repro.squatting.types import SquatMatch, SquatType
+
+
+# ----------------------------------------------------------------------
+# Table 2-4: crawl statistics and redirect destinations
+# ----------------------------------------------------------------------
+
+@dataclass
+class CrawlStatsRow:
+    """One Table 2 row (per device profile)."""
+
+    profile: str
+    live_domains: int
+    no_redirect: int
+    redirect_original: int
+    redirect_market: int
+    redirect_other: int
+
+    @property
+    def redirecting(self) -> int:
+        return self.redirect_original + self.redirect_market + self.redirect_other
+
+
+def crawl_stats(
+    snapshot,
+    squat_matches: Sequence[SquatMatch],
+    catalog,
+) -> List[CrawlStatsRow]:
+    """Table 2: liveness and redirect-destination split per profile."""
+    brand_domain = {b.name: b.domain for b in catalog}
+    match_of = {m.domain: m for m in squat_matches}
+    rows: List[CrawlStatsRow] = []
+    for profile in ("web", "mobile"):
+        live = 0
+        buckets = {"none": 0, "original": 0, "market": 0, "other": 0}
+        for (domain, prof), result in snapshot.results.items():
+            if prof != profile or not result.live:
+                continue
+            match = match_of.get(domain)
+            if match is None:
+                continue
+            live += 1
+            if not result.redirected:
+                buckets["none"] += 1
+                continue
+            final = result.final_domain or ""
+            bucket = classify_redirect(final, brand_domain.get(match.brand, ""))
+            buckets[bucket] += 1
+        rows.append(CrawlStatsRow(
+            profile=profile,
+            live_domains=live,
+            no_redirect=buckets["none"],
+            redirect_original=buckets["original"],
+            redirect_market=buckets["market"],
+            redirect_other=buckets["other"],
+        ))
+    return rows
+
+
+@dataclass
+class BrandRedirectRow:
+    """One Table 3/4 row: a brand's redirect-destination profile."""
+
+    brand: str
+    redirecting: int
+    redirect_share: float        # of the brand's live squat domains
+    original: int
+    market: int
+    other: int
+
+
+def brand_redirect_rows(
+    snapshot,
+    squat_matches: Sequence[SquatMatch],
+    catalog,
+    destination: str,
+    top_n: int = 5,
+    min_live: int = 5,
+    min_redirecting: int = 3,
+) -> List[BrandRedirectRow]:
+    """Table 3 (destination="original") / Table 4 (destination="market").
+
+    Brands ranked by the share of their redirecting squat domains landing on
+    the given destination.  ``min_redirecting`` keeps one-off redirect
+    flukes (1/1 = 100%) out of the head, matching the paper's tables which
+    only show brands with meaningful redirect volume.
+    """
+    brand_domain = {b.name: b.domain for b in catalog}
+    match_of = {m.domain: m for m in squat_matches}
+    per_brand: Dict[str, Dict[str, int]] = defaultdict(
+        lambda: {"live": 0, "original": 0, "market": 0, "other": 0}
+    )
+    for (domain, prof), result in snapshot.results.items():
+        if prof != "web" or not result.live:
+            continue
+        match = match_of.get(domain)
+        if match is None:
+            continue
+        stats = per_brand[match.brand]
+        stats["live"] += 1
+        if result.redirected:
+            final = result.final_domain or ""
+            bucket = classify_redirect(final, brand_domain.get(match.brand, ""))
+            stats[bucket] += 1
+    rows: List[BrandRedirectRow] = []
+    for brand, stats in per_brand.items():
+        if stats["live"] < min_live:
+            continue
+        redirecting = stats["original"] + stats["market"] + stats["other"]
+        if redirecting < min_redirecting:
+            continue
+        rows.append(BrandRedirectRow(
+            brand=brand,
+            redirecting=redirecting,
+            redirect_share=redirecting / stats["live"],
+            original=stats["original"],
+            market=stats["market"],
+            other=stats["other"],
+        ))
+    key = {"original": lambda r: r.original / r.redirecting,
+           "market": lambda r: r.market / r.redirecting}[destination]
+    rows.sort(key=lambda r: (-key(r), -r.redirecting))
+    return rows[:top_n]
+
+
+# ----------------------------------------------------------------------
+# Table 5: ground-truth decay per top brand
+# ----------------------------------------------------------------------
+
+@dataclass
+class GroundTruthDecayRow:
+    brand: str
+    reported_urls: int
+    percent_of_feed: float
+    valid_phishing: int
+
+
+def ground_truth_decay(feed, top_n: int = 8) -> List[GroundTruthDecayRow]:
+    """Table 5: top PhishTank brands and how many URLs stayed phishing."""
+    reports = feed.generate()
+    total = len(reports)
+    per_brand: Dict[str, List] = defaultdict(list)
+    for report in reports:
+        per_brand[report.brand].append(report)
+    rows: List[GroundTruthDecayRow] = []
+    for brand, items in sorted(per_brand.items(), key=lambda kv: -len(kv[1]))[:top_n]:
+        rows.append(GroundTruthDecayRow(
+            brand=brand,
+            reported_urls=len(items),
+            percent_of_feed=100.0 * len(items) / total,
+            valid_phishing=sum(1 for r in items if r.still_phishing),
+        ))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Table 8/9: wild-detection results
+# ----------------------------------------------------------------------
+
+@dataclass
+class WildDetectionRow:
+    """One Table 8 row."""
+
+    population: str
+    squatting_domains: int
+    classified_phishing: int
+    confirmed: int
+    related_brands: int
+
+    @property
+    def confirm_rate(self) -> float:
+        return self.confirmed / self.classified_phishing if self.classified_phishing else 0.0
+
+
+def wild_detection_rows(result, total_squat_domains: int) -> List[WildDetectionRow]:
+    """Table 8: flagged vs manually confirmed, web / mobile / union."""
+    rows: List[WildDetectionRow] = []
+    for population in ("web", "mobile", "union"):
+        if population == "union":
+            flagged_domains = {f.domain for f in result.flagged}
+            confirmed = result.verified
+        else:
+            flagged_domains = {f.domain for f in result.flagged if f.profile == population}
+            confirmed = [v for v in result.verified if population in v.profiles]
+        rows.append(WildDetectionRow(
+            population=population,
+            squatting_domains=total_squat_domains,
+            classified_phishing=len(flagged_domains),
+            confirmed=len(confirmed),
+            related_brands=len({v.brand for v in confirmed}),
+        ))
+    return rows
+
+
+@dataclass
+class BrandVerificationRow:
+    """One Table 9 row."""
+
+    brand: str
+    squat_domains: int
+    predicted_web: int
+    predicted_mobile: int
+    verified_web: int
+    verified_mobile: int
+
+
+def brand_verification_rows(
+    result,
+    squat_matches: Sequence[SquatMatch],
+    brands: Optional[Sequence[str]] = None,
+    top_n: int = 15,
+) -> List[BrandVerificationRow]:
+    """Table 9: per-brand predicted vs verified counts."""
+    squat_counts = Counter(m.brand for m in squat_matches)
+    predicted_web = Counter(f.brand for f in result.flagged if f.profile == "web")
+    predicted_mobile = Counter(f.brand for f in result.flagged if f.profile == "mobile")
+    verified_web = Counter(v.brand for v in result.verified if "web" in v.profiles)
+    verified_mobile = Counter(v.brand for v in result.verified if "mobile" in v.profiles)
+    if brands is None:
+        totals = Counter(v.brand for v in result.verified)
+        brands = [brand for brand, _ in totals.most_common(top_n)]
+    rows: List[BrandVerificationRow] = []
+    for brand in brands:
+        rows.append(BrandVerificationRow(
+            brand=brand,
+            squat_domains=squat_counts.get(brand, 0),
+            predicted_web=predicted_web.get(brand, 0),
+            predicted_mobile=predicted_mobile.get(brand, 0),
+            verified_web=verified_web.get(brand, 0),
+            verified_mobile=verified_mobile.get(brand, 0),
+        ))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Table 10: example phishing domains per brand/type
+# ----------------------------------------------------------------------
+
+def example_phish_domains(
+    verified,
+    per_brand: int = 3,
+    brands: Optional[Sequence[str]] = None,
+) -> List[Tuple[str, str, str]]:
+    """Table 10: (brand, domain, squat type) examples."""
+    grouped: Dict[str, List] = defaultdict(list)
+    for v in verified:
+        grouped[v.brand].append(v)
+    if brands is None:
+        brands = sorted(grouped, key=lambda b: -len(grouped[b]))
+    rows: List[Tuple[str, str, str]] = []
+    for brand in brands:
+        for v in grouped.get(brand, [])[:per_brand]:
+            rows.append((brand, v.domain, v.squat_type.value))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Table 12: blacklist coverage
+# ----------------------------------------------------------------------
+
+@dataclass
+class BlacklistCoverageRow:
+    service: str
+    detected: int
+    total: int
+
+    @property
+    def rate(self) -> float:
+        return self.detected / self.total if self.total else 0.0
+
+
+def blacklist_coverage(ecosystem, domains: Sequence[str], on_day: int = 30) -> List[BlacklistCoverageRow]:
+    """Table 12: how many verified phishing domains each service lists."""
+    results = ecosystem.check_all(domains, on_day=on_day)
+    total = len(results)
+    return [
+        BlacklistCoverageRow("PhishTank", sum(1 for r in results if r.phishtank), total),
+        BlacklistCoverageRow("VirusTotal", sum(1 for r in results if r.virustotal), total),
+        BlacklistCoverageRow("eCrimeX", sum(1 for r in results if r.ecrimex), total),
+        BlacklistCoverageRow("Not Detected", sum(1 for r in results if not r.detected), total),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Table 13: per-domain liveness matrix
+# ----------------------------------------------------------------------
+
+def liveness_matrix(
+    snapshots,
+    domains: Sequence[str],
+    profile: str = "web",
+    fallback_profile: str = "mobile",
+) -> List[Tuple[str, List[str]]]:
+    """Table 13: 'Live' / '-' per snapshot for selected domains."""
+    rows: List[Tuple[str, List[str]]] = []
+    for domain in domains:
+        cells: List[str] = []
+        for snapshot in snapshots:
+            result = snapshot.get(domain, profile)
+            if result is None or not result.live:
+                result = snapshot.get(domain, fallback_profile)
+            cells.append("Live" if result is not None and result.live else "-")
+        rows.append((domain, cells))
+    return rows

@@ -1,0 +1,24 @@
+"""Brand substrate: catalog of impersonation targets and Alexa-style ranks.
+
+§3.1 of the paper selects 702 unique brands by merging the top 50 sites of 17
+Alexa categories (850 domains) with the 204 target brands tracked by
+PhishTank, collapsing domains that share a registered name.  This package
+reproduces that procedure over a synthetic-but-realistic brand universe.
+"""
+
+from repro.brands.alexa import AlexaRanking, ALEXA_CATEGORIES
+from repro.brands.catalog import (
+    Brand,
+    BrandCatalog,
+    build_paper_catalog,
+    merge_brand_domains,
+)
+
+__all__ = [
+    "ALEXA_CATEGORIES",
+    "AlexaRanking",
+    "Brand",
+    "BrandCatalog",
+    "build_paper_catalog",
+    "merge_brand_domains",
+]

@@ -1,0 +1,130 @@
+"""Synthetic Alexa ranking service.
+
+The paper uses Alexa twice: to *select* brands (17 categories × top 50) and
+to *contextualise* PhishTank URLs (Fig 6: 70% of phishing URLs rank beyond
+the top 1M).  This module provides both: category listings for the catalog
+builder, and a rank oracle that assigns every domain in the synthetic world a
+popularity rank with a Zipf-like head for brand originals and an unranked
+tail for throwaway hosting.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+# The 17 Alexa top-sites categories (§3.1).
+ALEXA_CATEGORIES: Tuple[str, ...] = (
+    "arts", "business", "computers", "games", "health", "home", "kids",
+    "news", "recreation", "reference", "regional", "science", "shopping",
+    "society", "sports", "adult", "world",
+)
+
+TOP_SITES_PER_CATEGORY = 50
+
+# Syllable inventory for synthetic long-tail brand names.  Names are
+# pronounceable and collision-checked by the catalog builder.
+_ONSETS = ("b", "c", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "r",
+           "s", "t", "v", "w", "z", "br", "cl", "dr", "fl", "gr", "pl", "st",
+           "tr", "sh", "ch")
+_NUCLEI = ("a", "e", "i", "o", "u", "ai", "ea", "io", "ou")
+_CODAS = ("", "n", "r", "s", "t", "x", "l", "m", "ck", "sh")
+
+
+def synth_brand_name(index: int, rng=None) -> str:
+    """Deterministically derive a pronounceable brand name from an index."""
+    digest = hashlib.sha256(f"brand-{index}".encode()).digest()
+    syllables = 2 + digest[0] % 2
+    parts: List[str] = []
+    for i in range(syllables):
+        onset = _ONSETS[digest[1 + 3 * i] % len(_ONSETS)]
+        nucleus = _NUCLEI[digest[2 + 3 * i] % len(_NUCLEI)]
+        coda = _CODAS[digest[3 + 3 * i] % len(_CODAS)] if i == syllables - 1 else ""
+        parts.append(onset + nucleus + coda)
+    return "".join(parts)
+
+
+class AlexaRanking:
+    """Rank oracle over the synthetic web.
+
+    Domains registered through :meth:`assign_rank` get explicit ranks;
+    anything else is "unranked" and reported with a large pseudo-rank beyond
+    :attr:`universe_size`, reproducing the paper's ">1M" bucket.
+    """
+
+    # Rank buckets used by Fig 6.
+    BUCKETS: Tuple[Tuple[int, int], ...] = (
+        (1, 1_000),
+        (1_001, 10_000),
+        (10_001, 100_000),
+        (100_001, 1_000_000),
+    )
+
+    def __init__(self, universe_size: int = 1_000_000) -> None:
+        self.universe_size = universe_size
+        self._ranks: Dict[str, int] = {}
+        self._next_rank = 1
+
+    def assign_rank(self, domain: str, rank: Optional[int] = None) -> int:
+        """Give ``domain`` an explicit rank (next free rank if omitted)."""
+        domain = domain.lower()
+        if rank is None:
+            rank = self._next_rank
+        self._ranks[domain] = rank
+        self._next_rank = max(self._next_rank, rank + 1)
+        return rank
+
+    def rank(self, domain: str) -> int:
+        """Rank of ``domain``; unranked domains land beyond the universe."""
+        domain = domain.lower()
+        explicit = self._ranks.get(domain)
+        if explicit is not None:
+            return explicit
+        # Deterministic pseudo-rank beyond the ranked universe.
+        digest = hashlib.sha256(domain.encode()).digest()
+        offset = int.from_bytes(digest[:4], "big") % (9 * self.universe_size)
+        return self.universe_size + 1 + offset
+
+    def is_ranked(self, domain: str) -> bool:
+        """True if the domain has an explicit (top-1M) rank."""
+        return domain.lower() in self._ranks
+
+    def bucket(self, domain: str) -> str:
+        """Fig 6 bucket label for a domain's rank."""
+        r = self.rank(domain)
+        for low, high in self.BUCKETS:
+            if low <= r <= high:
+                return f"({low - 1}-{high}]" if low > 1 else f"(0-{high}]"
+        return f"({self.universe_size}+"
+
+    def bucket_labels(self) -> List[str]:
+        """All bucket labels in display order."""
+        labels = []
+        for low, high in self.BUCKETS:
+            labels.append(f"({low - 1}-{high}]" if low > 1 else f"(0-{high}]")
+        labels.append(f"({self.universe_size}+")
+        return labels
+
+    def histogram(self, domains: Iterable[str]) -> Dict[str, int]:
+        """Count domains per rank bucket (the Fig 6 series)."""
+        counts = {label: 0 for label in self.bucket_labels()}
+        for domain in domains:
+            counts[self.bucket(domain)] += 1
+        return counts
+
+
+def category_top_sites(
+    catalog_names: Sequence[str],
+    category: str,
+    per_category: int = TOP_SITES_PER_CATEGORY,
+) -> List[str]:
+    """Deterministic "top sites" listing for one category.
+
+    Used by tests to emulate the paper's 17×50 selection step over an
+    existing catalog.
+    """
+    ranked = sorted(
+        catalog_names,
+        key=lambda name: hashlib.sha256(f"{category}:{name}".encode()).hexdigest(),
+    )
+    return ranked[:per_category]

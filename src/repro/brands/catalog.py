@@ -1,0 +1,276 @@
+"""Brand catalog: the impersonation targets of squatting phishing.
+
+A :class:`Brand` is a name plus its canonical registered domain; the catalog
+reproduces the paper's selection (Alexa category top-50 ∪ PhishTank targets,
+merged on registered domain → 702 uniques) at configurable scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.dns.records import split_domain
+
+# Real, well-known brands used as the nucleus of the catalog.  These are the
+# brands the paper calls out in its tables (Table 5, 9, 10, Fig 13) so the
+# benches can print the same rows.  Each entry: (brand key, canonical domain,
+# category, sensitivity in {login, payment, info}).
+SEED_BRANDS: Tuple[Tuple[str, str, str, str], ...] = (
+    ("google", "google.com", "computers", "login"),
+    ("facebook", "facebook.com", "social", "login"),
+    ("paypal", "paypal.com", "finance", "payment"),
+    ("apple", "apple.com", "computers", "payment"),
+    ("microsoft", "microsoft.com", "computers", "login"),
+    ("amazon", "amazon.com", "shopping", "payment"),
+    ("ebay", "ebay.com", "shopping", "payment"),
+    ("bitcoin", "bitcoin.com", "finance", "payment"),
+    ("uber", "uber.com", "travel", "login"),
+    ("youtube", "youtube.com", "arts", "login"),
+    ("citi", "citi.com", "finance", "payment"),
+    ("twitter", "twitter.com", "social", "login"),
+    ("dropbox", "dropbox.com", "computers", "login"),
+    ("github", "github.com", "computers", "login"),
+    ("adp", "adp.com", "business", "payment"),
+    ("santander", "santander.co.uk", "finance", "payment"),
+    ("adobe", "adobe.com", "computers", "login"),
+    ("ford", "ford.com", "autos", "info"),
+    ("archive", "archive.org", "reference", "info"),
+    ("europa", "europa.eu", "society", "info"),
+    ("cisco", "cisco.com", "computers", "login"),
+    ("discover", "discover.com", "finance", "payment"),
+    ("porn", "porn.com", "adult", "info"),
+    ("healthcare", "healthcare.com", "health", "login"),
+    ("samsung", "samsung.com", "computers", "info"),
+    ("intel", "intel.com", "computers", "info"),
+    ("people", "people.com", "news", "info"),
+    ("smile", "smile.com", "shopping", "payment"),
+    ("history", "history.com", "arts", "info"),
+    ("target", "target.com", "shopping", "payment"),
+    ("android", "android.com", "computers", "info"),
+    ("compass", "compass.com", "business", "info"),
+    ("poste", "poste.it", "finance", "payment"),
+    ("realtor", "realtor.com", "business", "login"),
+    ("usda", "usda.com", "society", "info"),
+    ("visa", "visa.com", "finance", "payment"),
+    ("patient", "patient.co.uk", "health", "info"),
+    ("arena", "arena.com", "games", "info"),
+    ("mint", "mint.com", "finance", "payment"),
+    ("xbox", "xbox.com", "games", "login"),
+    ("discovery", "discovery.com", "arts", "info"),
+    ("cams", "cams.com", "adult", "login"),
+    ("slate", "slate.com", "news", "info"),
+    ("weather", "weather.com", "news", "info"),
+    ("delta", "delta.com", "travel", "payment"),
+    ("blogger", "blogger.com", "arts", "login"),
+    ("chase", "chase.com", "finance", "payment"),
+    ("battle", "battle.net", "games", "login"),
+    ("pandora", "pandora.com", "arts", "login"),
+    ("nets53", "nets53.com", "finance", "payment"),
+    ("cnet", "cnet.com", "computers", "info"),
+    ("skyscanner", "skyscanner.net", "travel", "info"),
+    ("motorsport", "motorsport.com", "autos", "info"),
+    ("bing", "bing.com", "computers", "info"),
+    ("sina", "sina.com.cn", "news", "login"),
+    ("dict", "dict.cc", "reference", "info"),
+    ("bbb", "bbb.org", "business", "info"),
+    ("bt", "bt.com", "computers", "login"),
+    ("tsb", "tsb.co.uk", "finance", "payment"),
+    ("cnn", "cnn.com", "news", "info"),
+    ("nike", "nike.com", "shopping", "payment"),
+    ("gq", "gq.com", "news", "info"),
+    ("pinterest", "pinterest.com", "social", "login"),
+    ("msn", "msn.com", "news", "login"),
+    ("chess", "chess.com", "games", "login"),
+    ("nyu", "nyu.com", "reference", "info"),
+    ("nationwide", "nationwide.co.uk", "finance", "payment"),
+    ("credit-agricole", "credit-agricole.fr", "finance", "payment"),
+    ("cua", "cua.com.au", "finance", "payment"),
+    ("fifa", "fifa.com", "games", "info"),
+    ("columbia", "columbia.com", "shopping", "payment"),
+    ("tsn", "tsn.ca", "news", "info"),
+    ("bodybuilding", "bodybuilding.com", "health", "login"),
+    ("vice", "vice.com", "news", "info"),
+    ("zocdoc", "zocdoc.com", "health", "login"),
+    ("comerica", "comerica.com", "finance", "payment"),
+    ("verizon", "verizon.com", "computers", "payment"),
+    ("shutterfly", "shutterfly.com", "shopping", "payment"),
+    ("alliancebank", "alliancebank.com", "finance", "payment"),
+    ("rabobank", "rabobank.nl", "finance", "payment"),
+    ("priceline", "priceline.com", "travel", "payment"),
+    ("carfax", "carfax.com", "autos", "payment"),
+    ("citizenslc", "citizenslc.com", "finance", "payment"),
+    ("netflix", "netflix.com", "arts", "payment"),
+    ("instagram", "instagram.com", "social", "login"),
+    ("linkedin", "linkedin.com", "business", "login"),
+    ("spotify", "spotify.com", "arts", "login"),
+    ("wellsfargo", "wellsfargo.com", "finance", "payment"),
+    ("bankofamerica", "bankofamerica.com", "finance", "payment"),
+    ("hsbc", "hsbc.co.uk", "finance", "payment"),
+    ("steam", "steampowered.com", "games", "login"),
+    ("yahoo", "yahoo.com", "computers", "login"),
+    ("walmart", "walmart.com", "shopping", "payment"),
+    ("airbnb", "airbnb.com", "travel", "payment"),
+    ("booking", "booking.com", "travel", "payment"),
+    ("whatsapp", "whatsapp.com", "social", "login"),
+    ("telegram", "telegram.org", "social", "login"),
+    ("coinbase", "coinbase.com", "finance", "payment"),
+    ("binance", "binance.com", "finance", "payment"),
+    ("stripe", "stripe.com", "finance", "payment"),
+    ("venmo", "venmo.com", "finance", "payment"),
+    ("zoom", "zoom.com", "business", "login"),
+    ("slack", "slack.com", "business", "login"),
+    ("office", "office.com", "business", "login"),
+    ("outlook", "outlook.com", "computers", "login"),
+    ("icloud", "icloud.com", "computers", "login"),
+    ("gmail", "gmail.com", "computers", "login"),
+)
+
+
+@dataclass(frozen=True)
+class Brand:
+    """A popular online service that squatting phishing may impersonate.
+
+    Attributes:
+        name: brand key, also the core label of the canonical domain
+            (e.g. ``facebook``).
+        domain: canonical registered domain (e.g. ``facebook.com``).
+        category: Alexa category the brand belongs to.
+        sensitivity: ``login`` / ``payment`` / ``info`` — drives how juicy a
+            phishing target the brand is in the synthetic world.
+        sources: where the brand entered the catalog (``alexa`` and/or
+            ``phishtank``).
+    """
+
+    name: str
+    domain: str
+    category: str = "other"
+    sensitivity: str = "info"
+    sources: Tuple[str, ...] = ("alexa",)
+
+    @property
+    def core_label(self) -> str:
+        core, _tld = split_domain(self.domain)
+        return core
+
+    @property
+    def tld(self) -> str:
+        _core, tld = split_domain(self.domain)
+        return tld
+
+
+class BrandCatalog:
+    """An ordered, indexed collection of brands."""
+
+    def __init__(self, brands: Iterable[Brand] = ()) -> None:
+        self._brands: Dict[str, Brand] = {}
+        for brand in brands:
+            self.add(brand)
+
+    def add(self, brand: Brand) -> None:
+        """Add a brand; duplicate names merge their source lists."""
+        existing = self._brands.get(brand.name)
+        if existing is not None:
+            merged_sources = tuple(sorted(set(existing.sources) | set(brand.sources)))
+            brand = Brand(
+                name=existing.name,
+                domain=existing.domain,
+                category=existing.category,
+                sensitivity=existing.sensitivity,
+                sources=merged_sources,
+            )
+        self._brands[brand.name] = brand
+
+    def __len__(self) -> int:
+        return len(self._brands)
+
+    def __iter__(self) -> Iterator[Brand]:
+        return iter(self._brands.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._brands
+
+    def get(self, name: str) -> Optional[Brand]:
+        """Look up a brand by key."""
+        return self._brands.get(name)
+
+    def names(self) -> List[str]:
+        """All brand keys, insertion-ordered."""
+        return list(self._brands.keys())
+
+    def by_category(self, category: str) -> List[Brand]:
+        """Brands in an Alexa category."""
+        return [b for b in self._brands.values() if b.category == category]
+
+    def by_source(self, source: str) -> List[Brand]:
+        """Brands contributed by a selection source."""
+        return [b for b in self._brands.values() if source in b.sources]
+
+    def core_labels(self) -> Set[str]:
+        """Set of canonical core labels (the squat-matching keys)."""
+        return {b.core_label for b in self._brands.values()}
+
+
+def merge_brand_domains(domains: Sequence[Tuple[str, str]]) -> List[Tuple[str, str]]:
+    """Collapse (name, domain) pairs sharing a registered domain (§3.1).
+
+    The paper merges e.g. ``niams.nih.gov`` and ``nichd.nih.gov`` into
+    ``nih.gov``.  We keep the first name seen for each registered domain.
+    """
+    seen: Dict[str, Tuple[str, str]] = {}
+    for name, domain in domains:
+        labels = domain.lower().split(".")
+        registered = ".".join(labels[-2:]) if len(labels) >= 2 else domain.lower()
+        core, tld = split_domain(domain)
+        if tld:
+            registered = f"{core}.{tld}"
+        if registered not in seen:
+            seen[registered] = (name, registered)
+    return list(seen.values())
+
+
+def build_paper_catalog(
+    target_brand_count: int = 702,
+    rng=None,
+) -> BrandCatalog:
+    """Build a catalog following the paper's selection procedure.
+
+    The seed brands (the ones named in the paper's exhibits) come first;
+    synthetic long-tail brands pad the catalog out to ``target_brand_count``
+    so skew measurements (Fig 3, Fig 13) have a realistic tail to work with.
+    """
+    from repro.brands.alexa import ALEXA_CATEGORIES, synth_brand_name
+
+    catalog = BrandCatalog()
+    for name, domain, category, sensitivity in SEED_BRANDS:
+        catalog.add(
+            Brand(
+                name=name,
+                domain=domain,
+                category=category,
+                sensitivity=sensitivity,
+                sources=("alexa", "phishtank"),
+            )
+        )
+
+    index = 0
+    categories = list(ALEXA_CATEGORIES)
+    sensitivities = ("info", "info", "login", "payment")
+    while len(catalog) < target_brand_count:
+        name = synth_brand_name(index, rng=rng)
+        index += 1
+        if name in catalog:
+            continue
+        category = categories[index % len(categories)]
+        sensitivity = sensitivities[index % len(sensitivities)]
+        tld = ("com", "com", "net", "org", "co", "io")[index % 6]
+        catalog.add(
+            Brand(
+                name=name,
+                domain=f"{name}.{tld}",
+                category=category,
+                sensitivity=sensitivity,
+                sources=("alexa",) if index % 4 else ("alexa", "phishtank"),
+            )
+        )
+    return catalog

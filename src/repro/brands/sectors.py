@@ -1,0 +1,100 @@
+"""Sector brand catalogs: the paper's stated measurement extension.
+
+§7 ("Our Limitations"): *"As a future work, we can extend our measurement
+scope to specifically cover the web domains of government agencies, military
+institutions, universities, and hospitals to detect squatting phishing
+targeting important organizations."*  This module implements that extension:
+curated sector catalogs that plug into the same detector/pipeline machinery
+as the Alexa-based catalog.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.brands.catalog import Brand, BrandCatalog
+
+# Each entry: (brand key, canonical domain, sensitivity).
+GOVERNMENT_BRANDS: Tuple[Tuple[str, str, str], ...] = (
+    ("irs", "irs.gov", "payment"),
+    ("ssa", "ssa.gov", "login"),
+    ("medicare", "medicare.gov", "login"),
+    ("uscis", "uscis.gov", "login"),
+    ("dmv", "dmv.org", "login"),
+    ("treasury", "treasury.gov", "info"),
+    ("stateagency", "state.gov", "info"),
+    ("uktax", "hmrc.gov.uk", "payment"),
+    ("govuk", "gov.uk", "login"),
+    ("elections", "vote.gov", "info"),
+)
+
+MILITARY_BRANDS: Tuple[Tuple[str, str, str], ...] = (
+    ("army", "army.mil", "login"),
+    ("navy", "navy.mil", "login"),
+    ("airforce", "airforce.mil", "login"),
+    ("defense", "defense.gov", "info"),
+    ("tricare", "tricare.mil", "login"),
+    ("myarmybenefits", "myarmybenefits.us.army.mil", "login"),
+)
+
+UNIVERSITY_BRANDS: Tuple[Tuple[str, str, str], ...] = (
+    ("mit", "mit.edu", "login"),
+    ("stanford", "stanford.edu", "login"),
+    ("harvard", "harvard.edu", "login"),
+    ("berkeley", "berkeley.edu", "login"),
+    ("oxford", "ox.ac.uk", "login"),
+    ("cambridge", "cam.ac.uk", "login"),
+    ("vt", "vt.edu", "login"),          # the authors' institution
+    ("cmu", "cmu.edu", "login"),
+    ("gatech", "gatech.edu", "login"),
+)
+
+HOSPITAL_BRANDS: Tuple[Tuple[str, str, str], ...] = (
+    ("mayoclinic", "mayoclinic.org", "login"),
+    ("clevelandclinic", "clevelandclinic.org", "login"),
+    ("kaiser", "kaiserpermanente.org", "login"),
+    ("nhs", "nhs.uk", "login"),
+    ("hopkinsmedicine", "hopkinsmedicine.org", "login"),
+    ("mountsinai", "mountsinai.org", "login"),
+)
+
+SECTORS: Dict[str, Tuple[Tuple[str, str, str], ...]] = {
+    "government": GOVERNMENT_BRANDS,
+    "military": MILITARY_BRANDS,
+    "university": UNIVERSITY_BRANDS,
+    "hospital": HOSPITAL_BRANDS,
+}
+
+
+def sector_catalog(sectors: Optional[Sequence[str]] = None) -> BrandCatalog:
+    """Build a catalog of sector brands.
+
+    Args:
+        sectors: subset of :data:`SECTORS` keys; all four by default.
+    """
+    selected = sectors if sectors is not None else sorted(SECTORS)
+    unknown = [s for s in selected if s not in SECTORS]
+    if unknown:
+        raise ValueError(f"unknown sectors: {unknown}")
+    catalog = BrandCatalog()
+    for sector in selected:
+        for name, domain, sensitivity in SECTORS[sector]:
+            catalog.add(Brand(
+                name=name,
+                domain=domain,
+                category=sector,
+                sensitivity=sensitivity,
+                sources=("sector",),
+            ))
+    return catalog
+
+
+def extend_with_sectors(
+    catalog: BrandCatalog,
+    sectors: Optional[Sequence[str]] = None,
+) -> BrandCatalog:
+    """Merge sector brands into an existing catalog (e.g. the Alexa one)."""
+    merged = BrandCatalog(iter(catalog))
+    for brand in sector_catalog(sectors):
+        merged.add(brand)
+    return merged

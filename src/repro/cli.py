@@ -1,0 +1,235 @@
+"""Command-line interface: the open-sourced-tool face of SquatPhi.
+
+The paper ships its system as a standalone tool; this module provides the
+equivalent workflows over this reproduction:
+
+* ``squatphi gen <brand-domain>`` — enumerate squat candidates per type;
+* ``squatphi classify <domain> ...`` — classify domains against the catalog;
+* ``squatphi scan <snapshot.tsv>`` — scan an ActiveDNS-style dump and print
+  the Fig 2/Fig 4 breakdowns;
+* ``squatphi world <out.tsv>`` — generate a synthetic snapshot to play with;
+* ``squatphi pipeline`` — run the end-to-end demo pipeline and print the
+  headline exhibits.
+
+Each command is a plain function taking parsed args and returning an exit
+code, so the test suite drives them directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+from typing import List, Optional, Sequence
+
+from repro.analysis.render import bar_chart, table
+from repro.brands import Brand, BrandCatalog, build_paper_catalog
+from repro.dns.activedns import load_snapshot, write_snapshot
+from repro.squatting.detector import SquattingDetector
+from repro.squatting.generator import SquattingGenerator
+from repro.squatting.types import SquatType
+
+
+def _build_catalog(
+    brand_domains: Optional[Sequence[str]],
+    sectors: Optional[Sequence[str]] = None,
+) -> BrandCatalog:
+    """The 702-brand catalog, an ad-hoc one from --brands, and/or the §7
+    sector catalogs from --sectors."""
+    if brand_domains:
+        catalog = BrandCatalog()
+        for domain in brand_domains:
+            name = domain.split(".")[0].lower()
+            catalog.add(Brand(name=name, domain=domain.lower()))
+    elif sectors:
+        catalog = BrandCatalog()
+    else:
+        return build_paper_catalog()
+    if sectors:
+        from repro.brands.sectors import sector_catalog
+
+        for brand in sector_catalog(sectors):
+            catalog.add(brand)
+    return catalog
+
+
+# ----------------------------------------------------------------------
+# commands
+# ----------------------------------------------------------------------
+
+def cmd_gen(args: argparse.Namespace) -> int:
+    """Enumerate squat candidates of one brand domain."""
+    name = args.domain.split(".")[0].lower()
+    brand = Brand(name=name, domain=args.domain.lower())
+    generator = SquattingGenerator()
+    candidates = generator.candidates(brand, include_combo=args.combo)
+
+    wanted = {SquatType(t) for t in args.types} if args.types else set(SquatType)
+    shown = 0
+    for squat_type, labels in sorted(candidates.labels.items(),
+                                     key=lambda kv: kv[0].value):
+        if squat_type not in wanted:
+            continue
+        for label in sorted(labels):
+            print(f"{label}.{brand.tld or 'com'}\t{squat_type.value}")
+            shown += 1
+            if args.limit and shown >= args.limit:
+                return 0
+    if SquatType.WRONG_TLD in wanted:
+        for domain in sorted(candidates.domains.get(SquatType.WRONG_TLD, ())):
+            print(f"{domain}\twrongTLD")
+            shown += 1
+            if args.limit and shown >= args.limit:
+                return 0
+    return 0
+
+
+def cmd_classify(args: argparse.Namespace) -> int:
+    """Classify domains against the brand catalog."""
+    detector = SquattingDetector(_build_catalog(args.brands, args.sectors))
+    exit_code = 1
+    for domain in args.domains:
+        match = detector.classify_domain(domain)
+        if match is None:
+            print(f"{domain}\t-\t-")
+        else:
+            detail = f"\t{match.detail}" if match.detail else ""
+            print(f"{domain}\t{match.brand}\t{match.squat_type.value}{detail}")
+            exit_code = 0
+    return exit_code
+
+
+def cmd_scan(args: argparse.Namespace) -> int:
+    """Scan an ActiveDNS-style snapshot file for squatting domains."""
+    zone = load_snapshot(args.snapshot)
+    detector = SquattingDetector(_build_catalog(args.brands, args.sectors))
+    matches = detector.scan(zone)
+
+    print(f"scanned {len(zone)} records, found {len(matches)} squatting domains\n")
+    histogram = Counter(m.squat_type.value for m in matches)
+    print(bar_chart({t.value: histogram.get(t.value, 0) for t in SquatType},
+                    title="squatting domains by type"))
+    print()
+    top = Counter(m.brand for m in matches).most_common(args.top)
+    print(table(["brand", "count"], [[b, c] for b, c in top],
+                title=f"top {args.top} brands"))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            for match in matches:
+                handle.write(f"{match.domain}\t{match.brand}\t{match.squat_type.value}\n")
+        print(f"\nwrote matches to {args.out}")
+    return 0
+
+
+def cmd_world(args: argparse.Namespace) -> int:
+    """Generate a synthetic world and dump its DNS snapshot."""
+    from repro.phishworld.world import WorldConfig, build_world
+
+    config = WorldConfig(
+        seed=args.seed,
+        n_organic_domains=args.organic,
+        n_squat_domains=args.squats,
+        n_phish_domains=args.phish,
+        phishtank_reports=max(20, args.phish * 4),
+    )
+    world = build_world(config)
+    count = write_snapshot(iter(world.zone), args.out)
+    print(f"wrote {count} DNS records to {args.out}")
+    print(f"  brands: {len(world.catalog)}  squats: {len(world.squat_truth)}"
+          f"  planted phishing: {len(world.phishing_sites)}")
+    return 0
+
+
+def cmd_pipeline(args: argparse.Namespace) -> int:
+    """Run the end-to-end demo pipeline on a fresh synthetic world."""
+    from repro.core import PipelineConfig, SquatPhi
+    from repro.phishworld.world import WorldConfig, build_world
+
+    config = WorldConfig(
+        seed=args.seed,
+        n_organic_domains=args.squats,
+        n_squat_domains=args.squats,
+        n_phish_domains=max(4, args.squats // 12),
+        phishtank_reports=max(40, args.squats // 3),
+    )
+    world = build_world(config)
+    pipeline = SquatPhi(world, PipelineConfig(cv_folds=5, rf_trees=15))
+    result = pipeline.run(follow_up_snapshots=False)
+
+    print(table(
+        ["model", "FP", "FN", "AUC", "ACC"],
+        [[name, f"{r.false_positive_rate:.3f}", f"{r.false_negative_rate:.3f}",
+          f"{r.auc:.3f}", f"{r.accuracy:.3f}"]
+         for name, r in result.cv_reports.items()],
+        title="classifier cross-validation",
+    ))
+    print(f"\nsquatting domains: {len(result.squat_matches)}")
+    print(f"flagged pages:     {len(result.flagged)}")
+    print(f"verified phishing: {len(result.verified)} "
+          f"(planted: {len(world.phishing_sites)})")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="squatphi",
+        description="Search and detect squatting phishing domains (IMC'18).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("gen", help="enumerate squat candidates of a brand")
+    gen.add_argument("domain", help="brand domain, e.g. facebook.com")
+    gen.add_argument("--types", nargs="*", metavar="TYPE",
+                     choices=[t.value for t in SquatType],
+                     help="restrict to squat types")
+    gen.add_argument("--combo", action="store_true",
+                     help="include (non-exhaustive) combo candidates")
+    gen.add_argument("--limit", type=int, default=0, help="max candidates")
+    gen.set_defaults(func=cmd_gen)
+
+    sector_choices = ("government", "military", "university", "hospital")
+
+    classify = sub.add_parser("classify", help="classify domains")
+    classify.add_argument("domains", nargs="+")
+    classify.add_argument("--brands", nargs="*",
+                          help="restrict the catalog to these brand domains")
+    classify.add_argument("--sectors", nargs="*", choices=sector_choices,
+                          help="add sector catalogs (§7 extension)")
+    classify.set_defaults(func=cmd_classify)
+
+    scan = sub.add_parser("scan", help="scan a DNS snapshot file")
+    scan.add_argument("snapshot", help="ActiveDNS-style TSV (.gz ok)")
+    scan.add_argument("--brands", nargs="*")
+    scan.add_argument("--sectors", nargs="*", choices=sector_choices,
+                      help="add sector catalogs (§7 extension)")
+    scan.add_argument("--top", type=int, default=10)
+    scan.add_argument("--out", help="write matches to this TSV file")
+    scan.set_defaults(func=cmd_scan)
+
+    world = sub.add_parser("world", help="generate a synthetic DNS snapshot")
+    world.add_argument("out", help="output snapshot path")
+    world.add_argument("--seed", type=int, default=1803)
+    world.add_argument("--organic", type=int, default=500)
+    world.add_argument("--squats", type=int, default=500)
+    world.add_argument("--phish", type=int, default=40)
+    world.set_defaults(func=cmd_world)
+
+    pipeline = sub.add_parser("pipeline", help="run the end-to-end demo")
+    pipeline.add_argument("--seed", type=int, default=1803)
+    pipeline.add_argument("--squats", type=int, default=400)
+    pipeline.set_defaults(func=cmd_pipeline)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""SquatPhi: the paper's end-to-end measurement pipeline.
+
+Stages (mirroring §3-§6):
+
+1. **squatting detection** — scan the DNS snapshot for domains squatting any
+   catalog brand (five orthogonal types);
+2. **crawl** — distributed crawl of every squatting domain with web and
+   mobile profiles, recording HTML + screenshots + redirects; weekly
+   follow-up snapshots of flagged domains;
+3. **ground truth** — pull PhishTank reports, crawl them, and label pages
+   (valid phishing vs replaced/benign) plus easy-to-confuse benign squat
+   pages;
+4. **classification** — extract OCR/lexical/form features, embed, train
+   Naive Bayes / k-NN / Random Forest, cross-validate, deploy the best;
+5. **wild detection + verification** — classify every crawled squat page,
+   then verify the flagged ones (the paper's manual examination, modelled as
+   a ground-truth oracle with reviewer noise);
+6. **characterization** — evasion measurement, longevity, blacklist checks.
+"""
+
+from repro.core.config import PipelineConfig
+from repro.core.monitor import BrandMonitor, MonitorAlert
+from repro.core.pipeline import (
+    GroundTruthPage,
+    PipelineResult,
+    SquatPhi,
+    VerifiedPhish,
+    WildDetection,
+)
+from repro.core.reporting import RunReport, build_report
+from repro.core.review import Annotator, ReviewQueue, default_crowd
+
+__all__ = [
+    "Annotator",
+    "BrandMonitor",
+    "GroundTruthPage",
+    "MonitorAlert",
+    "PipelineConfig",
+    "PipelineResult",
+    "ReviewQueue",
+    "RunReport",
+    "SquatPhi",
+    "VerifiedPhish",
+    "WildDetection",
+    "build_report",
+    "default_crowd",
+]

@@ -1,0 +1,49 @@
+"""Pipeline configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.features.embedding import EmbeddingConfig
+
+
+@dataclass
+class PipelineConfig:
+    """Knobs for one SquatPhi run."""
+
+    # classification
+    classifier: str = "random_forest"   # random_forest | knn | naive_bayes
+    decision_threshold: float = 0.5
+    cv_folds: int = 10
+    rf_trees: int = 30
+    rf_max_depth: int = 14
+    knn_k: int = 5
+    embedding: EmbeddingConfig = field(default_factory=EmbeddingConfig)
+
+    # crawl
+    crawl_workers: int = 20
+    snapshots: int = 4
+
+    # verification oracle: the "manual examination" step of §6.1.  A small
+    # reviewer error rate keeps the oracle honest (humans mislabel too).
+    # "expert" = one careful reviewer per domain; "crowd" = a §7-style
+    # crowdsourced queue with majority voting.
+    verification_mode: str = "expert"
+    reviewer_error_rate: float = 0.005
+    crowd_size: int = 9
+    crowd_votes_per_item: int = 3
+    verification_seed: int = 97
+
+    # ground-truth annotation noise (§4.1/§5.3): labels come from
+    # crowdsourced reports plus screenshot-based manual review, both
+    # imperfect — the paper itself finds 57% of "verified" PhishTank URLs
+    # were no longer phishing.  Residual error after their relabeling:
+    phish_mislabel_rate: float = 0.08   # true phishing annotated benign
+    benign_mislabel_rate: float = 0.015  # true benign annotated phishing
+    annotation_seed: int = 311
+
+    # feature extraction
+    use_ocr: bool = True
+    use_spellcheck: bool = True
+    ocr_error_rate: float = 0.03

@@ -1,0 +1,470 @@
+"""The SquatPhi pipeline: search + detect squatting phishing end to end."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.analysis.evasion import EvasionMeasurement, measure_page
+from repro.core.config import PipelineConfig
+from repro.features.embedding import FeatureEmbedder
+from repro.features.extraction import FeatureExtractor, PageFeatures
+from repro.ml import (
+    ClassificationReport,
+    KNearestNeighbors,
+    MultinomialNaiveBayes,
+    RandomForest,
+    cross_validate,
+)
+from repro.ocr.engine import OCREngine
+from repro.phishworld.marketplace import classify_redirect
+from repro.phishworld.world import SyntheticInternet
+from repro.squatting.detector import SquattingDetector
+from repro.squatting.types import SquatMatch, SquatType
+from repro.web.browser import Browser, PageCapture
+from repro.web.crawler import CrawlSnapshot, DistributedCrawler
+from repro.web.http import MOBILE_UA, WEB_UA
+
+
+@dataclass
+class GroundTruthPage:
+    """One labelled training page."""
+
+    domain: str
+    brand: str
+    label: int                      # 1 = phishing, 0 = benign
+    features: PageFeatures
+    html: str
+    screenshot_pixels: Optional["np.ndarray"] = None
+    source: str = "phishtank"       # phishtank | squat-benign
+
+
+@dataclass
+class WildDetection:
+    """One page the classifier flagged in the wild."""
+
+    domain: str
+    brand: str
+    squat_type: SquatType
+    profile: str                    # web | mobile
+    score: float
+    capture: PageCapture
+
+
+@dataclass
+class VerifiedPhish:
+    """A flagged page that survived verification."""
+
+    domain: str
+    brand: str
+    squat_type: SquatType
+    profiles: Tuple[str, ...]       # which device profiles serve the phish
+
+
+@dataclass
+class PipelineResult:
+    """Everything a SquatPhi run produces (feeds all exhibits)."""
+
+    squat_matches: List[SquatMatch]
+    crawl_snapshots: List[CrawlSnapshot]
+    ground_truth: List[GroundTruthPage]
+    cv_reports: Dict[str, ClassificationReport]
+    flagged: List[WildDetection]
+    verified: List[VerifiedPhish]
+    evasion_squatting: List[EvasionMeasurement]
+    evasion_reported: List[EvasionMeasurement]
+
+    def verified_domains(self) -> List[str]:
+        return sorted({v.domain for v in self.verified})
+
+    def flagged_by_profile(self, profile: str) -> List[WildDetection]:
+        return [f for f in self.flagged if f.profile == profile]
+
+    def verified_by_profile(self, profile: str) -> List[VerifiedPhish]:
+        return [v for v in self.verified if profile in v.profiles]
+
+
+class SquatPhi:
+    """End-to-end runner against a (synthetic) internet."""
+
+    def __init__(
+        self,
+        world: SyntheticInternet,
+        config: Optional[PipelineConfig] = None,
+    ) -> None:
+        self.world = world
+        self.config = config or PipelineConfig()
+        self.detector = SquattingDetector(world.catalog)
+        self.extractor = FeatureExtractor(
+            ocr_engine=OCREngine(error_rate=self.config.ocr_error_rate),
+            use_ocr=self.config.use_ocr,
+            use_spellcheck=self.config.use_spellcheck,
+            extra_lexicon=world.catalog.names(),
+        )
+        self.embedder: Optional[FeatureEmbedder] = None
+        self.model = None
+        self._original_shots: Dict[str, "np.ndarray"] = {}
+
+    # ------------------------------------------------------------------
+    # stage 1: squatting detection
+    # ------------------------------------------------------------------
+    def detect_squatting(self) -> List[SquatMatch]:
+        """Scan the DNS snapshot for squatting domains (§3.1)."""
+        return self.detector.scan(self.world.zone)
+
+    # ------------------------------------------------------------------
+    # stage 2: crawling
+    # ------------------------------------------------------------------
+    def crawl_domains(
+        self, domains: Sequence[str], snapshot: int = 0
+    ) -> CrawlSnapshot:
+        """One crawl pass over ``domains`` with both device profiles."""
+        crawler = DistributedCrawler(self.world.host, workers=self.config.crawl_workers)
+        return crawler.crawl(domains, snapshot=snapshot)
+
+    # ------------------------------------------------------------------
+    # stage 3: ground truth
+    # ------------------------------------------------------------------
+    def collect_ground_truth(
+        self,
+        squat_matches: Optional[Sequence[SquatMatch]] = None,
+        benign_squat_sample: int = 400,
+    ) -> List[GroundTruthPage]:
+        """Crawl PhishTank reports and label pages (§4.1).
+
+        Positive pages: reported URLs still serving phishing at crawl time.
+        Negative pages: reported URLs replaced with benign content, plus a
+        sample of easy-to-confuse live squat-domain pages.
+        """
+        browser = Browser(self.world.host, WEB_UA)
+        pages: List[GroundTruthPage] = []
+        for report in self.world.phishtank.verified_active():
+            capture = browser.visit(f"http://{report.domain}/")
+            if capture is None:
+                continue
+            features = self.extractor.extract_capture(capture)
+            pages.append(GroundTruthPage(
+                domain=report.domain,
+                brand=report.brand,
+                label=1 if report.still_phishing else 0,
+                features=features,
+                html=capture.html,
+                screenshot_pixels=capture.screenshot.pixels,
+                source="phishtank",
+            ))
+        pages.extend(self._sample_benign_squat_pages(squat_matches, benign_squat_sample))
+        self._apply_annotation_noise(pages)
+        return pages
+
+    def _apply_annotation_noise(self, pages: List[GroundTruthPage]) -> None:
+        """Model residual labeling error in the manually-annotated corpus."""
+        rng = np.random.default_rng(self.config.annotation_seed)
+        for page in pages:
+            if page.label == 1:
+                if rng.random() < self.config.phish_mislabel_rate:
+                    page.label = 0
+            elif rng.random() < self.config.benign_mislabel_rate:
+                page.label = 1
+
+    def _sample_benign_squat_pages(
+        self,
+        squat_matches: Optional[Sequence[SquatMatch]],
+        sample_size: int,
+    ) -> List[GroundTruthPage]:
+        """The paper's second negative source: manually-verified benign
+        pages under squatting domains (§5.3).
+
+        The paper states it "only introduce[s] the most easy-to-confuse
+        benign pages ... [not] the obviously benign pages", so the sample
+        is deliberately biased: confusable pages (forms, brand plugins, fan
+        logins) are exhausted first, then the remainder fills uniformly.
+        The oracle labels stand in for their manual verification.
+        """
+        if not squat_matches:
+            return []
+        rng = np.random.default_rng(self.config.verification_seed)
+        browser = Browser(self.world.host, WEB_UA)
+        confusable: List[SquatMatch] = []
+        ordinary: List[SquatMatch] = []
+        for match in squat_matches:
+            label = self.world.label_of(match.domain) or ""
+            if label == "squat-confusable":
+                confusable.append(match)
+            elif label.startswith("squat-"):
+                ordinary.append(match)
+        ordered: List[SquatMatch] = [
+            confusable[int(i)] for i in rng.permutation(len(confusable))
+        ] + [
+            ordinary[int(i)] for i in rng.permutation(len(ordinary))
+        ]
+        pages: List[GroundTruthPage] = []
+        for match in ordered:
+            if len(pages) >= sample_size:
+                break
+            capture = browser.visit(f"http://{match.domain}/")
+            if capture is None:
+                continue
+            features = self.extractor.extract_capture(capture)
+            pages.append(GroundTruthPage(
+                domain=match.domain,
+                brand=match.brand,
+                label=0,
+                features=features,
+                html=capture.html,
+                screenshot_pixels=capture.screenshot.pixels,
+                source="squat-benign",
+            ))
+        return pages
+
+    # ------------------------------------------------------------------
+    # stage 4: classification
+    # ------------------------------------------------------------------
+    def _make_model(self, name: str):
+        if name == "random_forest":
+            return RandomForest(n_trees=self.config.rf_trees,
+                                max_depth=self.config.rf_max_depth)
+        if name == "knn":
+            return KNearestNeighbors(k=self.config.knn_k)
+        if name == "naive_bayes":
+            return MultinomialNaiveBayes()
+        raise ValueError(f"unknown classifier {name!r}")
+
+    def train(
+        self,
+        ground_truth: Sequence[GroundTruthPage],
+        evaluate_all: bool = True,
+    ) -> Dict[str, ClassificationReport]:
+        """Fit the embedding and classifiers; cross-validate (Table 7)."""
+        features = [page.features for page in ground_truth]
+        labels = np.array([page.label for page in ground_truth])
+        self.embedder = FeatureEmbedder(
+            brand_names=self.world.catalog.names(),
+            config=self.config.embedding,
+        )
+        x = self.embedder.fit_transform(features)
+        reports: Dict[str, ClassificationReport] = {}
+        names = ("naive_bayes", "knn", "random_forest") if evaluate_all else (self.config.classifier,)
+        for name in names:
+            reports[name] = cross_validate(
+                lambda n=name: self._make_model(n), x, labels,
+                k=self.config.cv_folds,
+                threshold=self.config.decision_threshold,
+            )
+        self.model = self._make_model(self.config.classifier).fit(x, labels)
+        return reports
+
+    def classify_capture(self, capture: PageCapture) -> float:
+        """Phishing score of one crawled page."""
+        if self.model is None or self.embedder is None:
+            raise RuntimeError("pipeline is not trained; call train() first")
+        features = self.extractor.extract_capture(capture)
+        vector = self.embedder.transform([features])
+        return float(self.model.predict_proba(vector)[0])
+
+    # ------------------------------------------------------------------
+    # stage 5: wild detection + verification
+    # ------------------------------------------------------------------
+    def detect_in_wild(
+        self,
+        squat_matches: Sequence[SquatMatch],
+        crawl: CrawlSnapshot,
+    ) -> List[WildDetection]:
+        """Classify every live squat-domain page from a crawl snapshot."""
+        match_of = {m.domain: m for m in squat_matches}
+        flagged: List[WildDetection] = []
+        for profile in ("web", "mobile"):
+            for result in crawl.captures(profile):
+                match = match_of.get(result.domain)
+                if match is None or result.capture is None:
+                    continue
+                if result.redirected:
+                    continue  # redirects land on someone else's content
+                score = self.classify_capture(result.capture)
+                if score >= self.config.decision_threshold:
+                    flagged.append(WildDetection(
+                        domain=result.domain,
+                        brand=match.brand,
+                        squat_type=match.squat_type,
+                        profile=profile,
+                        score=score,
+                        capture=result.capture,
+                    ))
+        return flagged
+
+    def verify(self, flagged: Sequence[WildDetection]) -> List[VerifiedPhish]:
+        """Manual-examination step (§6.1).
+
+        A page passes when it impersonates the brand and carries a data
+        collection form — known exactly to the world's ground truth.  In
+        ``expert`` mode a single reviewer judges each domain with a small
+        error rate; in ``crowd`` mode a review queue takes majority votes
+        from a mixed-skill crowd (§7's scaling suggestion).
+        """
+        by_domain: Dict[str, List[WildDetection]] = {}
+        for detection in flagged:
+            by_domain.setdefault(detection.domain, []).append(detection)
+
+        if self.config.verification_mode == "crowd":
+            accepted = self._crowd_verdicts(sorted(by_domain))
+        elif self.config.verification_mode == "expert":
+            accepted = self._expert_verdicts(sorted(by_domain))
+        else:
+            raise ValueError(
+                f"unknown verification_mode {self.config.verification_mode!r}")
+
+        verified: List[VerifiedPhish] = []
+        for domain in sorted(accepted):
+            detections = by_domain[domain]
+            first = detections[0]
+            verified.append(VerifiedPhish(
+                domain=domain,
+                brand=first.brand,
+                squat_type=first.squat_type,
+                profiles=tuple(sorted({d.profile for d in detections})),
+            ))
+        return verified
+
+    def _expert_verdicts(self, domains: Sequence[str]) -> Set[str]:
+        rng = np.random.default_rng(self.config.verification_seed)
+        accepted: Set[str] = set()
+        for domain in domains:
+            truly_phishing = self.world.label_of(domain) == "phishing"
+            if rng.random() < self.config.reviewer_error_rate:
+                truly_phishing = not truly_phishing
+            if truly_phishing:
+                accepted.add(domain)
+        return accepted
+
+    def _crowd_verdicts(self, domains: Sequence[str]) -> Set[str]:
+        from repro.core.review import ReviewQueue, default_crowd
+
+        queue = ReviewQueue(
+            default_crowd(self.config.crowd_size,
+                          seed=self.config.verification_seed),
+            votes_per_item=self.config.crowd_votes_per_item,
+            seed=self.config.verification_seed + 1,
+        )
+        for domain in domains:
+            queue.submit(domain, brand="",
+                         truth=self.world.label_of(domain) == "phishing")
+        queue.process()
+        return set(queue.confirmed_domains())
+
+    # ------------------------------------------------------------------
+    # stage 6: evasion characterization
+    # ------------------------------------------------------------------
+    def original_screenshot(self, brand_name: str) -> Optional["np.ndarray"]:
+        """Cached screenshot of a brand's legitimate page."""
+        if brand_name not in self._original_shots:
+            brand = self.world.catalog.get(brand_name)
+            if brand is None:
+                return None
+            capture = Browser(self.world.host, WEB_UA).visit(f"http://{brand.domain}/")
+            if capture is None:
+                return None
+            self._original_shots[brand_name] = capture.screenshot.pixels
+        return self._original_shots[brand_name]
+
+    def measure_evasion_for(
+        self,
+        items: Sequence[Tuple[str, str, PageCapture]],
+    ) -> List[EvasionMeasurement]:
+        """Evasion tests for (domain, brand, capture) triples."""
+        out: List[EvasionMeasurement] = []
+        for domain, brand_name, capture in items:
+            original = self.original_screenshot(brand_name)
+            out.append(measure_page(
+                domain=domain,
+                brand_name=brand_name,
+                html=capture.html,
+                phish_pixels=capture.screenshot.pixels,
+                original_pixels=original,
+            ))
+        return out
+
+    # ------------------------------------------------------------------
+    # feedback retraining (§6.1's proposed improvement / future work)
+    # ------------------------------------------------------------------
+    def retrain_with_feedback(
+        self,
+        ground_truth: Sequence[GroundTruthPage],
+        flagged: Sequence[WildDetection],
+        verified: Sequence[VerifiedPhish],
+    ) -> Dict[str, ClassificationReport]:
+        """Fold verification outcomes back into the training set.
+
+        Every flagged-and-verified page becomes a new positive; every
+        flagged-but-rejected page becomes a new hard negative.  The paper
+        proposes exactly this loop to absorb the variance the small-scale
+        training set missed.  Returns fresh CV reports on the augmented set.
+        """
+        verified_domains = {v.domain for v in verified}
+        augmented: List[GroundTruthPage] = list(ground_truth)
+        seen: Set[Tuple[str, str]] = set()
+        for detection in flagged:
+            key = (detection.domain, detection.profile)
+            if key in seen:
+                continue
+            seen.add(key)
+            features = self.extractor.extract_capture(detection.capture)
+            augmented.append(GroundTruthPage(
+                domain=detection.domain,
+                brand=detection.brand,
+                label=1 if detection.domain in verified_domains else 0,
+                features=features,
+                html=detection.capture.html,
+                screenshot_pixels=detection.capture.screenshot.pixels,
+                source="feedback",
+            ))
+        return self.train(augmented)
+
+    # ------------------------------------------------------------------
+    # the whole thing
+    # ------------------------------------------------------------------
+    def run(self, follow_up_snapshots: bool = True) -> PipelineResult:
+        """Execute all stages; returns the material behind every exhibit."""
+        squat_matches = self.detect_squatting()
+        squat_domains = [m.domain for m in squat_matches]
+
+        first_crawl = self.crawl_domains(squat_domains, snapshot=0)
+
+        ground_truth = self.collect_ground_truth(squat_matches)
+        cv_reports = self.train(ground_truth)
+
+        flagged = self.detect_in_wild(squat_matches, first_crawl)
+        verified = self.verify(flagged)
+
+        snapshots = [first_crawl]
+        if follow_up_snapshots:
+            verified_domains = [v.domain for v in verified]
+            for snapshot in range(1, self.config.snapshots):
+                snapshots.append(self.crawl_domains(verified_domains, snapshot=snapshot))
+
+        verified_set = {v.domain for v in verified}
+        evasion_squatting = self.measure_evasion_for([
+            (d.domain, d.brand, d.capture)
+            for d in flagged
+            if d.profile == "web" and d.domain in verified_set
+        ])
+        browser = Browser(self.world.host, WEB_UA)
+        reported_items: List[Tuple[str, str, PageCapture]] = []
+        for report in self.world.phishtank.generate():
+            if report.squat_type is not None or not report.still_phishing:
+                continue
+            capture = browser.visit(f"http://{report.domain}/")
+            if capture is not None:
+                reported_items.append((report.domain, report.brand, capture))
+        evasion_reported = self.measure_evasion_for(reported_items)
+
+        return PipelineResult(
+            squat_matches=squat_matches,
+            crawl_snapshots=snapshots,
+            ground_truth=ground_truth,
+            cv_reports=cv_reports,
+            flagged=flagged,
+            verified=verified,
+            evasion_squatting=evasion_squatting,
+            evasion_reported=evasion_reported,
+        )

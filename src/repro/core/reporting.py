@@ -1,0 +1,156 @@
+"""Run reports: structured exhibit data and JSON export.
+
+A :class:`RunReport` snapshots every exhibit of one SquatPhi run into plain
+dictionaries so results can be persisted, diffed across runs, or rendered.
+This is what a deployed scanner (§7) would archive per scan.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.analysis import measure_evasion
+from repro.analysis.figures import (
+    brand_accumulation_curve,
+    phish_squat_type_histogram,
+    squat_type_histogram,
+    top_brands_by_count,
+    top_targeted_brands,
+    verified_phish_cdf,
+)
+from repro.analysis.tables import (
+    blacklist_coverage,
+    crawl_stats,
+    wild_detection_rows,
+)
+
+PathLike = Union[str, Path]
+
+
+@dataclass
+class RunReport:
+    """All exhibit data of one pipeline run, as JSON-safe structures."""
+
+    squat_total: int = 0
+    squat_types: Dict[str, int] = field(default_factory=dict)
+    top_squatted_brands: List[Dict[str, Any]] = field(default_factory=list)
+    brand_skew_top20_percent: float = 0.0
+    crawl: List[Dict[str, Any]] = field(default_factory=list)
+    classifiers: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    wild_detection: List[Dict[str, Any]] = field(default_factory=list)
+    verified_total: int = 0
+    verified_types: Dict[str, int] = field(default_factory=dict)
+    top_targeted: List[Dict[str, Any]] = field(default_factory=list)
+    verified_cdf: List[List[float]] = field(default_factory=list)
+    evasion: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    blacklists: List[Dict[str, Any]] = field(default_factory=list)
+    longevity: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def save(self, path: PathLike) -> None:
+        """Write the report to a JSON file."""
+        Path(path).write_text(self.to_json(), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: PathLike) -> "RunReport":
+        """Load a previously-saved report."""
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        return cls(**data)
+
+
+def build_report(result, world) -> RunReport:
+    """Assemble a :class:`RunReport` from a pipeline result."""
+    report = RunReport()
+
+    report.squat_total = len(result.squat_matches)
+    report.squat_types = squat_type_histogram(result.squat_matches)
+    report.top_squatted_brands = [
+        {"brand": brand, "count": count, "percent": round(pct, 2)}
+        for brand, count, pct in top_brands_by_count(result.squat_matches, 10)
+    ]
+    curve = brand_accumulation_curve(result.squat_matches)
+    if len(curve) >= 20:
+        report.brand_skew_top20_percent = round(curve[19], 2)
+
+    if result.crawl_snapshots:
+        report.crawl = [
+            {
+                "profile": row.profile,
+                "live": row.live_domains,
+                "no_redirect": row.no_redirect,
+                "redirect_original": row.redirect_original,
+                "redirect_market": row.redirect_market,
+                "redirect_other": row.redirect_other,
+            }
+            for row in crawl_stats(result.crawl_snapshots[0],
+                                   result.squat_matches, world.catalog)
+        ]
+
+    report.classifiers = {
+        name: {
+            "fp": round(r.false_positive_rate, 4),
+            "fn": round(r.false_negative_rate, 4),
+            "auc": round(r.auc, 4),
+            "acc": round(r.accuracy, 4),
+        }
+        for name, r in result.cv_reports.items()
+    }
+
+    report.wild_detection = [
+        {
+            "population": row.population,
+            "flagged": row.classified_phishing,
+            "confirmed": row.confirmed,
+            "brands": row.related_brands,
+        }
+        for row in wild_detection_rows(result, len(result.squat_matches))
+    ]
+
+    report.verified_total = len(result.verified)
+    report.verified_types = phish_squat_type_histogram(result.verified)
+    report.top_targeted = [
+        {"brand": brand, "web": web, "mobile": mobile}
+        for brand, web, mobile in top_targeted_brands(result.verified, 20)
+    ]
+    report.verified_cdf = [[float(x), round(y, 2)]
+                           for x, y in verified_phish_cdf(result.verified)]
+
+    for key, measurements in (("squatting", result.evasion_squatting),
+                              ("reported", result.evasion_reported)):
+        summary = measure_evasion(measurements, key)
+        report.evasion[key] = {
+            "count": summary.count,
+            "layout_mean": round(summary.layout_mean, 2),
+            "layout_std": round(summary.layout_std, 2),
+            "string_rate": round(summary.string_rate, 4),
+            "code_rate": round(summary.code_rate, 4),
+        }
+
+    report.blacklists = [
+        {"service": row.service, "detected": row.detected, "total": row.total,
+         "rate": round(row.rate, 4)}
+        for row in blacklist_coverage(world.blacklists, result.verified_domains())
+    ]
+
+    if len(result.crawl_snapshots) > 1:
+        from repro.analysis.lifetime import summarize_longevity
+
+        summary = summarize_longevity(result.crawl_snapshots,
+                                      result.verified_domains())
+        report.longevity = {
+            "domains": summary["domains"],
+            "alive_full_window": summary["alive_full_window"],
+            "survival_end": round(float(summary["survival_end"]), 4),
+            "median_lifetime": summary["median_lifetime"],
+            "survival_curve": [[t, round(float(s), 4)]
+                               for t, s in summary["survival_curve"]],
+        }
+    return report

@@ -1,0 +1,137 @@
+"""Crowdsourced verification queue (§7's scaling suggestion).
+
+The paper notes manual verification is the bottleneck of SquatPhi at scale
+and suggests crowdsourcing it.  This module implements that: flagged pages
+enter a queue, each gets judged by ``k`` independent annotators with
+configurable accuracy, and a majority vote decides.  The model reproduces
+the standard crowdsourcing trade-off — more annotators per item buy
+precision at linear cost — which the tests quantify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class ReviewItem:
+    """One flagged page awaiting human judgement."""
+
+    domain: str
+    brand: str
+    truth: bool                       # ground truth (hidden from annotators)
+    votes: List[bool] = field(default_factory=list)
+
+    @property
+    def decided(self) -> bool:
+        return bool(self.votes)
+
+    @property
+    def verdict(self) -> bool:
+        """Majority vote (ties break toward 'phishing' — the safe side)."""
+        if not self.votes:
+            raise RuntimeError(f"{self.domain} has no votes yet")
+        positive = sum(self.votes)
+        return positive * 2 >= len(self.votes)
+
+
+@dataclass
+class Annotator:
+    """A crowd worker with asymmetric judgement accuracy.
+
+    Spotting a phishing page that *is* phishing is easier than confirming a
+    weird-but-benign page is benign, so the two accuracies differ.
+    """
+
+    name: str
+    sensitivity: float = 0.95   # P(vote phishing | truly phishing)
+    specificity: float = 0.90   # P(vote benign  | truly benign)
+
+    def judge(self, item: ReviewItem, rng: "np.random.Generator") -> bool:
+        if item.truth:
+            return bool(rng.random() < self.sensitivity)
+        return bool(rng.random() >= self.specificity)
+
+
+@dataclass
+class QueueStats:
+    """Outcome summary of one review pass."""
+
+    items: int
+    confirmed: int
+    rejected: int
+    correct: int
+    votes_cast: int
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.items if self.items else 0.0
+
+
+class ReviewQueue:
+    """Distributes items to annotators and tallies majority verdicts."""
+
+    def __init__(
+        self,
+        annotators: Sequence[Annotator],
+        votes_per_item: int = 3,
+        seed: int = 41,
+    ) -> None:
+        if not annotators:
+            raise ValueError("need at least one annotator")
+        if votes_per_item < 1:
+            raise ValueError("votes_per_item must be >= 1")
+        self.annotators = list(annotators)
+        self.votes_per_item = min(votes_per_item, len(self.annotators))
+        self._rng = np.random.default_rng(seed)
+        self.items: List[ReviewItem] = []
+
+    def submit(self, domain: str, brand: str, truth: bool) -> ReviewItem:
+        """Queue one flagged page."""
+        item = ReviewItem(domain=domain, brand=brand, truth=truth)
+        self.items.append(item)
+        return item
+
+    def process(self) -> QueueStats:
+        """Collect votes for every undecided item and tally the outcome."""
+        votes_cast = 0
+        for item in self.items:
+            if item.decided:
+                continue
+            chosen = self._rng.choice(
+                len(self.annotators), size=self.votes_per_item, replace=False,
+            )
+            for index in chosen:
+                item.votes.append(self.annotators[int(index)].judge(item, self._rng))
+                votes_cast += 1
+        confirmed = sum(1 for item in self.items if item.verdict)
+        rejected = len(self.items) - confirmed
+        correct = sum(1 for item in self.items if item.verdict == item.truth)
+        return QueueStats(
+            items=len(self.items),
+            confirmed=confirmed,
+            rejected=rejected,
+            correct=correct,
+            votes_cast=votes_cast,
+        )
+
+    def confirmed_domains(self) -> List[str]:
+        """Domains the crowd confirmed as phishing."""
+        return sorted(item.domain for item in self.items
+                      if item.decided and item.verdict)
+
+
+def default_crowd(size: int = 9, seed: int = 47) -> List[Annotator]:
+    """A mixed-skill crowd: accuracy varies per worker, as in practice."""
+    rng = np.random.default_rng(seed)
+    crowd = []
+    for index in range(size):
+        crowd.append(Annotator(
+            name=f"worker-{index:02d}",
+            sensitivity=float(np.clip(rng.normal(0.93, 0.04), 0.75, 0.995)),
+            specificity=float(np.clip(rng.normal(0.88, 0.06), 0.70, 0.99)),
+        ))
+    return crowd

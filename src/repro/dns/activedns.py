@@ -1,0 +1,61 @@
+"""ActiveDNS-style snapshot serialization.
+
+The ActiveDNS project publishes daily resolution dumps; each line carries a
+queried name, the answer, and the probing seed.  We use a compact
+tab-separated line format::
+
+    <name>\t<ip>\t<type>\t<source>
+
+so a synthetic snapshot can be written to disk once and re-loaded by every
+benchmark without regenerating the world.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import Iterable, Iterator, Union
+
+from repro.dns.records import DNSRecord
+from repro.dns.zone import ZoneStore
+
+PathLike = Union[str, Path]
+
+
+def _open(path: Path, mode: str):
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+def write_snapshot(records: Iterable[DNSRecord], path: PathLike) -> int:
+    """Write records to ``path`` (gzip if it ends in .gz).  Returns count."""
+    path = Path(path)
+    count = 0
+    with _open(path, "w") as handle:
+        for record in records:
+            handle.write(f"{record.name}\t{record.ip}\t{record.record_type}\t{record.source}\n")
+            count += 1
+    return count
+
+
+def iter_snapshot(path: PathLike) -> Iterator[DNSRecord]:
+    """Stream records from a snapshot file, skipping malformed lines."""
+    path = Path(path)
+    with _open(path, "r") as handle:
+        for line in handle:
+            line = line.rstrip("\n")
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("\t")
+            if len(parts) < 2:
+                continue
+            name, ip = parts[0], parts[1]
+            record_type = parts[2] if len(parts) > 2 else "A"
+            source = parts[3] if len(parts) > 3 else "zone"
+            yield DNSRecord(name=name, ip=ip, record_type=record_type, source=source)
+
+
+def load_snapshot(path: PathLike) -> ZoneStore:
+    """Load a snapshot file into an indexed :class:`ZoneStore`."""
+    return ZoneStore(iter_snapshot(path))

@@ -1,0 +1,191 @@
+"""Internationalized domain names: a from-scratch RFC 3492 punycode codec.
+
+Homograph squatting (§3.1) leans on IDN homographs: a unicode domain such as
+``fàcebook.com`` is registered as the A-label ``xn--fcebook-8va.com``.  The
+paper's detector must translate between the two forms.  We implement the
+Bootstring algorithm ourselves (encoder and decoder) rather than relying on
+``str.encode("idna")`` so the substrate is self-contained; the test suite
+cross-validates against the stdlib codec.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+# Bootstring parameters for Punycode (RFC 3492 §5).
+BASE = 36
+TMIN = 1
+TMAX = 26
+SKEW = 38
+DAMP = 700
+INITIAL_BIAS = 72
+INITIAL_N = 128
+DELIMITER = "-"
+
+ACE_PREFIX = "xn--"
+
+
+class IDNAError(ValueError):
+    """Raised when a label cannot be encoded or decoded."""
+
+
+def _adapt(delta: int, numpoints: int, firsttime: bool) -> int:
+    """Bias adaptation function (RFC 3492 §6.1)."""
+    delta = delta // DAMP if firsttime else delta // 2
+    delta += delta // numpoints
+    k = 0
+    while delta > ((BASE - TMIN) * TMAX) // 2:
+        delta //= BASE - TMIN
+        k += BASE
+    return k + (((BASE - TMIN + 1) * delta) // (delta + SKEW))
+
+
+def _digit_to_char(digit: int) -> str:
+    if 0 <= digit < 26:
+        return chr(ord("a") + digit)
+    if 26 <= digit < 36:
+        return chr(ord("0") + digit - 26)
+    raise IDNAError(f"invalid punycode digit {digit}")
+
+
+def _char_to_digit(char: str) -> int:
+    if "a" <= char <= "z":
+        return ord(char) - ord("a")
+    if "A" <= char <= "Z":
+        return ord(char) - ord("A")
+    if "0" <= char <= "9":
+        return ord(char) - ord("0") + 26
+    raise IDNAError(f"invalid punycode character {char!r}")
+
+
+def punycode_encode(label: str) -> str:
+    """Encode a unicode label to its punycode form (without the ACE prefix)."""
+    basic: List[str] = [c for c in label if ord(c) < INITIAL_N]
+    output: List[str] = list(basic)
+    handled = len(basic)
+    if handled:
+        output.append(DELIMITER)
+
+    n = INITIAL_N
+    delta = 0
+    bias = INITIAL_BIAS
+    total = len(label)
+
+    while handled < total:
+        candidates = [ord(c) for c in label if ord(c) >= n]
+        if not candidates:
+            raise IDNAError("punycode encoding ran out of code points")
+        m = min(candidates)
+        delta += (m - n) * (handled + 1)
+        if delta < 0:
+            raise IDNAError("punycode delta overflow")
+        n = m
+        for char in label:
+            code = ord(char)
+            if code < n:
+                delta += 1
+                if delta == 0:
+                    raise IDNAError("punycode delta overflow")
+            elif code == n:
+                q = delta
+                k = BASE
+                while True:
+                    if k <= bias:
+                        threshold = TMIN
+                    elif k >= bias + TMAX:
+                        threshold = TMAX
+                    else:
+                        threshold = k - bias
+                    if q < threshold:
+                        break
+                    output.append(_digit_to_char(threshold + ((q - threshold) % (BASE - threshold))))
+                    q = (q - threshold) // (BASE - threshold)
+                    k += BASE
+                output.append(_digit_to_char(q))
+                bias = _adapt(delta, handled + 1, handled == len(basic))
+                delta = 0
+                handled += 1
+        delta += 1
+        n += 1
+
+    return "".join(output)
+
+
+def punycode_decode(encoded: str) -> str:
+    """Decode a punycode label (without the ACE prefix) to unicode."""
+    pos = encoded.rfind(DELIMITER)
+    if pos > 0:
+        output = list(encoded[:pos])
+        encoded = encoded[pos + 1:]
+    else:
+        output = []
+        if pos == 0:
+            encoded = encoded[1:]
+    for char in output:
+        if ord(char) >= INITIAL_N:
+            raise IDNAError("non-basic code point before delimiter")
+
+    n = INITIAL_N
+    i = 0
+    bias = INITIAL_BIAS
+    index = 0
+    while index < len(encoded):
+        old_i = i
+        weight = 1
+        k = BASE
+        while True:
+            if index >= len(encoded):
+                raise IDNAError("truncated punycode input")
+            digit = _char_to_digit(encoded[index])
+            index += 1
+            i += digit * weight
+            if k <= bias:
+                threshold = TMIN
+            elif k >= bias + TMAX:
+                threshold = TMAX
+            else:
+                threshold = k - bias
+            if digit < threshold:
+                break
+            weight *= BASE - threshold
+            k += BASE
+        bias = _adapt(i - old_i, len(output) + 1, old_i == 0)
+        n += i // (len(output) + 1)
+        if n > 0x10FFFF:
+            raise IDNAError("punycode code point out of range")
+        i %= len(output) + 1
+        output.insert(i, chr(n))
+        i += 1
+
+    return "".join(output)
+
+
+def label_to_ascii(label: str) -> str:
+    """Convert one label to its ASCII (A-label) form."""
+    label = label.lower()
+    if all(ord(c) < 128 for c in label):
+        return label
+    return ACE_PREFIX + punycode_encode(label)
+
+
+def label_to_unicode(label: str) -> str:
+    """Convert one label to its unicode (U-label) form."""
+    label = label.lower()
+    if label.startswith(ACE_PREFIX):
+        return punycode_decode(label[len(ACE_PREFIX):])
+    return label
+
+
+def domain_to_ascii(domain: str) -> str:
+    """Convert a full domain name to ASCII-compatible encoding."""
+    return ".".join(label_to_ascii(label) for label in domain.split("."))
+
+
+def domain_to_unicode(domain: str) -> str:
+    """Convert a full domain name from ACE to its displayed unicode form."""
+    return ".".join(label_to_unicode(label) for label in domain.split("."))
+
+
+def is_idn(domain: str) -> bool:
+    """True if any label of ``domain`` is an internationalized A-label."""
+    return any(label.startswith(ACE_PREFIX) for label in domain.lower().split("."))

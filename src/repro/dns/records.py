@@ -1,0 +1,122 @@
+"""DNS record model and domain-name helpers.
+
+A record in the ActiveDNS-style snapshot is essentially a ``(domain, ip)``
+pair plus a little metadata.  The squatting detector (§3.1 of the paper)
+matches against the *registered domain* — the label directly under the public
+suffix — and "ignores sub-domains", so the helpers here implement that split.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+# Top-level domains known to the synthetic world.  This doubles as the public
+# suffix list for :func:`split_domain`.  Multi-label suffixes cover the
+# country-code second-level registrations the paper's examples use
+# (e.g. ``goofle.com.ua``, ``gooogle.com.uy``).
+KNOWN_TLDS: Tuple[str, ...] = (
+    # multi-label suffixes must come first so the longest suffix wins
+    "com.ua", "com.uy", "com.br", "com.au", "co.uk", "co.jp", "com.cn",
+    "gov.uk", "ac.uk", "org.uk", "us.army.mil", "army.mil",
+    "com", "net", "org", "info", "biz", "io", "co", "us", "uk", "de", "fr",
+    "gov", "edu", "mil",
+    "nl", "ru", "jp", "cn", "in", "it", "es", "pl", "br", "au", "ca", "ch",
+    "se", "no", "eu", "ie", "at", "be", "dk", "fi", "gr", "pt", "cz", "ro",
+    "hu", "ua", "tr", "mx", "ar", "cl", "pe", "za", "kr", "tw", "hk", "sg",
+    "my", "th", "vn", "id", "ph", "nz", "il", "ae", "sa",
+    # new gTLDs and squat-friendly TLDs from the paper's examples
+    "pw", "tk", "ml", "ga", "cf", "gq", "top", "xyz", "online", "site",
+    "club", "shop", "store", "tech", "space", "website", "live", "life",
+    "world", "today", "link", "click", "bid", "win", "download", "stream",
+    "loan", "men", "date", "racing", "party", "review", "trade", "webcam",
+    "audi", "mobi", "app", "dev", "page", "cloud", "email", "center",
+    "support", "services", "solutions", "systems", "network", "digital",
+    "agency", "expert", "guru", "money", "cash", "finance", "bank", "pro",
+)
+
+_LDH_LABEL_RE = re.compile(r"^(?!-)[a-z0-9-]{1,63}(?<!-)$")
+
+
+@dataclass(frozen=True)
+class DNSRecord:
+    """One resolution record from a DNS snapshot.
+
+    Attributes:
+        name: fully-qualified domain name, lowercase ASCII (A-labels for IDNs).
+        ip: IPv4 address string the name resolved to.
+        record_type: DNS record type; the snapshot holds ``A`` records.
+        source: which probing seed produced the record (e.g. ``com-zone``,
+            ``alexa-1m``, ``blacklist``), mirroring ActiveDNS's seed lists.
+    """
+
+    name: str
+    ip: str
+    record_type: str = "A"
+    source: str = "zone"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("DNS record requires a non-empty name")
+        object.__setattr__(self, "name", self.name.lower().rstrip("."))
+
+    @property
+    def registered_domain(self) -> str:
+        """The registrable part of :attr:`name` (label + public suffix)."""
+        return registered_domain(self.name)
+
+    @property
+    def core_label(self) -> str:
+        """The label directly under the public suffix (squat-matching unit)."""
+        core, _tld = split_domain(self.name)
+        return core
+
+    @property
+    def tld(self) -> str:
+        """The public suffix of :attr:`name`."""
+        _core, tld = split_domain(self.name)
+        return tld
+
+
+def split_domain(name: str) -> Tuple[str, str]:
+    """Split ``name`` into (core label, public suffix), ignoring subdomains.
+
+    ``mail.google-app.de`` → ``("google-app", "de")``.  Unknown suffixes fall
+    back to the last label, so the function is total.
+    """
+    name = name.lower().rstrip(".")
+    labels = name.split(".")
+    if len(labels) == 1:
+        return name, ""
+    for suffix in KNOWN_TLDS:
+        suffix_labels = suffix.split(".")
+        if len(labels) > len(suffix_labels) and labels[-len(suffix_labels):] == suffix_labels:
+            return labels[-len(suffix_labels) - 1], suffix
+    return labels[-2], labels[-1]
+
+
+def registered_domain(name: str) -> str:
+    """Return the registrable domain of ``name`` (core label + suffix)."""
+    core, tld = split_domain(name)
+    if not tld:
+        return core
+    return f"{core}.{tld}"
+
+
+def is_valid_hostname(name: str) -> bool:
+    """Check LDH (letter-digit-hyphen) validity of an ASCII hostname."""
+    name = name.lower().rstrip(".")
+    if not name or len(name) > 253:
+        return False
+    return all(_LDH_LABEL_RE.match(label) for label in name.split("."))
+
+
+@dataclass
+class WhoisRecord:
+    """Registration metadata for a domain, as returned by a whois lookup."""
+
+    domain: str
+    registration_year: int
+    registrar: Optional[str] = None
+    extra: dict = field(default_factory=dict)

@@ -1,0 +1,115 @@
+"""Indexed in-memory DNS zone store.
+
+The squatting detector needs three kinds of lookup over the snapshot:
+
+* exact name membership (for enumerable squat candidates: typo, bits,
+  homograph),
+* lookup of all names sharing a *core label* regardless of TLD (wrongTLD),
+* a scan interface over (core label, tld) pairs (combo squatting cannot be
+  enumerated, so the detector scans the zone once and pattern-matches).
+
+``ZoneStore`` maintains those indices incrementally and is the only DNS data
+structure the rest of the system touches.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.dns.records import DNSRecord, split_domain
+
+
+class ZoneStore:
+    """A snapshot of DNS records with the indices squat detection needs."""
+
+    def __init__(self, records: Optional[Iterable[DNSRecord]] = None) -> None:
+        self._records: Dict[str, DNSRecord] = {}
+        # registered domain -> set of full names under it
+        self._by_registered: Dict[str, Set[str]] = defaultdict(set)
+        # core label -> set of registered domains with that label
+        self._by_core: Dict[str, Set[str]] = defaultdict(set)
+        if records is not None:
+            for record in records:
+                self.add(record)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add(self, record: DNSRecord) -> None:
+        """Insert a record, replacing any prior record for the same name."""
+        self._records[record.name] = record
+        registered = record.registered_domain
+        self._by_registered[registered].add(record.name)
+        core, _tld = split_domain(registered)
+        self._by_core[core].add(registered)
+
+    def add_name(self, name: str, ip: str = "0.0.0.0", source: str = "zone") -> DNSRecord:
+        """Convenience: build and insert a record for ``name``."""
+        record = DNSRecord(name=name, ip=ip, source=source)
+        self.add(record)
+        return record
+
+    def remove(self, name: str) -> bool:
+        """Remove a record by name.  Returns True if it was present."""
+        name = name.lower().rstrip(".")
+        record = self._records.pop(name, None)
+        if record is None:
+            return False
+        registered = record.registered_domain
+        names = self._by_registered.get(registered)
+        if names is not None:
+            names.discard(name)
+            if not names:
+                del self._by_registered[registered]
+                core, _tld = split_domain(registered)
+                cores = self._by_core.get(core)
+                if cores is not None:
+                    cores.discard(registered)
+                    if not cores:
+                        del self._by_core[core]
+        return True
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower().rstrip(".") in self._records
+
+    def __iter__(self) -> Iterator[DNSRecord]:
+        return iter(self._records.values())
+
+    def get(self, name: str) -> Optional[DNSRecord]:
+        """Return the record for ``name`` or None."""
+        return self._records.get(name.lower().rstrip("."))
+
+    def has_registered_domain(self, registered: str) -> bool:
+        """True if any record lives under the registrable domain."""
+        return registered.lower() in self._by_registered
+
+    def names_under(self, registered: str) -> List[str]:
+        """All full names recorded under a registrable domain."""
+        return sorted(self._by_registered.get(registered.lower(), ()))
+
+    def registered_domains(self) -> Iterator[str]:
+        """Iterate over distinct registrable domains in the snapshot."""
+        return iter(self._by_registered.keys())
+
+    def registered_domains_with_core(self, core: str) -> List[str]:
+        """All registrable domains whose core label equals ``core``."""
+        return sorted(self._by_core.get(core.lower(), ()))
+
+    def core_labels(self) -> Iterator[Tuple[str, Set[str]]]:
+        """Iterate (core label, registered domains) pairs for scanning."""
+        return iter(self._by_core.items())
+
+    def stats(self) -> Dict[str, int]:
+        """Summary counts used by reporting code."""
+        return {
+            "records": len(self._records),
+            "registered_domains": len(self._by_registered),
+            "core_labels": len(self._by_core),
+        }

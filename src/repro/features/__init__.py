@@ -1,0 +1,18 @@
+"""Feature pipeline: the paper's three feature families and the embedding.
+
+§5.1 extracts (1) OCR keywords from the page screenshot, (2) lexical
+keywords from h/p/a/title HTML tags, (3) form-attribute keywords plus the
+form count, all deliberately brand-agnostic.  §5.2 tokenizes, stopwords,
+spell-corrects and embeds keyword frequencies into a sparse vector
+(987-dimensional in the paper).
+"""
+
+from repro.features.extraction import FeatureExtractor, PageFeatures
+from repro.features.embedding import EmbeddingConfig, FeatureEmbedder
+
+__all__ = [
+    "EmbeddingConfig",
+    "FeatureEmbedder",
+    "FeatureExtractor",
+    "PageFeatures",
+]

@@ -1,0 +1,39 @@
+"""ML substrate: the paper's three classifiers and evaluation machinery.
+
+§5.2 trains Naive Bayes, k-NN, and Random Forest on the keyword-frequency
+embedding and picks Random Forest (FP 0.03 / FN 0.06 / AUC 0.97).  All three
+are implemented here from scratch on numpy, along with the metrics (ROC,
+AUC, confusion rates) and stratified k-fold cross-validation used by
+Table 7 / Fig 10.
+"""
+
+from repro.ml.base import Classifier, check_xy
+from repro.ml.naive_bayes import BernoulliNaiveBayes, MultinomialNaiveBayes
+from repro.ml.knn import KNearestNeighbors
+from repro.ml.tree import DecisionTree
+from repro.ml.forest import RandomForest
+from repro.ml.metrics import (
+    ClassificationReport,
+    auc_score,
+    classification_report,
+    confusion_matrix,
+    roc_curve,
+)
+from repro.ml.validation import cross_validate, stratified_kfold
+
+__all__ = [
+    "BernoulliNaiveBayes",
+    "ClassificationReport",
+    "Classifier",
+    "DecisionTree",
+    "KNearestNeighbors",
+    "MultinomialNaiveBayes",
+    "RandomForest",
+    "auc_score",
+    "check_xy",
+    "classification_report",
+    "confusion_matrix",
+    "cross_validate",
+    "roc_curve",
+    "stratified_kfold",
+]

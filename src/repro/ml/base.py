@@ -1,0 +1,45 @@
+"""Shared classifier interface and input validation."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def check_xy(x, y=None) -> Tuple["np.ndarray", "np.ndarray"]:
+    """Coerce inputs to float64/int arrays and validate shapes."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {x.shape}")
+    if y is None:
+        return x, np.empty(0, dtype=np.int64)
+    y = np.asarray(y)
+    if y.ndim != 1:
+        raise ValueError(f"y must be 1-D, got shape {y.shape}")
+    if len(y) != x.shape[0]:
+        raise ValueError(f"X has {x.shape[0]} rows but y has {len(y)}")
+    y = y.astype(np.int64)
+    return x, y
+
+
+class Classifier:
+    """Minimal fit/predict/predict_proba contract.
+
+    ``predict_proba`` returns P(class 1) as a 1-D array — all models here
+    are binary (phishing vs benign).
+    """
+
+    def fit(self, x, y) -> "Classifier":
+        raise NotImplementedError
+
+    def predict_proba(self, x) -> "np.ndarray":
+        raise NotImplementedError
+
+    def predict(self, x, threshold: float = 0.5) -> "np.ndarray":
+        """Thresholded class prediction."""
+        return (self.predict_proba(x) >= threshold).astype(np.int64)
+
+    def _require_fitted(self, attribute: str) -> None:
+        if getattr(self, attribute, None) is None:
+            raise RuntimeError(f"{type(self).__name__} is not fitted yet")

@@ -1,0 +1,96 @@
+"""Random Forest: bagged CART trees with per-split feature subsampling.
+
+The paper's deployed model (Table 7: AUC 0.97).  Probability output is the
+mean of member-tree leaf probabilities, which gives the smooth scores the
+ROC analysis (Fig 10) needs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from repro.ml.base import Classifier, check_xy
+from repro.ml.tree import DecisionTree
+
+
+class RandomForest(Classifier):
+    """Bootstrap-aggregated decision trees."""
+
+    def __init__(
+        self,
+        n_trees: int = 40,
+        max_depth: int = 12,
+        min_samples_split: int = 4,
+        min_samples_leaf: int = 1,
+        max_features: Optional[str] = "sqrt",
+        seed: int = 7,
+    ) -> None:
+        if n_trees < 1:
+            raise ValueError("need at least one tree")
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self._trees: Optional[List[DecisionTree]] = None
+
+    def _features_per_split(self, total: int) -> Optional[int]:
+        if self.max_features == "sqrt":
+            return max(1, int(math.sqrt(total)))
+        if self.max_features == "log2":
+            return max(1, int(math.log2(total)))
+        if self.max_features is None:
+            return None
+        raise ValueError(f"unsupported max_features {self.max_features!r}")
+
+    def fit(self, x, y) -> "RandomForest":
+        x, y = check_xy(x, y)
+        if len(y) == 0:
+            raise ValueError("empty training set")
+        rng = np.random.default_rng(self.seed)
+        per_split = self._features_per_split(x.shape[1])
+        self._trees = []
+        n = x.shape[0]
+        for _ in range(self.n_trees):
+            sample = rng.integers(0, n, size=n)
+            tree = DecisionTree(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=per_split,
+                rng=np.random.default_rng(rng.integers(0, 2**63)),
+            )
+            tree.fit(x[sample], y[sample])
+            self._trees.append(tree)
+        return self
+
+    def predict_proba(self, x) -> "np.ndarray":
+        self._require_fitted("_trees")
+        x, _ = check_xy(x)
+        votes = np.zeros(x.shape[0])
+        for tree in self._trees:
+            votes += tree.predict_proba(x)
+        return votes / len(self._trees)
+
+    @property
+    def feature_importances(self) -> "np.ndarray":
+        """Mean impurity-decrease importance across member trees."""
+        self._require_fitted("_trees")
+        stacked = np.stack([tree.feature_importances for tree in self._trees])
+        mean = stacked.mean(axis=0)
+        total = mean.sum()
+        return mean / total if total else mean
+
+    def top_features(self, names: Optional[List[str]] = None, n: int = 10):
+        """(name-or-index, importance) pairs, most important first."""
+        importances = self.feature_importances
+        order = np.argsort(-importances)[:n]
+        out = []
+        for index in order:
+            label = names[index] if names is not None else int(index)
+            out.append((label, float(importances[index])))
+        return out

@@ -1,0 +1,62 @@
+"""k-nearest-neighbour classifier with cosine or euclidean distance.
+
+Cosine distance is the default: keyword-frequency vectors vary greatly in
+total length (long benign pages vs terse phishing forms), and cosine
+normalizes that away.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.base import Classifier, check_xy
+
+
+class KNearestNeighbors(Classifier):
+    """Brute-force k-NN (datasets at our scale fit comfortably in memory)."""
+
+    def __init__(self, k: int = 5, metric: str = "cosine") -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if metric not in ("cosine", "euclidean"):
+            raise ValueError(f"unsupported metric {metric!r}")
+        self.k = k
+        self.metric = metric
+        self._x: Optional["np.ndarray"] = None
+        self._y: Optional["np.ndarray"] = None
+        self._norms: Optional["np.ndarray"] = None
+
+    def fit(self, x, y) -> "KNearestNeighbors":
+        x, y = check_xy(x, y)
+        if len(y) == 0:
+            raise ValueError("empty training set")
+        self._x = x
+        self._y = y
+        if self.metric == "cosine":
+            self._norms = np.linalg.norm(x, axis=1)
+            self._norms[self._norms == 0] = 1.0
+        return self
+
+    def _distances(self, x: "np.ndarray") -> "np.ndarray":
+        assert self._x is not None
+        if self.metric == "cosine":
+            norms = np.linalg.norm(x, axis=1, keepdims=True)
+            norms[norms == 0] = 1.0
+            similarity = (x / norms) @ (self._x / self._norms[:, None]).T
+            return 1.0 - similarity
+        # euclidean via the expansion trick
+        sq_train = (self._x ** 2).sum(axis=1)
+        sq_test = (x ** 2).sum(axis=1)[:, None]
+        cross = x @ self._x.T
+        return np.sqrt(np.maximum(sq_test - 2 * cross + sq_train, 0.0))
+
+    def predict_proba(self, x) -> "np.ndarray":
+        self._require_fitted("_x")
+        x, _ = check_xy(x)
+        distances = self._distances(x)
+        k = min(self.k, distances.shape[1])
+        neighbour_idx = np.argpartition(distances, k - 1, axis=1)[:, :k]
+        neighbour_labels = self._y[neighbour_idx]
+        return neighbour_labels.mean(axis=1)

@@ -1,0 +1,91 @@
+"""Classification metrics: confusion rates, ROC, AUC (Table 7 / Fig 10)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+
+def confusion_matrix(y_true, y_pred) -> Tuple[int, int, int, int]:
+    """Return (tn, fp, fn, tp)."""
+    y_true = np.asarray(y_true).astype(int)
+    y_pred = np.asarray(y_pred).astype(int)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true and y_pred must have equal length")
+    tp = int(((y_true == 1) & (y_pred == 1)).sum())
+    tn = int(((y_true == 0) & (y_pred == 0)).sum())
+    fp = int(((y_true == 0) & (y_pred == 1)).sum())
+    fn = int(((y_true == 1) & (y_pred == 0)).sum())
+    return tn, fp, fn, tp
+
+
+def roc_curve(y_true, scores) -> Tuple["np.ndarray", "np.ndarray", "np.ndarray"]:
+    """ROC points (fpr, tpr, thresholds), thresholds descending."""
+    y_true = np.asarray(y_true).astype(int)
+    scores = np.asarray(scores, dtype=np.float64)
+    if y_true.shape != scores.shape:
+        raise ValueError("y_true and scores must have equal length")
+    order = np.argsort(-scores, kind="stable")
+    sorted_true = y_true[order]
+    sorted_scores = scores[order]
+    positives = sorted_true.sum()
+    negatives = len(sorted_true) - positives
+    if positives == 0 or negatives == 0:
+        raise ValueError("ROC requires both classes present")
+    tp_cum = np.cumsum(sorted_true)
+    fp_cum = np.cumsum(1 - sorted_true)
+    # keep the last point of each tied-score run
+    distinct = np.nonzero(np.diff(sorted_scores, append=-np.inf))[0]
+    tpr = np.concatenate(([0.0], tp_cum[distinct] / positives))
+    fpr = np.concatenate(([0.0], fp_cum[distinct] / negatives))
+    thresholds = np.concatenate(([np.inf], sorted_scores[distinct]))
+    return fpr, tpr, thresholds
+
+
+def auc_score(y_true, scores) -> float:
+    """Area under the ROC curve (trapezoidal)."""
+    fpr, tpr, _ = roc_curve(y_true, scores)
+    # trapezoidal rule (np.trapz was removed in numpy 2.0)
+    return float(np.sum((fpr[1:] - fpr[:-1]) * (tpr[1:] + tpr[:-1]) / 2.0))
+
+
+@dataclass
+class ClassificationReport:
+    """The four Table 7 columns plus the raw confusion counts."""
+
+    false_positive_rate: float
+    false_negative_rate: float
+    auc: float
+    accuracy: float
+    tn: int = 0
+    fp: int = 0
+    fn: int = 0
+    tp: int = 0
+
+    def row(self) -> Tuple[float, float, float, float]:
+        return (
+            self.false_positive_rate,
+            self.false_negative_rate,
+            self.auc,
+            self.accuracy,
+        )
+
+
+def classification_report(y_true, scores, threshold: float = 0.5) -> ClassificationReport:
+    """Compute the Table 7 metrics from scores."""
+    y_true = np.asarray(y_true).astype(int)
+    scores = np.asarray(scores, dtype=np.float64)
+    y_pred = (scores >= threshold).astype(int)
+    tn, fp, fn, tp = confusion_matrix(y_true, y_pred)
+    fpr = fp / (fp + tn) if (fp + tn) else 0.0
+    fnr = fn / (fn + tp) if (fn + tp) else 0.0
+    accuracy = (tp + tn) / len(y_true) if len(y_true) else 0.0
+    return ClassificationReport(
+        false_positive_rate=fpr,
+        false_negative_rate=fnr,
+        auc=auc_score(y_true, scores),
+        accuracy=accuracy,
+        tn=tn, fp=fp, fn=fn, tp=tp,
+    )

@@ -1,0 +1,91 @@
+"""Naive Bayes classifiers over keyword-frequency vectors.
+
+Multinomial NB is the natural model for frequency embeddings; Bernoulli NB
+(presence/absence) is provided for comparison.  Both use Laplace smoothing
+and operate in log space.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.base import Classifier, check_xy
+
+
+class MultinomialNaiveBayes(Classifier):
+    """Multinomial NB with Laplace smoothing."""
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        self.alpha = alpha
+        self._log_prior: Optional["np.ndarray"] = None
+        self._log_likelihood: Optional["np.ndarray"] = None
+
+    def fit(self, x, y) -> "MultinomialNaiveBayes":
+        x, y = check_xy(x, y)
+        if np.any(x < 0):
+            raise ValueError("multinomial NB requires non-negative features")
+        counts = np.array([(y == c).sum() for c in (0, 1)], dtype=np.float64)
+        if np.any(counts == 0):
+            raise ValueError("training data must contain both classes")
+        self._log_prior = np.log(counts / counts.sum())
+        feature_counts = np.stack([x[y == c].sum(axis=0) for c in (0, 1)])
+        smoothed = feature_counts + self.alpha
+        self._log_likelihood = np.log(smoothed / smoothed.sum(axis=1, keepdims=True))
+        return self
+
+    def predict_proba(self, x) -> "np.ndarray":
+        self._require_fitted("_log_prior")
+        x, _ = check_xy(x)
+        joint = x @ self._log_likelihood.T + self._log_prior  # (n, 2)
+        # normalize in log space
+        shift = joint.max(axis=1, keepdims=True)
+        probs = np.exp(joint - shift)
+        probs /= probs.sum(axis=1, keepdims=True)
+        return probs[:, 1]
+
+
+class BernoulliNaiveBayes(Classifier):
+    """Bernoulli NB over binarized features."""
+
+    def __init__(self, alpha: float = 1.0, binarize_threshold: float = 0.0) -> None:
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        self.alpha = alpha
+        self.binarize_threshold = binarize_threshold
+        self._log_prior: Optional["np.ndarray"] = None
+        self._log_p: Optional["np.ndarray"] = None
+        self._log_not_p: Optional["np.ndarray"] = None
+
+    def _binarize(self, x: "np.ndarray") -> "np.ndarray":
+        return (x > self.binarize_threshold).astype(np.float64)
+
+    def fit(self, x, y) -> "BernoulliNaiveBayes":
+        x, y = check_xy(x, y)
+        x = self._binarize(x)
+        counts = np.array([(y == c).sum() for c in (0, 1)], dtype=np.float64)
+        if np.any(counts == 0):
+            raise ValueError("training data must contain both classes")
+        self._log_prior = np.log(counts / counts.sum())
+        present = np.stack([x[y == c].sum(axis=0) for c in (0, 1)])
+        p = (present + self.alpha) / (counts[:, None] + 2 * self.alpha)
+        self._log_p = np.log(p)
+        self._log_not_p = np.log(1.0 - p)
+        return self
+
+    def predict_proba(self, x) -> "np.ndarray":
+        self._require_fitted("_log_prior")
+        x, _ = check_xy(x)
+        x = self._binarize(x)
+        joint = (
+            x @ self._log_p.T
+            + (1.0 - x) @ self._log_not_p.T
+            + self._log_prior
+        )
+        shift = joint.max(axis=1, keepdims=True)
+        probs = np.exp(joint - shift)
+        probs /= probs.sum(axis=1, keepdims=True)
+        return probs[:, 1]

@@ -1,0 +1,161 @@
+"""CART decision tree (gini impurity, binary classification).
+
+Node splitting is vectorized: candidate thresholds per feature come from
+sorting the feature column once and evaluating the gini gain of every
+boundary in one pass.  Trees support feature subsampling per split so the
+forest can decorrelate its members.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.base import Classifier, check_xy
+
+
+@dataclass
+class _Node:
+    """One tree node; leaves carry the positive-class probability."""
+
+    prediction: float
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class DecisionTree(Classifier):
+    """Binary CART tree."""
+
+    def __init__(
+        self,
+        max_depth: int = 12,
+        min_samples_split: int = 4,
+        min_samples_leaf: int = 1,
+        max_features: Optional[int] = None,
+        rng: Optional["np.random.Generator"] = None,
+    ) -> None:
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.rng = rng or np.random.default_rng(0)
+        self._root: Optional[_Node] = None
+        self._n_features = 0
+
+    def fit(self, x, y) -> "DecisionTree":
+        x, y = check_xy(x, y)
+        if len(y) == 0:
+            raise ValueError("empty training set")
+        self._n_features = x.shape[1]
+        self._importance = np.zeros(self._n_features)
+        self._n_samples = x.shape[0]
+        self._root = self._build(x, y.astype(np.float64), depth=0)
+        return self
+
+    @property
+    def feature_importances(self) -> "np.ndarray":
+        """Impurity-decrease importance per feature (sums to 1 if any)."""
+        self._require_fitted("_root")
+        total = self._importance.sum()
+        if total == 0:
+            return self._importance.copy()
+        return self._importance / total
+
+    def predict_proba(self, x) -> "np.ndarray":
+        self._require_fitted("_root")
+        x, _ = check_xy(x)
+        out = np.empty(x.shape[0])
+        for i, row in enumerate(x):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.prediction
+        return out
+
+    # ------------------------------------------------------------------
+    def _build(self, x: "np.ndarray", y: "np.ndarray", depth: int) -> _Node:
+        prediction = float(y.mean())
+        if (
+            depth >= self.max_depth
+            or len(y) < self.min_samples_split
+            or prediction in (0.0, 1.0)
+        ):
+            return _Node(prediction=prediction)
+        feature, threshold = self._best_split(x, y)
+        if feature < 0:
+            return _Node(prediction=prediction)
+        mask = x[:, feature] <= threshold
+        # weighted impurity decrease, accumulated for feature importances
+        n = len(y)
+        parent_gini = self._gini(y.sum(), n)
+        left_gini = self._gini(y[mask].sum(), mask.sum())
+        right_gini = self._gini(y[~mask].sum(), n - mask.sum())
+        children_gini = (mask.sum() * left_gini + (n - mask.sum()) * right_gini) / n
+        self._importance[feature] += (n / self._n_samples) * (parent_gini - children_gini)
+        left = self._build(x[mask], y[mask], depth + 1)
+        right = self._build(x[~mask], y[~mask], depth + 1)
+        return _Node(
+            prediction=prediction, feature=feature, threshold=threshold,
+            left=left, right=right,
+        )
+
+    def _best_split(self, x: "np.ndarray", y: "np.ndarray") -> tuple:
+        n, total_features = x.shape
+        positives = y.sum()
+        if self.max_features and self.max_features < total_features:
+            features = self.rng.choice(total_features, size=self.max_features, replace=False)
+        else:
+            features = np.arange(total_features)
+
+        best_gain = 1e-12
+        best = (-1, 0.0)
+        parent_gini = self._gini(positives, n)
+        for feature in features:
+            column = x[:, feature]
+            order = np.argsort(column, kind="stable")
+            sorted_col = column[order]
+            sorted_y = y[order]
+            # cumulative positives left of each boundary
+            cum_pos = np.cumsum(sorted_y)
+            boundaries = np.nonzero(sorted_col[1:] > sorted_col[:-1])[0]
+            if len(boundaries) == 0:
+                continue
+            left_n = boundaries + 1
+            right_n = n - left_n
+            valid = (left_n >= self.min_samples_leaf) & (right_n >= self.min_samples_leaf)
+            if not valid.any():
+                continue
+            left_pos = cum_pos[boundaries]
+            right_pos = positives - left_pos
+            gini_left = self._gini_vec(left_pos, left_n)
+            gini_right = self._gini_vec(right_pos, right_n)
+            children = (left_n * gini_left + right_n * gini_right) / n
+            gains = np.where(valid, parent_gini - children, -1.0)
+            index = int(gains.argmax())
+            if gains[index] > best_gain:
+                best_gain = float(gains[index])
+                boundary = boundaries[index]
+                threshold = (sorted_col[boundary] + sorted_col[boundary + 1]) / 2.0
+                best = (int(feature), float(threshold))
+        return best
+
+    @staticmethod
+    def _gini(positives: float, count: float) -> float:
+        if count == 0:
+            return 0.0
+        p = positives / count
+        return 2.0 * p * (1.0 - p)
+
+    @staticmethod
+    def _gini_vec(positives: "np.ndarray", counts: "np.ndarray") -> "np.ndarray":
+        p = np.divide(positives, counts, out=np.zeros_like(positives, dtype=np.float64),
+                      where=counts > 0)
+        return 2.0 * p * (1.0 - p)

@@ -1,0 +1,18 @@
+"""NLP substrate: tokenization, stopwords, vocabulary building.
+
+Stands in for the paper's use of NLTK in §5.2: raw feature text is
+tokenized, stopworded, spell-corrected (see :mod:`repro.ocr.spellcheck`) and
+mapped onto a keyword vocabulary for the frequency embedding.
+"""
+
+from repro.nlp.stopwords import STOPWORDS, remove_stopwords
+from repro.nlp.tokenizer import tokenize, word_frequencies
+from repro.nlp.vocab import Vocabulary
+
+__all__ = [
+    "STOPWORDS",
+    "Vocabulary",
+    "remove_stopwords",
+    "tokenize",
+    "word_frequencies",
+]

@@ -1,0 +1,35 @@
+"""Word tokenization for page text."""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from typing import Dict, Iterable, List
+
+# Words are runs of letters/digits; domain-ish tokens keep inner hyphens so
+# "go-uberfreight" survives as one token alongside its parts.
+_WORD_RE = re.compile(r"[a-z0-9]+(?:-[a-z0-9]+)*")
+
+
+def tokenize(text: str, min_length: int = 2) -> List[str]:
+    """Lowercase word tokens of ``text``.
+
+    Hyphenated compounds are emitted both whole and as their parts, which
+    lets brand keywords inside combo strings surface as features.
+    """
+    text = text.lower()
+    tokens: List[str] = []
+    for match in _WORD_RE.finditer(text):
+        token = match.group(0)
+        if len(token) >= min_length:
+            tokens.append(token)
+        if "-" in token:
+            for part in token.split("-"):
+                if len(part) >= min_length:
+                    tokens.append(part)
+    return tokens
+
+
+def word_frequencies(tokens: Iterable[str]) -> Dict[str, int]:
+    """Token → count map."""
+    return dict(Counter(tokens))

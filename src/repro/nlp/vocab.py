@@ -1,0 +1,73 @@
+"""Keyword vocabulary for the feature embedding (§5.2).
+
+The paper's feature vector covers "keywords that frequently appear in the
+ground-truth phishing pages as well as the keywords related to all the 766
+brand names", giving a 987-dimensional sparse vector.  :class:`Vocabulary`
+reproduces that construction: seed it with brand names, then fit the most
+frequent ground-truth keywords on top.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class Vocabulary:
+    """An ordered keyword → index map."""
+
+    def __init__(self, words: Iterable[str] = ()) -> None:
+        self._index: Dict[str, int] = {}
+        for word in words:
+            self.add(word)
+
+    def add(self, word: str) -> int:
+        """Add a word (idempotent); returns its index."""
+        word = word.lower()
+        if word not in self._index:
+            self._index[word] = len(self._index)
+        return self._index[word]
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, word: str) -> bool:
+        return word.lower() in self._index
+
+    def index(self, word: str) -> Optional[int]:
+        """Index of a word, or None if out of vocabulary."""
+        return self._index.get(word.lower())
+
+    def words(self) -> List[str]:
+        """Words in index order."""
+        return sorted(self._index, key=self._index.__getitem__)
+
+    def fit_frequent(
+        self,
+        token_lists: Sequence[Sequence[str]],
+        max_words: int,
+        min_count: int = 2,
+    ) -> int:
+        """Add the most frequent tokens across documents.
+
+        Args:
+            token_lists: one token list per training document.
+            max_words: stop once the vocabulary reaches this size.
+            min_count: ignore tokens rarer than this across the corpus.
+
+        Returns:
+            Number of words added.
+        """
+        counter: Counter = Counter()
+        for tokens in token_lists:
+            counter.update(tokens)
+        added = 0
+        for word, count in counter.most_common():
+            if len(self._index) >= max_words:
+                break
+            if count < min_count:
+                break
+            if word not in self._index:
+                self.add(word)
+                added += 1
+        return added

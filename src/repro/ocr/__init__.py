@@ -1,0 +1,25 @@
+"""OCR substrate: bitmap font, template-matching engine, spell checker.
+
+Stands in for Tesseract in the paper's pipeline (§5.1): the classifier's key
+features come from text recovered *from the page screenshot*, which survives
+HTML-level obfuscation.  The engine does real recognition work — segmenting
+the raster into glyph cells and matching each against the font's templates —
+with a configurable confusion/noise model so downstream spell-correction
+(§5.2, "passwod" → "password") has something to do.
+"""
+
+from repro.ocr.font import FONT, GLYPH_HEIGHT, GLYPH_WIDTH, glyph_bitmap, render_text
+from repro.ocr.engine import OCREngine, OCRResult
+from repro.ocr.spellcheck import SpellChecker, damerau_levenshtein
+
+__all__ = [
+    "FONT",
+    "GLYPH_HEIGHT",
+    "GLYPH_WIDTH",
+    "OCREngine",
+    "OCRResult",
+    "SpellChecker",
+    "damerau_levenshtein",
+    "glyph_bitmap",
+    "render_text",
+]

@@ -1,0 +1,121 @@
+"""A 5×7 bitmap font shared by the renderer and the OCR engine.
+
+Each glyph is a 7-row × 5-column binary matrix, given here as row strings
+("#" = ink).  The renderer stamps these into page rasters; the OCR engine
+uses the same set as matching templates (with noise between them, so
+recognition is non-trivial but honest).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+GLYPH_WIDTH = 5
+GLYPH_HEIGHT = 7
+GLYPH_SPACING = 1  # blank columns between glyphs
+
+_GLYPH_ROWS: Dict[str, tuple] = {
+    "a": ("     ", "     ", " ### ", "    #", " ####", "#   #", " ####"),
+    "b": ("#    ", "#    ", "#### ", "#   #", "#   #", "#   #", "#### "),
+    "c": ("     ", "     ", " ####", "#    ", "#    ", "#    ", " ####"),
+    "d": ("    #", "    #", " ####", "#   #", "#   #", "#   #", " ####"),
+    "e": ("     ", "     ", " ### ", "#   #", "#####", "#    ", " ### "),
+    "f": ("  ## ", " #   ", "#### ", " #   ", " #   ", " #   ", " #   "),
+    "g": ("     ", " ####", "#   #", "#   #", " ####", "    #", " ### "),
+    "h": ("#    ", "#    ", "#### ", "#   #", "#   #", "#   #", "#   #"),
+    "i": ("  #  ", "     ", " ##  ", "  #  ", "  #  ", "  #  ", " ### "),
+    "j": ("   # ", "     ", "  ## ", "   # ", "   # ", "#  # ", " ##  "),
+    "k": ("#    ", "#    ", "#  # ", "# #  ", "##   ", "# #  ", "#  # "),
+    "l": (" ##  ", "  #  ", "  #  ", "  #  ", "  #  ", "  #  ", " ### "),
+    "m": ("     ", "     ", "## # ", "# # #", "# # #", "# # #", "# # #"),
+    "n": ("     ", "     ", "#### ", "#   #", "#   #", "#   #", "#   #"),
+    "o": ("     ", "     ", " ### ", "#   #", "#   #", "#   #", " ### "),
+    "p": ("     ", "     ", "#### ", "#   #", "#### ", "#    ", "#    "),
+    "q": ("     ", "     ", " ####", "#   #", " ####", "    #", "    #"),
+    "r": ("     ", "     ", "# ## ", "##   ", "#    ", "#    ", "#    "),
+    "s": ("     ", "     ", " ####", "#    ", " ### ", "    #", "#### "),
+    "t": (" #   ", " #   ", "#### ", " #   ", " #   ", " #   ", "  ## "),
+    "u": ("     ", "     ", "#   #", "#   #", "#   #", "#   #", " ####"),
+    "v": ("     ", "     ", "#   #", "#   #", "#   #", " # # ", "  #  "),
+    "w": ("     ", "     ", "#   #", "#   #", "# # #", "# # #", " # # "),
+    "x": ("     ", "     ", "#   #", " # # ", "  #  ", " # # ", "#   #"),
+    "y": ("     ", "     ", "#   #", "#   #", " ####", "    #", " ### "),
+    "z": ("     ", "     ", "#####", "   # ", "  #  ", " #   ", "#####"),
+    "0": (" ### ", "#   #", "#  ##", "# # #", "##  #", "#   #", " ### "),
+    "1": ("  #  ", " ##  ", "  #  ", "  #  ", "  #  ", "  #  ", " ### "),
+    "2": (" ### ", "#   #", "    #", "   # ", "  #  ", " #   ", "#####"),
+    "3": (" ### ", "#   #", "    #", "  ## ", "    #", "#   #", " ### "),
+    "4": ("   # ", "  ## ", " # # ", "#  # ", "#####", "   # ", "   # "),
+    "5": ("#####", "#    ", "#### ", "    #", "    #", "#   #", " ### "),
+    "6": ("  ## ", " #   ", "#    ", "#### ", "#   #", "#   #", " ### "),
+    "7": ("#####", "    #", "   # ", "  #  ", " #   ", " #   ", " #   "),
+    "8": (" ### ", "#   #", "#   #", " ### ", "#   #", "#   #", " ### "),
+    "9": (" ### ", "#   #", "#   #", " ####", "    #", "   # ", " ##  "),
+    "-": ("     ", "     ", "     ", " ### ", "     ", "     ", "     "),
+    "_": ("     ", "     ", "     ", "     ", "     ", "     ", "#####"),
+    ".": ("     ", "     ", "     ", "     ", "     ", " ##  ", " ##  "),
+    ",": ("     ", "     ", "     ", "     ", " ##  ", " ##  ", "#    "),
+    ":": ("     ", " ##  ", " ##  ", "     ", " ##  ", " ##  ", "     "),
+    "!": ("  #  ", "  #  ", "  #  ", "  #  ", "  #  ", "     ", "  #  "),
+    "?": (" ### ", "#   #", "    #", "   # ", "  #  ", "     ", "  #  "),
+    "@": (" ### ", "#   #", "# ###", "# # #", "# ###", "#    ", " ### "),
+    "$": ("  #  ", " ####", "# #  ", " ### ", "  # #", "#### ", "  #  "),
+    "/": ("    #", "    #", "   # ", "  #  ", " #   ", "#    ", "#    "),
+    "'": ("  #  ", "  #  ", "     ", "     ", "     ", "     ", "     "),
+    "(": ("   # ", "  #  ", " #   ", " #   ", " #   ", "  #  ", "   # "),
+    ")": (" #   ", "  #  ", "   # ", "   # ", "   # ", "  #  ", " #   "),
+    "&": (" ##  ", "#  # ", "#  # ", " ##  ", "# # #", "#  # ", " ## #"),
+    "+": ("     ", "  #  ", "  #  ", "#####", "  #  ", "  #  ", "     "),
+    "=": ("     ", "     ", "#####", "     ", "#####", "     ", "     "),
+    "*": ("     ", "# # #", " ### ", "#####", " ### ", "# # #", "     "),
+    "%": ("##  #", "##  #", "   # ", "  #  ", " #   ", "#  ##", "#  ##"),
+    " ": ("     ", "     ", "     ", "     ", "     ", "     ", "     "),
+}
+
+FONT: Dict[str, "np.ndarray"] = {
+    char: np.array([[1 if cell == "#" else 0 for cell in row] for row in rows], dtype=np.uint8)
+    for char, rows in _GLYPH_ROWS.items()
+}
+
+SUPPORTED_CHARS = frozenset(FONT)
+
+
+def glyph_bitmap(char: str) -> Optional["np.ndarray"]:
+    """Glyph matrix for a character (case-folded); None if unsupported."""
+    return FONT.get(char.lower())
+
+
+def normalize_for_font(text: str) -> str:
+    """Map text onto the font's repertoire.
+
+    Accented characters render as their base letters (a synthetic-renderer
+    approximation: at 5×7 the diacritic is sub-pixel); anything else
+    unsupported becomes a space.
+    """
+    import unicodedata
+
+    out = []
+    for char in text.lower():
+        if char in SUPPORTED_CHARS:
+            out.append(char)
+            continue
+        decomposed = unicodedata.normalize("NFKD", char)
+        base = next((c for c in decomposed if c in SUPPORTED_CHARS), None)
+        out.append(base if base is not None else " ")
+    return "".join(out)
+
+
+def render_text(text: str) -> "np.ndarray":
+    """Render a single text line to a GLYPH_HEIGHT-tall binary strip."""
+    text = normalize_for_font(text)
+    if not text:
+        return np.zeros((GLYPH_HEIGHT, 0), dtype=np.uint8)
+    columns = len(text) * (GLYPH_WIDTH + GLYPH_SPACING) - GLYPH_SPACING
+    strip = np.zeros((GLYPH_HEIGHT, columns), dtype=np.uint8)
+    x = 0
+    for char in text:
+        strip[:, x:x + GLYPH_WIDTH] = FONT[char]
+        x += GLYPH_WIDTH + GLYPH_SPACING
+    return strip

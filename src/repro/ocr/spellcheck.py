@@ -1,0 +1,112 @@
+"""Damerau-Levenshtein spell checker for OCR output repair (§5.2).
+
+Tesseract-style errors ("passwod", "passw0rd") are corrected against a
+dictionary of the keywords the classifier cares about: form vocabulary,
+brand names, and frequent ground-truth phishing terms.  Correction is
+conservative — a word is only rewritten when a dictionary entry lies within
+a small edit distance and the word itself is out-of-dictionary.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+# Core lexicon: form/credential vocabulary that the paper's features key on.
+DEFAULT_LEXICON: Tuple[str, ...] = (
+    "account", "address", "alert", "bank", "billing", "card", "cash",
+    "confirm", "continue", "credit", "customer", "debit", "email",
+    "enter", "forgot", "free", "help", "home", "login", "logon", "member",
+    "mobile", "money", "name", "number", "online", "page", "password",
+    "pay", "payment", "phone", "pin", "please", "prize", "register",
+    "reset", "secure", "security", "sign", "signin", "submit", "support",
+    "transfer", "update", "username", "verify", "wallet", "welcome",
+    "winner", "your",
+)
+
+
+def damerau_levenshtein(a: str, b: str, cap: Optional[int] = None) -> int:
+    """Edit distance with transpositions (optimal string alignment).
+
+    ``cap`` allows early exit: once every entry of a row exceeds the cap the
+    function returns ``cap + 1``.
+    """
+    if a == b:
+        return 0
+    la, lb = len(a), len(b)
+    if cap is not None and abs(la - lb) > cap:
+        return cap + 1
+    previous2: List[int] = []
+    previous = list(range(lb + 1))
+    for i in range(1, la + 1):
+        current = [i] + [0] * lb
+        for j in range(1, lb + 1):
+            cost = 0 if a[i - 1] == b[j - 1] else 1
+            current[j] = min(
+                previous[j] + 1,        # deletion
+                current[j - 1] + 1,     # insertion
+                previous[j - 1] + cost, # substitution
+            )
+            if (
+                i > 1 and j > 1
+                and a[i - 1] == b[j - 2]
+                and a[i - 2] == b[j - 1]
+            ):
+                current[j] = min(current[j], previous2[j - 2] + 1)
+        if cap is not None and min(current) > cap:
+            return cap + 1
+        previous2, previous = previous, current
+    return previous[lb]
+
+
+class SpellChecker:
+    """Dictionary-based corrector with length-bucketed candidate lookup."""
+
+    def __init__(
+        self,
+        lexicon: Iterable[str] = DEFAULT_LEXICON,
+        max_distance: int = 1,
+        min_word_length: int = 4,
+    ) -> None:
+        self.max_distance = max_distance
+        self.min_word_length = min_word_length
+        self._words: Set[str] = set()
+        self._by_length: Dict[int, List[str]] = defaultdict(list)
+        for word in lexicon:
+            self.add_word(word)
+
+    def add_word(self, word: str) -> None:
+        word = word.lower()
+        if word and word not in self._words:
+            self._words.add(word)
+            self._by_length[len(word)].append(word)
+
+    def add_words(self, words: Iterable[str]) -> None:
+        for word in words:
+            self.add_word(word)
+
+    def __contains__(self, word: str) -> bool:
+        return word.lower() in self._words
+
+    def correct_word(self, word: str) -> str:
+        """Return the corrected word, or the word unchanged."""
+        lowered = word.lower()
+        if lowered in self._words or len(lowered) < self.min_word_length:
+            return lowered
+        best: Optional[str] = None
+        best_distance = self.max_distance + 1
+        for length in range(len(lowered) - self.max_distance,
+                            len(lowered) + self.max_distance + 1):
+            for candidate in self._by_length.get(length, ()):
+                distance = damerau_levenshtein(lowered, candidate, cap=self.max_distance)
+                if distance < best_distance:
+                    best_distance = distance
+                    best = candidate
+                    if distance == 1:
+                        # distance 0 is impossible here (not in dictionary)
+                        return best
+        return best if best is not None else lowered
+
+    def correct_text(self, text: str) -> str:
+        """Correct each whitespace-separated token of ``text``."""
+        return " ".join(self.correct_word(token) for token in text.split())

@@ -1,0 +1,26 @@
+"""The synthetic internet the measurement pipeline runs against.
+
+The paper measures the live web; nothing it measures exists offline, so this
+package rebuilds the *measured world* as a deterministic generative model:
+
+* :mod:`repro.phishworld.world` — assembles the DNS snapshot, the hosted
+  web, and all registries from a :class:`~repro.phishworld.world.WorldConfig`;
+* :mod:`repro.phishworld.sites` — benign page templates (brand originals,
+  organic sites, parked pages, easy-to-confuse benign forms);
+* :mod:`repro.phishworld.attacker` — the adversary: phishing page
+  construction with the §4.2 evasion families and device cloaking;
+* :mod:`repro.phishworld.phishtank` — crowdsourced-feed simulation with
+  brand skew and page churn (Table 5);
+* :mod:`repro.phishworld.blacklists` — PhishTank/VirusTotal/eCrimeX-style
+  blacklist services with coverage and latency models (Table 12);
+* :mod:`repro.phishworld.whois` / :mod:`repro.phishworld.geoip` /
+  :mod:`repro.phishworld.marketplace` — registration, geolocation and
+  domain-resale registries (Fig 15/16, Table 4).
+
+Everything draws from one seeded generator, so a given config is a fully
+reproducible universe.
+"""
+
+from repro.phishworld.world import SyntheticInternet, WorldConfig, build_world
+
+__all__ = ["SyntheticInternet", "WorldConfig", "build_world"]

@@ -1,0 +1,365 @@
+"""The adversary: phishing page construction with real evasion behaviour.
+
+A phishing page must satisfy the paper's definition — it impersonates a
+brand's trademarks *and* carries a form that collects credentials or payment
+data — while optionally evading the three detector families measured in
+§4.2:
+
+* **layout obfuscation** — the page keeps a legitimate look but deviates
+  from the brand original's geometry (reordered sections, extra blocks,
+  margins), driving image-hash distances of ~20-38;
+* **string obfuscation** — brand keywords vanish from the HTML: either
+  homoglyph-perturbed ("PayPaI") or moved into images
+  (``data-embedded-text``), so only OCR can see them;
+* **code obfuscation** — scripts hide behaviour behind ``fromCharCode`` /
+  ``eval`` chains; some pages inject their login form from JavaScript and
+  only when no adblocker is present (the ADP case study).
+
+Cloaking is modelled at the site level: a phishing domain may serve its page
+to web only, mobile only, or both (§6.1 finds 267 / 318 / 590 of 1175).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.brands.catalog import Brand
+from repro.web.html import Element, document, el
+from repro.web.http import UserAgent
+
+# Scam themes, used to vary page composition (§6.2 case studies).
+SCAM_THEMES: Tuple[str, ...] = (
+    "login",          # plain credential harvest
+    "payment",        # card / wallet details
+    "prize",          # "you have won" bait
+    "support",        # tech-support scam
+    "payroll",        # employee payroll portal
+    "search",         # fake search engine (goofle.com.ua)
+)
+
+
+@dataclass
+class EvasionProfile:
+    """Which evasion techniques one phishing page applies."""
+
+    layout: bool = False
+    string: bool = False
+    code: bool = False
+    js_form_injection: bool = False
+    cloaking: str = "both"  # "both" | "web" | "mobile"
+
+    def serves(self, user_agent: UserAgent) -> bool:
+        if self.cloaking == "both":
+            return True
+        if self.cloaking == "web":
+            return not user_agent.is_mobile
+        return user_agent.is_mobile
+
+
+@dataclass
+class PhishingPageSpec:
+    """Everything needed to build one phishing page deterministically."""
+
+    brand: Brand
+    theme: str
+    evasion: EvasionProfile
+    layout_variant: int = 0
+    lifetime_snapshots: int = 4       # how many weekly snapshots it survives
+    resurrects: bool = False          # Table 13: tacebook.ga came back
+    degraded: bool = False            # broken kit: form loads from a relative
+                                      # php include our browser cannot fetch
+                                      # (the Adobe action.php case of §4.2)
+
+
+class PhishingPageBuilder:
+    """Builds phishing documents from specs."""
+
+    def __init__(self, rng: "np.random.Generator") -> None:
+        self._rng = rng
+
+    # ------------------------------------------------------------------
+    # brand-string obfuscation helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def obfuscate_brand_string(name: str) -> str:
+        """Homoglyph-perturb a brand string ("paypal" → "paypaI")."""
+        swaps = {"l": "I", "o": "0", "i": "l", "e": "3", "a": "@"}
+        for original, replacement in swaps.items():
+            if original in name:
+                index = name.rindex(original)
+                return name[:index] + replacement + name[index + 1:]
+        return name + "."
+
+    def _brand_header(self, brand: Brand, evasion: EvasionProfile) -> List[Element]:
+        """Logo area: plaintext brand normally, image-embedded when string
+        obfuscation is on."""
+        display = brand.name.capitalize()
+        if evasion.string:
+            if self._rng.random() < 0.6:
+                # text lives in the logo image only
+                return [el("img", data_embedded_text=display.lower(),
+                           height="48", alt="logo")]
+            return [el("h1", self.obfuscate_brand_string(display))]
+        return [el("h1", display)]
+
+    def _credential_form(self, theme: str, generic: bool = False) -> Element:
+        """The harvesting form, varying with the scam theme.
+
+        ``generic`` strips the distinctive phishing-kit placeholder strings:
+        heavily string-obfuscated pages keep their HTML indistinguishable
+        from an ordinary member login, leaving the deception entirely to
+        the (image-rendered) visual content.
+        """
+        if generic and theme not in ("payment", "search"):
+            return el(
+                "form",
+                el("input", type="text", name="member",
+                   placeholder="username or email"),
+                el("input", type="password", name="password",
+                   placeholder="password"),
+                el("button", "Log In"),
+                action="/session", method="post",
+            )
+        if theme == "payment":
+            return el(
+                "form",
+                el("input", type="text", name="cardnumber",
+                   placeholder="card number"),
+                el("input", type="text", name="expiry", placeholder="mm / yy"),
+                el("input", type="text", name="cvv", placeholder="security code"),
+                el("button", "Confirm Payment"),
+                action="/collect.php", method="post",
+            )
+        if theme == "prize":
+            return el(
+                "form",
+                el("input", type="text", name="email",
+                   placeholder="email to claim your prize"),
+                el("input", type="password", name="password",
+                   placeholder="account password"),
+                el("button", "Claim Now"),
+                action="/claim.php", method="post",
+            )
+        if theme == "search":
+            return el(
+                "form",
+                el("input", type="text", name="q", placeholder="search the web"),
+                el("button", "Search"),
+                action="/search.php", method="get",
+            )
+        # login / support / payroll default to credential harvest
+        return el(
+            "form",
+            el("input", type="text", name="username",
+               placeholder="phone, email or username"),
+            el("input", type="password", name="password",
+               placeholder="please enter your password"),
+            el("button", "Sign In"),
+            action="/login.php", method="post",
+        )
+
+    def _draw_string_variant(self, evasion: EvasionProfile) -> Optional[str]:
+        """How a string-obfuscated page hides its text, drawn per page.
+
+        ``image-only`` pushes the entire deceptive copy into images (the
+        heavy case only OCR can see through); ``perturbed`` homoglyph-mangles
+        the brand; ``limited`` drops the brand from the copy entirely.
+        """
+        if not evasion.string:
+            return None
+        roll = self._rng.random()
+        if roll < 0.5:
+            return "image-only"
+        if roll < 0.75:
+            return "perturbed"
+        return "limited"
+
+    def _theme_body(self, brand: Brand, theme: str,
+                    string_variant: Optional[str] = None) -> List[Element]:
+        display = brand.name.capitalize()
+        if string_variant == "image-only":
+            # the whole pitch lives in images; HTML carries no deceptive
+            # text at all — only OCR over the screenshot sees the scam
+            return [
+                el("img", data_embedded_text=f"welcome to {brand.name}",
+                   height="32", alt="banner"),
+                el("img",
+                   data_embedded_text="verify your account to restore access",
+                   height="32", alt="notice"),
+            ]
+        if string_variant == "perturbed":
+            display = self.obfuscate_brand_string(display)
+            return [
+                el("p", f"Sign in to your {display} account."),
+                el("p", "For your security, please verify your identity."),
+            ]
+        if string_variant == "limited":
+            return [
+                el("p", "Your account has been limited."),
+                el("p", "Please verify your identity to restore access."),
+            ]
+        if theme == "support":
+            return [
+                el("p", f"{display} technical support center."),
+                el("p", "Your computer may be at risk. Sign in so a technician "
+                        "can assist you, or call the number on screen."),
+            ]
+        if theme == "payroll":
+            return [
+                el("p", f"{display} employee payroll portal."),
+                el("p", "Sign in to view your payslip and tax documents."),
+            ]
+        if theme == "prize":
+            return [
+                el("p", f"Congratulations! You have been selected for a {display} reward."),
+                el("p", "Confirm your account to claim the prize."),
+            ]
+        if theme == "search":
+            # goofle-style fake search engines mimic the real homepage:
+            # product links and an account sign-in entry point
+            return [
+                el("p", f"{display} search"),
+                el("a", "Images", href="/images"),
+                el("a", "News", href="/news"),
+                el("a", f"Sign in to your {display} account", href="/signin"),
+            ]
+        if theme == "payment":
+            return [
+                el("p", f"Verify your {display} payment information."),
+                el("p", "Your account has been limited until you confirm your card."),
+            ]
+        return [
+            el("p", f"Sign in to your {display} account."),
+            el("p", "For your security, please verify your identity."),
+        ]
+
+    # ------------------------------------------------------------------
+    def build(self, spec: PhishingPageSpec) -> Element:
+        """Construct the phishing document for a spec."""
+        brand = spec.brand
+        evasion = spec.evasion
+        display = brand.name.capitalize()
+
+        string_variant = self._draw_string_variant(evasion)
+
+        if string_variant == "image-only":
+            # lexical camouflage: every HTML-visible string mimics an
+            # ordinary member portal; the deception exists only as pixels
+            service = ("member portal", "webmail", "customer area",
+                       "control panel", "community forum")[
+                           int(self._rng.integers(0, 5))]
+            title = f"{service} - sign in"
+            header = [el("img", data_embedded_text=display.lower(),
+                         height="48", alt="logo")]
+            trailer = [el("a", "Register", href="/register"),
+                       el("a", "Forgot password", href="/reset")]
+        else:
+            title = f"{display} - Sign In"
+            if evasion.string:
+                title = "Account Services - Sign In"
+            header = self._brand_header(brand, evasion)
+            trailer = [el("a", "Help", href="/help")]
+            if spec.theme != "search":
+                trailer.append(el("a", "Privacy", href="/privacy"))
+
+        body_text = self._theme_body(brand, spec.theme, string_variant)
+        form = self._credential_form(spec.theme,
+                                     generic=string_variant == "image-only")
+
+        blocks: List[Element] = []
+        blocks.extend(header)
+        blocks.extend(body_text)
+
+        if spec.degraded:
+            # the kit's form lives in a server-side include the crawler
+            # cannot resolve; the landing page only links onward
+            blocks.append(el("a", "Continue to login", href="action.php"))
+            blocks.append(el("script", "include('action.php');"))
+        elif evasion.js_form_injection:
+            # single-quoted JS string: the serialized markup uses double
+            # quotes for attributes and contains no single quotes
+            markup = form.to_html().replace("\n", " ").replace("'", "")
+            blocks.append(el("script",
+                             f"if(!window.adblock){{document.body.innerHTML += '{markup}';}}"))
+        else:
+            blocks.append(form)
+
+        blocks.extend(trailer)
+
+        if evasion.code:
+            blocks.append(el("script", self._obfuscated_script()))
+
+        if evasion.layout:
+            blocks = self._obfuscate_layout(blocks, spec.layout_variant)
+
+        return document(title, *blocks)
+
+    def _obfuscated_script(self) -> str:
+        """An obfuscated beacon/logger script with the §4.2 indicators."""
+        payload = "".join(self._rng.choice(list("0123456789abcdef"), size=48))
+        return (
+            "var _0x1 = '" + payload + "';"
+            "var _0x2 = String.fromCharCode(104,116,116,112);"
+            "var _0x3 = _0x1.charCodeAt(0);"
+            "eval(unescape('%76%61%72%20%74%3D%31%3B'));"
+        )
+
+    def _obfuscate_layout(self, blocks: List[Element], variant: int) -> List[Element]:
+        """Perturb page geometry while keeping a legitimate look.
+
+        Rotation reorders the non-form blocks; filler paragraphs and margins
+        shift everything the image hash sees.
+        """
+        filler_texts = (
+            "Trusted by millions of users worldwide.",
+            "This site is protected by advanced security.",
+            "Copyright all rights reserved.",
+            "Fast, simple and secure access.",
+            "Need help? Contact our support team anytime.",
+        )
+        out = list(blocks)
+        # rotate leading blocks
+        rotation = 1 + variant % max(1, len(out) - 1)
+        out = out[rotation:] + out[:rotation]
+        # inject filler
+        insert_at = variant % (len(out) + 1)
+        filler = el("p", filler_texts[variant % len(filler_texts)],
+                    style=f"margin-left: {8 * (1 + variant % 4)}px")
+        out.insert(insert_at, filler)
+        if variant % 2:
+            out.insert(0, el("div", el("p", filler_texts[(variant + 2) % len(filler_texts)])))
+        return out
+
+
+def draw_evasion_profile(
+    rng: "np.random.Generator",
+    squatting: bool = True,
+) -> EvasionProfile:
+    """Sample an evasion profile at the §6.3 rates.
+
+    Squatting phish (Table 11): layout heavily obfuscated, string 68%,
+    code 34-35%.  Non-squatting (PhishTank) phish: string 36%, code 37.5%,
+    lighter layout drift.
+    """
+    if squatting:
+        string_rate, code_rate, layout_rate = 0.68, 0.345, 0.80
+        cloak_roll = rng.random()
+        if cloak_roll < 590 / 1175:
+            cloaking = "both"
+        elif cloak_roll < (590 + 318) / 1175:
+            cloaking = "mobile"
+        else:
+            cloaking = "web"
+    else:
+        string_rate, code_rate, layout_rate = 0.359, 0.375, 0.55
+        cloaking = "both"  # §4.2: 96% of PhishTank pages identical web/mobile
+    return EvasionProfile(
+        layout=bool(rng.random() < layout_rate),
+        string=bool(rng.random() < string_rate),
+        code=bool(rng.random() < code_rate),
+        js_form_injection=bool(rng.random() < 0.06),
+        cloaking=cloaking,
+    )

@@ -1,0 +1,83 @@
+"""Synthetic IP allocation and geolocation registry (Fig 15).
+
+IP blocks are assigned to countries with the skew the paper reports for
+phishing hosting (US heaviest, then DE, GB, FR, IE, CA, JP, NL, CH, RU and a
+long tail), and benign hosting gets its own flatter mix.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+# (country code, phishing-hosting weight) — proportions follow Fig 15.
+PHISH_COUNTRY_WEIGHTS: Tuple[Tuple[str, float], ...] = (
+    ("US", 494), ("DE", 106), ("GB", 77), ("FR", 44), ("IE", 39),
+    ("CA", 34), ("JP", 32), ("NL", 29), ("CH", 13), ("RU", 9),
+    ("IT", 8), ("ES", 8), ("SE", 7), ("PL", 6), ("BR", 6), ("AU", 6),
+    ("IN", 5), ("SG", 5), ("HK", 4), ("TR", 4), ("UA", 4), ("RO", 3),
+    ("CZ", 3), ("DK", 3), ("NO", 3), ("FI", 2), ("AT", 2), ("BE", 2),
+    ("PT", 2), ("GR", 2), ("MX", 2), ("AR", 1), ("CL", 1), ("ZA", 1),
+    ("KR", 1), ("TW", 1), ("TH", 1), ("VN", 1), ("ID", 1), ("PH", 1),
+    ("MY", 1), ("IL", 1), ("AE", 1), ("SA", 1), ("NZ", 1), ("HU", 1),
+    ("SK", 1), ("BG", 1), ("HR", 1), ("LT", 1), ("LV", 1), ("EE", 1),
+    ("IS", 1),
+)
+
+BENIGN_COUNTRY_WEIGHTS: Tuple[Tuple[str, float], ...] = (
+    ("US", 300), ("DE", 90), ("GB", 80), ("FR", 60), ("NL", 55),
+    ("JP", 50), ("CA", 45), ("AU", 30), ("RU", 30), ("CN", 30),
+    ("IN", 25), ("BR", 25), ("IT", 25), ("ES", 20), ("SE", 15),
+    ("PL", 15), ("CH", 12), ("IE", 10), ("SG", 10), ("KR", 10),
+)
+
+
+class GeoIPRegistry:
+    """Allocates IPs per country and answers reverse lookups."""
+
+    def __init__(self, rng: "np.random.Generator") -> None:
+        self._rng = rng
+        self._country_of: Dict[str, str] = {}
+        self._counter = 0
+
+    def _allocate(self, country: str) -> str:
+        """Mint a fresh IPv4 address and bind it to a country."""
+        self._counter += 1
+        value = self._counter
+        # avoid 0/255 edge octets for realism
+        octets = (
+            1 + (value >> 21) % 220,
+            (value >> 14) % 250,
+            (value >> 7) % 250,
+            1 + value % 250,
+        )
+        ip = ".".join(str(o) for o in octets)
+        self._country_of[ip] = country
+        return ip
+
+    def allocate_phishing_ip(self) -> str:
+        """An address drawn from the phishing-hosting country mix."""
+        return self._allocate(self._draw(PHISH_COUNTRY_WEIGHTS))
+
+    def allocate_benign_ip(self) -> str:
+        """An address drawn from the general-hosting country mix."""
+        return self._allocate(self._draw(BENIGN_COUNTRY_WEIGHTS))
+
+    def _draw(self, weights: Sequence[Tuple[str, float]]) -> str:
+        countries = [c for c, _ in weights]
+        probabilities = np.array([w for _, w in weights], dtype=float)
+        probabilities /= probabilities.sum()
+        return str(self._rng.choice(countries, p=probabilities))
+
+    def country(self, ip: str) -> Optional[str]:
+        """Country code hosting an address, or None if unallocated."""
+        return self._country_of.get(ip)
+
+    def histogram(self, ips: Sequence[str]) -> Dict[str, int]:
+        """Country → count over a list of addresses (the Fig 15 series)."""
+        counts: Dict[str, int] = {}
+        for ip in ips:
+            country = self._country_of.get(ip, "??")
+            counts[country] = counts.get(country, 0) + 1
+        return dict(sorted(counts.items(), key=lambda kv: -kv[1]))

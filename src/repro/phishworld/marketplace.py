@@ -1,0 +1,43 @@
+"""Domain marketplaces: where speculator squats park for resale (Table 4).
+
+The paper hand-compiled a list of 22 known marketplaces and counted squat
+domains redirecting into them.  We host the same kind of destinations and
+provide the classification helper the crawl analysis uses.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, Tuple
+
+from repro.web.http import Request
+
+# The synthetic marketplace domains (22, like the paper's hand-made list).
+MARKETPLACE_DOMAINS: Tuple[str, ...] = (
+    "marketmonitor.com", "sedo.com", "afternic.com", "dan.com",
+    "hugedomains.com", "buydomains.com", "domainmarket.com", "flippa.com",
+    "namejet.com", "snapnames.com", "dropcatch.com", "godaddy-auctions.com",
+    "parkingcrew.net", "bodis.com", "voodoo.com", "above.com",
+    "domcollect.com", "skenzo.com", "parklogic.com", "rookmedia.net",
+    "domainnamesales.com", "undeveloped.com",
+)
+
+MARKETPLACE_SET: FrozenSet[str] = frozenset(MARKETPLACE_DOMAINS)
+
+
+def is_marketplace(domain: str) -> bool:
+    """True if ``domain`` is one of the known resale marketplaces."""
+    return domain.lower() in MARKETPLACE_SET
+
+
+def classify_redirect(final_domain: str, brand_domain: str) -> str:
+    """Bucket a redirect destination the way Table 2-4 do.
+
+    Returns ``original`` (back to the impersonated brand), ``market``
+    (a known resale marketplace), or ``other``.
+    """
+    final_domain = final_domain.lower()
+    if final_domain == brand_domain.lower():
+        return "original"
+    if is_marketplace(final_domain):
+        return "market"
+    return "other"

@@ -1,0 +1,251 @@
+"""Benign page templates for the synthetic web.
+
+Four families matter for the measurement:
+
+* **brand originals** — the legitimate login/landing pages squatting phish
+  imitate; these are the references for the image-hash comparison (Fig 8/9);
+* **organic pages** — unrelated content sites filling the DNS snapshot;
+* **parked pages** — what most live squatting domains actually serve;
+* **easy-to-confuse benign pages** — squat-domain pages with submission
+  forms (newsletter signups, surveys, site-search) or third-party brand
+  plugins ("Pay with PayPal", share buttons).  §6.1 identifies exactly these
+  as the classifier's false-positive sources, so the world must contain
+  them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.brands.catalog import Brand
+from repro.web.html import Element, document, el
+
+_LOREM_WORDS = (
+    "news update market report travel guide recipes garden music video "
+    "photo review article community forum weather sports culture design "
+    "project ideas local events shop catalog classic modern journal daily "
+    "business studio archive library science nature health living style"
+).split()
+
+
+def _sentence(rng: "np.random.Generator", words: int = 8) -> str:
+    chosen = rng.choice(_LOREM_WORDS, size=words, replace=True)
+    return " ".join(str(w) for w in chosen)
+
+
+def brand_original_page(brand: Brand) -> Element:
+    """The brand's legitimate page, with a proper login form when the brand
+    is credential-bearing."""
+    children: List[Element] = [
+        el("h1", brand.name.capitalize()),
+        el("p", f"Welcome to {brand.name.capitalize()}."),
+    ]
+    if brand.sensitivity in ("login", "payment"):
+        children.append(
+            el(
+                "form",
+                el("input", type="text", name="username",
+                   placeholder="email or username"),
+                el("input", type="password", name="password",
+                   placeholder="password"),
+                el("button", "Sign In"),
+                action="/login", method="post",
+            )
+        )
+        children.append(el("a", "Forgot password?", href="/recover"))
+    else:
+        children.append(el("p", f"Explore {brand.name} products and services."))
+        children.append(el("a", "About us", href="/about"))
+    if brand.sensitivity == "payment":
+        children.append(el("p", "Your payments are protected."))
+    return document(f"{brand.name.capitalize()} - Official Site", *children)
+
+
+def organic_page(domain: str, rng: "np.random.Generator") -> Element:
+    """An unrelated content page."""
+    name = domain.split(".")[0].replace("-", " ")
+    return document(
+        f"{name} - home",
+        el("h1", name),
+        el("p", _sentence(rng, 12)),
+        el("p", _sentence(rng, 10)),
+        el("a", "read more", href="/articles"),
+    )
+
+
+def parked_page(domain: str) -> Element:
+    """A typical registrar parking page (no form, ad links)."""
+    return document(
+        f"{domain} is parked",
+        el("h1", domain),
+        el("p", "This domain is parked free, courtesy of the registrar."),
+        el("a", "Related searches", href="/search"),
+        el("a", "Privacy policy", href="/privacy"),
+    )
+
+
+def for_sale_page(domain: str) -> Element:
+    """A 'domain for sale' lander (served by marketplaces)."""
+    return document(
+        f"{domain} - premium domain for sale",
+        el("h1", f"{domain} is for sale"),
+        el("p", "Make an offer for this premium domain name today."),
+        el(
+            "form",
+            el("input", type="text", name="offer", placeholder="your offer in usd"),
+            el("input", type="text", name="contact", placeholder="contact email"),
+            el("button", "Submit Offer"),
+            action="/offer", method="post",
+        ),
+    )
+
+
+def newsletter_page(domain: str, brand: Optional[Brand], rng: "np.random.Generator") -> Element:
+    """A fan/news site about a brand with a newsletter signup form.
+
+    These are the paper's false-positive bait: a form plus brand keywords,
+    but no credential harvesting.
+    """
+    topic = brand.name.capitalize() if brand else domain.split(".")[0]
+    return document(
+        f"{topic} news and rumors",
+        el("h1", f"Unofficial {topic} news"),
+        el("p", f"Daily {topic} coverage. {_sentence(rng, 8)}."),
+        el("p", f"We are not affiliated with {topic}."),
+        el(
+            "form",
+            el("input", type="text", name="email", placeholder="email for our newsletter"),
+            el("button", "Subscribe"),
+            action="/subscribe", method="post",
+        ),
+    )
+
+
+def survey_page(domain: str, brand: Optional[Brand], rng: "np.random.Generator") -> Element:
+    """A feedback/survey page with text boxes (another §6.1 FP source)."""
+    topic = brand.name.capitalize() if brand else "our service"
+    return document(
+        f"{topic} user survey",
+        el("h2", f"Tell us about {topic}"),
+        el("p", "Your feedback helps the community."),
+        el(
+            "form",
+            el("input", type="text", name="feedback", placeholder="your feedback"),
+            el("input", type="text", name="rating", placeholder="rating 1 to 5"),
+            el("button", "Send Feedback"),
+            action="/survey", method="post",
+        ),
+    )
+
+
+def plugin_shop_page(domain: str, brand: Optional[Brand], rng: "np.random.Generator") -> Element:
+    """A small shop embedding third-party brand plugins (Pay with PayPal,
+    share buttons)."""
+    shop = domain.split(".")[0].replace("-", " ")
+    brand_name = brand.name.capitalize() if brand else "PayPal"
+    return document(
+        f"{shop} - online shop",
+        el("h1", shop),
+        el("p", f"Hand-made goods, shipped worldwide. {_sentence(rng, 6)}."),
+        el("p", f"Checkout supports {brand_name}."),
+        el(
+            "form",
+            el("input", type="text", name="quantity", placeholder="quantity"),
+            el("button", f"Pay with {brand_name}"),
+            action="/checkout", method="post",
+        ),
+        el("a", "Share on social media", href="/share"),
+    )
+
+
+def portal_login_page(domain: str, rng: "np.random.Generator") -> Element:
+    """A legitimate login portal on an unrelated site (forum, webmail,
+    hosting panel).
+
+    These carry a password form and credential vocabulary with no
+    impersonation — the hardest benign case for the classifier, and a real
+    population on the web (§5.3's "easy-to-confuse" pages).
+    """
+    service = rng.choice(["member portal", "webmail", "control panel",
+                          "community forum", "customer area"])
+    name = domain.split(".")[0].replace("-", " ")
+    return document(
+        f"{name} {service}",
+        el("h2", f"{name} {service}"),
+        el("p", "Sign in to manage your account."),
+        el(
+            "form",
+            el("input", type="text", name="username", placeholder="username"),
+            el("input", type="password", name="password", placeholder="password"),
+            el("button", "Log In"),
+            action="/session", method="post",
+        ),
+        el("a", "Register", href="/register"),
+        el("a", "Forgot password", href="/reset"),
+    )
+
+
+def fan_forum_page(domain: str, brand: Optional[Brand], rng: "np.random.Generator") -> Element:
+    """An unofficial brand fan community with a member login.
+
+    Brand keywords *and* a password form co-occur legitimately here — by
+    feature vector alone this is nearly a phishing page, and only the
+    trademark-impersonation judgement (the verification step) separates
+    them.  This is the deliberate hard case behind the paper's imperfect
+    precision.
+    """
+    topic = brand.name.capitalize() if brand else domain.split(".")[0]
+    return document(
+        f"{topic} fans community",
+        el("h1", f"{topic} fans"),
+        el("p", f"The unofficial {topic} community. Discuss {topic} news, "
+                "tips and tricks with other fans."),
+        el("h3", "Member login"),
+        el(
+            "form",
+            el("input", type="text", name="member", placeholder="username or email"),
+            el("input", type="password", name="password", placeholder="password"),
+            el("button", "Sign In"),
+            action="/member/login", method="post",
+        ),
+        el("a", "Join the community", href="/register"),
+    )
+
+
+def bare_login_page(domain: str, rng: "np.random.Generator") -> Element:
+    """A minimal login page with no body copy at all.
+
+    The web is full of these — router admin panels, staging environments,
+    intranet gateways: a title, a credential form, register/reset links,
+    nothing else.  Lexically this is *identical* to a heavily
+    string-obfuscated phishing page (whose pitch lives in images), so no
+    HTML-text feature can separate the two; only the rendered pixels can.
+    This population is what makes the paper's OCR channel genuinely
+    necessary rather than merely helpful.
+    """
+    service = rng.choice(["member portal", "webmail", "customer area",
+                          "control panel", "community forum"])
+    return document(
+        f"{service} - sign in",
+        el(
+            "form",
+            el("input", type="text", name="member",
+               placeholder="username or email"),
+            el("input", type="password", name="password",
+               placeholder="password"),
+            el("button", "Log In"),
+            action="/session", method="post",
+        ),
+        el("a", "Register", href="/register"),
+        el("a", "Forgot password", href="/reset"),
+    )
+
+
+def redirect_notice_page(target: str) -> Element:
+    """Interstitial body for sites that redirect (rarely rendered)."""
+    return document(
+        "Redirecting",
+        el("p", f"Redirecting you to {target}"),
+    )

@@ -1,0 +1,38 @@
+"""Squatting domain models: generation and detection of five squat types.
+
+The paper (§3.1) defines five *orthogonal* squatting categories — homograph,
+typo, bits, combo, and wrongTLD — and scans 224M DNS records for candidates
+impersonating 702 brands.  This package implements each category as both a
+*generator* (enumerate candidate squats of a brand, used to seed the
+synthetic world and for hash-join detection) and a *detector* predicate
+(classify an observed domain against a brand).
+
+The detector (:mod:`repro.squatting.detector`) reproduces the paper's scan:
+enumerable types are matched by hash join against the zone store; combo
+squatting, which cannot be enumerated, is found by scanning core labels.
+"""
+
+from repro.squatting.types import SquatMatch, SquatType
+from repro.squatting.confusables import CONFUSABLES, confusable_variants, skeleton
+from repro.squatting.homograph import HomographModel
+from repro.squatting.typo import TypoModel
+from repro.squatting.bits import BitsModel
+from repro.squatting.combo import ComboModel
+from repro.squatting.wrongtld import WrongTLDModel
+from repro.squatting.generator import SquattingGenerator
+from repro.squatting.detector import SquattingDetector
+
+__all__ = [
+    "BitsModel",
+    "CONFUSABLES",
+    "ComboModel",
+    "HomographModel",
+    "SquatMatch",
+    "SquatType",
+    "SquattingDetector",
+    "SquattingGenerator",
+    "TypoModel",
+    "WrongTLDModel",
+    "confusable_variants",
+    "skeleton",
+]

@@ -1,0 +1,173 @@
+"""Baseline squat generators: DNSTwist- and URLCrazy-alikes (§3.1).
+
+The paper motivates its own detector by the gaps in the state of the art:
+
+* **DNSTwist** generates typo/bits/homograph permutations of a given domain
+  but ships an *incomplete* confusables table (13 of the 23 look-alikes of
+  "a") and keeps the original TLD — so ``facebookj.es`` and
+  ``facebook.audi`` are never produced;
+* **URLCrazy** focuses on typo classes (character swaps, keyboard
+  adjacency, common misspellings) with the same fixed-TLD limitation, and
+  handles neither combo squatting nor wrongTLD.
+
+We implement both as honest baselines over the same model classes the real
+tools implement, so the coverage comparison (``bench_baseline_comparison``)
+measures exactly the paper's argument: candidates the baselines can
+enumerate vs the squats that actually exist in the zone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.dns.idna import IDNAError, label_to_ascii
+from repro.dns.records import split_domain
+from repro.squatting.bits import BitsModel
+from repro.squatting.confusables import dnstwist_subset
+from repro.squatting.typo import QWERTY_NEIGHBOURS, TypoModel
+from repro.squatting.types import SquatType
+
+
+@dataclass
+class BaselineReport:
+    """Coverage of one baseline against observed squats."""
+
+    name: str
+    generated: int
+    matched: int
+    observed: int
+
+    @property
+    def recall(self) -> float:
+        return self.matched / self.observed if self.observed else 0.0
+
+
+class DNSTwistBaseline:
+    """DNSTwist-style permutation engine.
+
+    Produces typo (omission/repetition/transposition/insertion), bits, and
+    homograph candidates — the latter from the *reduced* confusables table —
+    always under the brand's own TLD.
+    """
+
+    name = "dnstwist"
+
+    def __init__(self) -> None:
+        self._typo = TypoModel()
+        self._bits = BitsModel()
+        self._confusables = dnstwist_subset()
+
+    def generate(self, domain: str) -> Set[str]:
+        """Candidate registered domains for one brand domain."""
+        label, tld = split_domain(domain)
+        candidates: Set[str] = set()
+        candidates.update(self._typo.generate(label))
+        candidates.update(self._bits.generate(label))
+        candidates.update(self._homograph_labels(label))
+        candidates.discard(label)
+        suffix = f".{tld}" if tld else ""
+        return {f"{candidate}{suffix}" for candidate in candidates if candidate}
+
+    def _homograph_labels(self, label: str) -> Set[str]:
+        out: Set[str] = set()
+        for index, char in enumerate(label):
+            for variant in self._confusables.get(char, ()):
+                mutated = label[:index] + variant + label[index + 1:]
+                if all(ord(c) < 128 for c in mutated):
+                    out.add(mutated)
+                    continue
+                try:
+                    out.add(label_to_ascii(mutated))
+                except IDNAError:
+                    continue
+        return out
+
+
+class URLCrazyBaseline:
+    """URLCrazy-style typo generator.
+
+    Character omission/repetition/transposition, keyboard-adjacent
+    substitutions and insertions, and vowel swaps — original TLD only.
+    """
+
+    name = "urlcrazy"
+
+    VOWELS = "aeiou"
+
+    def __init__(self) -> None:
+        self._typo = TypoModel()
+
+    def generate(self, domain: str) -> Set[str]:
+        label, tld = split_domain(domain)
+        candidates: Set[str] = set()
+        candidates.update(self._typo.omissions(label))
+        candidates.update(self._typo.repetitions(label))
+        candidates.update(self._typo.transpositions(label))
+        candidates.update(self._typo.keyboard_insertions(label))
+        candidates.update(self._keyboard_substitutions(label))
+        candidates.update(self._vowel_swaps(label))
+        candidates.discard(label)
+        suffix = f".{tld}" if tld else ""
+        return {f"{candidate}{suffix}" for candidate in candidates if candidate}
+
+    @staticmethod
+    def _keyboard_substitutions(label: str) -> Set[str]:
+        out: Set[str] = set()
+        for index, char in enumerate(label):
+            for neighbour in QWERTY_NEIGHBOURS.get(char, ""):
+                out.add(label[:index] + neighbour + label[index + 1:])
+        return out
+
+    def _vowel_swaps(self, label: str) -> Set[str]:
+        out: Set[str] = set()
+        for index, char in enumerate(label):
+            if char in self.VOWELS:
+                for vowel in self.VOWELS:
+                    if vowel != char:
+                        out.add(label[:index] + vowel + label[index + 1:])
+        return out
+
+
+def baseline_coverage(
+    baseline,
+    brand_domains: Dict[str, str],
+    observed: Dict[str, Tuple[str, SquatType]],
+) -> BaselineReport:
+    """Score a baseline against the squats observed in a zone.
+
+    Args:
+        baseline: object with ``generate(domain) -> set`` and ``name``.
+        brand_domains: brand key → canonical domain.
+        observed: registered squat domain → (brand, type) ground truth.
+
+    Returns:
+        coverage counts: how many observed squats the baseline's candidate
+        set contains.
+    """
+    generated: Set[str] = set()
+    for domain in brand_domains.values():
+        generated.update(baseline.generate(domain))
+    matched = sum(1 for squat in observed if squat in generated)
+    return BaselineReport(
+        name=baseline.name,
+        generated=len(generated),
+        matched=matched,
+        observed=len(observed),
+    )
+
+
+def coverage_by_type(
+    baseline,
+    brand_domains: Dict[str, str],
+    observed: Dict[str, Tuple[str, SquatType]],
+) -> Dict[str, Tuple[int, int]]:
+    """Per-squat-type (matched, observed) counts for one baseline."""
+    generated: Set[str] = set()
+    for domain in brand_domains.values():
+        generated.update(baseline.generate(domain))
+    buckets: Dict[str, Tuple[int, int]] = {}
+    for squat, (_brand, squat_type) in observed.items():
+        matched, total = buckets.get(squat_type.value, (0, 0))
+        buckets[squat_type.value] = (matched + (squat in generated), total + 1)
+    return buckets

@@ -1,0 +1,61 @@
+"""Bit squatting: single bit-flips of a brand label (§3.1).
+
+A bits-squatting domain is exactly one flipped bit away from the target: a
+memory error in a resolver, proxy, or client turns ``facebook`` into
+``facebnok`` and the attacker harvests the misdirected traffic.  Candidates
+must survive the flip as valid LDH hostname characters.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+_VALID_CHARS = set("abcdefghijklmnopqrstuvwxyz0123456789-")
+
+
+class BitsModel:
+    """Generator/detector for bit-squatting labels."""
+
+    name = "bits"
+
+    def generate(self, label: str) -> Set[str]:
+        """All valid single-bit-flip variants of ``label``."""
+        variants: Set[str] = set()
+        for i, char in enumerate(label):
+            code = ord(char)
+            for bit in range(8):
+                flipped = code ^ (1 << bit)
+                new_char = chr(flipped)
+                # upper-case flips normalise back to the original label in
+                # DNS (case-insensitive), so only keep genuinely new names
+                if new_char.lower() == char:
+                    continue
+                if new_char not in _VALID_CHARS:
+                    continue
+                candidate = label[:i] + new_char + label[i + 1:]
+                if self._valid_label(candidate) and candidate != label:
+                    variants.add(candidate)
+        return variants
+
+    @staticmethod
+    def _valid_label(label: str) -> bool:
+        return bool(label) and not label.startswith("-") and not label.endswith("-")
+
+    def matches(self, label: str, target: str) -> Optional[str]:
+        """Classify ``label`` as a bit-flip of ``target``.
+
+        Returns a detail string like ``"o->n@5"`` or None.
+        """
+        label = label.lower()
+        target = target.lower()
+        if len(label) != len(target) or label == target:
+            return None
+        diffs = [i for i in range(len(label)) if label[i] != target[i]]
+        if len(diffs) != 1:
+            return None
+        i = diffs[0]
+        xor = ord(label[i]) ^ ord(target[i])
+        # one-bit difference <=> xor is a power of two
+        if xor and (xor & (xor - 1)) == 0:
+            return f"{target[i]}->{label[i]}@{i}"
+        return None

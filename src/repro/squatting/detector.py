@@ -1,0 +1,216 @@
+"""Squatting-domain detection over a DNS snapshot (§3.1).
+
+For each registered domain in the zone we check the five squatting rules
+against each target brand, ignoring subdomains, and label the domain with the
+*first* matching type in the paper's priority order so types stay disjoint:
+
+    homograph > bits > typo > combo > wrongTLD
+
+Complexity matters at snapshot scale, so the detector avoids the naive
+(domains × brands) scan:
+
+* homograph / bits / typo — candidate labels are enumerable per brand, so we
+  *hash-join*: every observed core label is looked up in a precomputed
+  label → (brand, type) index.  IDN labels are additionally skeleton-matched
+  since unicode candidates cannot be exhaustively enumerated.
+* combo — detected by scanning each core label once against a token index of
+  brand strings.
+* wrongTLD — exact core-label equality with a different suffix.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.brands.catalog import Brand, BrandCatalog
+from repro.dns.idna import ACE_PREFIX, IDNAError, label_to_unicode
+from repro.dns.records import split_domain
+from repro.dns.zone import ZoneStore
+from repro.squatting.bits import BitsModel
+from repro.squatting.combo import ComboModel
+from repro.squatting.generator import SquattingGenerator
+from repro.squatting.homograph import HomographModel
+from repro.squatting.typo import TypoModel
+from repro.squatting.types import SquatMatch, SquatType
+from repro.squatting.wrongtld import WrongTLDModel
+
+
+class SquattingDetector:
+    """Classify observed DNS names against a brand catalog."""
+
+    def __init__(
+        self,
+        catalog: BrandCatalog,
+        generator: Optional[SquattingGenerator] = None,
+    ) -> None:
+        self.catalog = catalog
+        self.generator = generator or SquattingGenerator()
+        self._brand_by_label: Dict[str, Brand] = {}
+        self._brand_domains: Set[str] = set()
+        # label -> (brand, type) hash-join index for enumerable candidates
+        self._candidate_index: Dict[str, Tuple[str, SquatType]] = {}
+        # 4-gram prefix index over brand labels for combo containment scans
+        self._combo_prefix_index: Dict[str, List[str]] = defaultdict(list)
+        # (length, first char) / (length, last char) buckets for the ASCII
+        # homograph fallback, so we never loop over the full catalog
+        self._homograph_buckets: Dict[Tuple[int, int, str], List[str]] = defaultdict(list)
+        self._build_indices()
+
+    def _build_indices(self) -> None:
+        combo_min = self.generator.combo.min_brand_length
+        for brand in self.catalog:
+            label = brand.core_label
+            self._brand_by_label[label] = brand
+            self._brand_domains.add(brand.domain.lower())
+            if len(label) >= combo_min:
+                self._combo_prefix_index[label[:combo_min]].append(label)
+            for delta in (-1, 0, 1):
+                self._homograph_buckets[(len(label) + delta, 0, label[0])].append(label)
+                self._homograph_buckets[(len(label) + delta, 1, label[-1])].append(label)
+        for labels in self._combo_prefix_index.values():
+            labels.sort(key=len, reverse=True)
+        for brand in self.catalog:
+            candidates = self.generator.candidates(brand, include_combo=False)
+            for squat_type, labels in candidates.labels.items():
+                for candidate in labels:
+                    # first brand to claim a label wins; collisions between
+                    # brands are rare and benign for measurement
+                    self._candidate_index.setdefault(candidate, (brand.name, squat_type))
+
+    # ------------------------------------------------------------------
+    # classification
+    # ------------------------------------------------------------------
+    def classify_domain(self, domain: str) -> Optional[SquatMatch]:
+        """Classify one registered domain; None if it squats no brand."""
+        domain = domain.lower().rstrip(".")
+        core, tld = split_domain(domain)
+        if domain in self._brand_domains:
+            return None  # the brand's own site is not a squat
+
+        brand_of_core = self._brand_by_label.get(core)
+
+        # 1. enumerable candidates (homograph ASCII, bits, typo) — hash join
+        hit = self._candidate_index.get(core)
+        if hit is not None and brand_of_core is None:
+            brand_name, squat_type = hit
+            return SquatMatch(domain=domain, brand=brand_name, squat_type=squat_type)
+
+        # 2. IDN homographs — decode and skeleton-match
+        if core.startswith(ACE_PREFIX):
+            match = self._match_idn(domain, core)
+            if match is not None:
+                return match
+
+        # 3. homograph fallback for multi-substitution ASCII look-alikes that
+        #    enumeration (bounded at 1–2 substitutions) missed
+        if brand_of_core is None:
+            match = self._match_ascii_homograph(domain, core)
+            if match is not None:
+                return match
+
+        # 4. combo squatting — token / containment scan
+        if brand_of_core is None and "-" in core:
+            match = self._match_combo(domain, core)
+            if match is not None:
+                return match
+
+        # 5. wrongTLD — exact label, wrong suffix
+        if brand_of_core is not None:
+            if brand_of_core.domain.lower() != domain:
+                detail = self.generator.wrongtld.matches(domain, brand_of_core.domain)
+                if detail is not None:
+                    return SquatMatch(
+                        domain=domain,
+                        brand=brand_of_core.name,
+                        squat_type=SquatType.WRONG_TLD,
+                        detail=detail,
+                    )
+        return None
+
+    def _match_idn(self, domain: str, core: str) -> Optional[SquatMatch]:
+        try:
+            displayed = label_to_unicode(core)
+        except IDNAError:
+            return None
+        for label, brand in self._brand_by_label.items():
+            if abs(len(displayed) - len(label)) > 1:
+                continue
+            if self.generator.homograph.matches(core, label):
+                return SquatMatch(
+                    domain=domain,
+                    brand=brand.name,
+                    squat_type=SquatType.HOMOGRAPH,
+                    detail=f"idn:{displayed}",
+                )
+        return None
+
+    def _match_ascii_homograph(self, domain: str, core: str) -> Optional[SquatMatch]:
+        if not core or self._brand_by_label.get(core) is not None:
+            return None
+        # bucket pre-filter: brand labels of compatible length sharing the
+        # first or last character with the observed label
+        seen: Set[str] = set()
+        for bucket_key in ((len(core), 0, core[0]), (len(core), 1, core[-1])):
+            for label in self._homograph_buckets.get(bucket_key, ()):
+                if label in seen:
+                    continue
+                seen.add(label)
+                detail = self.generator.homograph.matches(core, label)
+                if detail is not None:
+                    return SquatMatch(
+                        domain=domain,
+                        brand=self._brand_by_label[label].name,
+                        squat_type=SquatType.HOMOGRAPH,
+                        detail=detail,
+                    )
+        return None
+
+    def _match_combo(self, domain: str, core: str) -> Optional[SquatMatch]:
+        # exact hyphen-delimited brand tokens (covers short brands too)
+        for token in core.split("-"):
+            brand = self._brand_by_label.get(token)
+            if brand is not None:
+                return SquatMatch(
+                    domain=domain, brand=brand.name,
+                    squat_type=SquatType.COMBO, detail="token",
+                )
+        # glued containment (go-uberfreight): slide a prefix window over the
+        # label and consult the brand 4-gram index, longest brand first
+        combo_min = self.generator.combo.min_brand_length
+        best: Optional[str] = None
+        for i in range(len(core) - combo_min + 1):
+            for label in self._combo_prefix_index.get(core[i:i + combo_min], ()):
+                if core.startswith(label, i):
+                    if best is None or len(label) > len(best):
+                        best = label
+                    break  # index lists are longest-first
+        if best is not None:
+            return SquatMatch(
+                domain=domain, brand=self._brand_by_label[best].name,
+                squat_type=SquatType.COMBO, detail="substring",
+            )
+        return None
+
+    # ------------------------------------------------------------------
+    # snapshot scan
+    # ------------------------------------------------------------------
+    def scan(self, zone: ZoneStore) -> List[SquatMatch]:
+        """Classify every registered domain in a snapshot.
+
+        Returns one match per squatting registered domain (subdomains are
+        collapsed, as in the paper).
+        """
+        matches: List[SquatMatch] = []
+        for registered in zone.registered_domains():
+            match = self.classify_domain(registered)
+            if match is not None:
+                matches.append(match)
+        return matches
+
+    def scan_counts(self, zone: ZoneStore) -> Dict[SquatType, int]:
+        """Squat-type histogram over a snapshot (the Fig 2 series)."""
+        counts: Dict[SquatType, int] = {t: 0 for t in SquatType}
+        for match in self.scan(zone):
+            counts[match.squat_type] += 1
+        return counts

@@ -1,0 +1,105 @@
+"""Homograph squatting: visually confusable labels, including IDNs (§3.1).
+
+Two sub-families, as in the paper:
+
+* ASCII homographs — look-alikes expressible in plain LDH hostnames
+  (``faceb00k``, ``rnicrosoft``);
+* IDN homographs — unicode confusables registered through punycode
+  (``xn--fcebook-8va.com`` displayed as ``fàcebook.com``).
+
+Generation samples substitutions from the confusables table; detection
+decodes punycode first, then runs the confusables matcher.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, List, Optional, Set
+
+from repro.dns.idna import ACE_PREFIX, IDNAError, label_to_ascii, label_to_unicode
+from repro.squatting.confusables import (
+    ASCII_CONFUSABLES,
+    CONFUSABLES,
+    matches_homograph,
+)
+
+
+class HomographModel:
+    """Generator/detector for homograph-squatting labels."""
+
+    name = "homograph"
+
+    def __init__(self, confusables=None, max_substitutions: int = 2) -> None:
+        self.confusables = confusables if confusables is not None else CONFUSABLES
+        self.max_substitutions = max_substitutions
+
+    # ------------------------------------------------------------------
+    # generation
+    # ------------------------------------------------------------------
+    def generate_ascii(self, label: str, max_variants: Optional[int] = None) -> Set[str]:
+        """ASCII homographs: hostname-safe single substitutions."""
+        variants: Set[str] = set()
+        for i, char in enumerate(label):
+            for sub in ASCII_CONFUSABLES.get(char, ()):
+                variants.add(label[:i] + sub + label[i + 1:])
+                if max_variants and len(variants) >= max_variants:
+                    return variants
+        # double substitutions of the most common digit confusions, which is
+        # how faceb00k-style squats arise
+        digit_subs = {"o": "0", "l": "1", "i": "1", "s": "5", "e": "3"}
+        positions = [i for i, c in enumerate(label) if c in digit_subs]
+        for i, j in combinations(positions, 2):
+            chars = list(label)
+            chars[i] = digit_subs[label[i]]
+            chars[j] = digit_subs[label[j]]
+            variants.add("".join(chars))
+        variants.discard(label)
+        return variants
+
+    def generate_idn(self, label: str, max_variants: Optional[int] = None) -> Set[str]:
+        """IDN homographs, returned in their punycode (A-label) form."""
+        variants: Set[str] = set()
+        for i, char in enumerate(label):
+            for sub in self.confusables.get(char, ()):
+                if all(ord(c) < 128 for c in sub):
+                    continue
+                unicode_label = label[:i] + sub + label[i + 1:]
+                try:
+                    variants.add(label_to_ascii(unicode_label))
+                except IDNAError:
+                    continue
+                if max_variants and len(variants) >= max_variants:
+                    return variants
+        return variants
+
+    def generate(self, label: str, max_variants: Optional[int] = None) -> Set[str]:
+        """ASCII and IDN homographs of a label."""
+        half = max_variants // 2 if max_variants else None
+        variants = self.generate_ascii(label, max_variants=half)
+        variants.update(self.generate_idn(label, max_variants=half))
+        variants.discard(label)
+        return variants
+
+    # ------------------------------------------------------------------
+    # detection
+    # ------------------------------------------------------------------
+    def matches(self, label: str, target: str) -> Optional[str]:
+        """Classify ``label`` as a homograph of ``target``.
+
+        Returns ``"idn"`` or ``"ascii"`` (the evidence family) or None.
+        """
+        label = label.lower()
+        target = target.lower()
+        if label == target:
+            return None
+        if label.startswith(ACE_PREFIX):
+            try:
+                displayed = label_to_unicode(label)
+            except IDNAError:
+                return None
+            if displayed != target and matches_homograph(displayed, target):
+                return "idn"
+            return None
+        if matches_homograph(label, target):
+            return "ascii"
+        return None

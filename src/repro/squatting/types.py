@@ -1,0 +1,53 @@
+"""Shared types for the squatting subsystem."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class SquatType(str, enum.Enum):
+    """The five orthogonal squatting categories of §3.1.
+
+    Detection priority follows the paper's matching order: a domain is
+    labelled with the first category that matches, so the categories stay
+    disjoint for measurement.
+    """
+
+    HOMOGRAPH = "homograph"
+    BITS = "bits"
+    TYPO = "typo"
+    COMBO = "combo"
+    WRONG_TLD = "wrongTLD"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+# Display order used by figures (matches Fig 2 / Fig 12 x-axis).
+SQUAT_TYPE_ORDER = (
+    SquatType.HOMOGRAPH,
+    SquatType.BITS,
+    SquatType.TYPO,
+    SquatType.COMBO,
+    SquatType.WRONG_TLD,
+)
+
+
+@dataclass(frozen=True)
+class SquatMatch:
+    """A squatting classification of one observed domain.
+
+    Attributes:
+        domain: the observed registered domain (e.g. ``faceb00k.pw``).
+        brand: the impersonated brand key (e.g. ``facebook``).
+        squat_type: which of the five categories matched.
+        detail: human-readable matching evidence (e.g. which character was
+            substituted), useful for case-study tables.
+    """
+
+    domain: str
+    brand: str
+    squat_type: SquatType
+    detail: Optional[str] = None

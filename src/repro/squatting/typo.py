@@ -1,0 +1,143 @@
+"""Typo squatting: mistyped variants of a brand label (§3.1).
+
+The paper generates typos four ways: *insertion* (adding a character),
+*omission* (deleting one), *repetition* (duplicating one), and *vowel swap*
+(the paper's term for re-ordering two consecutive characters — a
+transposition).  We additionally bias insertions toward QWERTY-adjacent keys,
+which is how real fat-finger typos arise and how URLCrazy seeds its lists.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set
+
+ALPHABET = "abcdefghijklmnopqrstuvwxyz"
+
+# QWERTY adjacency used to rank realistic insertions/substitutions.
+QWERTY_NEIGHBOURS: Dict[str, str] = {
+    "q": "wa", "w": "qes", "e": "wrd", "r": "etf", "t": "ryg", "y": "tuh",
+    "u": "yij", "i": "uok", "o": "ipl", "p": "ol",
+    "a": "qsz", "s": "awdx", "d": "sefc", "f": "drgv", "g": "fthb",
+    "h": "gyjn", "j": "hukm", "k": "jil", "l": "kop",
+    "z": "asx", "x": "zsd", "c": "xdfv", "v": "cfgb", "b": "vghn",
+    "n": "bhjm", "m": "njk",
+}
+
+
+class TypoModel:
+    """Generator/detector for typo-squatting labels."""
+
+    name = "typo"
+
+    def generate(self, label: str) -> Set[str]:
+        """All typo variants of ``label`` (deduplicated, label excluded)."""
+        variants: Set[str] = set()
+        variants.update(self.insertions(label))
+        variants.update(self.omissions(label))
+        variants.update(self.repetitions(label))
+        variants.update(self.transpositions(label))
+        variants.discard(label)
+        return {v for v in variants if v}
+
+    # ------------------------------------------------------------------
+    # the four §3.1 typo mechanisms
+    # ------------------------------------------------------------------
+    def insertions(self, label: str) -> Iterator[str]:
+        """Add one character at any position (alphabet, digits, and the
+        inner hyphen that produces face-book-style typos)."""
+        charset = ALPHABET + "0123456789-"
+        for i in range(len(label) + 1):
+            for char in charset:
+                if char == "-" and (i == 0 or i == len(label)):
+                    continue  # hostnames cannot begin/end with a hyphen
+                yield label[:i] + char + label[i:]
+
+    def omissions(self, label: str) -> Iterator[str]:
+        """Delete one character."""
+        for i in range(len(label)):
+            yield label[:i] + label[i + 1:]
+
+    def repetitions(self, label: str) -> Iterator[str]:
+        """Duplicate one character (facebook → faceboook)."""
+        for i in range(len(label)):
+            yield label[:i] + label[i] + label[i:]
+
+    def transpositions(self, label: str) -> Iterator[str]:
+        """Swap two consecutive characters (facebook → fcaebook)."""
+        for i in range(len(label) - 1):
+            if label[i] != label[i + 1]:
+                yield label[:i] + label[i + 1] + label[i] + label[i + 2:]
+
+    def keyboard_insertions(self, label: str) -> List[str]:
+        """Insertions restricted to QWERTY neighbours of adjacent keys."""
+        out: List[str] = []
+        for i in range(len(label) + 1):
+            context = set()
+            if i > 0:
+                context.update(QWERTY_NEIGHBOURS.get(label[i - 1], ""))
+            if i < len(label):
+                context.update(QWERTY_NEIGHBOURS.get(label[i], ""))
+            for char in sorted(context):
+                out.append(label[:i] + char + label[i:])
+        return out
+
+    # ------------------------------------------------------------------
+    # detection
+    # ------------------------------------------------------------------
+    def matches(self, label: str, target: str) -> Optional[str]:
+        """Classify ``label`` as a typo of ``target``.
+
+        Returns the mechanism name (``insertion`` / ``omission`` /
+        ``repetition`` / ``transposition``) or None.  Runs in O(len) per
+        mechanism instead of enumerating the variant set.
+        """
+        label = label.lower()
+        target = target.lower()
+        if label == target:
+            return None
+        if len(label) == len(target) + 1 and self._is_deletion_of(label, target):
+            # label is target + 1 char; repetition is the special insertion
+            # that duplicates a neighbour.
+            if self._is_repetition(label, target):
+                return "repetition"
+            return "insertion"
+        if len(label) == len(target) - 1 and self._is_deletion_of(target, label):
+            return "omission"
+        if len(label) == len(target) and self._is_transposition(label, target):
+            return "transposition"
+        return None
+
+    @staticmethod
+    def _is_deletion_of(longer: str, shorter: str) -> bool:
+        """True if deleting exactly one character of ``longer`` gives
+        ``shorter``."""
+        i = 0
+        skipped = False
+        j = 0
+        while i < len(longer) and j < len(shorter):
+            if longer[i] == shorter[j]:
+                i += 1
+                j += 1
+            elif not skipped:
+                skipped = True
+                i += 1
+            else:
+                return False
+        return True  # trailing extra char (if any) is the single deletion
+
+    @staticmethod
+    def _is_repetition(label: str, target: str) -> bool:
+        """True if ``label`` duplicates one character of ``target``."""
+        for i in range(len(target)):
+            if target[:i] + target[i] + target[i:] == label:
+                return True
+        return False
+
+    @staticmethod
+    def _is_transposition(label: str, target: str) -> bool:
+        """True if swapping one adjacent pair of ``target`` gives ``label``."""
+        diffs = [i for i in range(len(target)) if label[i] != target[i]]
+        if len(diffs) != 2:
+            return False
+        i, j = diffs
+        return j == i + 1 and label[i] == target[j] and label[j] == target[i]

@@ -1,0 +1,48 @@
+"""WrongTLD squatting: same label, different public suffix (§3.1).
+
+``facebook.audi`` keeps the brand's name and swaps the TLD.  Generation
+enumerates the known TLD inventory; detection is an exact core-label match
+with a differing suffix.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Set
+
+from repro.dns.records import KNOWN_TLDS, split_domain
+
+
+class WrongTLDModel:
+    """Generator/detector for wrongTLD-squatting domains.
+
+    Unlike the other models this one reasons about full registered domains
+    (label + suffix), since the suffix is what changes.
+    """
+
+    name = "wrongTLD"
+
+    def __init__(self, tlds: Sequence[str] = KNOWN_TLDS) -> None:
+        self.tlds = tuple(tlds)
+
+    def generate(self, domain: str, max_variants: Optional[int] = None) -> Set[str]:
+        """All same-label domains under other known TLDs."""
+        core, tld = split_domain(domain)
+        variants: Set[str] = set()
+        for candidate in self.tlds:
+            if candidate == tld:
+                continue
+            variants.add(f"{core}.{candidate}")
+            if max_variants and len(variants) >= max_variants:
+                break
+        return variants
+
+    def matches(self, domain: str, target_domain: str) -> Optional[str]:
+        """Classify ``domain`` as a wrongTLD squat of ``target_domain``.
+
+        Returns the offending TLD or None.
+        """
+        core, tld = split_domain(domain)
+        target_core, target_tld = split_domain(target_domain)
+        if core == target_core and tld != target_tld:
+            return tld or "(none)"
+        return None

@@ -1,0 +1,32 @@
+"""Vision substrate: perceptual image hashing for layout comparison.
+
+§4.2's layout-obfuscation measurement compares phishing screenshots against
+the brand's original page using an image hash and hamming distance (the
+paper uses the ``jenssegers/imagehash`` library; distances of ~7 are "still
+similar", ~24–38 are obfuscated).  We implement the three standard hashes —
+average, difference, and DCT-based perceptual — over numpy rasters.
+"""
+
+from repro.vision.imagehash import (
+    ImageHash,
+    average_hash,
+    dhash,
+    hamming_distance,
+    phash,
+    resize_bilinear,
+)
+from repro.vision.similarity_detector import (
+    VisualSimilarityDetector,
+    sweep_thresholds,
+)
+
+__all__ = [
+    "ImageHash",
+    "VisualSimilarityDetector",
+    "average_hash",
+    "dhash",
+    "hamming_distance",
+    "phash",
+    "resize_bilinear",
+    "sweep_thresholds",
+]

@@ -1,0 +1,110 @@
+"""Perceptual image hashes over grayscale numpy rasters.
+
+All three classic fingerprints are provided:
+
+* :func:`average_hash` — threshold against the mean of a downsampled image;
+* :func:`dhash` — horizontal gradient signs;
+* :func:`phash` — signs of low-frequency DCT coefficients (most robust to
+  local edits, and the default used by the evasion measurement).
+
+Hashes are 64-bit by default, compared with :func:`hamming_distance`, which
+is the distance plotted in Fig 8/9.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ImageHash:
+    """A fixed-length binary fingerprint of an image."""
+
+    bits: Tuple[bool, ...]
+
+    def __len__(self) -> int:
+        return len(self.bits)
+
+    def __sub__(self, other: "ImageHash") -> int:
+        return hamming_distance(self, other)
+
+    def __int__(self) -> int:
+        value = 0
+        for bit in self.bits:
+            value = (value << 1) | int(bit)
+        return value
+
+    def hex(self) -> str:
+        """Hex rendering, e.g. for table output."""
+        return f"{int(self):0{(len(self.bits) + 3) // 4}x}"
+
+
+def hamming_distance(a: ImageHash, b: ImageHash) -> int:
+    """Number of differing bits between two equal-length hashes."""
+    if len(a) != len(b):
+        raise ValueError(f"hash lengths differ: {len(a)} vs {len(b)}")
+    return sum(1 for x, y in zip(a.bits, b.bits) if x != y)
+
+
+def resize_bilinear(pixels: "np.ndarray", height: int, width: int) -> "np.ndarray":
+    """Bilinear resize of a 2-D array (no PIL available, so hand-rolled)."""
+    src = pixels.astype(np.float64)
+    src_h, src_w = src.shape
+    if src_h == height and src_w == width:
+        return src
+    # sample coordinates at pixel centers
+    ys = (np.arange(height) + 0.5) * src_h / height - 0.5
+    xs = (np.arange(width) + 0.5) * src_w / width - 0.5
+    ys = np.clip(ys, 0, src_h - 1)
+    xs = np.clip(xs, 0, src_w - 1)
+    y0 = np.floor(ys).astype(int)
+    x0 = np.floor(xs).astype(int)
+    y1 = np.minimum(y0 + 1, src_h - 1)
+    x1 = np.minimum(x0 + 1, src_w - 1)
+    wy = (ys - y0)[:, None]
+    wx = (xs - x0)[None, :]
+    top = src[np.ix_(y0, x0)] * (1 - wx) + src[np.ix_(y0, x1)] * wx
+    bottom = src[np.ix_(y1, x0)] * (1 - wx) + src[np.ix_(y1, x1)] * wx
+    return top * (1 - wy) + bottom * wy
+
+
+def average_hash(pixels: "np.ndarray", hash_size: int = 8) -> ImageHash:
+    """aHash: bit = pixel above the mean of the downsampled image."""
+    small = resize_bilinear(pixels, hash_size, hash_size)
+    mean = small.mean()
+    return ImageHash(bits=tuple(bool(v > mean) for v in small.flatten()))
+
+
+def dhash(pixels: "np.ndarray", hash_size: int = 8) -> ImageHash:
+    """dHash: bit = left pixel brighter than its right neighbour."""
+    small = resize_bilinear(pixels, hash_size, hash_size + 1)
+    diff = small[:, 1:] > small[:, :-1]
+    return ImageHash(bits=tuple(bool(v) for v in diff.flatten()))
+
+
+@lru_cache(maxsize=8)
+def _dct_matrix(n: int) -> "np.ndarray":
+    """Orthonormal DCT-II basis matrix of size n×n."""
+    k = np.arange(n)[:, None]
+    i = np.arange(n)[None, :]
+    matrix = math.sqrt(2.0 / n) * np.cos(math.pi * (2 * i + 1) * k / (2 * n))
+    matrix[0, :] /= math.sqrt(2.0)
+    return matrix
+
+
+def phash(pixels: "np.ndarray", hash_size: int = 8, highfreq_factor: int = 4) -> ImageHash:
+    """pHash: signs of the low-frequency DCT block (minus the DC term)."""
+    size = hash_size * highfreq_factor
+    small = resize_bilinear(pixels, size, size)
+    basis = _dct_matrix(size)
+    transformed = basis @ small @ basis.T
+    low = transformed[:hash_size, :hash_size].flatten()
+    median = np.median(low[1:])  # exclude the DC coefficient
+    bits = [bool(v > median) for v in low]
+    bits[0] = False  # DC term carries only global brightness
+    return ImageHash(bits=tuple(bits))

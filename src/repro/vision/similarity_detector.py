@@ -1,0 +1,123 @@
+"""Visual-similarity phishing detection: the classic baseline (§2, [47]).
+
+Pre-SquatPhi detectors flag a page as phishing when its screenshot is
+*visually close* to a protected brand's legitimate page — e.g. a fuzzy
+image hash within a hamming-distance threshold.  §4.2 measures why this
+fails in practice: real phishing pages deliberately drift 20-38 bits away
+from the originals (layout obfuscation) while still looking legitimate to a
+human, so any threshold either misses them or floods with false positives.
+
+This module implements that baseline faithfully so the failure can be
+measured rather than asserted (see ``bench_ablation_visual_baseline``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.vision.imagehash import ImageHash, hamming_distance, phash
+
+
+@dataclass
+class SimilarityMatch:
+    """Nearest protected brand for one page."""
+
+    brand: str
+    distance: int
+
+    def is_phishing(self, threshold: int) -> bool:
+        return self.distance <= threshold
+
+
+class VisualSimilarityDetector:
+    """Flags pages visually close to any protected brand page."""
+
+    def __init__(self, threshold: int = 10) -> None:
+        """
+        Args:
+            threshold: maximum hamming distance (64-bit pHash) at which a
+                page counts as an impersonation.  Classic deployments use
+                small thresholds (≤10) to keep false positives down.
+        """
+        self.threshold = threshold
+        self._references: Dict[str, ImageHash] = {}
+
+    def register_brand(self, brand: str, pixels: "np.ndarray") -> None:
+        """Add a protected brand's legitimate page screenshot."""
+        self._references[brand] = phash(pixels)
+
+    def register_brands(self, pages: Dict[str, "np.ndarray"]) -> None:
+        for brand, pixels in pages.items():
+            self.register_brand(brand, pixels)
+
+    @property
+    def protected_brands(self) -> List[str]:
+        return sorted(self._references)
+
+    def nearest(self, pixels: "np.ndarray") -> Optional[SimilarityMatch]:
+        """The closest protected brand to a page, or None if none
+        registered."""
+        if not self._references:
+            return None
+        page_hash = phash(pixels)
+        best_brand = ""
+        best_distance = 65
+        for brand, reference in self._references.items():
+            distance = hamming_distance(page_hash, reference)
+            if distance < best_distance:
+                best_distance = distance
+                best_brand = brand
+        return SimilarityMatch(brand=best_brand, distance=best_distance)
+
+    def classify(self, pixels: "np.ndarray") -> bool:
+        """True when the page is flagged as a visual impersonation."""
+        match = self.nearest(pixels)
+        return match is not None and match.is_phishing(self.threshold)
+
+
+@dataclass
+class ThresholdSweepPoint:
+    """Recall/FP of the baseline at one threshold (the §4.2 trade-off)."""
+
+    threshold: int
+    recall: float
+    false_positive_rate: float
+
+
+def sweep_thresholds(
+    detector: VisualSimilarityDetector,
+    positives: Sequence["np.ndarray"],
+    negatives: Sequence["np.ndarray"],
+    thresholds: Sequence[int] = (5, 10, 15, 20, 25, 30, 35),
+) -> List[ThresholdSweepPoint]:
+    """Evaluate the baseline across thresholds.
+
+    Demonstrates §4.2's conclusion: by the time the threshold is loose
+    enough to catch layout-obfuscated phishing (distance ~20-38), benign
+    pages start matching too.
+    """
+    positive_distances = [
+        match.distance for pixels in positives
+        if (match := detector.nearest(pixels)) is not None
+    ]
+    negative_distances = [
+        match.distance for pixels in negatives
+        if (match := detector.nearest(pixels)) is not None
+    ]
+    points: List[ThresholdSweepPoint] = []
+    for threshold in thresholds:
+        recall = (
+            sum(1 for d in positive_distances if d <= threshold)
+            / len(positive_distances) if positive_distances else 0.0
+        )
+        fpr = (
+            sum(1 for d in negative_distances if d <= threshold)
+            / len(negative_distances) if negative_distances else 0.0
+        )
+        points.append(ThresholdSweepPoint(
+            threshold=threshold, recall=recall, false_positive_rate=fpr,
+        ))
+    return points

@@ -1,0 +1,52 @@
+"""Web substrate: HTML, JavaScript, layout, screenshots, hosting, crawling.
+
+Everything the paper's measurement needs from "the web" lives here:
+
+* :mod:`repro.web.html` — an element-tree document model plus an HTML parser,
+  so pages round-trip through real markup strings;
+* :mod:`repro.web.javascript` — a JS tokenizer and the obfuscation-indicator
+  extraction used by the evasion measurement (§4.2);
+* :mod:`repro.web.layout` / :mod:`repro.web.screenshot` — a block layout
+  engine and a bitmap-font rasterizer standing in for headless Chrome's
+  renderer: the screenshot raster is what OCR and image hashing consume;
+* :mod:`repro.web.server` — hosted-site behaviour (liveness, redirects,
+  cloaking by User-Agent);
+* :mod:`repro.web.browser` — a headless-browser facade that follows
+  redirects and returns HTML + screenshot, like Puppeteer does in §3.2;
+* :mod:`repro.web.crawler` — the distributed snapshot crawler.
+"""
+
+from repro.web.html import Element, HTMLParserError, parse_html, text_content
+from repro.web.http import Request, Response, UserAgent, MOBILE_UA, WEB_UA
+from repro.web.javascript import ObfuscationIndicators, analyze_script, tokenize_js
+from repro.web.layout import LayoutEngine, TextRegion
+from repro.web.screenshot import Screenshot, render_page
+from repro.web.server import HostedSite, SiteBehavior
+from repro.web.browser import Browser, PageCapture
+from repro.web.crawler import CrawlResult, CrawlSnapshot, DistributedCrawler
+
+__all__ = [
+    "Browser",
+    "CrawlResult",
+    "CrawlSnapshot",
+    "DistributedCrawler",
+    "Element",
+    "HTMLParserError",
+    "HostedSite",
+    "LayoutEngine",
+    "MOBILE_UA",
+    "ObfuscationIndicators",
+    "PageCapture",
+    "Request",
+    "Response",
+    "Screenshot",
+    "SiteBehavior",
+    "TextRegion",
+    "UserAgent",
+    "WEB_UA",
+    "analyze_script",
+    "parse_html",
+    "render_page",
+    "text_content",
+    "tokenize_js",
+]

@@ -1,0 +1,130 @@
+"""Headless-browser facade: fetch, follow redirects, render, screenshot.
+
+Plays the role Puppeteer plays in §3.2: given a URL and a device profile it
+returns the final landing URL, the (dynamic) HTML, and a screenshot raster.
+"Dynamic content" matters for fidelity — some attacker pages inject their
+login form from JavaScript (the ADP case study, Fig 14d), so the browser
+executes a tiny supported subset of DOM-writing scripts before rendering.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.web.html import Element, parse_html
+from repro.web.http import Request, Response, UserAgent, WEB_UA
+from repro.web.screenshot import Screenshot, render_page
+from repro.web.server import WebHost
+
+MAX_REDIRECTS = 8
+
+# The browser's "JavaScript engine" understands the injection idiom the
+# synthetic attacker uses:  document.body.innerHTML += "<form>...</form>";
+_INNERHTML_RE = re.compile(
+    r"document\.body\.innerHTML\s*\+=\s*(['\"])(?P<markup>(?:\\.|(?!\1).)*)\1",
+    re.DOTALL,
+)
+
+
+@dataclass
+class PageCapture:
+    """Everything the crawler stores about one page visit."""
+
+    requested_url: str
+    final_url: str
+    user_agent: UserAgent
+    html: str
+    screenshot: Screenshot
+    redirect_chain: Tuple[str, ...] = ()
+
+    @property
+    def was_redirected(self) -> bool:
+        return len(self.redirect_chain) > 0
+
+    @property
+    def final_domain(self) -> str:
+        return Request(url=self.final_url).domain
+
+
+class Browser:
+    """Fetch + execute + render pipeline over a :class:`WebHost`."""
+
+    def __init__(self, host: WebHost, user_agent: UserAgent = WEB_UA) -> None:
+        self.host = host
+        self.user_agent = user_agent
+
+    def visit(self, url: str, snapshot: int = 0) -> Optional[PageCapture]:
+        """Visit a URL, following redirects; None when the site is dead."""
+        chain: List[str] = []
+        current = url
+        response: Optional[Response] = None
+        for _hop in range(MAX_REDIRECTS):
+            response = self.host.serve(
+                Request(url=current, user_agent=self.user_agent), snapshot=snapshot
+            )
+            if response is None:
+                return None
+            if response.is_redirect and response.location:
+                # Location may be relative in the wild; resolve it
+                from repro.web.urls import URLError, resolve
+
+                try:
+                    target = resolve(current, response.location)
+                except URLError:
+                    return None  # unresolvable redirect target
+                chain.append(target)
+                current = target
+                continue
+            break
+        if response is None or response.is_redirect:
+            return None  # redirect loop or dead end
+        document = parse_html(response.body)
+        document = self._execute_scripts(document)
+        shot = render_page(document)
+        return PageCapture(
+            requested_url=url,
+            final_url=current,
+            user_agent=self.user_agent,
+            html=document_to_html(document),
+            screenshot=shot,
+            redirect_chain=tuple(chain),
+        )
+
+    def _execute_scripts(self, document: Element) -> Element:
+        """Apply supported DOM-writing scripts to the tree."""
+        injected_markup: List[str] = []
+        for script in document.find_all("script"):
+            body = "".join(c for c in script.children if isinstance(c, str))
+            for match in _INNERHTML_RE.finditer(body):
+                markup = (
+                    match.group("markup")
+                    .replace('\\"', '"')
+                    .replace("\\'", "'")
+                    .replace("\\n", "\n")
+                )
+                injected_markup.append(markup)
+        if not injected_markup:
+            return document
+        body = document.find("body")
+        if body is None:
+            return document
+        for markup in injected_markup:
+            fragment = parse_html(markup)
+            for child in list(fragment.children):
+                body.append(child)
+        return document
+
+
+def document_to_html(document: Element) -> str:
+    """Serialize a parsed document back to markup.
+
+    The parse root is the synthetic ``#document`` node; its children are the
+    real top-level elements.
+    """
+    if document.tag == "#document":
+        return "\n".join(
+            child.to_html() for child in document.children if isinstance(child, Element)
+        )
+    return document.to_html()

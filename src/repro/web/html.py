@@ -1,0 +1,258 @@
+"""HTML document model and parser.
+
+Pages in the synthetic world are *built* as element trees, *served* as markup
+strings, and *re-parsed* by the measurement side — the crawler never sees
+anything but HTML text, exactly like the real system.  The parser is built on
+:class:`html.parser.HTMLParser` (stdlib tokenizer) with our own tree
+construction, void-element handling, and the extraction helpers the feature
+pipeline needs (§5.1: h/p/a/title texts, form attributes, scripts).
+"""
+
+from __future__ import annotations
+
+import html as html_escape
+from dataclasses import dataclass, field
+from html.parser import HTMLParser
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+VOID_ELEMENTS = frozenset(
+    {"area", "base", "br", "col", "embed", "hr", "img", "input",
+     "link", "meta", "param", "source", "track", "wbr"}
+)
+
+# Tags whose raw text is not page text (scripts and styles).
+RAW_TEXT_ELEMENTS = frozenset({"script", "style"})
+
+
+class HTMLParserError(ValueError):
+    """Raised when a document cannot be parsed into a tree."""
+
+
+@dataclass
+class Element:
+    """One node of the document tree.
+
+    Children are either :class:`Element` or plain ``str`` text nodes.
+    """
+
+    tag: str
+    attrs: Dict[str, str] = field(default_factory=dict)
+    children: List[Union["Element", str]] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def append(self, child: Union["Element", str]) -> "Element":
+        """Append a child and return self for chaining."""
+        self.children.append(child)
+        return self
+
+    def extend(self, children: Sequence[Union["Element", str]]) -> "Element":
+        for child in children:
+            self.append(child)
+        return self
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def iter(self) -> Iterator["Element"]:
+        """Depth-first iteration over this element and all descendants."""
+        yield self
+        for child in self.children:
+            if isinstance(child, Element):
+                yield from child.iter()
+
+    def find_all(self, tag: str) -> List["Element"]:
+        """All descendant elements with the given tag (including self)."""
+        return [el for el in self.iter() if el.tag == tag]
+
+    def find(self, tag: str) -> Optional["Element"]:
+        """First descendant with the given tag, or None."""
+        for el in self.iter():
+            if el.tag == tag:
+                return el
+        return None
+
+    def get(self, attr: str, default: str = "") -> str:
+        """Attribute lookup with a default."""
+        return self.attrs.get(attr, default)
+
+    @property
+    def own_text(self) -> str:
+        """Concatenated direct text children."""
+        return "".join(c for c in self.children if isinstance(c, str))
+
+    def text(self) -> str:
+        """All visible text under this element (skips script/style)."""
+        if self.tag in RAW_TEXT_ELEMENTS:
+            return ""
+        parts: List[str] = []
+        for child in self.children:
+            if isinstance(child, str):
+                parts.append(child)
+            else:
+                parts.append(child.text())
+        return " ".join(p.strip() for p in parts if p.strip())
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_html(self, indent: int = 0) -> str:
+        """Serialize the subtree to markup."""
+        pad = "  " * indent
+        attrs = "".join(
+            f' {key}="{html_escape.escape(str(value), quote=True)}"'
+            for key, value in self.attrs.items()
+        )
+        if self.tag in VOID_ELEMENTS:
+            return f"{pad}<{self.tag}{attrs}>"
+        if self.tag in RAW_TEXT_ELEMENTS:
+            raw = "".join(c if isinstance(c, str) else "" for c in self.children)
+            return f"{pad}<{self.tag}{attrs}>{raw}</{self.tag}>"
+        if not self.children:
+            return f"{pad}<{self.tag}{attrs}></{self.tag}>"
+        inner_parts: List[str] = []
+        only_text = all(isinstance(c, str) for c in self.children)
+        if only_text:
+            inner = html_escape.escape("".join(self.children))
+            return f"{pad}<{self.tag}{attrs}>{inner}</{self.tag}>"
+        for child in self.children:
+            if isinstance(child, str):
+                if child.strip():
+                    inner_parts.append("  " * (indent + 1) + html_escape.escape(child))
+            else:
+                inner_parts.append(child.to_html(indent + 1))
+        inner = "\n".join(inner_parts)
+        return f"{pad}<{self.tag}{attrs}>\n{inner}\n{pad}</{self.tag}>"
+
+
+def el(tag: str, *children: Union[Element, str], **attrs: str) -> Element:
+    """Terse element constructor: ``el("p", "hi", cls="x")``.
+
+    The ``cls`` keyword maps to the ``class`` attribute; other underscores
+    become hyphens (``data_embedded_text`` → ``data-embedded-text``).
+    """
+    fixed: Dict[str, str] = {}
+    for key, value in attrs.items():
+        if key == "cls":
+            key = "class"
+        fixed[key.replace("_", "-")] = str(value)
+    node = Element(tag=tag, attrs=fixed)
+    node.extend(children)
+    return node
+
+
+class _TreeBuilder(HTMLParser):
+    """Tree-building callback sink for the stdlib tokenizer."""
+
+    def __init__(self) -> None:
+        super().__init__(convert_charrefs=True)
+        self.root = Element(tag="#document")
+        self.stack: List[Element] = [self.root]
+
+    def handle_starttag(self, tag: str, attrs: List[Tuple[str, Optional[str]]]) -> None:
+        element = Element(tag=tag, attrs={k: (v or "") for k, v in attrs})
+        self.stack[-1].append(element)
+        if tag not in VOID_ELEMENTS:
+            self.stack.append(element)
+
+    def handle_startendtag(self, tag: str, attrs: List[Tuple[str, Optional[str]]]) -> None:
+        self.stack[-1].append(Element(tag=tag, attrs={k: (v or "") for k, v in attrs}))
+
+    def handle_endtag(self, tag: str) -> None:
+        # pop to the matching open tag; tolerate stray end tags
+        for i in range(len(self.stack) - 1, 0, -1):
+            if self.stack[i].tag == tag:
+                del self.stack[i:]
+                return
+
+    def handle_data(self, data: str) -> None:
+        if data:
+            self.stack[-1].append(data)
+
+
+def parse_html(markup: str) -> Element:
+    """Parse markup into a document tree rooted at ``#document``."""
+    builder = _TreeBuilder()
+    try:
+        builder.feed(markup)
+        builder.close()
+    except Exception as exc:  # html.parser raises bare exceptions on bad input
+        raise HTMLParserError(str(exc)) from exc
+    return builder.root
+
+
+def document(title: str, *body_children: Union[Element, str]) -> Element:
+    """Build a full page skeleton with ``title`` and body content."""
+    return el(
+        "html",
+        el("head", el("title", title)),
+        el("body", *body_children),
+    )
+
+
+# ----------------------------------------------------------------------
+# extraction helpers used by the feature pipeline (§5.1)
+# ----------------------------------------------------------------------
+
+def text_content(root: Element) -> str:
+    """All visible text in the document."""
+    return root.text()
+
+
+def lexical_texts(root: Element) -> Dict[str, List[str]]:
+    """Texts from the tags the paper's lexical features use.
+
+    Returns a map with keys ``h``, ``p``, ``a``, ``title`` (§5.1).
+    """
+    out: Dict[str, List[str]] = {"h": [], "p": [], "a": [], "title": []}
+    for element in root.iter():
+        if element.tag in ("h1", "h2", "h3", "h4", "h5", "h6"):
+            out["h"].append(element.text())
+        elif element.tag == "p":
+            out["p"].append(element.text())
+        elif element.tag == "a":
+            out["a"].append(element.text())
+        elif element.tag == "title":
+            out["title"].append(element.text())
+    return out
+
+
+def forms(root: Element) -> List[Element]:
+    """All form elements in the document."""
+    return root.find_all("form")
+
+
+def form_attributes(root: Element) -> List[str]:
+    """Texts of the four §5.1 form attributes across all forms.
+
+    ``type``, ``name``, ``placeholder`` of inputs and the submit value of
+    buttons; plus the form count is reported separately by the caller.
+    """
+    texts: List[str] = []
+    for form in forms(root):
+        for node in form.iter():
+            if node.tag == "input":
+                for attr in ("type", "name", "placeholder", "value"):
+                    value = node.get(attr)
+                    if value:
+                        texts.append(value)
+            elif node.tag == "button":
+                label = node.text() or node.get("value")
+                if label:
+                    texts.append(label)
+            elif node.tag == "label":
+                label = node.text()
+                if label:
+                    texts.append(label)
+    return texts
+
+
+def scripts(root: Element) -> List[str]:
+    """All inline script bodies in the document."""
+    out: List[str] = []
+    for node in root.find_all("script"):
+        body = "".join(c for c in node.children if isinstance(c, str))
+        if body.strip():
+            out.append(body)
+    return out

@@ -1,0 +1,84 @@
+"""HTTP request/response models and the two crawl profiles of §3.2."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class UserAgent:
+    """A browser identity presented to hosted sites.
+
+    The paper crawls every domain twice: once as Chrome 65 on a desktop and
+    once as Safari on an iPhone 6, to surface cloaking and mobile-only
+    phishing pages.
+    """
+
+    name: str
+    header: str
+    is_mobile: bool
+
+
+WEB_UA = UserAgent(
+    name="web",
+    header=(
+        "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 "
+        "(KHTML, like Gecko) Chrome/65.0.3325.181 Safari/537.36"
+    ),
+    is_mobile=False,
+)
+
+MOBILE_UA = UserAgent(
+    name="mobile",
+    header=(
+        "Mozilla/5.0 (iPhone; CPU iPhone OS 11_0 like Mac OS X) "
+        "AppleWebKit/604.1.38 (KHTML, like Gecko) Version/11.0 "
+        "Mobile/15A372 Safari/604.1"
+    ),
+    is_mobile=True,
+)
+
+CRAWL_PROFILES = (WEB_UA, MOBILE_UA)
+
+
+@dataclass(frozen=True)
+class Request:
+    """One HTTP GET issued by the crawler."""
+
+    url: str
+    user_agent: UserAgent = WEB_UA
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def domain(self) -> str:
+        """Registered host part of the URL (no scheme/path)."""
+        url = self.url
+        for prefix in ("https://", "http://"):
+            if url.startswith(prefix):
+                url = url[len(prefix):]
+                break
+        return url.split("/", 1)[0].lower()
+
+
+@dataclass
+class Response:
+    """One HTTP response as seen by the crawler."""
+
+    url: str
+    status: int = 200
+    body: str = ""
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    @property
+    def is_redirect(self) -> bool:
+        return self.status in (301, 302, 303, 307, 308)
+
+    @property
+    def location(self) -> Optional[str]:
+        """Redirect target, when :attr:`is_redirect`."""
+        return self.headers.get("Location")

@@ -1,0 +1,181 @@
+"""JavaScript tokenizer and obfuscation-indicator extraction (§4.2).
+
+The paper parses page JavaScript into an AST and extracts known obfuscation
+indicators (borrowed from FrameHanger): heavy use of string-builder functions
+(``fromCharCode`` / ``charCodeAt``), dynamic evaluation (``eval``,
+``Function``, ``unescape``), and a high density of special characters or
+long opaque string literals.
+
+We implement a compact JS tokenizer (strings, comments, regex-safe enough for
+indicator counting, identifiers, numbers, punctuation) and derive the
+indicator statistics from the token stream.  That is equivalent to the
+paper's AST usage for this purpose: every indicator is a call-site or literal
+property, all visible at token level.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, List, NamedTuple, Sequence, Tuple
+
+# Call-site identifiers that signal string-decoding obfuscation.
+STRING_FUNCTION_INDICATORS = frozenset(
+    {"fromCharCode", "charCodeAt", "charAt", "unescape", "decodeURIComponent",
+     "atob", "parseInt"}
+)
+
+# Dynamic-evaluation entry points.
+DYNAMIC_EVAL_INDICATORS = frozenset({"eval", "Function", "setTimeout", "setInterval",
+                                     "execScript", "document.write"})
+
+_PUNCTUATION = set("{}()[];,.<>+-*/%=&|^!~?:")
+
+
+class Token(NamedTuple):
+    """One lexical token: kind in {identifier, number, string, punct}."""
+
+    kind: str
+    value: str
+
+
+def tokenize_js(source: str) -> List[Token]:
+    """Tokenize JavaScript source for indicator counting.
+
+    Comments are skipped; string literals keep their body (no quotes).
+    The tokenizer is forgiving: unterminated constructs consume to EOF
+    rather than raising, since crawled pages contain broken scripts.
+    """
+    tokens: List[Token] = []
+    i = 0
+    n = len(source)
+    while i < n:
+        char = source[i]
+        if char.isspace():
+            i += 1
+            continue
+        # comments
+        if char == "/" and i + 1 < n:
+            nxt = source[i + 1]
+            if nxt == "/":
+                end = source.find("\n", i)
+                i = n if end == -1 else end + 1
+                continue
+            if nxt == "*":
+                end = source.find("*/", i + 2)
+                i = n if end == -1 else end + 2
+                continue
+        # strings
+        if char in "'\"`":
+            j = i + 1
+            buf: List[str] = []
+            while j < n and source[j] != char:
+                if source[j] == "\\" and j + 1 < n:
+                    buf.append(source[j:j + 2])
+                    j += 2
+                else:
+                    buf.append(source[j])
+                    j += 1
+            tokens.append(Token("string", "".join(buf)))
+            i = j + 1
+            continue
+        # numbers
+        if char.isdigit():
+            j = i
+            while j < n and (source[j].isalnum() or source[j] in ".xXbBoO"):
+                j += 1
+            tokens.append(Token("number", source[i:j]))
+            i = j
+            continue
+        # identifiers
+        if char.isalpha() or char in "_$":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] in "_$"):
+                j += 1
+            tokens.append(Token("identifier", source[i:j]))
+            i = j
+            continue
+        tokens.append(Token("punct", char))
+        i += 1
+    return tokens
+
+
+@dataclass
+class ObfuscationIndicators:
+    """Indicator statistics for one script (or one page's scripts)."""
+
+    string_function_calls: int = 0
+    dynamic_eval_calls: int = 0
+    long_string_literals: int = 0
+    max_string_entropy: float = 0.0
+    special_char_ratio: float = 0.0
+    hex_escape_count: int = 0
+    token_count: int = 0
+
+    @property
+    def is_obfuscated(self) -> bool:
+        """Conservative verdict using strong, well-known indicators only.
+
+        Mirrors the paper's choice to count "strong indicators" and accept a
+        lower bound: decode-function or eval usage, or opaque high-entropy
+        payload strings.
+        """
+        if self.string_function_calls >= 2:
+            return True
+        if self.dynamic_eval_calls >= 1 and self.string_function_calls >= 1:
+            return True
+        if self.hex_escape_count >= 8:
+            return True
+        if self.long_string_literals >= 1 and self.max_string_entropy >= 4.2:
+            return True
+        return False
+
+
+def _shannon_entropy(text: str) -> float:
+    if not text:
+        return 0.0
+    counts: dict = {}
+    for char in text:
+        counts[char] = counts.get(char, 0) + 1
+    total = len(text)
+    return -sum((c / total) * math.log2(c / total) for c in counts.values())
+
+
+def analyze_script(source: str) -> ObfuscationIndicators:
+    """Extract obfuscation indicators from one script body."""
+    tokens = tokenize_js(source)
+    out = ObfuscationIndicators(token_count=len(tokens))
+    special = sum(1 for t in tokens if t.kind == "punct")
+    out.special_char_ratio = special / len(tokens) if tokens else 0.0
+    for index, token in enumerate(tokens):
+        if token.kind == "identifier":
+            if token.value in STRING_FUNCTION_INDICATORS:
+                out.string_function_calls += 1
+            elif token.value in DYNAMIC_EVAL_INDICATORS:
+                out.dynamic_eval_calls += 1
+        elif token.kind == "string":
+            if len(token.value) >= 40:
+                out.long_string_literals += 1
+                out.max_string_entropy = max(
+                    out.max_string_entropy, _shannon_entropy(token.value)
+                )
+            out.hex_escape_count += token.value.count("\\x") + token.value.count("\\u")
+    return out
+
+
+def analyze_scripts(sources: Sequence[str]) -> ObfuscationIndicators:
+    """Aggregate indicators over all scripts of one page."""
+    combined = ObfuscationIndicators()
+    weighted_ratio = 0.0
+    for source in sources:
+        one = analyze_script(source)
+        combined.string_function_calls += one.string_function_calls
+        combined.dynamic_eval_calls += one.dynamic_eval_calls
+        combined.long_string_literals += one.long_string_literals
+        combined.max_string_entropy = max(combined.max_string_entropy, one.max_string_entropy)
+        combined.hex_escape_count += one.hex_escape_count
+        combined.token_count += one.token_count
+        weighted_ratio += one.special_char_ratio * one.token_count
+    if combined.token_count:
+        combined.special_char_ratio = weighted_ratio / combined.token_count
+    return combined

@@ -1,0 +1,249 @@
+"""Block layout engine: document tree → positioned text regions.
+
+This is the stand-in for headless Chrome's renderer.  It walks the body in
+document order and assigns each visible piece of text a rectangle on the
+page, flowing top-to-bottom with per-tag styling (heading scale, form box
+insets, button chrome).  Two properties matter for fidelity to the paper:
+
+* text that the HTML hides from extraction (drawn inside images via the
+  ``data-embedded-text`` attribute, the string-obfuscation trick of §4.2)
+  still yields a region — it is *visible*, just not HTML text;
+* layout-obfuscated pages (shuffled sections, offset blocks) produce a
+  different region geometry, which is what drives the image-hash distances
+  of Fig 8/9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+from repro.web.html import Element
+
+# Page geometry in glyph-cell units.  A "cell" is one font glyph footprint;
+# the rasterizer maps cells to pixels.
+PAGE_WIDTH_CELLS = 64
+DEFAULT_PAGE_HEIGHT_CELLS = 48
+
+HEADING_TAGS = {"h1": 2, "h2": 2, "h3": 1}  # extra vertical padding rows
+
+
+@dataclass(frozen=True)
+class TextRegion:
+    """One laid-out run of text.
+
+    Attributes:
+        text: the visible string.
+        x, y: top-left cell position.
+        scale: font scale factor (headings render larger).
+        kind: semantic origin — ``heading`` / ``text`` / ``link`` /
+            ``input`` / ``button`` / ``image`` / ``title``.
+        from_image: True when the text is pixels inside an image, i.e.
+            invisible to HTML text extraction but visible to OCR.
+        boxed: True when the region is drawn inside a box (inputs, buttons),
+            which adds border ink around the glyphs.
+    """
+
+    text: str
+    x: int
+    y: int
+    scale: int = 1
+    kind: str = "text"
+    from_image: bool = False
+    boxed: bool = False
+
+    @property
+    def width_cells(self) -> int:
+        return len(self.text) * self.scale
+
+    @property
+    def height_cells(self) -> int:
+        return self.scale
+
+
+@dataclass
+class PageLayout:
+    """The full layout result for one page."""
+
+    regions: List[TextRegion] = field(default_factory=list)
+    height_cells: int = DEFAULT_PAGE_HEIGHT_CELLS
+    width_cells: int = PAGE_WIDTH_CELLS
+
+    def visible_text(self) -> str:
+        """All text a user can see, in paint order."""
+        return " ".join(region.text for region in self.regions if region.text.strip())
+
+    def form_regions(self) -> List[TextRegion]:
+        """Regions belonging to form controls (the paper's login-form area)."""
+        return [r for r in self.regions if r.kind in ("input", "button")]
+
+
+class LayoutEngine:
+    """Flow layout over the supported tag set."""
+
+    def __init__(self, page_width: int = PAGE_WIDTH_CELLS) -> None:
+        self.page_width = page_width
+
+    def layout(self, root: Element) -> PageLayout:
+        """Lay out a parsed document (or subtree) into text regions."""
+        page = PageLayout(width_cells=self.page_width)
+        body = root.find("body") or root
+        cursor_y = 1
+        title = root.find("title")
+        if title is not None and title.text():
+            page.regions.append(
+                TextRegion(text=title.text()[: self.page_width], x=1, y=0, kind="title")
+            )
+            cursor_y = 2
+        cursor_y = self._layout_children(body, page, cursor_y, indent=1)
+        page.height_cells = max(DEFAULT_PAGE_HEIGHT_CELLS, cursor_y + 1)
+        return page
+
+    # ------------------------------------------------------------------
+    def _layout_children(self, element: Element, page: PageLayout, y: int, indent: int) -> int:
+        for child in element.children:
+            if isinstance(child, str):
+                y = self._emit_wrapped(child, page, y, indent, kind="text")
+                continue
+            y = self._layout_element(child, page, y, indent)
+        return y
+
+    def _layout_element(self, element: Element, page: PageLayout, y: int, indent: int) -> int:
+        tag = element.tag
+        if tag in ("script", "style", "head", "title", "meta", "link"):
+            return y
+        offset = self._style_offset(element)
+        if tag in HEADING_TAGS:
+            pad = HEADING_TAGS[tag]
+            text = element.text()
+            if text:
+                y += 1
+                page.regions.append(
+                    TextRegion(text=text[: self.page_width], x=indent + offset, y=y,
+                               scale=1, kind="heading")
+                )
+                y += pad
+            return y
+        if tag == "p":
+            y = self._emit_wrapped(element.text(), page, y, indent + offset, kind="text")
+            return y + 1
+        if tag == "a":
+            text = element.text() or element.get("href")
+            if text:
+                page.regions.append(
+                    TextRegion(text=text[: self.page_width], x=indent + offset, y=y, kind="link")
+                )
+                y += 1
+            return y
+        if tag == "img":
+            return self._layout_image(element, page, y, indent + offset)
+        if tag == "form":
+            return self._layout_form(element, page, y, indent + offset)
+        if tag == "input":
+            return self._layout_input(element, page, y, indent + offset)
+        if tag == "button":
+            label = element.text() or element.get("value") or "submit"
+            page.regions.append(
+                TextRegion(text=label[:24], x=indent + offset + 1, y=y,
+                           kind="button", boxed=True)
+            )
+            return y + 2
+        if tag == "br":
+            return y + 1
+        if tag in ("div", "section", "main", "header", "footer", "body", "html",
+                   "#document", "span", "label", "ul", "li", "nav", "table",
+                   "tr", "td", "center"):
+            # walk children in document order so text interleaved with
+            # elements (e.g. around <br>) keeps its position
+            for child in element.children:
+                if isinstance(child, Element):
+                    y = self._layout_element(child, page, y, indent + offset)
+                elif child.strip():
+                    y = self._emit_wrapped(child, page, y, indent + offset,
+                                           kind="text")
+            return y
+        # unknown tags: render their text conservatively
+        text = element.text()
+        if text:
+            y = self._emit_wrapped(text, page, y, indent + offset, kind="text")
+        return y
+
+    def _layout_form(self, element: Element, page: PageLayout, y: int, indent: int) -> int:
+        y += 1  # form top margin
+        for child in element.children:
+            if isinstance(child, str):
+                y = self._emit_wrapped(child, page, y, indent, kind="text")
+                continue
+            y = self._layout_element(child, page, y, indent + 1)
+        return y + 1
+
+    def _layout_input(self, element: Element, page: PageLayout, y: int, indent: int) -> int:
+        input_type = element.get("type", "text")
+        if input_type == "hidden":
+            return y
+        hint = element.get("placeholder") or element.get("value") or element.get("name")
+        if input_type == "submit":
+            page.regions.append(
+                TextRegion(text=(element.get("value") or "submit")[:24],
+                           x=indent + 1, y=y, kind="button", boxed=True)
+            )
+            return y + 2
+        if hint:
+            page.regions.append(
+                TextRegion(text=hint[:32], x=indent + 1, y=y, kind="input", boxed=True)
+            )
+        return y + 2
+
+    def _layout_image(self, element: Element, page: PageLayout, y: int, indent: int) -> int:
+        embedded = element.get("data-embedded-text")
+        alt = element.get("alt")
+        height = max(2, int(element.get("height", "3") or 3) // 16)
+        if embedded:
+            # the image file contains rendered text: visible, not in HTML
+            page.regions.append(
+                TextRegion(text=embedded[: self.page_width], x=indent + 1, y=y + 1,
+                           kind="image", from_image=True)
+            )
+        elif alt:
+            # pure-graphic image: alt text is NOT painted; draw nothing
+            pass
+        return y + height + 1
+
+    def _emit_wrapped(self, text: str, page: PageLayout, y: int, indent: int, kind: str) -> int:
+        text = " ".join(text.split())
+        if not text:
+            return y
+        width = max(8, self.page_width - indent - 1)
+        words = text.split(" ")
+        line: List[str] = []
+        length = 0
+        for word in words:
+            extra = len(word) + (1 if line else 0)
+            if length + extra > width and line:
+                page.regions.append(TextRegion(text=" ".join(line), x=indent, y=y, kind=kind))
+                y += 1
+                line, length = [word], len(word)
+            else:
+                line.append(word)
+                length += extra
+        if line:
+            page.regions.append(TextRegion(text=" ".join(line), x=indent, y=y, kind=kind))
+            y += 1
+        return y
+
+    @staticmethod
+    def _style_offset(element: Element) -> int:
+        """Horizontal offset from inline style (layout obfuscation uses
+        ``margin-left`` to push blocks around)."""
+        style = element.get("style")
+        if not style:
+            return 0
+        for decl in style.split(";"):
+            decl = decl.strip()
+            if decl.startswith("margin-left:"):
+                value = decl.split(":", 1)[1].strip().rstrip("px").strip()
+                try:
+                    return max(0, min(20, int(value) // 8))
+                except ValueError:
+                    return 0
+        return 0

@@ -1,0 +1,122 @@
+"""Screenshot rasterizer: page layout → grayscale numpy raster.
+
+The raster is the common currency of the visual pipeline: the OCR engine
+reads glyphs off it and the image hasher (Fig 8/9) fingerprints it.  Pages
+are drawn with the shared 5×7 bitmap font; boxed regions (inputs, buttons)
+get border ink, and image-embedded text renders exactly like ordinary text —
+which is the whole point of the paper's OCR features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.ocr.font import GLYPH_HEIGHT, GLYPH_SPACING, GLYPH_WIDTH, render_text
+from repro.web.html import Element
+from repro.web.layout import LayoutEngine, PageLayout, TextRegion
+
+CELL_WIDTH = GLYPH_WIDTH + GLYPH_SPACING
+CELL_HEIGHT = GLYPH_HEIGHT + 3  # line leading
+
+INK = 0       # glyph pixels are dark
+PAPER = 255   # background is light
+
+
+@dataclass
+class Screenshot:
+    """A rendered page: pixels plus the region list that produced them.
+
+    ``pixels`` is a (H, W) uint8 array, PAPER background / INK glyphs.
+    ``regions`` is kept for ground-truth introspection and tests; the
+    measurement pipeline itself only reads :attr:`pixels`.
+    """
+
+    pixels: "np.ndarray"
+    regions: List[TextRegion] = field(default_factory=list)
+
+    @property
+    def height(self) -> int:
+        return int(self.pixels.shape[0])
+
+    @property
+    def width(self) -> int:
+        return int(self.pixels.shape[1])
+
+    def crop(self, x: int, y: int, width: int, height: int) -> "Screenshot":
+        """Crop a pixel rectangle (clamped to bounds)."""
+        y0 = max(0, y)
+        x0 = max(0, x)
+        return Screenshot(pixels=self.pixels[y0:y0 + height, x0:x0 + width].copy())
+
+    def ink_ratio(self) -> float:
+        """Fraction of dark pixels — a cheap density fingerprint."""
+        return float((self.pixels < 128).mean())
+
+
+def rasterize(layout: PageLayout) -> Screenshot:
+    """Draw a laid-out page into pixels."""
+    height_px = layout.height_cells * CELL_HEIGHT
+    width_px = layout.width_cells * CELL_WIDTH
+    pixels = np.full((height_px, width_px), PAPER, dtype=np.uint8)
+    for region in layout.regions:
+        _draw_region(pixels, region)
+    return Screenshot(pixels=pixels, regions=list(layout.regions))
+
+
+def _draw_region(pixels: "np.ndarray", region: TextRegion) -> None:
+    strip = render_text(region.text)
+    if strip.shape[1] == 0:
+        return
+    if region.scale > 1:
+        strip = np.kron(strip, np.ones((region.scale, region.scale), dtype=np.uint8))
+    y_px = region.y * CELL_HEIGHT + 1
+    x_px = region.x * CELL_WIDTH + 1
+    height, width = strip.shape
+    max_y, max_x = pixels.shape
+    if y_px >= max_y or x_px >= max_x:
+        return
+    height = min(height, max_y - y_px)
+    width = min(width, max_x - x_px)
+    target = pixels[y_px:y_px + height, x_px:x_px + width]
+    target[strip[:height, :width] == 1] = INK
+    if region.boxed:
+        _draw_box(pixels, x_px - 1, y_px - 1, width + 4, height + 3)
+
+
+def _draw_box(pixels: "np.ndarray", x: int, y: int, width: int, height: int) -> None:
+    max_y, max_x = pixels.shape
+    x2 = min(max_x - 1, x + width)
+    y2 = min(max_y - 1, y + height)
+    x = max(0, x)
+    y = max(0, y)
+    pixels[y, x:x2] = INK
+    pixels[y2, x:x2] = INK
+    pixels[y:y2, x] = INK
+    pixels[y:y2 + 1, x2] = INK
+
+
+def render_page(root: Element, page_width_cells: Optional[int] = None) -> Screenshot:
+    """Layout + rasterize a document in one call (the browser's "screenshot")."""
+    engine = LayoutEngine(page_width=page_width_cells) if page_width_cells else LayoutEngine()
+    layout = engine.layout(root)
+    return rasterize(layout)
+
+
+def to_ascii_art(shot: Screenshot, max_width: int = 100) -> str:
+    """Downsample a screenshot to ASCII for terminal case studies (Fig 14)."""
+    step_y = max(1, shot.height // 40)
+    step_x = max(1, shot.width // max_width)
+    rows = []
+    for y in range(0, shot.height, step_y):
+        row = []
+        for x in range(0, shot.width, step_x):
+            block = shot.pixels[y:y + step_y, x:x + step_x]
+            row.append("#" if (block < 128).mean() > 0.15 else " ")
+        rows.append("".join(row).rstrip())
+    # trim trailing blank rows
+    while rows and not rows[-1]:
+        rows.pop()
+    return "\n".join(rows)

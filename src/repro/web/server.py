@@ -1,0 +1,106 @@
+"""Hosted-site behaviour: what a domain serves to a visiting browser.
+
+Each registered domain in the synthetic world maps to a :class:`HostedSite`
+with one of the behaviours the crawl measurement observes (§3.2):
+
+* ``dead`` — no response (about 45% of squatting domains in the paper);
+* ``content`` — serves a page, possibly different per User-Agent (cloaking);
+* ``redirect`` — 302 to another URL, classified later as *original* brand
+  site, domain *marketplace*, or *other*.
+
+Content is provided by callables so attacker pages can vary per snapshot
+(takedown, resurrection — Table 13) and per device profile.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.web.html import Element
+from repro.web.http import Request, Response, UserAgent
+
+
+class SiteBehavior(str, enum.Enum):
+    """Top-level serving behaviour of a hosted domain."""
+
+    DEAD = "dead"
+    CONTENT = "content"
+    REDIRECT = "redirect"
+
+
+# A content provider maps (user agent, snapshot index) to a document, or
+# None when the page is down for that snapshot.
+ContentProvider = Callable[[UserAgent, int], Optional[Element]]
+
+
+@dataclass
+class HostedSite:
+    """One domain's serving configuration.
+
+    Attributes:
+        domain: registered domain this site answers for.
+        behavior: dead / content / redirect.
+        provider: content provider when ``behavior == CONTENT``.
+        redirect_to: target URL when ``behavior == REDIRECT``.
+        ip: hosting address (joins to geoip).
+        label: ground-truth world label (``benign`` / ``parked`` /
+            ``phishing`` / ``defensive`` / ``original``), never exposed to
+            the measurement pipeline — used only for oracle verification
+            and for scoring the classifier.
+    """
+
+    domain: str
+    behavior: SiteBehavior
+    provider: Optional[ContentProvider] = None
+    redirect_to: Optional[str] = None
+    ip: str = "0.0.0.0"
+    label: str = "benign"
+    metadata: Dict[str, str] = field(default_factory=dict)
+
+    def respond(self, request: Request, snapshot: int = 0) -> Optional[Response]:
+        """Serve a request at a given snapshot; None when unreachable."""
+        if self.behavior == SiteBehavior.DEAD:
+            return None
+        if self.behavior == SiteBehavior.REDIRECT:
+            return Response(
+                url=request.url,
+                status=302,
+                headers={"Location": self.redirect_to or ""},
+            )
+        assert self.provider is not None, f"content site {self.domain} lacks a provider"
+        page = self.provider(request.user_agent, snapshot)
+        if page is None:
+            return None
+        return Response(url=request.url, status=200, body=page.to_html())
+
+
+class WebHost:
+    """The synthetic web: a resolvable-domain → site table."""
+
+    def __init__(self) -> None:
+        self._sites: Dict[str, HostedSite] = {}
+
+    def register(self, site: HostedSite) -> None:
+        self._sites[site.domain.lower()] = site
+
+    def get(self, domain: str) -> Optional[HostedSite]:
+        return self._sites.get(domain.lower())
+
+    def __len__(self) -> int:
+        return len(self._sites)
+
+    def __contains__(self, domain: str) -> bool:
+        return domain.lower() in self._sites
+
+    def sites(self):
+        """Iterate over all hosted sites."""
+        return iter(self._sites.values())
+
+    def serve(self, request: Request, snapshot: int = 0) -> Optional[Response]:
+        """Route a request to the owning site; None if domain unresolvable."""
+        site = self._sites.get(request.domain)
+        if site is None:
+            return None
+        return site.respond(request, snapshot=snapshot)

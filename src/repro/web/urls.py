@@ -1,0 +1,115 @@
+"""URL parsing and relative-reference resolution.
+
+The crawler follows redirects (§3.2) whose ``Location`` headers may be
+relative in the wild; this module gives the browser a real resolver instead
+of assuming absolute targets.  Implements the subset of RFC 3986 the
+synthetic web exercises: scheme/host/port/path/query parsing, path merging,
+and dot-segment removal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class URL:
+    """A parsed absolute URL."""
+
+    scheme: str
+    host: str
+    port: Optional[int] = None
+    path: str = "/"
+    query: str = ""
+
+    def __str__(self) -> str:
+        port = f":{self.port}" if self.port is not None else ""
+        query = f"?{self.query}" if self.query else ""
+        return f"{self.scheme}://{self.host}{port}{self.path}{query}"
+
+    @property
+    def origin(self) -> str:
+        port = f":{self.port}" if self.port is not None else ""
+        return f"{self.scheme}://{self.host}{port}"
+
+
+class URLError(ValueError):
+    """Raised for unparseable absolute URLs."""
+
+
+def parse_url(raw: str) -> URL:
+    """Parse an absolute http(s) URL."""
+    raw = raw.strip()
+    scheme, separator, rest = raw.partition("://")
+    if not separator or scheme.lower() not in ("http", "https"):
+        raise URLError(f"not an absolute http(s) URL: {raw!r}")
+    scheme = scheme.lower()
+    authority, slash, path_and_query = rest.partition("/")
+    path_and_query = slash + path_and_query if slash else "/"
+    path, question, query = path_and_query.partition("?")
+    host, colon, port_text = authority.partition(":")
+    if not host:
+        raise URLError(f"missing host: {raw!r}")
+    port: Optional[int] = None
+    if colon:
+        try:
+            port = int(port_text)
+        except ValueError as exc:
+            raise URLError(f"bad port in {raw!r}") from exc
+        if not 0 < port < 65536:
+            raise URLError(f"port out of range in {raw!r}")
+    return URL(scheme=scheme, host=host.lower(), port=port,
+               path=path or "/", query=query if question else "")
+
+
+def is_absolute(reference: str) -> bool:
+    """True when ``reference`` carries a scheme or is protocol-relative."""
+    return "://" in reference or reference.startswith("//")
+
+
+def remove_dot_segments(path: str) -> str:
+    """RFC 3986 §5.2.4 dot-segment removal."""
+    output: List[str] = []
+    for segment in path.split("/"):
+        if segment == ".":
+            continue
+        if segment == "..":
+            if output and output[-1]:
+                output.pop()
+            continue
+        output.append(segment)
+    # preserve a trailing slash produced by . or ..
+    if path.endswith(("/.", "/..")) and (not output or output[-1]):
+        output.append("")
+    cleaned = "/".join(output)
+    if not cleaned.startswith("/"):
+        cleaned = "/" + cleaned
+    return cleaned
+
+
+def resolve(base: str, reference: str) -> str:
+    """Resolve a (possibly relative) reference against a base URL."""
+    base_url = parse_url(base)
+    reference = reference.strip()
+    if not reference:
+        return str(base_url)
+    if reference.startswith("//"):
+        return str(parse_url(f"{base_url.scheme}:{reference}"))
+    if is_absolute(reference):
+        return str(parse_url(reference))
+    if reference.startswith("?"):
+        return str(URL(scheme=base_url.scheme, host=base_url.host,
+                       port=base_url.port, path=base_url.path,
+                       query=reference[1:]))
+    if reference.startswith("/"):
+        path, _, query = reference.partition("?")
+        return str(URL(scheme=base_url.scheme, host=base_url.host,
+                       port=base_url.port,
+                       path=remove_dot_segments(path), query=query))
+    # relative path: merge with the base path's directory
+    directory = base_url.path.rsplit("/", 1)[0]
+    path, _, query = reference.partition("?")
+    merged = remove_dot_segments(f"{directory}/{path}")
+    return str(URL(scheme=base_url.scheme, host=base_url.host,
+                   port=base_url.port, path=merged, query=query))

@@ -1,0 +1,78 @@
+"""Additional attacker-model coverage: themes, providers, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.brands import Brand
+from repro.phishworld.attacker import (
+    EvasionProfile,
+    PhishingPageBuilder,
+    PhishingPageSpec,
+    SCAM_THEMES,
+)
+from repro.web.html import forms, parse_html, text_content
+
+
+@pytest.fixture(scope="module")
+def google():
+    return Brand(name="google", domain="google.com", sensitivity="login")
+
+
+def build_page(brand, theme, **kwargs):
+    builder = PhishingPageBuilder(np.random.default_rng(kwargs.pop("seed", 1)))
+    spec = PhishingPageSpec(brand=brand, theme=theme,
+                            evasion=kwargs.pop("evasion", EvasionProfile()),
+                            **kwargs)
+    return builder.build(spec)
+
+
+class TestThemes:
+    @pytest.mark.parametrize("theme", SCAM_THEMES)
+    def test_every_theme_builds_a_page(self, google, theme):
+        page = build_page(google, theme)
+        markup = page.to_html()
+        assert "<html>" in markup
+        tree = parse_html(markup)
+        assert tree.find("title") is not None
+
+    def test_support_theme_mentions_technician(self, google):
+        page = build_page(google, "support")
+        assert "technician" in text_content(parse_html(page.to_html())).lower()
+
+    def test_payroll_theme_mentions_payslip(self, google):
+        page = build_page(google, "payroll")
+        assert "payslip" in text_content(parse_html(page.to_html())).lower()
+
+    def test_prize_theme_collects_credentials(self, google):
+        page = build_page(google, "prize")
+        tree = parse_html(page.to_html())
+        assert any(i.get("type") == "password" for i in tree.find_all("input"))
+
+    def test_search_theme_has_signin_entry(self, google):
+        page = build_page(google, "search")
+        assert "sign in" in text_content(parse_html(page.to_html())).lower()
+
+    @pytest.mark.parametrize("theme", ["login", "payment", "prize"])
+    def test_harvest_themes_always_have_forms(self, google, theme):
+        page = build_page(google, theme)
+        assert forms(parse_html(page.to_html()))
+
+
+class TestDeterminism:
+    def test_same_seed_same_page(self, google):
+        a = build_page(google, "login", seed=5,
+                       evasion=EvasionProfile(layout=True, string=True),
+                       layout_variant=3).to_html()
+        b = build_page(google, "login", seed=5,
+                       evasion=EvasionProfile(layout=True, string=True),
+                       layout_variant=3).to_html()
+        assert a == b
+
+    def test_layout_variants_differ(self, google):
+        pages = {
+            build_page(google, "login", seed=5,
+                       evasion=EvasionProfile(layout=True),
+                       layout_variant=v).to_html()
+            for v in range(4)
+        }
+        assert len(pages) >= 3

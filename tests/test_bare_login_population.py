@@ -1,0 +1,82 @@
+"""The bare-login benign population and its indistinguishability property."""
+
+import numpy as np
+import pytest
+
+from repro.brands import Brand
+from repro.features.extraction import FeatureExtractor
+from repro.phishworld.attacker import (
+    EvasionProfile,
+    PhishingPageBuilder,
+    PhishingPageSpec,
+)
+from repro.phishworld.sites import bare_login_page
+from repro.web.html import forms, parse_html, text_content
+from repro.web.screenshot import render_page
+
+
+def image_only_phish(seed=5):
+    """Draw an attacker page guaranteed to be the image-only variant."""
+    brand = Brand(name="paypal", domain="paypal.com", sensitivity="payment")
+    for offset in range(40):
+        builder = PhishingPageBuilder(np.random.default_rng(seed + offset))
+        page = builder.build(PhishingPageSpec(
+            brand=brand, theme="login",
+            evasion=EvasionProfile(string=True)))
+        if "verify your account" in page.to_html():
+            return page
+    raise AssertionError("image-only variant never drawn")
+
+
+class TestBareLogin:
+    def test_has_password_form_and_no_body_text(self):
+        page = bare_login_page("panel.example.net", np.random.default_rng(1))
+        tree = parse_html(page.to_html())
+        assert forms(tree)
+        text = text_content(tree).lower()
+        # only form labels and nav links, no descriptive copy
+        assert "manage" not in text and "welcome" not in text
+
+    def test_deterministic_per_rng(self):
+        a = bare_login_page("x.com", np.random.default_rng(3)).to_html()
+        b = bare_login_page("x.com", np.random.default_rng(3)).to_html()
+        assert a == b
+
+
+class TestIndistinguishability:
+    """The design property that makes the OCR channel load-bearing."""
+
+    def test_lexical_features_identical_to_image_only_phish(self):
+        extractor = FeatureExtractor(use_ocr=False)
+        phish = image_only_phish()
+        # pick the benign bare login with the same service word as the phish
+        phish_title = parse_html(phish.to_html()).find("title").text()
+        benign = None
+        for seed in range(40):
+            candidate = bare_login_page("any.example", np.random.default_rng(seed))
+            if parse_html(candidate.to_html()).find("title").text() == phish_title:
+                benign = candidate
+                break
+        assert benign is not None, phish_title
+        phish_features = extractor.extract(phish.to_html())
+        benign_features = extractor.extract(benign.to_html())
+        assert sorted(phish_features.lexical_tokens) == sorted(
+            benign_features.lexical_tokens)
+        assert sorted(phish_features.form_tokens) == sorted(
+            benign_features.form_tokens)
+        assert phish_features.form_count == benign_features.form_count
+        assert (phish_features.password_input_count
+                == benign_features.password_input_count)
+
+    def test_ocr_separates_them(self):
+        extractor = FeatureExtractor(extra_lexicon=["paypal"])
+        phish = image_only_phish()
+        benign = bare_login_page("any.example", np.random.default_rng(2))
+        phish_shot = render_page(parse_html(phish.to_html()))
+        benign_shot = render_page(parse_html(benign.to_html()))
+        phish_ocr = set(extractor.extract(phish.to_html(),
+                                          phish_shot.pixels).ocr_tokens)
+        benign_ocr = set(extractor.extract(benign.to_html(),
+                                           benign_shot.pixels).ocr_tokens)
+        assert "paypal" in phish_ocr or "verify" in phish_ocr
+        assert "paypal" not in benign_ocr and "verify" not in benign_ocr

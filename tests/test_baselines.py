@@ -1,0 +1,104 @@
+"""DNSTwist / URLCrazy baseline generators and coverage scoring."""
+
+import pytest
+
+from repro.squatting.baselines import (
+    BaselineReport,
+    DNSTwistBaseline,
+    URLCrazyBaseline,
+    baseline_coverage,
+    coverage_by_type,
+)
+from repro.squatting.types import SquatType
+
+
+@pytest.fixture(scope="module")
+def dnstwist():
+    return DNSTwistBaseline()
+
+
+@pytest.fixture(scope="module")
+def urlcrazy():
+    return URLCrazyBaseline()
+
+
+class TestDNSTwist:
+    def test_generates_typo_and_bits(self, dnstwist):
+        candidates = dnstwist.generate("facebook.com")
+        assert "facebok.com" in candidates       # omission
+        assert "facebnok.com" in candidates      # bit flip
+
+    def test_keeps_original_tld_only(self, dnstwist):
+        """The paper's complaint: facebookj.com yes, facebookj.es no."""
+        candidates = dnstwist.generate("facebook.com")
+        assert "facebookj.com" in candidates
+        assert "facebookj.es" not in candidates
+        assert all(c.endswith(".com") for c in candidates)
+
+    def test_no_combo_or_wrongtld(self, dnstwist):
+        candidates = dnstwist.generate("facebook.com")
+        assert "facebook-login.com" not in candidates
+        assert "facebook.audi" not in candidates
+
+    def test_homograph_coverage_is_partial(self, dnstwist):
+        from repro.squatting.homograph import HomographModel
+
+        full = {f"{label}.com" for label in HomographModel().generate_idn("apple")}
+        reduced = {c for c in dnstwist.generate("apple.com") if c.startswith("xn--")}
+        assert reduced  # it does produce IDN candidates...
+        assert len(reduced & full) < len(full)  # ...but misses part of the space
+
+    def test_excludes_the_brand_itself(self, dnstwist):
+        assert "facebook.com" not in dnstwist.generate("facebook.com")
+
+
+class TestURLCrazy:
+    def test_typo_classes(self, urlcrazy):
+        candidates = urlcrazy.generate("google.com")
+        assert "gogle.com" in candidates         # omission
+        assert "gooogle.com" in candidates       # repetition
+        assert "ogogle.com" in candidates        # transposition
+
+    def test_keyboard_substitution(self, urlcrazy):
+        # f -> g are adjacent on QWERTY
+        assert "gacebook.com" in urlcrazy.generate("facebook.com")
+
+    def test_vowel_swap(self, urlcrazy):
+        assert "facebaok.com" in urlcrazy.generate("facebook.com")
+
+    def test_no_idn_output(self, urlcrazy):
+        assert all(not c.startswith("xn--")
+                   for c in urlcrazy.generate("facebook.com"))
+
+
+class TestCoverage:
+    OBSERVED = {
+        "facebok.com": ("facebook", SquatType.TYPO),
+        "facebnok.com": ("facebook", SquatType.BITS),
+        "facebook-login.com": ("facebook", SquatType.COMBO),
+        "facebook.audi": ("facebook", SquatType.WRONG_TLD),
+        "facebok.tk": ("facebook", SquatType.TYPO),   # off-TLD typo
+    }
+    BRANDS = {"facebook": "facebook.com"}
+
+    def test_dnstwist_misses_offtld_combo_wrongtld(self, dnstwist):
+        report = baseline_coverage(dnstwist, self.BRANDS, self.OBSERVED)
+        assert report.matched == 2          # only same-TLD typo + bits
+        assert report.observed == 5
+        assert report.recall == pytest.approx(0.4)
+
+    def test_by_type_breakdown(self, dnstwist):
+        buckets = coverage_by_type(dnstwist, self.BRANDS, self.OBSERVED)
+        assert buckets["combo"] == (0, 1)
+        assert buckets["wrongTLD"] == (0, 1)
+        assert buckets["typo"] == (1, 2)
+        assert buckets["bits"] == (1, 1)
+
+    def test_empty_observed(self, dnstwist):
+        report = baseline_coverage(dnstwist, self.BRANDS, {})
+        assert report.recall == 0.0
+
+
+def test_report_recall_property():
+    report = BaselineReport(name="x", generated=10, matched=3, observed=4)
+    assert report.recall == 0.75

@@ -1,0 +1,64 @@
+"""Bit-squatting model."""
+
+import pytest
+
+from repro.squatting.bits import BitsModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return BitsModel()
+
+
+def test_generates_paper_example(model):
+    assert "facebnok" in model.generate("facebook")
+
+
+def test_goofle_is_one_bit_from_google(model):
+    assert model.matches("goofle", "google") is not None
+
+
+def test_all_variants_are_single_bit_flips(model):
+    for variant in model.generate("uber"):
+        assert len(variant) == 4
+        diffs = [(a, b) for a, b in zip(variant, "uber") if a != b]
+        assert len(diffs) == 1
+        a, b = diffs[0]
+        xor = ord(a) ^ ord(b)
+        assert xor and (xor & (xor - 1)) == 0
+
+
+def test_variants_are_valid_hostname_chars(model):
+    valid = set("abcdefghijklmnopqrstuvwxyz0123456789-")
+    for variant in model.generate("facebook"):
+        assert set(variant) <= valid
+
+
+def test_no_leading_or_trailing_hyphen(model):
+    # 'a' ^ 0x0C == 'm'; 'a' ^ 0x40 == '!' (invalid); hyphen edge cases
+    for variant in model.generate("aa"):
+        assert not variant.startswith("-")
+        assert not variant.endswith("-")
+
+
+def test_detection_detail_format(model):
+    detail = model.matches("facebnok", "facebook")
+    assert detail == "o->n@5"
+
+
+def test_detection_rejects_same_label(model):
+    assert model.matches("facebook", "facebook") is None
+
+
+def test_detection_rejects_multi_char_difference(model):
+    assert model.matches("facebnnk", "facebook") is None
+
+
+def test_detection_rejects_non_bitflip_substitution(model):
+    # 'f' -> 'z': xor is not a power of two
+    assert model.matches("zacebook", "facebook") is None
+
+
+def test_generate_detect_roundtrip(model):
+    for variant in sorted(model.generate("google")):
+        assert model.matches(variant, "google") is not None, variant

@@ -1,0 +1,100 @@
+"""Brand catalog and the synthetic Alexa service."""
+
+import pytest
+
+from repro.brands.alexa import ALEXA_CATEGORIES, AlexaRanking, synth_brand_name
+from repro.brands.catalog import Brand, BrandCatalog, merge_brand_domains
+
+
+class TestCatalog:
+    def test_paper_size(self, catalog):
+        assert len(catalog) == 702  # §3.1: 702 unique brands
+
+    def test_seed_brands_present(self, catalog):
+        for name in ("google", "facebook", "paypal", "santander", "adp"):
+            assert name in catalog
+
+    def test_core_label_and_tld(self):
+        brand = Brand(name="santander", domain="santander.co.uk")
+        assert brand.core_label == "santander"
+        assert brand.tld == "co.uk"
+
+    def test_duplicate_add_merges_sources(self):
+        catalog = BrandCatalog()
+        catalog.add(Brand(name="x", domain="x.com", sources=("alexa",)))
+        catalog.add(Brand(name="x", domain="x.com", sources=("phishtank",)))
+        assert len(catalog) == 1
+        assert set(catalog.get("x").sources) == {"alexa", "phishtank"}
+
+    def test_by_category_and_source(self, catalog):
+        finance = catalog.by_category("finance")
+        assert any(b.name == "paypal" for b in finance)
+        assert catalog.by_source("phishtank")
+
+    def test_all_categories_populated(self, catalog):
+        for category in ALEXA_CATEGORIES:
+            assert catalog.by_category(category), category
+
+    def test_core_labels_unique_per_brand_key(self, catalog):
+        assert len(catalog.core_labels()) >= 0.99 * len(catalog)
+
+
+class TestMerge:
+    def test_merges_same_registered_domain(self):
+        merged = merge_brand_domains([
+            ("niams", "niams.nih.gov"),
+            ("nichd", "nichd.nih.gov"),
+            ("cdc", "cdc.gov"),
+        ])
+        domains = [d for _, d in merged]
+        assert domains.count("nih.gov") == 1
+        assert "cdc.gov" in domains
+
+    def test_keeps_first_name(self):
+        merged = merge_brand_domains([("a", "x.com"), ("b", "www.x.com")])
+        assert merged == [("a", "x.com")]
+
+
+class TestAlexa:
+    def test_explicit_ranks(self):
+        alexa = AlexaRanking()
+        alexa.assign_rank("top.com", 1)
+        assert alexa.rank("top.com") == 1
+        assert alexa.is_ranked("top.com")
+
+    def test_auto_increment(self):
+        alexa = AlexaRanking()
+        first = alexa.assign_rank("a.com")
+        second = alexa.assign_rank("b.com")
+        assert second == first + 1
+
+    def test_unranked_is_beyond_universe(self):
+        alexa = AlexaRanking(universe_size=1000)
+        assert alexa.rank("nowhere.example") > 1000
+        assert not alexa.is_ranked("nowhere.example")
+
+    def test_pseudo_rank_is_deterministic(self):
+        alexa = AlexaRanking()
+        assert alexa.rank("stable.com") == alexa.rank("stable.com")
+
+    def test_buckets(self):
+        alexa = AlexaRanking()
+        alexa.assign_rank("a.com", 500)
+        alexa.assign_rank("b.com", 5000)
+        assert alexa.bucket("a.com") == "(0-1000]"
+        assert alexa.bucket("b.com") == "(1000-10000]"
+        assert alexa.bucket("tail.zz").startswith("(1000000+")
+
+    def test_histogram_covers_all_buckets(self):
+        alexa = AlexaRanking()
+        alexa.assign_rank("a.com", 10)
+        histogram = alexa.histogram(["a.com", "unranked.biz"])
+        assert histogram["(0-1000]"] == 1
+        assert sum(histogram.values()) == 2
+
+
+def test_synth_brand_names_are_deterministic_and_lexical():
+    assert synth_brand_name(5) == synth_brand_name(5)
+    name = synth_brand_name(123)
+    assert name.isalpha()
+    assert 3 <= len(name) <= 16

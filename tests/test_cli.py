@@ -1,0 +1,97 @@
+"""CLI commands, driven through main()."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.dns.activedns import write_snapshot
+from repro.dns.records import DNSRecord
+
+
+class TestGen:
+    def test_generates_candidates(self, capsys):
+        assert main(["gen", "facebook.com", "--limit", "50"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 50
+        assert all("\t" in line for line in lines)
+
+    def test_type_filter(self, capsys):
+        main(["gen", "facebook.com", "--types", "bits", "--limit", "20"])
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert all(line.endswith("\tbits") for line in lines)
+
+    def test_combo_flag(self, capsys):
+        main(["gen", "uber.com", "--types", "combo", "--combo", "--limit", "10"])
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines
+        assert all("combo" in line for line in lines)
+
+
+class TestClassify:
+    def test_known_squats(self, capsys):
+        code = main(["classify", "faceb00k.pw", "goog1e.nl",
+                     "--brands", "facebook.com", "google.com"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "faceb00k.pw\tfacebook\thomograph" in out
+        assert "goog1e.nl\tgoogle\thomograph" in out
+
+    def test_clean_domain_exit_code(self, capsys):
+        code = main(["classify", "totally-unrelated-site.com",
+                     "--brands", "facebook.com"])
+        assert code == 1
+        assert "\t-\t-" in capsys.readouterr().out
+
+    def test_sector_catalog_flag(self, capsys):
+        code = main(["classify", "irs-refund.com", "--sectors", "government"])
+        assert code == 0
+        assert "irs-refund.com\tirs\tcombo" in capsys.readouterr().out
+
+    def test_sectors_combine_with_brands(self, capsys):
+        code = main(["classify", "irs-refund.com", "faceb00k.pw",
+                     "--brands", "facebook.com", "--sectors", "government"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "irs-refund.com\tirs" in out
+        assert "faceb00k.pw\tfacebook" in out
+
+
+class TestScan:
+    def test_scan_snapshot(self, tmp_path, capsys):
+        snapshot = tmp_path / "snap.tsv"
+        write_snapshot([
+            DNSRecord(name="faceb00k.pw", ip="1.1.1.1"),
+            DNSRecord(name="facebook-login.tk", ip="1.1.1.2"),
+            DNSRecord(name="clean.org", ip="1.1.1.3"),
+        ], snapshot)
+        out_file = tmp_path / "matches.tsv"
+        code = main(["scan", str(snapshot), "--brands", "facebook.com",
+                     "--out", str(out_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "found 2 squatting domains" in out
+        written = out_file.read_text().strip().splitlines()
+        assert len(written) == 2
+
+
+class TestWorld:
+    def test_world_dump(self, tmp_path, capsys):
+        out = tmp_path / "world.tsv"
+        code = main(["world", str(out), "--organic", "30", "--squats", "40",
+                     "--phish", "4"])
+        assert code == 0
+        assert out.exists()
+        assert "wrote" in capsys.readouterr().out
+        assert len(out.read_text().strip().splitlines()) > 70
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+@pytest.mark.slow
+def test_pipeline_command(capsys):
+    code = main(["pipeline", "--squats", "120"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "verified phishing" in out

@@ -1,0 +1,54 @@
+"""Combo squatting model."""
+
+import pytest
+
+from repro.squatting.combo import COMMON_AFFIXES, ComboModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return ComboModel()
+
+
+class TestGeneration:
+    def test_hyphenated_combos(self, model):
+        variants = model.generate("facebook")
+        assert "facebook-login" in variants
+        assert "login-facebook" in variants
+
+    def test_glued_combos_contain_hyphen(self, model):
+        for variant in model.generate_glued("uber", ["freight", "go"]):
+            assert "-" in variant
+            assert "uber" in variant
+
+
+class TestDetection:
+    @pytest.mark.parametrize("label,target,kind", [
+        ("facebook-story", "facebook", "token"),
+        ("story-facebook", "facebook", "token"),
+        ("mobile-adp", "adp", "token"),          # short brand, exact token
+        ("go-uberfreight", "uber", "substring"), # glued affix
+        ("live-microsoftsupport", "microsoft", "substring"),
+        ("securemail-citizenslc", "citizenslc", "token"),
+    ])
+    def test_positive(self, model, label, target, kind):
+        assert model.matches(label, target) == kind
+
+    @pytest.mark.parametrize("label,target", [
+        ("facebook", "facebook"),      # no hyphen
+        ("facebookstory", "facebook"), # no hyphen at all
+        ("face-book", "facebook"),     # brand broken across tokens
+        ("my-adparts", "adp"),         # short brand must be exact token
+        ("pay-pal", "paypal"),
+    ])
+    def test_negative(self, model, label, target):
+        assert model.matches(label, target) is None
+
+    def test_min_brand_length_guards_substrings(self):
+        strict = ComboModel(min_brand_length=6)
+        assert strict.matches("go-uberfreight", "uber") is None
+        assert strict.matches("go-uber", "uber") == "token"
+
+
+def test_affix_list_has_no_duplicates():
+    assert len(COMMON_AFFIXES) == len(set(COMMON_AFFIXES))

@@ -1,0 +1,90 @@
+"""Unicode confusables table and the homograph matching DP."""
+
+import pytest
+
+from repro.squatting.confusables import (
+    ASCII_CONFUSABLES,
+    CONFUSABLES,
+    MULTI_CHAR_CONFUSABLES,
+    confusable_variants,
+    dnstwist_subset,
+    matches_homograph,
+    readable_bases,
+    skeleton,
+)
+
+
+class TestTableShape:
+    def test_a_has_many_variants(self):
+        # the paper's complaint: DNSTwist maps only 13 of the 23 look-alikes
+        # of "a"; our table carries the fuller set
+        assert len(CONFUSABLES["a"]) >= 20
+
+    def test_dnstwist_subset_is_smaller(self):
+        reduced = dnstwist_subset()
+        assert len(reduced["a"]) < len(CONFUSABLES["a"])
+        assert len(reduced["a"]) == max(1, len(CONFUSABLES["a"]) * 13 // 23)
+
+    def test_ascii_confusables_are_hostname_safe(self):
+        for base, variants in ASCII_CONFUSABLES.items():
+            for variant in variants:
+                assert all(c in "abcdefghijklmnopqrstuvwxyz0123456789-" for c in variant), (
+                    base, variant)
+
+    def test_multichar_sorted_longest_first(self):
+        lengths = [len(v) for v, _ in MULTI_CHAR_CONFUSABLES]
+        assert lengths == sorted(lengths, reverse=True)
+
+    def test_readable_bases(self):
+        assert "o" in readable_bases("0")
+        assert "l" in readable_bases("1")
+        assert "i" in readable_bases("1")
+
+
+class TestMatching:
+    @pytest.mark.parametrize("label,target", [
+        ("faceb00k", "facebook"),   # digit homoglyphs
+        ("goog1e", "google"),       # 1 can read as l
+        ("rnicrosoft", "microsoft"),  # multi-char rn -> m
+        ("paypa1", "paypal"),
+        ("fàcebook", "facebook"),   # accented unicode
+        ("pаypal", "paypal"),       # cyrillic а
+        ("tacebook", "facebook"),   # t/f crossbar confusion (Table 13)
+        ("vvikipedia", "wikipedia"),  # vv -> w
+    ])
+    def test_positive(self, label, target):
+        assert matches_homograph(label, target)
+
+    @pytest.mark.parametrize("label,target", [
+        ("facebook", "facebook"),   # identity is not a homograph
+        ("fakebook", "facebook"),   # k is not a c look-alike
+        ("facebooks", "facebook"),  # length mismatch w/o multi-char
+        ("random", "facebook"),
+        ("", "facebook"),
+    ])
+    def test_negative(self, label, target):
+        assert not matches_homograph(label, target)
+
+    def test_multichar_at_word_start_and_end(self):
+        assert matches_homograph("rnail", "mail")
+        assert matches_homograph("tearn", "team")
+
+
+class TestSkeleton:
+    def test_ascii_letters_map_to_themselves(self):
+        assert skeleton("paypal") == "paypal"
+
+    def test_digits_collapse(self):
+        assert skeleton("faceb00k") == "facebook"
+
+    def test_unicode_collapses(self):
+        assert skeleton("fàcebook") == "facebook"
+
+    def test_multichar_collapses(self):
+        assert skeleton("rnicrosoft") == "microsoft"
+
+
+def test_confusable_variants_lookup():
+    assert "0" in confusable_variants("o")
+    assert confusable_variants("o", ascii_only=True) == ("0",)
+    assert confusable_variants("?") == ()

@@ -1,0 +1,116 @@
+"""Unified squatting detector over brand catalogs and zones."""
+
+import pytest
+
+from repro.brands import Brand, BrandCatalog
+from repro.dns.zone import ZoneStore
+from repro.squatting.detector import SquattingDetector
+from repro.squatting.types import SquatType
+
+
+@pytest.fixture(scope="module")
+def detector():
+    catalog = BrandCatalog([
+        Brand(name="facebook", domain="facebook.com", sensitivity="login"),
+        Brand(name="google", domain="google.com", sensitivity="login"),
+        Brand(name="uber", domain="uber.com", sensitivity="login"),
+        Brand(name="adp", domain="adp.com", sensitivity="payment"),
+        Brand(name="bt", domain="bt.com"),
+    ])
+    return SquattingDetector(catalog)
+
+
+# Table 1 of the paper, plus §3.1 matching rules.
+PAPER_EXAMPLES = [
+    ("faceb00k.pw", "facebook", SquatType.HOMOGRAPH),
+    ("xn--fcebook-8va.com", "facebook", SquatType.HOMOGRAPH),
+    ("facebnok.tk", "facebook", SquatType.BITS),
+    ("facebo0ok.com", "facebook", SquatType.TYPO),
+    ("fcaebook.org", "facebook", SquatType.TYPO),
+    ("facebook-story.de", "facebook", SquatType.COMBO),
+    ("facebook.audi", "facebook", SquatType.WRONG_TLD),
+    ("go-uberfreight.com", "uber", SquatType.COMBO),
+    ("mobile-adp.com", "adp", SquatType.COMBO),
+    ("goog1e.nl", "google", SquatType.HOMOGRAPH),
+    ("goofle.com.ua", "google", SquatType.BITS),
+]
+
+
+@pytest.mark.parametrize("domain,brand,squat_type", PAPER_EXAMPLES)
+def test_paper_examples(detector, domain, brand, squat_type):
+    match = detector.classify_domain(domain)
+    assert match is not None, domain
+    assert match.brand == brand
+    assert match.squat_type == squat_type
+
+
+def test_subdomains_are_ignored(detector):
+    # §3.1: mail.google-app.de is combo squatting on google
+    match = detector.classify_domain("mail.google-app.de")
+    assert match is not None
+    assert match.brand == "google"
+    assert match.squat_type == SquatType.COMBO
+
+
+def test_brand_own_domain_is_not_squatting(detector):
+    assert detector.classify_domain("facebook.com") is None
+    assert detector.classify_domain("www.facebook.com") is None
+
+
+def test_unrelated_domains_are_clean(detector):
+    for domain in ("example.com", "weatherreport.net", "quiteunrelated.org"):
+        assert detector.classify_domain(domain) is None
+
+
+def test_short_brand_needs_exact_combo_token(detector):
+    # "bt" may not match inside arbitrary hyphenated words
+    assert detector.classify_domain("about-this.com") is None
+    match = detector.classify_domain("bt-login.com")
+    assert match is not None and match.brand == "bt"
+
+
+def test_type_priority_is_orthogonal(detector):
+    """A label reachable as both homograph and typo must take the
+    higher-priority label exactly once."""
+    match = detector.classify_domain("faceb00k.com")
+    assert match.squat_type == SquatType.HOMOGRAPH
+
+
+def test_scan_over_zone(detector):
+    zone = ZoneStore()
+    squats = ["faceb00k.pw", "facebook-story.de", "facebook.audi"]
+    clean = ["example.com", "another.net"]
+    for name in squats + clean:
+        zone.add_name(name)
+    matches = detector.scan(zone)
+    assert {m.domain for m in matches} == set(squats)
+
+
+def test_scan_counts(detector):
+    zone = ZoneStore()
+    for name in ("faceb00k.pw", "facebnok.tk", "facebo0ok.com",
+                 "facebook-story.de", "facebook.audi", "example.com"):
+        zone.add_name(name)
+    counts = detector.scan_counts(zone)
+    assert counts[SquatType.HOMOGRAPH] == 1
+    assert counts[SquatType.BITS] == 1
+    assert counts[SquatType.TYPO] == 1
+    assert counts[SquatType.COMBO] == 1
+    assert counts[SquatType.WRONG_TLD] == 1
+
+
+def test_world_truth_agreement(micro_world):
+    """Every squat registered by the world generator is found and typed
+    identically by the detector (generator/detector consistency)."""
+    detector = SquattingDetector(micro_world.catalog)
+    matches = {m.domain: m for m in detector.scan(micro_world.zone)}
+    missed = []
+    mistyped = []
+    for domain, (brand, squat_type) in micro_world.squat_truth.items():
+        match = matches.get(domain)
+        if match is None:
+            missed.append(domain)
+        elif match.squat_type != squat_type:
+            mistyped.append((domain, squat_type, match.squat_type))
+    assert len(missed) <= 0.02 * len(micro_world.squat_truth), missed[:10]
+    assert not mistyped, mistyped[:10]

@@ -1,0 +1,49 @@
+"""Snapshot serialization round-trips."""
+
+from repro.dns.activedns import iter_snapshot, load_snapshot, write_snapshot
+from repro.dns.records import DNSRecord
+
+
+RECORDS = [
+    DNSRecord(name="facebook.com", ip="31.13.71.36", source="alexa-1m"),
+    DNSRecord(name="faceb00k.pw", ip="5.6.7.8", source="zone"),
+    DNSRecord(name="xn--fcebook-8va.com", ip="9.9.9.9"),
+]
+
+
+def test_roundtrip_plain(tmp_path):
+    path = tmp_path / "snapshot.tsv"
+    count = write_snapshot(RECORDS, path)
+    assert count == 3
+    loaded = list(iter_snapshot(path))
+    assert loaded == RECORDS
+
+
+def test_roundtrip_gzip(tmp_path):
+    path = tmp_path / "snapshot.tsv.gz"
+    write_snapshot(RECORDS, path)
+    assert load_snapshot(path).get("faceb00k.pw").ip == "5.6.7.8"
+
+
+def test_skips_malformed_lines(tmp_path):
+    path = tmp_path / "dirty.tsv"
+    path.write_text(
+        "# comment line\n"
+        "\n"
+        "only-one-field\n"
+        "good.com\t1.2.3.4\tA\tzone\n"
+        "short.com\t4.3.2.1\n",
+        encoding="utf-8",
+    )
+    loaded = list(iter_snapshot(path))
+    assert [r.name for r in loaded] == ["good.com", "short.com"]
+    assert loaded[1].record_type == "A"
+    assert loaded[1].source == "zone"
+
+
+def test_load_builds_indexed_store(tmp_path):
+    path = tmp_path / "snap.tsv"
+    write_snapshot(RECORDS, path)
+    zone = load_snapshot(path)
+    assert len(zone) == 3
+    assert zone.has_registered_domain("facebook.com")

@@ -1,0 +1,86 @@
+"""Punycode codec: RFC 3492 conformance and stdlib cross-validation."""
+
+import pytest
+
+from repro.dns.idna import (
+    ACE_PREFIX,
+    IDNAError,
+    domain_to_ascii,
+    domain_to_unicode,
+    is_idn,
+    label_to_ascii,
+    label_to_unicode,
+    punycode_decode,
+    punycode_encode,
+)
+
+# RFC 3492 §7.1 sample strings (the non-case-sensitive ones).
+RFC_SAMPLES = [
+    ("他们为什么不说中文",
+     "ihqwcrb4cv8a8dqg056pqjye"),
+    ("そのスピードで", "d9juau41awczczp"),
+    ("bücher", "bcher-kva"),
+]
+
+
+@pytest.mark.parametrize("unicode_label,encoded", RFC_SAMPLES)
+def test_rfc3492_samples_encode(unicode_label, encoded):
+    assert punycode_encode(unicode_label) == encoded
+
+
+@pytest.mark.parametrize("unicode_label,encoded", RFC_SAMPLES)
+def test_rfc3492_samples_decode(unicode_label, encoded):
+    assert punycode_decode(encoded) == unicode_label
+
+
+@pytest.mark.parametrize("label", [
+    "fàcebook", "pаypal", "gооgle", "façade", "über", "bücher",
+    "αβγ", "київ", "日本語",
+])
+def test_roundtrip_and_stdlib_agreement(label):
+    encoded = punycode_encode(label)
+    assert encoded == label.encode("punycode").decode("ascii")
+    assert punycode_decode(encoded) == label
+
+
+def test_ascii_only_label_is_untouched():
+    assert label_to_ascii("facebook") == "facebook"
+    assert label_to_unicode("facebook") == "facebook"
+
+
+def test_paper_example_homograph_domain():
+    # Figure 1 of the paper
+    assert domain_to_unicode("xn--fcebook-8va.com") == "fàcebook.com"
+    assert domain_to_ascii("fàcebook.com") == "xn--fcebook-8va.com"
+
+
+def test_is_idn():
+    assert is_idn("xn--fcebook-8va.com")
+    assert not is_idn("facebook.com")
+
+
+def test_decode_rejects_nonbasic_before_delimiter():
+    with pytest.raises(IDNAError):
+        punycode_decode("fà-xyz")
+
+
+def test_decode_rejects_truncated_input():
+    with pytest.raises(IDNAError):
+        punycode_decode("bcher-kv")
+
+
+def test_decode_rejects_bad_digit():
+    with pytest.raises(IDNAError):
+        punycode_decode("abc-!!")
+
+
+def test_encode_empty_basic_prefix():
+    # label with no ASCII characters at all
+    encoded = punycode_encode("ß")
+    assert punycode_decode(encoded) == "ß"
+    assert encoded == "ß".encode("punycode").decode("ascii")
+
+
+def test_ace_prefix_constant():
+    assert ACE_PREFIX == "xn--"
+    assert label_to_ascii("fàcebook").startswith(ACE_PREFIX)

@@ -1,0 +1,77 @@
+"""DNS record model and domain-splitting helpers."""
+
+import pytest
+
+from repro.dns.records import (
+    DNSRecord,
+    is_valid_hostname,
+    registered_domain,
+    split_domain,
+)
+
+
+class TestSplitDomain:
+    def test_simple_com(self):
+        assert split_domain("facebook.com") == ("facebook", "com")
+
+    def test_ignores_subdomains(self):
+        assert split_domain("mail.google-app.de") == ("google-app", "de")
+        assert split_domain("a.b.c.example.com") == ("example", "com")
+
+    def test_multi_label_suffix(self):
+        # the paper's goofle.com.ua example must split on the ccSLD
+        assert split_domain("goofle.com.ua") == ("goofle", "com.ua")
+        assert split_domain("santander.co.uk") == ("santander", "co.uk")
+
+    def test_unknown_tld_falls_back_to_last_label(self):
+        core, tld = split_domain("weird.zzz")
+        assert (core, tld) == ("weird", "zzz")
+
+    def test_single_label(self):
+        assert split_domain("localhost") == ("localhost", "")
+
+    def test_case_and_trailing_dot(self):
+        assert split_domain("FaceBook.COM.") == ("facebook", "com")
+
+
+class TestRegisteredDomain:
+    def test_collapses_subdomains(self):
+        assert registered_domain("www.blog.vice.com") == "vice.com"
+
+    def test_identity_for_registered(self):
+        assert registered_domain("vice.com") == "vice.com"
+
+
+class TestDNSRecord:
+    def test_normalizes_name(self):
+        record = DNSRecord(name="WWW.Example.COM.", ip="1.2.3.4")
+        assert record.name == "www.example.com"
+
+    def test_core_label_and_tld(self):
+        record = DNSRecord(name="mail.facebook-login.tk", ip="1.2.3.4")
+        assert record.core_label == "facebook-login"
+        assert record.tld == "tk"
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            DNSRecord(name="", ip="1.2.3.4")
+
+    def test_frozen(self):
+        record = DNSRecord(name="a.com", ip="1.2.3.4")
+        with pytest.raises(Exception):
+            record.ip = "5.6.7.8"
+
+
+class TestHostnameValidity:
+    @pytest.mark.parametrize("name", [
+        "facebook.com", "a-b.net", "xn--fcebook-8va.com", "a1.b2.c3.org",
+    ])
+    def test_valid(self, name):
+        assert is_valid_hostname(name)
+
+    @pytest.mark.parametrize("name", [
+        "", "-bad.com", "bad-.com", "under_score.com", "spaces here.com",
+        "a" * 64 + ".com",
+    ])
+    def test_invalid(self, name):
+        assert not is_valid_hostname(name)

@@ -1,0 +1,70 @@
+"""Zone store indexing and lookups."""
+
+from repro.dns.records import DNSRecord
+from repro.dns.zone import ZoneStore
+
+
+def make_zone():
+    zone = ZoneStore()
+    zone.add_name("facebook.com", ip="1.1.1.1")
+    zone.add_name("www.facebook.com", ip="1.1.1.2")
+    zone.add_name("facebook.audi", ip="2.2.2.2")
+    zone.add_name("faceb00k.pw", ip="3.3.3.3")
+    zone.add_name("vice.com", ip="4.4.4.4")
+    return zone
+
+
+def test_len_counts_full_names():
+    assert len(make_zone()) == 5
+
+
+def test_contains_and_get():
+    zone = make_zone()
+    assert "facebook.com" in zone
+    assert "FACEBOOK.COM" in zone
+    assert zone.get("nonexistent.com") is None
+    assert zone.get("faceb00k.pw").ip == "3.3.3.3"
+
+
+def test_registered_domain_collapsing():
+    zone = make_zone()
+    assert zone.has_registered_domain("facebook.com")
+    assert zone.names_under("facebook.com") == ["facebook.com", "www.facebook.com"]
+
+
+def test_core_label_index_spans_tlds():
+    zone = make_zone()
+    domains = zone.registered_domains_with_core("facebook")
+    assert domains == ["facebook.audi", "facebook.com"]
+
+
+def test_registered_domains_iteration():
+    zone = make_zone()
+    assert sorted(zone.registered_domains()) == [
+        "faceb00k.pw", "facebook.audi", "facebook.com", "vice.com",
+    ]
+
+
+def test_add_replaces_existing_record():
+    zone = make_zone()
+    zone.add_name("facebook.com", ip="9.9.9.9")
+    assert len(zone) == 5
+    assert zone.get("facebook.com").ip == "9.9.9.9"
+
+
+def test_remove_updates_indices():
+    zone = make_zone()
+    assert zone.remove("www.facebook.com")
+    assert zone.names_under("facebook.com") == ["facebook.com"]
+    assert zone.remove("facebook.com")
+    assert not zone.has_registered_domain("facebook.com")
+    # core index keeps facebook.audi
+    assert zone.registered_domains_with_core("facebook") == ["facebook.audi"]
+    assert not zone.remove("facebook.com")  # already gone
+
+
+def test_stats():
+    stats = make_zone().stats()
+    assert stats["records"] == 5
+    assert stats["registered_domains"] == 4
+    assert stats["core_labels"] == 3  # facebook, faceb00k, vice

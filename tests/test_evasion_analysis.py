@@ -1,0 +1,109 @@
+"""Evasion measurement primitives (§4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.evasion import (
+    layout_distance,
+    measure_evasion,
+    measure_page,
+    per_brand_layout_distances,
+    per_brand_obfuscation_rates,
+    string_obfuscated,
+)
+from repro.web.html import document, el, parse_html
+from repro.web.screenshot import render_page
+
+
+def page_html(*body, title="T"):
+    return document(title, *body).to_html()
+
+
+class TestStringObfuscation:
+    def test_plaintext_brand_not_obfuscated(self):
+        html = page_html(el("h1", "PayPal"), el("p", "Sign in to PayPal"))
+        assert not string_obfuscated(html, "paypal")
+
+    def test_brand_in_image_is_obfuscated(self):
+        html = page_html(el("img", data_embedded_text="paypal", height="48"))
+        assert string_obfuscated(html, "paypal")
+
+    def test_homoglyph_perturbed_brand_is_obfuscated(self):
+        # the paper's "PayPaI" example
+        html = page_html(el("h1", "PayPaI"))
+        assert string_obfuscated(html, "paypal")
+
+    def test_brand_in_script_does_not_count(self):
+        html = page_html(el("script", "var brand = 'paypal';"))
+        assert string_obfuscated(html, "paypal")
+
+
+class TestLayoutDistance:
+    def test_identical_pages(self):
+        shot = render_page(parse_html(page_html(el("h1", "Brand"))))
+        assert layout_distance(shot.pixels, shot.pixels) == 0
+
+    def test_obfuscated_layout_increases_distance(self):
+        original = render_page(parse_html(page_html(
+            el("h1", "Brand"), el("p", "welcome"), el("form", el("input", type="password", placeholder="password")))))
+        shuffled = render_page(parse_html(page_html(
+            el("p", "totally different introduction paragraph with filler"),
+            el("p", "more filler text pushed above the fold"),
+            el("form", el("input", type="password", placeholder="password")),
+            el("h1", "Brand"),
+        )))
+        assert layout_distance(shuffled.pixels, original.pixels) > 5
+
+
+class TestMeasurePage:
+    def test_full_measurement(self):
+        html = page_html(
+            el("img", data_embedded_text="paypal", height="48"),
+            el("script", "eval(unescape('%41')); String.fromCharCode(65);"),
+        )
+        shot = render_page(parse_html(html))
+        original = render_page(parse_html(page_html(el("h1", "PayPal"))))
+        m = measure_page("evil.com", "paypal", html, shot.pixels, original.pixels)
+        assert m.string_obfuscated
+        assert m.code_obfuscated
+        assert m.layout_distance is not None
+
+    def test_without_pixels(self):
+        m = measure_page("evil.com", "paypal", page_html(el("p", "x")))
+        assert m.layout_distance is None
+
+
+class TestAggregation:
+    def make_measurements(self):
+        out = []
+        for i in range(10):
+            m = measure_page(
+                f"d{i}.com", "paypal" if i < 6 else "google",
+                page_html(el("h1", "X")),
+            )
+            m.layout_distance = 20 + i
+            m.string_obfuscated = i % 2 == 0
+            m.code_obfuscated = i < 3
+            out.append(m)
+        return out
+
+    def test_summary(self):
+        summary = measure_evasion(self.make_measurements(), "test")
+        assert summary.count == 10
+        assert summary.layout_mean == pytest.approx(24.5)
+        assert summary.string_rate == pytest.approx(0.5)  # i in {0,2,4,6,8}
+        assert summary.code_rate == pytest.approx(0.3)
+
+    def test_empty_population(self):
+        summary = measure_evasion([], "empty")
+        assert summary.count == 0
+        assert summary.layout_mean == 0.0
+
+    def test_per_brand_views(self):
+        measurements = self.make_measurements()
+        distances = per_brand_layout_distances(measurements)
+        assert set(distances) == {"paypal", "google"}
+        mean, std, n = distances["paypal"]
+        assert n == 6
+        rates = per_brand_obfuscation_rates(measurements)
+        assert rates["paypal"][2] == 6

@@ -1,0 +1,74 @@
+"""Smoke tests: the runnable examples stay runnable.
+
+The fast examples run in-process on every test pass; the long ones (full
+pipeline runs) are marked slow and exercised by `pytest -m slow`.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, argv=None):
+    old_argv = sys.argv
+    sys.argv = [str(EXAMPLES / name)] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_examples_directory_contents():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert "quickstart.py" in names
+    assert len(names) >= 6        # ≥3 required; we ship more
+
+
+def test_evasion_study_runs(capsys):
+    run_example("evasion_study.py")
+    out = capsys.readouterr().out
+    assert "OCR on the screenshot sees brand name: True" in out
+
+
+def test_dns_snapshot_scan_runs(capsys):
+    run_example("dns_snapshot_scan.py")
+    out = capsys.readouterr().out
+    assert "squatting domains by type" in out
+
+
+def test_sector_scan_runs(capsys):
+    run_example("sector_scan.py")
+    out = capsys.readouterr().out
+    assert "sector squats found" in out
+    assert "irs" in out
+
+
+def test_takedown_campaign_runs(capsys):
+    run_example("takedown_campaign.py")
+    out = capsys.readouterr().out
+    assert "reporting campaign outcome" in out
+
+
+@pytest.mark.slow
+def test_quickstart_runs(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "verified domains" in out
+
+
+@pytest.mark.slow
+def test_brand_monitoring_runs(capsys):
+    run_example("brand_monitoring.py")
+    out = capsys.readouterr().out
+    assert "crowd review" in out
+
+
+@pytest.mark.slow
+def test_reproduce_all_runs(tmp_path, capsys):
+    run_example("reproduce_all.py",
+                ["--scale", "tiny", "--out", str(tmp_path / "r.json")])
+    assert (tmp_path / "r.json").exists()

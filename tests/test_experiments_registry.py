@@ -1,0 +1,47 @@
+"""Experiment registry consistency."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.experiments import REGISTRY, get, render_index
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_registry_covers_all_exhibits():
+    exhibits = {e.exhibit for e in REGISTRY}
+    expected = {f"Table {i}" for i in range(1, 14)} | {
+        f"Fig {i}" for i in range(2, 18)}
+    assert exhibits == expected
+
+
+def test_every_bench_file_exists():
+    for experiment in REGISTRY:
+        assert (REPO_ROOT / experiment.bench).exists(), experiment.bench
+
+
+def test_every_module_imports():
+    import importlib
+
+    for experiment in REGISTRY:
+        for module in experiment.modules:
+            importlib.import_module(module)
+
+
+def test_lookup():
+    assert get("Table 8") is not None
+    assert get("table8") is not None
+    assert get("Fig 99") is None
+
+
+def test_keys_unique():
+    keys = [e.key for e in REGISTRY]
+    assert len(keys) == len(set(keys))
+
+
+def test_render_index_mentions_every_exhibit():
+    index = render_index()
+    for experiment in REGISTRY:
+        assert experiment.exhibit in index
+        assert experiment.bench.split("/")[-1] in index

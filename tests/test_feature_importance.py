@@ -1,0 +1,63 @@
+"""Random Forest / decision tree feature importances."""
+
+import numpy as np
+import pytest
+
+from repro.ml import DecisionTree, RandomForest
+
+
+def informative_data(n=300, d=12, seed=2):
+    """Only features 0 and 1 carry label signal."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, d))
+    y = ((x[:, 0] + 0.8 * x[:, 1]) > 0).astype(int)
+    return x, y
+
+
+class TestTreeImportance:
+    def test_sums_to_one(self):
+        x, y = informative_data()
+        tree = DecisionTree(max_depth=6).fit(x, y)
+        assert tree.feature_importances.sum() == pytest.approx(1.0)
+
+    def test_informative_features_dominate(self):
+        x, y = informative_data()
+        tree = DecisionTree(max_depth=6).fit(x, y)
+        importances = tree.feature_importances
+        assert importances[0] + importances[1] > 0.6
+
+    def test_stump_has_zero_importance(self):
+        x, y = informative_data(n=50)
+        tree = DecisionTree(max_depth=0).fit(x, y)
+        assert tree.feature_importances.sum() == 0.0
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            _ = DecisionTree().feature_importances
+
+
+class TestForestImportance:
+    def test_normalized(self):
+        x, y = informative_data()
+        forest = RandomForest(n_trees=8, max_depth=6).fit(x, y)
+        assert forest.feature_importances.sum() == pytest.approx(1.0)
+
+    def test_signal_features_rank_first(self):
+        x, y = informative_data()
+        forest = RandomForest(n_trees=12, max_depth=6).fit(x, y)
+        top = forest.top_features(n=2)
+        assert {index for index, _ in top} == {0, 1}
+
+    def test_named_features(self):
+        x, y = informative_data(d=3)
+        names = ["alpha", "beta", "gamma"]
+        forest = RandomForest(n_trees=6, max_depth=4).fit(x, y)
+        top = forest.top_features(names=names, n=3)
+        assert all(label in names for label, _ in top)
+        assert top[0][0] in ("alpha", "beta")
+
+    def test_importance_is_deterministic(self):
+        x, y = informative_data()
+        a = RandomForest(n_trees=6, seed=9).fit(x, y).feature_importances
+        b = RandomForest(n_trees=6, seed=9).fit(x, y).feature_importances
+        assert np.allclose(a, b)

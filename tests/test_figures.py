@@ -1,0 +1,102 @@
+"""Figure data producers (unit level, synthetic inputs)."""
+
+import pytest
+
+from repro.analysis.figures import (
+    brand_accumulation_curve,
+    phish_squat_type_histogram,
+    phishtank_squatting_histogram,
+    squat_type_histogram,
+    top_brands_by_count,
+    top_targeted_brands,
+    verified_phish_cdf,
+)
+from repro.core.pipeline import VerifiedPhish
+from repro.phishworld.phishtank import PhishTankReport
+from repro.squatting.types import SquatMatch, SquatType
+
+
+def match(domain, brand, squat_type=SquatType.COMBO):
+    return SquatMatch(domain=domain, brand=brand, squat_type=squat_type)
+
+
+def verified(domain, brand, squat_type=SquatType.COMBO, profiles=("web",)):
+    return VerifiedPhish(domain=domain, brand=brand, squat_type=squat_type,
+                         profiles=profiles)
+
+
+class TestSquatHistogram:
+    def test_counts_and_order(self):
+        matches = [
+            match("a-x.com", "a"), match("b-x.com", "b"),
+            match("a1.com", "a", SquatType.TYPO),
+            match("xn--a.com", "a", SquatType.HOMOGRAPH),
+        ]
+        histogram = squat_type_histogram(matches)
+        assert list(histogram) == ["homograph", "bits", "typo", "combo", "wrongTLD"]
+        assert histogram["combo"] == 2
+        assert histogram["bits"] == 0
+
+    def test_empty(self):
+        assert sum(squat_type_histogram([]).values()) == 0
+
+
+class TestAccumulation:
+    def test_curve_values(self):
+        matches = [match(f"a{i}.com", "a") for i in range(3)]
+        matches += [match("b0.com", "b")]
+        curve = brand_accumulation_curve(matches)
+        assert curve == [75.0, 100.0]
+
+    def test_empty(self):
+        assert brand_accumulation_curve([]) == []
+
+
+class TestTopBrands:
+    def test_percentages(self):
+        matches = [match(f"a{i}.com", "a") for i in range(3)]
+        matches += [match("b0.com", "b")]
+        rows = top_brands_by_count(matches, n=2)
+        assert rows[0] == ("a", 3, 75.0)
+
+
+class TestPhishTankHistogram:
+    def test_no_bucket(self):
+        reports = [
+            PhishTankReport(url="u", domain="d1.com", brand="x", squat_type=None),
+            PhishTankReport(url="u", domain="d2.com", brand="x", squat_type="combo"),
+        ]
+        histogram = phishtank_squatting_histogram(reports)
+        assert histogram["No"] == 1
+        assert histogram["combo"] == 1
+        assert histogram["bits"] == 0
+
+
+class TestVerifiedViews:
+    VERIFIED = [
+        verified("g1.com", "google", profiles=("web", "mobile")),
+        verified("g2.com", "google", profiles=("mobile",)),
+        verified("f1.com", "facebook", SquatType.TYPO, profiles=("web",)),
+    ]
+
+    def test_cdf(self):
+        points = verified_phish_cdf(self.VERIFIED)
+        assert points == [(1, 50.0), (2, 100.0)]
+
+    def test_cdf_profile_filter(self):
+        points = verified_phish_cdf(self.VERIFIED, profile="mobile")
+        # only google has mobile pages -> one brand with 2 domains
+        assert points == [(2, 100.0)]
+
+    def test_cdf_empty(self):
+        assert verified_phish_cdf([]) == []
+
+    def test_type_histogram(self):
+        histogram = phish_squat_type_histogram(self.VERIFIED)
+        assert histogram["combo"] == 2
+        assert histogram["typo"] == 1
+
+    def test_top_targeted(self):
+        rows = top_targeted_brands(self.VERIFIED, n=5)
+        assert rows[0] == ("google", 1, 2)
+        assert rows[1] == ("facebook", 1, 0)

@@ -1,0 +1,64 @@
+"""Unified candidate generation."""
+
+import pytest
+
+from repro.brands import Brand
+from repro.squatting.generator import SquattingGenerator
+from repro.squatting.types import SquatType
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return SquattingGenerator()
+
+
+@pytest.fixture(scope="module")
+def facebook():
+    return Brand(name="facebook", domain="facebook.com")
+
+
+def test_candidate_set_covers_enumerable_types(generator, facebook):
+    candidates = generator.candidates(facebook)
+    assert candidates.labels[SquatType.HOMOGRAPH]
+    assert candidates.labels[SquatType.TYPO]
+    assert candidates.labels[SquatType.BITS]
+    assert candidates.domains[SquatType.WRONG_TLD]
+    assert SquatType.COMBO not in candidates.labels  # not enumerable
+
+
+def test_combo_included_on_request(generator, facebook):
+    candidates = generator.candidates(facebook, include_combo=True)
+    assert "facebook-login" in candidates.labels[SquatType.COMBO]
+
+
+def test_types_are_disjoint(generator, facebook):
+    """The paper's orthogonality: one label, one type."""
+    candidates = generator.candidates(facebook)
+    pools = [candidates.labels[t] for t in
+             (SquatType.HOMOGRAPH, SquatType.BITS, SquatType.TYPO)]
+    for i in range(len(pools)):
+        for j in range(i + 1, len(pools)):
+            assert not (pools[i] & pools[j])
+
+
+def test_brand_label_is_never_a_candidate(generator, facebook):
+    candidates = generator.candidates(facebook)
+    for pool in candidates.labels.values():
+        assert "facebook" not in pool
+
+
+def test_priority_order_assignment(generator, facebook):
+    """faceb00k is reachable via homograph (digit swap); the higher-priority
+    homograph pool must claim it."""
+    candidates = generator.candidates(facebook)
+    assert "faceb00k" in candidates.labels[SquatType.HOMOGRAPH]
+    assert "faceb00k" not in candidates.labels[SquatType.TYPO]
+
+
+def test_total_counts(generator, facebook):
+    candidates = generator.candidates(facebook)
+    assert candidates.total() == (
+        sum(len(v) for v in candidates.labels.values())
+        + sum(len(v) for v in candidates.domains.values())
+    )
+    assert candidates.total() > 300  # a real candidate pool, not a stub

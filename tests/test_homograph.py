@@ -1,0 +1,75 @@
+"""Homograph squatting model: ASCII and IDN families."""
+
+import pytest
+
+from repro.dns.idna import label_to_ascii
+from repro.squatting.homograph import HomographModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return HomographModel()
+
+
+class TestGeneration:
+    def test_ascii_variants_include_digit_swaps(self, model):
+        variants = model.generate_ascii("facebook")
+        assert "faceb00k" in variants
+        assert "facebook" not in variants
+
+    def test_idn_variants_are_punycoded(self, model):
+        variants = model.generate_idn("facebook")
+        assert variants
+        assert all(v.startswith("xn--") for v in variants)
+
+    def test_known_idn_variant_present(self, model):
+        assert label_to_ascii("fàcebook") in model.generate_idn("facebook")
+
+    def test_combined_generation(self, model):
+        variants = model.generate("paypal")
+        assert any(v.startswith("xn--") for v in variants)
+        assert any(not v.startswith("xn--") for v in variants)
+
+    def test_max_variants_cap(self, model):
+        capped = model.generate_ascii("facebook", max_variants=3)
+        assert len(capped) <= 4  # cap is approximate by construction
+
+
+class TestDetection:
+    def test_ascii_homograph(self, model):
+        assert model.matches("faceb00k", "facebook") == "ascii"
+
+    def test_idn_homograph(self, model):
+        assert model.matches("xn--fcebook-8va", "facebook") == "idn"
+
+    def test_cyrillic_idn(self, model):
+        encoded = label_to_ascii("pаypal")  # cyrillic а
+        assert model.matches(encoded, "paypal") == "idn"
+
+    def test_identity_not_homograph(self, model):
+        assert model.matches("facebook", "facebook") is None
+
+    def test_unrelated_label(self, model):
+        assert model.matches("example", "facebook") is None
+
+    def test_invalid_punycode_is_rejected_quietly(self, model):
+        assert model.matches("xn--!!!", "facebook") is None
+
+    def test_generated_ascii_variants_detected(self, model):
+        for variant in sorted(model.generate_ascii("google"))[:100]:
+            assert model.matches(variant, "google") is not None, variant
+
+    def test_generated_idn_variants_detected(self, model):
+        for variant in sorted(model.generate_idn("google"))[:100]:
+            assert model.matches(variant, "google") == "idn", variant
+
+
+def test_reduced_table_reduces_recall():
+    """The DNSTwist-subset ablation: fewer confusables, fewer detections."""
+    from repro.squatting.confusables import dnstwist_subset
+
+    full = HomographModel()
+    reduced = HomographModel(confusables=dnstwist_subset())
+    full_variants = full.generate_idn("apple")
+    reduced_variants = reduced.generate_idn("apple")
+    assert reduced_variants < full_variants

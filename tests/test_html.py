@@ -1,0 +1,116 @@
+"""HTML document model, serializer, parser, and extraction helpers."""
+
+import pytest
+
+from repro.web.html import (
+    Element,
+    document,
+    el,
+    form_attributes,
+    forms,
+    lexical_texts,
+    parse_html,
+    scripts,
+    text_content,
+)
+
+
+class TestBuilder:
+    def test_el_shorthand(self):
+        node = el("p", "hello", cls="intro", data_x="1")
+        assert node.tag == "p"
+        assert node.attrs == {"class": "intro", "data-x": "1"}
+        assert node.own_text == "hello"
+
+    def test_document_skeleton(self):
+        page = document("Title", el("h1", "Header"))
+        assert page.find("title").text() == "Title"
+        assert page.find("body").find("h1").text() == "Header"
+
+
+class TestSerialization:
+    def test_escapes_attribute_values(self):
+        node = el("a", "link", href='x"y')
+        assert '"x&quot;y"' in node.to_html()
+
+    def test_escapes_text(self):
+        assert "&lt;b&gt;" in el("p", "<b>").to_html()
+
+    def test_void_elements_have_no_closing_tag(self):
+        markup = el("input", type="text").to_html()
+        assert markup == '<input type="text">'
+
+    def test_script_body_is_raw(self):
+        markup = el("script", "if (a < b) { x(); }").to_html()
+        assert "<script>if (a < b) { x(); }</script>" == markup
+
+
+class TestRoundTrip:
+    def test_parse_own_output(self):
+        page = document(
+            "PayPal",
+            el("h1", "Welcome"),
+            el("form", el("input", type="password", placeholder="password"),
+               el("button", "Go"), action="/x"),
+            el("script", "var a = 1;"),
+        )
+        tree = parse_html(page.to_html())
+        assert tree.find("title").text() == "PayPal"
+        assert tree.find("h1").text() == "Welcome"
+        assert len(forms(tree)) == 1
+        assert scripts(tree) == ["var a = 1;"]
+
+    def test_tolerates_stray_end_tags(self):
+        tree = parse_html("<div><p>hi</p></span></div>")
+        assert tree.find("p").text() == "hi"
+
+    def test_tolerates_unclosed_tags(self):
+        tree = parse_html("<div><p>one<p>two")
+        texts = [p.text() for p in tree.find_all("p")]
+        assert "one" in " ".join(texts) and "two" in " ".join(texts)
+
+    def test_charrefs_are_decoded(self):
+        tree = parse_html("<p>a &amp; b</p>")
+        assert tree.find("p").text() == "a & b"
+
+
+class TestExtraction:
+    PAGE = document(
+        "Bank - Login",
+        el("h1", "My Bank"),
+        el("p", "Please sign in."),
+        el("a", "Forgot?", href="/forgot"),
+        el("form",
+           el("input", type="text", name="user", placeholder="enter username"),
+           el("input", type="password", name="pass", placeholder="enter password"),
+           el("label", "Remember me"),
+           el("button", "Log In"),
+           action="/login"),
+        el("script", "var x = eval('1');"),
+    )
+
+    def test_lexical_texts(self):
+        texts = lexical_texts(parse_html(self.PAGE.to_html()))
+        assert texts["title"] == ["Bank - Login"]
+        assert texts["h"] == ["My Bank"]
+        assert texts["p"] == ["Please sign in."]
+        assert texts["a"] == ["Forgot?"]
+
+    def test_form_attributes(self):
+        attrs = form_attributes(parse_html(self.PAGE.to_html()))
+        assert "enter username" in attrs
+        assert "enter password" in attrs
+        assert "Log In" in attrs
+        assert "Remember me" in attrs
+        assert "password" in attrs  # the type attribute
+
+    def test_text_content_skips_scripts(self):
+        text = text_content(parse_html(self.PAGE.to_html()))
+        assert "Please sign in." in text
+        assert "eval" not in text
+
+    def test_iter_and_find_all(self):
+        tree = parse_html(self.PAGE.to_html())
+        inputs = tree.find_all("input")
+        assert len(inputs) == 2
+        assert inputs[1].get("type") == "password"

@@ -1,0 +1,97 @@
+"""Perceptual image hashes."""
+
+import numpy as np
+import pytest
+
+from repro.vision.imagehash import (
+    ImageHash,
+    average_hash,
+    dhash,
+    hamming_distance,
+    phash,
+    resize_bilinear,
+)
+
+
+def gradient(h=64, w=64):
+    return np.tile(np.linspace(0, 255, w), (h, 1)).astype(np.uint8)
+
+
+def checkerboard(h=64, w=64, block=8):
+    ys, xs = np.mgrid[0:h, 0:w]
+    return (((ys // block + xs // block) % 2) * 255).astype(np.uint8)
+
+
+HASHES = [average_hash, dhash, phash]
+
+
+@pytest.mark.parametrize("hash_fn", HASHES)
+def test_identical_images_distance_zero(hash_fn):
+    image = checkerboard()
+    assert hamming_distance(hash_fn(image), hash_fn(image)) == 0
+
+
+@pytest.mark.parametrize("hash_fn", HASHES)
+def test_different_images_nonzero(hash_fn):
+    assert hamming_distance(hash_fn(checkerboard()), hash_fn(gradient())) > 8
+
+
+@pytest.mark.parametrize("hash_fn", HASHES)
+def test_hash_length_64(hash_fn):
+    assert len(hash_fn(checkerboard())) == 64
+
+
+@pytest.mark.parametrize("hash_fn", HASHES)
+def test_robust_to_small_noise(hash_fn):
+    # a smooth random field: strong low-frequency structure, which is the
+    # regime where perceptual hashes promise noise robustness
+    rng = np.random.default_rng(3)
+    coarse = rng.uniform(0, 255, size=(8, 8))
+    image = resize_bilinear(coarse, 64, 64).astype(np.int16)
+    noisy = np.clip(image + rng.integers(-8, 9, image.shape), 0, 255).astype(np.uint8)
+    distance = hamming_distance(hash_fn(image.astype(np.uint8)), hash_fn(noisy))
+    # must stay far below "different page" distances (~20+, Fig 9)
+    assert distance <= 8
+
+
+@pytest.mark.parametrize("hash_fn", HASHES)
+def test_scale_invariance(hash_fn):
+    small = checkerboard(64, 64)
+    large = np.kron(small, np.ones((2, 2), dtype=np.uint8))
+    assert hamming_distance(hash_fn(small), hash_fn(large)) <= 4
+
+
+def test_hamming_distance_requires_equal_lengths():
+    a = ImageHash(bits=(True, False))
+    b = ImageHash(bits=(True,))
+    with pytest.raises(ValueError):
+        hamming_distance(a, b)
+
+
+def test_subtraction_operator():
+    image = gradient()
+    assert (phash(image) - phash(image)) == 0
+
+
+def test_hash_hex_rendering():
+    value = average_hash(checkerboard())
+    assert len(value.hex()) == 16
+    int(value.hex(), 16)  # parses as hex
+
+
+class TestResize:
+    def test_identity(self):
+        image = gradient(10, 10)
+        assert np.allclose(resize_bilinear(image, 10, 10), image)
+
+    def test_output_shape(self):
+        assert resize_bilinear(gradient(64, 48), 8, 8).shape == (8, 8)
+
+    def test_preserves_constant_images(self):
+        flat = np.full((33, 17), 99.0)
+        assert np.allclose(resize_bilinear(flat, 8, 8), 99.0)
+
+    def test_downsample_preserves_mean_roughly(self):
+        image = gradient(64, 64)
+        small = resize_bilinear(image, 8, 8)
+        assert abs(small.mean() - image.mean()) < 3.0

@@ -1,0 +1,98 @@
+"""JavaScript tokenizer and obfuscation indicators."""
+
+import pytest
+
+from repro.web.javascript import (
+    ObfuscationIndicators,
+    analyze_script,
+    analyze_scripts,
+    tokenize_js,
+)
+
+
+class TestTokenizer:
+    def test_identifiers_numbers_puncts(self):
+        tokens = tokenize_js("var x = 42;")
+        kinds = [(t.kind, t.value) for t in tokens]
+        assert ("identifier", "var") in kinds
+        assert ("identifier", "x") in kinds
+        assert ("number", "42") in kinds
+        assert ("punct", ";") in kinds
+
+    def test_string_literals_keep_body(self):
+        tokens = tokenize_js("a = 'hello world';")
+        assert ("string", "hello world") in [(t.kind, t.value) for t in tokens]
+
+    def test_escaped_quotes_inside_strings(self):
+        tokens = tokenize_js(r'a = "say \"hi\"";')
+        strings = [t.value for t in tokens if t.kind == "string"]
+        assert strings == [r'say \"hi\"']
+
+    def test_line_comments_are_skipped(self):
+        tokens = tokenize_js("// eval everywhere\nvar a = 1;")
+        assert all(t.value != "eval" for t in tokens)
+
+    def test_block_comments_are_skipped(self):
+        tokens = tokenize_js("/* eval */ var a = 1;")
+        assert all(t.value != "eval" for t in tokens)
+
+    def test_unterminated_string_consumes_to_eof(self):
+        tokens = tokenize_js("a = 'oops")
+        assert tokens[-1] == ("string", "oops")
+
+    def test_template_literals(self):
+        tokens = tokenize_js("a = `tpl`;")
+        assert ("string", "tpl") in [(t.kind, t.value) for t in tokens]
+
+
+class TestIndicators:
+    def test_clean_script(self):
+        indicators = analyze_script("function add(a, b) { return a + b; }")
+        assert not indicators.is_obfuscated
+        assert indicators.string_function_calls == 0
+
+    def test_fromcharcode_chain(self):
+        source = "var s = String.fromCharCode(104,116) + String.fromCharCode(112);"
+        indicators = analyze_script(source)
+        assert indicators.string_function_calls == 2
+        assert indicators.is_obfuscated
+
+    def test_eval_plus_decoder(self):
+        indicators = analyze_script("eval(unescape('%70%61'));")
+        assert indicators.dynamic_eval_calls == 1
+        assert indicators.string_function_calls == 1
+        assert indicators.is_obfuscated
+
+    def test_hex_escape_mass(self):
+        payload = "var p = '" + "\\x41" * 10 + "';"
+        assert analyze_script(payload).is_obfuscated
+
+    def test_high_entropy_long_string(self):
+        import random
+        random.seed(5)
+        blob = "".join(random.choice("abcdefghijklmnopqrstuvwxyz0123456789"
+                                     "ABCDEFGHIJKLMNOPQRSTUVWXYZ+/=")
+                       for _ in range(120))
+        indicators = analyze_script(f"var k = '{blob}';")
+        assert indicators.long_string_literals == 1
+        assert indicators.max_string_entropy > 4.2
+
+    def test_single_settimeout_is_not_obfuscation(self):
+        indicators = analyze_script("setTimeout(tick, 1000);")
+        assert not indicators.is_obfuscated
+
+
+class TestAggregation:
+    def test_analyze_scripts_sums_counts(self):
+        combined = analyze_scripts([
+            "eval(unescape('%41'));",
+            "var s = String.fromCharCode(65);",
+        ])
+        assert combined.dynamic_eval_calls == 1
+        assert combined.string_function_calls == 2
+        assert combined.token_count > 0
+
+    def test_empty_list(self):
+        combined = analyze_scripts([])
+        assert combined.token_count == 0
+        assert not combined.is_obfuscated

@@ -1,0 +1,94 @@
+"""Layout engine edge cases: nesting, containers, odd styles."""
+
+import pytest
+
+from repro.web.html import document, el, parse_html
+from repro.web.layout import LayoutEngine
+
+
+def layout_of(*body):
+    page = document("T", *body)
+    return LayoutEngine().layout(parse_html(page.to_html()))
+
+
+class TestContainers:
+    def test_nested_divs_flow(self):
+        layout = layout_of(
+            el("div", el("div", el("p", "deep text"))))
+        assert any(r.text == "deep text" for r in layout.regions)
+
+    def test_list_items_render(self):
+        layout = layout_of(el("ul", el("li", "first"), el("li", "second")))
+        texts = [r.text for r in layout.regions]
+        assert "first" in texts and "second" in texts
+
+    def test_table_cells_render(self):
+        layout = layout_of(el("table", el("tr", el("td", "cell one"),
+                                          el("td", "cell two"))))
+        texts = " ".join(r.text for r in layout.regions)
+        assert "cell one" in texts and "cell two" in texts
+
+    def test_unknown_tag_text_is_conservatively_rendered(self):
+        layout = layout_of(el("blockquote", "quoted wisdom"))
+        assert any("quoted wisdom" in r.text for r in layout.regions)
+
+    def test_head_content_is_not_painted(self):
+        page = parse_html(
+            "<html><head><meta name='x' content='y'>"
+            "<title>T</title></head><body><p>visible</p></body></html>")
+        layout = LayoutEngine().layout(page)
+        texts = [r.text for r in layout.regions if r.kind != "title"]
+        assert all("y" != t for t in texts)
+
+
+class TestForms:
+    def test_nested_form_in_div(self):
+        layout = layout_of(el("div", el("form",
+                                        el("input", type="text", placeholder="user"))))
+        assert layout.form_regions()
+
+    def test_submit_input_renders_as_button(self):
+        layout = layout_of(el("form", el("input", type="submit", value="Go!")))
+        buttons = [r for r in layout.regions if r.kind == "button"]
+        assert buttons and buttons[0].text == "Go!"
+
+    def test_input_without_hint_is_blank_box(self):
+        layout = layout_of(el("form", el("input", type="text")))
+        assert layout.form_regions() == []   # nothing to draw, box only
+
+    def test_button_value_fallback(self):
+        layout = layout_of(el("form", el("button", value="Pay")))
+        buttons = [r for r in layout.regions if r.kind == "button"]
+        assert buttons[0].text == "Pay"
+
+
+class TestStyles:
+    def test_malformed_margin_is_ignored(self):
+        layout = layout_of(el("p", "hi", style="margin-left: banana"))
+        assert any(r.text == "hi" for r in layout.regions)
+
+    def test_margin_is_clamped(self):
+        layout = layout_of(el("p", "hi", style="margin-left: 99999px"))
+        region = next(r for r in layout.regions if r.text == "hi")
+        assert region.x <= 21
+
+    def test_other_style_declarations_ignored(self):
+        layout = layout_of(el("p", "hi", style="color: red; font-size: 30px"))
+        assert any(r.text == "hi" for r in layout.regions)
+
+
+class TestGeometry:
+    def test_page_grows_with_content(self):
+        short = layout_of(el("p", "one line"))
+        tall = layout_of(*[el("p", f"line {i}") for i in range(120)])
+        assert tall.height_cells > short.height_cells
+
+    def test_long_unbroken_heading_is_truncated(self):
+        layout = layout_of(el("h1", "x" * 500))
+        heading = next(r for r in layout.regions if r.kind == "heading")
+        assert len(heading.text) <= layout.width_cells
+
+    def test_br_advances_cursor(self):
+        with_br = layout_of(el("div", "a", el("br"), "b"))
+        ys = [r.y for r in with_br.regions if r.text in ("a", "b")]
+        assert ys[1] > ys[0]

@@ -1,0 +1,122 @@
+"""Layout engine and screenshot rasterizer."""
+
+import numpy as np
+import pytest
+
+from repro.web.html import document, el, parse_html
+from repro.web.layout import LayoutEngine, PageLayout, TextRegion
+from repro.web.screenshot import (
+    CELL_HEIGHT,
+    CELL_WIDTH,
+    INK,
+    PAPER,
+    Screenshot,
+    rasterize,
+    render_page,
+    to_ascii_art,
+)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return LayoutEngine()
+
+
+def layout_of(*body):
+    page = document("T", *body)
+    return LayoutEngine().layout(parse_html(page.to_html()))
+
+
+class TestLayout:
+    def test_title_is_first_region(self, engine):
+        layout = layout_of(el("p", "body text"))
+        assert layout.regions[0].kind == "title"
+        assert layout.regions[0].text == "T"
+
+    def test_flow_is_top_to_bottom(self):
+        layout = layout_of(el("h1", "one"), el("p", "two"), el("p", "three"))
+        ys = [r.y for r in layout.regions]
+        assert ys == sorted(ys)
+
+    def test_paragraph_wrapping(self):
+        long_text = " ".join(["word"] * 40)
+        layout = layout_of(el("p", long_text))
+        text_regions = [r for r in layout.regions if r.kind == "text"]
+        assert len(text_regions) > 1
+        assert all(len(r.text) <= layout.width_cells for r in text_regions)
+
+    def test_form_controls_are_boxed(self):
+        layout = layout_of(el("form", el("input", type="text", placeholder="user"),
+                              el("button", "Go")))
+        controls = layout.form_regions()
+        assert {r.kind for r in controls} == {"input", "button"}
+        assert all(r.boxed for r in controls)
+
+    def test_hidden_inputs_are_invisible(self):
+        layout = layout_of(el("form", el("input", type="hidden", value="secret")))
+        assert layout.form_regions() == []
+
+    def test_image_embedded_text_yields_region(self):
+        layout = layout_of(el("img", data_embedded_text="paypal", height="48"))
+        image_regions = [r for r in layout.regions if r.from_image]
+        assert len(image_regions) == 1
+        assert image_regions[0].text == "paypal"
+
+    def test_plain_image_alt_is_not_painted(self):
+        layout = layout_of(el("img", alt="logo text", height="32"))
+        assert all("logo" not in r.text for r in layout.regions)
+
+    def test_margin_style_shifts_region(self):
+        plain = layout_of(el("p", "hello"))
+        shifted = layout_of(el("p", "hello", style="margin-left: 64px"))
+        x_plain = [r.x for r in plain.regions if r.text == "hello"][0]
+        x_shifted = [r.x for r in shifted.regions if r.text == "hello"][0]
+        assert x_shifted > x_plain
+
+    def test_visible_text_concatenation(self):
+        layout = layout_of(el("h1", "Brand"), el("p", "hello world"))
+        assert "Brand" in layout.visible_text()
+        assert "hello world" in layout.visible_text()
+
+
+class TestRasterization:
+    def test_raster_dimensions(self):
+        layout = layout_of(el("p", "x"))
+        shot = rasterize(layout)
+        assert shot.height == layout.height_cells * CELL_HEIGHT
+        assert shot.width == layout.width_cells * CELL_WIDTH
+
+    def test_text_produces_ink(self):
+        shot = rasterize(layout_of(el("p", "hello")))
+        assert (shot.pixels == INK).sum() > 0
+        assert shot.ink_ratio() > 0
+
+    def test_empty_page_is_blank_except_title(self):
+        layout = PageLayout()
+        shot = rasterize(layout)
+        assert (shot.pixels == PAPER).all()
+
+    def test_same_content_same_pixels(self):
+        a = render_page(parse_html(document("T", el("p", "same")).to_html()))
+        b = render_page(parse_html(document("T", el("p", "same")).to_html()))
+        assert np.array_equal(a.pixels, b.pixels)
+
+    def test_different_content_different_pixels(self):
+        a = render_page(parse_html(document("T", el("p", "aaa")).to_html()))
+        b = render_page(parse_html(document("T", el("p", "bbb")).to_html()))
+        assert not np.array_equal(a.pixels, b.pixels)
+
+    def test_boxed_region_draws_border(self):
+        boxed = rasterize(layout_of(el("form", el("input", type="text", placeholder="u"))))
+        bare = rasterize(layout_of(el("p", "u")))
+        assert (boxed.pixels == INK).sum() > (bare.pixels == INK).sum()
+
+    def test_crop(self):
+        shot = rasterize(layout_of(el("p", "hello")))
+        cropped = shot.crop(0, 0, 10, 10)
+        assert cropped.pixels.shape == (10, 10)
+
+    def test_ascii_art_is_nonempty_for_content(self):
+        shot = rasterize(layout_of(el("h1", "BIG")))
+        art = to_ascii_art(shot)
+        assert "#" in art

@@ -1,0 +1,133 @@
+"""Survival analysis over crawl snapshots."""
+
+import pytest
+
+from repro.analysis.lifetime import (
+    DomainLifetime,
+    LongevityComparison,
+    median_lifetime,
+    observe_lifetimes,
+    summarize_longevity,
+    survival_at,
+    survival_curve,
+)
+from repro.web.crawler import CrawlResult, CrawlSnapshot
+
+
+def make_snapshots(liveness: dict) -> list:
+    """liveness: domain -> list of bools per snapshot."""
+    total = max(len(v) for v in liveness.values())
+    snapshots = []
+    for index in range(total):
+        snap = CrawlSnapshot(snapshot=index)
+        for domain, states in liveness.items():
+            live = states[index]
+            snap.results[(domain, "web")] = CrawlResult(
+                domain=domain, profile="web", snapshot=index,
+                live=live, capture=object() if live else None,
+            )
+        snapshots.append(snap)
+    return snapshots
+
+
+class TestObserveLifetimes:
+    def test_full_survivor_is_censored(self):
+        snaps = make_snapshots({"a.com": [True, True, True, True]})
+        (item,) = observe_lifetimes(snaps, ["a.com"])
+        assert item.lifetime == 4
+        assert item.censored
+
+    def test_early_death(self):
+        snaps = make_snapshots({"a.com": [True, True, False, False]})
+        (item,) = observe_lifetimes(snaps, ["a.com"])
+        assert item.lifetime == 2
+        assert not item.censored
+
+    def test_resurrection_counts_first_life(self):
+        # the tacebook.ga pattern: down in week 2, back in week 3
+        snaps = make_snapshots({"a.com": [True, True, False, True]})
+        (item,) = observe_lifetimes(snaps, ["a.com"])
+        assert item.lifetime == 2
+        assert not item.censored
+
+    def test_never_live(self):
+        snaps = make_snapshots({"a.com": [False, False]})
+        (item,) = observe_lifetimes(snaps, ["a.com"])
+        assert item.lifetime == 0
+        assert not item.censored
+
+
+class TestSurvivalCurve:
+    def test_no_deaths_flat_curve(self):
+        lifetimes = [DomainLifetime(f"d{i}", 4, True) for i in range(5)]
+        curve = survival_curve(lifetimes)
+        assert curve[-1] == (4, 1.0)
+
+    def test_all_die_at_one(self):
+        lifetimes = [DomainLifetime(f"d{i}", 1, False) for i in range(4)]
+        assert survival_at(lifetimes, 1) == 0.0
+
+    def test_half_die(self):
+        lifetimes = (
+            [DomainLifetime(f"a{i}", 2, False) for i in range(2)]
+            + [DomainLifetime(f"b{i}", 4, True) for i in range(2)]
+        )
+        assert survival_at(lifetimes, 2) == pytest.approx(0.5)
+        assert survival_at(lifetimes, 4) == pytest.approx(0.5)
+
+    def test_censoring_does_not_count_as_death(self):
+        lifetimes = [
+            DomainLifetime("dead", 2, False),
+            DomainLifetime("alive", 2, True),   # censored at 2
+        ]
+        # at t=2: risk set 2, deaths 1 -> S = 0.5 (not 0)
+        assert survival_at(lifetimes, 2) == pytest.approx(0.5)
+
+    def test_curve_is_monotone_nonincreasing(self):
+        lifetimes = [
+            DomainLifetime("a", 1, False), DomainLifetime("b", 2, False),
+            DomainLifetime("c", 3, True), DomainLifetime("d", 3, False),
+        ]
+        values = [s for _, s in survival_curve(lifetimes)]
+        assert all(x >= y for x, y in zip(values, values[1:]))
+
+    def test_empty(self):
+        assert survival_curve([]) == []
+
+
+class TestMedianAndSummary:
+    def test_median_crossing(self):
+        lifetimes = (
+            [DomainLifetime(f"a{i}", 1, False) for i in range(3)]
+            + [DomainLifetime(f"b{i}", 3, False) for i in range(2)]
+        )
+        assert median_lifetime(lifetimes) == 1
+
+    def test_median_none_when_majority_survives(self):
+        lifetimes = [DomainLifetime(f"d{i}", 4, True) for i in range(9)]
+        lifetimes.append(DomainLifetime("x", 1, False))
+        assert median_lifetime(lifetimes) is None
+
+    def test_summary(self):
+        snaps = make_snapshots({
+            "long.com": [True] * 4,
+            "short.com": [True, False, False, False],
+        })
+        summary = summarize_longevity(snaps, ["long.com", "short.com"])
+        assert summary["domains"] == 2
+        assert summary["alive_full_window"] == 1
+        assert summary["survival_end"] == pytest.approx(0.5)
+
+    def test_paper_consistency_flag(self):
+        assert LongevityComparison(0.8).is_consistent_with_paper
+        assert not LongevityComparison(0.2).is_consistent_with_paper
+
+
+def test_pipeline_longevity_matches_paper_shape(pipeline_result):
+    summary = summarize_longevity(
+        pipeline_result.crawl_snapshots,
+        pipeline_result.verified_domains(),
+    )
+    # Fig 17: most verified squatting phish survive the full month
+    assert summary["survival_end"] > 0.5
+    assert summary["median_lifetime"] is None

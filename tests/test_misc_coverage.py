@@ -1,0 +1,66 @@
+"""Remaining coverage: profile constants, alexa category listings, report
+thresholds, screenshot helpers."""
+
+import numpy as np
+import pytest
+
+from repro.brands.alexa import TOP_SITES_PER_CATEGORY, category_top_sites
+from repro.ml.metrics import classification_report
+from repro.web.http import CRAWL_PROFILES, MOBILE_UA, WEB_UA
+from repro.web.screenshot import Screenshot
+
+
+class TestCrawlProfiles:
+    def test_two_profiles_as_in_paper(self):
+        assert len(CRAWL_PROFILES) == 2
+        assert CRAWL_PROFILES == (WEB_UA, MOBILE_UA)
+
+    def test_headers_identify_browsers(self):
+        assert "Chrome/65" in WEB_UA.header       # §3.2: Chrome 65
+        assert "iPhone" in MOBILE_UA.header       # §3.2: iPhone 6
+
+
+class TestAlexaCategories:
+    def test_category_listing_size(self):
+        names = [f"brand{i}" for i in range(120)]
+        listing = category_top_sites(names, "finance")
+        assert len(listing) == TOP_SITES_PER_CATEGORY
+
+    def test_listing_is_deterministic_per_category(self):
+        names = [f"brand{i}" for i in range(80)]
+        assert category_top_sites(names, "games") == category_top_sites(names, "games")
+        assert category_top_sites(names, "games") != category_top_sites(names, "health")
+
+    def test_small_pools_return_everything(self):
+        names = ["a", "b", "c"]
+        assert sorted(category_top_sites(names, "arts")) == names
+
+
+class TestReportThresholds:
+    def test_threshold_moves_operating_point(self):
+        y = np.array([1, 1, 0, 0])
+        scores = np.array([0.9, 0.6, 0.55, 0.1])
+        strict = classification_report(y, scores, threshold=0.7)
+        loose = classification_report(y, scores, threshold=0.5)
+        assert strict.false_negative_rate > loose.false_negative_rate
+        assert strict.false_positive_rate <= loose.false_positive_rate
+        # AUC is threshold-independent
+        assert strict.auc == loose.auc
+
+
+class TestScreenshotHelpers:
+    def test_ink_ratio_bounds(self):
+        black = Screenshot(pixels=np.zeros((10, 10), dtype=np.uint8))
+        white = Screenshot(pixels=np.full((10, 10), 255, dtype=np.uint8))
+        assert black.ink_ratio() == 1.0
+        assert white.ink_ratio() == 0.0
+
+    def test_crop_clamps_to_bounds(self):
+        shot = Screenshot(pixels=np.zeros((10, 10), dtype=np.uint8))
+        cropped = shot.crop(8, 8, 10, 10)
+        assert cropped.pixels.shape == (2, 2)
+
+    def test_crop_negative_origin(self):
+        shot = Screenshot(pixels=np.zeros((10, 10), dtype=np.uint8))
+        cropped = shot.crop(-5, -5, 4, 4)
+        assert cropped.pixels.shape == (4, 4)

@@ -1,0 +1,110 @@
+"""Metrics and cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    MultinomialNaiveBayes,
+    auc_score,
+    classification_report,
+    confusion_matrix,
+    cross_validate,
+    roc_curve,
+    stratified_kfold,
+)
+
+
+class TestConfusion:
+    def test_counts(self):
+        y_true = [1, 1, 0, 0, 1]
+        y_pred = [1, 0, 0, 1, 1]
+        tn, fp, fn, tp = confusion_matrix(y_true, y_pred)
+        assert (tn, fp, fn, tp) == (1, 1, 1, 2)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([1, 0], [1])
+
+
+class TestROC:
+    def test_perfect_scores(self):
+        y = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert auc_score(y, scores) == 1.0
+
+    def test_inverted_scores(self):
+        y = np.array([0, 0, 1, 1])
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        assert auc_score(y, scores) == 0.0
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, 4000)
+        scores = rng.random(4000)
+        assert abs(auc_score(y, scores) - 0.5) < 0.05
+
+    def test_curve_is_monotone(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(0, 2, 100)
+        scores = rng.random(100)
+        fpr, tpr, thresholds = roc_curve(y, scores)
+        assert (np.diff(fpr) >= 0).all()
+        assert (np.diff(tpr) >= 0).all()
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+
+    def test_tied_scores_collapse(self):
+        y = np.array([0, 1, 0, 1])
+        scores = np.array([0.5, 0.5, 0.5, 0.5])
+        fpr, tpr, _ = roc_curve(y, scores)
+        assert len(fpr) == 2  # origin + single point
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError):
+            roc_curve(np.ones(4), np.random.default_rng(0).random(4))
+
+
+class TestReport:
+    def test_rates(self):
+        y = np.array([1, 1, 1, 0, 0, 0])
+        scores = np.array([0.9, 0.8, 0.2, 0.1, 0.7, 0.3])
+        report = classification_report(y, scores)
+        assert report.false_negative_rate == pytest.approx(1 / 3)
+        assert report.false_positive_rate == pytest.approx(1 / 3)
+        assert report.accuracy == pytest.approx(4 / 6)
+        assert report.tp == 2 and report.fn == 1
+
+    def test_row_tuple(self):
+        y = np.array([1, 0])
+        report = classification_report(y, np.array([0.9, 0.1]))
+        fpr, fnr, auc, acc = report.row()
+        assert (fpr, fnr, auc, acc) == (0.0, 0.0, 1.0, 1.0)
+
+
+class TestKFold:
+    def test_partitions_everything_once(self):
+        y = np.array([0] * 30 + [1] * 12)
+        seen = []
+        for train_idx, test_idx in stratified_kfold(y, k=5):
+            assert set(train_idx).isdisjoint(test_idx)
+            seen.extend(test_idx)
+        assert sorted(seen) == list(range(42))
+
+    def test_stratification(self):
+        y = np.array([0] * 40 + [1] * 10)
+        for _, test_idx in stratified_kfold(y, k=5):
+            assert y[test_idx].sum() == 2  # exactly 2 positives per fold
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            list(stratified_kfold(np.array([0, 1]), k=1))
+
+
+def test_cross_validate_pools_scores():
+    rng = np.random.default_rng(4)
+    x = rng.poisson(0.5, size=(200, 10)).astype(float)
+    y = (rng.random(200) < 0.4).astype(int)
+    x[y == 1, :2] += 3
+    report = cross_validate(lambda: MultinomialNaiveBayes(), x, y, k=4)
+    assert report.auc > 0.9
+    assert report.tp + report.fn == y.sum()

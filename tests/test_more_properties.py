@@ -1,0 +1,120 @@
+"""Additional property-based suites: squatting orthogonality, URL algebra,
+vocabulary, and OCR pipeline invariants."""
+
+import numpy as np
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.brands import Brand
+from repro.nlp.tokenizer import tokenize
+from repro.nlp.vocab import Vocabulary
+from repro.ocr.spellcheck import SpellChecker
+from repro.squatting.generator import SquattingGenerator
+from repro.squatting.types import SquatType
+from repro.web.urls import URLError, parse_url, remove_dot_segments, resolve
+
+labels = st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=4, max_size=10)
+hosts = labels.map(lambda s: f"{s}.com")
+paths = st.lists(
+    st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789", min_size=1, max_size=6),
+    min_size=0, max_size=4,
+).map(lambda segments: "/" + "/".join(segments))
+
+
+# ----------------------------------------------------------------------
+# squat orthogonality: one candidate, one type
+# ----------------------------------------------------------------------
+
+@given(labels)
+@settings(max_examples=30, deadline=None)
+def test_candidate_pools_are_disjoint(label):
+    generator = SquattingGenerator()
+    brand = Brand(name=label, domain=f"{label}.com")
+    candidates = generator.candidates(brand)
+    pools = [candidates.labels[t]
+             for t in (SquatType.HOMOGRAPH, SquatType.BITS, SquatType.TYPO)]
+    for i in range(len(pools)):
+        for j in range(i + 1, len(pools)):
+            assert not (pools[i] & pools[j])
+    for pool in pools:
+        assert label not in pool
+
+
+@given(labels)
+@settings(max_examples=30, deadline=None)
+def test_wrongtld_candidates_preserve_label(label):
+    generator = SquattingGenerator()
+    brand = Brand(name=label, domain=f"{label}.com")
+    for domain in generator.candidates(brand).domains[SquatType.WRONG_TLD]:
+        assert domain.split(".")[0] == label
+        assert domain != brand.domain
+
+
+# ----------------------------------------------------------------------
+# URL algebra
+# ----------------------------------------------------------------------
+
+@given(hosts, paths)
+@settings(max_examples=150)
+def test_parse_str_roundtrip(host, path):
+    raw = f"http://{host}{path or '/'}"
+    assert str(parse_url(raw)) == raw
+
+
+@given(hosts, paths, paths)
+@settings(max_examples=150)
+def test_resolved_urls_are_absolute(host, base_path, reference):
+    base = f"http://{host}{base_path or '/'}"
+    resolved = resolve(base, reference.lstrip("/") or "x")
+    parsed = parse_url(resolved)    # must not raise
+    assert parsed.host == host
+
+
+@given(paths)
+@settings(max_examples=150)
+def test_dot_segment_removal_is_idempotent(path):
+    once = remove_dot_segments(path or "/")
+    assert remove_dot_segments(once) == once
+    assert ".." not in once.split("/")
+
+
+# ----------------------------------------------------------------------
+# vocabulary / tokenizer
+# ----------------------------------------------------------------------
+
+@given(st.lists(labels, min_size=1, max_size=30))
+@settings(max_examples=100)
+def test_vocabulary_indices_are_dense_and_stable(words):
+    vocab = Vocabulary(words)
+    indices = sorted(vocab.index(word) for word in set(words))
+    assert indices == list(range(len(set(words))))
+
+
+@given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz -", max_size=60))
+@settings(max_examples=150)
+def test_tokenize_output_is_normalized(text):
+    for token in tokenize(text):
+        assert token == token.lower()
+        assert len(token) >= 2
+        assert " " not in token
+
+
+# ----------------------------------------------------------------------
+# spell checker
+# ----------------------------------------------------------------------
+
+@given(labels)
+@settings(max_examples=100)
+def test_correcting_a_dictionary_word_is_identity(word):
+    checker = SpellChecker(lexicon=[word])
+    assert checker.correct_word(word) == word
+
+
+@given(labels.filter(lambda s: len(s) >= 5))
+@settings(max_examples=100)
+def test_single_deletion_is_repaired(word):
+    checker = SpellChecker(lexicon=[word])
+    mutated = word[:2] + word[3:]
+    corrected = checker.correct_word(mutated)
+    # either repaired to the lexicon word, or the mutation collided with
+    # another valid short form — never something new
+    assert corrected in (word, mutated)

@@ -1,0 +1,78 @@
+"""Tokenizer, stopwords, vocabulary."""
+
+import pytest
+
+from repro.nlp.stopwords import STOPWORDS, remove_stopwords
+from repro.nlp.tokenizer import tokenize, word_frequencies
+from repro.nlp.vocab import Vocabulary
+
+
+class TestTokenizer:
+    def test_lowercases(self):
+        assert tokenize("PayPal Login") == ["paypal", "login"]
+
+    def test_splits_punctuation(self):
+        assert tokenize("enter password!") == ["enter", "password"]
+
+    def test_hyphen_compounds_emit_whole_and_parts(self):
+        tokens = tokenize("go-uberfreight rocks")
+        assert "go-uberfreight" in tokens
+        assert "uberfreight" in tokens
+        assert "go" in tokens
+
+    def test_min_length_filter(self):
+        assert "a" not in tokenize("a big word")
+        assert tokenize("xy z", min_length=2) == ["xy"]
+
+    def test_digits_kept(self):
+        assert "365" in tokenize("office 365 login")
+
+    def test_empty(self):
+        assert tokenize("") == []
+
+    def test_frequencies(self):
+        freq = word_frequencies(tokenize("pay pay pal"))
+        assert freq == {"pay": 2, "pal": 1}
+
+
+class TestStopwords:
+    def test_removes_common_words(self):
+        tokens = remove_stopwords(["please", "enter", "your", "password"])
+        assert "your" not in tokens
+        assert "password" in tokens
+
+    def test_stopword_list_sanity(self):
+        assert "the" in STOPWORDS
+        assert "password" not in STOPWORDS
+
+
+class TestVocabulary:
+    def test_add_is_idempotent(self):
+        vocab = Vocabulary()
+        first = vocab.add("password")
+        second = vocab.add("password")
+        assert first == second
+        assert len(vocab) == 1
+
+    def test_index_lookup(self):
+        vocab = Vocabulary(["a", "b"])
+        assert vocab.index("b") == 1
+        assert vocab.index("missing") is None
+        assert "a" in vocab
+
+    def test_words_preserve_order(self):
+        vocab = Vocabulary(["z", "a", "m"])
+        assert vocab.words() == ["z", "a", "m"]
+
+    def test_fit_frequent_caps_and_thresholds(self):
+        vocab = Vocabulary(["seed"])
+        docs = [["hot"] * 5, ["hot", "warm", "warm"], ["cold"]]
+        added = vocab.fit_frequent(docs, max_words=3, min_count=2)
+        assert added == 2
+        assert "hot" in vocab and "warm" in vocab
+        assert "cold" not in vocab  # below min_count
+
+    def test_fit_frequent_respects_existing(self):
+        vocab = Vocabulary(["hot"])
+        added = vocab.fit_frequent([["hot"] * 9], max_words=5, min_count=1)
+        assert added == 0

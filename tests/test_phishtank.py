@@ -1,0 +1,71 @@
+"""PhishTank feed simulation: skew, churn, squatting rarity."""
+
+import numpy as np
+import pytest
+
+from repro.brands import build_paper_catalog
+from repro.phishworld.phishtank import PhishTankFeed
+
+
+@pytest.fixture(scope="module")
+def feed():
+    catalog = build_paper_catalog()
+    feed = PhishTankFeed(catalog, np.random.default_rng(21), total_reports=2000)
+    feed.generate()
+    return feed
+
+
+def test_report_count(feed):
+    assert len(feed.generate()) == 2000
+
+
+def test_generate_is_idempotent(feed):
+    assert feed.generate() is feed.generate()
+
+
+def test_brand_skew_head(feed):
+    """Table 5: the top-8 brands carry the majority of reports (~59%)."""
+    top8 = feed.top_brands(8)
+    head_mass = sum(count for _, count in top8) / len(feed.generate())
+    assert 0.45 < head_mass < 0.72
+    assert top8[0][0] == "paypal"  # paypal leads in the paper
+
+
+def test_churn_rate(feed):
+    """~43.2% of reported URLs still phish at crawl time."""
+    reports = feed.generate()
+    valid = sum(1 for r in reports if r.still_phishing)
+    assert 0.35 < valid / len(reports) < 0.52
+
+
+def test_facebook_pages_survive_more_often(feed):
+    """Table 5: facebook URLs stay valid at ~69%, paypal at ~27%."""
+    grouped = feed.by_brand()
+    def valid_rate(brand):
+        items = grouped[brand]
+        return sum(1 for r in items if r.still_phishing) / len(items)
+    assert valid_rate("facebook") > valid_rate("paypal")
+
+
+def test_squatting_is_rare(feed):
+    """Fig 7: ~91% of reports use no squatting domain."""
+    reports = feed.generate()
+    squatting = sum(1 for r in reports if r.squat_type is not None)
+    assert 0.04 < squatting / len(reports) < 0.15
+
+
+def test_squatting_reports_are_combo_heavy(feed):
+    squat_types = [r.squat_type for r in feed.generate() if r.squat_type]
+    assert squat_types.count("combo") / len(squat_types) > 0.85
+
+
+def test_verified_active_filter(feed):
+    subset = feed.verified_active()
+    assert subset
+    assert all(r.verified and r.active for r in subset)
+
+
+def test_urls_carry_domain_and_path(feed):
+    report = feed.generate()[0]
+    assert report.url.startswith("http://")
+    assert report.domain in report.url

@@ -1,0 +1,143 @@
+"""Geoip, whois, marketplaces, blacklists."""
+
+import numpy as np
+import pytest
+
+from repro.phishworld.blacklists import Blacklist, BlacklistEcosystem, VirusTotalAggregator
+from repro.phishworld.geoip import GeoIPRegistry
+from repro.phishworld.marketplace import (
+    MARKETPLACE_DOMAINS,
+    classify_redirect,
+    is_marketplace,
+)
+from repro.phishworld.whois import WhoisRegistry
+
+
+class TestGeoIP:
+    @pytest.fixture()
+    def registry(self):
+        return GeoIPRegistry(np.random.default_rng(7))
+
+    def test_allocation_binds_country(self, registry):
+        ip = registry.allocate_phishing_ip()
+        assert registry.country(ip) is not None
+
+    def test_unique_ips(self, registry):
+        ips = {registry.allocate_benign_ip() for _ in range(200)}
+        assert len(ips) == 200
+
+    def test_phishing_mix_is_us_heavy(self, registry):
+        ips = [registry.allocate_phishing_ip() for _ in range(600)]
+        histogram = registry.histogram(ips)
+        top_country = next(iter(histogram))
+        assert top_country == "US"
+
+    def test_histogram_unknown_ip(self, registry):
+        assert registry.histogram(["10.0.0.1"]) == {"??": 1}
+
+
+class TestWhois:
+    @pytest.fixture()
+    def registry(self):
+        return WhoisRegistry(np.random.default_rng(9))
+
+    def test_lookup_roundtrip(self, registry):
+        registry.register_phishing("evil.com")
+        record = registry.lookup("EVIL.com")
+        assert record is not None
+        assert 2005 <= record.registration_year <= 2018
+
+    def test_phishing_years_are_recent(self, registry):
+        domains = [f"phish{i}.com" for i in range(400)]
+        for domain in domains:
+            registry.register_phishing(domain)
+        histogram = registry.year_histogram(domains)
+        recent = sum(v for year, v in histogram.items() if year >= 2015)
+        assert recent / sum(histogram.values()) > 0.75  # Fig 16 mass
+
+    def test_organic_years_are_spread(self, registry):
+        domains = [f"old{i}.com" for i in range(400)]
+        for domain in domains:
+            registry.register_organic(domain)
+        histogram = registry.year_histogram(domains)
+        assert min(histogram) < 2010
+
+    def test_registrar_coverage_is_partial(self, registry):
+        domains = [f"d{i}.com" for i in range(300)]
+        for domain in domains:
+            registry.register_phishing(domain)
+        with_registrar = sum(registry.registrar_histogram(domains).values())
+        assert 0.4 < with_registrar / 300 < 0.85  # ~63% in the paper
+
+    def test_godaddy_leads(self, registry):
+        domains = [f"g{i}.com" for i in range(800)]
+        for domain in domains:
+            registry.register_phishing(domain)
+        histogram = registry.registrar_histogram(domains)
+        assert next(iter(histogram)) == "godaddy.com"
+
+    def test_missing_lookup(self, registry):
+        assert registry.lookup("unknown.com") is None
+
+
+class TestMarketplace:
+    def test_list_has_22_entries(self):
+        # the paper hand-compiled a list of 22 known marketplaces
+        assert len(MARKETPLACE_DOMAINS) == 22
+
+    def test_is_marketplace(self):
+        assert is_marketplace("sedo.com")
+        assert is_marketplace("SEDO.COM")
+        assert not is_marketplace("example.com")
+
+    def test_classify_redirect(self):
+        assert classify_redirect("facebook.com", "facebook.com") == "original"
+        assert classify_redirect("sedo.com", "facebook.com") == "market"
+        assert classify_redirect("random.com", "facebook.com") == "other"
+
+
+class TestBlacklists:
+    def test_coverage_model(self):
+        rng = np.random.default_rng(11)
+        blacklist = Blacklist("test", rng, squatting_coverage=0.0,
+                              ordinary_coverage=1.0, mean_listing_delay_days=0.0)
+        assert blacklist.ingest("squat.com", is_squatting=True) is None
+        entry = blacklist.ingest("ordinary.com", is_squatting=False)
+        assert entry is not None
+        assert blacklist.contains("ordinary.com")
+        assert not blacklist.contains("squat.com")
+
+    def test_listing_delay_gates_observation_day(self):
+        rng = np.random.default_rng(12)
+        blacklist = Blacklist("slow", rng, squatting_coverage=1.0,
+                              ordinary_coverage=1.0, mean_listing_delay_days=50.0)
+        blacklist.ingest("late.com", is_squatting=True)
+        listed_day = blacklist._entries["late.com"].listed_day
+        assert blacklist.contains("late.com", on_day=listed_day)
+        assert not blacklist.contains("late.com", on_day=listed_day - 1)
+
+    def test_forced_listing(self):
+        rng = np.random.default_rng(13)
+        blacklist = Blacklist("pt", rng, 0.0, 0.0)
+        blacklist.add_listing("reported.com")
+        assert blacklist.contains("reported.com", on_day=0)
+
+    def test_virustotal_aggregates_members(self):
+        aggregator = VirusTotalAggregator(np.random.default_rng(14), member_count=10,
+                                          ordinary_coverage=0.5)
+        aggregator.ingest("phish.com", is_squatting=False)
+        assert aggregator.positives("phish.com", on_day=90) >= 1
+        assert aggregator.contains("phish.com", on_day=90)
+
+    def test_ecosystem_squatting_evasion_shape(self):
+        """Most squatting phish must evade all services (Table 12)."""
+        ecosystem = BlacklistEcosystem(np.random.default_rng(15))
+        domains = [f"squat{i}.com" for i in range(400)]
+        for domain in domains:
+            ecosystem.ingest(domain, is_squatting=True)
+        results = ecosystem.check_all(domains, on_day=30)
+        undetected = sum(1 for r in results if not r.detected)
+        assert undetected / len(results) > 0.80
+        phishtank_hits = sum(1 for r in results if r.phishtank)
+        virustotal_hits = sum(1 for r in results if r.virustotal)
+        assert phishtank_hits <= virustotal_hits  # VT's 70 lists see more

@@ -1,0 +1,175 @@
+"""End-to-end pipeline integration over the shared micro world."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.analysis import measure_evasion
+from repro.analysis.tables import (
+    blacklist_coverage,
+    brand_verification_rows,
+    crawl_stats,
+    ground_truth_decay,
+    liveness_matrix,
+    wild_detection_rows,
+)
+from repro.analysis.figures import (
+    brand_accumulation_curve,
+    liveness_series,
+    phish_squat_type_histogram,
+    squat_type_histogram,
+    top_targeted_brands,
+    verified_phish_cdf,
+)
+from repro.squatting.types import SquatType
+
+
+class TestSquattingStage:
+    def test_scan_recall_against_truth(self, pipeline_result, micro_world):
+        found = {m.domain for m in pipeline_result.squat_matches}
+        truth = set(micro_world.squat_truth)
+        recall = len(found & truth) / len(truth)
+        assert recall > 0.97
+
+    def test_combo_dominates(self, pipeline_result):
+        histogram = squat_type_histogram(pipeline_result.squat_matches)
+        assert histogram["combo"] == max(histogram.values())
+
+    def test_brand_skew_curve_monotone(self, pipeline_result):
+        curve = brand_accumulation_curve(pipeline_result.squat_matches)
+        assert all(a <= b for a, b in zip(curve, curve[1:]))
+        assert curve[-1] == pytest.approx(100.0)
+
+
+class TestCrawlStage:
+    def test_both_profiles_crawled(self, pipeline_result):
+        snapshot = pipeline_result.crawl_snapshots[0]
+        profiles = {profile for _, profile in snapshot.results}
+        assert profiles == {"web", "mobile"}
+
+    def test_crawl_stats_shape(self, pipeline_result, micro_world):
+        rows = crawl_stats(pipeline_result.crawl_snapshots[0],
+                           pipeline_result.squat_matches, micro_world.catalog)
+        assert len(rows) == 2
+        for row in rows:
+            # Table 2: most live squat domains do not redirect (~87%)
+            assert row.no_redirect / row.live_domains > 0.7
+
+    def test_four_snapshots(self, pipeline_result):
+        assert len(pipeline_result.crawl_snapshots) == 4
+
+
+class TestTrainingStage:
+    def test_all_three_models_evaluated(self, pipeline_result):
+        assert set(pipeline_result.cv_reports) == {
+            "naive_bayes", "knn", "random_forest"}
+
+    def test_random_forest_is_best(self, pipeline_result):
+        reports = pipeline_result.cv_reports
+        # at micro scale (~220 squats, ~45 positives) AUCs jitter by a few
+        # points; RF must stay competitive here — the paper-shape ordering
+        # is asserted at bench scale in bench_table07
+        assert reports["random_forest"].auc >= reports["naive_bayes"].auc - 0.03
+
+    def test_table7_shape(self, pipeline_result):
+        rf = pipeline_result.cv_reports["random_forest"]
+        assert rf.auc > 0.9
+        assert rf.false_positive_rate < 0.10
+        assert rf.false_negative_rate < 0.20
+
+    def test_ground_truth_composition(self, pipeline_result):
+        sources = Counter(p.source for p in pipeline_result.ground_truth)
+        assert sources["phishtank"] > 0
+        assert sources["squat-benign"] > 0
+
+
+class TestWildDetection:
+    def test_verified_is_subset_of_flagged(self, pipeline_result):
+        flagged = {f.domain for f in pipeline_result.flagged}
+        verified = {v.domain for v in pipeline_result.verified}
+        assert verified <= flagged
+
+    def test_recall_against_world_truth(self, pipeline_result, micro_world):
+        verified = set(pipeline_result.verified_domains())
+        truth = set(micro_world.phishing_domains())
+        assert len(verified & truth) / len(truth) > 0.7
+
+    def test_verification_precision(self, pipeline_result, micro_world):
+        verified = pipeline_result.verified_domains()
+        true_hits = sum(1 for d in verified
+                        if micro_world.label_of(d) == "phishing")
+        assert true_hits / len(verified) > 0.95
+
+    def test_wild_detection_rows(self, pipeline_result, micro_world):
+        rows = wild_detection_rows(pipeline_result, len(micro_world.squat_truth))
+        assert [r.population for r in rows] == ["web", "mobile", "union"]
+        union = rows[2]
+        assert union.confirmed <= union.classified_phishing
+        assert union.confirmed == len(pipeline_result.verified)
+
+    def test_cloaking_split_exists(self, pipeline_result):
+        profiles = Counter(v.profiles for v in pipeline_result.verified)
+        assert sum(1 for p in profiles if p == ("mobile",)) + \
+               sum(1 for p in profiles if p == ("web",)) > 0
+
+    def test_brand_verification_rows(self, pipeline_result):
+        rows = brand_verification_rows(pipeline_result,
+                                       pipeline_result.squat_matches, top_n=5)
+        assert rows
+        for row in rows:
+            assert row.verified_web <= max(row.predicted_web, row.predicted_mobile) + 5
+
+
+class TestCharacterization:
+    def test_evasion_rates_squatting_higher_string(self, pipeline_result):
+        squat = measure_evasion(pipeline_result.evasion_squatting, "squat")
+        reported = measure_evasion(pipeline_result.evasion_reported, "reported")
+        # Table 11: squatting phish string-obfuscate far more often
+        assert squat.string_rate > reported.string_rate
+
+    def test_layout_distances_are_large(self, pipeline_result):
+        squat = measure_evasion(pipeline_result.evasion_squatting, "squat")
+        assert squat.layout_mean > 10  # Fig 9 territory
+
+    def test_phish_type_histogram_all_types(self, pipeline_result):
+        histogram = phish_squat_type_histogram(pipeline_result.verified)
+        assert histogram["combo"] == max(histogram.values())
+
+    def test_cdf_reaches_100(self, pipeline_result):
+        points = verified_phish_cdf(pipeline_result.verified)
+        assert points[-1][1] == pytest.approx(100.0)
+
+    def test_top_targeted_brands_match_seeded_head(self, pipeline_result):
+        # at micro scale the seeded case studies dominate; google's 5×
+        # dominance (Fig 13) is asserted at bench scale instead
+        top = top_targeted_brands(pipeline_result.verified, n=5)
+        assert top[0][0] in ("google", "facebook")
+        assert top[0][1] + top[0][2] >= top[1][1] + top[1][2]
+
+    def test_longevity_most_pages_survive(self, pipeline_result):
+        domains = pipeline_result.verified_domains()
+        series = liveness_series(pipeline_result.crawl_snapshots, domains)
+        web = series["web"]
+        # Fig 17: ~80% alive after a month
+        assert web[-1] >= 0.6 * web[0]
+
+    def test_blacklist_coverage_shape(self, pipeline_result, micro_world):
+        rows = blacklist_coverage(micro_world.blacklists,
+                                  pipeline_result.verified_domains())
+        by_name = {r.service: r for r in rows}
+        # Table 12: the overwhelming majority evade all blacklists
+        assert by_name["Not Detected"].rate > 0.75
+        assert by_name["PhishTank"].rate < 0.1
+
+    def test_liveness_matrix_row_per_domain(self, pipeline_result):
+        domains = pipeline_result.verified_domains()[:4]
+        rows = liveness_matrix(pipeline_result.crawl_snapshots, domains)
+        assert len(rows) == len(domains)
+        assert all(len(cells) == 4 for _, cells in rows)
+
+    def test_ground_truth_decay_table(self, micro_world):
+        rows = ground_truth_decay(micro_world.phishtank, top_n=4)
+        assert len(rows) == 4
+        for row in rows:
+            assert 0 <= row.valid_phishing <= row.reported_urls

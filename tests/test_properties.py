@@ -1,0 +1,229 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.dns.idna import punycode_decode, punycode_encode
+from repro.dns.records import registered_domain, split_domain
+from repro.dns.zone import ZoneStore
+from repro.ml.metrics import auc_score, confusion_matrix, roc_curve
+from repro.ocr.font import normalize_for_font, render_text
+from repro.ocr.spellcheck import damerau_levenshtein
+from repro.squatting.bits import BitsModel
+from repro.squatting.typo import TypoModel
+from repro.vision.imagehash import average_hash, dhash, hamming_distance, phash
+from repro.web.html import parse_html
+from repro.web.javascript import tokenize_js
+
+labels = st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789", min_size=2, max_size=16)
+unicode_labels = st.text(
+    alphabet=st.characters(min_codepoint=ord("a"), max_codepoint=0x4FF,
+                           blacklist_categories=("Cs",)),
+    min_size=1, max_size=12,
+)
+
+
+# ----------------------------------------------------------------------
+# punycode
+# ----------------------------------------------------------------------
+
+@given(unicode_labels)
+@settings(max_examples=200)
+def test_punycode_roundtrip(label):
+    assert punycode_decode(punycode_encode(label)) == label
+
+
+@given(unicode_labels)
+@settings(max_examples=200)
+def test_punycode_matches_stdlib(label):
+    assert punycode_encode(label) == label.encode("punycode").decode("ascii")
+
+
+@given(unicode_labels)
+def test_punycode_output_is_ascii(label):
+    assert all(ord(c) < 128 for c in punycode_encode(label))
+
+
+# ----------------------------------------------------------------------
+# domain splitting
+# ----------------------------------------------------------------------
+
+@given(labels, labels)
+def test_split_domain_total(core, sub):
+    domain = f"{sub}.{core}.com"
+    split_core, tld = split_domain(domain)
+    assert split_core == core
+    assert tld == "com"
+    assert registered_domain(domain) == f"{core}.com"
+
+
+# ----------------------------------------------------------------------
+# zone store
+# ----------------------------------------------------------------------
+
+@given(st.lists(labels, min_size=1, max_size=30, unique=True))
+def test_zone_add_then_contains(names):
+    zone = ZoneStore()
+    for name in names:
+        zone.add_name(f"{name}.com")
+    for name in names:
+        assert f"{name}.com" in zone
+    assert len(zone) == len(names)
+
+
+@given(st.lists(labels, min_size=2, max_size=20, unique=True))
+def test_zone_remove_inverse_of_add(names):
+    zone = ZoneStore()
+    for name in names:
+        zone.add_name(f"{name}.com")
+    removed = names[0]
+    zone.remove(f"{removed}.com")
+    assert f"{removed}.com" not in zone
+    assert len(zone) == len(names) - 1
+
+
+# ----------------------------------------------------------------------
+# squat generate/detect duality
+# ----------------------------------------------------------------------
+
+@given(labels.filter(lambda s: 4 <= len(s) <= 12))
+@settings(max_examples=50, deadline=None)
+def test_typo_generated_variants_are_detected(label):
+    model = TypoModel()
+    for variant in sorted(model.generate(label))[:40]:
+        assert model.matches(variant, label) is not None
+
+
+@given(labels.filter(lambda s: 4 <= len(s) <= 12))
+@settings(max_examples=50, deadline=None)
+def test_bits_generated_variants_are_detected(label):
+    model = BitsModel()
+    for variant in sorted(model.generate(label))[:40]:
+        assert model.matches(variant, label) is not None
+
+
+@given(labels.filter(lambda s: len(s) >= 3))
+@settings(max_examples=100)
+def test_typo_never_matches_identity(label):
+    assert TypoModel().matches(label, label) is None
+    assert BitsModel().matches(label, label) is None
+
+
+# ----------------------------------------------------------------------
+# edit distance
+# ----------------------------------------------------------------------
+
+@given(st.text(max_size=12), st.text(max_size=12))
+@settings(max_examples=200)
+def test_edit_distance_symmetry(a, b):
+    assert damerau_levenshtein(a, b) == damerau_levenshtein(b, a)
+
+
+@given(st.text(max_size=12))
+def test_edit_distance_identity(a):
+    assert damerau_levenshtein(a, a) == 0
+
+
+@given(st.text(max_size=10), st.text(max_size=10), st.text(max_size=10))
+@settings(max_examples=100)
+def test_edit_distance_triangle_inequality(a, b, c):
+    assert damerau_levenshtein(a, c) <= (
+        damerau_levenshtein(a, b) + damerau_levenshtein(b, c)
+    )
+
+
+@given(st.text(max_size=12), st.text(max_size=12))
+def test_edit_distance_length_lower_bound(a, b):
+    assert damerau_levenshtein(a, b) >= abs(len(a) - len(b))
+
+
+# ----------------------------------------------------------------------
+# image hashes
+# ----------------------------------------------------------------------
+
+images = st.integers(min_value=0, max_value=2**32 - 1).map(
+    lambda seed: np.random.default_rng(seed).integers(0, 256, size=(32, 32)).astype(np.uint8)
+)
+
+
+@given(images)
+@settings(max_examples=50, deadline=None)
+def test_hash_self_distance_zero(image):
+    for hash_fn in (average_hash, dhash, phash):
+        assert hamming_distance(hash_fn(image), hash_fn(image)) == 0
+
+
+@given(images, images)
+@settings(max_examples=50, deadline=None)
+def test_hash_distance_symmetry(a, b):
+    for hash_fn in (average_hash, dhash, phash):
+        assert hamming_distance(hash_fn(a), hash_fn(b)) == hamming_distance(
+            hash_fn(b), hash_fn(a))
+
+
+# ----------------------------------------------------------------------
+# metrics
+# ----------------------------------------------------------------------
+
+@given(st.lists(st.tuples(st.integers(0, 1), st.floats(0, 1)),
+                min_size=4, max_size=200))
+@settings(max_examples=200)
+def test_auc_bounds_and_confusion_totals(pairs):
+    y = np.array([p[0] for p in pairs])
+    scores = np.array([p[1] for p in pairs])
+    if y.sum() == 0 or y.sum() == len(y):
+        return  # single-class inputs are rejected by design
+    auc = auc_score(y, scores)
+    assert 0.0 <= auc <= 1.0
+    tn, fp, fn, tp = confusion_matrix(y, scores >= 0.5)
+    assert tn + fp + fn + tp == len(y)
+
+
+@given(st.lists(st.tuples(st.integers(0, 1), st.floats(0, 1)),
+                min_size=4, max_size=100))
+@settings(max_examples=100)
+def test_roc_monotone(pairs):
+    y = np.array([p[0] for p in pairs])
+    scores = np.array([p[1] for p in pairs])
+    if y.sum() == 0 or y.sum() == len(y):
+        return
+    fpr, tpr, _ = roc_curve(y, scores)
+    assert (np.diff(fpr) >= 0).all()
+    assert (np.diff(tpr) >= 0).all()
+
+
+# ----------------------------------------------------------------------
+# renderer / OCR font
+# ----------------------------------------------------------------------
+
+@given(st.text(min_size=0, max_size=30))
+@settings(max_examples=100)
+def test_normalize_for_font_stays_in_repertoire(text):
+    from repro.ocr.font import SUPPORTED_CHARS
+    assert set(normalize_for_font(text)) <= SUPPORTED_CHARS
+
+
+@given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789 ", max_size=30))
+def test_render_text_shape(text):
+    strip = render_text(text)
+    assert strip.shape[0] == 7
+    assert strip.dtype == np.uint8
+    assert set(np.unique(strip)) <= {0, 1}
+
+
+# ----------------------------------------------------------------------
+# parsers never raise on arbitrary input
+# ----------------------------------------------------------------------
+
+@given(st.text(max_size=300))
+@settings(max_examples=200)
+def test_js_tokenizer_total(source):
+    tokens = tokenize_js(source)
+    assert isinstance(tokens, list)
+
+
+@given(st.text(alphabet=st.characters(blacklist_categories=("Cs",)), max_size=200))
+@settings(max_examples=100)
+def test_html_parser_is_total_on_text(markup):
+    tree = parse_html(markup)
+    assert tree.tag == "#document"

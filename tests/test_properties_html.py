@@ -1,0 +1,92 @@
+"""Property-based tests for the HTML document model."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.web.html import Element, el, parse_html
+
+# Text safe for round-tripping: the serializer escapes &<>, the parser
+# unescapes; whitespace normalisation makes exact-text comparison fuzzy, so
+# we generate single-line, trimmed text.
+safe_text = st.text(
+    alphabet=st.characters(blacklist_characters="<>&\n\r\t",
+                           blacklist_categories=("Cs", "Cc")),
+    min_size=1, max_size=20,
+).map(str.strip).filter(bool)
+
+tag_names = st.sampled_from(["div", "p", "span", "h1", "h2", "a", "label"])
+attr_names = st.sampled_from(["id", "class", "href", "name", "data-x"])
+attr_values = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789-_ .", min_size=0, max_size=12)
+
+
+@st.composite
+def element_trees(draw, depth=0):
+    tag = draw(tag_names)
+    attrs = draw(st.dictionaries(attr_names, attr_values, max_size=2))
+    node = Element(tag=tag, attrs=dict(attrs))
+    if depth < 2:
+        children = draw(st.lists(
+            st.one_of(
+                safe_text,
+                element_trees(depth=depth + 1),
+            ),
+            max_size=3,
+        ))
+        for child in children:
+            # adjacent text nodes are indistinguishable after serialization
+            # (they concatenate), so merge them up front
+            if (isinstance(child, str) and node.children
+                    and isinstance(node.children[-1], str)):
+                node.children[-1] += child
+            else:
+                node.append(child)
+    return node
+
+
+def tag_sequence(root):
+    return [node.tag for node in root.iter() if node.tag != "#document"]
+
+
+def all_text_tokens(root):
+    return [token for token in root.text().split() if token]
+
+
+@given(element_trees())
+@settings(max_examples=150, deadline=None)
+def test_serialize_parse_preserves_structure(tree):
+    markup = tree.to_html()
+    parsed = parse_html(markup)
+    assert tag_sequence(parsed) == tag_sequence(tree)
+
+
+@given(element_trees())
+@settings(max_examples=150, deadline=None)
+def test_serialize_parse_preserves_text_tokens(tree):
+    parsed = parse_html(tree.to_html())
+    assert all_text_tokens(parsed) == all_text_tokens(tree)
+
+
+@given(element_trees())
+@settings(max_examples=100, deadline=None)
+def test_serialize_parse_preserves_attributes(tree):
+    parsed = parse_html(tree.to_html())
+    originals = [n for n in tree.iter()]
+    reparsed = [n for n in parsed.iter() if n.tag != "#document"]
+    for original, round_tripped in zip(originals, reparsed):
+        for key, value in original.attrs.items():
+            assert round_tripped.get(key) == value
+
+
+@given(st.lists(safe_text, min_size=1, max_size=5))
+@settings(max_examples=100)
+def test_el_text_children_concatenate(texts):
+    node = el("p", *texts)
+    assert node.own_text == "".join(texts)
+
+
+@given(element_trees())
+@settings(max_examples=100, deadline=None)
+def test_iter_visits_every_find_all_hit(tree):
+    for tag in {"div", "p", "a"}:
+        assert len(tree.find_all(tag)) == sum(
+            1 for node in tree.iter() if node.tag == tag)

@@ -1,0 +1,62 @@
+"""ASCII exhibit renderers."""
+
+from repro.analysis.render import bar_chart, curve, percent, table
+
+
+class TestBarChart:
+    def test_basic_chart(self):
+        out = bar_chart({"combo": 10, "typo": 5}, title="Types")
+        assert "Types" in out
+        assert "combo" in out and "typo" in out
+        # the bigger value gets the longer bar
+        combo_line = next(l for l in out.splitlines() if l.startswith("combo"))
+        typo_line = next(l for l in out.splitlines() if l.startswith("typo"))
+        assert combo_line.count("#") > typo_line.count("#")
+
+    def test_empty_data(self):
+        assert "(no data)" in bar_chart({})
+
+    def test_zero_values_render(self):
+        out = bar_chart({"a": 0, "b": 0})
+        assert "a" in out and "b" in out
+
+    def test_value_format(self):
+        out = bar_chart({"x": 0.123}, value_format="{:.2f}")
+        assert "0.12" in out
+
+
+class TestTable:
+    def test_alignment(self):
+        out = table(["name", "count"], [["a", 1], ["longer", 22]])
+        lines = out.splitlines()
+        assert len({line.index("count") == lines[0].index("count")
+                    for line in lines[:1]}) == 1
+        assert "longer" in out
+
+    def test_title(self):
+        assert table(["h"], [["v"]], title="My Table").startswith("My Table")
+
+    def test_empty_rows(self):
+        out = table(["a", "b"], [])
+        assert "a" in out and "b" in out
+
+    def test_non_string_cells(self):
+        out = table(["n"], [[3.14159], [None]])
+        assert "3.14159" in out and "None" in out
+
+
+class TestCurve:
+    def test_samples_checkpoints(self):
+        points = [(i, float(i)) for i in range(1, 101)]
+        out = curve(points, sample_at=(1, 50, 100))
+        assert "top    1" in out
+        assert "top  100" in out
+
+    def test_skips_out_of_range(self):
+        out = curve([(1, 10.0)], sample_at=(1, 99))
+        assert "99" not in out
+
+
+def test_percent():
+    assert percent(0.5) == "50.0%"
+    assert percent(0.034) == "3.4%"

@@ -1,0 +1,91 @@
+"""Run reports and the feedback-retraining loop."""
+
+import json
+
+import pytest
+
+from repro.core.reporting import RunReport, build_report
+
+
+@pytest.fixture(scope="module")
+def report(pipeline_result, micro_world):
+    return build_report(pipeline_result, micro_world)
+
+
+class TestBuildReport:
+    def test_squat_section(self, report, pipeline_result):
+        assert report.squat_total == len(pipeline_result.squat_matches)
+        assert report.squat_types["combo"] > 0
+        assert len(report.top_squatted_brands) == 10
+
+    def test_classifier_section(self, report):
+        assert set(report.classifiers) == {"naive_bayes", "knn", "random_forest"}
+        rf = report.classifiers["random_forest"]
+        assert 0 <= rf["fp"] <= 1 and 0 <= rf["auc"] <= 1
+
+    def test_wild_detection_section(self, report, pipeline_result):
+        assert [r["population"] for r in report.wild_detection] == [
+            "web", "mobile", "union"]
+        assert report.verified_total == len(pipeline_result.verified)
+
+    def test_evasion_section(self, report):
+        assert set(report.evasion) == {"squatting", "reported"}
+        assert report.evasion["squatting"]["string_rate"] >= 0
+
+    def test_blacklist_section(self, report):
+        services = [r["service"] for r in report.blacklists]
+        assert "Not Detected" in services
+
+    def test_longevity_section(self, report, pipeline_result):
+        assert report.longevity["domains"] == len(pipeline_result.verified_domains())
+        assert 0.0 <= report.longevity["survival_end"] <= 1.0
+        curve = report.longevity["survival_curve"]
+        assert curve[0] == [0, 1.0]
+        values = [s for _, s in curve]
+        assert values == sorted(values, reverse=True)
+
+
+class TestSerialization:
+    def test_json_round_trip(self, report, tmp_path):
+        path = tmp_path / "report.json"
+        report.save(path)
+        loaded = RunReport.load(path)
+        assert loaded.to_dict() == report.to_dict()
+
+    def test_json_is_valid(self, report):
+        parsed = json.loads(report.to_json())
+        assert parsed["squat_total"] == report.squat_total
+
+    def test_empty_report_serializes(self, tmp_path):
+        empty = RunReport()
+        path = tmp_path / "empty.json"
+        empty.save(path)
+        assert RunReport.load(path).squat_total == 0
+
+
+class TestFeedbackRetraining:
+    def test_retrain_improves_or_holds(self, pipeline, pipeline_result):
+        before = pipeline_result.cv_reports["random_forest"]
+        after_reports = pipeline.retrain_with_feedback(
+            pipeline_result.ground_truth,
+            pipeline_result.flagged,
+            pipeline_result.verified,
+        )
+        after = after_reports["random_forest"]
+        # the augmented set is larger and the model must stay in the same
+        # quality band (the loop must never catastrophically regress)
+        assert after.auc > before.auc - 0.05
+        assert after.tp + after.fn >= before.tp + before.fn
+
+    def test_feedback_pages_are_deduplicated(self, pipeline, pipeline_result):
+        augmented = list(pipeline_result.ground_truth)
+        keys = {(d.domain, d.profile) for d in pipeline_result.flagged}
+        # retrain adds at most one page per (domain, profile)
+        reports = pipeline.retrain_with_feedback(
+            pipeline_result.ground_truth,
+            pipeline_result.flagged + pipeline_result.flagged,  # duplicates
+            pipeline_result.verified,
+        )
+        total = reports["random_forest"].tp + reports["random_forest"].fn + \
+            reports["random_forest"].tn + reports["random_forest"].fp
+        assert total <= len(augmented) + len(keys)

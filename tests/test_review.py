@@ -1,0 +1,88 @@
+"""Crowdsourced verification queue."""
+
+import numpy as np
+import pytest
+
+from repro.core.review import Annotator, ReviewQueue, default_crowd
+
+
+def perfect_crowd(size=5):
+    return [Annotator(name=f"p{i}", sensitivity=1.0, specificity=1.0)
+            for i in range(size)]
+
+
+class TestQueueMechanics:
+    def test_requires_annotators(self):
+        with pytest.raises(ValueError):
+            ReviewQueue([], votes_per_item=3)
+
+    def test_requires_positive_votes(self):
+        with pytest.raises(ValueError):
+            ReviewQueue(perfect_crowd(), votes_per_item=0)
+
+    def test_votes_capped_by_crowd_size(self):
+        queue = ReviewQueue(perfect_crowd(2), votes_per_item=5)
+        assert queue.votes_per_item == 2
+
+    def test_each_item_gets_exactly_k_votes(self):
+        queue = ReviewQueue(perfect_crowd(), votes_per_item=3)
+        for i in range(4):
+            queue.submit(f"d{i}.com", "brand", truth=bool(i % 2))
+        stats = queue.process()
+        assert stats.votes_cast == 12
+        assert all(len(item.votes) == 3 for item in queue.items)
+
+    def test_reprocess_does_not_revote(self):
+        queue = ReviewQueue(perfect_crowd(), votes_per_item=3)
+        queue.submit("a.com", "brand", truth=True)
+        queue.process()
+        stats = queue.process()
+        assert stats.votes_cast == 0
+
+    def test_verdict_before_votes_raises(self):
+        queue = ReviewQueue(perfect_crowd())
+        item = queue.submit("a.com", "brand", truth=True)
+        with pytest.raises(RuntimeError):
+            _ = item.verdict
+
+
+class TestJudgement:
+    def test_perfect_crowd_is_always_right(self):
+        queue = ReviewQueue(perfect_crowd(), votes_per_item=3)
+        for i in range(30):
+            queue.submit(f"d{i}.com", "brand", truth=bool(i % 3 == 0))
+        stats = queue.process()
+        assert stats.accuracy == 1.0
+        assert stats.confirmed == 10
+
+    def test_majority_vote_beats_single_annotator(self):
+        """The crowdsourcing pay-off the paper banks on."""
+        def run(votes):
+            queue = ReviewQueue(default_crowd(size=15, seed=3),
+                                votes_per_item=votes, seed=5)
+            rng = np.random.default_rng(11)
+            for i in range(400):
+                queue.submit(f"d{i}.com", "b", truth=bool(rng.random() < 0.5))
+            return queue.process().accuracy
+
+        assert run(5) > run(1)
+
+    def test_tie_breaks_toward_phishing(self):
+        queue = ReviewQueue(perfect_crowd(2), votes_per_item=2)
+        item = queue.submit("a.com", "brand", truth=True)
+        item.votes = [True, False]
+        assert item.verdict is True
+
+    def test_confirmed_domains_listing(self):
+        queue = ReviewQueue(perfect_crowd(), votes_per_item=3)
+        queue.submit("phish.com", "b", truth=True)
+        queue.submit("benign.com", "b", truth=False)
+        queue.process()
+        assert queue.confirmed_domains() == ["phish.com"]
+
+
+def test_default_crowd_is_heterogeneous():
+    crowd = default_crowd(size=8)
+    assert len(crowd) == 8
+    assert len({round(a.sensitivity, 4) for a in crowd}) > 1
+    assert all(0.70 <= a.specificity <= 0.99 for a in crowd)

@@ -1,0 +1,68 @@
+"""Sector catalogs (the §7 measurement extension)."""
+
+import pytest
+
+from repro.brands import build_paper_catalog
+from repro.brands.sectors import SECTORS, extend_with_sectors, sector_catalog
+from repro.squatting.detector import SquattingDetector
+from repro.squatting.types import SquatType
+
+
+class TestSectorCatalog:
+    def test_all_sectors_by_default(self):
+        catalog = sector_catalog()
+        categories = {brand.category for brand in catalog}
+        assert categories == set(SECTORS)
+
+    def test_subset_selection(self):
+        catalog = sector_catalog(["government"])
+        assert all(b.category == "government" for b in catalog)
+        assert "irs" in catalog
+
+    def test_unknown_sector_rejected(self):
+        with pytest.raises(ValueError):
+            sector_catalog(["casinos"])
+
+    def test_sources_marked(self):
+        catalog = sector_catalog(["university"])
+        assert all(b.sources == ("sector",) for b in catalog)
+
+
+class TestExtend:
+    def test_merges_without_losing_base(self):
+        base = build_paper_catalog()
+        merged = extend_with_sectors(base, ["government", "hospital"])
+        assert len(merged) > len(base)
+        assert "google" in merged          # base preserved
+        assert "irs" in merged             # sector added
+
+    def test_base_catalog_is_not_mutated(self):
+        base = build_paper_catalog()
+        size_before = len(base)
+        extend_with_sectors(base)
+        assert len(base) == size_before
+
+
+class TestSectorDetection:
+    @pytest.fixture(scope="class")
+    def detector(self):
+        return SquattingDetector(sector_catalog())
+
+    @pytest.mark.parametrize("domain,brand,squat_type", [
+        ("irs-refund.com", "irs", SquatType.COMBO),
+        ("1rs.gov", "irs", SquatType.HOMOGRAPH),
+        ("mayoclinic-login.org", "mayoclinic", SquatType.COMBO),
+        ("stanfnrd.edu", "stanford", SquatType.BITS),  # o→n is one bit flip
+        ("nhs-appointments.uk", "nhs", SquatType.COMBO),
+        ("armyy.mil", "army", SquatType.TYPO),
+        ("tricare.com", "tricare", SquatType.WRONG_TLD),
+    ])
+    def test_sector_squats_detected(self, detector, domain, brand, squat_type):
+        match = detector.classify_domain(domain)
+        assert match is not None, domain
+        assert match.brand == brand
+        assert match.squat_type == squat_type
+
+    def test_own_domains_clean(self, detector):
+        for domain in ("irs.gov", "mit.edu", "nhs.uk"):
+            assert detector.classify_domain(domain) is None

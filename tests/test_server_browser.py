@@ -1,0 +1,136 @@
+"""Hosted sites, the web host, and the headless browser."""
+
+import pytest
+
+from repro.web.browser import Browser, document_to_html
+from repro.web.html import document, el, parse_html
+from repro.web.http import MOBILE_UA, WEB_UA, Request, Response
+from repro.web.server import HostedSite, SiteBehavior, WebHost
+
+
+def static_site(domain, page, label="benign"):
+    return HostedSite(
+        domain=domain,
+        behavior=SiteBehavior.CONTENT,
+        provider=lambda ua, snap: page,
+        label=label,
+    )
+
+
+@pytest.fixture()
+def host():
+    host = WebHost()
+    host.register(static_site("example.com", document("Example", el("p", "hello"))))
+    host.register(HostedSite(domain="dead.com", behavior=SiteBehavior.DEAD))
+    host.register(HostedSite(
+        domain="hop.com", behavior=SiteBehavior.REDIRECT,
+        redirect_to="http://example.com/",
+    ))
+    return host
+
+
+class TestHttpModels:
+    def test_request_domain_parsing(self):
+        assert Request(url="http://Example.COM/path?q=1").domain == "example.com"
+        assert Request(url="https://a.b.c/").domain == "a.b.c"
+        assert Request(url="bare.com").domain == "bare.com"
+
+    def test_response_redirect_properties(self):
+        response = Response(url="x", status=302, headers={"Location": "http://y/"})
+        assert response.is_redirect
+        assert response.location == "http://y/"
+        assert not response.ok
+
+    def test_profiles(self):
+        assert not WEB_UA.is_mobile
+        assert MOBILE_UA.is_mobile
+        assert "iPhone" in MOBILE_UA.header
+
+
+class TestWebHost:
+    def test_serves_content(self, host):
+        response = host.serve(Request(url="http://example.com/"))
+        assert response.ok
+        assert "hello" in response.body
+
+    def test_unknown_domain_is_none(self, host):
+        assert host.serve(Request(url="http://nowhere.com/")) is None
+
+    def test_dead_site_is_none(self, host):
+        assert host.serve(Request(url="http://dead.com/")) is None
+
+    def test_redirect_response(self, host):
+        response = host.serve(Request(url="http://hop.com/"))
+        assert response.is_redirect
+        assert response.location == "http://example.com/"
+
+
+class TestBrowser:
+    def test_visit_renders_page(self, host):
+        capture = Browser(host, WEB_UA).visit("http://example.com/")
+        assert capture is not None
+        assert capture.final_url == "http://example.com/"
+        assert "hello" in capture.html
+        assert capture.screenshot.pixels.size > 0
+        assert not capture.was_redirected
+
+    def test_follows_redirects(self, host):
+        capture = Browser(host, WEB_UA).visit("http://hop.com/")
+        assert capture is not None
+        assert capture.final_domain == "example.com"
+        assert capture.redirect_chain == ("http://example.com/",)
+
+    def test_dead_site_returns_none(self, host):
+        assert Browser(host, WEB_UA).visit("http://dead.com/") is None
+
+    def test_redirect_loop_returns_none(self):
+        host = WebHost()
+        host.register(HostedSite(domain="a.com", behavior=SiteBehavior.REDIRECT,
+                                 redirect_to="http://b.com/"))
+        host.register(HostedSite(domain="b.com", behavior=SiteBehavior.REDIRECT,
+                                 redirect_to="http://a.com/"))
+        assert Browser(host, WEB_UA).visit("http://a.com/") is None
+
+    def test_cloaking_by_user_agent(self):
+        host = WebHost()
+        page = document("Mobile only", el("p", "mobile content"))
+        host.register(HostedSite(
+            domain="cloaked.com", behavior=SiteBehavior.CONTENT,
+            provider=lambda ua, snap: page if ua.is_mobile else None,
+        ))
+        assert Browser(host, WEB_UA).visit("http://cloaked.com/") is None
+        capture = Browser(host, MOBILE_UA).visit("http://cloaked.com/")
+        assert capture is not None
+
+    def test_snapshot_dependent_content(self):
+        host = WebHost()
+        page = document("Ephemeral", el("p", "alive"))
+        host.register(HostedSite(
+            domain="shortlived.com", behavior=SiteBehavior.CONTENT,
+            provider=lambda ua, snap: page if snap < 2 else None,
+        ))
+        browser = Browser(host, WEB_UA)
+        assert browser.visit("http://shortlived.com/", snapshot=1) is not None
+        assert browser.visit("http://shortlived.com/", snapshot=2) is None
+
+    def test_js_form_injection_is_executed(self):
+        host = WebHost()
+        page = document(
+            "Inject",
+            el("p", "shell"),
+            el("script",
+               "if(!window.adblock){document.body.innerHTML += "
+               "'<form><input type=\"password\" placeholder=\"password\">"
+               "</form>';}"),
+        )
+        host.register(static_site("inject.com", page))
+        capture = Browser(host, WEB_UA).visit("http://inject.com/")
+        tree = parse_html(capture.html)
+        inputs = tree.find_all("input")
+        assert any(i.get("type") == "password" for i in inputs)
+
+
+def test_document_to_html_unwraps_parse_root():
+    tree = parse_html("<html><body><p>x</p></body></html>")
+    markup = document_to_html(tree)
+    assert markup.startswith("<html>")

@@ -1,0 +1,91 @@
+"""Visual-similarity baseline detector and its §4.2 failure mode."""
+
+import numpy as np
+import pytest
+
+from repro.brands import Brand
+from repro.phishworld.attacker import (
+    EvasionProfile,
+    PhishingPageBuilder,
+    PhishingPageSpec,
+)
+from repro.phishworld.sites import brand_original_page, organic_page
+from repro.vision.similarity_detector import (
+    VisualSimilarityDetector,
+    sweep_thresholds,
+)
+from repro.web.html import parse_html
+from repro.web.screenshot import render_page
+
+
+def pixels_of(page):
+    return render_page(parse_html(page.to_html())).pixels
+
+
+@pytest.fixture(scope="module")
+def paypal():
+    return Brand(name="paypal", domain="paypal.com", sensitivity="payment")
+
+
+@pytest.fixture(scope="module")
+def detector(paypal):
+    d = VisualSimilarityDetector(threshold=10)
+    d.register_brand("paypal", pixels_of(brand_original_page(paypal)))
+    return d
+
+
+class TestDetector:
+    def test_exact_copy_is_flagged(self, detector, paypal):
+        assert detector.classify(pixels_of(brand_original_page(paypal)))
+
+    def test_unrelated_page_is_clean(self, detector):
+        page = organic_page("weather-report.net", np.random.default_rng(4))
+        assert not detector.classify(pixels_of(page))
+
+    def test_nearest_reports_brand(self, detector, paypal):
+        match = detector.nearest(pixels_of(brand_original_page(paypal)))
+        assert match.brand == "paypal"
+        assert match.distance == 0
+
+    def test_empty_detector(self):
+        empty = VisualSimilarityDetector()
+        assert empty.nearest(np.zeros((8, 8), dtype=np.uint8)) is None
+        assert not empty.classify(np.zeros((8, 8), dtype=np.uint8))
+
+    def test_protected_brands_listing(self, detector):
+        assert detector.protected_brands == ["paypal"]
+
+
+class TestLayoutObfuscationDefeatsBaseline:
+    """§4.2: obfuscated phishing drifts beyond any tight threshold."""
+
+    def phish_pixels(self, paypal, variant):
+        builder = PhishingPageBuilder(np.random.default_rng(9))
+        page = builder.build(PhishingPageSpec(
+            brand=paypal, theme="login",
+            evasion=EvasionProfile(layout=True, string=True),
+            layout_variant=variant))
+        return pixels_of(page)
+
+    def test_obfuscated_phish_evades_tight_threshold(self, detector, paypal):
+        evaded = sum(
+            1 for variant in range(6)
+            if not detector.classify(self.phish_pixels(paypal, variant))
+        )
+        assert evaded >= 5      # nearly all drift beyond distance 10
+
+    def test_threshold_sweep_shows_the_tradeoff(self, detector, paypal):
+        positives = [self.phish_pixels(paypal, v) for v in range(6)]
+        rng = np.random.default_rng(11)
+        negatives = [pixels_of(organic_page(f"site{i}.net", rng))
+                     for i in range(8)]
+        points = sweep_thresholds(detector, positives, negatives)
+        by_threshold = {p.threshold: p for p in points}
+        # tight threshold: safe but blind
+        assert by_threshold[10].recall < 0.5
+        # loose threshold: catches phish but benign pages start matching
+        assert by_threshold[35].recall > by_threshold[10].recall
+        assert by_threshold[35].false_positive_rate >= by_threshold[10].false_positive_rate
+        # recall is monotone in the threshold
+        recalls = [p.recall for p in points]
+        assert recalls == sorted(recalls)

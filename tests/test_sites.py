@@ -1,0 +1,99 @@
+"""Benign site templates: the content populations of the synthetic web."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.evasion import string_obfuscated
+from repro.brands import Brand
+from repro.phishworld.sites import (
+    brand_original_page,
+    fan_forum_page,
+    for_sale_page,
+    newsletter_page,
+    organic_page,
+    parked_page,
+    plugin_shop_page,
+    portal_login_page,
+    survey_page,
+)
+from repro.web.html import forms, parse_html, text_content
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(17)
+
+
+@pytest.fixture(scope="module")
+def paypal():
+    return Brand(name="paypal", domain="paypal.com", sensitivity="payment")
+
+
+@pytest.fixture(scope="module")
+def infobrand():
+    return Brand(name="vice", domain="vice.com", sensitivity="info")
+
+
+class TestBrandOriginal:
+    def test_login_brand_has_password_form(self, paypal):
+        page = brand_original_page(paypal)
+        tree = parse_html(page.to_html())
+        assert forms(tree)
+        inputs = tree.find_all("input")
+        assert any(i.get("type") == "password" for i in inputs)
+        assert "paypal" in text_content(tree).lower()
+
+    def test_info_brand_has_no_form(self, infobrand):
+        page = brand_original_page(infobrand)
+        assert not forms(parse_html(page.to_html()))
+
+
+class TestBenignPopulations:
+    def test_parked_page_has_no_form(self):
+        page = parked_page("example-parked.com")
+        assert not forms(parse_html(page.to_html()))
+
+    def test_for_sale_page_has_offer_form_but_no_password(self):
+        page = for_sale_page("premium.com")
+        tree = parse_html(page.to_html())
+        assert forms(tree)
+        assert all(i.get("type") != "password" for i in tree.find_all("input"))
+
+    def test_organic_page_is_deterministic_per_rng(self):
+        a = organic_page("site.com", np.random.default_rng(3)).to_html()
+        b = organic_page("site.com", np.random.default_rng(3)).to_html()
+        assert a == b
+
+    def test_newsletter_mentions_brand_with_form(self, paypal, rng):
+        page = newsletter_page("paypal-fans.net", paypal, rng)
+        html = page.to_html()
+        assert not string_obfuscated(html, "paypal")
+        assert forms(parse_html(html))
+
+    def test_survey_page_has_text_boxes(self, paypal, rng):
+        page = survey_page("paypal-survey.net", paypal, rng)
+        tree = parse_html(page.to_html())
+        assert len(tree.find_all("input")) >= 2
+
+    def test_plugin_shop_mentions_payment_brand(self, paypal, rng):
+        page = plugin_shop_page("tinyshop.com", paypal, rng)
+        assert "paypal" in text_content(parse_html(page.to_html())).lower()
+
+    def test_fan_forum_is_the_hard_case(self, paypal, rng):
+        """Brand keywords + password form, legitimately benign."""
+        page = fan_forum_page("paypal-fans.org", paypal, rng)
+        tree = parse_html(page.to_html())
+        assert "paypal" in text_content(tree).lower()
+        assert any(i.get("type") == "password" for i in tree.find_all("input"))
+        assert "unofficial" in text_content(tree).lower()
+
+    def test_portal_login_has_credentials_but_no_brand(self, rng):
+        page = portal_login_page("random-portal.net", rng)
+        tree = parse_html(page.to_html())
+        assert any(i.get("type") == "password" for i in tree.find_all("input"))
+
+    def test_templates_handle_missing_brand(self, rng):
+        for template in (newsletter_page, survey_page, plugin_shop_page,
+                         fan_forum_page):
+            page = template("nobrand.net", None, rng)
+            assert page.to_html()

@@ -1,0 +1,71 @@
+"""Damerau-Levenshtein distance and the OCR spell checker."""
+
+import pytest
+
+from repro.ocr.spellcheck import DEFAULT_LEXICON, SpellChecker, damerau_levenshtein
+
+
+class TestDistance:
+    @pytest.mark.parametrize("a,b,expected", [
+        ("", "", 0),
+        ("a", "", 1),
+        ("", "abc", 3),
+        ("kitten", "sitting", 3),
+        ("password", "password", 0),
+        ("passwod", "password", 1),       # deletion
+        ("pasword", "password", 1),
+        ("passwrod", "password", 1),      # transposition
+        ("passw0rd", "password", 1),      # substitution
+        ("abcdef", "badcfe", 3),          # three transpositions
+    ])
+    def test_known_values(self, a, b, expected):
+        assert damerau_levenshtein(a, b) == expected
+
+    def test_symmetry(self):
+        assert damerau_levenshtein("login", "logni") == damerau_levenshtein("logni", "login")
+
+    def test_cap_early_exit(self):
+        assert damerau_levenshtein("aaaa", "zzzz", cap=1) == 2  # cap + 1
+
+    def test_cap_length_shortcut(self):
+        assert damerau_levenshtein("a", "abcdef", cap=2) == 3
+
+
+class TestSpellChecker:
+    @pytest.fixture(scope="class")
+    def checker(self):
+        return SpellChecker()
+
+    def test_paper_example(self, checker):
+        # §5.2: Tesseract sometimes emits "passwod"
+        assert checker.correct_word("passwod") == "password"
+
+    def test_in_dictionary_unchanged(self, checker):
+        assert checker.correct_word("password") == "password"
+
+    def test_short_words_untouched(self, checker):
+        assert checker.correct_word("pya") == "pya"
+
+    def test_unknown_far_word_unchanged(self, checker):
+        assert checker.correct_word("zzzzzzzz") == "zzzzzzzz"
+
+    def test_correct_text(self, checker):
+        assert checker.correct_text("enter your passwod") == "enter your password"
+
+    def test_case_folding(self, checker):
+        assert checker.correct_word("PassWod") == "password"
+
+    def test_custom_words(self):
+        checker = SpellChecker()
+        checker.add_word("paypal")
+        assert checker.correct_word("paypa1") == "paypal"
+        assert "paypal" in checker
+
+    def test_add_words_batch(self):
+        checker = SpellChecker(lexicon=())
+        checker.add_words(["facebook", "google"])
+        assert checker.correct_word("facebok") == "facebook"
+
+    def test_default_lexicon_has_core_vocabulary(self):
+        for word in ("password", "username", "login", "verify"):
+            assert word in DEFAULT_LEXICON

@@ -1,0 +1,168 @@
+"""Table data producers (unit level, hand-built crawl snapshots)."""
+
+import pytest
+
+from repro.analysis.tables import (
+    BrandRedirectRow,
+    brand_redirect_rows,
+    crawl_stats,
+    example_phish_domains,
+    liveness_matrix,
+    wild_detection_rows,
+)
+from repro.brands import Brand, BrandCatalog
+from repro.core.pipeline import PipelineResult, VerifiedPhish, WildDetection
+from repro.squatting.types import SquatMatch, SquatType
+from repro.web.crawler import CrawlResult, CrawlSnapshot
+
+
+class FakeCapture:
+    """Minimal stand-in for a PageCapture in redirect accounting."""
+
+    def __init__(self, final_domain):
+        self.final_url = f"http://{final_domain}/"
+        self.redirect_chain = ("hop",) if final_domain else ()
+
+    @property
+    def was_redirected(self):
+        return bool(self.redirect_chain)
+
+    @property
+    def final_domain(self):
+        return self.final_url.split("//")[1].rstrip("/")
+
+
+def crawl_result(domain, profile, live=True, final=None, snapshot=0):
+    capture = None
+    if live:
+        capture = FakeCapture(final or domain)
+        if final is None:
+            capture.redirect_chain = ()
+    return CrawlResult(domain=domain, profile=profile, snapshot=snapshot,
+                       live=live, capture=capture)
+
+
+@pytest.fixture()
+def catalog():
+    return BrandCatalog([
+        Brand(name="facebook", domain="facebook.com"),
+        Brand(name="paypal", domain="paypal.com"),
+    ])
+
+
+@pytest.fixture()
+def matches():
+    return [
+        SquatMatch("facebook-a.com", "facebook", SquatType.COMBO),
+        SquatMatch("facebook-b.com", "facebook", SquatType.COMBO),
+        SquatMatch("facebook-c.net", "facebook", SquatType.COMBO),
+        SquatMatch("paypal-x.com", "paypal", SquatType.COMBO),
+        SquatMatch("paypal-y.com", "paypal", SquatType.COMBO),
+        SquatMatch("paypal-z.com", "paypal", SquatType.COMBO),
+    ]
+
+
+@pytest.fixture()
+def snapshot(matches):
+    snap = CrawlSnapshot(snapshot=0)
+    specs = {
+        "facebook-a.com": ("live", None),
+        "facebook-b.com": ("live", "facebook.com"),   # defensive redirect
+        "facebook-c.net": ("dead", None),
+        "paypal-x.com": ("live", "sedo.com"),          # marketplace
+        "paypal-y.com": ("live", "elsewhere.net"),     # other
+        "paypal-z.com": ("live", None),
+    }
+    for domain, (state, final) in specs.items():
+        for profile in ("web", "mobile"):
+            snap.results[(domain, profile)] = crawl_result(
+                domain, profile, live=state == "live", final=final)
+    return snap
+
+
+class TestCrawlStats:
+    def test_buckets(self, snapshot, matches, catalog):
+        rows = crawl_stats(snapshot, matches, catalog)
+        web = rows[0]
+        assert web.profile == "web"
+        assert web.live_domains == 5
+        assert web.no_redirect == 2
+        assert web.redirect_original == 1
+        assert web.redirect_market == 1
+        assert web.redirect_other == 1
+
+    def test_ignores_unmatched_domains(self, snapshot, matches, catalog):
+        snapshot.results[("unrelated.com", "web")] = crawl_result(
+            "unrelated.com", "web")
+        rows = crawl_stats(snapshot, matches, catalog)
+        assert rows[0].live_domains == 5
+
+
+class TestBrandRedirects:
+    def test_destination_ranking(self, snapshot, matches, catalog):
+        rows = brand_redirect_rows(snapshot, matches, catalog,
+                                   destination="market", top_n=5, min_live=1,
+                                   min_redirecting=1)
+        assert rows[0].brand == "paypal"
+        rows = brand_redirect_rows(snapshot, matches, catalog,
+                                   destination="original", top_n=5, min_live=1,
+                                   min_redirecting=1)
+        assert rows[0].brand == "facebook"
+
+    def test_min_live_filter(self, snapshot, matches, catalog):
+        rows = brand_redirect_rows(snapshot, matches, catalog,
+                                   destination="market", min_live=10)
+        assert rows == []
+
+
+class TestWildDetectionRows:
+    def make_result(self):
+        flagged = [
+            WildDetection("a.com", "facebook", SquatType.COMBO, "web", 0.9, None),
+            WildDetection("a.com", "facebook", SquatType.COMBO, "mobile", 0.9, None),
+            WildDetection("b.com", "paypal", SquatType.TYPO, "web", 0.8, None),
+            WildDetection("c.com", "paypal", SquatType.TYPO, "mobile", 0.7, None),
+        ]
+        verified = [
+            VerifiedPhish("a.com", "facebook", SquatType.COMBO, ("mobile", "web")),
+            VerifiedPhish("c.com", "paypal", SquatType.TYPO, ("mobile",)),
+        ]
+        return PipelineResult(
+            squat_matches=[], crawl_snapshots=[], ground_truth=[],
+            cv_reports={}, flagged=flagged, verified=verified,
+            evasion_squatting=[], evasion_reported=[],
+        )
+
+    def test_populations(self):
+        rows = wild_detection_rows(self.make_result(), total_squat_domains=100)
+        web, mobile, union = rows
+        assert web.classified_phishing == 2      # a.com, b.com
+        assert web.confirmed == 1                # a.com
+        assert mobile.classified_phishing == 2   # a.com, c.com
+        assert mobile.confirmed == 2
+        assert union.classified_phishing == 3
+        assert union.confirmed == 2
+        assert union.related_brands == 2
+
+    def test_result_helpers(self):
+        result = self.make_result()
+        assert result.verified_domains() == ["a.com", "c.com"]
+        assert len(result.flagged_by_profile("web")) == 2
+        assert len(result.verified_by_profile("mobile")) == 2
+
+
+class TestExamplesAndLiveness:
+    def test_example_rows_capped_per_brand(self):
+        verified = [
+            VerifiedPhish(f"g{i}.com", "google", SquatType.COMBO, ("web",))
+            for i in range(5)
+        ]
+        rows = example_phish_domains(verified, per_brand=2)
+        assert len(rows) == 2
+
+    def test_liveness_matrix_fallback_profile(self):
+        snap = CrawlSnapshot(snapshot=0)
+        snap.results[("m.com", "mobile")] = crawl_result("m.com", "mobile")
+        rows = liveness_matrix([snap], ["m.com", "gone.com"])
+        assert rows[0] == ("m.com", ["Live"])
+        assert rows[1] == ("gone.com", ["-"])

@@ -1,0 +1,83 @@
+"""Abuse reporting / takedown simulation (§7)."""
+
+import numpy as np
+import pytest
+
+from repro.phishworld.takedown import (
+    CaptchaFailed,
+    RateLimitExceeded,
+    ReportingCampaign,
+    SafeBrowsingPortal,
+)
+
+
+def portal(**kwargs):
+    defaults = dict(max_per_window=5, window_minutes=60.0,
+                    captcha_pass_rate=1.0)
+    defaults.update(kwargs)
+    return SafeBrowsingPortal(np.random.default_rng(3), **defaults)
+
+
+class TestPortal:
+    def test_accepts_within_limit(self):
+        p = portal()
+        for i in range(5):
+            p.submit(f"http://x{i}.com/", now_minutes=float(i))
+        assert len(p.submissions) == 5
+
+    def test_rate_limit_rejects_sixth(self):
+        p = portal()
+        for i in range(5):
+            p.submit(f"http://x{i}.com/", now_minutes=float(i))
+        with pytest.raises(RateLimitExceeded):
+            p.submit("http://x5.com/", now_minutes=5.0)
+
+    def test_window_slides(self):
+        p = portal()
+        for i in range(5):
+            p.submit(f"http://x{i}.com/", now_minutes=float(i))
+        # 61 minutes later the first submission left the window
+        p.submit("http://late.com/", now_minutes=61.0)
+        assert len(p.submissions) == 6
+
+    def test_captcha_failures_raise(self):
+        p = portal(captcha_pass_rate=0.0)
+        with pytest.raises(CaptchaFailed):
+            p.submit("http://x.com/", now_minutes=0.0)
+        assert p.submissions == []
+
+    def test_takedowns_respect_delay(self):
+        p = portal(review_rate=1.0, takedown_rate_given_review=1.0,
+                   mean_review_delay_days=5.0)
+        p.submit("http://x.com/", now_minutes=0.0)
+        delay = p.submissions[0].review_delay_days
+        assert p.takedowns_by_day(delay + 0.1) == ["http://x.com/"]
+        assert p.takedowns_by_day(max(0.0, delay - 0.1)) == []
+
+
+class TestCampaign:
+    def test_clears_full_list_with_stalls(self):
+        p = portal()
+        campaign = ReportingCampaign(p, minutes_per_submission=1.0)
+        stats = campaign.run([f"http://p{i}.com/" for i in range(25)])
+        assert stats.accepted == 25
+        assert stats.rate_limit_stalls > 0          # the limit bites
+        # 25 urls at 5/hour cannot finish in under ~4 hours
+        assert stats.elapsed_hours > 3.0
+
+    def test_captcha_retry_budget(self):
+        p = portal(captcha_pass_rate=0.0)
+        campaign = ReportingCampaign(p, max_captcha_retries=2)
+        stats = campaign.run(["http://a.com/", "http://b.com/"])
+        assert stats.accepted == 0
+        assert stats.captcha_failures == 4
+
+    def test_large_campaign_scale(self):
+        """The paper's ~1,000-URL manual campaign takes days."""
+        p = SafeBrowsingPortal(np.random.default_rng(9), max_per_window=10,
+                               window_minutes=60.0, captcha_pass_rate=0.97)
+        campaign = ReportingCampaign(p)
+        stats = campaign.run([f"http://u{i:04d}.com/" for i in range(300)])
+        assert stats.accepted >= 290
+        assert stats.elapsed_hours > 24.0
+        assert 0 <= stats.taken_down_30d <= stats.accepted

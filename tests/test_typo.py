@@ -1,0 +1,68 @@
+"""Typo squatting model: the four §3.1 mechanisms."""
+
+import pytest
+
+from repro.squatting.typo import TypoModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return TypoModel()
+
+
+class TestGeneration:
+    def test_generates_paper_examples(self, model):
+        variants = model.generate("facebook")
+        assert "facebok" in variants        # omission
+        assert "faceboook" in variants      # repetition
+        assert "fcaebook" in variants       # vowel swap / transposition
+        assert "facebookj" in variants      # insertion (URLCrazy example)
+        assert "face-book" in variants      # hyphen insertion
+
+    def test_excludes_original(self, model):
+        assert "facebook" not in model.generate("facebook")
+
+    def test_no_edge_hyphens(self, model):
+        for variant in model.generate("uber"):
+            assert not variant.startswith("-")
+            assert not variant.endswith("-")
+
+    def test_omission_count(self, model):
+        # distinct single-deletions of "google": goggle counted once
+        omissions = set(model.omissions("google"))
+        assert "oogle" in omissions and "googl" in omissions
+        assert len(omissions) <= 6
+
+    def test_keyboard_insertions_are_subset_of_insertions(self, model):
+        keyboard = set(model.keyboard_insertions("uber"))
+        full = set(model.insertions("uber"))
+        assert keyboard <= full
+        assert keyboard  # non-empty
+
+
+class TestDetection:
+    @pytest.mark.parametrize("label,target,mechanism", [
+        ("facebo0ok", "facebook", "insertion"),
+        ("face-book", "facebook", "insertion"),
+        ("facebok", "facebook", "omission"),
+        ("faceboook", "facebook", "repetition"),
+        ("fcaebook", "facebook", "transposition"),
+        ("gooogle", "google", "repetition"),
+        ("ggoogle", "google", "repetition"),
+    ])
+    def test_positive(self, model, label, target, mechanism):
+        assert model.matches(label, target) == mechanism
+
+    @pytest.mark.parametrize("label,target", [
+        ("facebook", "facebook"),       # identity
+        ("fakebook", "facebook"),       # substitution is not a typo type
+        ("facebooking", "facebook"),    # two insertions
+        ("fcbk", "facebook"),           # too many deletions
+        ("koobecaf", "facebook"),       # reversal
+    ])
+    def test_negative(self, model, label, target):
+        assert model.matches(label, target) is None
+
+    def test_generated_variants_are_detected(self, model):
+        for variant in sorted(model.generate("paypal"))[:200]:
+            assert model.matches(variant, "paypal") is not None, variant

@@ -1,0 +1,107 @@
+"""URL parsing and relative-reference resolution."""
+
+import pytest
+
+from repro.web.urls import (
+    URL,
+    URLError,
+    is_absolute,
+    parse_url,
+    remove_dot_segments,
+    resolve,
+)
+
+
+class TestParse:
+    def test_basic(self):
+        url = parse_url("http://example.com/path?x=1")
+        assert url.scheme == "http"
+        assert url.host == "example.com"
+        assert url.path == "/path"
+        assert url.query == "x=1"
+        assert str(url) == "http://example.com/path?x=1"
+
+    def test_defaults(self):
+        url = parse_url("https://Example.COM")
+        assert url.host == "example.com"
+        assert url.path == "/"
+        assert url.query == ""
+        assert url.port is None
+
+    def test_port(self):
+        url = parse_url("http://host:8080/a")
+        assert url.port == 8080
+        assert url.origin == "http://host:8080"
+
+    @pytest.mark.parametrize("bad", [
+        "not-a-url", "ftp://x.com/", "http://", "http://host:notaport/",
+        "http://host:70000/",
+    ])
+    def test_rejects(self, bad):
+        with pytest.raises(URLError):
+            parse_url(bad)
+
+
+class TestDotSegments:
+    @pytest.mark.parametrize("path,expected", [
+        ("/a/b/c", "/a/b/c"),
+        ("/a/./b", "/a/b"),
+        ("/a/../b", "/b"),
+        ("/a/b/../../c", "/c"),
+        ("/../a", "/a"),
+        ("/a/..", "/"),
+        ("/a/.", "/a/"),
+    ])
+    def test_removal(self, path, expected):
+        assert remove_dot_segments(path) == expected
+
+
+class TestResolve:
+    BASE = "http://site.com/dir/page.html?q=1"
+
+    @pytest.mark.parametrize("reference,expected", [
+        ("http://other.com/x", "http://other.com/x"),
+        ("//cdn.com/lib.js", "http://cdn.com/lib.js"),
+        ("/rooted", "http://site.com/rooted"),
+        ("sibling.html", "http://site.com/dir/sibling.html"),
+        ("../up.html", "http://site.com/up.html"),
+        ("?page=2", "http://site.com/dir/page.html?page=2"),
+        ("", "http://site.com/dir/page.html?q=1"),
+        ("/a/b?x=y", "http://site.com/a/b?x=y"),
+    ])
+    def test_cases(self, reference, expected):
+        assert resolve(self.BASE, reference) == expected
+
+    def test_is_absolute(self):
+        assert is_absolute("http://x.com/")
+        assert is_absolute("//x.com/")
+        assert not is_absolute("/path")
+        assert not is_absolute("page.html")
+
+
+class TestBrowserIntegration:
+    def test_relative_redirect_followed(self):
+        from repro.web.browser import Browser
+        from repro.web.html import document, el
+        from repro.web.http import WEB_UA
+        from repro.web.server import HostedSite, SiteBehavior, WebHost
+
+        host = WebHost()
+        host.register(HostedSite(domain="a.com", behavior=SiteBehavior.REDIRECT,
+                                 redirect_to="//b.com/landing"))
+        page = document("B", el("p", "landed"))
+        host.register(HostedSite(domain="b.com", behavior=SiteBehavior.CONTENT,
+                                 provider=lambda ua, snap: page))
+        capture = Browser(host, WEB_UA).visit("http://a.com/")
+        assert capture is not None
+        assert capture.final_domain == "b.com"
+
+    def test_unresolvable_redirect_is_dead_end(self):
+        from repro.web.browser import Browser
+        from repro.web.http import WEB_UA
+        from repro.web.server import HostedSite, SiteBehavior, WebHost
+
+        host = WebHost()
+        host.register(HostedSite(domain="a.com", behavior=SiteBehavior.REDIRECT,
+                                 redirect_to="ftp://b.com/x"))
+        assert Browser(host, WEB_UA).visit("http://a.com/") is None

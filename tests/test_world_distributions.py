@@ -1,0 +1,106 @@
+"""World distribution shapes at a statistically meaningful scale.
+
+These tests build one medium world (module-scoped) and check the generative
+distributions against the paper's reported rates, independent of the
+pipeline.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.phishworld.world import WorldConfig, build_world
+from repro.squatting.types import SquatType
+from repro.web.server import SiteBehavior
+
+
+@pytest.fixture(scope="module")
+def medium_world():
+    return build_world(WorldConfig(
+        seed=7,
+        n_organic_domains=500,
+        n_squat_domains=1500,
+        n_phish_domains=80,
+        phishtank_reports=400,
+    ))
+
+
+class TestSquatDistribution:
+    def test_type_mix(self, medium_world):
+        counts = Counter(t for _, t in medium_world.squat_truth.values())
+        total = sum(counts.values())
+        assert 0.45 < counts[SquatType.COMBO] / total < 0.68     # ~56%
+        assert 0.15 < counts[SquatType.TYPO] / total < 0.35      # ~25%
+        assert counts[SquatType.HOMOGRAPH] / total < 0.15
+        assert counts[SquatType.BITS] / total < 0.15
+
+    def test_heavy_brands_attract_most_squats(self, medium_world):
+        counts = Counter(brand for brand, _ in medium_world.squat_truth.values())
+        top5 = [brand for brand, _ in counts.most_common(5)]
+        assert "vice" in top5
+
+    def test_phish_targets_skewed_to_google(self, medium_world):
+        counts = Counter(r.brand for r in medium_world.phishing_sites)
+        assert counts["google"] == max(counts.values())
+
+
+class TestHostingBehaviour:
+    def test_redirect_buckets(self, medium_world):
+        labels = Counter(
+            medium_world.label_of(d) for d in medium_world.squat_truth
+        )
+        live = sum(v for k, v in labels.items() if k not in ("squat-dead",))
+        redirecting = (labels["squat-defensive"] + labels["squat-market"]
+                       + labels["squat-other-redirect"])
+        assert 0.05 < redirecting / live < 0.30    # paper: ~13% of live
+
+    def test_phishing_cloaking_split(self, medium_world):
+        cloaking = Counter(r.evasion.cloaking for r in medium_world.phishing_sites)
+        total = sum(cloaking.values())
+        # §6.1: 590/1175 both, 318 mobile-only, 267 web-only
+        assert cloaking["both"] / total > 0.35
+        assert cloaking["mobile"] > 0
+        assert cloaking["web"] > 0
+
+    def test_phishing_lifetimes(self, medium_world):
+        full_month = sum(
+            1 for r in medium_world.phishing_sites
+            if r.lifetime_snapshots >= medium_world.config.snapshots
+        )
+        assert full_month / len(medium_world.phishing_sites) > 0.65  # ~80%
+
+
+class TestFeedHosting:
+    def test_report_domains_resolve(self, medium_world):
+        reports = medium_world.phishtank.generate()
+        live = sum(1 for r in reports
+                   if medium_world.host.get(r.domain) is not None)
+        assert live / len(reports) > 0.9
+
+    def test_still_phishing_pages_serve_phishing(self, medium_world):
+        reports = [r for r in medium_world.phishtank.generate()
+                   if r.still_phishing]
+        labelled = Counter(medium_world.label_of(r.domain) for r in reports)
+        assert labelled["phishing-reported"] > 0.9 * len(reports)
+
+    def test_alexa_rank_mix(self, medium_world):
+        domains = [r.domain for r in medium_world.phishtank.generate()]
+        histogram = medium_world.alexa.histogram(domains)
+        total = sum(histogram.values())
+        assert 0.6 < histogram["(1000000+"] / total < 0.8     # Fig 6: 70%
+
+
+class TestBlacklistIngestion:
+    def test_squat_phish_mostly_unlisted(self, medium_world):
+        results = medium_world.blacklists.check_all(
+            medium_world.phishing_domains(), on_day=30)
+        undetected = sum(1 for r in results if not r.detected)
+        assert undetected / len(results) > 0.75
+
+    def test_reported_phish_all_on_phishtank(self, medium_world):
+        reports = medium_world.phishtank.generate()[:100]
+        hits = sum(
+            1 for r in reports
+            if medium_world.blacklists.phishtank.contains(r.domain, on_day=0)
+        )
+        assert hits > 90

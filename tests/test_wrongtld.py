@@ -1,0 +1,47 @@
+"""WrongTLD squatting model."""
+
+import pytest
+
+from repro.squatting.wrongtld import WrongTLDModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return WrongTLDModel()
+
+
+def test_generates_paper_example(model):
+    assert "facebook.audi" in model.generate("facebook.com")
+
+
+def test_never_generates_the_original(model):
+    assert "facebook.com" not in model.generate("facebook.com")
+
+
+def test_detects_wrong_tld(model):
+    assert model.matches("facebook.audi", "facebook.com") == "audi"
+    assert model.matches("facebook.pw", "facebook.com") == "pw"
+
+
+def test_rejects_same_tld(model):
+    assert model.matches("facebook.com", "facebook.com") is None
+
+
+def test_rejects_different_label(model):
+    assert model.matches("faceb00k.audi", "facebook.com") is None
+
+
+def test_handles_multilabel_suffixes(model):
+    # santander.co.uk vs santander.com: both directions
+    assert model.matches("santander.com", "santander.co.uk") == "com"
+    assert model.matches("santander.co.uk", "santander.com") == "co.uk"
+
+
+def test_custom_tld_inventory():
+    small = WrongTLDModel(tlds=("com", "net"))
+    assert small.generate("brand.com") == {"brand.net"}
+
+
+def test_generate_detect_roundtrip(model):
+    for domain in sorted(model.generate("uber.com"))[:80]:
+        assert model.matches(domain, "uber.com") is not None, domain
