@@ -143,7 +143,15 @@ def cmd_world(args: argparse.Namespace) -> int:
 def cmd_pipeline(args: argparse.Namespace) -> int:
     """Run the end-to-end demo pipeline on a fresh synthetic world."""
     from repro.core import PipelineConfig, SquatPhi
+    from repro.faults import FaultPlan
     from repro.phishworld.world import WorldConfig, build_world
+
+    if not 0.0 <= args.fault_rate < 1.0:
+        print("error: --fault-rate must be in [0, 1)", file=sys.stderr)
+        return 2
+    if args.max_retries < 0:
+        print("error: --max-retries must be >= 0", file=sys.stderr)
+        return 2
 
     config = WorldConfig(
         seed=args.seed,
@@ -153,7 +161,14 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
         phishtank_reports=max(40, args.squats // 3),
     )
     world = build_world(config)
-    pipeline = SquatPhi(world, PipelineConfig(cv_folds=5, rf_trees=15))
+    fault_plan = (FaultPlan.uniform(args.fault_rate, seed=args.fault_seed)
+                  if args.fault_rate > 0 else None)
+    pipeline_config = PipelineConfig(
+        cv_folds=5, rf_trees=15,
+        fault_plan=fault_plan,
+        crawl_max_retries=args.max_retries,
+    )
+    pipeline = SquatPhi(world, pipeline_config)
     result = pipeline.run(follow_up_snapshots=False)
 
     print(table(
@@ -167,6 +182,13 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
     print(f"flagged pages:     {len(result.flagged)}")
     print(f"verified phishing: {len(result.verified)} "
           f"(planted: {len(world.phishing_sites)})")
+    if fault_plan is not None:
+        print()
+        print(result.health.format())
+        if result.injected_faults:
+            print("  injected faults:")
+            for kind, count in sorted(result.injected_faults.items()):
+                print(f"    {kind}: {count}")
     return 0
 
 
@@ -221,6 +243,13 @@ def build_parser() -> argparse.ArgumentParser:
     pipeline = sub.add_parser("pipeline", help="run the end-to-end demo")
     pipeline.add_argument("--seed", type=int, default=1803)
     pipeline.add_argument("--squats", type=int, default=400)
+    pipeline.add_argument("--fault-rate", type=float, default=0.0,
+                          help="compound infrastructure fault rate injected "
+                               "across DNS/HTTP/browser (0 disables)")
+    pipeline.add_argument("--fault-seed", type=int, default=0,
+                          help="seed addressing the deterministic fault draws")
+    pipeline.add_argument("--max-retries", type=int, default=2,
+                          help="crawl retries per job after a failed visit")
     pipeline.set_defaults(func=cmd_pipeline)
 
     return parser

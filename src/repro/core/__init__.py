@@ -16,9 +16,15 @@ Stages (mirroring §3-§6):
    then verify the flagged ones (the paper's manual examination, modelled as
    a ground-truth oracle with reviewer noise);
 6. **characterization** — evasion measurement, longevity, blacklist checks.
+
+Every stage degrades gracefully under the injected fault model
+(:mod:`repro.faults`): failed crawls retry with backoff behind circuit
+breakers, failed side visits are skipped and accounted, and the whole run
+surfaces a :class:`~repro.faults.resilience.CrawlHealth` report.
 """
 
 from repro.core.config import PipelineConfig
+from repro.faults import CrawlHealth, FaultInjector, FaultPlan
 from repro.core.monitor import BrandMonitor, MonitorAlert
 from repro.core.pipeline import (
     GroundTruthPage,
@@ -33,6 +39,9 @@ from repro.core.review import Annotator, ReviewQueue, default_crowd
 __all__ = [
     "Annotator",
     "BrandMonitor",
+    "CrawlHealth",
+    "FaultInjector",
+    "FaultPlan",
     "GroundTruthPage",
     "MonitorAlert",
     "PipelineConfig",

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
+from repro.faults.plan import FaultPlan
 from repro.features.embedding import EmbeddingConfig
 
 
@@ -24,6 +25,18 @@ class PipelineConfig:
     # crawl
     crawl_workers: int = 20
     snapshots: int = 4
+
+    # failure model & resilience (§3.2's crawl-stability fight): the fault
+    # plan injects typed, seeded infrastructure failures into the measured
+    # world; the remaining knobs shape how the measurement system absorbs
+    # them.  ``fault_plan=None`` keeps the world perfectly reliable.
+    fault_plan: Optional[FaultPlan] = None
+    crawl_max_retries: int = 2
+    backoff_base_delay: float = 1.0
+    backoff_max_delay: float = 60.0
+    backoff_jitter: float = 0.5
+    breaker_failure_threshold: int = 5
+    breaker_reset_timeout: float = 300.0
 
     # verification oracle: the "manual examination" step of §6.1.  A small
     # reviewer error rate keeps the oracle honest (humans mislabel too).

@@ -17,6 +17,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from repro.core.pipeline import SquatPhi
 from repro.dns.zone import ZoneStore
+from repro.faults.errors import FaultError
 from repro.squatting.detector import SquattingDetector
 from repro.squatting.types import SquatMatch
 from repro.web.browser import Browser
@@ -34,6 +35,7 @@ class MonitorAlert:
     score: Optional[float] = None       # None when the domain is dead
     is_phishing: bool = False
     first_seen_round: int = 0
+    degraded: bool = False              # an assessment visit hit a fault
 
 
 class BrandMonitor:
@@ -63,6 +65,7 @@ class BrandMonitor:
         self._alerted: Set[str] = set()
         self.rounds = 0
         self.alerts: List[MonitorAlert] = []
+        self.degraded_visits = 0
 
     # ------------------------------------------------------------------
     def baseline(self, zone: ZoneStore) -> int:
@@ -91,12 +94,27 @@ class BrandMonitor:
         return new_alerts
 
     def _assess(self, match: SquatMatch) -> MonitorAlert:
-        """Crawl the squat (both profiles) and score the worst page."""
+        """Crawl the squat (both profiles) and score the worst page.
+
+        Monitoring must survive weeks of flaky infrastructure: a DNS or
+        visit fault degrades the alert (marked ``degraded``, counted in
+        :attr:`degraded_visits`) instead of killing the round.
+        """
         score: Optional[float] = None
         live = False
+        degraded = False
+        injector = self.pipeline.fault_injector
         for user_agent in (WEB_UA, MOBILE_UA):
-            browser = Browser(self.pipeline.world.host, user_agent)
-            capture = browser.visit(f"http://{match.domain}/")
+            browser = Browser(self.pipeline.world.host, user_agent,
+                              fault_injector=injector)
+            try:
+                self.pipeline.world.zone.resolve(match.domain)
+                capture = browser.visit(f"http://{match.domain}/")
+            except FaultError:
+                degraded = True
+                self.degraded_visits += 1
+                self.pipeline.health.record_degraded("monitor_assess")
+                continue
             if capture is None:
                 continue
             live = True
@@ -110,6 +128,7 @@ class BrandMonitor:
             score=score,
             is_phishing=bool(score is not None and score >= self.threshold),
             first_seen_round=self.rounds,
+            degraded=degraded,
         )
 
     # ------------------------------------------------------------------
@@ -122,4 +141,5 @@ class BrandMonitor:
             "known_domains": len(self._known_domains),
             "alerts": len(self.alerts),
             "phishing": len(self.phishing_alerts()),
+            "degraded_visits": self.degraded_visits,
         }

@@ -9,6 +9,10 @@ import numpy as np
 
 from repro.analysis.evasion import EvasionMeasurement, measure_page
 from repro.core.config import PipelineConfig
+from repro.faults.clock import SimClock
+from repro.faults.errors import FaultError
+from repro.faults.plan import FaultInjector
+from repro.faults.resilience import CrawlHealth, RetryPolicy
 from repro.features.embedding import FeatureEmbedder
 from repro.features.extraction import FeatureExtractor, PageFeatures
 from repro.ml import (
@@ -24,7 +28,7 @@ from repro.phishworld.world import SyntheticInternet
 from repro.squatting.detector import SquattingDetector
 from repro.squatting.types import SquatMatch, SquatType
 from repro.web.browser import Browser, PageCapture
-from repro.web.crawler import CrawlSnapshot, DistributedCrawler
+from repro.web.crawler import CrawlCheckpoint, CrawlSnapshot, DistributedCrawler
 from repro.web.http import MOBILE_UA, WEB_UA
 
 
@@ -75,6 +79,8 @@ class PipelineResult:
     verified: List[VerifiedPhish]
     evasion_squatting: List[EvasionMeasurement]
     evasion_reported: List[EvasionMeasurement]
+    health: CrawlHealth = field(default_factory=CrawlHealth)
+    injected_faults: Dict[str, int] = field(default_factory=dict)
 
     def verified_domains(self) -> List[str]:
         return sorted({v.domain for v in self.verified})
@@ -97,8 +103,18 @@ class SquatPhi:
         self.world = world
         self.config = config or PipelineConfig()
         self.detector = SquattingDetector(world.catalog)
+        # failure model: one simulated clock + injector shared by every
+        # stage, so fault weather is consistent (and reproducible) across
+        # crawling, ground-truth collection, OCR, and monitoring
+        self.clock = SimClock()
+        self.fault_injector: Optional[FaultInjector] = None
+        if self.config.fault_plan is not None and self.config.fault_plan.any_faults:
+            self.fault_injector = FaultInjector(self.config.fault_plan, self.clock)
+            world.zone.fault_injector = self.fault_injector
+        self.health = CrawlHealth()
         self.extractor = FeatureExtractor(
-            ocr_engine=OCREngine(error_rate=self.config.ocr_error_rate),
+            ocr_engine=OCREngine(error_rate=self.config.ocr_error_rate,
+                                 fault_injector=self.fault_injector),
             use_ocr=self.config.use_ocr,
             use_spellcheck=self.config.use_spellcheck,
             extra_lexicon=world.catalog.names(),
@@ -106,6 +122,27 @@ class SquatPhi:
         self.embedder: Optional[FeatureEmbedder] = None
         self.model = None
         self._original_shots: Dict[str, "np.ndarray"] = {}
+
+    # ------------------------------------------------------------------
+    # resilience helpers
+    # ------------------------------------------------------------------
+    def _make_browser(self, user_agent) -> Browser:
+        return Browser(self.world.host, user_agent,
+                       fault_injector=self.fault_injector)
+
+    def _visit_degraded(self, browser: Browser, url: str,
+                        stage: str) -> Optional[PageCapture]:
+        """Visit a URL outside the crawler's retry loop.
+
+        A fault here degrades the stage (the page is skipped and
+        accounted) instead of crashing the run.
+        """
+        try:
+            return browser.visit(url)
+        except FaultError as fault:
+            self.health.record_failure(fault.kind)
+            self.health.record_degraded(stage)
+            return None
 
     # ------------------------------------------------------------------
     # stage 1: squatting detection
@@ -117,12 +154,46 @@ class SquatPhi:
     # ------------------------------------------------------------------
     # stage 2: crawling
     # ------------------------------------------------------------------
+    def make_crawler(self) -> DistributedCrawler:
+        """A crawler wired to this run's fault model and resilience knobs."""
+        config = self.config
+        return DistributedCrawler(
+            self.world.host,
+            workers=config.crawl_workers,
+            max_retries=config.crawl_max_retries,
+            fault_injector=self.fault_injector,
+            retry_policy=RetryPolicy(
+                max_retries=config.crawl_max_retries,
+                base_delay=config.backoff_base_delay,
+                max_delay=config.backoff_max_delay,
+                jitter=config.backoff_jitter,
+            ),
+            breaker_failure_threshold=config.breaker_failure_threshold,
+            breaker_reset_timeout=config.breaker_reset_timeout,
+            clock=self.clock,
+        )
+
     def crawl_domains(
-        self, domains: Sequence[str], snapshot: int = 0
+        self,
+        domains: Sequence[str],
+        snapshot: int = 0,
+        resume: Optional[CrawlCheckpoint] = None,
+        max_jobs: Optional[int] = None,
     ) -> CrawlSnapshot:
-        """One crawl pass over ``domains`` with both device profiles."""
-        crawler = DistributedCrawler(self.world.host, workers=self.config.crawl_workers)
-        return crawler.crawl(domains, snapshot=snapshot)
+        """One crawl pass over ``domains`` with both device profiles.
+
+        ``resume``/``max_jobs`` expose the crawler's checkpoint/resume
+        machinery; a partial pass (``max_jobs``) returns a snapshot whose
+        ``checkpoint`` continues it.  Crawl health is folded into the
+        run-level :attr:`health` report only when the pass completes, so
+        an interrupted-then-resumed crawl is accounted exactly once.
+        """
+        crawler = self.make_crawler()
+        result = crawler.crawl(domains, snapshot=snapshot,
+                               resume=resume, max_jobs=max_jobs)
+        if result.complete:
+            self.health.merge(result.health)
+        return result
 
     # ------------------------------------------------------------------
     # stage 3: ground truth
@@ -138,10 +209,11 @@ class SquatPhi:
         Negative pages: reported URLs replaced with benign content, plus a
         sample of easy-to-confuse live squat-domain pages.
         """
-        browser = Browser(self.world.host, WEB_UA)
+        browser = self._make_browser(WEB_UA)
         pages: List[GroundTruthPage] = []
         for report in self.world.phishtank.verified_active():
-            capture = browser.visit(f"http://{report.domain}/")
+            capture = self._visit_degraded(
+                browser, f"http://{report.domain}/", "ground_truth")
             if capture is None:
                 continue
             features = self.extractor.extract_capture(capture)
@@ -185,7 +257,7 @@ class SquatPhi:
         if not squat_matches:
             return []
         rng = np.random.default_rng(self.config.verification_seed)
-        browser = Browser(self.world.host, WEB_UA)
+        browser = self._make_browser(WEB_UA)
         confusable: List[SquatMatch] = []
         ordinary: List[SquatMatch] = []
         for match in squat_matches:
@@ -203,7 +275,8 @@ class SquatPhi:
         for match in ordered:
             if len(pages) >= sample_size:
                 break
-            capture = browser.visit(f"http://{match.domain}/")
+            capture = self._visit_degraded(
+                browser, f"http://{match.domain}/", "ground_truth_benign")
             if capture is None:
                 continue
             features = self.extractor.extract_capture(capture)
@@ -361,7 +434,9 @@ class SquatPhi:
             brand = self.world.catalog.get(brand_name)
             if brand is None:
                 return None
-            capture = Browser(self.world.host, WEB_UA).visit(f"http://{brand.domain}/")
+            capture = self._visit_degraded(
+                self._make_browser(WEB_UA), f"http://{brand.domain}/",
+                "evasion_original")
             if capture is None:
                 return None
             self._original_shots[brand_name] = capture.screenshot.pixels
@@ -448,12 +523,13 @@ class SquatPhi:
             for d in flagged
             if d.profile == "web" and d.domain in verified_set
         ])
-        browser = Browser(self.world.host, WEB_UA)
+        browser = self._make_browser(WEB_UA)
         reported_items: List[Tuple[str, str, PageCapture]] = []
         for report in self.world.phishtank.generate():
             if report.squat_type is not None or not report.still_phishing:
                 continue
-            capture = browser.visit(f"http://{report.domain}/")
+            capture = self._visit_degraded(
+                browser, f"http://{report.domain}/", "evasion_reported")
             if capture is not None:
                 reported_items.append((report.domain, report.brand, capture))
         evasion_reported = self.measure_evasion_for(reported_items)
@@ -467,4 +543,7 @@ class SquatPhi:
             verified=verified,
             evasion_squatting=evasion_squatting,
             evasion_reported=evasion_reported,
+            health=self.health,
+            injected_faults=(self.fault_injector.counts()
+                             if self.fault_injector else {}),
         )

@@ -15,9 +15,12 @@ structure the rest of the system touches.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.dns.records import DNSRecord, split_domain
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.plan import FaultInjector
 
 
 class ZoneStore:
@@ -29,6 +32,8 @@ class ZoneStore:
         self._by_registered: Dict[str, Set[str]] = defaultdict(set)
         # core label -> set of registered domains with that label
         self._by_core: Dict[str, Set[str]] = defaultdict(set)
+        # when set, live lookups via resolve() can fail like a resolver does
+        self.fault_injector: Optional["FaultInjector"] = None
         if records is not None:
             for record in records:
                 self.add(record)
@@ -85,6 +90,22 @@ class ZoneStore:
     def get(self, name: str) -> Optional[DNSRecord]:
         """Return the record for ``name`` or None."""
         return self._records.get(name.lower().rstrip("."))
+
+    def resolve(self, name: str, snapshot: int = 0,
+                attempt: int = 0) -> Optional[DNSRecord]:
+        """Look up ``name`` as a *live* DNS query.
+
+        Unlike :meth:`get` (an index read over the snapshot), resolve
+        models asking a resolver on the network: when a fault injector is
+        installed, the query may raise
+        :class:`~repro.faults.errors.DNSFault` (SERVFAIL or timeout)
+        instead of answering.  Used by resilience-aware callers (monitor,
+        pipeline); detector scans keep using the indices directly.
+        """
+        if self.fault_injector is not None:
+            self.fault_injector.check_dns(name.lower().rstrip("."),
+                                          snapshot, attempt)
+        return self.get(name)
 
     def has_registered_domain(self, registered: str) -> bool:
         """True if any record lives under the registrable domain."""

@@ -1,0 +1,49 @@
+"""Deterministic fault injection + resilience primitives.
+
+Two halves, mirroring the repo's world/measurement split:
+
+* the **fault model** (:mod:`repro.faults.plan`) makes the synthetic
+  internet fail the way the real one does — DNS SERVFAIL/timeouts, HTTP
+  5xx, connection resets, slow responses, browser crashes, OCR garbling —
+  from a seeded, hash-addressed :class:`FaultPlan`, so failure weather is
+  byte-reproducible;
+* the **resilience stack** (:mod:`repro.faults.resilience`,
+  :mod:`repro.faults.clock`) is what the measurement system fights back
+  with — exponential backoff with deterministic jitter on a simulated
+  clock, per-host circuit breakers, dead-letter accounting, and the
+  :class:`CrawlHealth` report the pipeline surfaces.
+"""
+
+from repro.faults.clock import SimClock
+from repro.faults.errors import (
+    BreakerOpenError,
+    BrowserCrashFault,
+    ConnectionResetFault,
+    DNSFault,
+    FaultError,
+    HTTPServerError,
+)
+from repro.faults.plan import FaultInjector, FaultKind, FaultPlan
+from repro.faults.resilience import (
+    CircuitBreaker,
+    CrawlHealth,
+    DeadLetter,
+    RetryPolicy,
+)
+
+__all__ = [
+    "BreakerOpenError",
+    "BrowserCrashFault",
+    "CircuitBreaker",
+    "ConnectionResetFault",
+    "CrawlHealth",
+    "DNSFault",
+    "DeadLetter",
+    "FaultError",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "HTTPServerError",
+    "RetryPolicy",
+    "SimClock",
+]

@@ -1,0 +1,32 @@
+"""Simulated wall clock.
+
+The crawler's backoff sleeps and circuit-breaker cool-downs need a notion
+of time, but real sleeping would make crawls slow and — worse —
+non-reproducible.  ``SimClock`` is a monotonic counter that only advances
+when someone "sleeps" on it; the whole resilience stack shares one
+instance, so a crawl's timeline is a pure function of its inputs.
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """Deterministic monotonic clock; time advances only via :meth:`sleep`."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self.total_slept = 0.0
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        """Advance time; negative durations are ignored."""
+        if seconds > 0:
+            self._now += seconds
+            self.total_slept += seconds
+
+    def advance_to(self, timestamp: float) -> None:
+        """Jump forward to an absolute time (no-op if already past it)."""
+        if timestamp > self._now:
+            self._now = timestamp

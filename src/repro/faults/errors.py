@@ -1,0 +1,55 @@
+"""Typed fault exceptions raised by the measured world.
+
+Every infrastructure failure the synthetic internet can inject is an
+exception in this hierarchy, so resilience code (the crawler's retry loop,
+the pipeline's degradation guards) can catch :class:`FaultError` once and
+still account failures by kind.  Each carries the :mod:`repro.faults.plan`
+fault-kind string it was drawn from.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class FaultError(Exception):
+    """Base class for injected infrastructure faults."""
+
+    def __init__(self, kind: str, target: str, detail: str = "") -> None:
+        self.kind = kind
+        self.target = target
+        self.detail = detail
+        message = f"{kind} on {target}" + (f": {detail}" if detail else "")
+        super().__init__(message)
+
+
+class DNSFault(FaultError):
+    """Resolution failed: SERVFAIL from the resolver or a lookup timeout."""
+
+
+class ConnectionResetFault(FaultError):
+    """TCP connection reset by peer mid-transfer."""
+
+
+class HTTPServerError(FaultError):
+    """The origin answered with a 5xx status."""
+
+    def __init__(self, kind: str, target: str, status: int = 503) -> None:
+        self.status = status
+        super().__init__(kind, target, detail=f"HTTP {status}")
+
+
+class BrowserCrashFault(FaultError):
+    """The headless browser process died during the visit."""
+
+
+class BreakerOpenError(FaultError):
+    """A visit was refused locally because the host's circuit breaker is open.
+
+    Not an injected fault — raised by the scheduler itself so jobs against
+    known-dead hosts fail fast instead of burning attempts.
+    """
+
+    def __init__(self, target: str, retry_at: Optional[float] = None) -> None:
+        self.retry_at = retry_at
+        super().__init__("breaker_open", target)

@@ -1,0 +1,189 @@
+"""Deterministic fault plan + injector.
+
+The paper's crawl fights real infrastructure failure — Selenium was
+rejected as "error-prone when crawling webpages at the million-level"
+(§3.2) — so the synthetic world needs typed failures too, not just the
+flat transient rate the crawler started with.  A :class:`FaultPlan` fixes
+per-kind rates and a seed; a :class:`FaultInjector` turns the plan into
+hash-addressed draws: whether fault ``kind`` fires for key ``(domain,
+profile, snapshot, attempt)`` is a pure function of plan + key, exactly
+like the crawler's original ``_attempt_fails`` draw.  Two runs with the
+same plan see byte-identical weather, and a resumed crawl re-derives the
+same outcomes for the jobs it replays.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import Counter
+from dataclasses import dataclass, fields
+from typing import Optional
+
+from repro.faults.clock import SimClock
+from repro.faults.errors import (
+    BrowserCrashFault,
+    ConnectionResetFault,
+    DNSFault,
+    FaultError,
+    HTTPServerError,
+)
+
+
+class FaultKind:
+    """String constants naming every injectable fault."""
+
+    DNS_SERVFAIL = "dns_servfail"
+    DNS_TIMEOUT = "dns_timeout"
+    HTTP_5XX = "http_5xx"
+    CONN_RESET = "conn_reset"
+    SLOW_RESPONSE = "slow_response"
+    BROWSER_CRASH = "browser_crash"
+    OCR_GARBLE = "ocr_garble"
+
+    ALL = (DNS_SERVFAIL, DNS_TIMEOUT, HTTP_5XX, CONN_RESET,
+           SLOW_RESPONSE, BROWSER_CRASH, OCR_GARBLE)
+
+    #: transport-layer kinds that abort a visit (slow responses degrade
+    #: latency but still deliver content; OCR garbling degrades text)
+    TRANSPORT = (DNS_SERVFAIL, DNS_TIMEOUT, HTTP_5XX, CONN_RESET, BROWSER_CRASH)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Per-kind fault rates plus the seed that addresses every draw."""
+
+    seed: int = 0
+    dns_servfail_rate: float = 0.0
+    dns_timeout_rate: float = 0.0
+    http_5xx_rate: float = 0.0
+    conn_reset_rate: float = 0.0
+    slow_response_rate: float = 0.0
+    browser_crash_rate: float = 0.0
+    ocr_garble_rate: float = 0.0
+
+    # latency penalties charged to the simulated clock when the matching
+    # fault fires (seconds)
+    dns_timeout_delay: float = 5.0
+    slow_response_delay: float = 10.0
+
+    def __post_init__(self) -> None:
+        for spec in fields(self):
+            if spec.name.endswith("_rate"):
+                value = getattr(self, spec.name)
+                if not 0.0 <= value < 1.0:
+                    raise ValueError(f"{spec.name} must be in [0, 1), got {value}")
+
+    @classmethod
+    def uniform(cls, rate: float, seed: int = 0) -> "FaultPlan":
+        """A plan whose *compound* transport failure rate is ~``rate``.
+
+        The budget is split evenly across the five transport kinds (DNS
+        SERVFAIL/timeout, HTTP 5xx, connection reset, browser crash) so a
+        single visit attempt dies with probability ≈ ``rate``; OCR
+        garbling rides along at the same per-kind share.
+        """
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("compound fault rate must be in [0, 1)")
+        share = rate / len(FaultKind.TRANSPORT)
+        return cls(
+            seed=seed,
+            dns_servfail_rate=share,
+            dns_timeout_rate=share,
+            http_5xx_rate=share,
+            conn_reset_rate=share,
+            slow_response_rate=share,
+            browser_crash_rate=share,
+            ocr_garble_rate=share,
+        )
+
+    @property
+    def any_faults(self) -> bool:
+        return any(
+            getattr(self, spec.name) > 0.0
+            for spec in fields(self) if spec.name.endswith("_rate")
+        )
+
+
+class FaultInjector:
+    """Draws typed faults from a :class:`FaultPlan`, deterministically.
+
+    Each draw hashes ``seed | kind | key-parts`` with CRC-32 into [0, 1)
+    and fires when below the kind's rate — no mutable RNG state, so draw
+    order is irrelevant and checkpoint/resume replays identically.  Fired
+    faults are tallied in :attr:`injected` for health reporting.
+    """
+
+    def __init__(self, plan: FaultPlan, clock: Optional[SimClock] = None) -> None:
+        self.plan = plan
+        self.clock = clock if clock is not None else SimClock()
+        self.injected: Counter = Counter()
+
+    # ------------------------------------------------------------------
+    def draw(self, kind: str, rate: float, *key: object) -> bool:
+        """Hash-addressed Bernoulli draw; tallies ``kind`` when it fires."""
+        if rate <= 0.0:
+            return False
+        token = f"{self.plan.seed}|{kind}|" + "|".join(str(part) for part in key)
+        value = (zlib.crc32(token.encode()) % 1_000_000) / 1_000_000.0
+        if value < rate:
+            self.injected[kind] += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # layer entry points (each raises the typed fault, or returns quietly)
+    # ------------------------------------------------------------------
+    def check_dns(self, name: str, snapshot: int = 0, attempt: int = 0) -> None:
+        """Resolver step: may raise SERVFAIL or (clock-charging) timeout."""
+        if self.draw(FaultKind.DNS_SERVFAIL, self.plan.dns_servfail_rate,
+                     name, snapshot, attempt):
+            raise DNSFault(FaultKind.DNS_SERVFAIL, name)
+        if self.draw(FaultKind.DNS_TIMEOUT, self.plan.dns_timeout_rate,
+                     name, snapshot, attempt):
+            self.clock.sleep(self.plan.dns_timeout_delay)
+            raise DNSFault(FaultKind.DNS_TIMEOUT, name)
+
+    def check_server(self, domain: str, profile: str,
+                     snapshot: int = 0, attempt: int = 0) -> Optional[int]:
+        """Origin-side faults for one request.
+
+        Raises :class:`ConnectionResetFault`, or returns an HTTP status
+        override (``503``) for an injected 5xx, or charges the clock for a
+        slow response and returns None (content still served).
+        """
+        if self.draw(FaultKind.CONN_RESET, self.plan.conn_reset_rate,
+                     domain, profile, snapshot, attempt):
+            raise ConnectionResetFault(FaultKind.CONN_RESET, domain)
+        if self.draw(FaultKind.HTTP_5XX, self.plan.http_5xx_rate,
+                     domain, profile, snapshot, attempt):
+            return 503
+        if self.draw(FaultKind.SLOW_RESPONSE, self.plan.slow_response_rate,
+                     domain, profile, snapshot, attempt):
+            self.clock.sleep(self.plan.slow_response_delay)
+        return None
+
+    def check_browser(self, url: str, profile: str,
+                      snapshot: int = 0, attempt: int = 0) -> None:
+        """Browser-process crash before the page is captured."""
+        if self.draw(FaultKind.BROWSER_CRASH, self.plan.browser_crash_rate,
+                     url, profile, snapshot, attempt):
+            raise BrowserCrashFault(FaultKind.BROWSER_CRASH, url)
+
+    def check_ocr(self, raster_digest: str) -> bool:
+        """True when recognition of this raster should be garbled."""
+        return self.draw(FaultKind.OCR_GARBLE, self.plan.ocr_garble_rate,
+                         raster_digest)
+
+    # ------------------------------------------------------------------
+    def counts(self) -> dict:
+        """Injected-fault tallies by kind (only kinds that fired)."""
+        return dict(self.injected)
+
+
+__all__ = [
+    "FaultError",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "HTTPServerError",
+]

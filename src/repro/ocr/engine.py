@@ -19,11 +19,14 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.ocr.font import FONT, GLYPH_HEIGHT, GLYPH_SPACING, GLYPH_WIDTH
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.plan import FaultInjector
 
 _CELL_PITCH = GLYPH_WIDTH + GLYPH_SPACING
 
@@ -88,15 +91,23 @@ class OCRResult:
 class OCREngine:
     """Recognize text from a (H, W) uint8 grayscale raster."""
 
-    def __init__(self, error_rate: float = 0.03, drop_rate: float = 0.002) -> None:
+    #: noise multiplier applied to rasters the fault injector garbles —
+    #: models Tesseract melting down on a page (bad DPI, font fallback)
+    GARBLE_NOISE_SCALE = 12.0
+
+    def __init__(self, error_rate: float = 0.03, drop_rate: float = 0.002,
+                 fault_injector: Optional["FaultInjector"] = None) -> None:
         """
         Args:
             error_rate: probability a recognized character is replaced by a
                 confusion-pair partner (Tesseract-like ~3%).
             drop_rate: probability a character is dropped entirely.
+            fault_injector: optional deterministic fault source; rasters it
+                selects are recognized with heavily amplified noise.
         """
         self.error_rate = error_rate
         self.drop_rate = drop_rate
+        self.fault_injector = fault_injector
         chars = [char for char in FONT if char != " "]
         self._template_chars = chars
         # (T, H*W) stacked template matrix for vectorized matching
@@ -112,10 +123,14 @@ class OCREngine:
         lines: List[str] = []
         confidences: List[float] = []
         cells = 0
-        rng = self._rng_for(pixels)
+        digest = hashlib.sha256(pixels.tobytes()).digest()
+        rng = np.random.default_rng(int.from_bytes(digest[:8], "big"))
+        noise_scale = 1.0
+        if self.fault_injector is not None and self.fault_injector.check_ocr(digest.hex()):
+            noise_scale = self.GARBLE_NOISE_SCALE
         for top, bottom in self._segment_lines(ink):
             band = ink[top:bottom, :]
-            text, band_conf, band_cells = self._recognize_band(band, rng)
+            text, band_conf, band_cells = self._recognize_band(band, rng, noise_scale)
             cells += band_cells
             if text.strip():
                 lines.append(text.strip())
@@ -151,7 +166,8 @@ class OCREngine:
         return [b for b in merged if b[1] - b[0] >= 3]
 
     def _recognize_band(
-        self, band: "np.ndarray", rng: "np.random.Generator"
+        self, band: "np.ndarray", rng: "np.random.Generator",
+        noise_scale: float = 1.0,
     ) -> Tuple[str, List[float], int]:
         """Recognize one text band cell by cell."""
         height, width = band.shape
@@ -181,7 +197,7 @@ class OCREngine:
         best: Tuple[str, List[float], int] = ("", [], 0)
         best_conf = -1.0
         for start in range(max(0, first - 2), first + 1):
-            decoded = self._decode_at(band, start, rng)
+            decoded = self._decode_at(band, start, rng, noise_scale)
             conf = float(np.mean(decoded[1])) if decoded[1] else 0.0
             if conf > best_conf:
                 best_conf = conf
@@ -189,7 +205,8 @@ class OCREngine:
         return best
 
     def _decode_at(
-        self, band: "np.ndarray", start: int, rng: "np.random.Generator"
+        self, band: "np.ndarray", start: int, rng: "np.random.Generator",
+        noise_scale: float = 1.0,
     ) -> Tuple[str, List[float], int]:
         """Decode a band assuming the glyph grid begins at column ``start``."""
         out: List[str] = []
@@ -209,7 +226,7 @@ class OCREngine:
             blank_run = 0
             char, confidence = self._match_cell(cell)
             cells += 1
-            char = self._apply_noise(char, rng)
+            char = self._apply_noise(char, rng, noise_scale)
             if char:
                 out.append(char)
                 confidences.append(confidence)
@@ -225,13 +242,16 @@ class OCREngine:
         score = float(total - disagreement[index]) / total
         return self._template_chars[index], score
 
-    def _apply_noise(self, char: str, rng: "np.random.Generator") -> str:
+    def _apply_noise(self, char: str, rng: "np.random.Generator",
+                     noise_scale: float = 1.0) -> str:
         if char == " ":
             return char
+        drop_rate = min(0.2, self.drop_rate * noise_scale)
+        error_rate = min(0.6, self.error_rate * noise_scale)
         roll = rng.random()
-        if roll < self.drop_rate:
+        if roll < drop_rate:
             return ""
-        if roll < self.drop_rate + self.error_rate:
+        if roll < drop_rate + error_rate:
             return _CONFUSION_MAP.get(char, char)
         return char
 

@@ -11,9 +11,12 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro.web.html import Element, parse_html
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.plan import FaultInjector
 from repro.web.http import Request, Response, UserAgent, WEB_UA
 from repro.web.screenshot import Screenshot, render_page
 from repro.web.server import WebHost
@@ -51,21 +54,49 @@ class PageCapture:
 class Browser:
     """Fetch + execute + render pipeline over a :class:`WebHost`."""
 
-    def __init__(self, host: WebHost, user_agent: UserAgent = WEB_UA) -> None:
+    def __init__(
+        self,
+        host: WebHost,
+        user_agent: UserAgent = WEB_UA,
+        fault_injector: Optional["FaultInjector"] = None,
+    ) -> None:
         self.host = host
         self.user_agent = user_agent
+        self.fault_injector = fault_injector
 
-    def visit(self, url: str, snapshot: int = 0) -> Optional[PageCapture]:
-        """Visit a URL, following redirects; None when the site is dead."""
+    def visit(self, url: str, snapshot: int = 0, attempt: int = 0) -> Optional[PageCapture]:
+        """Visit a URL, following redirects; None when the site is dead.
+
+        With a fault injector installed the visit can die for
+        infrastructure reasons instead — the browser process may crash
+        (:class:`~repro.faults.errors.BrowserCrashFault`), the transport
+        may reset, or an origin may answer 5xx
+        (:class:`~repro.faults.errors.HTTPServerError`).  All are
+        :class:`~repro.faults.errors.FaultError` subclasses, and all are
+        retryable; ``attempt`` re-addresses the fault draws per retry.
+        """
+        if self.fault_injector is not None:
+            self.fault_injector.check_browser(
+                url, self.user_agent.name, snapshot, attempt)
         chain: List[str] = []
         current = url
         response: Optional[Response] = None
         for _hop in range(MAX_REDIRECTS):
             response = self.host.serve(
-                Request(url=current, user_agent=self.user_agent), snapshot=snapshot
+                Request(url=current, user_agent=self.user_agent),
+                snapshot=snapshot,
+                injector=self.fault_injector,
+                attempt=attempt,
             )
             if response is None:
                 return None
+            if response.status >= 500:
+                from repro.faults.errors import HTTPServerError
+                from repro.faults.plan import FaultKind
+
+                raise HTTPServerError(FaultKind.HTTP_5XX,
+                                      Request(url=current).domain,
+                                      status=response.status)
             if response.is_redirect and response.location:
                 # Location may be relative in the wild; resolve it
                 from repro.web.urls import URLError, resolve

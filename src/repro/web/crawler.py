@@ -8,21 +8,51 @@ trick), per-worker browsers, per-profile captures — on top of the synthetic
 (no real threads) so crawls are reproducible, but the scheduling accounting
 (per-worker job counts, balance) is real and tested.
 
-Browser instability is modelled too: the paper rejected Selenium for being
-"error-prone when crawling webpages at the million-level" — so visits can
-fail transiently (per-job deterministic draw) and the crawler retries up to
-``max_retries`` times, recording the retry volume.
+Infrastructure instability is modelled too: the paper rejected Selenium for
+being "error-prone when crawling webpages at the million-level" — so visits
+can die for typed reasons (DNS SERVFAIL/timeout, connection reset, HTTP
+5xx, browser crash; see :mod:`repro.faults`), on top of the legacy flat
+``transient_failure_rate``.  The crawler answers with a real resilience
+stack:
+
+* **retries with exponential backoff** — deterministic jitter, slept on a
+  simulated clock (:class:`~repro.faults.clock.SimClock`), so the timeline
+  is reproducible;
+* **per-host circuit breakers** — a host failing repeatedly is not
+  hammered; its jobs fail fast until a cool-down probe succeeds;
+* **dead-letter queue** — jobs that exhaust retries (or are refused by an
+  open breaker) are recorded, never silently lost;
+* **checkpoint/resume** — ``crawl(..., max_jobs=N)`` returns a partial
+  :class:`CrawlSnapshot` carrying a :class:`CrawlCheckpoint`; feeding it
+  back via ``resume=`` continues without re-visiting completed jobs and
+  yields a snapshot identical to an uninterrupted run.
+
+Everything is surfaced in the snapshot's
+:class:`~repro.faults.resilience.CrawlHealth` report.
 """
 
 from __future__ import annotations
 
+import hashlib
 import zlib
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.faults.clock import SimClock
+from repro.faults.errors import BrowserCrashFault, FaultError
+from repro.faults.plan import FaultInjector, FaultKind
+from repro.faults.resilience import (
+    CircuitBreaker,
+    CrawlHealth,
+    DeadLetter,
+    RetryPolicy,
+)
 from repro.web.browser import Browser, PageCapture
 from repro.web.http import CRAWL_PROFILES, MOBILE_UA, WEB_UA, UserAgent
 from repro.web.server import WebHost
+
+#: fault-kind label for the legacy flat transient-failure draw
+TRANSIENT = "transient"
 
 
 @dataclass
@@ -46,6 +76,32 @@ class CrawlResult:
 
 
 @dataclass
+class CrawlCheckpoint:
+    """Everything needed to continue an interrupted crawl pass.
+
+    Captured by :meth:`DistributedCrawler.crawl` when it stops early
+    (``max_jobs``); passing it back as ``resume=`` restores the partial
+    results, scheduler accounting, breaker states, and simulated-clock
+    time, so the continued crawl is indistinguishable from one that never
+    stopped.
+    """
+
+    snapshot: int
+    completed: Set[Tuple[str, str]]
+    results: Dict[Tuple[str, str], "CrawlResult"]
+    worker_job_counts: List[int]
+    retries: int
+    dead_letters: List[DeadLetter]
+    breakers: Dict[str, CircuitBreaker]
+    health: CrawlHealth
+    clock_time: float
+
+    @property
+    def completed_jobs(self) -> int:
+        return len(self.completed)
+
+
+@dataclass
 class CrawlSnapshot:
     """All results of one crawl pass (one snapshot index)."""
 
@@ -53,6 +109,11 @@ class CrawlSnapshot:
     results: Dict[Tuple[str, str], CrawlResult] = field(default_factory=dict)
     worker_job_counts: List[int] = field(default_factory=list)
     retries: int = 0
+    dead_letters: List[DeadLetter] = field(default_factory=list)
+    health: CrawlHealth = field(default_factory=CrawlHealth)
+    breaker_states: Dict[str, Tuple] = field(default_factory=dict)
+    complete: bool = True
+    checkpoint: Optional[CrawlCheckpoint] = None
 
     def get(self, domain: str, profile: str) -> Optional[CrawlResult]:
         return self.results.get((domain.lower(), profile))
@@ -86,6 +147,35 @@ class CrawlSnapshot:
                     redirected += 1
         return {"total": total, "live": live, "redirected": redirected}
 
+    def digest(self) -> str:
+        """Canonical content hash of the snapshot.
+
+        Covers results (including capture HTML and screenshot bytes),
+        scheduling accounting, retries, dead letters, breaker states, and
+        the health report — the determinism tests assert byte-identity of
+        this digest across reruns and checkpoint/resume splits.
+        """
+        hasher = hashlib.sha256()
+        hasher.update(f"snapshot={self.snapshot}\n".encode())
+        for (domain, profile) in sorted(self.results):
+            result = self.results[(domain, profile)]
+            hasher.update(f"{domain}|{profile}|{result.live}|{result.worker_id}".encode())
+            capture = result.capture
+            if capture is not None:
+                hasher.update(capture.final_url.encode())
+                hasher.update("|".join(capture.redirect_chain).encode())
+                hasher.update(capture.html.encode())
+                hasher.update(capture.screenshot.pixels.tobytes())
+            hasher.update(b"\n")
+        hasher.update(f"workers={self.worker_job_counts}\n".encode())
+        hasher.update(f"retries={self.retries}\n".encode())
+        for letter in self.dead_letters:
+            hasher.update(f"dead={letter.key()}\n".encode())
+        for domain in sorted(self.breaker_states):
+            hasher.update(f"breaker={domain}:{self.breaker_states[domain]}\n".encode())
+        hasher.update(repr(sorted(self.health.to_dict().items())).encode())
+        return hasher.hexdigest()
+
 
 class _SharedCounter:
     """The crawler's work-stealing cursor.
@@ -113,16 +203,33 @@ class DistributedCrawler:
         profiles: Sequence[UserAgent] = CRAWL_PROFILES,
         transient_failure_rate: float = 0.0,
         max_retries: int = 2,
+        fault_injector: Optional[FaultInjector] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker_failure_threshold: int = 5,
+        breaker_reset_timeout: float = 300.0,
+        clock: Optional[SimClock] = None,
     ) -> None:
         """
         Args:
             transient_failure_rate: probability a single visit attempt dies
                 for infrastructure reasons (browser crash, timeout); drawn
                 deterministically per (domain, profile, snapshot, attempt).
-            max_retries: extra attempts after a transient failure.
+            max_retries: extra attempts after a failed visit.
+            fault_injector: typed fault source (DNS/HTTP/browser faults)
+                threaded through the resolver, web host, and browsers.
+            retry_policy: backoff schedule; defaults to exponential backoff
+                with ``max_retries`` retries.
+            breaker_failure_threshold: consecutive failures on one host
+                before its circuit breaker opens.
+            breaker_reset_timeout: simulated seconds an open breaker waits
+                before allowing a half-open probe.
+            clock: simulated clock shared with the injector/backoff; a
+                private one is created when omitted.
         """
         if workers < 1:
             raise ValueError("need at least one worker")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
         if not 0.0 <= transient_failure_rate < 1.0:
             raise ValueError("transient_failure_rate must be in [0, 1)")
         self.host = host
@@ -130,8 +237,20 @@ class DistributedCrawler:
         self.profiles = tuple(profiles)
         self.transient_failure_rate = transient_failure_rate
         self.max_retries = max_retries
+        self.fault_injector = fault_injector
+        self.retry_policy = retry_policy or RetryPolicy(max_retries=max_retries)
+        self.breaker_failure_threshold = breaker_failure_threshold
+        self.breaker_reset_timeout = breaker_reset_timeout
+        if clock is not None:
+            self.clock = clock
+        elif fault_injector is not None:
+            self.clock = fault_injector.clock
+        else:
+            self.clock = SimClock()
         self._browsers = {
-            profile.name: Browser(host, user_agent=profile) for profile in self.profiles
+            profile.name: Browser(host, user_agent=profile,
+                                  fault_injector=fault_injector)
+            for profile in self.profiles
         }
 
     def _attempt_fails(self, domain: str, profile: str,
@@ -143,46 +262,157 @@ class DistributedCrawler:
         draw = (zlib.crc32(token) % 10_000) / 10_000.0
         return draw < self.transient_failure_rate
 
-    def _visit_with_retries(self, domain: str, profile: UserAgent,
-                            snapshot: int) -> Tuple[Optional[PageCapture], int]:
-        """Visit a domain, retrying transient failures; returns
-        (capture, retries used)."""
+    def _visit_once(self, domain: str, profile: UserAgent,
+                    snapshot: int, attempt: int) -> Optional[PageCapture]:
+        """One visit attempt; raises a typed fault or returns the capture
+        (None for a cleanly dead site)."""
+        if self._attempt_fails(domain, profile.name, snapshot, attempt):
+            raise BrowserCrashFault(TRANSIENT, domain)
+        if self.fault_injector is not None:
+            # resolver step: the crawler looks the domain up before fetching
+            self.fault_injector.check_dns(domain, snapshot, attempt)
         browser = self._browsers[profile.name]
-        retries = 0
-        for attempt in range(self.max_retries + 1):
-            if self._attempt_fails(domain, profile.name, snapshot, attempt):
-                retries += 1
-                continue
-            return browser.visit(f"http://{domain}/", snapshot=snapshot), retries
-        return None, retries
+        return browser.visit(f"http://{domain}/", snapshot=snapshot, attempt=attempt)
 
-    def crawl(self, domains: Iterable[str], snapshot: int = 0) -> CrawlSnapshot:
+    def _run_job(
+        self,
+        domain: str,
+        profile: UserAgent,
+        snapshot: int,
+        breakers: Dict[str, CircuitBreaker],
+        health: CrawlHealth,
+    ) -> Tuple[Optional[PageCapture], int, Optional[DeadLetter]]:
+        """Run one (domain, profile) job through the resilience stack.
+
+        Returns (capture, failed attempts, dead letter or None).
+        """
+        breaker = breakers.get(domain)
+        if breaker is None:
+            breaker = CircuitBreaker(self.breaker_failure_threshold,
+                                     self.breaker_reset_timeout)
+            breakers[domain] = breaker
+        backoff_key = f"{domain}|{profile.name}|{snapshot}"
+        retries = 0
+        last_fault: Optional[str] = None
+        for attempt in range(self.max_retries + 1):
+            if not breaker.allow(self.clock.now()):
+                health.breaker_skips += 1
+                last_fault = last_fault or "breaker_open"
+                break
+            health.attempts += 1
+            try:
+                capture = self._visit_once(domain, profile, snapshot, attempt)
+            except FaultError as fault:
+                breaker.record_failure(self.clock.now())
+                health.record_failure(fault.kind)
+                health.retries += 1
+                retries += 1
+                last_fault = fault.kind
+                if attempt < self.max_retries:
+                    delay = self.retry_policy.delay(attempt, backoff_key)
+                    self.clock.sleep(delay)
+                    health.backoff_seconds += delay
+                continue
+            breaker.record_success()
+            health.successes += 1
+            return capture, retries, None
+        dead = DeadLetter(domain=domain, profile=profile.name, snapshot=snapshot,
+                          attempts=retries, last_fault=last_fault or "unknown")
+        return None, retries, dead
+
+    @staticmethod
+    def _dedupe(domains: Iterable[str]) -> List[str]:
+        """Lowercase and drop duplicate domains, keeping first-seen order.
+
+        Duplicates used to create twin jobs that overwrote each other's
+        results while inflating the scheduling and retry accounting.
+        """
+        seen: Set[str] = set()
+        ordered: List[str] = []
+        for domain in domains:
+            lowered = domain.lower()
+            if lowered not in seen:
+                seen.add(lowered)
+                ordered.append(lowered)
+        return ordered
+
+    def crawl(
+        self,
+        domains: Iterable[str],
+        snapshot: int = 0,
+        resume: Optional[CrawlCheckpoint] = None,
+        max_jobs: Optional[int] = None,
+    ) -> CrawlSnapshot:
         """Crawl every domain with every profile for one snapshot.
 
         Jobs are (domain, profile) pairs dispatched through the shared
         counter round-robin of simulated workers; per-worker job counts are
         recorded so tests can assert the balance property the paper's IPC
         scheme provides.
+
+        Args:
+            resume: checkpoint from a previous, interrupted pass over the
+                *same* domain list and snapshot; completed jobs are skipped
+                and all accounting continues where it left off.
+            max_jobs: stop after completing this many jobs *in this call*;
+                the returned snapshot is then partial (``complete=False``)
+                and carries the checkpoint to continue from.
         """
         jobs: List[Tuple[str, UserAgent]] = [
-            (domain.lower(), profile)
-            for domain in domains
+            (domain, profile)
+            for domain in self._dedupe(domains)
             for profile in self.profiles
         ]
+        if resume is not None:
+            if resume.snapshot != snapshot:
+                raise ValueError(
+                    f"checkpoint is for snapshot {resume.snapshot}, not {snapshot}")
+            completed = set(resume.completed)
+            result = CrawlSnapshot(
+                snapshot=snapshot,
+                results=dict(resume.results),
+                worker_job_counts=list(resume.worker_job_counts),
+                retries=resume.retries,
+                dead_letters=list(resume.dead_letters),
+                health=resume.health,
+            )
+            breakers = resume.breakers
+            result.health.resumes += 1
+            self.clock.advance_to(resume.clock_time)
+        else:
+            completed = set()
+            result = CrawlSnapshot(snapshot=snapshot,
+                                   worker_job_counts=[0] * self.workers)
+            breakers = {}
+
+        injector = self.fault_injector
+        slow_before = injector.injected[FaultKind.SLOW_RESPONSE] if injector else 0
+
         counter = _SharedCounter()
-        result = CrawlSnapshot(snapshot=snapshot, worker_job_counts=[0] * self.workers)
-        # deterministic simulation: workers take turns claiming from the
-        # shared counter until the job list is exhausted
-        worker_id = 0
+        done_this_call = 0
+        interrupted = False
         while True:
             index = counter.next()
             if index >= len(jobs):
                 break
             domain, profile = jobs[index]
+            key = (domain, profile.name)
+            if key in completed:
+                continue
+            if max_jobs is not None and done_this_call >= max_jobs:
+                interrupted = True
+                break
+            # worker assignment is a pure function of the job index, so a
+            # resumed crawl lands every job on the same worker as an
+            # uninterrupted one
+            worker_id = index % self.workers
             result.worker_job_counts[worker_id] += 1
-            capture, retries = self._visit_with_retries(domain, profile, snapshot)
+            capture, retries, dead = self._run_job(
+                domain, profile, snapshot, breakers, result.health)
             result.retries += retries
-            result.results[(domain, profile.name)] = CrawlResult(
+            if dead is not None:
+                result.dead_letters.append(dead)
+            result.results[key] = CrawlResult(
                 domain=domain,
                 profile=profile.name,
                 snapshot=snapshot,
@@ -190,7 +420,32 @@ class DistributedCrawler:
                 capture=capture,
                 worker_id=worker_id,
             )
-            worker_id = (worker_id + 1) % self.workers
+            completed.add(key)
+            done_this_call += 1
+
+        result.health.dead_letters = len(result.dead_letters)
+        result.health.breaker_trips = sum(b.trips for b in breakers.values())
+        if injector is not None:
+            result.health.slow_responses += (
+                injector.injected[FaultKind.SLOW_RESPONSE] - slow_before)
+        result.breaker_states = {
+            domain: breaker.state_key()
+            for domain, breaker in breakers.items()
+            if breaker.state_key() != (CircuitBreaker.CLOSED, 0, None, 0)
+        }
+        if interrupted:
+            result.complete = False
+            result.checkpoint = CrawlCheckpoint(
+                snapshot=snapshot,
+                completed=completed,
+                results=dict(result.results),
+                worker_job_counts=list(result.worker_job_counts),
+                retries=result.retries,
+                dead_letters=list(result.dead_letters),
+                breakers=breakers,
+                health=result.health,
+                clock_time=self.clock.now(),
+            )
         return result
 
     def crawl_series(

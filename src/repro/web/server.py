@@ -16,10 +16,13 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 from repro.web.html import Element
 from repro.web.http import Request, Response, UserAgent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.plan import FaultInjector
 
 
 class SiteBehavior(str, enum.Enum):
@@ -98,9 +101,29 @@ class WebHost:
         """Iterate over all hosted sites."""
         return iter(self._sites.values())
 
-    def serve(self, request: Request, snapshot: int = 0) -> Optional[Response]:
-        """Route a request to the owning site; None if domain unresolvable."""
+    def serve(
+        self,
+        request: Request,
+        snapshot: int = 0,
+        injector: Optional["FaultInjector"] = None,
+        attempt: int = 0,
+    ) -> Optional[Response]:
+        """Route a request to the owning site; None if domain unresolvable.
+
+        With a fault ``injector``, the transport can misbehave first: the
+        connection may reset (raises
+        :class:`~repro.faults.errors.ConnectionResetFault`), the origin may
+        answer ``503`` instead of content, or the response may simply be
+        slow (charged to the injector's simulated clock).  ``attempt``
+        addresses the draws so each retry sees fresh weather.
+        """
         site = self._sites.get(request.domain)
         if site is None:
             return None
+        if injector is not None:
+            status_override = injector.check_server(
+                request.domain, request.user_agent.name, snapshot, attempt
+            )
+            if status_override is not None:
+                return Response(url=request.url, status=status_override)
         return site.respond(request, snapshot=snapshot)

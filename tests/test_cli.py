@@ -95,3 +95,23 @@ def test_pipeline_command(capsys):
     assert code == 0
     out = capsys.readouterr().out
     assert "verified phishing" in out
+    assert "crawl health" not in out     # no fault plan, no health report
+
+
+def test_pipeline_command_rejects_bad_fault_flags(capsys):
+    assert main(["pipeline", "--fault-rate", "1.5"]) == 2
+    assert "--fault-rate" in capsys.readouterr().err
+    assert main(["pipeline", "--max-retries", "-1"]) == 2
+    assert "--max-retries" in capsys.readouterr().err
+
+
+@pytest.mark.slow
+def test_pipeline_command_with_faults(capsys):
+    code = main(["pipeline", "--squats", "120", "--fault-rate", "0.2",
+                 "--fault-seed", "7", "--max-retries", "3"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "verified phishing" in out
+    assert "crawl health" in out
+    assert "injected faults:" in out
+    assert "dead letters:" in out

@@ -1,0 +1,226 @@
+"""Fault model unit tests: plans, injector draws, clock, resilience parts."""
+
+import pytest
+
+from repro.faults import (
+    BrowserCrashFault,
+    CircuitBreaker,
+    ConnectionResetFault,
+    CrawlHealth,
+    DNSFault,
+    FaultError,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    HTTPServerError,
+    RetryPolicy,
+    SimClock,
+)
+
+
+class TestFaultPlan:
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            FaultPlan(dns_servfail_rate=1.0)
+        with pytest.raises(ValueError):
+            FaultPlan(ocr_garble_rate=-0.1)
+
+    def test_uniform_splits_budget(self):
+        plan = FaultPlan.uniform(0.2, seed=7)
+        share = 0.2 / len(FaultKind.TRANSPORT)
+        assert plan.dns_servfail_rate == pytest.approx(share)
+        assert plan.browser_crash_rate == pytest.approx(share)
+        assert plan.ocr_garble_rate == pytest.approx(share)
+        assert plan.seed == 7
+        assert plan.any_faults
+
+    def test_zero_plan_has_no_faults(self):
+        assert not FaultPlan().any_faults
+
+    def test_uniform_rejects_out_of_range_compound_rate(self):
+        with pytest.raises(ValueError):
+            FaultPlan.uniform(1.5)
+        with pytest.raises(ValueError):
+            FaultPlan.uniform(-0.1)
+
+
+class TestFaultInjector:
+    def test_draws_are_deterministic_and_seed_addressed(self):
+        a = FaultInjector(FaultPlan(seed=1, http_5xx_rate=0.5))
+        b = FaultInjector(FaultPlan(seed=1, http_5xx_rate=0.5))
+        c = FaultInjector(FaultPlan(seed=2, http_5xx_rate=0.5))
+        keys = [("d%d.com" % i, "web", 0, 0) for i in range(200)]
+        draws_a = [a.draw(FaultKind.HTTP_5XX, 0.5, *k) for k in keys]
+        draws_b = [b.draw(FaultKind.HTTP_5XX, 0.5, *k) for k in keys]
+        draws_c = [c.draw(FaultKind.HTTP_5XX, 0.5, *k) for k in keys]
+        assert draws_a == draws_b
+        assert draws_a != draws_c        # different seed, different weather
+        assert 20 < sum(draws_a) < 180   # rate is roughly honoured
+
+    def test_zero_rate_never_fires(self):
+        injector = FaultInjector(FaultPlan(seed=3))
+        assert not any(
+            injector.draw(FaultKind.CONN_RESET, 0.0, "x.com", i)
+            for i in range(100)
+        )
+        assert injector.counts() == {}
+
+    def test_check_dns_raises_typed_faults(self):
+        injector = FaultInjector(FaultPlan(seed=5, dns_servfail_rate=0.9))
+        with pytest.raises(DNSFault) as exc_info:
+            for i in range(50):
+                injector.check_dns("victim.com", 0, i)
+        assert exc_info.value.kind == FaultKind.DNS_SERVFAIL
+        assert injector.counts()[FaultKind.DNS_SERVFAIL] >= 1
+
+    def test_dns_timeout_charges_the_clock(self):
+        clock = SimClock()
+        injector = FaultInjector(
+            FaultPlan(seed=5, dns_timeout_rate=0.9, dns_timeout_delay=4.0),
+            clock,
+        )
+        with pytest.raises(DNSFault):
+            for i in range(50):
+                injector.check_dns("victim.com", 0, i)
+        assert clock.now() >= 4.0
+
+    def test_check_server_status_override(self):
+        injector = FaultInjector(FaultPlan(seed=11, http_5xx_rate=0.9))
+        statuses = set()
+        for i in range(30):
+            statuses.add(injector.check_server("victim.com", "web", 0, i))
+        assert 503 in statuses
+
+    def test_slow_response_advances_clock_without_failing(self):
+        clock = SimClock()
+        injector = FaultInjector(
+            FaultPlan(seed=13, slow_response_rate=0.9, slow_response_delay=2.5),
+            clock,
+        )
+        for i in range(30):
+            assert injector.check_server("victim.com", "web", 0, i) is None
+        assert clock.now() > 0
+        assert injector.counts()[FaultKind.SLOW_RESPONSE] >= 1
+
+    def test_fault_hierarchy(self):
+        for error in (
+            DNSFault("dns_servfail", "a.com"),
+            ConnectionResetFault("conn_reset", "a.com"),
+            HTTPServerError("http_5xx", "a.com", status=502),
+            BrowserCrashFault("browser_crash", "http://a.com/"),
+        ):
+            assert isinstance(error, FaultError)
+        assert HTTPServerError("http_5xx", "a.com", status=502).status == 502
+
+
+class TestSimClock:
+    def test_sleep_accumulates(self):
+        clock = SimClock()
+        clock.sleep(1.5)
+        clock.sleep(2.5)
+        assert clock.now() == pytest.approx(4.0)
+        assert clock.total_slept == pytest.approx(4.0)
+
+    def test_negative_sleep_ignored(self):
+        clock = SimClock()
+        clock.sleep(-1.0)
+        assert clock.now() == 0.0
+
+    def test_advance_to_never_goes_backwards(self):
+        clock = SimClock()
+        clock.advance_to(10.0)
+        clock.advance_to(5.0)
+        assert clock.now() == 10.0
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+    def test_exponential_growth_and_cap(self):
+        policy = RetryPolicy(base_delay=1.0, max_delay=8.0, jitter=0.0)
+        delays = [policy.delay(a, "job") for a in range(5)]
+        assert delays == [1.0, 2.0, 4.0, 8.0, 8.0]
+
+    def test_jitter_is_deterministic_but_spread(self):
+        policy = RetryPolicy(base_delay=1.0, jitter=0.5)
+        again = RetryPolicy(base_delay=1.0, jitter=0.5)
+        delays = [policy.delay(0, f"job{i}") for i in range(20)]
+        assert delays == [again.delay(0, f"job{i}") for i in range(20)]
+        assert len(set(delays)) > 1          # different jobs, different jitter
+        assert all(0.5 <= d <= 1.0 for d in delays)
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold(self):
+        breaker = CircuitBreaker(failure_threshold=3, reset_timeout=60.0)
+        for _ in range(3):
+            assert breaker.allow(0.0)
+            breaker.record_failure(0.0)
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.trips == 1
+        assert not breaker.allow(10.0)
+
+    def test_half_open_probe_success_closes(self):
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=60.0)
+        breaker.record_failure(0.0)
+        assert not breaker.allow(59.0)
+        assert breaker.allow(61.0)           # half-open probe
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_probe_failure_reopens(self):
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=60.0)
+        breaker.record_failure(0.0)
+        assert breaker.allow(61.0)
+        breaker.record_failure(61.0)
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.trips == 2
+        assert not breaker.allow(62.0)
+
+    def test_success_resets_consecutive_count(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure(0.0)
+        breaker.record_success()
+        breaker.record_failure(0.0)
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+
+
+class TestCrawlHealth:
+    def test_merge_accumulates_everything(self):
+        a = CrawlHealth(attempts=5, successes=4, retries=1, dead_letters=1)
+        a.record_failure("conn_reset")
+        a.record_degraded("ground_truth")
+        b = CrawlHealth(attempts=3, successes=3, breaker_trips=2)
+        b.record_failure("conn_reset")
+        b.record_failure("dns_servfail")
+        a.merge(b)
+        assert a.attempts == 8
+        assert a.successes == 7
+        assert a.breaker_trips == 2
+        assert a.failures["conn_reset"] == 2
+        assert a.failures["dns_servfail"] == 1
+        assert a.degraded_stages == 1
+
+    def test_format_mentions_the_essentials(self):
+        health = CrawlHealth(attempts=10, successes=8, retries=2,
+                             dead_letters=1, breaker_trips=1)
+        health.record_failure("http_5xx")
+        health.record_degraded("evasion_reported")
+        text = health.format()
+        assert "dead letters:    1" in text
+        assert "http_5xx" in text
+        assert "evasion_reported" in text
+
+    def test_to_dict_is_stable_and_resume_agnostic(self):
+        health = CrawlHealth(attempts=1, resumes=3)
+        data = health.to_dict()
+        assert "resumes" not in data
+        assert data["attempts"] == 1

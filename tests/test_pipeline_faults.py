@@ -1,0 +1,162 @@
+"""Graceful degradation of the whole pipeline under injected faults.
+
+Pins the PR's acceptance criteria: with a 20% compound fault rate across
+DNS + HTTP + browser, a full SquatPhi run completes without raising,
+reports non-zero dead letters / degraded stages in its health report, the
+same seed reproduces identical results, and an interrupted crawl resumed
+from its checkpoint matches an uninterrupted one.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import BrandMonitor, PipelineConfig, SquatPhi
+from repro.dns.zone import ZoneStore
+from repro.faults import DNSFault, FaultInjector, FaultKind, FaultPlan
+from repro.ocr.engine import OCREngine
+from repro.phishworld.world import WorldConfig, build_world
+
+SMALL = WorldConfig(seed=99, n_organic_domains=60, n_squat_domains=80,
+                    n_phish_domains=8, phishtank_reports=40)
+
+FAULTY = PipelineConfig(
+    cv_folds=3, rf_trees=8,
+    fault_plan=FaultPlan.uniform(0.2, seed=17),
+)
+
+
+def faulted_pipeline():
+    return SquatPhi(build_world(SMALL), FAULTY)
+
+
+@pytest.fixture(scope="module")
+def faulted_result():
+    pipeline = faulted_pipeline()
+    return pipeline, pipeline.run(follow_up_snapshots=True)
+
+
+class TestFullRunUnderFaults:
+    def test_run_completes_and_reports_damage(self, faulted_result):
+        _, result = faulted_result
+        health = result.health
+        assert health.dead_letters > 0
+        assert health.retries > 0
+        assert health.degraded          # at least one stage skipped work
+        assert result.injected_faults   # the world actually misbehaved
+        assert set(result.injected_faults) & set(FaultKind.TRANSPORT)
+
+    def test_snapshots_record_dead_letters(self, faulted_result):
+        _, result = faulted_result
+        letters = 0
+        for snapshot in result.crawl_snapshots:
+            assert snapshot.health.dead_letters == len(snapshot.dead_letters)
+            for letter in snapshot.dead_letters:
+                letters += 1
+                hit = snapshot.get(letter.domain, letter.profile)
+                assert hit is not None and not hit.live
+        assert letters > 0
+
+    def test_pipeline_health_aggregates_snapshots(self, faulted_result):
+        _, result = faulted_result
+        snap_attempts = sum(s.health.attempts for s in result.crawl_snapshots)
+        assert result.health.attempts >= snap_attempts
+
+    def test_same_seed_reproduces_identical_run(self, faulted_result):
+        _, first = faulted_result
+        second = faulted_pipeline().run(follow_up_snapshots=True)
+        assert [s.digest() for s in first.crawl_snapshots] == [
+            s.digest() for s in second.crawl_snapshots]
+        assert first.health.to_dict() == second.health.to_dict()
+        assert first.injected_faults == second.injected_faults
+        assert first.verified_domains() == second.verified_domains()
+        assert [(d.domain, d.profile, d.score) for d in first.flagged] == [
+            (d.domain, d.profile, d.score) for d in second.flagged]
+
+    def test_fault_free_config_reports_clean_health(self):
+        pipeline = SquatPhi(build_world(SMALL),
+                            PipelineConfig(cv_folds=3, rf_trees=8))
+        result = pipeline.run(follow_up_snapshots=False)
+        assert result.health.dead_letters == 0
+        assert result.health.retries == 0
+        assert not result.injected_faults
+
+
+class TestPipelineCheckpointResume:
+    def test_interrupted_crawl_resumes_identically(self):
+        pipeline_a = faulted_pipeline()
+        pipeline_b = faulted_pipeline()
+        domains = [m.domain for m in pipeline_a.detect_squatting()]
+        assert domains == [m.domain for m in pipeline_b.detect_squatting()]
+
+        uninterrupted = pipeline_a.crawl_domains(domains)
+
+        split = len(domains)  # interrupt mid-snapshot (half the job list)
+        partial = pipeline_b.crawl_domains(domains, max_jobs=split)
+        assert not partial.complete
+        resumed = pipeline_b.crawl_domains(domains, resume=partial.checkpoint)
+        assert resumed.complete
+        assert resumed.digest() == uninterrupted.digest()
+        # health is folded into the run exactly once despite two passes
+        assert pipeline_b.health.attempts == pipeline_a.health.attempts
+
+
+class TestZoneResolve:
+    def test_resolve_without_injector_is_a_lookup(self):
+        zone = ZoneStore()
+        zone.add_name("example.com", ip="1.2.3.4")
+        record = zone.resolve("example.com")
+        assert record is not None and record.ip == "1.2.3.4"
+
+    def test_resolve_can_servfail(self):
+        zone = ZoneStore()
+        zone.add_name("example.com")
+        zone.fault_injector = FaultInjector(FaultPlan(seed=1, dns_servfail_rate=0.9))
+        with pytest.raises(DNSFault):
+            for attempt in range(50):
+                zone.resolve("example.com", attempt=attempt)
+        # plain indexed reads never fault
+        assert zone.get("example.com") is not None
+
+
+class TestOCRGarbling:
+    def _raster(self):
+        from repro.web.browser import Browser
+        from repro.web.http import WEB_UA
+
+        world = build_world(SMALL)
+        brand = world.catalog.get("paypal")
+        capture = Browser(world.host, WEB_UA).visit(f"http://{brand.domain}/")
+        return capture.screenshot.pixels
+
+    def test_garbled_raster_reads_worse(self):
+        pixels = self._raster()
+        clean = OCREngine().recognize(pixels)
+        injector = FaultInjector(FaultPlan(seed=2, ocr_garble_rate=0.999))
+        garbled = OCREngine(fault_injector=injector).recognize(pixels)
+        assert injector.counts().get(FaultKind.OCR_GARBLE, 0) >= 1
+        assert garbled.text != clean.text
+
+    def test_garbling_is_deterministic(self):
+        pixels = self._raster()
+        injector_a = FaultInjector(FaultPlan(seed=2, ocr_garble_rate=0.999))
+        injector_b = FaultInjector(FaultPlan(seed=2, ocr_garble_rate=0.999))
+        assert (OCREngine(fault_injector=injector_a).recognize(pixels).text ==
+                OCREngine(fault_injector=injector_b).recognize(pixels).text)
+
+
+class TestMonitorDegradation:
+    def test_monitor_survives_fault_weather(self):
+        pipeline = faulted_pipeline()
+        matches = pipeline.detect_squatting()
+        ground_truth = pipeline.collect_ground_truth(matches)
+        pipeline.train(ground_truth, evaluate_all=False)
+
+        monitor = BrandMonitor(pipeline, brands=[pipeline.world.catalog.names()[0]])
+        monitor.baseline(pipeline.world.zone)
+        # second observation round over the same zone must not raise even
+        # though visits and DNS lookups can fault
+        alerts = monitor.observe(pipeline.world.zone)
+        summary = monitor.summary()
+        assert summary["rounds"] == 1
+        assert summary["degraded_visits"] == monitor.degraded_visits
+        assert all(isinstance(a.degraded, bool) for a in alerts)
