@@ -1,0 +1,130 @@
+"""Scaling sweep: the execution engine's worker counts and capture cache.
+
+The paper's system is explicitly at-scale — a 224M-record snapshot scan
+(§3.1) and a 657K-domain distributed crawl (§3.2) — so the reproduction's
+execution engine (``repro.perf``) must show its speedups *without*
+changing a single output byte.  This bench sweeps:
+
+* crawl workers 1/2/4/8 with the capture cache on;
+* cache off at 1 and 4 workers (the uncached baseline);
+
+over a fresh default-scale world per configuration, then asserts the
+determinism contract (identical ``CrawlSnapshot.digest()`` and verified
+domains everywhere), a nonzero cache hit rate, and the headline ≥2×
+end-to-end speedup of the tuned configuration (4 workers + cache) over
+the serial uncached baseline.  A ``BENCH_scaling.json`` summary is
+written for the perf trajectory; CI runs the smoke scale
+(``SCALING_BENCH_SCALE=smoke``) and archives the JSON as an artifact.
+
+Environment knobs:
+    SCALING_BENCH_SCALE  "default" (400-squat world, full sweep + speedup
+                         assertion) or "smoke" (tiny world, workers {1,2},
+                         determinism assertions only).
+    SCALING_BENCH_OUT    summary path (default: BENCH_scaling.json in cwd).
+"""
+
+import json
+import os
+import time
+
+from repro.analysis.render import table
+from repro.core import PipelineConfig, SquatPhi
+from repro.phishworld.world import WorldConfig, build_world
+
+from exhibits import print_exhibit
+
+SCALE = os.environ.get("SCALING_BENCH_SCALE", "default")
+OUT_PATH = os.environ.get("SCALING_BENCH_OUT", "BENCH_scaling.json")
+
+if SCALE == "smoke":
+    WORLD = dict(n_organic_domains=80, n_squat_domains=80,
+                 n_phish_domains=8, phishtank_reports=30)
+    CACHED_WORKERS = (1, 2)
+    UNCACHED_WORKERS = (1,)
+    SPEEDUP_FLOOR = None  # too small to time meaningfully
+else:
+    WORLD = dict(n_organic_domains=400, n_squat_domains=400,
+                 n_phish_domains=33, phishtank_reports=133)
+    CACHED_WORKERS = (1, 2, 4, 8)
+    UNCACHED_WORKERS = (1, 4)
+    SPEEDUP_FLOOR = 2.0
+
+
+def _run_config(crawl_workers, capture_cache):
+    """One full pipeline run on a fresh world; returns the summary row."""
+    world = build_world(WorldConfig(seed=1803, **WORLD))
+    pipeline = SquatPhi(world, PipelineConfig(
+        cv_folds=5, rf_trees=15,
+        crawl_workers=crawl_workers,
+        capture_cache=capture_cache,
+    ))
+    started = time.perf_counter()
+    result = pipeline.run(follow_up_snapshots=False)
+    elapsed = time.perf_counter() - started
+    stats = pipeline.perf.cache
+    return {
+        "crawl_workers": crawl_workers,
+        "capture_cache": capture_cache,
+        "seconds": round(elapsed, 3),
+        "crawl_digest": result.crawl_snapshots[0].digest(),
+        "verified_domains": result.verified_domains(),
+        "stage_seconds": {k: round(v, 3)
+                          for k, v in sorted(pipeline.perf.stage_seconds.items())},
+        "cache": stats.to_dict(),
+    }
+
+
+def test_scaling_sweep():
+    rows = [_run_config(workers, True) for workers in CACHED_WORKERS]
+    rows += [_run_config(workers, False) for workers in UNCACHED_WORKERS]
+
+    print_exhibit(
+        "Scaling sweep - workers x capture cache (identical outputs)",
+        table(
+            ["workers", "cache", "seconds", "render hit%", "spell hit%"],
+            [[r["crawl_workers"], "on" if r["capture_cache"] else "off",
+              f"{r['seconds']:.2f}",
+              f"{100 * r['cache']['render_hit_rate']:.1f}%",
+              f"{100 * r['cache']['spell_hit_rate']:.1f}%"]
+             for r in rows],
+        ),
+    )
+
+    baseline = next(r for r in rows
+                    if r["crawl_workers"] == 1 and not r["capture_cache"])
+    tuned = next(r for r in rows
+                 if r["crawl_workers"] == max(CACHED_WORKERS) and r["capture_cache"])
+    speedup = baseline["seconds"] / tuned["seconds"]
+
+    summary = {
+        "bench": "scaling",
+        "scale": SCALE,
+        "world": WORLD,
+        "runs": rows,
+        "speedup_tuned_vs_serial_uncached": round(speedup, 3),
+    }
+    with open(OUT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(summary, handle, indent=2)
+    print(f"\nwrote {OUT_PATH} (tuned speedup: {speedup:.2f}x)")
+
+    # determinism contract: every configuration produced identical bytes
+    assert len({r["crawl_digest"] for r in rows}) == 1, \
+        "crawl digests diverged across worker counts / cache settings"
+    assert len({tuple(r["verified_domains"]) for r in rows}) == 1, \
+        "verified domains diverged across worker counts / cache settings"
+
+    # the cache must actually absorb traffic when enabled
+    for row in rows:
+        if row["capture_cache"]:
+            assert row["cache"]["render_hits"] > 0
+            assert row["cache"]["spell_hits"] > 0
+        else:
+            assert row["cache"]["render_hits"] == 0
+            assert row["cache"]["render_bypasses"] > 0
+
+    # headline acceptance: tuned config at least 2x the uncached serial
+    # baseline end to end (skipped at smoke scale, where runs are too
+    # short to time stably)
+    if SPEEDUP_FLOOR is not None:
+        assert speedup >= SPEEDUP_FLOOR, \
+            f"expected >= {SPEEDUP_FLOOR}x, measured {speedup:.2f}x"

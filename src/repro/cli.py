@@ -152,6 +152,9 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
     if args.max_retries < 0:
         print("error: --max-retries must be >= 0", file=sys.stderr)
         return 2
+    if args.scan_workers < 1 or args.crawl_workers < 1:
+        print("error: worker counts must be >= 1", file=sys.stderr)
+        return 2
 
     config = WorldConfig(
         seed=args.seed,
@@ -167,6 +170,9 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
         cv_folds=5, rf_trees=15,
         fault_plan=fault_plan,
         crawl_max_retries=args.max_retries,
+        scan_workers=args.scan_workers,
+        crawl_workers=args.crawl_workers,
+        capture_cache=not args.no_capture_cache,
     )
     pipeline = SquatPhi(world, pipeline_config)
     result = pipeline.run(follow_up_snapshots=False)
@@ -189,6 +195,13 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
             print("  injected faults:")
             for kind, count in sorted(result.injected_faults.items()):
                 print(f"    {kind}: {count}")
+    print()
+    # counters are deterministic -> stdout; wall-clock timings -> stderr,
+    # so `diff`-ing two identical runs' stdout stays byte-identical
+    print(pipeline.perf.format(timings=False))
+    timings = pipeline.perf.format_timings()
+    if timings:
+        print(timings, file=sys.stderr)
     return 0
 
 
@@ -250,6 +263,13 @@ def build_parser() -> argparse.ArgumentParser:
                           help="seed addressing the deterministic fault draws")
     pipeline.add_argument("--max-retries", type=int, default=2,
                           help="crawl retries per job after a failed visit")
+    pipeline.add_argument("--scan-workers", type=int, default=1,
+                          help="process-pool width for the snapshot scan")
+    pipeline.add_argument("--crawl-workers", type=int, default=20,
+                          help="thread-pool width for crawl dispatch")
+    pipeline.add_argument("--no-capture-cache", action="store_true",
+                          help="disable the content-addressed render/OCR "
+                               "cache (results are identical either way)")
     pipeline.set_defaults(func=cmd_pipeline)
 
     return parser

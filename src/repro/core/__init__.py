@@ -35,13 +35,16 @@ from repro.core.pipeline import (
 )
 from repro.core.reporting import RunReport, build_report
 from repro.core.review import Annotator, ReviewQueue, default_crowd
+from repro.perf import CaptureCache, PerfReport
 
 __all__ = [
     "Annotator",
     "BrandMonitor",
+    "CaptureCache",
     "CrawlHealth",
     "FaultInjector",
     "FaultPlan",
+    "PerfReport",
     "GroundTruthPage",
     "MonitorAlert",
     "PipelineConfig",

@@ -26,6 +26,13 @@ class PipelineConfig:
     crawl_workers: int = 20
     snapshots: int = 4
 
+    # execution engine (repro.perf): process-pool width for the snapshot
+    # scan and the content-addressed render/OCR/feature cache.  Neither
+    # knob can change results — see DESIGN.md's determinism contract —
+    # only how fast they are produced.
+    scan_workers: int = 1
+    capture_cache: bool = True
+
     # failure model & resilience (§3.2's crawl-stability fight): the fault
     # plan injects typed, seeded infrastructure failures into the measured
     # world; the remaining knobs shape how the measurement system absorbs

@@ -106,7 +106,8 @@ class BrandMonitor:
         injector = self.pipeline.fault_injector
         for user_agent in (WEB_UA, MOBILE_UA):
             browser = Browser(self.pipeline.world.host, user_agent,
-                              fault_injector=injector)
+                              fault_injector=injector,
+                              capture_cache=self.pipeline.capture_cache)
             try:
                 self.pipeline.world.zone.resolve(match.domain)
                 capture = browser.visit(f"http://{match.domain}/")

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -15,6 +16,7 @@ from repro.faults.plan import FaultInjector
 from repro.faults.resilience import CrawlHealth, RetryPolicy
 from repro.features.embedding import FeatureEmbedder
 from repro.features.extraction import FeatureExtractor, PageFeatures
+from repro.perf import CaptureCache, PerfReport
 from repro.ml import (
     ClassificationReport,
     KNearestNeighbors,
@@ -112,12 +114,22 @@ class SquatPhi:
             self.fault_injector = FaultInjector(self.config.fault_plan, self.clock)
             world.zone.fault_injector = self.fault_injector
         self.health = CrawlHealth()
+        # execution engine: one content-addressed cache and one perf report
+        # per run, sharing a CacheStats so the report is always current
+        self.capture_cache = CaptureCache(enabled=self.config.capture_cache)
+        self.perf = PerfReport(
+            scan_workers=self.config.scan_workers,
+            crawl_workers=self.config.crawl_workers,
+            cache_enabled=self.config.capture_cache,
+            cache=self.capture_cache.stats,
+        )
         self.extractor = FeatureExtractor(
             ocr_engine=OCREngine(error_rate=self.config.ocr_error_rate,
                                  fault_injector=self.fault_injector),
             use_ocr=self.config.use_ocr,
             use_spellcheck=self.config.use_spellcheck,
             extra_lexicon=world.catalog.names(),
+            cache=self.capture_cache,
         )
         self.embedder: Optional[FeatureEmbedder] = None
         self.model = None
@@ -128,7 +140,8 @@ class SquatPhi:
     # ------------------------------------------------------------------
     def _make_browser(self, user_agent) -> Browser:
         return Browser(self.world.host, user_agent,
-                       fault_injector=self.fault_injector)
+                       fault_injector=self.fault_injector,
+                       capture_cache=self.capture_cache)
 
     def _visit_degraded(self, browser: Browser, url: str,
                         stage: str) -> Optional[PageCapture]:
@@ -148,8 +161,13 @@ class SquatPhi:
     # stage 1: squatting detection
     # ------------------------------------------------------------------
     def detect_squatting(self) -> List[SquatMatch]:
-        """Scan the DNS snapshot for squatting domains (§3.1)."""
-        return self.detector.scan(self.world.zone)
+        """Scan the DNS snapshot for squatting domains (§3.1).
+
+        ``config.scan_workers > 1`` shards the zone across a process pool;
+        the ordered merge makes the result identical to a serial scan.
+        """
+        return self.detector.scan_sharded(
+            self.world.zone, workers=self.config.scan_workers)
 
     # ------------------------------------------------------------------
     # stage 2: crawling
@@ -171,6 +189,7 @@ class SquatPhi:
             breaker_failure_threshold=config.breaker_failure_threshold,
             breaker_reset_timeout=config.breaker_reset_timeout,
             clock=self.clock,
+            capture_cache=self.capture_cache,
         )
 
     def crawl_domains(
@@ -498,26 +517,40 @@ class SquatPhi:
     # ------------------------------------------------------------------
     # the whole thing
     # ------------------------------------------------------------------
+    def _timed(self, stage: str, fn, *args, **kwargs):
+        """Run one stage, charging its wall-clock time to the perf report."""
+        started = time.perf_counter()
+        try:
+            return fn(*args, **kwargs)
+        finally:
+            self.perf.record_stage(stage, time.perf_counter() - started)
+
     def run(self, follow_up_snapshots: bool = True) -> PipelineResult:
         """Execute all stages; returns the material behind every exhibit."""
-        squat_matches = self.detect_squatting()
+        squat_matches = self._timed("scan", self.detect_squatting)
         squat_domains = [m.domain for m in squat_matches]
 
-        first_crawl = self.crawl_domains(squat_domains, snapshot=0)
+        first_crawl = self._timed(
+            "crawl", self.crawl_domains, squat_domains, snapshot=0)
 
-        ground_truth = self.collect_ground_truth(squat_matches)
-        cv_reports = self.train(ground_truth)
+        ground_truth = self._timed(
+            "ground_truth", self.collect_ground_truth, squat_matches)
+        cv_reports = self._timed("train", self.train, ground_truth)
 
-        flagged = self.detect_in_wild(squat_matches, first_crawl)
+        flagged = self._timed(
+            "classify", self.detect_in_wild, squat_matches, first_crawl)
         verified = self.verify(flagged)
 
         snapshots = [first_crawl]
         if follow_up_snapshots:
             verified_domains = [v.domain for v in verified]
             for snapshot in range(1, self.config.snapshots):
-                snapshots.append(self.crawl_domains(verified_domains, snapshot=snapshot))
+                snapshots.append(self._timed(
+                    "crawl", self.crawl_domains, verified_domains,
+                    snapshot=snapshot))
 
         verified_set = {v.domain for v in verified}
+        evasion_started = time.perf_counter()
         evasion_squatting = self.measure_evasion_for([
             (d.domain, d.brand, d.capture)
             for d in flagged
@@ -533,6 +566,7 @@ class SquatPhi:
             if capture is not None:
                 reported_items.append((report.domain, report.brand, capture))
         evasion_reported = self.measure_evasion_for(reported_items)
+        self.perf.record_stage("evasion", time.perf_counter() - evasion_started)
 
         return PipelineResult(
             squat_matches=squat_matches,

@@ -35,6 +35,22 @@ class PageFeatures:
     def all_tokens(self) -> List[str]:
         return self.ocr_tokens + self.lexical_tokens + self.form_tokens
 
+    def copy(self) -> "PageFeatures":
+        """Independent copy of the mutable token lists.
+
+        ``js_indicators`` is shared — it is immutable once analyzed.
+        Cache hits return copies so callers can't mutate the cached entry.
+        """
+        return PageFeatures(
+            ocr_tokens=list(self.ocr_tokens),
+            lexical_tokens=list(self.lexical_tokens),
+            form_tokens=list(self.form_tokens),
+            form_count=self.form_count,
+            password_input_count=self.password_input_count,
+            script_count=self.script_count,
+            js_indicators=self.js_indicators,
+        )
+
 
 class FeatureExtractor:
     """HTML + screenshot → :class:`PageFeatures`.
@@ -51,12 +67,16 @@ class FeatureExtractor:
         use_ocr: bool = True,
         use_spellcheck: bool = True,
         extra_lexicon: Optional[list] = None,
+        cache=None,
     ) -> None:
         """
         Args:
             extra_lexicon: additional correction targets, typically the
                 brand names of the catalog (§5.2 corrects OCR output against
                 brand and form vocabulary).
+            cache: optional :class:`~repro.perf.cache.CaptureCache`;
+                memoizes whole extractions by page-content digest and
+                enables the spell checker's word memo.
         """
         self.ocr = ocr_engine or OCREngine()
         self.spell = spell_checker or SpellChecker()
@@ -64,9 +84,28 @@ class FeatureExtractor:
             self.spell.add_words(extra_lexicon)
         self.use_ocr = use_ocr
         self.use_spellcheck = use_spellcheck
+        self.cache = cache
+        if cache is not None and cache.enabled:
+            # word-level correction is pure, so memoizing it cannot change
+            # output; gated on the cache flag so --no-capture-cache runs
+            # measure the uncached baseline
+            self.spell.enable_memo(cache.stats)
 
     def extract(self, html: str, screenshot_pixels=None) -> PageFeatures:
         """Extract features from page markup and (optionally) its raster."""
+        if self.cache is not None:
+            key = self.cache.feature_key(
+                html, screenshot_pixels if self.use_ocr else None,
+                (self.use_ocr, self.use_spellcheck))
+            cached = self.cache.lookup_features(key)
+            if cached is not None:
+                return cached.copy()
+            features = self._extract(html, screenshot_pixels)
+            self.cache.store_features(key, features.copy())
+            return features
+        return self._extract(html, screenshot_pixels)
+
+    def _extract(self, html: str, screenshot_pixels=None) -> PageFeatures:
         tree = parse_html(html)
         features = PageFeatures()
 

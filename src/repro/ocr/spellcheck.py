@@ -60,7 +60,14 @@ def damerau_levenshtein(a: str, b: str, cap: Optional[int] = None) -> int:
 
 
 class SpellChecker:
-    """Dictionary-based corrector with length-bucketed candidate lookup."""
+    """Dictionary-based corrector with length-bucketed candidate lookup.
+
+    Correction is a pure function of (word, dictionary), so an optional
+    word-level memo (:meth:`enable_memo`) caches corrections without
+    changing output; OCR noise recycles the same garbled forms across
+    pages, making the memo the single biggest win of the capture cache.
+    The memo is cleared whenever the dictionary grows.
+    """
 
     def __init__(
         self,
@@ -72,14 +79,29 @@ class SpellChecker:
         self.min_word_length = min_word_length
         self._words: Set[str] = set()
         self._by_length: Dict[int, List[str]] = defaultdict(list)
+        self._memo: Optional[Dict[str, str]] = None
+        self._stats = None
         for word in lexicon:
             self.add_word(word)
+
+    def enable_memo(self, stats=None) -> None:
+        """Memoize per-word corrections, counting into ``stats`` if given.
+
+        ``stats`` is a :class:`~repro.perf.report.CacheStats`; only its
+        ``spell_hits``/``spell_misses`` counters are touched.
+        """
+        if self._memo is None:
+            self._memo = {}
+        self._stats = stats
 
     def add_word(self, word: str) -> None:
         word = word.lower()
         if word and word not in self._words:
             self._words.add(word)
             self._by_length[len(word)].append(word)
+            if self._memo:
+                # dictionary changed: memoized corrections may be stale
+                self._memo.clear()
 
     def add_words(self, words: Iterable[str]) -> None:
         for word in words:
@@ -93,6 +115,20 @@ class SpellChecker:
         lowered = word.lower()
         if lowered in self._words or len(lowered) < self.min_word_length:
             return lowered
+        if self._memo is not None:
+            cached = self._memo.get(lowered)
+            if cached is not None:
+                if self._stats is not None:
+                    self._stats.spell_hits += 1
+                return cached
+            if self._stats is not None:
+                self._stats.spell_misses += 1
+        corrected = self._search(lowered)
+        if self._memo is not None:
+            self._memo[lowered] = corrected
+        return corrected
+
+    def _search(self, lowered: str) -> str:
         best: Optional[str] = None
         best_distance = self.max_distance + 1
         for length in range(len(lowered) - self.max_distance,

@@ -1,0 +1,85 @@
+"""Ordered parallel maps: the execution primitives behind SquatPhi's scale.
+
+Two primitives, one contract — **results come back in input order**, so a
+parallel run merges to byte-identical output regardless of which worker
+finished first:
+
+* :func:`process_map` — CPU-bound fan-out over shards on a
+  ``ProcessPoolExecutor``.  Used by the snapshot scan, where each worker
+  rebuilds the detector's indices once (via ``initializer``) and then
+  classifies whole chunks of registered domains.  Shard *work* is
+  unordered across processes; shard *results* are merged in shard order.
+* :func:`thread_map` — I/O-shaped fan-out on a ``ThreadPoolExecutor``.
+  Used by the crawl scheduler, where each task is a self-contained domain
+  group (own clock lane, own fault-injector clone) so tasks never share
+  mutable state and order of completion cannot leak into results.
+
+Both fall back to a plain serial loop when ``workers <= 1`` or there is
+nothing to parallelize — the fallback runs the *same* function over the
+*same* shards, which is how the determinism suite can assert serial and
+parallel runs byte-match.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def shard(items: Iterable[T], chunk_size: int) -> List[List[T]]:
+    """Partition ``items`` into consecutive chunks of ``chunk_size``.
+
+    Consecutive (not strided) so that concatenating per-shard results in
+    shard order reproduces the serial iteration order exactly.
+    """
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    shards: List[List[T]] = []
+    current: List[T] = []
+    for item in items:
+        current.append(item)
+        if len(current) >= chunk_size:
+            shards.append(current)
+            current = []
+    if current:
+        shards.append(current)
+    return shards
+
+
+def thread_map(fn: Callable[[T], R], items: Sequence[T],
+               workers: int) -> List[R]:
+    """Map ``fn`` over ``items`` on a thread pool, results in input order.
+
+    Tasks must be self-contained (no shared mutable state) — the crawl
+    scheduler guarantees this by giving each domain group its own clock
+    lane and fault-injector clone.  With ``workers <= 1`` or a single
+    item, runs the plain serial loop.
+    """
+    if workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, items))
+
+
+def process_map(fn: Callable[[T], R], shards: Sequence[T], workers: int,
+                initializer: Optional[Callable] = None,
+                initargs: Tuple = ()) -> List[R]:
+    """Map ``fn`` over ``shards`` on a process pool, results in shard order.
+
+    ``initializer(*initargs)`` runs once per worker process to rebuild
+    per-process state (e.g. detector indices) from picklable inputs, so
+    the heavy index build is paid ``workers`` times, not ``len(shards)``
+    times.  With ``workers <= 1`` or a single shard, runs serially in
+    this process — calling the initializer first so ``fn`` sees the same
+    environment either way.
+    """
+    if workers <= 1 or len(shards) <= 1:
+        if initializer is not None:
+            initializer(*initargs)
+        return [fn(item) for item in shards]
+    with ProcessPoolExecutor(max_workers=workers, initializer=initializer,
+                             initargs=initargs) as pool:
+        return list(pool.map(fn, shards))

@@ -1,0 +1,168 @@
+"""Run-level performance accounting: workers, stage timings, cache yield.
+
+:class:`PerfReport` is to throughput what
+:class:`~repro.faults.resilience.CrawlHealth` is to reliability: a
+structured, mergeable record the pipeline fills in as it runs and the CLI
+prints at the end.  Wall-clock numbers and the hit/miss split are
+*execution metadata* — they vary with hardware and scheduling — so none of
+them participate in snapshot digests or determinism checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/bypass counters for every :class:`CaptureCache` layer.
+
+    ``*_bypasses`` counts lookups that arrived while the cache was
+    disabled (``--no-capture-cache``), so a run always shows how much
+    traffic the cache *would* have seen.
+    """
+
+    render_hits: int = 0
+    render_misses: int = 0
+    render_bypasses: int = 0
+    feature_hits: int = 0
+    feature_misses: int = 0
+    feature_bypasses: int = 0
+    spell_hits: int = 0
+    spell_misses: int = 0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _rate(hits: int, misses: int) -> float:
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    @property
+    def render_hit_rate(self) -> float:
+        return self._rate(self.render_hits, self.render_misses)
+
+    @property
+    def feature_hit_rate(self) -> float:
+        return self._rate(self.feature_hits, self.feature_misses)
+
+    @property
+    def spell_hit_rate(self) -> float:
+        return self._rate(self.spell_hits, self.spell_misses)
+
+    @property
+    def any_hits(self) -> bool:
+        return (self.render_hits + self.feature_hits + self.spell_hits) > 0
+
+    def merge(self, other: "CacheStats") -> None:
+        self.render_hits += other.render_hits
+        self.render_misses += other.render_misses
+        self.render_bypasses += other.render_bypasses
+        self.feature_hits += other.feature_hits
+        self.feature_misses += other.feature_misses
+        self.feature_bypasses += other.feature_bypasses
+        self.spell_hits += other.spell_hits
+        self.spell_misses += other.spell_misses
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "render_hits": self.render_hits,
+            "render_misses": self.render_misses,
+            "render_bypasses": self.render_bypasses,
+            "render_hit_rate": round(self.render_hit_rate, 4),
+            "feature_hits": self.feature_hits,
+            "feature_misses": self.feature_misses,
+            "feature_bypasses": self.feature_bypasses,
+            "feature_hit_rate": round(self.feature_hit_rate, 4),
+            "spell_hits": self.spell_hits,
+            "spell_misses": self.spell_misses,
+            "spell_hit_rate": round(self.spell_hit_rate, 4),
+        }
+
+
+@dataclass
+class PerfReport:
+    """Execution profile of one pipeline run.
+
+    Attributes:
+        scan_workers: process-pool width used for the snapshot scan.
+        crawl_workers: thread-pool width used for crawl dispatch.
+        cache_enabled: whether the capture cache was active.
+        stage_seconds: wall-clock seconds per pipeline stage.
+        cache: the run's :class:`CacheStats` (shared with the cache object,
+            so it is always current).
+    """
+
+    scan_workers: int = 1
+    crawl_workers: int = 1
+    cache_enabled: bool = True
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+    cache: CacheStats = field(default_factory=CacheStats)
+
+    def record_stage(self, stage: str, seconds: float) -> None:
+        """Accumulate wall-clock time for a named stage."""
+        self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.stage_seconds.values())
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "scan_workers": self.scan_workers,
+            "crawl_workers": self.crawl_workers,
+            "cache_enabled": self.cache_enabled,
+            "stage_seconds": {k: round(v, 4)
+                              for k, v in sorted(self.stage_seconds.items())},
+            "total_seconds": round(self.total_seconds, 4),
+            "cache": self.cache.to_dict(),
+        }
+
+    def format(self, timings: bool = True) -> str:
+        """Human-readable multi-line report (CLI output).
+
+        ``timings=False`` omits the wall-clock block so the output is
+        deterministic for a given config (the CLI routes timings to
+        stderr for exactly this reason — ``diff``-ing two runs' stdout
+        must stay byte-identical).
+        """
+        lines = [
+            "perf report",
+            f"  scan workers:    {self.scan_workers}",
+            f"  crawl workers:   {self.crawl_workers}",
+            f"  capture cache:   {'on' if self.cache_enabled else 'off'}",
+        ]
+        if timings and self.stage_seconds:
+            lines.append("  stage seconds:")
+            for stage, seconds in sorted(self.stage_seconds.items()):
+                lines.append(f"    {stage}: {seconds:.2f}")
+            lines.append(f"    total: {self.total_seconds:.2f}")
+        stats = self.cache
+        if self.cache_enabled:
+            lines.append(
+                f"  render cache:    {stats.render_hits} hits / "
+                f"{stats.render_misses} misses "
+                f"({100 * stats.render_hit_rate:.1f}%)")
+            lines.append(
+                f"  feature cache:   {stats.feature_hits} hits / "
+                f"{stats.feature_misses} misses "
+                f"({100 * stats.feature_hit_rate:.1f}%)")
+            lines.append(
+                f"  spell memo:      {stats.spell_hits} hits / "
+                f"{stats.spell_misses} misses "
+                f"({100 * stats.spell_hit_rate:.1f}%)")
+        else:
+            lines.append(
+                f"  cache bypassed:  {stats.render_bypasses} render / "
+                f"{stats.feature_bypasses} feature lookups")
+        return "\n".join(lines)
+
+    def format_timings(self) -> str:
+        """The wall-clock block alone ("" when no stage ran)."""
+        if not self.stage_seconds:
+            return ""
+        lines = ["perf timings (wall clock)"]
+        for stage, seconds in sorted(self.stage_seconds.items()):
+            lines.append(f"  {stage}: {seconds:.2f}s")
+        lines.append(f"  total: {self.total_seconds:.2f}s")
+        return "\n".join(lines)

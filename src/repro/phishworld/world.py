@@ -270,7 +270,6 @@ class _WorldBuilder:
         self.geoip = GeoIPRegistry(np.random.default_rng(config.seed + 2))
         self.alexa = AlexaRanking()
         self.blacklists = BlacklistEcosystem(np.random.default_rng(config.seed + 3))
-        self.page_builder = PhishingPageBuilder(np.random.default_rng(config.seed + 4))
         self.phishtank = PhishTankFeed(
             self.catalog,
             np.random.default_rng(config.seed + 5),
@@ -574,6 +573,12 @@ class _WorldBuilder:
 
     def _phishing_provider(self, spec: PhishingPageSpec, domain: str):
         page_cache: Dict[str, Element] = {}
+        # pages are built lazily on first visit, so their randomness must
+        # be addressed per (world seed, domain, profile) — never drawn
+        # from a shared sequential RNG, or visit order (and thus crawler
+        # scheduling) would leak into page content
+        seed = self.config.seed + 4
+        domain_token = zlib.crc32(domain.encode())
 
         def provide(user_agent: UserAgent, snapshot: int) -> Optional[Element]:
             alive = snapshot < spec.lifetime_snapshots
@@ -581,14 +586,16 @@ class _WorldBuilder:
                 alive = True
             if not alive:
                 # half the taken-down pages get replaced by benign content
-                if zlib.crc32(domain.encode()) % 2:
+                if domain_token % 2:
                     return parked_page(domain)
                 return None
             if not spec.evasion.serves(user_agent):
                 return None
             key = "mobile" if user_agent.is_mobile else "web"
             if key not in page_cache:
-                page_cache[key] = self.page_builder.build(spec)
+                builder = PhishingPageBuilder(np.random.default_rng(
+                    (seed, domain_token, int(user_agent.is_mobile))))
+                page_cache[key] = builder.build(spec)
             return page_cache[key]
 
         return provide

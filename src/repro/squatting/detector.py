@@ -27,6 +27,7 @@ from repro.brands.catalog import Brand, BrandCatalog
 from repro.dns.idna import ACE_PREFIX, IDNAError, label_to_unicode
 from repro.dns.records import split_domain
 from repro.dns.zone import ZoneStore
+from repro.perf.engine import process_map, shard
 from repro.squatting.bits import BitsModel
 from repro.squatting.combo import ComboModel
 from repro.squatting.generator import SquattingGenerator
@@ -109,8 +110,10 @@ class SquattingDetector:
             if match is not None:
                 return match
 
-        # 4. combo squatting — token / containment scan
-        if brand_of_core is None and "-" in core:
+        # 4. combo squatting — token / containment scan (glued combos like
+        #    secureuberlogin carry no hyphen, so this must not be gated on
+        #    one; the 4-gram prefix index keeps the scan near-free)
+        if brand_of_core is None:
             match = self._match_combo(domain, core)
             if match is not None:
                 return match
@@ -167,14 +170,16 @@ class SquattingDetector:
         return None
 
     def _match_combo(self, domain: str, core: str) -> Optional[SquatMatch]:
-        # exact hyphen-delimited brand tokens (covers short brands too)
-        for token in core.split("-"):
-            brand = self._brand_by_label.get(token)
-            if brand is not None:
-                return SquatMatch(
-                    domain=domain, brand=brand.name,
-                    squat_type=SquatType.COMBO, detail="token",
-                )
+        # exact hyphen-delimited brand tokens (covers short brands too);
+        # only worth splitting when there is a hyphen to split on
+        if "-" in core:
+            for token in core.split("-"):
+                brand = self._brand_by_label.get(token)
+                if brand is not None:
+                    return SquatMatch(
+                        domain=domain, brand=brand.name,
+                        squat_type=SquatType.COMBO, detail="token",
+                    )
         # glued containment (go-uberfreight): slide a prefix window over the
         # label and consult the brand 4-gram index, longest brand first
         combo_min = self.generator.combo.min_brand_length
@@ -195,22 +200,71 @@ class SquattingDetector:
     # ------------------------------------------------------------------
     # snapshot scan
     # ------------------------------------------------------------------
+    def iter_scan(self, zone: ZoneStore) -> Iterator[SquatMatch]:
+        """Stream matches over a snapshot's registered domains.
+
+        The generator form keeps snapshot-scale scans O(matches) in memory
+        for consumers that only aggregate (:meth:`scan_counts`); sharded
+        workers consume their chunk the same way.
+        """
+        for registered in zone.registered_domains():
+            match = self.classify_domain(registered)
+            if match is not None:
+                yield match
+
     def scan(self, zone: ZoneStore) -> List[SquatMatch]:
         """Classify every registered domain in a snapshot.
 
         Returns one match per squatting registered domain (subdomains are
         collapsed, as in the paper).
         """
-        matches: List[SquatMatch] = []
-        for registered in zone.registered_domains():
-            match = self.classify_domain(registered)
-            if match is not None:
-                matches.append(match)
-        return matches
+        return list(self.iter_scan(zone))
+
+    def scan_sharded(self, zone: ZoneStore, workers: int = 1,
+                     chunk_size: int = 512) -> List[SquatMatch]:
+        """Parallel :meth:`scan` over a process pool.
+
+        The zone's registered domains are split into consecutive chunks;
+        each pool worker rebuilds the detector indices once from the
+        (picklable) catalog + generator and then classifies whole chunks.
+        Chunk results are concatenated in shard order, so the output is
+        exactly ``self.scan(zone)`` for any worker count — ``workers <= 1``
+        short-circuits to the serial scan.
+        """
+        if workers <= 1:
+            return self.scan(zone)
+        shards = shard(zone.registered_domains(), chunk_size)
+        chunks = process_map(
+            _pool_scan_chunk, shards, workers,
+            initializer=_pool_init, initargs=(self.catalog, self.generator))
+        return [match for chunk in chunks for match in chunk]
 
     def scan_counts(self, zone: ZoneStore) -> Dict[SquatType, int]:
         """Squat-type histogram over a snapshot (the Fig 2 series)."""
         counts: Dict[SquatType, int] = {t: 0 for t in SquatType}
-        for match in self.scan(zone):
+        for match in self.iter_scan(zone):
             counts[match.squat_type] += 1
         return counts
+
+
+# ----------------------------------------------------------------------
+# process-pool plumbing for scan_sharded: each worker process rebuilds the
+# detector once (initializer) and reuses it for every chunk it claims
+# ----------------------------------------------------------------------
+_POOL_DETECTOR: Optional[SquattingDetector] = None
+
+
+def _pool_init(catalog: BrandCatalog, generator: SquattingGenerator) -> None:
+    global _POOL_DETECTOR
+    _POOL_DETECTOR = SquattingDetector(catalog, generator)
+
+
+def _pool_scan_chunk(domains: List[str]) -> List[SquatMatch]:
+    detector = _POOL_DETECTOR
+    assert detector is not None, "pool worker used before initialization"
+    matches: List[SquatMatch] = []
+    for domain in domains:
+        match = detector.classify_domain(domain)
+        if match is not None:
+            matches.append(match)
+    return matches

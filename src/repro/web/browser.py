@@ -59,10 +59,22 @@ class Browser:
         host: WebHost,
         user_agent: UserAgent = WEB_UA,
         fault_injector: Optional["FaultInjector"] = None,
+        capture_cache=None,
     ) -> None:
+        """
+        Args:
+            capture_cache: optional
+                :class:`~repro.perf.cache.CaptureCache`; parse/execute/
+                render is skipped when another visit already rendered a
+                byte-identical served body under the same UA profile and
+                snapshot epoch.  Fetch, redirects, and fault draws are
+                never cached — they happen before the lookup, so failure
+                behavior is identical with and without the cache.
+        """
         self.host = host
         self.user_agent = user_agent
         self.fault_injector = fault_injector
+        self.capture_cache = capture_cache
 
     def visit(self, url: str, snapshot: int = 0, attempt: int = 0) -> Optional[PageCapture]:
         """Visit a URL, following redirects; None when the site is dead.
@@ -111,17 +123,47 @@ class Browser:
             break
         if response is None or response.is_redirect:
             return None  # redirect loop or dead end
-        document = parse_html(response.body)
-        document = self._execute_scripts(document)
-        shot = render_page(document)
+        html, shot = self._render(response.body, snapshot)
         return PageCapture(
             requested_url=url,
             final_url=current,
             user_agent=self.user_agent,
-            html=document_to_html(document),
+            html=html,
             screenshot=shot,
             redirect_chain=tuple(chain),
         )
+
+    def _render(self, body: str, snapshot: int) -> Tuple[str, Screenshot]:
+        """Execute scripts and rasterize, content-addressed when cached.
+
+        Rendering is a pure function of (served bytes, UA profile), so
+        entries keyed on the body digest return byte-identical artifacts;
+        a cloaked site serves per-UA bodies and the UA sits in the key,
+        so profiles can never share entries.
+        """
+        cache = self.capture_cache
+        if cache is not None and cache.enabled:
+            key = cache.render_key(body, self.user_agent.name, snapshot)
+            # single-flight: concurrent duplicates serialize per key, so
+            # the follower hits and the hit/miss split is deterministic
+            with cache.render_lock(key):
+                hit = cache.lookup_render(key)
+                if hit is not None:
+                    return hit
+                html, shot = self._render_uncached(body)
+                cache.store_render(key, html, shot)
+                return html, shot
+        if cache is not None:
+            cache.lookup_render(
+                cache.render_key(body, self.user_agent.name, snapshot))
+        return self._render_uncached(body)
+
+    def _render_uncached(self, body: str) -> Tuple[str, Screenshot]:
+        document = parse_html(body)
+        document = self._execute_scripts(document)
+        shot = render_page(document)
+        html = document_to_html(document)
+        return html, shot
 
     def _execute_scripts(self, document: Element) -> Element:
         """Apply supported DOM-writing scripts to the tree."""

@@ -4,9 +4,10 @@ The paper crawls 657K domains with 5 machines × 20 Puppeteer instances, two
 device profiles each, four weekly snapshots.  We reproduce the *scheduler*
 faithfully — a worker pool with shared-counter work stealing (their shmget
 trick), per-worker browsers, per-profile captures — on top of the synthetic
-:class:`~repro.web.server.WebHost`.  Workers are simulated deterministically
-(no real threads) so crawls are reproducible, but the scheduling accounting
-(per-worker job counts, balance) is real and tested.
+:class:`~repro.web.server.WebHost`.  Dispatch is real thread-pool
+parallelism (:func:`repro.perf.engine.thread_map`), yet crawls stay
+byte-reproducible for any worker count: see "Determinism under
+concurrency" below.
 
 Infrastructure instability is modelled too: the paper rejected Selenium for
 being "error-prone when crawling webpages at the million-level" — so visits
@@ -29,6 +30,24 @@ stack:
 
 Everything is surfaced in the snapshot's
 :class:`~repro.faults.resilience.CrawlHealth` report.
+
+Determinism under concurrency
+-----------------------------
+The unit of dispatch is a *domain group* — all profile jobs of one domain.
+Each group runs on its own **time lane**: a private
+:class:`~repro.faults.clock.SimClock` starting at the crawl's shared
+``base_time`` (plus the lane's elapsed time when resuming), with a private
+:class:`~repro.faults.plan.FaultInjector` clone on that lane and private
+browsers.  Since fault draws and backoff jitter are hash-addressed (no
+RNG state) and the breaker/backoff timeline of a domain only reads its own
+lane clock, a group's outcome is a pure function of (plan, domain, jobs) —
+independent of which thread runs it and of what other groups do.  Group
+results are merged strictly in group order, so health counters, float
+sums, dead-letter order, and :meth:`CrawlSnapshot.digest` are
+byte-identical for any worker count, serial included.  A checkpoint stores
+each lane's elapsed time, so a resumed group continues its lane exactly
+where it stopped.  Wall-clock scheduling (which thread ran what, when) is
+execution metadata and is deliberately excluded from digests.
 """
 
 from __future__ import annotations
@@ -47,6 +66,7 @@ from repro.faults.resilience import (
     DeadLetter,
     RetryPolicy,
 )
+from repro.perf.engine import thread_map
 from repro.web.browser import Browser, PageCapture
 from repro.web.http import CRAWL_PROFILES, MOBILE_UA, WEB_UA, UserAgent
 from repro.web.server import WebHost
@@ -81,9 +101,9 @@ class CrawlCheckpoint:
 
     Captured by :meth:`DistributedCrawler.crawl` when it stops early
     (``max_jobs``); passing it back as ``resume=`` restores the partial
-    results, scheduler accounting, breaker states, and simulated-clock
-    time, so the continued crawl is indistinguishable from one that never
-    stopped.
+    results, scheduler accounting, breaker states, and per-domain lane
+    times, so the continued crawl is indistinguishable from one that never
+    stopped — at any worker count.
     """
 
     snapshot: int
@@ -95,6 +115,8 @@ class CrawlCheckpoint:
     breakers: Dict[str, CircuitBreaker]
     health: CrawlHealth
     clock_time: float
+    base_time: float = 0.0
+    lane_elapsed: Dict[str, float] = field(default_factory=dict)
 
     @property
     def completed_jobs(self) -> int:
@@ -151,15 +173,17 @@ class CrawlSnapshot:
         """Canonical content hash of the snapshot.
 
         Covers results (including capture HTML and screenshot bytes),
-        scheduling accounting, retries, dead letters, breaker states, and
-        the health report — the determinism tests assert byte-identity of
-        this digest across reruns and checkpoint/resume splits.
+        retries, dead letters, breaker states, and the health report — the
+        determinism tests assert byte-identity of this digest across
+        reruns, worker counts, cache on/off, and checkpoint/resume splits.
+        Scheduling accounting (worker ids, per-worker job counts) is
+        execution metadata and deliberately excluded.
         """
         hasher = hashlib.sha256()
         hasher.update(f"snapshot={self.snapshot}\n".encode())
         for (domain, profile) in sorted(self.results):
             result = self.results[(domain, profile)]
-            hasher.update(f"{domain}|{profile}|{result.live}|{result.worker_id}".encode())
+            hasher.update(f"{domain}|{profile}|{result.live}".encode())
             capture = result.capture
             if capture is not None:
                 hasher.update(capture.final_url.encode())
@@ -167,7 +191,6 @@ class CrawlSnapshot:
                 hasher.update(capture.html.encode())
                 hasher.update(capture.screenshot.pixels.tobytes())
             hasher.update(b"\n")
-        hasher.update(f"workers={self.worker_job_counts}\n".encode())
         hasher.update(f"retries={self.retries}\n".encode())
         for letter in self.dead_letters:
             hasher.update(f"dead={letter.key()}\n".encode())
@@ -181,7 +204,9 @@ class _SharedCounter:
     """The crawler's work-stealing cursor.
 
     Stands in for the kernel shared-memory segment the paper allocates with
-    ``shmget``: each worker atomically claims the next job index.
+    ``shmget``: each worker atomically claims the next job index.  Job →
+    worker assignment derives from claimed indices, which is why
+    ``worker_id = index % workers`` below models the balanced claim order.
     """
 
     def __init__(self) -> None:
@@ -191,6 +216,30 @@ class _SharedCounter:
         claimed = self.value
         self.value += 1
         return claimed
+
+
+@dataclass
+class _GroupSpec:
+    """One dispatch unit: every pending profile job of one domain."""
+
+    domain: str
+    jobs: List[Tuple[int, UserAgent]]  # (global job index, profile)
+    breaker: Optional[CircuitBreaker]
+    lane_start: float  # lane-elapsed seconds already spent (resume)
+
+
+@dataclass
+class _GroupOutcome:
+    """Everything a domain group produced, merged in group order."""
+
+    domain: str
+    results: List[Tuple[int, CrawlResult]]
+    retries: int
+    dead_letters: List[DeadLetter]
+    health: CrawlHealth
+    injected: Dict[str, int]
+    breaker: CircuitBreaker
+    lane_elapsed: float
 
 
 class DistributedCrawler:
@@ -208,6 +257,7 @@ class DistributedCrawler:
         breaker_failure_threshold: int = 5,
         breaker_reset_timeout: float = 300.0,
         clock: Optional[SimClock] = None,
+        capture_cache=None,
     ) -> None:
         """
         Args:
@@ -225,6 +275,10 @@ class DistributedCrawler:
                 before allowing a half-open probe.
             clock: simulated clock shared with the injector/backoff; a
                 private one is created when omitted.
+            capture_cache: optional
+                :class:`~repro.perf.cache.CaptureCache` shared by every
+                worker browser, so byte-identical page templates render
+                once per (content, profile, snapshot).
         """
         if workers < 1:
             raise ValueError("need at least one worker")
@@ -241,17 +295,13 @@ class DistributedCrawler:
         self.retry_policy = retry_policy or RetryPolicy(max_retries=max_retries)
         self.breaker_failure_threshold = breaker_failure_threshold
         self.breaker_reset_timeout = breaker_reset_timeout
+        self.capture_cache = capture_cache
         if clock is not None:
             self.clock = clock
         elif fault_injector is not None:
             self.clock = fault_injector.clock
         else:
             self.clock = SimClock()
-        self._browsers = {
-            profile.name: Browser(host, user_agent=profile,
-                                  fault_injector=fault_injector)
-            for profile in self.profiles
-        }
 
     def _attempt_fails(self, domain: str, profile: str,
                        snapshot: int, attempt: int) -> bool:
@@ -262,16 +312,16 @@ class DistributedCrawler:
         draw = (zlib.crc32(token) % 10_000) / 10_000.0
         return draw < self.transient_failure_rate
 
-    def _visit_once(self, domain: str, profile: UserAgent,
+    def _visit_once(self, browser: Browser, injector: Optional[FaultInjector],
+                    domain: str, profile: UserAgent,
                     snapshot: int, attempt: int) -> Optional[PageCapture]:
         """One visit attempt; raises a typed fault or returns the capture
         (None for a cleanly dead site)."""
         if self._attempt_fails(domain, profile.name, snapshot, attempt):
             raise BrowserCrashFault(TRANSIENT, domain)
-        if self.fault_injector is not None:
+        if injector is not None:
             # resolver step: the crawler looks the domain up before fetching
-            self.fault_injector.check_dns(domain, snapshot, attempt)
-        browser = self._browsers[profile.name]
+            injector.check_dns(domain, snapshot, attempt)
         return browser.visit(f"http://{domain}/", snapshot=snapshot, attempt=attempt)
 
     def _run_job(
@@ -279,38 +329,40 @@ class DistributedCrawler:
         domain: str,
         profile: UserAgent,
         snapshot: int,
-        breakers: Dict[str, CircuitBreaker],
+        breaker: CircuitBreaker,
         health: CrawlHealth,
+        clock: SimClock,
+        browser: Browser,
+        injector: Optional[FaultInjector],
     ) -> Tuple[Optional[PageCapture], int, Optional[DeadLetter]]:
         """Run one (domain, profile) job through the resilience stack.
 
+        All time flows through ``clock`` — the domain's private lane — so
+        the job's outcome is independent of concurrent groups.
+
         Returns (capture, failed attempts, dead letter or None).
         """
-        breaker = breakers.get(domain)
-        if breaker is None:
-            breaker = CircuitBreaker(self.breaker_failure_threshold,
-                                     self.breaker_reset_timeout)
-            breakers[domain] = breaker
         backoff_key = f"{domain}|{profile.name}|{snapshot}"
         retries = 0
         last_fault: Optional[str] = None
         for attempt in range(self.max_retries + 1):
-            if not breaker.allow(self.clock.now()):
+            if not breaker.allow(clock.now()):
                 health.breaker_skips += 1
                 last_fault = last_fault or "breaker_open"
                 break
             health.attempts += 1
             try:
-                capture = self._visit_once(domain, profile, snapshot, attempt)
+                capture = self._visit_once(browser, injector, domain, profile,
+                                           snapshot, attempt)
             except FaultError as fault:
-                breaker.record_failure(self.clock.now())
+                breaker.record_failure(clock.now())
                 health.record_failure(fault.kind)
                 health.retries += 1
                 retries += 1
                 last_fault = fault.kind
                 if attempt < self.max_retries:
                     delay = self.retry_policy.delay(attempt, backoff_key)
-                    self.clock.sleep(delay)
+                    clock.sleep(delay)
                     health.backoff_seconds += delay
                 continue
             breaker.record_success()
@@ -319,6 +371,61 @@ class DistributedCrawler:
         dead = DeadLetter(domain=domain, profile=profile.name, snapshot=snapshot,
                           attempts=retries, last_fault=last_fault or "unknown")
         return None, retries, dead
+
+    def _run_group(self, spec: _GroupSpec, snapshot: int,
+                   base_time: float) -> _GroupOutcome:
+        """Crawl one domain group on its own time lane.
+
+        The lane clock starts at ``base_time`` plus whatever the lane had
+        already spent before a checkpoint, the fault-injector clone draws
+        from the same plan (hash-addressed, so tallies — not draws —
+        are private), and the browsers are group-local.  Nothing here
+        touches shared mutable state, which is what makes the group's
+        outcome thread-invariant.
+        """
+        lane_clock = SimClock(start=base_time + spec.lane_start)
+        injector: Optional[FaultInjector] = None
+        if self.fault_injector is not None:
+            injector = FaultInjector(self.fault_injector.plan, lane_clock)
+        browsers = {
+            profile.name: Browser(self.host, user_agent=profile,
+                                  fault_injector=injector,
+                                  capture_cache=self.capture_cache)
+            for profile in self.profiles
+        }
+        breaker = spec.breaker or CircuitBreaker(self.breaker_failure_threshold,
+                                                 self.breaker_reset_timeout)
+        health = CrawlHealth()
+        results: List[Tuple[int, CrawlResult]] = []
+        retries = 0
+        dead_letters: List[DeadLetter] = []
+        for index, profile in spec.jobs:
+            capture, job_retries, dead = self._run_job(
+                spec.domain, profile, snapshot, breaker, health,
+                lane_clock, browsers[profile.name], injector)
+            retries += job_retries
+            if dead is not None:
+                dead_letters.append(dead)
+            results.append((index, CrawlResult(
+                domain=spec.domain,
+                profile=profile.name,
+                snapshot=snapshot,
+                live=capture is not None,
+                capture=capture,
+                worker_id=index % self.workers,
+            )))
+        if injector is not None:
+            health.slow_responses = injector.injected[FaultKind.SLOW_RESPONSE]
+        return _GroupOutcome(
+            domain=spec.domain,
+            results=results,
+            retries=retries,
+            dead_letters=dead_letters,
+            health=health,
+            injected=dict(injector.injected) if injector is not None else {},
+            breaker=breaker,
+            lane_elapsed=lane_clock.now() - base_time,
+        )
 
     @staticmethod
     def _dedupe(domains: Iterable[str]) -> List[str]:
@@ -345,10 +452,11 @@ class DistributedCrawler:
     ) -> CrawlSnapshot:
         """Crawl every domain with every profile for one snapshot.
 
-        Jobs are (domain, profile) pairs dispatched through the shared
-        counter round-robin of simulated workers; per-worker job counts are
-        recorded so tests can assert the balance property the paper's IPC
-        scheme provides.
+        Jobs are (domain, profile) pairs; consecutive jobs of one domain
+        form a group, groups are dispatched on a thread pool (serial loop
+        when ``workers`` would not help), and outcomes are merged in group
+        order.  Per-worker job counts are recorded so tests can assert the
+        balance property the paper's IPC scheme provides.
 
         Args:
             resume: checkpoint from a previous, interrupted pass over the
@@ -377,62 +485,77 @@ class DistributedCrawler:
                 health=resume.health,
             )
             breakers = resume.breakers
+            base_time = resume.base_time
+            lane_elapsed = dict(resume.lane_elapsed)
             result.health.resumes += 1
-            self.clock.advance_to(resume.clock_time)
         else:
             completed = set()
             result = CrawlSnapshot(snapshot=snapshot,
                                    worker_job_counts=[0] * self.workers)
             breakers = {}
+            base_time = self.clock.now()
+            lane_elapsed = {}
 
+        # the job budget is applied to the *pending job list in index
+        # order*, before dispatch — so which jobs a checkpoint covers is a
+        # pure function of (jobs, completed, max_jobs), never of scheduling
+        pending = [
+            (index, domain, profile)
+            for index, (domain, profile) in enumerate(jobs)
+            if (domain, profile.name) not in completed
+        ]
+        if max_jobs is not None and max_jobs < len(pending):
+            todo = pending[:max_jobs]
+            interrupted = True
+        else:
+            todo = pending
+            interrupted = False
+
+        # group consecutive jobs by domain (jobs are domain-major, so a
+        # domain's pending jobs are always adjacent)
+        specs: List[_GroupSpec] = []
+        for index, domain, profile in todo:
+            if specs and specs[-1].domain == domain:
+                specs[-1].jobs.append((index, profile))
+            else:
+                specs.append(_GroupSpec(
+                    domain=domain,
+                    jobs=[(index, profile)],
+                    breaker=breakers.get(domain),
+                    lane_start=lane_elapsed.get(domain, 0.0),
+                ))
+
+        outcomes = thread_map(
+            lambda spec: self._run_group(spec, snapshot, base_time),
+            specs, self.workers)
+
+        # ordered merge: group order == job-index order, so every counter,
+        # float sum, and list below is schedule-invariant
         injector = self.fault_injector
-        slow_before = injector.injected[FaultKind.SLOW_RESPONSE] if injector else 0
-
-        counter = _SharedCounter()
-        done_this_call = 0
-        interrupted = False
-        while True:
-            index = counter.next()
-            if index >= len(jobs):
-                break
-            domain, profile = jobs[index]
-            key = (domain, profile.name)
-            if key in completed:
-                continue
-            if max_jobs is not None and done_this_call >= max_jobs:
-                interrupted = True
-                break
-            # worker assignment is a pure function of the job index, so a
-            # resumed crawl lands every job on the same worker as an
-            # uninterrupted one
-            worker_id = index % self.workers
-            result.worker_job_counts[worker_id] += 1
-            capture, retries, dead = self._run_job(
-                domain, profile, snapshot, breakers, result.health)
-            result.retries += retries
-            if dead is not None:
-                result.dead_letters.append(dead)
-            result.results[key] = CrawlResult(
-                domain=domain,
-                profile=profile.name,
-                snapshot=snapshot,
-                live=capture is not None,
-                capture=capture,
-                worker_id=worker_id,
-            )
-            completed.add(key)
-            done_this_call += 1
+        for outcome in outcomes:
+            for index, job_result in outcome.results:
+                key = (job_result.domain, job_result.profile)
+                result.worker_job_counts[job_result.worker_id] += 1
+                result.results[key] = job_result
+                completed.add(key)
+            result.retries += outcome.retries
+            result.dead_letters.extend(outcome.dead_letters)
+            result.health.merge(outcome.health)
+            if injector is not None:
+                injector.injected.update(outcome.injected)
+            breakers[outcome.domain] = outcome.breaker
+            lane_elapsed[outcome.domain] = outcome.lane_elapsed
 
         result.health.dead_letters = len(result.dead_letters)
         result.health.breaker_trips = sum(b.trips for b in breakers.values())
-        if injector is not None:
-            result.health.slow_responses += (
-                injector.injected[FaultKind.SLOW_RESPONSE] - slow_before)
         result.breaker_states = {
             domain: breaker.state_key()
             for domain, breaker in breakers.items()
             if breaker.state_key() != (CircuitBreaker.CLOSED, 0, None, 0)
         }
+        # the crawl pass ends when its slowest lane does
+        if lane_elapsed:
+            self.clock.advance_to(base_time + max(lane_elapsed.values()))
         if interrupted:
             result.complete = False
             result.checkpoint = CrawlCheckpoint(
@@ -445,6 +568,8 @@ class DistributedCrawler:
                 breakers=breakers,
                 health=result.health,
                 clock_time=self.clock.now(),
+                base_time=base_time,
+                lane_elapsed=dict(lane_elapsed),
             )
         return result
 

@@ -1,0 +1,215 @@
+"""Execution-engine tests: ordered maps, sharded scan, and the
+determinism contract — identical digests and verified domains for any
+worker count, with and without the capture cache, under faults, and
+across checkpoint/resume splits (DESIGN.md, "The execution engine's
+determinism contract")."""
+
+import pytest
+
+from repro.core import PipelineConfig, SquatPhi
+from repro.faults import FaultPlan
+from repro.perf import CaptureCache, PerfReport, process_map, shard, thread_map
+from repro.phishworld.world import WorldConfig, build_world
+from repro.squatting.detector import SquattingDetector
+
+
+# ----------------------------------------------------------------------
+# primitives
+# ----------------------------------------------------------------------
+
+class TestShard:
+    def test_consecutive_chunks_preserve_order(self):
+        assert shard(range(7), 3) == [[0, 1, 2], [3, 4, 5], [6]]
+
+    def test_exact_multiple(self):
+        assert shard([1, 2, 3, 4], 2) == [[1, 2], [3, 4]]
+
+    def test_empty(self):
+        assert shard([], 5) == []
+
+    def test_rejects_nonpositive_chunk(self):
+        with pytest.raises(ValueError):
+            shard([1], 0)
+
+
+class TestThreadMap:
+    def test_results_in_input_order(self):
+        items = list(range(40))
+        assert thread_map(lambda x: x * x, items, workers=4) == [x * x for x in items]
+
+    def test_serial_fallback_matches(self):
+        items = list(range(10))
+        assert thread_map(str, items, workers=1) == thread_map(str, items, workers=4)
+
+
+def _square_chunk(chunk):
+    return [x * x for x in chunk]
+
+
+class TestProcessMap:
+    def test_results_in_shard_order(self):
+        shards = shard(range(20), 3)
+        out = process_map(_square_chunk, shards, workers=2)
+        assert [x for chunk in out for x in chunk] == [x * x for x in range(20)]
+
+    def test_serial_fallback_runs_initializer(self):
+        called = []
+        out = process_map(lambda c: c, [[1]], workers=1,
+                          initializer=called.append, initargs=("init",))
+        assert out == [[1]] and called == ["init"]
+
+
+# ----------------------------------------------------------------------
+# sharded scan
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def small_world():
+    return build_world(WorldConfig(
+        seed=1803, n_organic_domains=120, n_squat_domains=120,
+        n_phish_domains=10, phishtank_reports=40,
+    ))
+
+
+class TestShardedScan:
+    def test_matches_serial_scan(self, small_world):
+        detector = SquattingDetector(small_world.catalog)
+        serial = detector.scan(small_world.zone)
+        parallel = detector.scan_sharded(small_world.zone, workers=2, chunk_size=37)
+        assert parallel == serial
+
+    def test_iter_scan_streams_same_matches(self, small_world):
+        detector = SquattingDetector(small_world.catalog)
+        assert list(detector.iter_scan(small_world.zone)) == detector.scan(small_world.zone)
+
+    def test_scan_counts_totals(self, small_world):
+        detector = SquattingDetector(small_world.catalog)
+        counts = detector.scan_counts(small_world.zone)
+        assert sum(counts.values()) == len(detector.scan(small_world.zone))
+
+
+# ----------------------------------------------------------------------
+# pipeline determinism across workers / cache / faults
+# ----------------------------------------------------------------------
+
+def _world():
+    return build_world(WorldConfig(
+        seed=1803, n_organic_domains=120, n_squat_domains=120,
+        n_phish_domains=10, phishtank_reports=40,
+    ))
+
+
+def _run(crawl_workers, capture_cache, fault_rate=0.0):
+    config = PipelineConfig(
+        cv_folds=3, rf_trees=8,
+        crawl_workers=crawl_workers,
+        capture_cache=capture_cache,
+        fault_plan=(FaultPlan.uniform(fault_rate, seed=7)
+                    if fault_rate else None),
+    )
+    pipeline = SquatPhi(_world(), config)
+    result = pipeline.run(follow_up_snapshots=False)
+    return pipeline, result
+
+
+class TestDeterminismContract:
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        return {
+            (workers, cache): _run(workers, cache)
+            for workers in (1, 4) for cache in (True, False)
+        }
+
+    def test_digest_invariant_across_workers_and_cache(self, matrix):
+        digests = {r.crawl_snapshots[0].digest() for _, r in matrix.values()}
+        assert len(digests) == 1
+
+    def test_verified_domains_invariant(self, matrix):
+        verified = {tuple(r.verified_domains()) for _, r in matrix.values()}
+        assert len(verified) == 1
+
+    def test_health_invariant(self, matrix):
+        healths = {repr(sorted(r.health.to_dict().items()))
+                   for _, r in matrix.values()}
+        assert len(healths) == 1
+
+    def test_cache_hits_only_when_enabled(self, matrix):
+        for (workers, cache), (pipeline, _) in matrix.items():
+            stats = pipeline.perf.cache
+            if cache:
+                assert stats.any_hits
+                assert stats.render_bypasses == 0
+            else:
+                assert not stats.any_hits
+                assert stats.render_bypasses > 0
+
+
+class TestDeterminismUnderFaults:
+    def test_digest_and_output_invariant_at_20pct(self):
+        runs = [_run(workers, cache, fault_rate=0.2)
+                for workers in (1, 4) for cache in (True, False)]
+        digests = {r.crawl_snapshots[0].digest() for _, r in runs}
+        verified = {tuple(r.verified_domains()) for _, r in runs}
+        injected = {repr(sorted(r.injected_faults.items())) for _, r in runs}
+        assert len(digests) == 1
+        assert len(verified) == 1
+        assert len(injected) == 1
+
+
+class TestParallelResume:
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_interrupted_parallel_crawl_resumes_to_identical_digest(self, workers):
+        world_a = _world()
+        config = PipelineConfig(
+            cv_folds=3, rf_trees=8, crawl_workers=workers,
+            fault_plan=FaultPlan.uniform(0.2, seed=7),
+        )
+        pipeline_a = SquatPhi(world_a, config)
+        matches = pipeline_a.detect_squatting()
+        domains = [m.domain for m in matches]
+        uninterrupted = pipeline_a.crawl_domains(domains, snapshot=0)
+
+        pipeline_b = SquatPhi(_world(), config)
+        partial = pipeline_b.crawl_domains(domains, snapshot=0, max_jobs=31)
+        assert not partial.complete
+        resumed = pipeline_b.crawl_domains(
+            domains, snapshot=0, resume=partial.checkpoint)
+        assert resumed.complete
+        assert resumed.digest() == uninterrupted.digest()
+
+    def test_resume_digest_invariant_across_worker_counts(self):
+        digests = set()
+        config_matches = None
+        for workers in (1, 2, 4, 8):
+            config = PipelineConfig(
+                cv_folds=3, rf_trees=8, crawl_workers=workers,
+                fault_plan=FaultPlan.uniform(0.2, seed=7),
+            )
+            pipeline = SquatPhi(_world(), config)
+            if config_matches is None:
+                config_matches = [m.domain for m in pipeline.detect_squatting()]
+            partial = pipeline.crawl_domains(config_matches, snapshot=0, max_jobs=17)
+            final = pipeline.crawl_domains(
+                config_matches, snapshot=0, resume=partial.checkpoint)
+            digests.add(final.digest())
+        assert len(digests) == 1
+
+
+class TestPerfReport:
+    def test_stage_seconds_accumulate(self):
+        report = PerfReport()
+        report.record_stage("crawl", 1.5)
+        report.record_stage("crawl", 0.5)
+        assert report.stage_seconds["crawl"] == pytest.approx(2.0)
+        assert report.total_seconds == pytest.approx(2.0)
+
+    def test_pipeline_fills_report(self):
+        pipeline, _ = _run(1, True)
+        assert set(pipeline.perf.stage_seconds) >= {"scan", "crawl", "train"}
+        assert pipeline.perf.cache_enabled
+        assert pipeline.perf.to_dict()["cache"]["render_hits"] > 0
+
+    def test_format_mentions_bypasses_when_disabled(self):
+        report = PerfReport(cache_enabled=False)
+        report.cache.render_bypasses = 3
+        assert "bypassed" in report.format()
