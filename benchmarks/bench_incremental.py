@@ -1,0 +1,134 @@
+"""Incremental re-execution: the artifact store must buy real wall-clock.
+
+The paper's measurement is longitudinal — the same scan/crawl corpus gets
+re-analysed as the classifier and verification evolve (§6.1 proposes
+exactly this feedback loop).  The stage-graph runner makes that cheap: a
+re-run against a persistent :class:`ArtifactStore` reuses every stage
+whose fingerprint (code, config slice, input digests) is unchanged.  This
+bench measures three walks over one store:
+
+* **fresh** — a cold store, every stage executes;
+* **resume** — identical config, everything served from the store;
+* **retrain** — ``from_stage="train"``: scan/crawl/ground-truth artifacts
+  are reused, the model half of the pipeline re-executes.
+
+It asserts the determinism contract (byte-identical crawl digests and
+verified domains across all three), that the reused stages really were
+skipped (``PerfReport.cached_stages`` + manifest ``cached`` flags), and —
+at default scale — that the retrain-only walk is measurably faster than
+the fresh one.  A ``BENCH_incremental.json`` summary is written; CI runs
+the smoke scale and archives it.
+
+Environment knobs:
+    INCREMENTAL_BENCH_SCALE  "default" (300-squat world, speedup floor
+                             asserted) or "smoke" (tiny world, reuse +
+                             determinism assertions only).
+    INCREMENTAL_BENCH_OUT    summary path (default: BENCH_incremental.json).
+"""
+
+import json
+import os
+import tempfile
+import time
+
+from repro.analysis.render import table
+from repro.core import PipelineConfig, SquatPhi
+from repro.phishworld.world import WorldConfig, build_world
+from repro.stages import ArtifactStore
+
+from exhibits import print_exhibit
+
+SCALE = os.environ.get("INCREMENTAL_BENCH_SCALE", "default")
+OUT_PATH = os.environ.get("INCREMENTAL_BENCH_OUT", "BENCH_incremental.json")
+
+if SCALE == "smoke":
+    WORLD = dict(n_organic_domains=80, n_squat_domains=80,
+                 n_phish_domains=8, phishtank_reports=30)
+    SPEEDUP_FLOOR = None  # too small to time meaningfully
+else:
+    WORLD = dict(n_organic_domains=300, n_squat_domains=300,
+                 n_phish_domains=25, phishtank_reports=100)
+    SPEEDUP_FLOOR = 1.2
+
+EXECUTED_STAGES = ("scan", "crawl", "ground_truth", "train",
+                   "classify", "verify", "evasion")
+REUSED_ON_RETRAIN = ("scan", "crawl", "ground_truth")
+
+
+def _make_pipeline():
+    world = build_world(WorldConfig(seed=1803, **WORLD))
+    return SquatPhi(world, PipelineConfig(cv_folds=5, rf_trees=15))
+
+
+def _walk(store, label, **run_kwargs):
+    """One pipeline walk against the shared store; returns a summary row."""
+    pipeline = _make_pipeline()
+    started = time.perf_counter()
+    result = pipeline.run(follow_up_snapshots=False, store=store,
+                          **run_kwargs)
+    elapsed = time.perf_counter() - started
+    return {
+        "walk": label,
+        "run_id": result.run_id,
+        "seconds": round(elapsed, 3),
+        "crawl_digest": result.crawl_snapshots[0].digest(),
+        "verified_domains": result.verified_domains(),
+        "cached_stages": sorted(pipeline.perf.cached_stages),
+        "executed_stages": sorted(pipeline.perf.stage_seconds),
+        "manifest_cached": sorted(pipeline.last_manifest.cached_stages()),
+    }
+
+
+def test_incremental_rerun():
+    with tempfile.TemporaryDirectory() as store_dir:
+        store = ArtifactStore(store_dir)
+        fresh = _walk(store, "fresh")
+        resume = _walk(store, "resume", resume=fresh["run_id"])
+        retrain = _walk(store, "retrain", resume=fresh["run_id"],
+                        from_stage="train")
+
+    rows = [fresh, resume, retrain]
+    print_exhibit(
+        "Incremental re-runs - one artifact store, three walks",
+        table(
+            ["walk", "seconds", "cached stages", "executed stages"],
+            [[r["walk"], f"{r['seconds']:.2f}",
+              ",".join(r["cached_stages"]) or "-",
+              ",".join(r["executed_stages"]) or "-"]
+             for r in rows],
+        ),
+    )
+
+    speedup = fresh["seconds"] / max(retrain["seconds"], 1e-9)
+    summary = {
+        "bench": "incremental",
+        "scale": SCALE,
+        "world": WORLD,
+        "walks": rows,
+        "speedup_retrain_vs_fresh": round(speedup, 3),
+    }
+    with open(OUT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(summary, handle, indent=2)
+    print(f"\nwrote {OUT_PATH} (retrain-only speedup: {speedup:.2f}x)")
+
+    # determinism contract: all three walks produced identical bytes
+    assert len({r["crawl_digest"] for r in rows}) == 1, \
+        "crawl digests diverged across fresh/resume/retrain walks"
+    assert len({tuple(r["verified_domains"]) for r in rows}) == 1, \
+        "verified domains diverged across fresh/resume/retrain walks"
+
+    # the reuse actually happened, visible in both perf and the manifest
+    assert fresh["cached_stages"] == []
+    assert fresh["executed_stages"] == sorted(EXECUTED_STAGES)
+    assert resume["cached_stages"] == sorted(EXECUTED_STAGES)
+    assert resume["executed_stages"] == []
+    assert retrain["cached_stages"] == sorted(REUSED_ON_RETRAIN)
+    assert retrain["manifest_cached"] == sorted(REUSED_ON_RETRAIN)
+    for stage in ("train", "classify", "verify", "evasion"):
+        assert stage in retrain["executed_stages"]
+
+    # reusing scan+crawl+ground_truth must be measurably faster end to
+    # end (skipped at smoke scale, where runs are too short to time)
+    if SPEEDUP_FLOOR is not None:
+        assert speedup >= SPEEDUP_FLOOR, \
+            f"expected >= {SPEEDUP_FLOOR}x, measured {speedup:.2f}x"

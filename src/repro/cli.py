@@ -18,6 +18,7 @@ code, so the test suite drives them directly.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections import Counter
 from typing import List, Optional, Sequence
@@ -145,6 +146,7 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
     from repro.core import PipelineConfig, SquatPhi
     from repro.faults import FaultPlan
     from repro.phishworld.world import WorldConfig, build_world
+    from repro.stages import ArtifactStore
 
     if not 0.0 <= args.fault_rate < 1.0:
         print("error: --fault-rate must be in [0, 1)", file=sys.stderr)
@@ -154,6 +156,9 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
         return 2
     if args.scan_workers < 1 or args.crawl_workers < 1:
         print("error: worker counts must be >= 1", file=sys.stderr)
+        return 2
+    if args.resume and not args.store:
+        print("error: --resume requires --store", file=sys.stderr)
         return 2
 
     config = WorldConfig(
@@ -175,8 +180,24 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
         capture_cache=not args.no_capture_cache,
     )
     pipeline = SquatPhi(world, pipeline_config)
-    result = pipeline.run(follow_up_snapshots=False)
+    store = ArtifactStore(args.store) if args.store else None
+    try:
+        result = pipeline.run(follow_up_snapshots=False, store=store,
+                              resume=args.resume, from_stage=args.from_stage)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
+    if args.json:
+        # machine-readable summary only; wall-clock still goes to stderr
+        print(json.dumps(result.summary(), indent=2, sort_keys=True))
+        timings = pipeline.perf.format_timings()
+        if timings:
+            print(timings, file=sys.stderr)
+        return 0
+
+    if args.store:
+        print(f"run id: {result.run_id} (store: {args.store})\n")
     print(table(
         ["model", "FP", "FN", "AUC", "ACC"],
         [[name, f"{r.false_positive_rate:.3f}", f"{r.false_negative_rate:.3f}",
@@ -270,6 +291,19 @@ def build_parser() -> argparse.ArgumentParser:
     pipeline.add_argument("--no-capture-cache", action="store_true",
                           help="disable the content-addressed render/OCR "
                                "cache (results are identical either way)")
+    pipeline.add_argument("--store", metavar="DIR",
+                          help="persist artifacts + run manifests here "
+                               "(enables --resume across processes)")
+    pipeline.add_argument("--resume", metavar="RUN_ID",
+                          help="resume/incrementally re-execute a prior run "
+                               "from --store; unchanged stages are loaded "
+                               "instead of recomputed")
+    pipeline.add_argument("--from-stage", metavar="NAME",
+                          help="with --resume, force NAME and every stage "
+                               "downstream of it to re-execute")
+    pipeline.add_argument("--json", action="store_true",
+                          help="emit the machine-readable run summary as "
+                               "JSON on stdout instead of the tables")
     pipeline.set_defaults(func=cmd_pipeline)
 
     return parser

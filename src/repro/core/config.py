@@ -25,6 +25,11 @@ class PipelineConfig:
     # crawl
     crawl_workers: int = 20
     snapshots: int = 4
+    # Persist a partial crawl checkpoint to the artifact store every N
+    # completed jobs (None = only on explicit interruption).  Purely an
+    # execution knob: slicing a crawl never changes its snapshot digest,
+    # so it is deliberately excluded from stage config slices.
+    checkpoint_interval: Optional[int] = None
 
     # execution engine (repro.perf): process-pool width for the snapshot
     # scan and the content-addressed render/OCR/feature cache.  Neither

@@ -17,10 +17,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from repro.core.pipeline import SquatPhi
 from repro.dns.zone import ZoneStore
-from repro.faults.errors import FaultError
 from repro.squatting.detector import SquattingDetector
 from repro.squatting.types import SquatMatch
-from repro.web.browser import Browser
 from repro.web.http import MOBILE_UA, WEB_UA
 
 
@@ -103,18 +101,12 @@ class BrandMonitor:
         score: Optional[float] = None
         live = False
         degraded = False
-        injector = self.pipeline.fault_injector
         for user_agent in (WEB_UA, MOBILE_UA):
-            browser = Browser(self.pipeline.world.host, user_agent,
-                              fault_injector=injector,
-                              capture_cache=self.pipeline.capture_cache)
-            try:
-                self.pipeline.world.zone.resolve(match.domain)
-                capture = browser.visit(f"http://{match.domain}/")
-            except FaultError:
+            capture, faulted = self.pipeline.assess_page(
+                match.domain, user_agent, stage="monitor_assess")
+            if faulted:
                 degraded = True
                 self.degraded_visits += 1
-                self.pipeline.health.record_degraded("monitor_assess")
                 continue
             if capture is None:
                 continue

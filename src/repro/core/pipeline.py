@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-import time
+import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -28,6 +28,22 @@ from repro.ocr.engine import OCREngine
 from repro.phishworld.marketplace import classify_redirect
 from repro.phishworld.world import SyntheticInternet
 from repro.squatting.detector import SquattingDetector
+from repro.stages import (
+    ArtifactStore,
+    RunManifest,
+    Stage,
+    StageContext,
+    StageGraph,
+    StageRunner,
+    digest_crawl_snapshot,
+    digest_crawl_snapshots,
+    digest_cv_reports,
+    digest_detections,
+    digest_evasion,
+    digest_ground_truth,
+    digest_squat_matches,
+    digest_verified,
+)
 from repro.squatting.types import SquatMatch, SquatType
 from repro.web.browser import Browser, PageCapture
 from repro.web.crawler import CrawlCheckpoint, CrawlSnapshot, DistributedCrawler
@@ -57,6 +73,9 @@ class WildDetection:
     profile: str                    # web | mobile
     score: float
     capture: PageCapture
+    # extracted once at classification time and carried along, so
+    # feedback retraining never pays for (or depends on) re-extraction
+    features: Optional[PageFeatures] = None
 
 
 @dataclass
@@ -83,6 +102,9 @@ class PipelineResult:
     evasion_reported: List[EvasionMeasurement]
     health: CrawlHealth = field(default_factory=CrawlHealth)
     injected_faults: Dict[str, int] = field(default_factory=dict)
+    # execution metadata (never part of determinism comparisons)
+    run_id: str = field(default="", compare=False)
+    perf: Optional[PerfReport] = field(default=None, compare=False)
 
     def verified_domains(self) -> List[str]:
         return sorted({v.domain for v in self.verified})
@@ -92,6 +114,41 @@ class PipelineResult:
 
     def verified_by_profile(self, profile: str) -> List[VerifiedPhish]:
         return [v for v in self.verified if profile in v.profiles]
+
+    def summary(self) -> Dict[str, Any]:
+        """Machine-readable run summary (the CLI's ``--json`` payload).
+
+        Everything except the ``perf`` block is deterministic for a given
+        world + config, so two runs' summaries can be diffed directly.
+        """
+        data: Dict[str, Any] = {
+            "run_id": self.run_id,
+            "counts": {
+                "squat_matches": len(self.squat_matches),
+                "crawl_snapshots": len(self.crawl_snapshots),
+                "ground_truth": len(self.ground_truth),
+                "flagged": len(self.flagged),
+                "verified": len(self.verified),
+                "evasion_squatting": len(self.evasion_squatting),
+                "evasion_reported": len(self.evasion_reported),
+            },
+            "verified_domains": self.verified_domains(),
+            "snapshot_digests": [s.digest() for s in self.crawl_snapshots],
+            "cv_reports": {
+                name: {
+                    "false_positive_rate": round(r.false_positive_rate, 6),
+                    "false_negative_rate": round(r.false_negative_rate, 6),
+                    "auc": round(r.auc, 6),
+                    "accuracy": round(r.accuracy, 6),
+                }
+                for name, r in sorted(self.cv_reports.items())
+            },
+            "health": self.health.to_dict(),
+            "injected_faults": dict(sorted(self.injected_faults.items())),
+        }
+        if self.perf is not None:
+            data["perf"] = self.perf.to_dict()
+        return data
 
 
 class SquatPhi:
@@ -134,6 +191,9 @@ class SquatPhi:
         self.embedder: Optional[FeatureEmbedder] = None
         self.model = None
         self._original_shots: Dict[str, "np.ndarray"] = {}
+        # filled in by run(): id + manifest of the latest stage-graph walk
+        self.run_id: Optional[str] = None
+        self.last_manifest: Optional[RunManifest] = None
 
     # ------------------------------------------------------------------
     # resilience helpers
@@ -156,6 +216,30 @@ class SquatPhi:
             self.health.record_failure(fault.kind)
             self.health.record_degraded(stage)
             return None
+
+    def assess_page(
+        self,
+        domain: str,
+        user_agent,
+        stage: str = "monitor_assess",
+    ) -> Tuple[Optional[PageCapture], bool]:
+        """Resolve and visit one page on behalf of a monitoring consumer.
+
+        Returns ``(capture, faulted)``.  A fault degrades ``stage`` in the
+        health report (the visit sits outside the crawler's retry loop, so
+        it is a degraded assessment, not a crawl failure) and yields
+        ``(None, True)``; a dead-but-healthy domain yields ``(None,
+        False)``.  :class:`~repro.core.monitor.BrandMonitor` consumes this
+        instead of wiring browsers to the pipeline's internals itself.
+        """
+        browser = self._make_browser(user_agent)
+        try:
+            self.world.zone.resolve(domain)
+            capture = browser.visit(f"http://{domain}/")
+        except FaultError:
+            self.health.record_degraded(stage)
+            return None, True
+        return capture, False
 
     # ------------------------------------------------------------------
     # stage 1: squatting detection
@@ -347,13 +431,16 @@ class SquatPhi:
         self.model = self._make_model(self.config.classifier).fit(x, labels)
         return reports
 
-    def classify_capture(self, capture: PageCapture) -> float:
-        """Phishing score of one crawled page."""
+    def score_features(self, features: PageFeatures) -> float:
+        """Phishing score of already-extracted page features."""
         if self.model is None or self.embedder is None:
             raise RuntimeError("pipeline is not trained; call train() first")
-        features = self.extractor.extract_capture(capture)
         vector = self.embedder.transform([features])
         return float(self.model.predict_proba(vector)[0])
+
+    def classify_capture(self, capture: PageCapture) -> float:
+        """Phishing score of one crawled page."""
+        return self.score_features(self.extractor.extract_capture(capture))
 
     # ------------------------------------------------------------------
     # stage 5: wild detection + verification
@@ -373,7 +460,8 @@ class SquatPhi:
                     continue
                 if result.redirected:
                     continue  # redirects land on someone else's content
-                score = self.classify_capture(result.capture)
+                features = self.extractor.extract_capture(result.capture)
+                score = self.score_features(features)
                 if score >= self.config.decision_threshold:
                     flagged.append(WildDetection(
                         domain=result.domain,
@@ -382,6 +470,7 @@ class SquatPhi:
                         profile=profile,
                         score=score,
                         capture=result.capture,
+                        features=features,
                     ))
         return flagged
 
@@ -502,7 +591,12 @@ class SquatPhi:
             if key in seen:
                 continue
             seen.add(key)
-            features = self.extractor.extract_capture(detection.capture)
+            # detection already carries the features it was scored on;
+            # falling back to the extractor (which itself consults the
+            # capture cache) only for detections built by older callers
+            features = detection.features
+            if features is None:
+                features = self.extractor.extract_capture(detection.capture)
             augmented.append(GroundTruthPage(
                 domain=detection.domain,
                 brand=detection.brand,
@@ -515,42 +609,130 @@ class SquatPhi:
         return self.train(augmented)
 
     # ------------------------------------------------------------------
-    # the whole thing
+    # the stage graph (what `run` executes)
     # ------------------------------------------------------------------
-    def _timed(self, stage: str, fn, *args, **kwargs):
-        """Run one stage, charging its wall-clock time to the perf report."""
-        started = time.perf_counter()
-        try:
-            return fn(*args, **kwargs)
-        finally:
-            self.perf.record_stage(stage, time.perf_counter() - started)
+    # Config-field slices per stage: only the fields that can change a
+    # stage's *results* participate in its fingerprint.  Throughput knobs
+    # (scan_workers, crawl_workers, capture_cache, checkpoint_interval)
+    # are deliberately absent — the determinism contract guarantees they
+    # cannot change artifacts, so they must not invalidate them.
+    _RESILIENCE_FIELDS = (
+        "fault_plan", "crawl_max_retries", "backoff_base_delay",
+        "backoff_max_delay", "backoff_jitter",
+        "breaker_failure_threshold", "breaker_reset_timeout",
+    )
+    _EXTRACTION_FIELDS = ("use_ocr", "use_spellcheck", "ocr_error_rate")
 
-    def run(self, follow_up_snapshots: bool = True) -> PipelineResult:
-        """Execute all stages; returns the material behind every exhibit."""
-        squat_matches = self._timed("scan", self.detect_squatting)
-        squat_domains = [m.domain for m in squat_matches]
+    def _crawl_checkpointed(
+        self,
+        domains: Sequence[str],
+        snapshot: int,
+        ctx: StageContext,
+        resume: Optional[CrawlCheckpoint],
+        on_checkpoint,
+    ) -> CrawlSnapshot:
+        """One complete crawl pass whose checkpoints flow into the store."""
+        crawler = self.make_crawler()
+        result = crawler.crawl_incremental(
+            domains,
+            snapshot=snapshot,
+            resume=resume,
+            interval=self.config.checkpoint_interval,
+            on_checkpoint=on_checkpoint,
+        )
+        self.health.merge(result.health)
+        return result
 
-        first_crawl = self._timed(
-            "crawl", self.crawl_domains, squat_domains, snapshot=0)
+    def _injected_snapshot(self) -> Optional[Dict[str, int]]:
+        """Run-level injected-fault tally, for crawl partial payloads.
 
-        ground_truth = self._timed(
-            "ground_truth", self.collect_ground_truth, squat_matches)
-        cv_reports = self._timed("train", self.train, ground_truth)
+        The crawl checkpoint carries its own health, but fault injections
+        are tallied on the run-level injector — a process killed mid-crawl
+        would lose them, so partials save the tally and resume restores it.
+        """
+        if self.fault_injector is None:
+            return None
+        return dict(self.fault_injector.injected)
 
-        flagged = self._timed(
-            "classify", self.detect_in_wild, squat_matches, first_crawl)
-        verified = self.verify(flagged)
+    def _restore_injected(self, saved: Optional[Dict[str, int]]) -> None:
+        if saved is None or self.fault_injector is None:
+            return
+        for kind, count in saved.items():
+            if count > self.fault_injector.injected.get(kind, 0):
+                self.fault_injector.injected[kind] = count
 
-        snapshots = [first_crawl]
-        if follow_up_snapshots:
-            verified_domains = [v.domain for v in verified]
-            for snapshot in range(1, self.config.snapshots):
-                snapshots.append(self._timed(
-                    "crawl", self.crawl_domains, verified_domains,
-                    snapshot=snapshot))
+    def _stage_scan(self, inputs: Dict[str, Any], ctx: StageContext) -> Dict[str, Any]:
+        return {"squat_matches": self.detect_squatting()}
 
-        verified_set = {v.domain for v in verified}
-        evasion_started = time.perf_counter()
+    def _stage_crawl(self, inputs: Dict[str, Any], ctx: StageContext) -> Dict[str, Any]:
+        domains = [m.domain for m in inputs["squat_matches"]]
+        checkpoint: Optional[CrawlCheckpoint] = None
+        partial = ctx.partial()
+        if partial is not None:
+            checkpoint = partial["checkpoint"]
+            self.clock.advance_to(partial["clock"])
+            self._restore_injected(partial.get("injected"))
+
+        def on_checkpoint(ckpt: CrawlCheckpoint) -> None:
+            ctx.save_partial({"checkpoint": ckpt, "clock": self.clock.now(),
+                              "injected": self._injected_snapshot()})
+
+        result = self._crawl_checkpointed(
+            domains, snapshot=0, ctx=ctx, resume=checkpoint,
+            on_checkpoint=on_checkpoint)
+        return {"crawl0": result}
+
+    def _stage_ground_truth(self, inputs: Dict[str, Any], ctx: StageContext) -> Dict[str, Any]:
+        return {"ground_truth": self.collect_ground_truth(inputs["squat_matches"])}
+
+    def _stage_train(self, inputs: Dict[str, Any], ctx: StageContext) -> Dict[str, Any]:
+        reports = self.train(inputs["ground_truth"])
+        return {"cv_reports": reports, "model": (self.embedder, self.model)}
+
+    def _stage_classify(self, inputs: Dict[str, Any], ctx: StageContext) -> Dict[str, Any]:
+        # install the model artifact: when `train` was served from the
+        # store this is the only place the trained pair reaches the run
+        self.embedder, self.model = inputs["model"]
+        flagged = self.detect_in_wild(inputs["squat_matches"], inputs["crawl0"])
+        return {"flagged": flagged}
+
+    def _stage_verify(self, inputs: Dict[str, Any], ctx: StageContext) -> Dict[str, Any]:
+        return {"verified": self.verify(inputs["flagged"])}
+
+    def _stage_follow_ups(self, inputs: Dict[str, Any], ctx: StageContext) -> Dict[str, Any]:
+        domains = [v.domain for v in inputs["verified"]]
+        done: List[CrawlSnapshot] = []
+        next_snapshot = 1
+        checkpoint: Optional[CrawlCheckpoint] = None
+        partial = ctx.partial()
+        if partial is not None:
+            done = list(partial["done"])
+            next_snapshot = partial["snapshot"]
+            checkpoint = partial["checkpoint"]
+            self.clock.advance_to(partial["clock"])
+            self._restore_injected(partial.get("injected"))
+        for snapshot in range(next_snapshot, self.config.snapshots):
+
+            def on_checkpoint(ckpt: CrawlCheckpoint, _snapshot: int = snapshot) -> None:
+                ctx.save_partial({"done": done, "snapshot": _snapshot,
+                                  "checkpoint": ckpt,
+                                  "clock": self.clock.now(),
+                                  "injected": self._injected_snapshot()})
+
+            done.append(self._crawl_checkpointed(
+                domains, snapshot=snapshot, ctx=ctx, resume=checkpoint,
+                on_checkpoint=on_checkpoint))
+            checkpoint = None
+            if snapshot + 1 < self.config.snapshots:
+                ctx.save_partial({"done": done, "snapshot": snapshot + 1,
+                                  "checkpoint": None,
+                                  "clock": self.clock.now(),
+                                  "injected": self._injected_snapshot()})
+        return {"follow_ups": done}
+
+    def _stage_evasion(self, inputs: Dict[str, Any], ctx: StageContext) -> Dict[str, Any]:
+        flagged = inputs["flagged"]
+        verified_set = {v.domain for v in inputs["verified"]}
         evasion_squatting = self.measure_evasion_for([
             (d.domain, d.brand, d.capture)
             for d in flagged
@@ -566,18 +748,132 @@ class SquatPhi:
             if capture is not None:
                 reported_items.append((report.domain, report.brand, capture))
         evasion_reported = self.measure_evasion_for(reported_items)
-        self.perf.record_stage("evasion", time.perf_counter() - evasion_started)
+        return {"evasion_squatting": evasion_squatting,
+                "evasion_reported": evasion_reported}
 
+    def build_graph(self, follow_up_snapshots: bool = True) -> StageGraph:
+        """The pipeline as an explicit stage DAG (declared in run order)."""
+        stages = [
+            Stage(name="scan", compute=self._stage_scan,
+                  outputs=("squat_matches",),
+                  digesters={"squat_matches": digest_squat_matches}),
+            Stage(name="crawl", compute=self._stage_crawl,
+                  inputs=("squat_matches",), outputs=("crawl0",),
+                  config_fields=self._RESILIENCE_FIELDS,
+                  digesters={"crawl0": digest_crawl_snapshot}),
+            Stage(name="ground_truth", compute=self._stage_ground_truth,
+                  inputs=("squat_matches",), outputs=("ground_truth",),
+                  config_fields=("fault_plan", "annotation_seed",
+                                 "phish_mislabel_rate", "benign_mislabel_rate",
+                                 "verification_seed") + self._EXTRACTION_FIELDS,
+                  digesters={"ground_truth": digest_ground_truth}),
+            Stage(name="train", compute=self._stage_train,
+                  inputs=("ground_truth",), outputs=("cv_reports", "model"),
+                  config_fields=("classifier", "decision_threshold",
+                                 "cv_folds", "rf_trees", "rf_max_depth",
+                                 "knn_k", "embedding"),
+                  digesters={"cv_reports": digest_cv_reports}),
+            Stage(name="classify", compute=self._stage_classify,
+                  inputs=("squat_matches", "crawl0", "model"),
+                  outputs=("flagged",),
+                  config_fields=("decision_threshold",
+                                 "fault_plan") + self._EXTRACTION_FIELDS,
+                  digesters={"flagged": digest_detections}),
+            Stage(name="verify", compute=self._stage_verify,
+                  inputs=("flagged",), outputs=("verified",),
+                  config_fields=("verification_mode", "reviewer_error_rate",
+                                 "crowd_size", "crowd_votes_per_item",
+                                 "verification_seed"),
+                  digesters={"verified": digest_verified}),
+        ]
+        if follow_up_snapshots:
+            stages.append(Stage(
+                name="follow_ups", compute=self._stage_follow_ups,
+                inputs=("verified",), outputs=("follow_ups",),
+                config_fields=("snapshots",) + self._RESILIENCE_FIELDS,
+                digesters={"follow_ups": digest_crawl_snapshots}))
+        stages.append(Stage(
+            name="evasion", compute=self._stage_evasion,
+            inputs=("flagged", "verified"),
+            outputs=("evasion_squatting", "evasion_reported"),
+            config_fields=("fault_plan",),
+            digesters={"evasion_squatting": digest_evasion,
+                       "evasion_reported": digest_evasion}))
+        return StageGraph(stages)
+
+    def context_digest(self) -> str:
+        """Digest of the world universe this pipeline measures.
+
+        Stored in every run manifest; the runner refuses to resume a
+        manifest recorded against a different world.
+        """
+        return hashlib.sha256(repr(self.world.config).encode()).hexdigest()
+
+    # ------------------------------------------------------------------
+    # the whole thing
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        follow_up_snapshots: bool = True,
+        store: Optional[ArtifactStore] = None,
+        run_id: Optional[str] = None,
+        resume: Optional[str] = None,
+        from_stage: Optional[str] = None,
+        stop_after: Optional[str] = None,
+    ) -> Optional[PipelineResult]:
+        """Execute the stage graph; returns the material behind every exhibit.
+
+        Args:
+            store: persistent :class:`ArtifactStore` (defaults to a
+                private in-memory store, i.e. classic single-shot runs).
+            run_id: manifest id for this run (auto-allocated when omitted).
+            resume: run id of a previous manifest in ``store``; stages
+                whose fingerprints still match are served from the store.
+            from_stage: force this stage and everything downstream of it
+                to re-execute even when fingerprints match.
+            stop_after: end the walk after the named stage completes and
+                return ``None`` (the manifest is saved — used to model a
+                killed process at stage granularity).
+        """
+        graph = self.build_graph(follow_up_snapshots)
+        if store is None:
+            store = ArtifactStore()
+        previous: Optional[RunManifest] = None
+        if resume is not None:
+            previous = store.load_manifest(resume)
+        runner = StageRunner(
+            graph,
+            store=store,
+            config=self.config,
+            run_id=run_id,
+            previous=previous,
+            from_stage=from_stage,
+            perf=self.perf,
+            health=self.health,
+            injected=(self.fault_injector.injected
+                      if self.fault_injector else None),
+            clock=self.clock,
+            context_digest=self.context_digest(),
+        )
+        self.run_id = runner.run_id
+        outcome = runner.run(stop_after=stop_after)
+        self.last_manifest = outcome.manifest
+        if outcome.interrupted:
+            return None
+        payloads = outcome.payloads()
+        snapshots = [payloads["crawl0"]] + list(payloads.get("follow_ups", []))
         return PipelineResult(
-            squat_matches=squat_matches,
+            squat_matches=payloads["squat_matches"],
             crawl_snapshots=snapshots,
-            ground_truth=ground_truth,
-            cv_reports=cv_reports,
-            flagged=flagged,
-            verified=verified,
-            evasion_squatting=evasion_squatting,
-            evasion_reported=evasion_reported,
+            ground_truth=payloads["ground_truth"],
+            cv_reports=payloads["cv_reports"],
+            flagged=payloads["flagged"],
+            verified=payloads["verified"],
+            evasion_squatting=payloads["evasion_squatting"],
+            evasion_reported=payloads["evasion_reported"],
             health=self.health,
             injected_faults=(self.fault_injector.counts()
                              if self.fault_injector else {}),
+            run_id=runner.run_id,
+            perf=self.perf,
         )

@@ -11,7 +11,7 @@ them participate in snapshot digests or determinism checks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List
 
 
 @dataclass
@@ -89,6 +89,8 @@ class PerfReport:
         crawl_workers: thread-pool width used for crawl dispatch.
         cache_enabled: whether the capture cache was active.
         stage_seconds: wall-clock seconds per pipeline stage.
+        cached_stages: stages served from the artifact store instead of
+            executing (incremental re-runs); they charge no wall clock.
         cache: the run's :class:`CacheStats` (shared with the cache object,
             so it is always current).
     """
@@ -97,11 +99,17 @@ class PerfReport:
     crawl_workers: int = 1
     cache_enabled: bool = True
     stage_seconds: Dict[str, float] = field(default_factory=dict)
+    cached_stages: List[str] = field(default_factory=list)
     cache: CacheStats = field(default_factory=CacheStats)
 
     def record_stage(self, stage: str, seconds: float) -> None:
         """Accumulate wall-clock time for a named stage."""
         self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
+
+    def record_cached_stage(self, stage: str) -> None:
+        """Note a stage whose artifacts were loaded instead of computed."""
+        if stage not in self.cached_stages:
+            self.cached_stages.append(stage)
 
     @property
     def total_seconds(self) -> float:
@@ -115,6 +123,7 @@ class PerfReport:
             "stage_seconds": {k: round(v, 4)
                               for k, v in sorted(self.stage_seconds.items())},
             "total_seconds": round(self.total_seconds, 4),
+            "cached_stages": list(self.cached_stages),
             "cache": self.cache.to_dict(),
         }
 
@@ -159,10 +168,12 @@ class PerfReport:
 
     def format_timings(self) -> str:
         """The wall-clock block alone ("" when no stage ran)."""
-        if not self.stage_seconds:
+        if not self.stage_seconds and not self.cached_stages:
             return ""
         lines = ["perf timings (wall clock)"]
         for stage, seconds in sorted(self.stage_seconds.items()):
             lines.append(f"  {stage}: {seconds:.2f}s")
+        for stage in self.cached_stages:
+            lines.append(f"  {stage}: cached (artifact store)")
         lines.append(f"  total: {self.total_seconds:.2f}s")
         return "\n".join(lines)

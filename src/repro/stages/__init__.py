@@ -1,0 +1,70 @@
+"""Stage-graph pipeline architecture: persistent, resumable, incremental.
+
+The paper's measurement is a staged, longitudinal process (§3, §7): scan
+a DNS snapshot, crawl the candidates, train, classify, verify, then keep
+re-crawling the verified set over later snapshots.  This package turns
+that process into an explicit, re-executable graph:
+
+* :mod:`repro.stages.graph` — the :class:`Stage` protocol (name, typed
+  inputs/outputs, declared dependencies, config slice) and the validated
+  :class:`StageGraph` DAG;
+* :mod:`repro.stages.artifacts` — content-digested :class:`Artifact`
+  wrappers plus canonical digesters for every inter-stage payload;
+* :mod:`repro.stages.store` — the disk-backed :class:`ArtifactStore`
+  (content-addressed objects, JSON :class:`RunManifest` per run, partial
+  stage checkpoints — the crawler's ``CrawlCheckpoint`` folded in);
+* :mod:`repro.stages.runner` — the :class:`StageRunner` that walks the
+  graph, charges :class:`~repro.perf.report.PerfReport` uniformly, and
+  re-runs a stage only when its code fingerprint, config slice, or input
+  digests changed.
+
+The invariant the whole package defends is the determinism contract: a
+resumed or incrementally re-executed run produces byte-identical crawl
+digests and identical verified sets to a fresh serial run.
+"""
+
+from repro.stages.artifacts import (
+    Artifact,
+    derived_digest,
+    digest_crawl_snapshot,
+    digest_crawl_snapshots,
+    digest_cv_reports,
+    digest_detections,
+    digest_evasion,
+    digest_ground_truth,
+    digest_squat_matches,
+    digest_verified,
+)
+from repro.stages.graph import Stage, StageGraph, StageLike
+from repro.stages.runner import (
+    RunOutcome,
+    StageContext,
+    StageRunner,
+    code_digest,
+    config_slice_digest,
+)
+from repro.stages.store import ArtifactStore, RunManifest, StageRecord
+
+__all__ = [
+    "Artifact",
+    "ArtifactStore",
+    "RunManifest",
+    "RunOutcome",
+    "Stage",
+    "StageContext",
+    "StageGraph",
+    "StageLike",
+    "StageRecord",
+    "StageRunner",
+    "code_digest",
+    "config_slice_digest",
+    "derived_digest",
+    "digest_crawl_snapshot",
+    "digest_crawl_snapshots",
+    "digest_cv_reports",
+    "digest_detections",
+    "digest_evasion",
+    "digest_ground_truth",
+    "digest_squat_matches",
+    "digest_verified",
+]

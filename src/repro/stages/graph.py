@@ -1,0 +1,171 @@
+"""The pipeline's stage graph: declared dependencies, topological execution.
+
+The paper's measurement is staged and longitudinal — scan a snapshot,
+crawl the candidates, train, classify, verify, then keep re-crawling the
+verified set over later snapshots (§3, §7).  Modelling those stages as an
+explicit dependency graph (instead of a hard-coded call sequence) is what
+lets the runner checkpoint a run, resume it after a crash, and
+*incrementally* re-execute it: a stage re-runs only when its code, its
+config slice, or the digests of its inputs changed.
+
+A :class:`Stage` declares:
+
+* ``name`` — unique stage identifier (``scan``, ``crawl``, ``train``…);
+* ``inputs`` — names of the artifacts it consumes;
+* ``outputs`` — names of the artifacts it produces;
+* ``config_fields`` — which :class:`~repro.core.config.PipelineConfig`
+  fields participate in its fingerprint (throughput knobs like worker
+  counts are deliberately *excluded* — they cannot change results, so
+  they must not invalidate cached artifacts);
+* ``compute`` — the function that turns input payloads into output
+  payloads, given a :class:`~repro.stages.runner.StageContext` for
+  partial-progress checkpointing;
+* ``digesters`` — canonical content-digest functions per output (outputs
+  without one get a fingerprint-derived digest).
+
+Anything satisfying :class:`StageLike` can join a graph; :class:`Stage`
+is the standard dataclass implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+try:  # pragma: no cover - typing_extensions not needed on 3.8+
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore
+
+    def runtime_checkable(cls):  # type: ignore
+        return cls
+
+
+@runtime_checkable
+class StageLike(Protocol):
+    """Structural protocol every graph node must satisfy."""
+
+    name: str
+    inputs: Tuple[str, ...]
+    outputs: Tuple[str, ...]
+    config_fields: Tuple[str, ...]
+
+    def compute(self, inputs: Dict[str, Any], ctx: Any) -> Dict[str, Any]:
+        ...  # pragma: no cover - protocol
+
+
+@dataclass
+class Stage:
+    """One named unit of pipeline work with declared data dependencies."""
+
+    name: str
+    compute: Callable[[Dict[str, Any], Any], Dict[str, Any]]
+    inputs: Tuple[str, ...] = ()
+    outputs: Tuple[str, ...] = ()
+    config_fields: Tuple[str, ...] = ()
+    digesters: Mapping[str, Callable[[Any], str]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("stage needs a name")
+        if not self.outputs:
+            raise ValueError(f"stage {self.name!r} declares no outputs")
+        self.inputs = tuple(self.inputs)
+        self.outputs = tuple(self.outputs)
+        self.config_fields = tuple(self.config_fields)
+        unknown = set(self.digesters) - set(self.outputs)
+        if unknown:
+            raise ValueError(
+                f"stage {self.name!r} digests undeclared outputs {sorted(unknown)}")
+
+
+class StageGraph:
+    """A validated DAG of stages keyed by the artifacts they exchange.
+
+    Construction validates the graph once: stage names and artifact names
+    must be unique, every input must be produced by some stage, and the
+    dependency relation must be acyclic.  Execution order is the stable
+    topological order (declaration order among ready stages), so a graph
+    declared in pipeline order runs in pipeline order.
+    """
+
+    def __init__(self, stages: Sequence[Stage]) -> None:
+        if not stages:
+            raise ValueError("a stage graph needs at least one stage")
+        self.stages: Dict[str, Stage] = {}
+        self.producer: Dict[str, str] = {}      # artifact name -> stage name
+        for stage in stages:
+            if stage.name in self.stages:
+                raise ValueError(f"duplicate stage name {stage.name!r}")
+            self.stages[stage.name] = stage
+            for artifact in stage.outputs:
+                if artifact in self.producer:
+                    raise ValueError(
+                        f"artifact {artifact!r} produced by both "
+                        f"{self.producer[artifact]!r} and {stage.name!r}")
+                self.producer[artifact] = stage.name
+        for stage in stages:
+            missing = [a for a in stage.inputs if a not in self.producer]
+            if missing:
+                raise ValueError(
+                    f"stage {stage.name!r} consumes unproduced artifacts "
+                    f"{missing}")
+        self._order = self._toposort()
+
+    # ------------------------------------------------------------------
+    def dependencies(self, name: str) -> Set[str]:
+        """Direct upstream stage names of one stage."""
+        stage = self.stages[name]
+        return {self.producer[artifact] for artifact in stage.inputs}
+
+    def _toposort(self) -> List[str]:
+        """Kahn's algorithm, stable in declaration order; rejects cycles."""
+        names = list(self.stages)
+        indegree = {name: len(self.dependencies(name)) for name in names}
+        order: List[str] = []
+        ready = [name for name in names if indegree[name] == 0]
+        while ready:
+            current = ready.pop(0)
+            order.append(current)
+            for name in names:
+                if current in self.dependencies(name) and name not in order:
+                    indegree[name] -= 1
+                    if indegree[name] == 0 and name not in ready:
+                        ready.append(name)
+        if len(order) != len(names):
+            stuck = sorted(set(names) - set(order))
+            raise ValueError(f"stage graph has a cycle through {stuck}")
+        return order
+
+    def topological_order(self) -> List[Stage]:
+        """Stages in execution order."""
+        return [self.stages[name] for name in self._order]
+
+    def downstream_closure(self, name: str) -> Set[str]:
+        """A stage plus everything that (transitively) depends on it.
+
+        This is the invalidation set of ``--from-stage NAME``: forcing a
+        stage to re-run necessarily forces every consumer of its outputs.
+        """
+        if name not in self.stages:
+            raise KeyError(f"unknown stage {name!r}")
+        closure = {name}
+        changed = True
+        while changed:
+            changed = False
+            for candidate in self.stages:
+                if candidate in closure:
+                    continue
+                if self.dependencies(candidate) & closure:
+                    closure.add(candidate)
+                    changed = True
+        return closure

@@ -1,0 +1,231 @@
+"""Disk-backed artifact store + run manifests (whole-run persistence).
+
+The store gives a pipeline run three kinds of durability:
+
+* **objects/** — content-addressed artifact payloads, one pickle per
+  digest.  Two runs producing the same bytes share one object, so a store
+  accumulating weekly snapshots only pays for what changed.
+* **runs/** — one JSON :class:`RunManifest` per run id, recording every
+  stage's fingerprint (code, config slice, input digests), its output
+  digests, wall-clock seconds, whether it was served from cache, and the
+  accounting deltas (crawl health, injected faults, simulated clock) the
+  runner replays when it loads the stage from cache instead of running it.
+* **partials/** — mid-stage progress, i.e. the crawler's
+  :class:`~repro.web.crawler.CrawlCheckpoint` folded into the store as a
+  *partial stage artifact*: a killed crawl resumes from its last
+  checkpoint slice rather than from the start of the stage.  A partial is
+  bound to the stage fingerprint that produced it, so a config change
+  discards stale progress instead of resuming into the wrong run.
+
+``ArtifactStore(None)`` is a fully in-memory store with the same API —
+the default for library callers who just want incremental semantics
+within one process (tests, notebooks).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.stages.artifacts import Artifact
+
+PathLike = Union[str, Path]
+
+
+@dataclass
+class StageRecord:
+    """What one stage did in one run (a manifest row)."""
+
+    stage: str
+    status: str = "complete"
+    fingerprint: Dict[str, str] = field(default_factory=dict)
+    outputs: Dict[str, str] = field(default_factory=dict)
+    seconds: float = 0.0
+    cached: bool = False
+    health_delta: Dict[str, Any] = field(default_factory=dict)
+    injected_delta: Dict[str, int] = field(default_factory=dict)
+    clock_delta: float = 0.0
+
+
+@dataclass
+class RunManifest:
+    """Everything needed to resume or incrementally re-execute one run."""
+
+    run_id: str
+    context_digest: str = ""
+    records: Dict[str, StageRecord] = field(default_factory=dict)
+
+    def record(self, stage: str) -> Optional[StageRecord]:
+        return self.records.get(stage)
+
+    def cached_stages(self) -> List[str]:
+        """Stages this run served from the store instead of executing."""
+        return [name for name, rec in self.records.items() if rec.cached]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "run_id": self.run_id,
+            "context_digest": self.context_digest,
+            "records": {name: asdict(rec) for name, rec in self.records.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunManifest":
+        manifest = cls(run_id=data["run_id"],
+                       context_digest=data.get("context_digest", ""))
+        for name, raw in data.get("records", {}).items():
+            manifest.records[name] = StageRecord(**raw)
+        return manifest
+
+
+class ArtifactStore:
+    """Content-addressed payloads + run manifests + partial stage state.
+
+    Args:
+        root: store directory (created on demand).  ``None`` keeps
+            everything in memory — identical semantics, no durability.
+    """
+
+    def __init__(self, root: Optional[PathLike] = None) -> None:
+        self.root = Path(root) if root is not None else None
+        self._objects: Dict[str, bytes] = {}
+        self._manifests: Dict[str, RunManifest] = {}
+        self._partials: Dict[tuple, bytes] = {}
+
+    @property
+    def persistent(self) -> bool:
+        return self.root is not None
+
+    # ------------------------------------------------------------------
+    # object layer
+    # ------------------------------------------------------------------
+    def _object_path(self, digest: str) -> Path:
+        assert self.root is not None
+        return self.root / "objects" / digest[:2] / f"{digest}.pkl"
+
+    @staticmethod
+    def _atomic_write(path: Path, data: bytes) -> None:
+        """Write via rename so a killed process never leaves a torn file."""
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    def put(self, artifact: Artifact) -> None:
+        """Store an artifact payload under its digest (idempotent)."""
+        if self.has(artifact.digest):
+            return
+        data = pickle.dumps(artifact.payload, protocol=pickle.HIGHEST_PROTOCOL)
+        if self.root is None:
+            self._objects[artifact.digest] = data
+        else:
+            self._atomic_write(self._object_path(artifact.digest), data)
+
+    def has(self, digest: str) -> bool:
+        if self.root is None:
+            return digest in self._objects
+        return self._object_path(digest).exists()
+
+    def get(self, digest: str) -> Any:
+        """Load the payload stored under ``digest`` (KeyError if absent)."""
+        if self.root is None:
+            if digest not in self._objects:
+                raise KeyError(f"no artifact {digest!r} in store")
+            return pickle.loads(self._objects[digest])
+        path = self._object_path(digest)
+        if not path.exists():
+            raise KeyError(f"no artifact {digest!r} in store")
+        return pickle.loads(path.read_bytes())
+
+    # ------------------------------------------------------------------
+    # run manifests
+    # ------------------------------------------------------------------
+    def _manifest_path(self, run_id: str) -> Path:
+        assert self.root is not None
+        return self.root / "runs" / f"{run_id}.json"
+
+    def save_manifest(self, manifest: RunManifest) -> None:
+        if self.root is None:
+            self._manifests[manifest.run_id] = manifest
+            return
+        payload = json.dumps(manifest.to_dict(), indent=2, sort_keys=True)
+        self._atomic_write(self._manifest_path(manifest.run_id),
+                           payload.encode("utf-8"))
+
+    def load_manifest(self, run_id: str) -> RunManifest:
+        if self.root is None:
+            if run_id not in self._manifests:
+                raise KeyError(f"no run {run_id!r} in store")
+            return self._manifests[run_id]
+        path = self._manifest_path(run_id)
+        if not path.exists():
+            raise KeyError(f"no run {run_id!r} in store")
+        return RunManifest.from_dict(json.loads(path.read_text("utf-8")))
+
+    def list_runs(self) -> List[str]:
+        if self.root is None:
+            return sorted(self._manifests)
+        runs_dir = self.root / "runs"
+        if not runs_dir.exists():
+            return []
+        return sorted(p.stem for p in runs_dir.glob("*.json"))
+
+    def next_run_id(self) -> str:
+        """A fresh, collision-free ``run-NNNN`` id."""
+        existing = set(self.list_runs())
+        index = len(existing) + 1
+        while f"run-{index:04d}" in existing:
+            index += 1
+        return f"run-{index:04d}"
+
+    # ------------------------------------------------------------------
+    # partial stage state (folded CrawlCheckpoint)
+    # ------------------------------------------------------------------
+    def _partial_path(self, run_id: str, stage: str) -> Path:
+        assert self.root is not None
+        return self.root / "partials" / run_id / f"{stage}.pkl"
+
+    def save_partial(self, run_id: str, stage: str,
+                     fingerprint: Dict[str, str], payload: Any) -> None:
+        """Persist mid-stage progress bound to the stage fingerprint."""
+        data = pickle.dumps({"fingerprint": dict(fingerprint),
+                             "payload": payload},
+                            protocol=pickle.HIGHEST_PROTOCOL)
+        if self.root is None:
+            self._partials[(run_id, stage)] = data
+        else:
+            self._atomic_write(self._partial_path(run_id, stage), data)
+
+    def load_partial(self, run_id: str, stage: str,
+                     fingerprint: Dict[str, str]) -> Optional[Any]:
+        """Mid-stage progress for a matching fingerprint, else None."""
+        if self.root is None:
+            data = self._partials.get((run_id, stage))
+        else:
+            path = self._partial_path(run_id, stage)
+            data = path.read_bytes() if path.exists() else None
+        if data is None:
+            return None
+        entry = pickle.loads(data)
+        if entry["fingerprint"] != dict(fingerprint):
+            return None     # config/code/inputs moved on; progress is stale
+        return entry["payload"]
+
+    def clear_partial(self, run_id: str, stage: str) -> None:
+        if self.root is None:
+            self._partials.pop((run_id, stage), None)
+            return
+        path = self._partial_path(run_id, stage)
+        if path.exists():
+            path.unlink()

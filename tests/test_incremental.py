@@ -1,0 +1,240 @@
+"""Incremental pipeline runs: persistence, resume, and determinism.
+
+The contract under test (DESIGN.md §9): a run resumed from a persistent
+artifact store — after a kill at stage granularity or mid-crawl — and an
+incremental re-run that reuses cached stages both produce byte-identical
+crawl snapshot digests and identical verified sets to a fresh serial run.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import PipelineConfig, SquatPhi
+from repro.faults import FaultPlan
+from repro.phishworld.world import WorldConfig, build_world
+from repro.stages import ArtifactStore, digest_detections
+
+WORLD_CONFIG = WorldConfig(
+    seed=7,
+    n_organic_domains=40,
+    n_squat_domains=60,
+    n_phish_domains=8,
+    phishtank_reports=30,
+)
+
+
+def make_pipeline(**overrides) -> SquatPhi:
+    """A small faulty-world pipeline; every call builds identical state."""
+    config = PipelineConfig(
+        cv_folds=3,
+        rf_trees=6,
+        snapshots=2,
+        fault_plan=FaultPlan.uniform(0.2, seed=17),
+    )
+    for name, value in overrides.items():
+        setattr(config, name, value)
+    return SquatPhi(build_world(WORLD_CONFIG), config)
+
+
+@pytest.fixture(scope="module")
+def fresh():
+    """One fresh serial run: the determinism reference."""
+    pipeline = make_pipeline()
+    result = pipeline.run()
+    return pipeline, result
+
+
+def _assert_matches_reference(result, reference) -> None:
+    """The §9 contract: byte-identical digests, identical verified sets.
+
+    Health must match too; the injected-fault tally is compared without
+    ``ocr_garble``, which counts extraction *events* — a resumed run may
+    re-extract content the fresh run had warm in the feature cache, firing
+    extra (content-keyed, hence result-identical) OCR draws.
+    """
+    assert [s.digest() for s in result.crawl_snapshots] == \
+        [s.digest() for s in reference.crawl_snapshots]
+    assert [v.domain for v in result.verified] == \
+        [v.domain for v in reference.verified]
+    assert digest_detections(result.flagged) == \
+        digest_detections(reference.flagged)
+    assert result.health.to_dict() == reference.health.to_dict()
+    strip = lambda counts: {k: v for k, v in counts.items()
+                            if k != "ocr_garble"}
+    assert strip(result.injected_faults) == strip(reference.injected_faults)
+
+
+# ----------------------------------------------------------------------
+# satellite: uniform stage timing
+# ----------------------------------------------------------------------
+
+def test_every_stage_is_timed(fresh):
+    pipeline, _ = fresh
+    assert set(pipeline.perf.stage_seconds) == {
+        "scan", "crawl", "ground_truth", "train",
+        "classify", "verify", "follow_ups", "evasion",
+    }
+    assert all(s >= 0.0 for s in pipeline.perf.stage_seconds.values())
+
+
+def test_summary_is_json_serializable(fresh):
+    _, result = fresh
+    payload = json.loads(json.dumps(result.summary(), sort_keys=True))
+    assert payload["run_id"] == result.run_id
+    assert payload["counts"]["verified"] == len(result.verified)
+    assert payload["snapshot_digests"] == \
+        [s.digest() for s in result.crawl_snapshots]
+    assert "stage_seconds" in payload["perf"]
+
+
+# ----------------------------------------------------------------------
+# resume after a kill at stage granularity
+# ----------------------------------------------------------------------
+
+def test_resume_after_kill_matches_fresh(fresh, tmp_path):
+    _, reference = fresh
+    store = ArtifactStore(tmp_path / "store")
+
+    killed = make_pipeline()
+    assert killed.run(store=store, stop_after="train") is None
+    manifest = store.load_manifest(killed.run_id)
+    assert sorted(manifest.records) == ["crawl", "ground_truth",
+                                        "scan", "train"]
+    assert all(r.status == "complete" for r in manifest.records.values())
+
+    resumed = make_pipeline()     # a brand-new process, conceptually
+    result = resumed.run(store=store, resume=killed.run_id)
+    assert result is not None
+    _assert_matches_reference(result, reference)
+    assert sorted(resumed.perf.cached_stages) == ["crawl", "ground_truth",
+                                                  "scan", "train"]
+    # the executed remainder was timed; the cached prefix charged nothing
+    assert {"classify", "verify", "follow_ups", "evasion"} <= \
+        set(resumed.perf.stage_seconds)
+    assert not {"scan", "crawl"} & set(resumed.perf.stage_seconds)
+    assert result.run_id == killed.run_id
+
+
+# ----------------------------------------------------------------------
+# resume after a kill mid-crawl (partial stage artifacts)
+# ----------------------------------------------------------------------
+
+def test_mid_crawl_kill_resumes_from_partial(fresh, tmp_path, monkeypatch):
+    _, reference = fresh
+    store = ArtifactStore(tmp_path / "store")
+
+    killed = make_pipeline(checkpoint_interval=30)
+    original_save = ArtifactStore.save_partial
+    saves = {"count": 0}
+
+    def dying_save(self, run_id, stage, fingerprint, payload):
+        saves["count"] += 1
+        if saves["count"] >= 3:
+            raise RuntimeError("simulated kill mid-crawl")
+        original_save(self, run_id, stage, fingerprint, payload)
+
+    monkeypatch.setattr(ArtifactStore, "save_partial", dying_save)
+    with pytest.raises(RuntimeError, match="simulated kill"):
+        killed.run(store=store)
+    monkeypatch.undo()
+    run_id = killed.run_id
+
+    # two checkpoint slices made it to disk before the "kill"
+    fresh_store = ArtifactStore(tmp_path / "store")
+    manifest = fresh_store.load_manifest(run_id)
+    assert "crawl" not in manifest.records       # stage never completed
+    record = manifest.records["scan"]
+    partial = fresh_store.load_partial(run_id, "crawl",
+                                       {"code": "", "config": "",
+                                        "inputs": ""})
+    # fingerprint-bound: a bogus fingerprint must not see the progress
+    assert partial is None
+
+    resumed = make_pipeline(checkpoint_interval=30)
+    result = resumed.run(store=fresh_store, resume=run_id)
+    assert result is not None
+    _assert_matches_reference(result, reference)
+    # checkpoint slices were folded back in rather than re-crawled
+    assert resumed.health.resumes >= 1
+    assert record.status == "complete"
+
+
+# ----------------------------------------------------------------------
+# incremental re-runs
+# ----------------------------------------------------------------------
+
+def test_retrain_only_rerun_reuses_scan_and_crawl(fresh, tmp_path):
+    _, reference = fresh
+    store = ArtifactStore(tmp_path / "store")
+
+    first = make_pipeline()
+    first_result = first.run(store=store)
+    _assert_matches_reference(first_result, reference)
+
+    rerun = make_pipeline()
+    result = rerun.run(store=store, resume=first.run_id, from_stage="train")
+    assert result is not None
+    _assert_matches_reference(result, reference)
+    assert sorted(rerun.perf.cached_stages) == ["crawl", "ground_truth",
+                                                "scan"]
+    assert {"train", "classify", "verify"} <= set(rerun.perf.stage_seconds)
+
+
+def test_changed_verify_slice_invalidates_exactly_verify(fresh, tmp_path):
+    _, reference = fresh
+    store = ArtifactStore(tmp_path / "store")
+
+    first = make_pipeline()
+    first.run(store=store)
+
+    # reviewer_error_rate sits in the verify stage's config slice only
+    rerun = make_pipeline(reviewer_error_rate=0.25)
+    result = rerun.run(store=store, resume=first.run_id)
+    assert result is not None
+    assert sorted(rerun.perf.cached_stages) == \
+        ["classify", "crawl", "ground_truth", "scan", "train"]
+    assert "verify" in rerun.perf.stage_seconds
+    manifest = rerun.last_manifest
+    assert not manifest.records["verify"].cached
+    # upstream artifacts stayed byte-identical
+    assert result.crawl_snapshots[0].digest() == \
+        reference.crawl_snapshots[0].digest()
+
+
+def test_changed_extraction_slice_invalidates_ground_truth_chain(
+        fresh, tmp_path):
+    store = ArtifactStore(tmp_path / "store")
+
+    first = make_pipeline()
+    first.run(store=store)
+
+    # use_ocr participates in ground_truth and classify slices; scan and
+    # crawl never touch extraction and must stay cached
+    rerun = make_pipeline(use_ocr=False)
+    result = rerun.run(store=store, resume=first.run_id)
+    assert result is not None
+    assert sorted(rerun.perf.cached_stages) == ["crawl", "scan"]
+    assert {"ground_truth", "train", "classify", "verify"} <= \
+        set(rerun.perf.stage_seconds)
+
+
+# ----------------------------------------------------------------------
+# satellite: feedback retraining reuses carried features
+# ----------------------------------------------------------------------
+
+def test_retrain_with_feedback_skips_re_extraction(fresh):
+    pipeline, result = fresh
+    assert result.flagged, "fixture must flag something"
+    assert all(d.features is not None for d in result.flagged)
+
+    stats = pipeline.capture_cache.stats
+    misses_before = stats.feature_misses
+    reports = pipeline.retrain_with_feedback(
+        result.ground_truth, result.flagged, result.verified)
+    assert reports
+    # every detection carried its features, so retraining performed no
+    # feature extraction at all — not even cache hits were needed
+    assert stats.feature_misses == misses_before

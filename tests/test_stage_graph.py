@@ -1,0 +1,374 @@
+"""Unit tests for the stage-graph package: graph, store, runner.
+
+Integration-level incremental/resume behaviour of the real pipeline lives
+in test_incremental.py; this module exercises the machinery in isolation
+with tiny synthetic graphs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core import PipelineConfig, SquatPhi
+from repro.stages import (
+    Artifact,
+    ArtifactStore,
+    RunManifest,
+    Stage,
+    StageGraph,
+    StageRunner,
+    code_digest,
+    config_slice_digest,
+)
+
+
+def _digest_obj(payload):
+    return hashlib.sha256(repr(payload).encode()).hexdigest()
+
+
+@dataclass
+class _Config:
+    x: int = 1
+    y: int = 2
+
+
+def _make_counting_graph(calls):
+    """a -> b -> c chain whose computes log their execution into ``calls``."""
+
+    def stage_a(inputs, ctx):
+        calls.append("one")
+        return {"a": 10}
+
+    def stage_b(inputs, ctx):
+        calls.append("two")
+        return {"b": inputs["a"] * 2}
+
+    def stage_c(inputs, ctx):
+        calls.append("three")
+        return {"c": inputs["b"] + 1}
+
+    return StageGraph([
+        Stage(name="one", compute=stage_a, outputs=("a",),
+              config_fields=("x",), digesters={"a": _digest_obj}),
+        Stage(name="two", compute=stage_b, inputs=("a",), outputs=("b",),
+              config_fields=("y",), digesters={"b": _digest_obj}),
+        Stage(name="three", compute=stage_c, inputs=("b",), outputs=("c",),
+              digesters={"c": _digest_obj}),
+    ])
+
+
+# ----------------------------------------------------------------------
+# graph validation
+# ----------------------------------------------------------------------
+
+class TestStageGraph:
+    def test_topological_order_is_declaration_order(self):
+        graph = _make_counting_graph([])
+        assert [s.name for s in graph.topological_order()] == \
+            ["one", "two", "three"]
+
+    def test_duplicate_stage_name_rejected(self):
+        def emit(inputs, ctx):
+            return {"a": 1}
+
+        with pytest.raises(ValueError, match="duplicate stage"):
+            StageGraph([
+                Stage(name="one", compute=emit, outputs=("a",)),
+                Stage(name="one", compute=emit, outputs=("b",)),
+            ])
+
+    def test_duplicate_artifact_producer_rejected(self):
+        def emit(inputs, ctx):
+            return {"a": 1}
+
+        with pytest.raises(ValueError, match="produced by both"):
+            StageGraph([
+                Stage(name="one", compute=emit, outputs=("a",)),
+                Stage(name="two", compute=emit, outputs=("a",)),
+            ])
+
+    def test_unproduced_input_rejected(self):
+        def emit(inputs, ctx):
+            return {"a": 1}
+
+        with pytest.raises(ValueError, match="unproduced"):
+            StageGraph([
+                Stage(name="one", compute=emit, inputs=("ghost",),
+                      outputs=("a",)),
+            ])
+
+    def test_cycle_rejected(self):
+        def emit(inputs, ctx):
+            return {}
+
+        with pytest.raises(ValueError, match="cycle"):
+            StageGraph([
+                Stage(name="one", compute=emit, inputs=("b",), outputs=("a",)),
+                Stage(name="two", compute=emit, inputs=("a",), outputs=("b",)),
+            ])
+
+    def test_stage_requires_outputs(self):
+        def emit(inputs, ctx):
+            return {}
+
+        with pytest.raises(ValueError, match="no outputs"):
+            Stage(name="one", compute=emit)
+
+    def test_digester_for_undeclared_output_rejected(self):
+        def emit(inputs, ctx):
+            return {"a": 1}
+
+        with pytest.raises(ValueError, match="undeclared"):
+            Stage(name="one", compute=emit, outputs=("a",),
+                  digesters={"b": _digest_obj})
+
+    def test_downstream_closure(self):
+        graph = _make_counting_graph([])
+        assert graph.downstream_closure("two") == {"two", "three"}
+        assert graph.downstream_closure("three") == {"three"}
+        assert graph.downstream_closure("one") == {"one", "two", "three"}
+        with pytest.raises(KeyError):
+            graph.downstream_closure("ghost")
+
+    def test_dependencies(self):
+        graph = _make_counting_graph([])
+        assert graph.dependencies("one") == set()
+        assert graph.dependencies("three") == {"two"}
+
+
+# ----------------------------------------------------------------------
+# fingerprint primitives
+# ----------------------------------------------------------------------
+
+class TestFingerprints:
+    def test_code_digest_stable_and_sensitive(self):
+        def fn_a(inputs, ctx):
+            return {"a": 1}
+
+        def fn_b(inputs, ctx):
+            return {"a": 2}
+
+        assert code_digest(fn_a) == code_digest(fn_a)
+        assert code_digest(fn_a) != code_digest(fn_b)
+
+    def test_config_slice_digest_ignores_unrelated_fields(self):
+        base = config_slice_digest(_Config(x=1, y=2), ("x",))
+        assert config_slice_digest(_Config(x=1, y=99), ("x",)) == base
+        assert config_slice_digest(_Config(x=5, y=2), ("x",)) != base
+
+    def test_config_slice_digest_order_independent(self):
+        config = _Config(x=1, y=2)
+        assert config_slice_digest(config, ("x", "y")) == \
+            config_slice_digest(config, ("y", "x"))
+
+
+# ----------------------------------------------------------------------
+# the artifact store
+# ----------------------------------------------------------------------
+
+class TestArtifactStore:
+    @pytest.mark.parametrize("on_disk", [False, True])
+    def test_object_roundtrip(self, tmp_path, on_disk):
+        store = ArtifactStore(tmp_path / "store" if on_disk else None)
+        artifact = Artifact(name="a", digest=_digest_obj([1, 2]),
+                            payload=[1, 2])
+        assert not store.has(artifact.digest)
+        store.put(artifact)
+        assert store.has(artifact.digest)
+        assert store.get(artifact.digest) == [1, 2]
+        with pytest.raises(KeyError):
+            store.get("0" * 64)
+
+    def test_manifest_roundtrip_on_disk(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        manifest = RunManifest(run_id="run-0001", context_digest="abc")
+        store.save_manifest(manifest)
+        loaded = store.load_manifest("run-0001")
+        assert loaded.run_id == "run-0001"
+        assert loaded.context_digest == "abc"
+        assert store.list_runs() == ["run-0001"]
+        assert store.next_run_id() == "run-0002"
+        with pytest.raises(KeyError):
+            store.load_manifest("run-9999")
+
+    def test_partial_bound_to_fingerprint(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        fp = {"code": "c", "config": "k", "inputs": "i"}
+        store.save_partial("run-0001", "crawl", fp, {"jobs": 7})
+        assert store.load_partial("run-0001", "crawl", fp) == {"jobs": 7}
+        stale = dict(fp, config="different")
+        assert store.load_partial("run-0001", "crawl", stale) is None
+        store.clear_partial("run-0001", "crawl")
+        assert store.load_partial("run-0001", "crawl", fp) is None
+
+
+# ----------------------------------------------------------------------
+# the runner
+# ----------------------------------------------------------------------
+
+class TestStageRunner:
+    def test_executes_in_order_and_times_every_stage(self):
+        from repro.perf import PerfReport
+
+        calls = []
+        perf = PerfReport()
+        runner = StageRunner(_make_counting_graph(calls), config=_Config(),
+                             perf=perf)
+        outcome = runner.run()
+        assert calls == ["one", "two", "three"]
+        assert outcome.payloads() == {"a": 10, "b": 20, "c": 21}
+        assert set(perf.stage_seconds) == {"one", "two", "three"}
+        assert not outcome.interrupted
+
+    def test_second_run_serves_everything_from_cache(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        calls = []
+        first = StageRunner(_make_counting_graph(calls), store=store,
+                            config=_Config())
+        outcome = first.run()
+
+        second = StageRunner(_make_counting_graph(calls), store=store,
+                             config=_Config(),
+                             previous=store.load_manifest(first.run_id))
+        calls.clear()
+        replay = second.run(stop_after=None)
+        assert calls == []                       # nothing recomputed
+        assert replay.payloads() == outcome.payloads()
+        assert sorted(replay.manifest.cached_stages()) == \
+            ["one", "three", "two"]
+
+    def test_config_slice_change_invalidates_dependents_only(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        calls = []
+        first = StageRunner(_make_counting_graph(calls), store=store,
+                            config=_Config(x=1, y=2))
+        first.run()
+        previous = store.load_manifest(first.run_id)
+
+        # y only participates in stage "two"; its outputs change, which
+        # invalidates "three" through the input-digest part of its
+        # fingerprint even though "three" declares no config fields
+        calls.clear()
+        graph = _make_counting_graph(calls)
+
+        def stage_b_v2(inputs, ctx):
+            calls.append("two")
+            return {"b": inputs["a"] * 3}
+
+        graph.stages["two"].compute = stage_b_v2
+        second = StageRunner(graph, store=store, config=_Config(x=1, y=3),
+                             previous=previous)
+        outcome = second.run()
+        assert calls == ["two", "three"]
+        assert outcome.payloads()["a"] == 10
+        assert outcome.payloads()["c"] == 31
+
+    def test_unchanged_output_digest_short_circuits_downstream(self, tmp_path):
+        # a stage may re-run and reproduce identical bytes; its consumers
+        # then stay cached (content-addressed early cut-off)
+        store = ArtifactStore(tmp_path)
+        calls = []
+        first = StageRunner(_make_counting_graph(calls), store=store,
+                            config=_Config(x=1, y=2))
+        first.run()
+        previous = store.load_manifest(first.run_id)
+
+        calls.clear()
+        second = StageRunner(_make_counting_graph(calls), store=store,
+                             config=_Config(x=7, y=2),   # x: stage "one" only
+                             previous=previous)
+        second.run()
+        # "one" re-ran but produced the same digest, so "two"/"three"
+        # loaded from the store
+        assert calls == ["one"]
+
+    def test_from_stage_forces_downstream_closure(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        calls = []
+        first = StageRunner(_make_counting_graph(calls), store=store,
+                            config=_Config())
+        first.run()
+
+        calls.clear()
+        second = StageRunner(_make_counting_graph(calls), store=store,
+                             config=_Config(),
+                             previous=store.load_manifest(first.run_id),
+                             from_stage="two")
+        second.run()
+        assert calls == ["two", "three"]
+
+        with pytest.raises(ValueError, match="unknown stage"):
+            StageRunner(_make_counting_graph([]), store=store,
+                        config=_Config(), from_stage="ghost")
+
+    def test_stop_after_interrupts_with_saved_manifest(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        calls = []
+        runner = StageRunner(_make_counting_graph(calls), store=store,
+                             config=_Config())
+        outcome = runner.run(stop_after="two")
+        assert outcome.interrupted
+        assert calls == ["one", "two"]
+        manifest = store.load_manifest(runner.run_id)
+        assert sorted(manifest.records) == ["one", "two"]
+
+        with pytest.raises(ValueError, match="unknown stage"):
+            runner.run(stop_after="ghost")
+
+    def test_context_digest_mismatch_refuses_resume(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        first = StageRunner(_make_counting_graph([]), store=store,
+                            config=_Config(), context_digest="universe-a")
+        first.run()
+        with pytest.raises(ValueError, match="different"):
+            StageRunner(_make_counting_graph([]), store=store,
+                        config=_Config(),
+                        previous=store.load_manifest(first.run_id),
+                        context_digest="universe-b")
+
+    def test_missing_output_raises(self):
+        def lying(inputs, ctx):
+            return {}
+
+        graph = StageGraph([
+            Stage(name="one", compute=lying, outputs=("a",)),
+        ])
+        runner = StageRunner(graph, config=_Config())
+        with pytest.raises(RuntimeError, match="did not produce"):
+            runner.run()
+
+
+# ----------------------------------------------------------------------
+# the real pipeline's graph shape
+# ----------------------------------------------------------------------
+
+class TestPipelineGraph:
+    def test_declared_in_run_order(self, micro_world):
+        pipe = SquatPhi(micro_world, PipelineConfig())
+        graph = pipe.build_graph(follow_up_snapshots=True)
+        assert [s.name for s in graph.topological_order()] == [
+            "scan", "crawl", "ground_truth", "train",
+            "classify", "verify", "follow_ups", "evasion",
+        ]
+        no_follow = pipe.build_graph(follow_up_snapshots=False)
+        assert "follow_ups" not in no_follow.stages
+
+    def test_invalidation_closures(self, micro_world):
+        pipe = SquatPhi(micro_world, PipelineConfig())
+        graph = pipe.build_graph(follow_up_snapshots=True)
+        assert graph.downstream_closure("train") == {
+            "train", "classify", "verify", "follow_ups", "evasion"}
+        assert graph.downstream_closure("verify") == {
+            "verify", "follow_ups", "evasion"}
+        assert graph.downstream_closure("scan") == set(graph.stages)
+
+    def test_throughput_knobs_outside_every_config_slice(self, micro_world):
+        pipe = SquatPhi(micro_world, PipelineConfig())
+        graph = pipe.build_graph(follow_up_snapshots=True)
+        execution_only = {"scan_workers", "crawl_workers", "capture_cache",
+                          "checkpoint_interval"}
+        for stage in graph.topological_order():
+            assert not execution_only & set(stage.config_fields), stage.name
