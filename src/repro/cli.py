@@ -154,7 +154,8 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
     if args.max_retries < 0:
         print("error: --max-retries must be >= 0", file=sys.stderr)
         return 2
-    if args.scan_workers < 1 or args.crawl_workers < 1:
+    if (args.scan_workers < 1 or args.crawl_workers < 1
+            or args.train_workers < 1 or args.extract_workers < 1):
         print("error: worker counts must be >= 1", file=sys.stderr)
         return 2
     if args.resume and not args.store:
@@ -177,6 +178,8 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
         crawl_max_retries=args.max_retries,
         scan_workers=args.scan_workers,
         crawl_workers=args.crawl_workers,
+        train_workers=args.train_workers,
+        extract_workers=args.extract_workers,
         capture_cache=not args.no_capture_cache,
     )
     pipeline = SquatPhi(world, pipeline_config)
@@ -288,6 +291,12 @@ def build_parser() -> argparse.ArgumentParser:
                           help="process-pool width for the snapshot scan")
     pipeline.add_argument("--crawl-workers", type=int, default=20,
                           help="thread-pool width for crawl dispatch")
+    pipeline.add_argument("--train-workers", type=int, default=1,
+                          help="process-pool width for forest trees and "
+                               "cross-validation folds")
+    pipeline.add_argument("--extract-workers", type=int, default=1,
+                          help="process-pool width for feature extraction "
+                               "over captured pages")
     pipeline.add_argument("--no-capture-cache", action="store_true",
                           help="disable the content-addressed render/OCR "
                                "cache (results are identical either way)")

@@ -31,12 +31,21 @@ class PipelineConfig:
     # so it is deliberately excluded from stage config slices.
     checkpoint_interval: Optional[int] = None
 
-    # execution engine (repro.perf): process-pool width for the snapshot
-    # scan and the content-addressed render/OCR/feature cache.  Neither
-    # knob can change results — see DESIGN.md's determinism contract —
-    # only how fast they are produced.
+    # execution engine (repro.perf): process-pool widths for the snapshot
+    # scan, forest/CV training, and feature extraction, plus the
+    # content-addressed render/OCR/feature cache.  None of these knobs can
+    # change results — see DESIGN.md's determinism contract — only how
+    # fast they are produced.
     scan_workers: int = 1
+    train_workers: int = 1
+    extract_workers: int = 1
     capture_cache: bool = True
+    # route the learning core (tree split search, prediction, embedding)
+    # and the extraction hot paths (OCR band decode, form-line removal,
+    # spell-checker search) through their pre-vectorization reference
+    # implementations (byte-identical output, much slower) — the baseline
+    # leg of benchmarks/bench_training.py, never a production setting
+    legacy_ml: bool = False
 
     # failure model & resilience (§3.2's crawl-stability fight): the fault
     # plan injects typed, seeded infrastructure failures into the measured

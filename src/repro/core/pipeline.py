@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import hashlib
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
@@ -12,11 +13,12 @@ from repro.analysis.evasion import EvasionMeasurement, measure_page
 from repro.core.config import PipelineConfig
 from repro.faults.clock import SimClock
 from repro.faults.errors import FaultError
-from repro.faults.plan import FaultInjector
+from repro.faults.plan import FaultInjector, FaultPlan
 from repro.faults.resilience import CrawlHealth, RetryPolicy
 from repro.features.embedding import FeatureEmbedder
 from repro.features.extraction import FeatureExtractor, PageFeatures
 from repro.perf import CaptureCache, PerfReport
+from repro.perf.engine import process_map, shard
 from repro.ml import (
     ClassificationReport,
     KNearestNeighbors,
@@ -48,6 +50,104 @@ from repro.squatting.types import SquatMatch, SquatType
 from repro.web.browser import Browser, PageCapture
 from repro.web.crawler import CrawlCheckpoint, CrawlSnapshot, DistributedCrawler
 from repro.web.http import MOBILE_UA, WEB_UA
+
+
+# ----------------------------------------------------------------------
+# process-pool plumbing for the extraction/training fan-out.  Extraction
+# is a pure function of page content (OCR noise is seeded by the raster,
+# fault draws are content-keyed hashes, spell correction is pure per
+# word), so worker processes rebuild an extractor from a picklable spec
+# and return features + cache deltas that merge back in shard order —
+# byte-identical to a serial pass for any worker count.
+# ----------------------------------------------------------------------
+_EXTRACT_CONTEXT: dict = {}
+
+
+@dataclass(frozen=True)
+class ExtractorSpec:
+    """Everything a worker needs to rebuild the run's feature extractor."""
+
+    ocr_error_rate: float
+    use_ocr: bool
+    use_spellcheck: bool
+    lexicon: Tuple[str, ...]
+    fault_plan: Optional[FaultPlan]
+    cache_enabled: bool
+    legacy: bool = False
+
+    def build(self) -> Tuple[FeatureExtractor, CaptureCache, Optional[FaultInjector]]:
+        from repro.ocr.engine import OCREngine as _OCREngine
+
+        injector = None
+        if self.fault_plan is not None and self.fault_plan.any_faults:
+            injector = FaultInjector(self.fault_plan)
+        cache = CaptureCache(enabled=self.cache_enabled)
+        extractor = FeatureExtractor(
+            ocr_engine=_OCREngine(error_rate=self.ocr_error_rate,
+                                  fault_injector=injector,
+                                  legacy=self.legacy),
+            use_ocr=self.use_ocr,
+            use_spellcheck=self.use_spellcheck,
+            extra_lexicon=list(self.lexicon),
+            cache=cache,
+            legacy=self.legacy,
+        )
+        return extractor, cache, injector
+
+
+def _extract_init(spec: ExtractorSpec) -> None:
+    _EXTRACT_CONTEXT["spec"] = spec
+
+
+def _extract_shard(items):
+    """Extract one shard of (html, pixels) pairs in a worker process.
+
+    A fresh extractor per shard keeps the returned cache-stats delta a
+    function of the shard alone (not of which worker happened to process
+    which shards), so merged counters are run-to-run deterministic.
+    """
+    spec: ExtractorSpec = _EXTRACT_CONTEXT["spec"]
+    extractor, cache, injector = spec.build()
+    features = [extractor.extract(html, pixels) for html, pixels in items]
+    injected = dict(injector.injected) if injector is not None else {}
+    return features, cache.stats, injected
+
+
+def _measure_shard(items):
+    """Evasion-measure one shard of (domain, brand, html, pixels, original)."""
+    return [
+        measure_page(domain=domain, brand_name=brand, html=html,
+                     phish_pixels=pixels, original_pixels=original)
+        for domain, brand, html, pixels, original in items
+    ]
+
+
+@dataclass(frozen=True)
+class ModelFactory:
+    """Picklable classifier factory.
+
+    ``cross_validate(workers>1)`` ships the factory to fold workers, so it
+    must survive pickling — a bound lambda over the pipeline would not.
+    Forests built here fit their trees serially; the fold fan-out is the
+    parallel axis (nesting pools inside pools would oversubscribe).
+    """
+
+    name: str
+    rf_trees: int
+    rf_max_depth: int
+    knn_k: int
+    legacy: bool = False
+
+    def __call__(self):
+        if self.name == "random_forest":
+            return RandomForest(n_trees=self.rf_trees,
+                                max_depth=self.rf_max_depth,
+                                legacy=self.legacy)
+        if self.name == "knn":
+            return KNearestNeighbors(k=self.knn_k)
+        if self.name == "naive_bayes":
+            return MultinomialNaiveBayes()
+        raise ValueError(f"unknown classifier {self.name!r}")
 
 
 @dataclass
@@ -177,16 +277,20 @@ class SquatPhi:
         self.perf = PerfReport(
             scan_workers=self.config.scan_workers,
             crawl_workers=self.config.crawl_workers,
+            train_workers=self.config.train_workers,
+            extract_workers=self.config.extract_workers,
             cache_enabled=self.config.capture_cache,
             cache=self.capture_cache.stats,
         )
         self.extractor = FeatureExtractor(
             ocr_engine=OCREngine(error_rate=self.config.ocr_error_rate,
-                                 fault_injector=self.fault_injector),
+                                 fault_injector=self.fault_injector,
+                                 legacy=self.config.legacy_ml),
             use_ocr=self.config.use_ocr,
             use_spellcheck=self.config.use_spellcheck,
             extra_lexicon=world.catalog.names(),
             cache=self.capture_cache,
+            legacy=self.config.legacy_ml,
         )
         self.embedder: Optional[FeatureEmbedder] = None
         self.model = None
@@ -299,6 +403,95 @@ class SquatPhi:
         return result
 
     # ------------------------------------------------------------------
+    # parallel feature extraction
+    # ------------------------------------------------------------------
+    def _extractor_spec(self) -> ExtractorSpec:
+        return ExtractorSpec(
+            ocr_error_rate=self.config.ocr_error_rate,
+            use_ocr=self.config.use_ocr,
+            use_spellcheck=self.config.use_spellcheck,
+            lexicon=tuple(self.world.catalog.names()),
+            fault_plan=self.config.fault_plan,
+            cache_enabled=self.config.capture_cache,
+            legacy=self.config.legacy_ml,
+        )
+
+    def _extract_many(
+        self,
+        pairs: Sequence[Tuple[str, Optional["np.ndarray"]]],
+    ) -> List[PageFeatures]:
+        """Extract features for (html, pixels) pairs, in input order.
+
+        With ``extract_workers > 1`` the main process consults the shared
+        capture cache first, fans the misses out over ordered process-pool
+        shards, and merges worker-computed features back into the cache in
+        shard order.  Extraction is pure, so the returned features are
+        byte-identical to a serial pass for any worker count.
+        """
+        start = time.perf_counter()
+        workers = self.config.extract_workers
+        if workers <= 1 or len(pairs) <= 1:
+            features = [self.extractor.extract(html, pixels)
+                        for html, pixels in pairs]
+            self.perf.record_extraction(len(pairs), time.perf_counter() - start)
+            return features
+
+        results: List[Optional[PageFeatures]] = [None] * len(pairs)
+        use_ocr = self.extractor.use_ocr
+        flags = (use_ocr, self.extractor.use_spellcheck)
+        jobs: List[Tuple[Any, str, Optional["np.ndarray"]]] = []
+        slots: List[List[int]] = []
+        if self.capture_cache.enabled:
+            index_of: Dict[Any, int] = {}
+            for i, (html, pixels) in enumerate(pairs):
+                key = CaptureCache.feature_key(
+                    html, pixels if use_ocr else None, flags)
+                cached = self.capture_cache.lookup_features(key)
+                if cached is not None:
+                    results[i] = cached.copy()
+                    continue
+                at = index_of.get(key)
+                if at is not None:
+                    slots[at].append(i)
+                    continue
+                index_of[key] = len(jobs)
+                jobs.append((key, html, pixels))
+                slots.append([i])
+        else:
+            # --no-capture-cache measures the uncached baseline: every
+            # page pays full extraction, so no dedupe either
+            jobs = [(None, html, pixels) for html, pixels in pairs]
+            slots = [[i] for i in range(len(pairs))]
+
+        if jobs:
+            chunk = max(1, -(-len(jobs) // (workers * 4)))
+            shard_results = process_map(
+                _extract_shard,
+                [[(html, pixels) for _, html, pixels in part]
+                 for part in shard(jobs, chunk)],
+                workers=workers,
+                initializer=_extract_init,
+                initargs=(self._extractor_spec(),),
+            )
+            position = 0
+            for features_list, stats, injected in shard_results:
+                self.capture_cache.stats.merge(stats)
+                if self.fault_injector is not None:
+                    for kind, count in injected.items():
+                        self.fault_injector.injected[kind] += count
+                for features in features_list:
+                    key = jobs[position][0]
+                    if key is not None:
+                        self.capture_cache.store_features(key, features.copy())
+                    targets = slots[position]
+                    results[targets[0]] = features
+                    for extra in targets[1:]:
+                        results[extra] = features.copy()
+                    position += 1
+        self.perf.record_extraction(len(pairs), time.perf_counter() - start)
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
     # stage 3: ground truth
     # ------------------------------------------------------------------
     def collect_ground_truth(
@@ -311,25 +504,39 @@ class SquatPhi:
         Positive pages: reported URLs still serving phishing at crawl time.
         Negative pages: reported URLs replaced with benign content, plus a
         sample of easy-to-confuse live squat-domain pages.
+
+        Page visits run serially (their order drives the fault weather and
+        health accounting); extraction is pure, so it batches over the
+        collected captures afterwards — the ``extract_workers`` fan-out.
         """
         browser = self._make_browser(WEB_UA)
-        pages: List[GroundTruthPage] = []
+        metas: List[Tuple[str, str, int, str, PageCapture]] = []
         for report in self.world.phishtank.verified_active():
             capture = self._visit_degraded(
                 browser, f"http://{report.domain}/", "ground_truth")
             if capture is None:
                 continue
-            features = self.extractor.extract_capture(capture)
-            pages.append(GroundTruthPage(
-                domain=report.domain,
-                brand=report.brand,
-                label=1 if report.still_phishing else 0,
-                features=features,
+            metas.append((report.domain, report.brand,
+                          1 if report.still_phishing else 0,
+                          "phishtank", capture))
+        metas.extend(self._sample_benign_squat_metas(squat_matches, benign_squat_sample))
+        features = self._extract_many([
+            (capture.html, capture.screenshot.pixels)
+            for *_, capture in metas
+        ])
+        pages = [
+            GroundTruthPage(
+                domain=domain,
+                brand=brand,
+                label=label,
+                features=page_features,
                 html=capture.html,
                 screenshot_pixels=capture.screenshot.pixels,
-                source="phishtank",
-            ))
-        pages.extend(self._sample_benign_squat_pages(squat_matches, benign_squat_sample))
+                source=source,
+            )
+            for (domain, brand, label, source, capture), page_features
+            in zip(metas, features)
+        ]
         self._apply_annotation_noise(pages)
         return pages
 
@@ -343,11 +550,11 @@ class SquatPhi:
             elif rng.random() < self.config.benign_mislabel_rate:
                 page.label = 1
 
-    def _sample_benign_squat_pages(
+    def _sample_benign_squat_metas(
         self,
         squat_matches: Optional[Sequence[SquatMatch]],
         sample_size: int,
-    ) -> List[GroundTruthPage]:
+    ) -> List[Tuple[str, str, int, str, PageCapture]]:
         """The paper's second negative source: manually-verified benign
         pages under squatting domains (§5.3).
 
@@ -355,7 +562,8 @@ class SquatPhi:
         benign pages ... [not] the obviously benign pages", so the sample
         is deliberately biased: confusable pages (forms, brand plugins, fan
         logins) are exhausted first, then the remainder fills uniformly.
-        The oracle labels stand in for their manual verification.
+        The oracle labels stand in for their manual verification.  Returns
+        page metadata tuples; the caller batches feature extraction.
         """
         if not squat_matches:
             return []
@@ -374,61 +582,76 @@ class SquatPhi:
         ] + [
             ordinary[int(i)] for i in rng.permutation(len(ordinary))
         ]
-        pages: List[GroundTruthPage] = []
+        metas: List[Tuple[str, str, int, str, PageCapture]] = []
         for match in ordered:
-            if len(pages) >= sample_size:
+            if len(metas) >= sample_size:
                 break
             capture = self._visit_degraded(
                 browser, f"http://{match.domain}/", "ground_truth_benign")
             if capture is None:
                 continue
-            features = self.extractor.extract_capture(capture)
-            pages.append(GroundTruthPage(
-                domain=match.domain,
-                brand=match.brand,
-                label=0,
-                features=features,
-                html=capture.html,
-                screenshot_pixels=capture.screenshot.pixels,
-                source="squat-benign",
-            ))
-        return pages
+            metas.append((match.domain, match.brand, 0,
+                          "squat-benign", capture))
+        return metas
 
     # ------------------------------------------------------------------
     # stage 4: classification
     # ------------------------------------------------------------------
+    def _model_factory(self, name: str) -> ModelFactory:
+        return ModelFactory(
+            name=name,
+            rf_trees=self.config.rf_trees,
+            rf_max_depth=self.config.rf_max_depth,
+            knn_k=self.config.knn_k,
+            legacy=self.config.legacy_ml,
+        )
+
     def _make_model(self, name: str):
-        if name == "random_forest":
-            return RandomForest(n_trees=self.config.rf_trees,
-                                max_depth=self.config.rf_max_depth)
-        if name == "knn":
-            return KNearestNeighbors(k=self.config.knn_k)
-        if name == "naive_bayes":
-            return MultinomialNaiveBayes()
-        raise ValueError(f"unknown classifier {name!r}")
+        return self._model_factory(name)()
 
     def train(
         self,
         ground_truth: Sequence[GroundTruthPage],
         evaluate_all: bool = True,
     ) -> Dict[str, ClassificationReport]:
-        """Fit the embedding and classifiers; cross-validate (Table 7)."""
+        """Fit the embedding and classifiers; cross-validate (Table 7).
+
+        ``config.train_workers`` fans CV folds and forest trees out over a
+        process pool; per-tree seeds derive from (forest seed, tree index)
+        and folds merge by test-index, so the reports and the final model
+        byte-match a serial run for any worker count.
+        """
+        start = time.perf_counter()
         features = [page.features for page in ground_truth]
         labels = np.array([page.label for page in ground_truth])
         self.embedder = FeatureEmbedder(
             brand_names=self.world.catalog.names(),
             config=self.config.embedding,
+            legacy=self.config.legacy_ml,
         )
         x = self.embedder.fit_transform(features)
         reports: Dict[str, ClassificationReport] = {}
         names = ("naive_bayes", "knn", "random_forest") if evaluate_all else (self.config.classifier,)
+        folds = 0
         for name in names:
             reports[name] = cross_validate(
-                lambda n=name: self._make_model(n), x, labels,
+                self._model_factory(name), x, labels,
                 k=self.config.cv_folds,
                 threshold=self.config.decision_threshold,
+                workers=self.config.train_workers,
             )
-        self.model = self._make_model(self.config.classifier).fit(x, labels)
+            folds += self.config.cv_folds
+        model = self._make_model(self.config.classifier)
+        if isinstance(model, RandomForest):
+            model.fit(x, labels, workers=self.config.train_workers)
+        else:
+            model.fit(x, labels)
+        self.model = model
+        self.perf.record_training(
+            trees=model.n_trees if isinstance(model, RandomForest) else 0,
+            folds=folds,
+            seconds=time.perf_counter() - start,
+        )
         return reports
 
     def score_features(self, features: PageFeatures) -> float:
@@ -450,9 +673,15 @@ class SquatPhi:
         squat_matches: Sequence[SquatMatch],
         crawl: CrawlSnapshot,
     ) -> List[WildDetection]:
-        """Classify every live squat-domain page from a crawl snapshot."""
+        """Classify every live squat-domain page from a crawl snapshot.
+
+        Extraction fans out over ``extract_workers``; scoring embeds the
+        whole batch into one matrix and takes one ``predict_proba`` call
+        (per-page scores are computed independently inside the model, so
+        batching cannot change a byte).
+        """
         match_of = {m.domain: m for m in squat_matches}
-        flagged: List[WildDetection] = []
+        items: List[Tuple[str, str, SquatMatch, PageCapture]] = []
         for profile in ("web", "mobile"):
             for result in crawl.captures(profile):
                 match = match_of.get(result.domain)
@@ -460,18 +689,32 @@ class SquatPhi:
                     continue
                 if result.redirected:
                     continue  # redirects land on someone else's content
-                features = self.extractor.extract_capture(result.capture)
-                score = self.score_features(features)
-                if score >= self.config.decision_threshold:
-                    flagged.append(WildDetection(
-                        domain=result.domain,
-                        brand=match.brand,
-                        squat_type=match.squat_type,
-                        profile=profile,
-                        score=score,
-                        capture=result.capture,
-                        features=features,
-                    ))
+                items.append((profile, result.domain, match, result.capture))
+        if not items:
+            return []
+        features_list = self._extract_many([
+            (capture.html,
+             capture.screenshot.pixels if capture.screenshot is not None else None)
+            for _, _, _, capture in items
+        ])
+        if self.config.legacy_ml:
+            scores = [self.score_features(features) for features in features_list]
+        else:
+            vectors = self.embedder.transform(features_list)
+            scores = [float(s) for s in self.model.predict_proba(vectors)]
+        flagged: List[WildDetection] = []
+        for (profile, domain, match, capture), features, score in zip(
+                items, features_list, scores):
+            if score >= self.config.decision_threshold:
+                flagged.append(WildDetection(
+                    domain=domain,
+                    brand=match.brand,
+                    squat_type=match.squat_type,
+                    profile=profile,
+                    score=score,
+                    capture=capture,
+                    features=features,
+                ))
         return flagged
 
     def verify(self, flagged: Sequence[WildDetection]) -> List[VerifiedPhish]:
@@ -554,18 +797,24 @@ class SquatPhi:
         self,
         items: Sequence[Tuple[str, str, PageCapture]],
     ) -> List[EvasionMeasurement]:
-        """Evasion tests for (domain, brand, capture) triples."""
-        out: List[EvasionMeasurement] = []
-        for domain, brand_name, capture in items:
-            original = self.original_screenshot(brand_name)
-            out.append(measure_page(
-                domain=domain,
-                brand_name=brand_name,
-                html=capture.html,
-                phish_pixels=capture.screenshot.pixels,
-                original_pixels=original,
-            ))
-        return out
+        """Evasion tests for (domain, brand, capture) triples.
+
+        Brand originals are fetched serially first (their first-occurrence
+        visit order drives fault weather); the per-page measurements are
+        pure, so they fan out over ``extract_workers`` shards whose
+        ordered merge matches the serial loop byte for byte.
+        """
+        originals = [self.original_screenshot(brand) for _, brand, _ in items]
+        workers = self.config.extract_workers
+        work = [
+            (domain, brand, capture.html, capture.screenshot.pixels, original)
+            for (domain, brand, capture), original in zip(items, originals)
+        ]
+        if workers <= 1 or len(work) <= 1:
+            return _measure_shard(work)
+        chunk = max(1, -(-len(work) // (workers * 4)))
+        parts = process_map(_measure_shard, shard(work, chunk), workers=workers)
+        return [measurement for part in parts for measurement in part]
 
     # ------------------------------------------------------------------
     # feedback retraining (§6.1's proposed improvement / future work)
@@ -613,9 +862,11 @@ class SquatPhi:
     # ------------------------------------------------------------------
     # Config-field slices per stage: only the fields that can change a
     # stage's *results* participate in its fingerprint.  Throughput knobs
-    # (scan_workers, crawl_workers, capture_cache, checkpoint_interval)
-    # are deliberately absent — the determinism contract guarantees they
-    # cannot change artifacts, so they must not invalidate them.
+    # (scan_workers, crawl_workers, train_workers, extract_workers,
+    # capture_cache, checkpoint_interval, legacy_ml) are deliberately
+    # absent — the determinism contract guarantees they cannot change
+    # artifacts, so they must not invalidate them; the stage runner
+    # rejects slices that name one (see THROUGHPUT_FIELDS).
     _RESILIENCE_FIELDS = (
         "fault_plan", "crawl_max_retries", "backoff_base_delay",
         "backoff_max_delay", "backoff_jitter",

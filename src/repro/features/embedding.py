@@ -41,11 +41,13 @@ class FeatureEmbedder:
         self,
         brand_names: Sequence[str],
         config: Optional[EmbeddingConfig] = None,
+        legacy: bool = False,
     ) -> None:
         self.config = config or EmbeddingConfig()
         self.vocabulary = Vocabulary()
         for name in brand_names:
             self.vocabulary.add(name)
+        self.legacy = legacy
         self._fitted = False
 
     # ------------------------------------------------------------------
@@ -91,6 +93,12 @@ class FeatureEmbedder:
     # ------------------------------------------------------------------
     def transform_one(self, page: PageFeatures) -> "np.ndarray":
         """Vectorize one page."""
+        if self.legacy:
+            return self._transform_one_reference(page)
+        return self.transform([page])[0]
+
+    def _transform_one_reference(self, page: PageFeatures) -> "np.ndarray":
+        """Reference per-page build (the pre-batching hot path)."""
         if not self._fitted:
             raise RuntimeError("embedder must be fitted before transform")
         vocab_size = len(self.vocabulary)
@@ -116,10 +124,52 @@ class FeatureEmbedder:
         return np.concatenate(blocks) if blocks else np.zeros(0)
 
     def transform(self, pages: Sequence[PageFeatures]) -> "np.ndarray":
-        """Vectorize a batch of pages into an (n, d) matrix."""
+        """Vectorize a batch of pages into an (n, d) matrix.
+
+        The whole batch is built as one allocation per channel: tokens from
+        every page resolve to (row, column) pairs and a single scatter-add
+        fills the channel block.  Counts are whole floats, so accumulation
+        order can't change a byte versus the old per-page build.
+        """
+        if not self._fitted:
+            raise RuntimeError("embedder must be fitted before transform")
+        if self.legacy:
+            if not pages:
+                return np.zeros((0, self.dimension))
+            return np.stack([self._transform_one_reference(p) for p in pages])
         if not pages:
             return np.zeros((0, self.dimension))
-        return np.stack([self.transform_one(page) for page in pages])
+        n = len(pages)
+        vocab_size = len(self.vocabulary)
+        blocks: List[np.ndarray] = []
+        channel_tokens = (
+            (self.config.use_ocr, "ocr_tokens"),
+            (self.config.use_lexical, "lexical_tokens"),
+            (self.config.use_forms, "form_tokens"),
+        )
+        for enabled, attr in channel_tokens:
+            if not enabled:
+                continue
+            rows: List[int] = []
+            cols: List[int] = []
+            for row, page in enumerate(pages):
+                for token in getattr(page, attr):
+                    index = self.vocabulary.index(token)
+                    if index is not None:
+                        rows.append(row)
+                        cols.append(index)
+            block = np.zeros((n, vocab_size))
+            if rows:
+                np.add.at(block, (np.array(rows), np.array(cols)), 1.0)
+            blocks.append(block)
+        if self.config.use_numeric:
+            blocks.append(np.array([
+                [float(getattr(page, name)) for name in self.NUMERIC_FEATURES]
+                for page in pages
+            ]))
+        if not blocks:
+            return np.zeros((n, 0))
+        return np.concatenate(blocks, axis=1)
 
     def fit_transform(self, pages: Sequence[PageFeatures]) -> "np.ndarray":
         self.fit(pages)

@@ -3,6 +3,13 @@
 The paper's deployed model (Table 7: AUC 0.97).  Probability output is the
 mean of member-tree leaf probabilities, which gives the smooth scores the
 ROC analysis (Fig 10) needs.
+
+Each tree's randomness comes from ``np.random.default_rng([seed, index])``
+— a per-tree stream derived only from the forest seed and the tree's
+position, never from how many trees were fitted before it.  That makes
+tree fits order-independent, so ``fit(workers=N)`` can fan trees out over
+a process pool and merge them back in index order with predictions that
+byte-match the serial build.  ``workers`` is a pure throughput knob.
 """
 
 from __future__ import annotations
@@ -14,6 +21,24 @@ import numpy as np
 
 from repro.ml.base import Classifier, check_xy
 from repro.ml.tree import DecisionTree
+from repro.perf.engine import process_map, shard
+
+# Training matrix shipped once per worker via the pool initializer instead
+# of once per task; workers look the forest parameters up here.
+_FIT_CONTEXT: dict = {}
+
+
+def _fit_init(forest: "RandomForest", x: "np.ndarray", y: "np.ndarray") -> None:
+    _FIT_CONTEXT["forest"] = forest
+    _FIT_CONTEXT["x"] = x
+    _FIT_CONTEXT["y"] = y
+
+
+def _fit_tree_chunk(indices: List[int]) -> List[DecisionTree]:
+    forest = _FIT_CONTEXT["forest"]
+    x = _FIT_CONTEXT["x"]
+    y = _FIT_CONTEXT["y"]
+    return [forest._fit_one_tree(index, x, y) for index in indices]
 
 
 class RandomForest(Classifier):
@@ -27,6 +52,7 @@ class RandomForest(Classifier):
         min_samples_leaf: int = 1,
         max_features: Optional[str] = "sqrt",
         seed: int = 7,
+        legacy: bool = False,
     ) -> None:
         if n_trees < 1:
             raise ValueError("need at least one tree")
@@ -36,6 +62,7 @@ class RandomForest(Classifier):
         self.min_samples_leaf = min_samples_leaf
         self.max_features = max_features
         self.seed = seed
+        self.legacy = legacy
         self._trees: Optional[List[DecisionTree]] = None
 
     def _features_per_split(self, total: int) -> Optional[int]:
@@ -47,25 +74,43 @@ class RandomForest(Classifier):
             return None
         raise ValueError(f"unsupported max_features {self.max_features!r}")
 
-    def fit(self, x, y) -> "RandomForest":
+    def _fit_one_tree(self, index: int, x: "np.ndarray", y: "np.ndarray") -> DecisionTree:
+        """Fit tree ``index`` from its own seed stream (order-independent)."""
+        tree_rng = np.random.default_rng([self.seed, index])
+        n = x.shape[0]
+        sample = tree_rng.integers(0, n, size=n)
+        tree = DecisionTree(
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=self._features_per_split(x.shape[1]),
+            rng=tree_rng,
+            legacy=self.legacy,
+        )
+        if self.legacy:
+            return tree.fit(x[sample], y[sample])
+        # hand the bootstrap to the indexed build as row indices — same
+        # fitted tree, no full-width (n × features) copy per tree
+        return tree.fit(x, y, sample=sample)
+
+    def fit(self, x, y, workers: int = 1) -> "RandomForest":
         x, y = check_xy(x, y)
         if len(y) == 0:
             raise ValueError("empty training set")
-        rng = np.random.default_rng(self.seed)
-        per_split = self._features_per_split(x.shape[1])
-        self._trees = []
-        n = x.shape[0]
-        for _ in range(self.n_trees):
-            sample = rng.integers(0, n, size=n)
-            tree = DecisionTree(
-                max_depth=self.max_depth,
-                min_samples_split=self.min_samples_split,
-                min_samples_leaf=self.min_samples_leaf,
-                max_features=per_split,
-                rng=np.random.default_rng(rng.integers(0, 2**63)),
-            )
-            tree.fit(x[sample], y[sample])
-            self._trees.append(tree)
+        indices = list(range(self.n_trees))
+        if workers <= 1:
+            self._trees = [self._fit_one_tree(i, x, y) for i in indices]
+            return self
+        chunk = max(1, math.ceil(self.n_trees / (workers * 4)))
+        chunks = process_map(
+            _fit_tree_chunk,
+            shard(indices, chunk),
+            workers=workers,
+            initializer=_fit_init,
+            initargs=(self, x, y),
+        )
+        # merge in index order: chunk results come back in submission order
+        self._trees = [tree for part in chunks for tree in part]
         return self
 
     def predict_proba(self, x) -> "np.ndarray":

@@ -44,9 +44,33 @@ for _a, _b in CONFUSION_PAIRS:
 def _runs_at_least(ink: "np.ndarray", length: int, axis: int) -> "np.ndarray":
     """Mask of pixels lying on a straight ink run of >= ``length`` cells.
 
-    Morphological opening with a 1-D structuring element, vectorized as a
-    sliding-window minimum (erosion) followed by maximum (dilation).
+    Morphological opening with a 1-D structuring element.  Two cumulative
+    sums replace the ``2 × length`` rolled-copy reductions the reference
+    opening used: a trailing window is fully inked iff its count equals
+    ``length`` (erosion), and a pixel survives dilation iff any eroded
+    seed lies in its forward window.  The rolled version's wrap-around
+    never contributed — the wrapped erosion rows are zeroed and wrapped
+    dilation windows only ever reach those zeroed rows — so the masks
+    are identical.
     """
+    if ink.shape[axis] < length:
+        return np.zeros_like(ink)
+    flat = np.moveaxis(ink, axis, 0)
+    n = flat.shape[0]
+    counts = np.cumsum(flat != 0, axis=0, dtype=np.int32)
+    window = counts[length - 1:].copy()
+    window[1:] -= counts[:n - length]
+    eroded = np.zeros(flat.shape, dtype=ink.dtype)
+    eroded[length - 1:] = window == length
+    seeds = np.cumsum(eroded[::-1], axis=0, dtype=np.int32)[::-1]
+    ahead = np.zeros(flat.shape, dtype=np.int32)
+    ahead[:n - length] = seeds[length:]
+    return np.moveaxis((seeds - ahead > 0).astype(ink.dtype), 0, axis)
+
+
+def _runs_at_least_reference(ink: "np.ndarray", length: int,
+                             axis: int) -> "np.ndarray":
+    """Reference rolled-copy opening (the pre-cumsum hot path)."""
     if ink.shape[axis] < length:
         return np.zeros_like(ink)
     windows = [np.roll(ink, shift, axis=axis) for shift in range(length)]
@@ -60,18 +84,33 @@ def _runs_at_least(ink: "np.ndarray", length: int, axis: int) -> "np.ndarray":
     return np.maximum.reduce(dilations)
 
 
-def remove_form_lines(ink: "np.ndarray") -> "np.ndarray":
+def remove_form_lines(ink: "np.ndarray", legacy: bool = False) -> "np.ndarray":
     """Strip form-field borders and rules before recognition.
 
     Classical OCR preprocessing: glyphs in the 5×7 font never produce a
     horizontal run longer than ``GLYPH_WIDTH`` or a vertical run longer than
     ``GLYPH_HEIGHT``, so longer straight runs are box borders / separators
-    and are erased.
+    and are erased.  ``legacy`` selects the reference rolled-copy opening;
+    the cleaned raster is identical either way.
     """
-    horizontal = _runs_at_least(ink, GLYPH_WIDTH + 2, axis=1)
-    vertical = _runs_at_least(ink, GLYPH_HEIGHT + 2, axis=0)
+    if legacy:
+        horizontal = _runs_at_least_reference(ink, GLYPH_WIDTH + 2, axis=1)
+        vertical = _runs_at_least_reference(ink, GLYPH_HEIGHT + 2, axis=0)
+        cleaned = ink.copy()
+        cleaned[(horizontal | vertical) > 0] = 0
+        return cleaned
+    # runs live entirely inside the ink bounding box, so scanning only
+    # that window (most rasters are largely margin) changes nothing
+    rows = np.flatnonzero(ink.any(axis=1))
     cleaned = ink.copy()
-    cleaned[(horizontal | vertical) > 0] = 0
+    if len(rows) == 0:
+        return cleaned
+    cols = np.flatnonzero(ink.any(axis=0))
+    window = ink[rows[0]:rows[-1] + 1, cols[0]:cols[-1] + 1]
+    horizontal = _runs_at_least(window, GLYPH_WIDTH + 2, axis=1)
+    vertical = _runs_at_least(window, GLYPH_HEIGHT + 2, axis=0)
+    cleaned[rows[0]:rows[-1] + 1, cols[0]:cols[-1] + 1][
+        (horizontal | vertical) > 0] = 0
     return cleaned
 
 
@@ -96,7 +135,8 @@ class OCREngine:
     GARBLE_NOISE_SCALE = 12.0
 
     def __init__(self, error_rate: float = 0.03, drop_rate: float = 0.002,
-                 fault_injector: Optional["FaultInjector"] = None) -> None:
+                 fault_injector: Optional["FaultInjector"] = None,
+                 legacy: bool = False) -> None:
         """
         Args:
             error_rate: probability a recognized character is replaced by a
@@ -104,22 +144,31 @@ class OCREngine:
             drop_rate: probability a character is dropped entirely.
             fault_injector: optional deterministic fault source; rasters it
                 selects are recognized with heavily amplified noise.
+            legacy: decode bands cell by cell (the reference hot path)
+                instead of the batched whole-band template match.  Output
+                is byte-identical either way.
         """
         self.error_rate = error_rate
         self.drop_rate = drop_rate
         self.fault_injector = fault_injector
+        self.legacy = legacy
         chars = [char for char in FONT if char != " "]
         self._template_chars = chars
         # (T, H*W) stacked template matrix for vectorized matching
         self._template_matrix = np.stack(
             [FONT[char].astype(np.int16).ravel() for char in chars]
         )
+        # for the batched decode: templates and ink cells are 0/1, so
+        # |cell - template| sums to cell·1 + template·1 - 2·(cell @ template)
+        # — one small matmul instead of a (cells × T × H*W) broadcast
+        self._template_float = self._template_matrix.astype(np.float64)
+        self._template_mass = self._template_float.sum(axis=1)
 
     # ------------------------------------------------------------------
     def recognize(self, pixels: "np.ndarray") -> OCRResult:
         """Run the full segmentation + matching pipeline."""
         ink = (pixels < 128).astype(np.int16)
-        ink = remove_form_lines(ink)
+        ink = remove_form_lines(ink, legacy=self.legacy)
         lines: List[str] = []
         confidences: List[float] = []
         cells = 0
@@ -208,7 +257,71 @@ class OCREngine:
         self, band: "np.ndarray", start: int, rng: "np.random.Generator",
         noise_scale: float = 1.0,
     ) -> Tuple[str, List[float], int]:
-        """Decode a band assuming the glyph grid begins at column ``start``."""
+        """Decode a band assuming the glyph grid begins at column ``start``.
+
+        The batched path gathers every glyph cell of the band at once and
+        scores the whole block against the template matrix in one broadcast,
+        then replays the blank-run / noise bookkeeping sequentially.  The
+        replay consumes exactly one ``rng.random()`` draw per non-blank cell
+        in cell order — the same stream the per-cell reference walk draws —
+        so the decoded text is byte-identical.
+        """
+        if self.legacy:
+            return self._decode_at_reference(band, start, rng, noise_scale)
+        xs = np.arange(start, band.shape[1] - GLYPH_WIDTH + 1, _CELL_PITCH)
+        if len(xs) == 0:
+            return "", [], 0
+        # (H, k, W) gather -> (k, H*W) rows, matching cell.ravel() order
+        block = band[:, xs[:, None] + np.arange(GLYPH_WIDTH)[None, :]]
+        flat = block.transpose(1, 0, 2).reshape(len(xs), -1)
+        mass = flat.sum(axis=1)
+        blank = mass == 0
+        total = flat.shape[1]
+        chars: List[str] = []
+        scores: List[int] = []
+        rolls: List[float] = []
+        n_active = int(len(blank) - blank.sum())
+        if n_active:
+            active = flat[~blank].astype(np.float64)
+            # exact |cell - template| disagreement via the binary identity
+            # (all counts are small integers, exact in float64)
+            disagreement = (mass[~blank][:, None] + self._template_mass[None, :]
+                            - 2.0 * (active @ self._template_float.T))
+            matches = disagreement.argmin(axis=1)              # first min
+            chars = [self._template_chars[i] for i in matches.tolist()]
+            scores = disagreement[np.arange(len(matches)), matches].tolist()
+            rolls = rng.random(len(matches)).tolist()
+        drop_rate = min(0.2, self.drop_rate * noise_scale)
+        error_rate = min(0.6, self.error_rate * noise_scale)
+        out: List[str] = []
+        confidences: List[float] = []
+        blank_run = 0
+        j = 0
+        for is_blank in blank.tolist():
+            if is_blank:
+                blank_run += 1
+                # a run of 2+ blank cells is a word gap
+                if blank_run == 1 and out and out[-1] != " ":
+                    out.append(" ")
+                continue
+            blank_run = 0
+            char = chars[j]
+            roll = rolls[j]
+            if roll < drop_rate:
+                j += 1
+                continue
+            if roll < drop_rate + error_rate:
+                char = _CONFUSION_MAP.get(char, char)
+            out.append(char)
+            confidences.append(float(total - scores[j]) / total)
+            j += 1
+        return "".join(out), confidences, n_active
+
+    def _decode_at_reference(
+        self, band: "np.ndarray", start: int, rng: "np.random.Generator",
+        noise_scale: float = 1.0,
+    ) -> Tuple[str, List[float], int]:
+        """Reference cell-by-cell decode (the pre-vectorization hot path)."""
         out: List[str] = []
         confidences: List[float] = []
         cells = 0

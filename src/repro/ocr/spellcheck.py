@@ -74,11 +74,20 @@ class SpellChecker:
         lexicon: Iterable[str] = DEFAULT_LEXICON,
         max_distance: int = 1,
         min_word_length: int = 4,
+        legacy: bool = False,
     ) -> None:
+        """``legacy=True`` searches by scanning every length-adjacent
+        bucket (the reference path); the default uses a single-deletion
+        index, which returns the identical correction — see
+        :meth:`_search_indexed`."""
         self.max_distance = max_distance
         self.min_word_length = min_word_length
+        self.legacy = legacy
         self._words: Set[str] = set()
         self._by_length: Dict[int, List[str]] = defaultdict(list)
+        # deletion-form -> [(length, rank, word)]: every word is filed
+        # under itself and each of its single-character deletions
+        self._deletions: Dict[str, List[Tuple[int, int, str]]] = defaultdict(list)
         self._memo: Optional[Dict[str, str]] = None
         self._stats = None
         for word in lexicon:
@@ -98,10 +107,18 @@ class SpellChecker:
         word = word.lower()
         if word and word not in self._words:
             self._words.add(word)
-            self._by_length[len(word)].append(word)
+            bucket = self._by_length[len(word)]
+            entry = (len(word), len(bucket), word)
+            bucket.append(word)
+            for form in self._deletion_forms(word):
+                self._deletions[form].append(entry)
             if self._memo:
                 # dictionary changed: memoized corrections may be stale
                 self._memo.clear()
+
+    @staticmethod
+    def _deletion_forms(word: str) -> Set[str]:
+        return {word} | {word[:i] + word[i + 1:] for i in range(len(word))}
 
     def add_words(self, words: Iterable[str]) -> None:
         for word in words:
@@ -129,6 +146,32 @@ class SpellChecker:
         return corrected
 
     def _search(self, lowered: str) -> str:
+        if not self.legacy and self.max_distance == 1:
+            return self._search_indexed(lowered)
+        return self._search_reference(lowered)
+
+    def _search_indexed(self, lowered: str) -> str:
+        """Deletion-index search, byte-identical to the reference scan.
+
+        Every optimal-string-alignment edit at distance 1 (deletion,
+        insertion, substitution, transposition) leaves the query and the
+        dictionary word sharing a member of ``{word} ∪ single-deletions``,
+        so the index lookup yields a superset of the true matches.
+        Candidates are replayed in the reference scan's order — length
+        ascending, then bucket insertion order — and the first one whose
+        verified distance is 1 wins, exactly as the bucket scan's
+        early return picks it.
+        """
+        candidates: Set[Tuple[int, int, str]] = set()
+        for form in self._deletion_forms(lowered):
+            candidates.update(self._deletions.get(form, ()))
+        for _, _, candidate in sorted(candidates):
+            if damerau_levenshtein(lowered, candidate, cap=1) == 1:
+                return candidate
+        return lowered
+
+    def _search_reference(self, lowered: str) -> str:
+        """Reference length-bucket scan (the pre-index hot path)."""
         best: Optional[str] = None
         best_distance = self.max_distance + 1
         for length in range(len(lowered) - self.max_distance,

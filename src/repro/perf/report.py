@@ -87,19 +87,33 @@ class PerfReport:
     Attributes:
         scan_workers: process-pool width used for the snapshot scan.
         crawl_workers: thread-pool width used for crawl dispatch.
+        train_workers: process-pool width for forest trees and CV folds.
+        extract_workers: process-pool width for feature extraction.
         cache_enabled: whether the capture cache was active.
         stage_seconds: wall-clock seconds per pipeline stage.
         cached_stages: stages served from the artifact store instead of
             executing (incremental re-runs); they charge no wall clock.
+        pages_extracted: pages that went through feature extraction.
+        extract_seconds: wall clock spent in extraction batches.
+        trees_fitted: forest trees fitted (final models, not CV folds).
+        folds_fitted: cross-validation folds fitted.
+        train_seconds: wall clock spent fitting and cross-validating.
         cache: the run's :class:`CacheStats` (shared with the cache object,
             so it is always current).
     """
 
     scan_workers: int = 1
     crawl_workers: int = 1
+    train_workers: int = 1
+    extract_workers: int = 1
     cache_enabled: bool = True
     stage_seconds: Dict[str, float] = field(default_factory=dict)
     cached_stages: List[str] = field(default_factory=list)
+    pages_extracted: int = 0
+    extract_seconds: float = 0.0
+    trees_fitted: int = 0
+    folds_fitted: int = 0
+    train_seconds: float = 0.0
     cache: CacheStats = field(default_factory=CacheStats)
 
     def record_stage(self, stage: str, seconds: float) -> None:
@@ -111,6 +125,21 @@ class PerfReport:
         if stage not in self.cached_stages:
             self.cached_stages.append(stage)
 
+    def record_extraction(self, pages: int, seconds: float) -> None:
+        """Accumulate one feature-extraction batch."""
+        self.pages_extracted += pages
+        self.extract_seconds += seconds
+
+    def record_training(self, trees: int, folds: int, seconds: float) -> None:
+        """Accumulate one training pass (final fit + CV folds)."""
+        self.trees_fitted += trees
+        self.folds_fitted += folds
+        self.train_seconds += seconds
+
+    @property
+    def extract_pages_per_second(self) -> float:
+        return self.pages_extracted / self.extract_seconds if self.extract_seconds else 0.0
+
     @property
     def total_seconds(self) -> float:
         return sum(self.stage_seconds.values())
@@ -119,11 +148,18 @@ class PerfReport:
         return {
             "scan_workers": self.scan_workers,
             "crawl_workers": self.crawl_workers,
+            "train_workers": self.train_workers,
+            "extract_workers": self.extract_workers,
             "cache_enabled": self.cache_enabled,
             "stage_seconds": {k: round(v, 4)
                               for k, v in sorted(self.stage_seconds.items())},
             "total_seconds": round(self.total_seconds, 4),
             "cached_stages": list(self.cached_stages),
+            "pages_extracted": self.pages_extracted,
+            "extract_seconds": round(self.extract_seconds, 4),
+            "trees_fitted": self.trees_fitted,
+            "folds_fitted": self.folds_fitted,
+            "train_seconds": round(self.train_seconds, 4),
             "cache": self.cache.to_dict(),
         }
 
@@ -139,6 +175,8 @@ class PerfReport:
             "perf report",
             f"  scan workers:    {self.scan_workers}",
             f"  crawl workers:   {self.crawl_workers}",
+            f"  train workers:   {self.train_workers}",
+            f"  extract workers: {self.extract_workers}",
             f"  capture cache:   {'on' if self.cache_enabled else 'off'}",
         ]
         if timings and self.stage_seconds:
@@ -176,4 +214,13 @@ class PerfReport:
         for stage in self.cached_stages:
             lines.append(f"  {stage}: cached (artifact store)")
         lines.append(f"  total: {self.total_seconds:.2f}s")
+        if self.pages_extracted:
+            lines.append(
+                f"  extraction: {self.pages_extracted} pages in "
+                f"{self.extract_seconds:.2f}s "
+                f"({self.extract_pages_per_second:.1f} pages/s)")
+        if self.train_seconds:
+            lines.append(
+                f"  training: {self.trees_fitted} trees + "
+                f"{self.folds_fitted} CV folds in {self.train_seconds:.2f}s")
         return "\n".join(lines)

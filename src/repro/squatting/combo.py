@@ -53,12 +53,18 @@ class ComboModel:
         affixes: Sequence[str] = COMMON_AFFIXES,
         max_variants: Optional[int] = None,
     ) -> Set[str]:
-        """Hyphenated combos of ``label`` with common affixes."""
+        """Hyphenated combos of ``label`` with common affixes.
+
+        Three shapes per affix: brand-affix, affix-brand, and a glued
+        tail where the next affix rides directly on the brand inside the
+        hyphenated label (``go-uberfreight`` style).
+        """
         variants: Set[str] = set()
-        for affix in affixes:
+        for i, affix in enumerate(affixes):
             variants.add(f"{label}-{affix}")
             variants.add(f"{affix}-{label}")
-            variants.add(f"{affix}-{label}{affix[:0]}")
+            glue = affixes[(i + 1) % len(affixes)]
+            variants.add(f"{affix}-{label}{glue}")
             if max_variants and len(variants) >= max_variants:
                 break
         variants.discard(label)

@@ -93,6 +93,31 @@ MULTI_CHAR_CONFUSABLES: Tuple[Tuple[str, FrozenSet[str]], ...] = tuple(
     )
 )
 
+# Edge maps for bucket pre-filters: the *first* (last) character of a
+# displayed label constrains which base characters the matched brand can
+# start (end) with — a homograph match must consume that edge character
+# literally, as a single confusable, or as the edge of a multi-character
+# variant, so variant[0] (variant[-1]) points back at every base it could
+# stand in for.  Identity is handled by the consumer.
+_LEAD_SETS: Dict[str, Set[str]] = {}
+_TRAIL_SETS: Dict[str, Set[str]] = {}
+for _base, _variants in CONFUSABLES.items():
+    for _variant in _variants:
+        _LEAD_SETS.setdefault(_variant[0], set()).add(_base)
+        _TRAIL_SETS.setdefault(_variant[-1], set()).add(_base)
+
+
+def lead_bases(char: str) -> FrozenSet[str]:
+    """Base characters a brand could *start* with, given that the displayed
+    label starts with ``char`` (excluding the literal identity)."""
+    return frozenset(_LEAD_SETS.get(char, ()))
+
+
+def trail_bases(char: str) -> FrozenSet[str]:
+    """Base characters a brand could *end* with, given that the displayed
+    label ends with ``char`` (excluding the literal identity)."""
+    return frozenset(_TRAIL_SETS.get(char, ()))
+
 
 def confusable_variants(char: str, ascii_only: bool = False) -> Tuple[str, ...]:
     """All registered look-alikes for a base character."""

@@ -30,6 +30,7 @@ from repro.dns.zone import ZoneStore
 from repro.perf.engine import process_map, shard
 from repro.squatting.bits import BitsModel
 from repro.squatting.combo import ComboModel
+from repro.squatting.confusables import lead_bases, trail_bases
 from repro.squatting.generator import SquattingGenerator
 from repro.squatting.homograph import HomographModel
 from repro.squatting.typo import TypoModel
@@ -54,8 +55,12 @@ class SquattingDetector:
         # 4-gram prefix index over brand labels for combo containment scans
         self._combo_prefix_index: Dict[str, List[str]] = defaultdict(list)
         # (length, first char) / (length, last char) buckets for the ASCII
-        # homograph fallback, so we never loop over the full catalog
+        # homograph fallback and the IDN pre-filter, so neither ever loops
+        # over the full catalog
         self._homograph_buckets: Dict[Tuple[int, int, str], List[str]] = defaultdict(list)
+        # brand insertion rank, so bucket-gathered candidates can be tried
+        # in catalog order (first match wins, same as a full catalog loop)
+        self._brand_rank: Dict[str, int] = {}
         self._build_indices()
 
     def _build_indices(self) -> None:
@@ -63,6 +68,7 @@ class SquattingDetector:
         for brand in self.catalog:
             label = brand.core_label
             self._brand_by_label[label] = brand
+            self._brand_rank.setdefault(label, len(self._brand_rank))
             self._brand_domains.add(brand.domain.lower())
             if len(label) >= combo_min:
                 self._combo_prefix_index[label[:combo_min]].append(label)
@@ -132,17 +138,38 @@ class SquattingDetector:
         return None
 
     def _match_idn(self, domain: str, core: str) -> Optional[SquatMatch]:
+        """IDN homographs via the length/edge bucket pre-filter.
+
+        A brand label can only match when its length is within ±1 of the
+        displayed label's (the same gate the former full-catalog loop
+        applied) and its first or last character is one the displayed
+        label's edge character can be read as — literally, as a single
+        confusable, or as the edge of a multi-character confusable.  The
+        buckets encode exactly those constraints, and candidates are tried
+        in catalog order, so the match is identical to the full loop.
+        """
         try:
             displayed = label_to_unicode(core)
         except IDNAError:
             return None
-        for label, brand in self._brand_by_label.items():
-            if abs(len(displayed) - len(label)) > 1:
-                continue
+        if not displayed:
+            return None
+        first = set(lead_bases(displayed[0]))
+        first.add(displayed[0])
+        last = set(trail_bases(displayed[-1]))
+        last.add(displayed[-1])
+        candidates: Set[str] = set()
+        for char in first:
+            candidates.update(
+                self._homograph_buckets.get((len(displayed), 0, char), ()))
+        for char in last:
+            candidates.update(
+                self._homograph_buckets.get((len(displayed), 1, char), ()))
+        for label in sorted(candidates, key=self._brand_rank.__getitem__):
             if self.generator.homograph.matches(core, label):
                 return SquatMatch(
                     domain=domain,
-                    brand=brand.name,
+                    brand=self._brand_by_label[label].name,
                     squat_type=SquatType.HOMOGRAPH,
                     detail=f"idn:{displayed}",
                 )
@@ -239,11 +266,27 @@ class SquattingDetector:
             initializer=_pool_init, initargs=(self.catalog, self.generator))
         return [match for chunk in chunks for match in chunk]
 
-    def scan_counts(self, zone: ZoneStore) -> Dict[SquatType, int]:
-        """Squat-type histogram over a snapshot (the Fig 2 series)."""
+    def scan_counts(self, zone: ZoneStore, workers: int = 1,
+                    chunk_size: int = 512) -> Dict[SquatType, int]:
+        """Squat-type histogram over a snapshot (the Fig 2 series).
+
+        With ``workers > 1`` each pool worker histograms whole chunks of
+        registered domains; per-chunk counts merge by addition, which is
+        associative, so the result equals the serial histogram for any
+        worker count or chunk size.
+        """
         counts: Dict[SquatType, int] = {t: 0 for t in SquatType}
-        for match in self.iter_scan(zone):
-            counts[match.squat_type] += 1
+        if workers <= 1:
+            for match in self.iter_scan(zone):
+                counts[match.squat_type] += 1
+            return counts
+        shards = shard(zone.registered_domains(), chunk_size)
+        chunk_counts = process_map(
+            _pool_count_chunk, shards, workers,
+            initializer=_pool_init, initargs=(self.catalog, self.generator))
+        for histogram in chunk_counts:
+            for squat_type, count in histogram.items():
+                counts[squat_type] += count
         return counts
 
 
@@ -268,3 +311,15 @@ def _pool_scan_chunk(domains: List[str]) -> List[SquatMatch]:
         if match is not None:
             matches.append(match)
     return matches
+
+
+def _pool_count_chunk(domains: List[str]) -> Dict[SquatType, int]:
+    """Histogram one chunk (the associative piece of ``scan_counts``)."""
+    detector = _POOL_DETECTOR
+    assert detector is not None, "pool worker used before initialization"
+    counts: Dict[SquatType, int] = {}
+    for domain in domains:
+        match = detector.classify_domain(domain)
+        if match is not None:
+            counts[match.squat_type] = counts.get(match.squat_type, 0) + 1
+    return counts

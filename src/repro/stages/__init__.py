@@ -40,6 +40,7 @@ from repro.stages.runner import (
     RunOutcome,
     StageContext,
     StageRunner,
+    THROUGHPUT_FIELDS,
     code_digest,
     config_slice_digest,
 )
@@ -56,6 +57,7 @@ __all__ = [
     "StageLike",
     "StageRecord",
     "StageRunner",
+    "THROUGHPUT_FIELDS",
     "code_digest",
     "config_slice_digest",
     "derived_digest",

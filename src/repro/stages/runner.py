@@ -55,9 +55,24 @@ def code_digest(fn: Any) -> str:
     return hashlib.sha256(source.encode("utf-8", "surrogatepass")).hexdigest()
 
 
+#: Pure throughput knobs: the determinism contract guarantees none of
+#: them can change an artifact byte, so none of them may appear in a
+#: stage's config slice — changing ``--train-workers`` must never
+#: invalidate a stored stage.  ``config_slice_digest`` enforces this.
+THROUGHPUT_FIELDS = frozenset({
+    "scan_workers", "crawl_workers", "train_workers", "extract_workers",
+    "capture_cache", "checkpoint_interval", "legacy_ml",
+})
+
+
 def config_slice_digest(config: Any, fields: Iterable[str]) -> str:
     """Digest of the named config fields' reprs (sorted by field name)."""
-    parts = [f"{name}={getattr(config, name)!r}" for name in sorted(fields)]
+    names = sorted(fields)
+    banned = THROUGHPUT_FIELDS.intersection(names)
+    if banned:
+        raise ValueError(
+            f"throughput knobs cannot enter a stage fingerprint: {sorted(banned)}")
+    parts = [f"{name}={getattr(config, name)!r}" for name in names]
     return hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()
 
 

@@ -21,6 +21,17 @@ class TestGeneration:
             assert "-" in variant
             assert "uber" in variant
 
+    def test_glued_tail_variants(self, model):
+        # the third shape glues the *next* affix onto the brand tail
+        # (go-uberfreight style) instead of repeating the hyphenated pair
+        variants = model.generate("uber", affixes=("go", "freight"))
+        assert "go-uberfreight" in variants
+        assert "freight-ubergo" in variants
+
+    def test_every_generated_variant_is_detected(self, model):
+        for variant in sorted(model.generate("facebook")):
+            assert model.matches(variant, "facebook") is not None, variant
+
 
 class TestDetection:
     @pytest.mark.parametrize("label,target,kind", [

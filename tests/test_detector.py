@@ -3,6 +3,7 @@
 import pytest
 
 from repro.brands import Brand, BrandCatalog
+from repro.dns.idna import IDNAError, label_to_unicode
 from repro.dns.zone import ZoneStore
 from repro.squatting.detector import SquattingDetector
 from repro.squatting.types import SquatType
@@ -97,6 +98,50 @@ def test_scan_counts(detector):
     assert counts[SquatType.TYPO] == 1
     assert counts[SquatType.COMBO] == 1
     assert counts[SquatType.WRONG_TLD] == 1
+
+
+def _match_idn_full_catalog(detector, domain, core):
+    """The pre-bucket IDN matcher: loop the whole catalog in insertion
+    order, gated only on a ±1 length window around the displayed label.
+    Kept inline as the regression oracle for the bucket pre-filter."""
+    try:
+        displayed = label_to_unicode(core)
+    except IDNAError:
+        return None
+    for brand in detector.catalog:
+        label = brand.core_label
+        if abs(len(displayed) - len(label)) > 1:
+            continue
+        if detector.generator.homograph.matches(core, label):
+            return (brand.name, f"idn:{displayed}")
+    return None
+
+
+def test_idn_bucket_prefilter_matches_full_catalog_loop(detector):
+    """The length/edge-character buckets must never change a verdict —
+    same brand, same detail, same misses as the brute-force catalog scan."""
+    cores = set()
+    for brand in detector.catalog:
+        cores.update(detector.generator.homograph.generate_idn(
+            brand.core_label, max_variants=80))
+    # decoys squatting nothing in the catalog must miss both ways
+    for word in ("example", "weather", "netflix", "ub"):
+        cores.update(sorted(detector.generator.homograph.generate_idn(
+            word, max_variants=20)))
+    assert len(cores) > 100
+    hits = 0
+    for core in sorted(cores):
+        domain = f"{core}.com"
+        got = detector._match_idn(domain, core)
+        want = _match_idn_full_catalog(detector, domain, core)
+        if want is None:
+            assert got is None, core
+        else:
+            hits += 1
+            assert got is not None, core
+            assert (got.brand, got.detail) == want, core
+            assert got.squat_type == SquatType.HOMOGRAPH
+    assert hits > 50  # the oracle must actually exercise the match path
 
 
 def test_world_truth_agreement(micro_world):

@@ -10,6 +10,8 @@ import pytest
 
 from repro.core import PipelineConfig, SquatPhi
 from repro.phishworld.world import WorldConfig, build_world
+from repro.squatting.detector import SquattingDetector
+from repro.stages import ArtifactStore
 
 SMALL = WorldConfig(seed=99, n_organic_domains=60, n_squat_domains=80,
                     n_phish_domains=8, phishtank_reports=40)
@@ -95,3 +97,86 @@ class TestPipelineDeterminism:
         scores_b = sorted((f.domain, f.profile, round(f.score, 10))
                           for f in b.flagged)
         assert scores_a == scores_b
+
+
+class TestScanWorkerDeterminism:
+    def test_scan_counts_workers_equal_serial(self, twin_worlds):
+        world, _ = twin_worlds
+        detector = SquattingDetector(world.catalog)
+        serial = detector.scan_counts(world.zone)
+        assert sum(serial.values()) > 0
+        # chunk-histogram merges are additive (associative), so any
+        # worker count / chunk size must reproduce the serial histogram
+        for workers, chunk_size in ((2, 16), (4, 7)):
+            assert detector.scan_counts(
+                world.zone, workers=workers, chunk_size=chunk_size) == serial
+
+    def test_scan_sharded_workers_equal_serial(self, twin_worlds):
+        world, _ = twin_worlds
+        detector = SquattingDetector(world.catalog)
+        serial = [(m.domain, m.brand, m.squat_type)
+                  for m in detector.scan(world.zone)]
+        sharded = [(m.domain, m.brand, m.squat_type)
+                   for m in detector.scan_sharded(world.zone, workers=4,
+                                                  chunk_size=11)]
+        assert sharded == serial
+
+
+def _assert_byte_equivalent(result, reference):
+    """The §10 contract: worker knobs never change an output byte."""
+    assert [(m.domain, m.brand, m.squat_type) for m in result.squat_matches] \
+        == [(m.domain, m.brand, m.squat_type) for m in reference.squat_matches]
+    assert [s.digest() for s in result.crawl_snapshots] == \
+        [s.digest() for s in reference.crawl_snapshots]
+    for name in reference.cv_reports:
+        assert result.cv_reports[name].row() == reference.cv_reports[name].row()
+        assert result.cv_reports[name].auc == reference.cv_reports[name].auc
+    # scores compared exactly, not rounded: byte-identical is the contract
+    assert sorted((f.domain, f.profile, f.score) for f in result.flagged) == \
+        sorted((f.domain, f.profile, f.score) for f in reference.flagged)
+    assert result.verified_domains() == reference.verified_domains()
+
+
+class TestThroughputKnobDeterminism:
+    """--train-workers / --extract-workers are pure throughput knobs
+    (DESIGN.md §10): every output byte matches the serial run."""
+
+    @pytest.fixture(scope="class")
+    def serial_result(self):
+        config = PipelineConfig(cv_folds=3, rf_trees=8)
+        return SquatPhi(build_world(SMALL), config).run(
+            follow_up_snapshots=False)
+
+    def _run(self, **overrides):
+        config = PipelineConfig(cv_folds=3, rf_trees=8, **overrides)
+        return SquatPhi(build_world(SMALL), config).run(
+            follow_up_snapshots=False)
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_worker_counts_change_no_output_byte(self, serial_result, workers):
+        result = self._run(train_workers=workers, extract_workers=workers)
+        _assert_byte_equivalent(result, serial_result)
+
+    def test_legacy_ml_path_matches_vectorized(self, serial_result):
+        # the pre-vectorization reference path (bench baseline) must agree
+        # byte for byte with the production vectorized path
+        result = self._run(legacy_ml=True)
+        _assert_byte_equivalent(result, serial_result)
+
+    def test_resume_from_store_across_worker_counts(self, serial_result,
+                                                    tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        first = SquatPhi(build_world(SMALL), PipelineConfig(
+            cv_folds=3, rf_trees=8, train_workers=2, extract_workers=2))
+        first_result = first.run(follow_up_snapshots=False, store=store)
+        _assert_byte_equivalent(first_result, serial_result)
+
+        # worker knobs sit outside every stage fingerprint, so a serial
+        # resume of the parallel run is served entirely from the store
+        rerun = SquatPhi(build_world(SMALL),
+                         PipelineConfig(cv_folds=3, rf_trees=8))
+        result = rerun.run(follow_up_snapshots=False, store=store,
+                           resume=first.run_id)
+        assert result is not None
+        _assert_byte_equivalent(result, serial_result)
+        assert {"train", "classify"} <= set(rerun.perf.cached_stages)

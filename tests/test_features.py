@@ -139,6 +139,17 @@ class TestEmbedding:
         embedder = FeatureEmbedder(["paypal"]).fit(self.make_pages())
         assert embedder.transform([]).shape == (0, embedder.dimension)
 
+    def test_batch_transform_matches_reference(self):
+        # the scatter-add matrix build must byte-match the pre-vectorization
+        # per-page loop kept behind legacy=True
+        pages = self.make_pages() + [PageFeatures()]
+        fast = FeatureEmbedder(["paypal"]).fit(pages)
+        slow = FeatureEmbedder(["paypal"], legacy=True).fit(pages)
+        assert np.array_equal(fast.transform(pages), slow.transform(pages))
+        for page in pages:
+            assert np.array_equal(fast.transform_one(page),
+                                  slow.transform_one(page))
+
     def test_feature_names_match_dimension(self):
         embedder = FeatureEmbedder(["paypal"]).fit(self.make_pages())
         names = embedder.feature_names()

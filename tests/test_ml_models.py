@@ -126,6 +126,65 @@ class TestTree:
         assert tree.predict_proba(np.array([[9.0]]))[0] < 1.0
 
 
+class TestVectorizedEquivalence:
+    """``legacy=True`` preserves the pre-vectorization reference paths;
+    the vectorized twins must reproduce them byte for byte."""
+
+    @pytest.mark.parametrize("max_features", [None, 3])
+    def test_tree_matches_reference(self, max_features):
+        for seed in range(4):
+            x, y = separable_data(n=150, d=10, seed=seed)
+            x = np.round(x)  # integer grid -> plenty of threshold ties
+            fast = DecisionTree(max_depth=8, max_features=max_features,
+                                rng=np.random.default_rng(seed)).fit(x, y)
+            slow = DecisionTree(max_depth=8, max_features=max_features,
+                                rng=np.random.default_rng(seed),
+                                legacy=True).fit(x, y)
+            assert np.array_equal(fast.predict_proba(x),
+                                  slow.predict_proba(x))
+            assert np.array_equal(fast.feature_importances,
+                                  slow.feature_importances)
+
+    def test_forest_matches_reference(self):
+        x, y = separable_data(n=120, d=8, seed=5)
+        fast = RandomForest(n_trees=6, max_depth=6, seed=11).fit(x, y)
+        slow = RandomForest(n_trees=6, max_depth=6, seed=11,
+                            legacy=True).fit(x, y)
+        assert np.array_equal(fast.predict_proba(x), slow.predict_proba(x))
+        assert np.array_equal(fast.feature_importances,
+                              slow.feature_importances)
+
+
+class TestParallelTraining:
+    """``workers`` is a pure throughput knob: outputs byte-match serial."""
+
+    def test_forest_fit_workers_byte_identical(self):
+        x, y = separable_data(n=160, d=12, seed=9)
+        serial = RandomForest(n_trees=10, max_depth=6, seed=3).fit(
+            x, y, workers=1)
+        for workers in (2, 4):
+            fanned = RandomForest(n_trees=10, max_depth=6, seed=3).fit(
+                x, y, workers=workers)
+            assert np.array_equal(serial.predict_proba(x),
+                                  fanned.predict_proba(x))
+            assert np.array_equal(serial.feature_importances,
+                                  fanned.feature_importances)
+
+    def test_cross_validate_workers_byte_identical(self):
+        from repro.core.pipeline import ModelFactory
+        from repro.ml.validation import cross_validate
+
+        x, y = separable_data(n=160, d=12, seed=4)
+        factory = ModelFactory(name="random_forest", rf_trees=8,
+                               rf_max_depth=6, knn_k=5)
+        serial = cross_validate(factory, x, y, k=4, workers=1)
+        for workers in (2, 3):
+            fanned = cross_validate(factory, x, y, k=4, workers=workers)
+            assert fanned.row() == serial.row()
+            assert fanned.auc == serial.auc
+            assert fanned.accuracy == serial.accuracy
+
+
 class TestForest:
     def test_rejects_zero_trees(self):
         with pytest.raises(ValueError):

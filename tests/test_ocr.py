@@ -136,3 +136,72 @@ class TestLineRemoval:
         canvas[:, -1] = 1
         cleaned = remove_form_lines(canvas)
         assert cleaned.sum() == strip.sum()
+
+
+class TestLegacyEquivalence:
+    """The batched decode and cumsum morphology are byte-for-byte twins of
+    the reference cell-by-cell paths (``legacy=True``)."""
+
+    def test_runs_at_least_matches_reference(self):
+        from repro.ocr.engine import _runs_at_least, _runs_at_least_reference
+
+        rng = np.random.default_rng(11)
+        for _ in range(25):
+            shape = (int(rng.integers(1, 40)), int(rng.integers(1, 40)))
+            ink = (rng.random(shape) < 0.45).astype(np.int16)
+            for length in (2, GLYPH_WIDTH + 2, GLYPH_HEIGHT + 2, 50):
+                for axis in (0, 1):
+                    assert np.array_equal(
+                        _runs_at_least(ink, length, axis),
+                        _runs_at_least_reference(ink, length, axis),
+                    )
+
+    def test_remove_form_lines_matches_reference(self):
+        rng = np.random.default_rng(4)
+        rasters = [np.zeros((12, 12), dtype=np.int16)]
+        for _ in range(20):
+            shape = (int(rng.integers(3, 60)), int(rng.integers(3, 60)))
+            rasters.append((rng.random(shape) < 0.4).astype(np.int16))
+        # a framed page: borders must go, inner ink must stay, both paths
+        framed = np.zeros((30, 40), dtype=np.int16)
+        framed[0, :] = framed[-1, :] = framed[:, 0] = framed[:, -1] = 1
+        framed[10:17, 8:13] = glyph_bitmap("a")
+        rasters.append(framed)
+        for ink in rasters:
+            assert np.array_equal(remove_form_lines(ink),
+                                  remove_form_lines(ink, legacy=True))
+
+    def test_recognize_matches_reference_on_rendered_pages(self):
+        fast = OCREngine()
+        slow = OCREngine(legacy=True)
+        texts = [
+            "please enter your password",
+            "secure login\nverify account",
+            "il1l li lli",     # narrow glyphs exercise the alignment retry
+            "a",
+            "update  billing   details now",
+        ]
+        for text in texts:
+            pixels = np.full((60, 400), 255, dtype=np.uint8)
+            raster = render_text(text.split("\n")[0])
+            y = 4
+            for line in text.split("\n"):
+                raster = render_text(line)
+                h, w = raster.shape
+                pixels[y:y + h, 4:4 + w] = np.where(raster > 0, 0, 255)
+                y += h + 3
+            a = fast.recognize(pixels)
+            b = slow.recognize(pixels)
+            assert (a.text, a.lines, a.mean_confidence, a.cells_scanned) == \
+                (b.text, b.lines, b.mean_confidence, b.cells_scanned)
+
+    def test_recognize_matches_reference_under_garble_noise(self):
+        # high noise exercises the drop/confusion replay at every cell
+        fast = OCREngine(error_rate=0.4, drop_rate=0.1)
+        slow = OCREngine(error_rate=0.4, drop_rate=0.1, legacy=True)
+        raster = render_text("password account verify")
+        pixels = np.where(raster > 0, 0, 255).astype(np.uint8)
+        a = fast.recognize(pixels)
+        b = slow.recognize(pixels)
+        assert a.text == b.text
+        assert a.mean_confidence == b.mean_confidence

@@ -69,3 +69,54 @@ class TestSpellChecker:
     def test_default_lexicon_has_core_vocabulary(self):
         for word in ("password", "username", "login", "verify"):
             assert word in DEFAULT_LEXICON
+
+
+class TestDeletionIndexEquivalence:
+    """The deletion-index search returns the exact correction the reference
+    length-bucket scan picks, including its scan-order tie-breaks."""
+
+    def _fuzz_words(self, lexicon, seed=7):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        alpha = "abcdefghijklmnopqrstuvwxyz0123456789"
+        words = []
+        for base in lexicon:
+            for _ in range(6):
+                chars = list(base)
+                op = int(rng.integers(4))
+                i = int(rng.integers(len(chars)))
+                if op == 0 and len(chars) > 1:
+                    del chars[i]
+                elif op == 1:
+                    chars.insert(i, alpha[int(rng.integers(len(alpha)))])
+                elif op == 2:
+                    chars[i] = alpha[int(rng.integers(len(alpha)))]
+                elif op == 3 and i + 1 < len(chars):
+                    chars[i], chars[i + 1] = chars[i + 1], chars[i]
+                words.append("".join(chars))
+            words.append(base + "xy")  # distance 2: must stay unchanged
+        words += ["".join(alpha[int(rng.integers(36))]
+                          for _ in range(int(rng.integers(4, 12))))
+                  for _ in range(200)]
+        return words
+
+    def test_matches_reference_scan(self):
+        lexicon = list(DEFAULT_LEXICON) + ["paypal", "payal", "appple"]
+        indexed = SpellChecker(lexicon)
+        reference = SpellChecker(lexicon, legacy=True)
+        for word in self._fuzz_words(lexicon):
+            assert indexed.correct_word(word) == reference.correct_word(word)
+
+    def test_tie_break_prefers_shorter_then_insertion_order(self):
+        # "payal" sits at distance 1 from both entries; the reference scan
+        # visits the length-4 bucket first — the index must agree
+        indexed = SpellChecker(["pays", "payal"[:-1] + "ll"])
+        reference = SpellChecker(["pays", "payal"[:-1] + "ll"], legacy=True)
+        assert indexed.correct_word("payal") == reference.correct_word("payal")
+
+    def test_index_tracks_added_words(self):
+        checker = SpellChecker([])
+        assert checker.correct_word("verfy") == "verfy"
+        checker.add_word("verify")
+        assert checker.correct_word("verfy") == "verify"

@@ -164,6 +164,29 @@ class TestFingerprints:
         assert config_slice_digest(config, ("x", "y")) == \
             config_slice_digest(config, ("y", "x"))
 
+    def test_throughput_fields_are_banned_from_fingerprints(self):
+        # worker counts etc. are throughput knobs: letting one into a
+        # stage fingerprint would invalidate cached artifacts on resume
+        from repro.stages import THROUGHPUT_FIELDS
+
+        config = PipelineConfig()
+        for field in sorted(THROUGHPUT_FIELDS):
+            assert hasattr(config, field), field
+            with pytest.raises(ValueError, match="throughput"):
+                config_slice_digest(config, ("cv_folds", field))
+
+    def test_pipeline_stage_slices_avoid_throughput_fields(self):
+        from repro.phishworld.world import WorldConfig, build_world
+        from repro.stages import THROUGHPUT_FIELDS
+
+        tiny = build_world(WorldConfig(seed=5, n_organic_domains=5,
+                                       n_squat_domains=5, n_phish_domains=2,
+                                       phishtank_reports=4))
+        pipeline = SquatPhi(tiny, PipelineConfig())
+        for stage in pipeline.build_graph().stages.values():
+            overlap = set(stage.config_fields) & THROUGHPUT_FIELDS
+            assert not overlap, (stage.name, overlap)
+
 
 # ----------------------------------------------------------------------
 # the artifact store
