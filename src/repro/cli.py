@@ -101,10 +101,19 @@ def cmd_classify(args: argparse.Namespace) -> int:
 
 
 def cmd_scan(args: argparse.Namespace) -> int:
-    """Scan an ActiveDNS-style snapshot file for squatting domains."""
-    zone = load_snapshot(args.snapshot)
+    """Scan a DNS snapshot file (TSV or packed) for squatting domains."""
+    from repro.dns.packedzone import PackedZone, is_packed_file
+
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    if is_packed_file(args.snapshot):
+        # packed snapshots mmap straight into the zero-copy scan kernel
+        zone = PackedZone.load(args.snapshot)
+    else:
+        zone = load_snapshot(args.snapshot)
     detector = SquattingDetector(_build_catalog(args.brands, args.sectors))
-    matches = detector.scan(zone)
+    matches = detector.scan_sharded(zone, workers=args.workers)
 
     print(f"scanned {len(zone)} records, found {len(matches)} squatting domains\n")
     histogram = Counter(m.squat_type.value for m in matches)
@@ -132,10 +141,16 @@ def cmd_world(args: argparse.Namespace) -> int:
         n_squat_domains=args.squats,
         n_phish_domains=args.phish,
         phishtank_reports=max(20, args.phish * 4),
+        packed_zone=args.packed,
     )
     world = build_world(config)
-    count = write_snapshot(iter(world.zone), args.out)
-    print(f"wrote {count} DNS records to {args.out}")
+    if args.packed:
+        world.zone.save(args.out)
+        count = len(world.zone)
+        print(f"wrote {count} DNS records to {args.out} (packed snapshot)")
+    else:
+        count = write_snapshot(iter(world.zone), args.out)
+        print(f"wrote {count} DNS records to {args.out}")
     print(f"  brands: {len(world.catalog)}  squats: {len(world.squat_truth)}"
           f"  planted phishing: {len(world.phishing_sites)}")
     return 0
@@ -168,6 +183,7 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
         n_squat_domains=args.squats,
         n_phish_domains=max(4, args.squats // 12),
         phishtank_reports=max(40, args.squats // 3),
+        packed_zone=args.packed_zone,
     )
     world = build_world(config)
     fault_plan = (FaultPlan.uniform(args.fault_rate, seed=args.fault_seed)
@@ -261,10 +277,14 @@ def build_parser() -> argparse.ArgumentParser:
     classify.set_defaults(func=cmd_classify)
 
     scan = sub.add_parser("scan", help="scan a DNS snapshot file")
-    scan.add_argument("snapshot", help="ActiveDNS-style TSV (.gz ok)")
+    scan.add_argument("snapshot",
+                      help="ActiveDNS-style TSV (.gz ok) or a packed "
+                           "snapshot from `world --packed` (autodetected)")
     scan.add_argument("--brands", nargs="*")
     scan.add_argument("--sectors", nargs="*", choices=sector_choices,
                       help="add sector catalogs (§7 extension)")
+    scan.add_argument("--workers", type=int, default=1,
+                      help="process-pool width for the sharded scan")
     scan.add_argument("--top", type=int, default=10)
     scan.add_argument("--out", help="write matches to this TSV file")
     scan.set_defaults(func=cmd_scan)
@@ -275,6 +295,9 @@ def build_parser() -> argparse.ArgumentParser:
     world.add_argument("--organic", type=int, default=500)
     world.add_argument("--squats", type=int, default=500)
     world.add_argument("--phish", type=int, default=40)
+    world.add_argument("--packed", action="store_true",
+                       help="write a packed columnar snapshot (mmap-able "
+                            "by `scan`) instead of a TSV")
     world.set_defaults(func=cmd_world)
 
     pipeline = sub.add_parser("pipeline", help="run the end-to-end demo")
@@ -289,6 +312,11 @@ def build_parser() -> argparse.ArgumentParser:
                           help="crawl retries per job after a failed visit")
     pipeline.add_argument("--scan-workers", type=int, default=1,
                           help="process-pool width for the snapshot scan")
+    pipeline.add_argument("--packed-zone", action="store_true",
+                          help="build the world's DNS zone as a packed "
+                               "columnar snapshot; the scan stage then "
+                               "mmaps it zero-copy across --scan-workers "
+                               "(results are identical either way)")
     pipeline.add_argument("--crawl-workers", type=int, default=20,
                           help="thread-pool width for crawl dispatch")
     pipeline.add_argument("--train-workers", type=int, default=1,

@@ -1,0 +1,532 @@
+"""Packed columnar DNS snapshots: the scan stage's zone-file-scale substrate.
+
+The paper scans an ActiveDNS snapshot of 224.8M records (§3); a
+:class:`~repro.dns.zone.ZoneStore` holds every record as a Python
+dict/set/dataclass web, which tops out one to two orders of magnitude
+below that on one machine.  This module packs the same snapshot into a
+handful of contiguous numpy arrays — interned label blobs plus offset and
+id columns — serialized into a single mmap-able file, so that
+
+* building a snapshot streams records straight into byte buffers (no
+  per-record :class:`~repro.dns.records.DNSRecord` objects),
+* sharded scan workers mmap the file and read ``[start, stop)`` slices of
+  the registered-domain columns zero-copy (no pickled string chunks), and
+* the whole snapshot is content-addressed: a SHA-256 digest over the
+  payload sits in the header, giving the stage graph a canonical artifact
+  digest without rehydrating anything.
+
+Layout (all little-endian, every section 64-byte aligned)::
+
+    magic "PZON0001" | u64 meta length | 32-byte payload sha256
+    meta JSON  (section table with offsets relative to the data start,
+                counts, tld/source/record-type intern tables, rare
+                non-IPv4 ips)
+    sections   name_blob/name_off   full names, utf-8, insertion order
+               rec_reg rec_ip rec_type rec_src    per-record columns
+               reg_core reg_tld     per-registered-domain columns,
+                                    first-seen order (== dict order)
+               core_blob/core_off   interned core labels, first-seen order
+               reg_by_core/core_spans   registered ids grouped by core
+               rec_by_reg/reg_spans     record ids grouped by registered
+
+Ordering is the load-bearing invariant: records keep insertion order,
+registered domains and core labels keep *first-seen* order — exactly the
+iteration order of ``ZoneStore``'s backing dicts — so a scan over a packed
+zone visits domains in the same order as the dict-backed store and its
+output digests byte-match (see DESIGN.md §11).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import mmap
+import os
+import tempfile
+import weakref
+from array import array
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
+
+import numpy as np
+
+from repro.dns.records import DNSRecord, split_domain
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dns.zone import ZoneStore
+    from repro.faults.plan import FaultInjector
+
+MAGIC = b"PZON0001"
+VERSION = 1
+_HEADER_LEN = 8 + 8 + 32
+_ALIGN = 64
+
+PathLike = Union[str, Path]
+
+
+def _align(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def _ip_to_u32(ip: str) -> Optional[int]:
+    """Strictly-canonical dotted-quad → u32 (None when not round-trippable)."""
+    parts = ip.split(".")
+    if len(parts) != 4:
+        return None
+    value = 0
+    for part in parts:
+        if not part.isdigit() or str(int(part)) != part:
+            return None
+        octet = int(part)
+        if octet > 255:
+            return None
+        value = (value << 8) | octet
+    return value
+
+
+def _u32_to_ip(value: int) -> str:
+    return f"{(value >> 24) & 255}.{(value >> 16) & 255}.{(value >> 8) & 255}.{value & 255}"
+
+
+class PackedZoneBuilder:
+    """Streaming builder: feed ``(name, ip, type, source)`` rows, get a
+    :class:`PackedZone`.
+
+    Mirrors ``ZoneStore.add``'s semantics exactly — names are normalized
+    (lowercase, trailing dot stripped), a repeated name *replaces* the
+    earlier record in place, and registered domains / core labels are
+    interned in first-seen order — without ever materializing a
+    :class:`DNSRecord`.
+    """
+
+    def __init__(self) -> None:
+        self._name_blob = bytearray()
+        self._name_off = array("Q", [0])
+        self._name_index: Dict[str, int] = {}
+        self._rec_reg = array("I")
+        self._rec_ip = array("I")
+        self._rec_type = array("H")
+        self._rec_src = array("H")
+        self._extra_ips: Dict[int, str] = {}
+        self._reg_index: Dict[str, int] = {}
+        self._reg_core = array("I")
+        self._reg_tld = array("H")
+        self._core_index: Dict[str, int] = {}
+        self._core_blob = bytearray()
+        self._core_off = array("Q", [0])
+        self._tld_index: Dict[str, int] = {}
+        self._tlds: List[str] = []
+        self._src_index: Dict[str, int] = {}
+        self._srcs: List[str] = []
+        self._type_index: Dict[str, int] = {}
+        self._types: List[str] = []
+
+    def __len__(self) -> int:
+        return len(self._rec_reg)
+
+    def _intern(self, value: str, index: Dict[str, int], table: List[str]) -> int:
+        slot = index.get(value)
+        if slot is None:
+            slot = len(table)
+            index[value] = slot
+            table.append(value)
+        return slot
+
+    def add_name(self, name: str, ip: str = "0.0.0.0",
+                 source: str = "zone", record_type: str = "A") -> None:
+        """Insert one record (same contract as ``ZoneStore.add_name``)."""
+        if not name:
+            raise ValueError("DNS record requires a non-empty name")
+        name = name.lower().rstrip(".")
+        ip4 = _ip_to_u32(ip)
+        type_id = self._intern(record_type, self._type_index, self._types)
+        src_id = self._intern(source, self._src_index, self._srcs)
+        existing = self._name_index.get(name)
+        if existing is not None:
+            # replacement: same name → same registered domain; only the
+            # scalar columns change (dicts keep insertion position, and
+            # so do we)
+            self._rec_ip[existing] = 0 if ip4 is None else ip4
+            if ip4 is None:
+                self._extra_ips[existing] = ip
+            else:
+                self._extra_ips.pop(existing, None)
+            self._rec_type[existing] = type_id
+            self._rec_src[existing] = src_id
+            return
+        core, tld = split_domain(name)
+        registered = f"{core}.{tld}" if tld else core
+        reg_id = self._reg_index.get(registered)
+        if reg_id is None:
+            reg_id = len(self._reg_core)
+            self._reg_index[registered] = reg_id
+            core_id = self._core_index.get(core)
+            if core_id is None:
+                core_id = len(self._core_off) - 1
+                self._core_index[core] = core_id
+                self._core_blob.extend(core.encode("utf-8"))
+                self._core_off.append(len(self._core_blob))
+            self._reg_core.append(core_id)
+            self._reg_tld.append(self._intern(tld, self._tld_index, self._tlds))
+        rec_id = len(self._rec_reg)
+        self._name_index[name] = rec_id
+        self._name_blob.extend(name.encode("utf-8"))
+        self._name_off.append(len(self._name_blob))
+        self._rec_reg.append(reg_id)
+        self._rec_ip.append(0 if ip4 is None else ip4)
+        if ip4 is None:
+            self._extra_ips[rec_id] = ip
+        self._rec_type.append(type_id)
+        self._rec_src.append(src_id)
+
+    def add(self, record: DNSRecord) -> None:
+        """Insert an already-built record (ZoneStore-compat convenience)."""
+        self.add_name(record.name, ip=record.ip,
+                      source=record.source, record_type=record.record_type)
+
+    # ------------------------------------------------------------------
+    def build(self) -> "PackedZone":
+        """Finalize into an in-memory :class:`PackedZone`."""
+        return PackedZone.from_bytes(self.to_bytes())
+
+    def to_bytes(self) -> bytes:
+        rec_reg = np.frombuffer(self._rec_reg, dtype=np.uint32) \
+            if len(self._rec_reg) else np.zeros(0, dtype=np.uint32)
+        reg_core = np.frombuffer(self._reg_core, dtype=np.uint32) \
+            if len(self._reg_core) else np.zeros(0, dtype=np.uint32)
+        n_reg = len(self._reg_core)
+        n_core = len(self._core_off) - 1
+        # stable grouping permutations + spans, so names_under /
+        # registered_domains_with_core are O(1) slices at lookup time
+        rec_by_reg = np.argsort(rec_reg, kind="stable").astype(np.uint32)
+        reg_spans = np.zeros(n_reg + 1, dtype=np.uint64)
+        np.cumsum(np.bincount(rec_reg, minlength=n_reg), out=reg_spans[1:])
+        reg_by_core = np.argsort(reg_core, kind="stable").astype(np.uint32)
+        core_spans = np.zeros(n_core + 1, dtype=np.uint64)
+        np.cumsum(np.bincount(reg_core, minlength=n_core), out=core_spans[1:])
+
+        sections = [
+            ("name_blob", np.frombuffer(self._name_blob, dtype=np.uint8)),
+            ("name_off", np.frombuffer(self._name_off, dtype=np.uint64)),
+            ("rec_reg", rec_reg),
+            ("rec_ip", np.frombuffer(self._rec_ip, dtype=np.uint32)),
+            ("rec_type", np.frombuffer(self._rec_type, dtype=np.uint16)),
+            ("rec_src", np.frombuffer(self._rec_src, dtype=np.uint16)),
+            ("reg_core", reg_core),
+            ("reg_tld", np.frombuffer(self._reg_tld, dtype=np.uint16)),
+            ("core_blob", np.frombuffer(self._core_blob, dtype=np.uint8)),
+            ("core_off", np.frombuffer(self._core_off, dtype=np.uint64)),
+            ("reg_by_core", reg_by_core),
+            ("core_spans", core_spans),
+            ("rec_by_reg", rec_by_reg),
+            ("reg_spans", reg_spans),
+        ]
+        table: Dict[str, Dict[str, object]] = {}
+        cursor = 0
+        for name, arr in sections:
+            cursor = _align(cursor)
+            table[name] = {"offset": cursor, "dtype": arr.dtype.str,
+                           "count": int(arr.size)}
+            cursor += arr.nbytes
+        meta = {
+            "version": VERSION,
+            "records": len(self._rec_reg),
+            "registered": n_reg,
+            "cores": n_core,
+            "tlds": self._tlds,
+            "sources": self._srcs,
+            "record_types": self._types,
+            "extra_ips": {str(k): v for k, v in sorted(self._extra_ips.items())},
+            "sections": table,
+        }
+        meta_bytes = json.dumps(meta, sort_keys=True,
+                                separators=(",", ":")).encode("utf-8")
+        data_start = _align(_HEADER_LEN + len(meta_bytes))
+        total = data_start + cursor
+        out = bytearray(total)
+        out[0:8] = MAGIC
+        out[8:16] = len(meta_bytes).to_bytes(8, "little")
+        out[_HEADER_LEN:_HEADER_LEN + len(meta_bytes)] = meta_bytes
+        for name, arr in sections:
+            at = data_start + int(table[name]["offset"])  # type: ignore[arg-type]
+            out[at:at + arr.nbytes] = arr.tobytes()
+        out[16:48] = hashlib.sha256(bytes(out[_HEADER_LEN:])).digest()
+        return bytes(out)
+
+    def write(self, path: PathLike) -> int:
+        """Serialize straight to ``path``; returns the record count."""
+        data = self.to_bytes()
+        with open(path, "wb") as handle:
+            handle.write(data)
+        return len(self)
+
+
+class PackedZone:
+    """An immutable, columnar DNS snapshot with ``ZoneStore``'s lookup
+    protocol.
+
+    Backed either by in-memory bytes (fresh :meth:`PackedZoneBuilder.build`)
+    or by an mmap of the serialized file (:meth:`load`) — the numpy views
+    are identical either way, and slicing them never copies.  Random-access
+    lookups (``get``, ``names_under``, …) build small lazy python indexes
+    on first use; the scan hot path touches only the packed columns.
+    """
+
+    def __init__(self, buffer, path: Optional[Path] = None,
+                 mapped: Optional[mmap.mmap] = None) -> None:
+        self._buf = buffer
+        self._map = mapped  # kept alive for the lifetime of the views
+        self.path = Path(path) if path is not None else None
+        if len(buffer) < _HEADER_LEN or bytes(buffer[0:8]) != MAGIC:
+            raise ValueError("not a packed zone snapshot (bad magic)")
+        meta_len = int.from_bytes(bytes(buffer[8:16]), "little")
+        self.content_digest: str = bytes(buffer[16:48]).hex()
+        meta = json.loads(bytes(buffer[_HEADER_LEN:_HEADER_LEN + meta_len]))
+        if meta["version"] != VERSION:
+            raise ValueError(f"unsupported packed zone version {meta['version']}")
+        self.n_records: int = meta["records"]
+        self.n_registered: int = meta["registered"]
+        self.n_cores: int = meta["cores"]
+        self.tlds: List[str] = meta["tlds"]
+        self.sources: List[str] = meta["sources"]
+        self.record_types: List[str] = meta["record_types"]
+        self.extra_ips: Dict[int, str] = {
+            int(k): v for k, v in meta["extra_ips"].items()}
+        data_start = _align(_HEADER_LEN + meta_len)
+        self._sections: Dict[str, np.ndarray] = {}
+        for name, spec in meta["sections"].items():
+            self._sections[name] = np.frombuffer(
+                buffer, dtype=np.dtype(spec["dtype"]), count=spec["count"],
+                offset=data_start + spec["offset"])
+        self.name_blob = self._sections["name_blob"]
+        self.name_off = self._sections["name_off"]
+        self.rec_reg = self._sections["rec_reg"]
+        self.rec_ip = self._sections["rec_ip"]
+        self.rec_type = self._sections["rec_type"]
+        self.rec_src = self._sections["rec_src"]
+        self.reg_core = self._sections["reg_core"]
+        self.reg_tld = self._sections["reg_tld"]
+        self.core_blob = self._sections["core_blob"]
+        self.core_off = self._sections["core_off"]
+        self.reg_by_core = self._sections["reg_by_core"]
+        self.core_spans = self._sections["core_spans"]
+        self.rec_by_reg = self._sections["rec_by_reg"]
+        self.reg_spans = self._sections["reg_spans"]
+        # live-lookup fault hook, same contract as ZoneStore
+        self.fault_injector: Optional["FaultInjector"] = None
+        self._name_lookup: Optional[Dict[str, int]] = None
+        self._reg_lookup: Optional[Dict[str, int]] = None
+        self._core_lookup: Optional[Dict[str, int]] = None
+        self._tempfile: Optional[Path] = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "PackedZone":
+        return cls(data)
+
+    @classmethod
+    def load(cls, path: PathLike) -> "PackedZone":
+        """mmap a serialized snapshot; pages fault in only when touched."""
+        path = Path(path)
+        with open(path, "rb") as handle:
+            mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        return cls(mapped, path=path, mapped=mapped)
+
+    def save(self, path: PathLike) -> int:
+        """Write the snapshot file; returns the record count."""
+        with open(path, "wb") as handle:
+            handle.write(bytes(self._buf))
+        self.path = Path(path)
+        return self.n_records
+
+    def to_bytes(self) -> bytes:
+        return bytes(self._buf)
+
+    def ensure_file(self) -> Path:
+        """A file holding this snapshot, for workers to mmap.
+
+        Returns :attr:`path` when the zone was loaded from (or saved to)
+        disk; otherwise spills once to a temp file that lives as long as
+        this object.
+        """
+        if self.path is not None and self.path.exists():
+            return self.path
+        if self._tempfile is None:
+            fd, raw = tempfile.mkstemp(prefix="packedzone-", suffix=".pzon")
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(bytes(self._buf))
+            self._tempfile = Path(raw)
+            weakref.finalize(self, _unlink_quiet, raw)
+        return self._tempfile
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the serialized snapshot in bytes."""
+        return len(self._buf)
+
+    def verify(self) -> None:
+        """Recompute the payload SHA-256 against the header digest.
+
+        Deliberately not run on :meth:`load` — hashing the whole file
+        would fault every mmap page in and defeat the lazy zero-copy
+        open.  Raises :class:`ValueError` on a corrupt snapshot.
+        """
+        actual = hashlib.sha256(bytes(self._buf[_HEADER_LEN:])).hexdigest()
+        if actual != self.content_digest:
+            raise ValueError(
+                "packed zone payload digest mismatch (corrupt snapshot)")
+
+    def __reduce__(self):
+        # artifact stores pickle payloads: ship the raw file bytes, which
+        # are self-contained and content-addressed (fault_injector is a
+        # live-run hook and deliberately not carried)
+        return (PackedZone.from_bytes, (self.to_bytes(),))
+
+    # ------------------------------------------------------------------
+    # decoding helpers
+    # ------------------------------------------------------------------
+    def _name_at(self, rec_id: int) -> str:
+        start = int(self.name_off[rec_id])
+        stop = int(self.name_off[rec_id + 1])
+        return self.name_blob[start:stop].tobytes().decode("utf-8")
+
+    def core_at(self, core_id: int) -> str:
+        start = int(self.core_off[core_id])
+        stop = int(self.core_off[core_id + 1])
+        return self.core_blob[start:stop].tobytes().decode("utf-8")
+
+    def registered_at(self, reg_id: int) -> str:
+        core = self.core_at(int(self.reg_core[reg_id]))
+        tld = self.tlds[int(self.reg_tld[reg_id])]
+        return f"{core}.{tld}" if tld else core
+
+    def _ip_at(self, rec_id: int) -> str:
+        extra = self.extra_ips.get(rec_id)
+        if extra is not None:
+            return extra
+        return _u32_to_ip(int(self.rec_ip[rec_id]))
+
+    def record_at(self, rec_id: int) -> DNSRecord:
+        return DNSRecord(
+            name=self._name_at(rec_id),
+            ip=self._ip_at(rec_id),
+            record_type=self.record_types[int(self.rec_type[rec_id])],
+            source=self.sources[int(self.rec_src[rec_id])],
+        )
+
+    # ------------------------------------------------------------------
+    # ZoneStore lookup protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.n_records
+
+    def __iter__(self) -> Iterator[DNSRecord]:
+        return (self.record_at(i) for i in range(self.n_records))
+
+    def _names(self) -> Dict[str, int]:
+        if self._name_lookup is None:
+            self._name_lookup = {self._name_at(i): i
+                                 for i in range(self.n_records)}
+        return self._name_lookup
+
+    def _regs(self) -> Dict[str, int]:
+        if self._reg_lookup is None:
+            self._reg_lookup = {self.registered_at(i): i
+                                for i in range(self.n_registered)}
+        return self._reg_lookup
+
+    def _cores(self) -> Dict[str, int]:
+        if self._core_lookup is None:
+            self._core_lookup = {self.core_at(i): i
+                                 for i in range(self.n_cores)}
+        return self._core_lookup
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower().rstrip(".") in self._names()
+
+    def get(self, name: str) -> Optional[DNSRecord]:
+        rec_id = self._names().get(name.lower().rstrip("."))
+        return None if rec_id is None else self.record_at(rec_id)
+
+    def resolve(self, name: str, snapshot: int = 0,
+                attempt: int = 0) -> Optional[DNSRecord]:
+        """Live-query semantics, identical to ``ZoneStore.resolve``."""
+        if self.fault_injector is not None:
+            self.fault_injector.check_dns(name.lower().rstrip("."),
+                                          snapshot, attempt)
+        return self.get(name)
+
+    def has_registered_domain(self, registered: str) -> bool:
+        return registered.lower() in self._regs()
+
+    def names_under(self, registered: str) -> List[str]:
+        reg_id = self._regs().get(registered.lower())
+        if reg_id is None:
+            return []
+        start = int(self.reg_spans[reg_id])
+        stop = int(self.reg_spans[reg_id + 1])
+        return sorted(self._name_at(int(rec))
+                      for rec in self.rec_by_reg[start:stop])
+
+    def registered_domains(self) -> Iterator[str]:
+        """Registered domains in first-seen order (== ZoneStore's)."""
+        return (self.registered_at(i) for i in range(self.n_registered))
+
+    def registered_domains_with_core(self, core: str) -> List[str]:
+        core_id = self._cores().get(core.lower())
+        if core_id is None:
+            return []
+        start = int(self.core_spans[core_id])
+        stop = int(self.core_spans[core_id + 1])
+        return sorted(self.registered_at(int(reg))
+                      for reg in self.reg_by_core[start:stop])
+
+    def core_labels(self) -> Iterator[Tuple[str, Set[str]]]:
+        for core_id in range(self.n_cores):
+            start = int(self.core_spans[core_id])
+            stop = int(self.core_spans[core_id + 1])
+            yield self.core_at(core_id), {
+                self.registered_at(int(reg))
+                for reg in self.reg_by_core[start:stop]
+            }
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "records": self.n_records,
+            "registered_domains": self.n_registered,
+            "core_labels": self.n_cores,
+        }
+
+
+def _unlink_quiet(path: str) -> None:
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
+
+
+def pack_zone(zone: Union["ZoneStore", PackedZone]) -> PackedZone:
+    """Pack a dict-backed store (idempotent on already-packed zones)."""
+    if isinstance(zone, PackedZone):
+        return zone
+    builder = PackedZoneBuilder()
+    for record in zone:
+        builder.add(record)
+    return builder.build()
+
+
+def is_packed_file(path: PathLike) -> bool:
+    """True when ``path`` starts with the packed-zone magic."""
+    try:
+        with open(path, "rb") as handle:
+            return handle.read(8) == MAGIC
+    except OSError:
+        return False
+
+
+def iter_names(records: Iterable[DNSRecord]) -> Iterator[Tuple[str, str, str, str]]:
+    """Adapter: DNSRecord stream → builder row stream."""
+    for record in records:
+        yield record.name, record.ip, record.record_type, record.source

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Optional, Tuple
 
 # Top-level domains known to the synthetic world.  This doubles as the public
@@ -85,7 +86,14 @@ def split_domain(name: str) -> Tuple[str, str]:
     ``mail.google-app.de`` → ``("google-app", "de")``.  Unknown suffixes fall
     back to the last label, so the function is total.
     """
-    name = name.lower().rstrip(".")
+    return _split_normalized(name.lower().rstrip("."))
+
+
+@lru_cache(maxsize=1 << 17)
+def _split_normalized(name: str) -> Tuple[str, str]:
+    # memoized: zone indexing and the squat scan both split every
+    # registered domain they see, usually the same small working set;
+    # the suffix loop is pure so caching cannot change results
     labels = name.split(".")
     if len(labels) == 1:
         return name, ""

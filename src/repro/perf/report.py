@@ -98,6 +98,9 @@ class PerfReport:
         trees_fitted: forest trees fitted (final models, not CV folds).
         folds_fitted: cross-validation folds fitted.
         train_seconds: wall clock spent fitting and cross-validating.
+        registered_scanned: registered domains classified by the zone scan.
+        scan_seconds: wall clock spent scanning the zone snapshot.
+        peak_rss_kb: peak resident set size sampled after the run (KB).
         cache: the run's :class:`CacheStats` (shared with the cache object,
             so it is always current).
     """
@@ -114,6 +117,9 @@ class PerfReport:
     trees_fitted: int = 0
     folds_fitted: int = 0
     train_seconds: float = 0.0
+    registered_scanned: int = 0
+    scan_seconds: float = 0.0
+    peak_rss_kb: int = 0
     cache: CacheStats = field(default_factory=CacheStats)
 
     def record_stage(self, stage: str, seconds: float) -> None:
@@ -136,9 +142,35 @@ class PerfReport:
         self.folds_fitted += folds
         self.train_seconds += seconds
 
+    def record_scan(self, domains: int, seconds: float) -> None:
+        """Accumulate one zone scan (registered domains classified)."""
+        self.registered_scanned += domains
+        self.scan_seconds += seconds
+
+    def record_peak_rss(self) -> None:
+        """Sample the process's peak resident set size (best effort).
+
+        Uses :func:`resource.getrusage`, so the number is cumulative for
+        the process — repeated calls keep the maximum.  No-op on platforms
+        without the ``resource`` module.
+        """
+        try:
+            import resource
+            import sys
+        except ImportError:  # pragma: no cover - non-POSIX platforms
+            return
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        if sys.platform == "darwin":  # ru_maxrss is bytes on macOS, KB on Linux
+            peak //= 1024
+        self.peak_rss_kb = max(self.peak_rss_kb, int(peak))
+
     @property
     def extract_pages_per_second(self) -> float:
         return self.pages_extracted / self.extract_seconds if self.extract_seconds else 0.0
+
+    @property
+    def scan_domains_per_second(self) -> float:
+        return self.registered_scanned / self.scan_seconds if self.scan_seconds else 0.0
 
     @property
     def total_seconds(self) -> float:
@@ -160,6 +192,10 @@ class PerfReport:
             "trees_fitted": self.trees_fitted,
             "folds_fitted": self.folds_fitted,
             "train_seconds": round(self.train_seconds, 4),
+            "registered_scanned": self.registered_scanned,
+            "scan_seconds": round(self.scan_seconds, 4),
+            "scan_domains_per_second": round(self.scan_domains_per_second, 1),
+            "peak_rss_kb": self.peak_rss_kb,
             "cache": self.cache.to_dict(),
         }
 
@@ -223,4 +259,11 @@ class PerfReport:
             lines.append(
                 f"  training: {self.trees_fitted} trees + "
                 f"{self.folds_fitted} CV folds in {self.train_seconds:.2f}s")
+        if self.registered_scanned:
+            lines.append(
+                f"  scan: {self.registered_scanned} registered domains in "
+                f"{self.scan_seconds:.2f}s "
+                f"({self.scan_domains_per_second:.0f} domains/s)")
+        if self.peak_rss_kb:
+            lines.append(f"  peak RSS: {self.peak_rss_kb / 1024:.1f} MiB")
         return "\n".join(lines)

@@ -18,13 +18,14 @@ from __future__ import annotations
 import zlib
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
 from repro.brands.alexa import AlexaRanking, synth_brand_name
 from repro.brands.catalog import Brand, BrandCatalog, build_paper_catalog
 from repro.dns.idna import label_to_ascii
+from repro.dns.packedzone import PackedZone, PackedZoneBuilder
 from repro.dns.records import KNOWN_TLDS, split_domain
 from repro.dns.zone import ZoneStore
 from repro.phishworld.attacker import (
@@ -184,6 +185,12 @@ class WorldConfig:
     # confusable benign content among live, non-redirect squat pages
     confusable_page_rate: float = 0.10
 
+    # build the DNS snapshot as a packed columnar zone
+    # (repro.dns.packedzone) instead of a dict-backed ZoneStore.  Purely a
+    # representation knob: record stream and iteration order are
+    # identical, so every scan digest byte-matches the dict-backed world.
+    packed_zone: bool = False
+
     def scaled(self, factor: float) -> "WorldConfig":
         """A copy with population sizes scaled by ``factor``."""
         return WorldConfig(
@@ -199,6 +206,7 @@ class WorldConfig:
             redirect_original_share=self.redirect_original_share,
             redirect_market_share=self.redirect_market_share,
             confusable_page_rate=self.confusable_page_rate,
+            packed_zone=self.packed_zone,
         )
 
 
@@ -234,7 +242,7 @@ class SyntheticInternet:
 
     config: WorldConfig
     catalog: BrandCatalog
-    zone: ZoneStore
+    zone: Union[ZoneStore, PackedZone]
     host: WebHost
     whois: WhoisRegistry
     geoip: GeoIPRegistry
@@ -264,7 +272,11 @@ class _WorldBuilder:
         self.config = config
         self.rng = np.random.default_rng(config.seed)
         self.catalog = build_paper_catalog(config.n_brands)
-        self.zone = ZoneStore()
+        # the packed builder streams records straight into columnar byte
+        # buffers — no per-record DNSRecord objects are ever materialized;
+        # it accepts the same add_name calls as the dict store
+        self.zone: Union[ZoneStore, PackedZoneBuilder] = (
+            PackedZoneBuilder() if config.packed_zone else ZoneStore())
         self.host = WebHost()
         self.whois = WhoisRegistry(np.random.default_rng(config.seed + 1))
         self.geoip = GeoIPRegistry(np.random.default_rng(config.seed + 2))
@@ -295,10 +307,12 @@ class _WorldBuilder:
         self._place_squat_domains(reserved={d for d, *_ in phish_plan})
         self._place_phishing_domains(phish_plan)
         self._place_phishtank_urls()
+        zone = (self.zone.build() if isinstance(self.zone, PackedZoneBuilder)
+                else self.zone)
         return SyntheticInternet(
             config=self.config,
             catalog=self.catalog,
-            zone=self.zone,
+            zone=zone,
             host=self.host,
             whois=self.whois,
             geoip=self.geoip,

@@ -21,13 +21,15 @@ Complexity matters at snapshot scale, so the detector avoids the naive
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
 
 from repro.brands.catalog import Brand, BrandCatalog
 from repro.dns.idna import ACE_PREFIX, IDNAError, label_to_unicode
+from repro.dns.packedzone import PackedZone
 from repro.dns.records import split_domain
 from repro.dns.zone import ZoneStore
 from repro.perf.engine import process_map, shard
+from repro.squatting import packedscan
 from repro.squatting.bits import BitsModel
 from repro.squatting.combo import ComboModel
 from repro.squatting.confusables import lead_bases, trail_bases
@@ -36,6 +38,9 @@ from repro.squatting.homograph import HomographModel
 from repro.squatting.typo import TypoModel
 from repro.squatting.types import SquatMatch, SquatType
 from repro.squatting.wrongtld import WrongTLDModel
+
+# anything exposing the ZoneStore lookup protocol scans the same way
+Zone = Union[ZoneStore, PackedZone]
 
 
 class SquattingDetector:
@@ -91,7 +96,15 @@ class SquattingDetector:
     def classify_domain(self, domain: str) -> Optional[SquatMatch]:
         """Classify one registered domain; None if it squats no brand."""
         domain = domain.lower().rstrip(".")
-        core, tld = split_domain(domain)
+        return self._classify(domain, split_domain(domain)[0])
+
+    def _classify(self, domain: str, core: str) -> Optional[SquatMatch]:
+        """Rule cascade over an already-normalized (domain, core label).
+
+        Split out from :meth:`classify_domain` so the packed-zone scan
+        kernel, which reads core labels straight from the snapshot's
+        columnar blob, can skip the redundant ``split_domain`` pass.
+        """
         if domain in self._brand_domains:
             return None  # the brand's own site is not a squat
 
@@ -227,37 +240,41 @@ class SquattingDetector:
     # ------------------------------------------------------------------
     # snapshot scan
     # ------------------------------------------------------------------
-    def iter_scan(self, zone: ZoneStore) -> Iterator[SquatMatch]:
+    def iter_scan(self, zone: "Zone") -> Iterator[SquatMatch]:
         """Stream matches over a snapshot's registered domains.
 
         The generator form keeps snapshot-scale scans O(matches) in memory
         for consumers that only aggregate (:meth:`scan_counts`); sharded
         workers consume their chunk the same way.
         """
-        for registered in zone.registered_domains():
-            match = self.classify_domain(registered)
-            if match is not None:
-                yield match
+        return _iter_matches(self, zone.registered_domains())
 
-    def scan(self, zone: ZoneStore) -> List[SquatMatch]:
+    def scan(self, zone: "Zone") -> List[SquatMatch]:
         """Classify every registered domain in a snapshot.
 
         Returns one match per squatting registered domain (subdomains are
-        collapsed, as in the paper).
+        collapsed, as in the paper).  Always the per-domain reference
+        path, even for packed zones — the equality oracle the vectorized
+        kernel is tested against.
         """
         return list(self.iter_scan(zone))
 
-    def scan_sharded(self, zone: ZoneStore, workers: int = 1,
+    def scan_sharded(self, zone: "Zone", workers: int = 1,
                      chunk_size: int = 512) -> List[SquatMatch]:
         """Parallel :meth:`scan` over a process pool.
 
-        The zone's registered domains are split into consecutive chunks;
-        each pool worker rebuilds the detector indices once from the
-        (picklable) catalog + generator and then classifies whole chunks.
-        Chunk results are concatenated in shard order, so the output is
-        exactly ``self.scan(zone)`` for any worker count — ``workers <= 1``
-        short-circuits to the serial scan.
+        Packed zones route through the vectorized mmap kernel
+        (:mod:`repro.squatting.packedscan`): workers receive only
+        ``[start, stop)`` id ranges and map the snapshot file themselves.
+        Dict-backed zones fall back to pickled chunks of registered
+        domains.  Either way chunk results concatenate in shard order, so
+        the output is exactly ``self.scan(zone)`` for any worker count —
+        ``workers <= 1`` short-circuits to a serial run.
         """
+        if isinstance(zone, PackedZone):
+            return packedscan.packed_scan(
+                self, zone, workers=workers,
+                chunk_size=max(chunk_size, packedscan.PACKED_CHUNK))
         if workers <= 1:
             return self.scan(zone)
         shards = shard(zone.registered_domains(), chunk_size)
@@ -266,15 +283,20 @@ class SquattingDetector:
             initializer=_pool_init, initargs=(self.catalog, self.generator))
         return [match for chunk in chunks for match in chunk]
 
-    def scan_counts(self, zone: ZoneStore, workers: int = 1,
+    def scan_counts(self, zone: "Zone", workers: int = 1,
                     chunk_size: int = 512) -> Dict[SquatType, int]:
         """Squat-type histogram over a snapshot (the Fig 2 series).
 
         With ``workers > 1`` each pool worker histograms whole chunks of
         registered domains; per-chunk counts merge by addition, which is
         associative, so the result equals the serial histogram for any
-        worker count or chunk size.
+        worker count or chunk size.  Packed zones use the vectorized
+        kernel, as in :meth:`scan_sharded`.
         """
+        if isinstance(zone, PackedZone):
+            return packedscan.packed_scan_counts(
+                self, zone, workers=workers,
+                chunk_size=max(chunk_size, packedscan.PACKED_CHUNK))
         counts: Dict[SquatType, int] = {t: 0 for t in SquatType}
         if workers <= 1:
             for match in self.iter_scan(zone):
@@ -288,6 +310,20 @@ class SquattingDetector:
             for squat_type, count in histogram.items():
                 counts[squat_type] += count
         return counts
+
+
+def _iter_matches(detector: SquattingDetector,
+                  domains: Iterable[str]) -> Iterator[SquatMatch]:
+    """Classify a domain stream, yielding only the matches.
+
+    The single classify loop behind :meth:`SquattingDetector.iter_scan`
+    *and* both pool chunk workers, so the sharded paths cannot drift from
+    the serial scan.
+    """
+    for domain in domains:
+        match = detector.classify_domain(domain)
+        if match is not None:
+            yield match
 
 
 # ----------------------------------------------------------------------
@@ -305,12 +341,7 @@ def _pool_init(catalog: BrandCatalog, generator: SquattingGenerator) -> None:
 def _pool_scan_chunk(domains: List[str]) -> List[SquatMatch]:
     detector = _POOL_DETECTOR
     assert detector is not None, "pool worker used before initialization"
-    matches: List[SquatMatch] = []
-    for domain in domains:
-        match = detector.classify_domain(domain)
-        if match is not None:
-            matches.append(match)
-    return matches
+    return list(_iter_matches(detector, domains))
 
 
 def _pool_count_chunk(domains: List[str]) -> Dict[SquatType, int]:
@@ -318,8 +349,6 @@ def _pool_count_chunk(domains: List[str]) -> Dict[SquatType, int]:
     detector = _POOL_DETECTOR
     assert detector is not None, "pool worker used before initialization"
     counts: Dict[SquatType, int] = {}
-    for domain in domains:
-        match = detector.classify_domain(domain)
-        if match is not None:
-            counts[match.squat_type] = counts.get(match.squat_type, 0) + 1
+    for match in _iter_matches(detector, domains):
+        counts[match.squat_type] = counts.get(match.squat_type, 0) + 1
     return counts

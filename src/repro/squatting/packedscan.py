@@ -1,0 +1,371 @@
+"""Vectorized squat scan over packed columnar zone snapshots.
+
+The dict-backed scan calls ``classify_domain`` once per registered
+domain — dominated by Python dict lookups that reject the overwhelmingly
+benign majority.  A :class:`~repro.dns.packedzone.PackedZone` stores core
+labels as one contiguous byte blob, so the reject decision vectorizes:
+each scan slice gathers its unique core labels into a fixed-width
+``S``-dtype matrix and runs a sorted-array hash-join against the
+detector's enumerable candidate index plus cheap byte-level prefilters
+for every other rule.  Only the (rare) labels that *could* match fall
+back to the per-domain Python classifier, whose verdict defines the
+output — so results are byte-identical to the serial dict scan.
+
+A label is provably unclassifiable (the vector reject) when **all** hold:
+
+* not a brand core label and no enumerable-candidate hit (steps 1 & 5),
+* no ``xn--`` prefix (step 2),
+* both homograph buckets ``(len, first char)`` / ``(len, last char)``
+  are empty (step 3 — ``_match_ascii_homograph``'s own prefilter),
+* no hyphen and no window of ``combo_min`` bytes matches a brand-label
+  prefix (step 4 — a superset of ``_match_combo``'s candidates).
+
+Fixed-width ``S`` comparisons ignore trailing NUL padding, which is
+exactly padding-insensitive string equality here: labels are UTF-8 with
+no embedded NULs, so no two distinct labels collapse.
+
+Pool protocol: workers receive only ``(start, stop)`` registered-domain
+id ranges, mmap the snapshot file in their initializer, and scan their
+slices zero-copy — nothing per-chunk is pickled either way.
+
+This module must not import ``repro.squatting.detector`` at module level
+(the detector imports us for dispatch); workers import it lazily.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.dns.packedzone import PackedZone
+from repro.perf.engine import process_map
+from repro.squatting.confusables import CONFUSABLES
+from repro.squatting.types import SquatMatch, SquatType
+
+# floor on the per-slice registered-domain span: vector setup costs are
+# amortized per slice, so packed slices run much coarser than the 512-
+# domain pickled chunks of the dict-backed pool path
+PACKED_CHUNK = 4096
+
+_HYPHEN = ord("-")
+
+
+def _allowed_bytes(label: str, memo: Dict[str, np.ndarray]) -> np.ndarray:
+    """256-wide mask of bytes a homograph of ``label`` could contain.
+
+    Union of the label's own characters and every character of every
+    registered confusable variant of them — a superset of what the
+    matching DP (:func:`repro.squatting.confusables.matches_homograph`)
+    can consume, so masking with it never rejects a true match.
+    """
+    mask = memo.get(label)
+    if mask is None:
+        chars = set(label)
+        for base in set(label):
+            for variant in CONFUSABLES.get(base, ()):
+                chars.update(variant)
+        mask = np.zeros(256, dtype=bool)
+        for char in chars:
+            if ord(char) < 256:
+                mask[ord(char)] = True
+        memo[label] = mask
+    return mask
+
+
+def _membership(keys: np.ndarray, values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """(hit mask, key position) of each value in a sorted key array."""
+    if keys.size == 0:
+        return (np.zeros(values.shape, dtype=bool),
+                np.zeros(values.shape, dtype=np.int64))
+    pos = np.searchsorted(keys, values)
+    np.minimum(pos, keys.size - 1, out=pos)
+    return keys[pos] == values, pos
+
+
+class PackedScanContext:
+    """Per-process scan state: detector + packed zone + vector indices."""
+
+    def __init__(self, detector, zone: PackedZone) -> None:
+        self.detector = detector
+        self.zone = zone
+        if zone.n_cores:
+            lens = np.diff(zone.core_off.astype(np.int64))
+            self.width = max(int(lens.max()), 1)
+        else:
+            self.width = 1
+        self.sdtype = np.dtype(f"S{self.width}")
+
+        # enumerable candidates (homograph-ASCII / bits / typo), sorted for
+        # the hash join; labels longer than any observed core cannot match
+        items = [(label.encode("utf-8"), brand, squat_type)
+                 for label, (brand, squat_type)
+                 in detector._candidate_index.items()]
+        items = [item for item in items if len(item[0]) <= self.width]
+        raw = np.array([item[0] for item in items], dtype=self.sdtype) \
+            if items else np.zeros(0, dtype=self.sdtype)
+        order = np.argsort(raw, kind="stable")
+        self.cand_keys = raw[order]
+        self.cand_brands: List[str] = [items[i][1] for i in order]
+        self.cand_types: List[SquatType] = [items[i][2] for i in order]
+
+        brands = [label.encode("utf-8") for label in detector._brand_by_label]
+        brands = [b for b in brands if len(b) <= self.width]
+        self.brand_keys = np.sort(np.array(brands, dtype=self.sdtype)) \
+            if brands else np.zeros(0, dtype=self.sdtype)
+
+        # homograph bucket occupancy tables keyed (observed length, edge
+        # byte), plus per-bucket allowed-character masks.  The confusables
+        # DP can only consume a label character that is literally in the
+        # brand label or appears in some confusable variant of one of its
+        # characters, so a label with any byte outside the union mask of a
+        # bucket cannot match any brand in that bucket — the step-3 reject
+        # this makes vectorizable is what keeps random labels off the
+        # per-domain Python fallback.
+        self.hb_first = np.zeros((self.width + 1, 256), dtype=bool)
+        self.hb_last = np.zeros((self.width + 1, 256), dtype=bool)
+        self.hb_first_allow = np.zeros((self.width + 1, 256, 256), dtype=bool)
+        self.hb_last_allow = np.zeros((self.width + 1, 256, 256), dtype=bool)
+        allow_memo: Dict[str, np.ndarray] = {}
+        for (length, edge, char), labels in detector._homograph_buckets.items():
+            if not (0 <= length <= self.width and len(char) == 1
+                    and ord(char) < 256):
+                continue
+            occupancy = self.hb_first if edge == 0 else self.hb_last
+            occupancy[length, ord(char)] = True
+            allow = self.hb_first_allow if edge == 0 else self.hb_last_allow
+            for label in labels:
+                allow[length, ord(char)] |= _allowed_bytes(label, allow_memo)
+
+        # combo window keys: every combo-index prefix packed big-endian
+        # into a u64 (W <= 8 always holds for the default combo model; a
+        # wider W just disables this reject term, which is conservative)
+        self.combo_w = detector.generator.combo.min_brand_length
+        self.combo_keys: Optional[np.ndarray] = None
+        if 1 <= self.combo_w <= 8:
+            codes = sorted(
+                int.from_bytes(prefix.encode("utf-8"), "big")
+                for prefix in detector._combo_prefix_index
+                if len(prefix.encode("utf-8")) == self.combo_w)
+            self.combo_keys = np.array(codes, dtype=np.uint64)
+
+    # ------------------------------------------------------------------
+    def _survivors(self, start: int, stop: int):
+        """Yield ``(domain, fast_candidate_pos, core)`` for every domain in
+        ``[start, stop)`` that survives the vector reject, in id order.
+
+        ``fast_candidate_pos >= 0`` marks a pure step-1 hit whose match is
+        emitted straight from the candidate index; ``-1`` means the Python
+        classifier must decide.
+        """
+        zone = self.zone
+        reg_core = zone.reg_core[start:stop]
+        if reg_core.size == 0:
+            return
+        uniq, inv = np.unique(reg_core, return_inverse=True)
+        core_off = zone.core_off
+        starts = core_off[uniq].astype(np.int64)
+        lens = core_off[uniq + 1].astype(np.int64) - starts
+        width = self.width
+        cols = np.arange(width, dtype=np.int64)
+        blob = zone.core_blob
+        if blob.size:
+            idx = starts[:, None] + cols[None, :]
+            np.minimum(idx, blob.size - 1, out=idx)
+            padded = blob[idx]
+        else:
+            padded = np.zeros((uniq.size, width), dtype=np.uint8)
+        padded[cols[None, :] >= lens[:, None]] = 0
+        keys = np.ascontiguousarray(padded).view(self.sdtype).ravel()
+
+        is_brand, _ = _membership(self.brand_keys, keys)
+        cand_hit, cand_pos = _membership(self.cand_keys, keys)
+        nonascii = (padded & 0x80).any(axis=1)
+        hyphen = (padded == _HYPHEN).any(axis=1)
+        if width >= 4:
+            xn = ((lens >= 4)
+                  & (padded[:, 0] == 120) & (padded[:, 1] == 110)
+                  & (padded[:, 2] == 45) & (padded[:, 3] == 45))
+        else:
+            xn = np.zeros(uniq.size, dtype=bool)
+        rows = np.arange(uniq.size)
+        first = padded[:, 0]
+        last = padded[rows, np.maximum(lens - 1, 0)]
+        # which bytes occur in each label (NUL padding cleared), to test
+        # against the per-bucket allowed-character masks
+        present = np.zeros((uniq.size, 256), dtype=bool)
+        present[rows[:, None], padded] = True
+        present[:, 0] = False
+        ok_first = ~(present & ~self.hb_first_allow[lens, first]).any(axis=1)
+        ok_last = ~(present & ~self.hb_last_allow[lens, last]).any(axis=1)
+        homograph = ((self.hb_first[lens, first] & ok_first)
+                     | (self.hb_last[lens, last] & ok_last))
+        combo = self._combo_window_hits(padded, uniq.size)
+
+        fast = cand_hit & ~is_brand
+        keep = is_brand | cand_hit | xn | homograph | hyphen | combo | nonascii
+        if not keep.any():
+            return
+        fast_pos = np.where(fast, cand_pos, -1)
+
+        tld_ids = zone.reg_tld[start:stop]
+        tlds = zone.tlds
+        core_cache: Dict[int, str] = {}
+        for position in np.nonzero(keep[inv])[0]:
+            u = int(inv[position])
+            core = core_cache.get(u)
+            if core is None:
+                core = padded[u, :lens[u]].tobytes().decode("utf-8")
+                core_cache[u] = core
+            tld = tlds[tld_ids[position]]
+            domain = f"{core}.{tld}" if tld else core
+            yield domain, int(fast_pos[u]), core
+
+    def _combo_window_hits(self, padded: np.ndarray, rows: int) -> np.ndarray:
+        """Mask of labels with any ``combo_w``-byte window in the combo
+        prefix index.  Padding windows hold NUL bytes and real prefixes
+        never do, so out-of-length windows can't false-positive."""
+        w = self.combo_w
+        if self.combo_keys is None:
+            # reject term unavailable: conservatively keep everything
+            return np.ones(rows, dtype=bool)
+        nwin = self.width - w + 1
+        if nwin <= 0 or self.combo_keys.size == 0:
+            return np.zeros(rows, dtype=bool)
+        codes = np.zeros((rows, nwin), dtype=np.uint64)
+        for j in range(w):
+            codes <<= np.uint64(8)
+            codes |= padded[:, j:j + nwin]
+        hit, _ = _membership(self.combo_keys, codes.ravel())
+        return hit.reshape(rows, nwin).any(axis=1)
+
+    # ------------------------------------------------------------------
+    def scan_slice(self, start: int, stop: int) -> List[SquatMatch]:
+        matches: List[SquatMatch] = []
+        classify = self.detector._classify
+        for domain, fast_idx, core in self._survivors(start, stop):
+            if fast_idx >= 0:
+                matches.append(SquatMatch(
+                    domain=domain,
+                    brand=self.cand_brands[fast_idx],
+                    squat_type=self.cand_types[fast_idx],
+                ))
+            else:
+                match = classify(domain, core)
+                if match is not None:
+                    matches.append(match)
+        return matches
+
+    def count_slice(self, start: int, stop: int) -> Dict[SquatType, int]:
+        counts: Dict[SquatType, int] = {}
+        classify = self.detector._classify
+        for domain, fast_idx, core in self._survivors(start, stop):
+            if fast_idx >= 0:
+                squat_type = self.cand_types[fast_idx]
+            else:
+                match = classify(domain, core)
+                if match is None:
+                    continue
+                squat_type = match.squat_type
+            counts[squat_type] = counts.get(squat_type, 0) + 1
+        return counts
+
+
+# ----------------------------------------------------------------------
+# pool plumbing: workers get (start, stop) id ranges only, mmap the
+# snapshot once per process, and scan slices zero-copy
+# ----------------------------------------------------------------------
+
+# parent-built pool state, (detector, context, key).  Built *before* the
+# process pool starts, so fork-start platforms (Linux) hand every worker
+# the finished detector indices and scan context as copy-on-write pages
+# and the per-worker initializer reduces to a key comparison.  The
+# detector strong ref pins id(detector), so a key can never alias a
+# recycled address while it is cached.
+_POOL_STATE: Optional[Tuple[object, PackedScanContext, Tuple[int, str]]] = None
+
+
+def _pool_context(detector, zone: PackedZone) -> Tuple[PackedScanContext,
+                                                       Tuple[int, str]]:
+    """The scan context for (detector, zone), cached in module state."""
+    global _POOL_STATE
+    key = (id(detector), zone.content_digest)
+    if _POOL_STATE is None or _POOL_STATE[2] != key:
+        _POOL_STATE = (detector, PackedScanContext(detector, zone), key)
+    return _POOL_STATE[1], key
+
+
+def _packed_pool_init(catalog, generator, path: str,
+                      key: Tuple[int, str]) -> None:
+    global _POOL_STATE
+    key = tuple(key)
+    if _POOL_STATE is not None and _POOL_STATE[2] == key:
+        return  # fork-inherited from the parent, nothing to rebuild
+    # spawn-start platforms (or a stale inherited key): rebuild from the
+    # picklable initargs
+    from repro.squatting.detector import SquattingDetector  # lazy: no cycle
+    detector = SquattingDetector(catalog, generator)
+    _POOL_STATE = (detector,
+                   PackedScanContext(detector, PackedZone.load(path)), key)
+
+
+def _packed_scan_slice(bounds: Tuple[int, int]) -> List[SquatMatch]:
+    state = _POOL_STATE
+    assert state is not None, "pool worker used before initialization"
+    return state[1].scan_slice(*bounds)
+
+
+def _packed_count_slice(bounds: Tuple[int, int]) -> Dict[SquatType, int]:
+    state = _POOL_STATE
+    assert state is not None, "pool worker used before initialization"
+    return state[1].count_slice(*bounds)
+
+
+def _slice_bounds(total: int, chunk_size: int) -> List[Tuple[int, int]]:
+    chunk = max(chunk_size, PACKED_CHUNK)
+    return [(i, min(i + chunk, total)) for i in range(0, total, chunk)]
+
+
+def packed_scan(detector, zone: PackedZone, workers: int = 1,
+                chunk_size: int = PACKED_CHUNK) -> List[SquatMatch]:
+    """Vectorized :meth:`SquattingDetector.scan` over a packed zone.
+
+    Slice results concatenate in id order, so output equals the serial
+    dict-backed scan for any worker count.
+    """
+    bounds = _slice_bounds(zone.n_registered, chunk_size)
+    if workers <= 1 or len(bounds) <= 1:
+        context, _ = _pool_context(detector, zone)
+        matches: List[SquatMatch] = []
+        for start, stop in bounds:
+            matches.extend(context.scan_slice(start, stop))
+        return matches
+    path = zone.ensure_file()
+    _, key = _pool_context(detector, zone)  # prefork: workers inherit it
+    chunks = process_map(
+        _packed_scan_slice, bounds, workers,
+        initializer=_packed_pool_init,
+        initargs=(detector.catalog, detector.generator, str(path), key))
+    return [match for chunk in chunks for match in chunk]
+
+
+def packed_scan_counts(detector, zone: PackedZone, workers: int = 1,
+                       chunk_size: int = PACKED_CHUNK) -> Dict[SquatType, int]:
+    """Vectorized :meth:`SquattingDetector.scan_counts` over a packed zone."""
+    counts: Dict[SquatType, int] = {t: 0 for t in SquatType}
+    bounds = _slice_bounds(zone.n_registered, chunk_size)
+    if workers <= 1 or len(bounds) <= 1:
+        context, _ = _pool_context(detector, zone)
+        histograms = [context.count_slice(start, stop)
+                      for start, stop in bounds]
+    else:
+        path = zone.ensure_file()
+        _, key = _pool_context(detector, zone)  # prefork: workers inherit it
+        histograms = process_map(
+            _packed_count_slice, bounds, workers,
+            initializer=_packed_pool_init,
+            initargs=(detector.catalog, detector.generator, str(path), key))
+    for histogram in histograms:
+        for squat_type, count in histogram.items():
+            counts[squat_type] += count
+    return counts

@@ -32,6 +32,7 @@ from repro.stages.artifacts import (
     digest_detections,
     digest_evasion,
     digest_ground_truth,
+    digest_packed_zone,
     digest_squat_matches,
     digest_verified,
 )
@@ -67,6 +68,7 @@ __all__ = [
     "digest_detections",
     "digest_evasion",
     "digest_ground_truth",
+    "digest_packed_zone",
     "digest_squat_matches",
     "digest_verified",
 ]

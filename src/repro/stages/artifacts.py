@@ -76,6 +76,16 @@ def digest_squat_matches(matches: Iterable[Any]) -> str:
     ))
 
 
+def digest_packed_zone(zone: Any) -> str:
+    """Digest of a packed zone snapshot (the pack stage's artifact).
+
+    The snapshot file already carries a SHA-256 over its payload bytes in
+    its header, so the artifact digest is a cheap re-tag of that — no
+    records are walked.
+    """
+    return _hash_lines("packed_zone", [zone.content_digest])
+
+
 def digest_crawl_snapshot(snapshot: Any) -> str:
     """Digest of one :class:`~repro.web.crawler.CrawlSnapshot`.
 

@@ -56,11 +56,32 @@ def test_remove_updates_indices():
     zone = make_zone()
     assert zone.remove("www.facebook.com")
     assert zone.names_under("facebook.com") == ["facebook.com"]
+    # the registered-domain bucket survives while facebook.com remains
+    assert "facebook.com" in zone._by_registered
     assert zone.remove("facebook.com")
     assert not zone.has_registered_domain("facebook.com")
+    # last name under the registered domain gone -> its bucket is deleted
+    # outright, not left as an empty set
+    assert "facebook.com" not in zone._by_registered
     # core index keeps facebook.audi
     assert zone.registered_domains_with_core("facebook") == ["facebook.audi"]
+    assert zone._by_core["facebook"] == {"facebook.audi"}
     assert not zone.remove("facebook.com")  # already gone
+
+
+def test_remove_last_core_label_drops_core_bucket():
+    zone = make_zone()
+    # faceb00k.pw is the only registered domain under core "faceb00k"
+    assert "faceb00k" in zone._by_core
+    assert zone.remove("faceb00k.pw")
+    assert "faceb00k" not in zone._by_core
+    assert "faceb00k.pw" not in zone._by_registered
+    assert zone.registered_domains_with_core("faceb00k") == []
+    # removing one TLD sibling must not orphan the other's core entry
+    assert zone.remove("facebook.audi")
+    assert "facebook" in zone._by_core
+    assert zone.registered_domains_with_core("facebook") == ["facebook.com"]
+    assert zone.stats()["core_labels"] == 2  # facebook, vice
 
 
 def test_stats():

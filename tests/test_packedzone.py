@@ -1,0 +1,290 @@
+"""Packed columnar zone snapshots: protocol, round-trips, scan equality.
+
+The contract under test (DESIGN.md §11): a ``PackedZone`` is a pure
+*representation* change — every read the detector, crawler, or fault
+injector performs must answer exactly as the dict-backed ``ZoneStore``
+would, and every scan path (serial kernel, mmap pool, dict reference)
+must produce byte-identical matches and counts.
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.brands import build_paper_catalog
+from repro.dns.packedzone import (
+    PackedZone,
+    PackedZoneBuilder,
+    is_packed_file,
+    pack_zone,
+)
+from repro.dns.records import DNSRecord, split_domain
+from repro.dns.zone import ZoneStore
+from repro.squatting.detector import SquattingDetector
+from repro.stages import digest_squat_matches
+
+NAMES = [
+    ("facebook.com", "1.1.1.1"),
+    ("www.facebook.com", "1.1.1.2"),
+    ("facebook.audi", "2.2.2.2"),
+    ("faceb00k.pw", "3.3.3.3"),
+    ("vice.com", "4.4.4.4"),
+    ("xn--fcebook-8va.com", "5.5.5.5"),
+]
+
+
+@pytest.fixture(scope="module")
+def detector():
+    return SquattingDetector(build_paper_catalog())
+
+
+def both_stores(names=NAMES):
+    zone = ZoneStore()
+    builder = PackedZoneBuilder()
+    for name, ip in names:
+        zone.add_name(name, ip=ip)
+        builder.add_name(name, ip=ip)
+    return zone, builder.build()
+
+
+# ----------------------------------------------------------------------
+# read protocol equivalence
+# ----------------------------------------------------------------------
+
+def test_packed_matches_dict_protocol():
+    zone, packed = both_stores()
+    assert len(packed) == len(zone)
+    assert sorted(r.name for r in packed) == sorted(r.name for r in zone)
+    assert "facebook.com" in packed and "FACEBOOK.COM" in packed
+    assert "nonexistent.com" not in packed
+    assert packed.get("faceb00k.pw").ip == "3.3.3.3"
+    assert packed.get("nonexistent.com") is None
+    assert packed.resolve("facebook.audi").ip == "2.2.2.2"
+    assert packed.has_registered_domain("facebook.com")
+    assert packed.names_under("facebook.com") == zone.names_under("facebook.com")
+    assert packed.registered_domains_with_core("facebook") == \
+        zone.registered_domains_with_core("facebook")
+    assert packed.stats() == zone.stats()
+    assert dict(packed.core_labels()) == dict(zone.core_labels())
+
+
+def test_registered_domains_preserve_first_seen_order():
+    # scan digests depend on iterating registered domains in dict-insertion
+    # order; the packed store must intern in exactly that order
+    zone, packed = both_stores()
+    assert list(packed.registered_domains()) == list(zone.registered_domains())
+
+
+def test_add_replaces_existing_record():
+    zone, _ = both_stores()
+    builder = PackedZoneBuilder()
+    for name, ip in NAMES:
+        builder.add_name(name, ip=ip)
+    builder.add_name("facebook.com", ip="9.9.9.9")
+    zone.add_name("facebook.com", ip="9.9.9.9")
+    packed = builder.build()
+    assert len(packed) == len(zone)
+    assert packed.get("facebook.com").ip == "9.9.9.9"
+    assert list(packed.registered_domains()) == list(zone.registered_domains())
+
+
+def test_non_canonical_ips_round_trip():
+    builder = PackedZoneBuilder()
+    builder.add_name("a.com", ip="010.0.0.1")       # leading zero
+    builder.add_name("b.com", ip="dead::beef")       # not IPv4 at all
+    builder.add_name("c.com", ip="1.2.3.4")          # canonical
+    packed = builder.build()
+    assert packed.get("a.com").ip == "010.0.0.1"
+    assert packed.get("b.com").ip == "dead::beef"
+    assert packed.get("c.com").ip == "1.2.3.4"
+    reloaded = PackedZone.from_bytes(packed.to_bytes())
+    assert reloaded.get("b.com").ip == "dead::beef"
+
+
+def test_add_record_and_pack_zone_equivalence():
+    zone = ZoneStore()
+    builder = PackedZoneBuilder()
+    for name, ip in NAMES:
+        record = DNSRecord(name=name, ip=ip, source="zone")
+        zone.add(record)
+        builder.add(record)
+    from_builder = builder.build()
+    from_pack = pack_zone(zone)
+    assert from_builder.content_digest == from_pack.content_digest
+    assert pack_zone(from_pack) is from_pack  # idempotent
+
+
+# ----------------------------------------------------------------------
+# serialization
+# ----------------------------------------------------------------------
+
+def test_save_load_digest_stable(tmp_path):
+    _, packed = both_stores()
+    path = tmp_path / "zone.pzon"
+    packed.save(path)
+    assert is_packed_file(path)
+    assert not is_packed_file(__file__)
+    loaded = PackedZone.load(path)
+    assert loaded.content_digest == packed.content_digest
+    assert list(loaded.registered_domains()) == list(packed.registered_domains())
+    assert loaded.to_bytes() == packed.to_bytes()
+
+
+def test_pickle_round_trip():
+    _, packed = both_stores()
+    clone = pickle.loads(pickle.dumps(packed))
+    assert clone.content_digest == packed.content_digest
+    assert clone.get("vice.com").ip == "4.4.4.4"
+
+
+def test_corrupt_payload_rejected():
+    _, packed = both_stores()
+    packed.verify()  # intact snapshot passes
+    blob = bytearray(packed.to_bytes())
+    blob[-1] ^= 0xFF
+    with pytest.raises(ValueError):
+        PackedZone.from_bytes(bytes(blob)).verify()
+    with pytest.raises(ValueError):
+        PackedZone.from_bytes(b"not a snapshot")  # bad magic
+
+
+# ----------------------------------------------------------------------
+# split_domain memoization (satellite: no behavior change)
+# ----------------------------------------------------------------------
+
+def test_split_domain_memoized_behavior_unchanged():
+    assert split_domain("WWW.Facebook.COM.") == split_domain("www.facebook.com")
+    assert split_domain("faceb00k.pw") == ("faceb00k", "pw")
+    assert split_domain("a.b.co.uk") == split_domain("b.co.uk")
+    # repeated calls must hit the LRU, not recompute
+    from repro.dns.records import _split_normalized
+    before = _split_normalized.cache_info().hits
+    split_domain("www.facebook.com")
+    split_domain("facebook.com.")
+    assert _split_normalized.cache_info().hits > before
+
+
+# ----------------------------------------------------------------------
+# scan equality: dict reference vs packed kernel vs mmap pool
+# ----------------------------------------------------------------------
+
+def _world_pair(n_squats=120, seed=97):
+    from repro.phishworld.world import WorldConfig, build_world
+
+    params = dict(seed=seed, n_organic_domains=n_squats,
+                  n_squat_domains=n_squats, n_phish_domains=8,
+                  phishtank_reports=30)
+    dict_world = build_world(WorldConfig(**params))
+    packed_world = build_world(WorldConfig(packed_zone=True, **params))
+    return dict_world, packed_world
+
+
+def test_world_builder_streams_into_packed_store(detector):
+    dict_world, packed_world = _world_pair()
+    assert isinstance(packed_world.zone, PackedZone)
+    assert list(packed_world.zone.registered_domains()) == \
+        list(dict_world.zone.registered_domains())
+    reference = detector.scan(dict_world.zone)
+    packed = detector.scan_sharded(packed_world.zone, workers=1)
+    assert digest_squat_matches(packed) == digest_squat_matches(reference)
+    assert detector.scan_counts(packed_world.zone) == \
+        detector.scan_counts(dict_world.zone)
+
+
+@given(st.lists(
+    st.one_of(
+        st.from_regex(r"[a-z][a-z0-9]{2,12}\.(com|net|org|pw)", fullmatch=True),
+        st.sampled_from([
+            "facebook.com", "faceb00k.com", "facebok.com", "gacebook.com",
+            "xn--fcebook-8va.com", "secure-paypal.com", "paypal-login.net",
+            "www.vice.com", "login.goog1e.org", "amazon.co", "tw1tter.pw",
+        ]),
+    ),
+    min_size=1, max_size=60,
+))
+@settings(max_examples=50, deadline=None)
+def test_packed_scan_equals_dict_scan_on_random_zones(names):
+    # module-scope detector fixtures don't compose with @given, so reuse a
+    # lazily built singleton instead of paying the index build per example
+    detector = _cached_detector()
+    zone = ZoneStore()
+    builder = PackedZoneBuilder()
+    for name in names:
+        zone.add_name(name)
+        builder.add_name(name)
+    packed = builder.build()
+    reference = detector.scan(zone)
+    assert digest_squat_matches(detector.scan_sharded(packed, workers=1)) == \
+        digest_squat_matches(reference)
+    assert detector.scan_counts(packed) == detector.scan_counts(zone)
+
+
+_DETECTOR = None
+
+
+def _cached_detector():
+    global _DETECTOR
+    if _DETECTOR is None:
+        _DETECTOR = SquattingDetector(build_paper_catalog())
+    return _DETECTOR
+
+
+@pytest.mark.slow
+def test_packed_pool_scan_matches_serial(detector):
+    # enough registered domains to split into multiple mmap slices, so
+    # workers=2 exercises the real process pool, not the serial fallback
+    names = [f"host{i:05d}x.com" for i in range(9000)]
+    names[1234] = "faceb00k.com"
+    names[4321] = "www.gacebook.net"
+    names[7777] = "secure-paypal-login.com"
+    zone = ZoneStore()
+    builder = PackedZoneBuilder()
+    for name in names:
+        zone.add_name(name)
+        builder.add_name(name)
+    packed = builder.build()
+    reference = detector.scan(zone)
+    pooled = detector.scan_sharded(packed, workers=2)
+    assert digest_squat_matches(pooled) == digest_squat_matches(reference)
+    assert detector.scan_counts(packed, workers=2) == \
+        detector.scan_counts(zone)
+
+
+# ----------------------------------------------------------------------
+# pipeline integration: the pack stage and incremental re-runs
+# ----------------------------------------------------------------------
+
+@pytest.mark.slow
+def test_packed_pipeline_digests_and_resume(tmp_path):
+    from repro.core import PipelineConfig, SquatPhi
+    from repro.stages import ArtifactStore
+
+    dict_world, packed_world = _world_pair(n_squats=60)
+    config = PipelineConfig(cv_folds=3, rf_trees=8)
+
+    dict_run = SquatPhi(dict_world, config)
+    dict_result = dict_run.run(follow_up_snapshots=False)
+    assert "pack" not in dict_run.last_manifest.records
+
+    store = ArtifactStore(tmp_path / "store")
+    packed_run = SquatPhi(packed_world, config)
+    packed_result = packed_run.run(follow_up_snapshots=False, store=store)
+    assert "pack" in packed_run.last_manifest.records
+    assert digest_squat_matches(packed_result.squat_matches) == \
+        digest_squat_matches(dict_result.squat_matches)
+    assert packed_result.verified_domains() == dict_result.verified_domains()
+    # the scan stage's perf accounting rode along
+    assert packed_run.perf.registered_scanned > 0
+    assert packed_run.perf.scan_domains_per_second > 0
+
+    # an unchanged zone must hit the early cut-off: pack and scan load
+    # from the store instead of recomputing
+    _, packed_again = _world_pair(n_squats=60)
+    resumed_run = SquatPhi(packed_again, config)
+    resumed = resumed_run.run(follow_up_snapshots=False, store=store,
+                              resume=packed_run.run_id)
+    cached = resumed_run.last_manifest.cached_stages()
+    assert "pack" in cached and "scan" in cached
+    assert digest_squat_matches(resumed.squat_matches) == \
+        digest_squat_matches(dict_result.squat_matches)
