@@ -1,0 +1,266 @@
+"""Enrichment bench: the event-loop resolver vs the serial reference.
+
+PR 6 added :mod:`repro.enrich` — an event-loop bulk resolver driving
+MX/A/WHOIS/GeoIP lookups through bounded concurrency, retry ladders,
+per-(backend, host) circuit breakers, hedged duplicate requests, and a
+negative cache — bound by the determinism contract: faults, concurrency,
+hedging, and caching are throughput/robustness knobs that never change a
+table byte.
+
+This bench synthesizes registries at a few thousand domains (~5% absent
+from the zone, so NXDOMAIN paths and the negative cache are exercised)
+and runs the same enrichment through:
+
+* ``serial-0%``      — ``enrich_serial`` with no fault plan: THE oracle
+  every other leg must match byte for byte;
+* ``serial-R%``      — the serial reference under fault weather (the
+  baseline the speedup floor is measured against);
+* ``resolver-W-R%``  — the event loop at workers {1, 8, 64} under fault
+  rates {0%, 5%, 20%}, plus a hedging-off leg.
+
+Timing note: both paths simulate I/O on a virtual clock, so wall-clock
+legs compare *engine overhead per task* — the resolver's fast path and
+bulk backend fills against the serial GuardedCall machinery — while
+``sim_seconds`` reports the simulated makespan hedging/concurrency win.
+It asserts identical table digests across every leg, then the headline
+number: resolver throughput (host-clock enrichments/sec) >= 3x the
+serial reference at the 5% fault rate (min-of-attempts timing, as in
+``bench_training.py``).  A ``BENCH_enrichment.json`` summary is written
+for the perf trajectory; CI runs the smoke scale and archives the JSON.
+
+Environment knobs (the ``__main__`` flags override them, for CI):
+    ENRICH_BENCH_SCALE  "default" (4000 domains, speedup floor asserted)
+                        or "smoke" (600 domains, digest equality only).
+    ENRICH_BENCH_OUT    summary path (default: BENCH_enrichment.json).
+"""
+
+import gc
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.analysis.render import table
+from repro.dns.zone import ZoneStore
+from repro.enrich import EnrichResolver, default_backends, enrich_serial
+from repro.faults.plan import FaultPlan
+from repro.phishworld.geoip import GeoIPRegistry
+from repro.phishworld.whois import WhoisRegistry
+
+from exhibits import print_exhibit
+
+SCALE = os.environ.get("ENRICH_BENCH_SCALE", "default")
+OUT_PATH = os.environ.get("ENRICH_BENCH_OUT", "BENCH_enrichment.json")
+
+WORKER_COUNTS = (1, 8, 64)
+FAULT_RATES = (0.0, 0.05, 0.2)
+ABSENT_RATE = 0.05       # names enriched but never registered -> NXDOMAIN
+TLDS = ("com", "net", "org", "pw", "top")
+
+_ALPHABET = "abcdefghijklmnopqrstuvwxyz0123456789"
+
+
+def _scale_params(scale):
+    """(domains, speedup_floor) per scale."""
+    if scale == "smoke":
+        return 600, None
+    return 4_000, 3.0
+
+
+# ----------------------------------------------------------------------
+# synthetic registries
+# ----------------------------------------------------------------------
+
+def synth_registries(n_domains, seed=1803):
+    """(domains, zone, whois, geoip): a shape-faithful enrichment corpus.
+
+    ~95% of the domains are registered with an allocated IP and WHOIS
+    data (phishing-skewed years/registrars for a third of them); the
+    rest never enter the zone, so every backend's NXDOMAIN path and the
+    shared negative cache see real traffic.
+    """
+    rng = np.random.default_rng(seed)
+    labels = set()
+    while len(labels) < n_domains:
+        length = int(rng.integers(6, 14))
+        labels.add("".join(
+            _ALPHABET[i] for i in rng.integers(0, len(_ALPHABET), length)))
+    domains = sorted(
+        f"{label}.{TLDS[int(rng.integers(0, len(TLDS)))]}"
+        for label in labels)
+
+    zone = ZoneStore()
+    whois = WhoisRegistry(rng)
+    geoip = GeoIPRegistry(rng)
+    absent = rng.random(len(domains)) < ABSENT_RATE
+    phishy = rng.random(len(domains)) < 0.33
+    for domain, skip, is_phish in zip(domains, absent, phishy):
+        if skip:
+            continue
+        if is_phish:
+            ip = geoip.allocate_phishing_ip()
+            whois.register_phishing(domain)
+        else:
+            ip = geoip.allocate_benign_ip()
+            whois.register_organic(domain)
+        zone.add_name(domain, ip=ip)
+    return domains, zone, whois, geoip
+
+
+# ----------------------------------------------------------------------
+# legs
+# ----------------------------------------------------------------------
+
+def _leg_serial(label, domains, backends, plan):
+    started = time.perf_counter()
+    table_, health = enrich_serial(domains, backends, plan)
+    elapsed = time.perf_counter() - started
+    tasks = len(table_) * len(backends)
+    return {
+        "leg": label,
+        "seconds": round(elapsed, 4),
+        "tasks": tasks,
+        "enrichments_per_second": round(tasks / max(elapsed, 1e-9)),
+        "retries": health.retries,
+        "sim_seconds": None,
+        "digest": table_.digest(),
+    }
+
+
+def _leg_resolver(label, domains, backends, plan, workers, hedging=True):
+    resolver = EnrichResolver(backends, plan, concurrency=workers,
+                              hedging=hedging)
+    started = time.perf_counter()
+    table_ = resolver.resolve(domains)
+    elapsed = time.perf_counter() - started
+    stats = resolver.stats
+    return {
+        "leg": label,
+        "seconds": round(elapsed, 4),
+        "tasks": stats.tasks,
+        "enrichments_per_second": round(stats.tasks / max(elapsed, 1e-9)),
+        "retries": stats.retries,
+        "hedges_fired": stats.hedges_fired,
+        "negcache_hits": stats.negcache_hits,
+        "sim_seconds": round(stats.sim_seconds, 2),
+        "digest": table_.digest(),
+    }
+
+
+# ----------------------------------------------------------------------
+# bench driver
+# ----------------------------------------------------------------------
+
+def run_bench(scale=SCALE, out_path=OUT_PATH):
+    # collector pauses land randomly across legs otherwise, and the legs
+    # are short enough for one pause to flip the speedup ratio
+    gc.collect()
+    gc.disable()
+    try:
+        return _run_bench(scale, out_path)
+    finally:
+        gc.enable()
+
+
+def _run_bench(scale, out_path):
+    n_domains, speedup_floor = _scale_params(scale)
+
+    print(f"synthesizing registries for {n_domains} domains "
+          f"({scale} scale) ...")
+    domains, zone, whois, geoip = synth_registries(n_domains)
+    backends = default_backends(zone, whois, geoip)
+
+    def plan_for(rate, seed=1803):
+        return FaultPlan.uniform(rate, seed=seed) if rate else None
+
+    rows = [_leg_serial("serial-0%", domains, backends, None)]
+    reference = rows[0]["digest"]
+    comparator = _leg_serial("serial-5%", domains, backends, plan_for(0.05))
+    rows.append(comparator)
+    resolver_5 = None
+    for rate in FAULT_RATES:
+        for workers in WORKER_COUNTS:
+            leg = _leg_resolver(
+                f"resolver-{workers}-{int(rate * 100)}%",
+                domains, backends, plan_for(rate), workers)
+            rows.append(leg)
+            if rate == 0.05 and workers == 8:
+                resolver_5 = leg
+    rows.append(_leg_resolver("resolver-8-20%-nohedge", domains, backends,
+                              plan_for(0.2), 8, hedging=False))
+    # a different fault seed must also leave the table untouched
+    resolver = EnrichResolver(backends, FaultPlan.uniform(0.2, seed=99),
+                              concurrency=8)
+    assert resolver.resolve(domains).digest() == reference, \
+        "fault seed leaked into the enrichment table"
+
+    print_exhibit(
+        "Enrichment bench - legs (identical tables)",
+        table(
+            ["leg", "seconds", "enrich/s", "retries", "sim s"],
+            [[r["leg"], f"{r['seconds']:.3f}", r["enrichments_per_second"],
+              r["retries"], r["sim_seconds"] if r["sim_seconds"] is not None
+              else "-"] for r in rows],
+        ),
+    )
+
+    def _speedup():
+        return comparator["seconds"] / max(resolver_5["seconds"], 1e-9)
+
+    # single-run wall clocks are noisy; min-of-5 on the two headline
+    # legs (see bench_training.py)
+    attempts = 1
+    while speedup_floor is not None and attempts < 5:
+        attempts += 1
+        again_serial = _leg_serial("serial-5%", domains, backends,
+                                   plan_for(0.05))
+        again_resolver = _leg_resolver("resolver-8-5%", domains, backends,
+                                       plan_for(0.05), 8)
+        comparator["seconds"] = min(comparator["seconds"],
+                                    again_serial["seconds"])
+        resolver_5["seconds"] = min(resolver_5["seconds"],
+                                    again_resolver["seconds"])
+
+    speedup = _speedup()
+    summary = {
+        "bench": "enrichment",
+        "scale": scale,
+        "domains": n_domains,
+        "tasks": rows[0]["tasks"],
+        "timing_attempts": attempts,
+        "runs": rows,
+        "speedup_resolver8_vs_serial_at_5pct": round(speedup, 3),
+    }
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(summary, handle, indent=2)
+    print(f"\nwrote {out_path} (resolver-8 @5% speedup: {speedup:.2f}x)")
+
+    # determinism contract: every leg must reproduce the serial no-fault
+    # oracle's table byte for byte
+    for row in rows:
+        assert row["digest"] == reference, \
+            f"{row['leg']} diverged from the serial no-fault oracle"
+
+    # headline acceptance (skipped at smoke scale: too short to time)
+    if speedup_floor is not None:
+        assert speedup >= speedup_floor, (
+            f"expected >= {speedup_floor}x enrichment speedup at 5% faults, "
+            f"measured {speedup:.2f}x")
+    return summary
+
+
+def test_enrichment_bench():
+    run_bench()
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="600 domains, digest-equality assertions only")
+    parser.add_argument("--out", default=None, help="summary JSON path")
+    cli = parser.parse_args()
+    run_bench(scale="smoke" if cli.smoke else SCALE,
+              out_path=cli.out or OUT_PATH)

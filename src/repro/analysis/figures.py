@@ -134,3 +134,56 @@ def registration_year_histogram(whois, domains: Sequence[str]) -> Dict[int, int]
 def geolocation_histogram(geoip, ips: Sequence[str]) -> Dict[str, int]:
     """Fig 15: hosting countries of phishing sites."""
     return geoip.histogram(ips)
+
+
+# ----------------------------------------------------------------------
+# enrichment-table variants: the same Fig 15/16 series computed from the
+# bulk resolver's columnar table with one np.bincount over intern-id
+# columns — no per-domain registry walk.  Value-identical to the registry
+# functions above over the same domain selection.
+# ----------------------------------------------------------------------
+
+def _table_rows(table, domains: Optional[Sequence[str]]) -> np.ndarray:
+    if domains is None:
+        return np.arange(len(table.domains))
+    return np.array([table.row_of(d) for d in domains], dtype=np.int64)
+
+
+def geolocation_histogram_from_table(
+        table, domains: Optional[Sequence[str]] = None) -> Dict[str, int]:
+    """Fig 15 from enrichment columns (geo misses count as ``"??"``)."""
+    rows = _table_rows(table, domains)
+    ok = table.status["geo"][rows] == 0
+    ids = np.bincount(table.country_id[rows][ok].astype(np.int64),
+                      minlength=len(table.countries))
+    counts = {table.countries[i]: int(n)
+              for i, n in enumerate(ids) if i and n}
+    missing = int(np.count_nonzero(~ok))
+    if missing:
+        counts["??"] = counts.get("??", 0) + missing
+    return dict(sorted(counts.items(), key=lambda kv: -kv[1]))
+
+
+def registration_year_histogram_from_table(
+        table, domains: Optional[Sequence[str]] = None) -> Dict[int, int]:
+    """Fig 16 from enrichment columns (WHOIS misses are skipped)."""
+    rows = _table_rows(table, domains)
+    ok = table.status["whois"][rows] == 0
+    years = table.reg_year[rows][ok].astype(np.int64)
+    if not len(years):
+        return {}
+    low = int(years.min())
+    hist = np.bincount(years - low)
+    return {low + i: int(n) for i, n in enumerate(hist) if n}
+
+
+def registrar_histogram_from_table(
+        table, domains: Optional[Sequence[str]] = None) -> Dict[str, int]:
+    """Registrar counts from enrichment columns (misses are skipped)."""
+    rows = _table_rows(table, domains)
+    ok = table.status["whois"][rows] == 0
+    ids = np.bincount(table.registrar_id[rows][ok].astype(np.int64),
+                      minlength=len(table.registrars))
+    return dict(sorted(
+        ((table.registrars[i], int(n)) for i, n in enumerate(ids) if i and n),
+        key=lambda kv: -kv[1]))

@@ -170,7 +170,8 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
         print("error: --max-retries must be >= 0", file=sys.stderr)
         return 2
     if (args.scan_workers < 1 or args.crawl_workers < 1
-            or args.train_workers < 1 or args.extract_workers < 1):
+            or args.train_workers < 1 or args.extract_workers < 1
+            or args.enrich_workers < 1):
         print("error: worker counts must be >= 1", file=sys.stderr)
         return 2
     if args.resume and not args.store:
@@ -196,6 +197,8 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
         crawl_workers=args.crawl_workers,
         train_workers=args.train_workers,
         extract_workers=args.extract_workers,
+        enrich_workers=args.enrich_workers,
+        enrich_hedging=not args.no_enrich_hedging,
         capture_cache=not args.no_capture_cache,
     )
     pipeline = SquatPhi(world, pipeline_config)
@@ -225,6 +228,8 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
         title="classifier cross-validation",
     ))
     print(f"\nsquatting domains: {len(result.squat_matches)}")
+    if result.enrichment is not None:
+        print(f"enriched domains:  {len(result.enrichment.domains)}")
     print(f"flagged pages:     {len(result.flagged)}")
     print(f"verified phishing: {len(result.verified)} "
           f"(planted: {len(world.phishing_sites)})")
@@ -325,6 +330,13 @@ def build_parser() -> argparse.ArgumentParser:
     pipeline.add_argument("--extract-workers", type=int, default=1,
                           help="process-pool width for feature extraction "
                                "over captured pages")
+    pipeline.add_argument("--enrich-workers", type=int, default=8,
+                          help="in-flight concurrency of the bulk "
+                               "enrichment resolver (results are "
+                               "byte-identical at any setting)")
+    pipeline.add_argument("--no-enrich-hedging", action="store_true",
+                          help="disable hedged duplicate requests for "
+                               "enrichment stragglers")
     pipeline.add_argument("--no-capture-cache", action="store_true",
                           help="disable the content-addressed render/OCR "
                                "cache (results are identical either way)")

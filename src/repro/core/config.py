@@ -39,6 +39,11 @@ class PipelineConfig:
     scan_workers: int = 1
     train_workers: int = 1
     extract_workers: int = 1
+    # bulk-enrichment resolver (repro.enrich): in-flight concurrency and
+    # straggler hedging.  Both are pure throughput knobs — the resolver's
+    # table is byte-identical to the serial oracle at any setting.
+    enrich_workers: int = 8
+    enrich_hedging: bool = True
     capture_cache: bool = True
     # route the learning core (tree split search, prediction, embedding)
     # and the extraction hot paths (OCR band decode, form-line removal,

@@ -26,7 +26,8 @@ from repro.ml import (
     RandomForest,
     cross_validate,
 )
-from repro.dns.packedzone import PackedZone
+from repro.dns.packedzone import PackedZone, attach_enrichment
+from repro.enrich import EnrichResolver, EnrichmentTable, default_backends
 from repro.ocr.engine import OCREngine
 from repro.phishworld.marketplace import classify_redirect
 from repro.phishworld.world import SyntheticInternet
@@ -42,6 +43,7 @@ from repro.stages import (
     digest_crawl_snapshots,
     digest_cv_reports,
     digest_detections,
+    digest_enrichment,
     digest_evasion,
     digest_ground_truth,
     digest_packed_zone,
@@ -202,6 +204,7 @@ class PipelineResult:
     verified: List[VerifiedPhish]
     evasion_squatting: List[EvasionMeasurement]
     evasion_reported: List[EvasionMeasurement]
+    enrichment: Optional[EnrichmentTable] = None
     health: CrawlHealth = field(default_factory=CrawlHealth)
     injected_faults: Dict[str, int] = field(default_factory=dict)
     # execution metadata (never part of determinism comparisons)
@@ -233,6 +236,8 @@ class PipelineResult:
                 "verified": len(self.verified),
                 "evasion_squatting": len(self.evasion_squatting),
                 "evasion_reported": len(self.evasion_reported),
+                "enriched_domains": (len(self.enrichment.domains)
+                                     if self.enrichment is not None else 0),
             },
             "verified_domains": self.verified_domains(),
             "snapshot_digests": [s.digest() for s in self.crawl_snapshots],
@@ -248,6 +253,8 @@ class PipelineResult:
             "health": self.health.to_dict(),
             "injected_faults": dict(sorted(self.injected_faults.items())),
         }
+        if self.enrichment is not None:
+            data["enrichment_digest"] = self.enrichment.digest()
         if self.perf is not None:
             data["perf"] = self.perf.to_dict()
         return data
@@ -936,6 +943,36 @@ class SquatPhi:
     def _stage_scan(self, inputs: Dict[str, Any], ctx: StageContext) -> Dict[str, Any]:
         return {"squat_matches": self.detect_squatting(inputs.get("packed_zone"))}
 
+    def _stage_enrich(self, inputs: Dict[str, Any], ctx: StageContext) -> Dict[str, Any]:
+        """Bulk-enrich the scan's candidate set (MX/A/WHOIS/GeoIP).
+
+        Runs the event-loop resolver on its own private simulated clock —
+        fault weather, hedging, and concurrency change only the resolver's
+        internal accounting, never the table, so the artifact digest is
+        identical to a serial no-fault pass.  Packed worlds additionally
+        get the snapshot re-emitted with the enrichment columns attached.
+        """
+        domains = [m.domain for m in inputs["squat_matches"]]
+        resolver = EnrichResolver(
+            default_backends(self.world.zone, self.world.whois,
+                             self.world.geoip),
+            self.config.fault_plan,
+            concurrency=self.config.enrich_workers,
+            hedging=self.config.enrich_hedging,
+        )
+        started = time.perf_counter()
+        table = resolver.resolve(domains)
+        stats = resolver.stats
+        self.perf.record_enrichment(
+            stats.tasks, time.perf_counter() - started,
+            hedges_fired=stats.hedges_fired,
+            negcache_hits=stats.negcache_hits,
+            negcache_misses=max(stats.tasks - stats.negcache_hits, 0))
+        outputs: Dict[str, Any] = {"enrichment": table}
+        if isinstance(self.world.zone, PackedZone):
+            outputs["enriched_zone"] = attach_enrichment(self.world.zone, table)
+        return outputs
+
     def _stage_crawl(self, inputs: Dict[str, Any], ctx: StageContext) -> Dict[str, Any]:
         domains = [m.domain for m in inputs["squat_matches"]]
         checkpoint: Optional[CrawlCheckpoint] = None
@@ -1042,6 +1079,16 @@ class SquatPhi:
                   inputs=("packed_zone",) if packed else (),
                   outputs=("squat_matches",),
                   digesters={"squat_matches": digest_squat_matches}),
+            Stage(name="enrich", compute=self._stage_enrich,
+                  inputs=("squat_matches",),
+                  outputs=("enrichment", "enriched_zone") if packed
+                  else ("enrichment",),
+                  # no config slice: faults, concurrency, and hedging are
+                  # all invisible in the table (determinism contract), so
+                  # only the squat-match digest can invalidate this stage
+                  digesters={"enrichment": digest_enrichment,
+                             "enriched_zone": digest_packed_zone}
+                  if packed else {"enrichment": digest_enrichment}),
             Stage(name="crawl", compute=self._stage_crawl,
                   inputs=("squat_matches",), outputs=("crawl0",),
                   config_fields=self._RESILIENCE_FIELDS,
@@ -1157,6 +1204,7 @@ class SquatPhi:
             verified=payloads["verified"],
             evasion_squatting=payloads["evasion_squatting"],
             evasion_reported=payloads["evasion_reported"],
+            enrichment=payloads.get("enrichment"),
             health=self.health,
             injected_faults=(self.fault_injector.counts()
                              if self.fault_injector else {}),

@@ -18,6 +18,7 @@ from typing import Iterable, Iterator, Union
 
 from repro.dns.records import DNSRecord
 from repro.dns.zone import ZoneStore
+from repro.faults.errors import SnapshotCorruptError
 
 PathLike = Union[str, Path]
 
@@ -40,16 +41,24 @@ def write_snapshot(records: Iterable[DNSRecord], path: PathLike) -> int:
 
 
 def iter_snapshot(path: PathLike) -> Iterator[DNSRecord]:
-    """Stream records from a snapshot file, skipping malformed lines."""
+    """Stream records from a snapshot file.
+
+    Blank lines and ``#`` comments are skipped; a line with fewer than two
+    tab-separated fields is a truncated/corrupt dump and raises
+    :class:`SnapshotCorruptError` carrying the 1-based line number, so an
+    interrupted ingest fails loudly instead of silently under-counting.
+    """
     path = Path(path)
     with _open(path, "r") as handle:
-        for line in handle:
+        for line_number, line in enumerate(handle, start=1):
             line = line.rstrip("\n")
             if not line or line.startswith("#"):
                 continue
             parts = line.split("\t")
             if len(parts) < 2:
-                continue
+                raise SnapshotCorruptError(
+                    str(path), line_number,
+                    detail=f"expected >= 2 tab-separated fields, got {len(parts)}")
             name, ip = parts[0], parts[1]
             record_type = parts[2] if len(parts) > 2 else "A"
             source = parts[3] if len(parts) > 3 else "zone"

@@ -88,6 +88,40 @@ def _u32_to_ip(value: int) -> str:
     return f"{(value >> 24) & 255}.{(value >> 16) & 255}.{(value >> 8) & 255}.{value & 255}"
 
 
+def _pack_file(meta: Dict[str, object],
+               sections: List[Tuple[str, np.ndarray]]) -> bytes:
+    """Assemble a snapshot file from meta fields + named sections.
+
+    Shared by :meth:`PackedZoneBuilder.to_bytes` and
+    :func:`attach_enrichment`: builds the section table (64-byte-aligned
+    offsets relative to the data start), serializes the meta JSON, lays
+    the sections out, and stamps the payload SHA-256 into the header.
+    ``meta`` must not already contain a ``"sections"`` key.
+    """
+    table: Dict[str, Dict[str, object]] = {}
+    cursor = 0
+    for name, arr in sections:
+        cursor = _align(cursor)
+        table[name] = {"offset": cursor, "dtype": arr.dtype.str,
+                       "count": int(arr.size)}
+        cursor += arr.nbytes
+    meta = dict(meta)
+    meta["sections"] = table
+    meta_bytes = json.dumps(meta, sort_keys=True,
+                            separators=(",", ":")).encode("utf-8")
+    data_start = _align(_HEADER_LEN + len(meta_bytes))
+    total = data_start + cursor
+    out = bytearray(total)
+    out[0:8] = MAGIC
+    out[8:16] = len(meta_bytes).to_bytes(8, "little")
+    out[_HEADER_LEN:_HEADER_LEN + len(meta_bytes)] = meta_bytes
+    for name, arr in sections:
+        at = data_start + int(table[name]["offset"])  # type: ignore[index]
+        out[at:at + arr.nbytes] = arr.tobytes()
+    out[16:48] = hashlib.sha256(bytes(out[_HEADER_LEN:])).digest()
+    return bytes(out)
+
+
 class PackedZoneBuilder:
     """Streaming builder: feed ``(name, ip, type, source)`` rows, get a
     :class:`PackedZone`.
@@ -221,13 +255,6 @@ class PackedZoneBuilder:
             ("rec_by_reg", rec_by_reg),
             ("reg_spans", reg_spans),
         ]
-        table: Dict[str, Dict[str, object]] = {}
-        cursor = 0
-        for name, arr in sections:
-            cursor = _align(cursor)
-            table[name] = {"offset": cursor, "dtype": arr.dtype.str,
-                           "count": int(arr.size)}
-            cursor += arr.nbytes
         meta = {
             "version": VERSION,
             "records": len(self._rec_reg),
@@ -237,21 +264,8 @@ class PackedZoneBuilder:
             "sources": self._srcs,
             "record_types": self._types,
             "extra_ips": {str(k): v for k, v in sorted(self._extra_ips.items())},
-            "sections": table,
         }
-        meta_bytes = json.dumps(meta, sort_keys=True,
-                                separators=(",", ":")).encode("utf-8")
-        data_start = _align(_HEADER_LEN + len(meta_bytes))
-        total = data_start + cursor
-        out = bytearray(total)
-        out[0:8] = MAGIC
-        out[8:16] = len(meta_bytes).to_bytes(8, "little")
-        out[_HEADER_LEN:_HEADER_LEN + len(meta_bytes)] = meta_bytes
-        for name, arr in sections:
-            at = data_start + int(table[name]["offset"])  # type: ignore[arg-type]
-            out[at:at + arr.nbytes] = arr.tobytes()
-        out[16:48] = hashlib.sha256(bytes(out[_HEADER_LEN:])).digest()
-        return bytes(out)
+        return _pack_file(meta, sections)
 
     def write(self, path: PathLike) -> int:
         """Serialize straight to ``path``; returns the record count."""
@@ -292,6 +306,10 @@ class PackedZone:
         self.record_types: List[str] = meta["record_types"]
         self.extra_ips: Dict[int, str] = {
             int(k): v for k, v in meta["extra_ips"].items()}
+        # enrichment intern tables (present only on enriched snapshots;
+        # old readers ignore the key, old files simply lack it)
+        self.enrichment_meta: Optional[Dict[str, List[str]]] = \
+            meta.get("enrichment")
         data_start = _align(_HEADER_LEN + meta_len)
         self._sections: Dict[str, np.ndarray] = {}
         for name, spec in meta["sections"].items():
@@ -499,12 +517,94 @@ class PackedZone:
             "core_labels": self.n_cores,
         }
 
+    # ------------------------------------------------------------------
+    # enrichment columns (present after attach_enrichment)
+    # ------------------------------------------------------------------
+    @property
+    def has_enrichment(self) -> bool:
+        return "enr_has" in self._sections
+
+    def enrichment_column(self, name: str) -> np.ndarray:
+        """One per-registered-domain enrichment column.
+
+        Names: ``has``, ``a_ip``, ``country``, ``year``, ``registrar``,
+        ``mx``, ``status_a``, ``status_mx``, ``status_whois``,
+        ``status_geo``.  Index == registered-domain id; id columns decode
+        through ``enrichment_meta``'s intern tables (0 == missing).
+        """
+        return self._sections[f"enr_{name}"]
+
 
 def _unlink_quiet(path: str) -> None:
     try:
         os.unlink(path)
     except OSError:
         pass
+
+
+def attach_enrichment(zone: PackedZone, table) -> PackedZone:
+    """Append enrichment columns to a packed snapshot → new PackedZone.
+
+    Existing sections are carried over byte-for-byte in their original
+    physical order; ten new per-registered-domain sections (``enr_*``,
+    full ``n_registered`` length, id 0 == missing) plus the intern tables
+    in ``meta["enrichment"]`` are appended.  The file stays version-1 and
+    loads in readers that predate enrichment — they simply ignore the
+    extra sections.  Domains in ``table`` that are not registered domains
+    of this zone are skipped; un-enriched registered domains have
+    ``enr_has == 0``.
+    """
+    meta_len = int.from_bytes(bytes(zone._buf[8:16]), "little")
+    meta = json.loads(bytes(zone._buf[_HEADER_LEN:_HEADER_LEN + meta_len]))
+    old_table = meta.pop("sections")
+    meta.pop("enrichment", None)
+    # JSON round-trips dict keys alphabetically; recover physical layout
+    # order from the recorded offsets
+    sections: List[Tuple[str, np.ndarray]] = [
+        (name, zone._sections[name])
+        for name, _spec in sorted(old_table.items(),
+                                  key=lambda kv: int(kv[1]["offset"]))
+        if not name.startswith("enr_")
+    ]
+    n = zone.n_registered
+    columns = {
+        "enr_has": np.zeros(n, dtype=np.uint8),
+        "enr_a_ip": np.zeros(n, dtype=np.uint32),
+        "enr_country": np.zeros(n, dtype=np.uint16),
+        "enr_year": np.zeros(n, dtype=np.uint16),
+        "enr_registrar": np.zeros(n, dtype=np.uint16),
+        "enr_mx": np.zeros(n, dtype=np.uint8),
+        "enr_status_a": np.zeros(n, dtype=np.uint8),
+        "enr_status_mx": np.zeros(n, dtype=np.uint8),
+        "enr_status_whois": np.zeros(n, dtype=np.uint8),
+        "enr_status_geo": np.zeros(n, dtype=np.uint8),
+    }
+    regs = zone._regs()
+    rows: List[int] = []
+    reg_ids: List[int] = []
+    for row, domain in enumerate(table.domains):
+        reg_id = regs.get(domain)
+        if reg_id is not None:
+            rows.append(row)
+            reg_ids.append(reg_id)
+    if rows:
+        row_index = np.asarray(rows)
+        reg_index = np.asarray(reg_ids)
+        columns["enr_has"][reg_index] = 1
+        columns["enr_a_ip"][reg_index] = table.a_ip[row_index]
+        columns["enr_country"][reg_index] = table.country_id[row_index]
+        columns["enr_year"][reg_index] = table.reg_year[row_index]
+        columns["enr_registrar"][reg_index] = table.registrar_id[row_index]
+        columns["enr_mx"][reg_index] = table.mx_present[row_index]
+        for backend in ("a", "mx", "whois", "geo"):
+            columns[f"enr_status_{backend}"][reg_index] = \
+                table.status[backend][row_index]
+    sections.extend(sorted(columns.items()))
+    meta["enrichment"] = {
+        "countries": list(table.countries),
+        "registrars": list(table.registrars),
+    }
+    return PackedZone.from_bytes(_pack_file(meta, sections))
 
 
 def pack_zone(zone: Union["ZoneStore", PackedZone]) -> PackedZone:

@@ -1,0 +1,71 @@
+"""Async bulk enrichment: event-loop resolver over pluggable backends.
+
+The paper's hosting/registration analyses (Fig 15 geolocation, Fig 16
+registration years) need WHOIS/GeoIP/DNS enrichment at zone scale.  This
+package turns the per-domain registry walks into a bulk resolver:
+
+* :mod:`repro.enrich.backends` — adapters over the existing registries
+  (zone A records, synthetic MX presence, WHOIS, GeoIP) with per-host
+  addressing and typed miss statuses;
+* :mod:`repro.enrich.table` — the columnar result table (numpy columns,
+  canonical interning, value-level digest);
+* :mod:`repro.enrich.resolver` — the event-loop
+  :class:`~repro.enrich.resolver.EnrichResolver`: bounded concurrency,
+  retry ladders, per-(backend, host) breakers, hedging, negative cache,
+  and a vectorized fast path for fault-free lookups;
+* :mod:`repro.enrich.serial` — the synchronous reference twin whose
+  no-fault run is the byte-identity oracle.
+"""
+
+from repro.enrich.backends import (
+    MISS_REASONS,
+    STATUS_BREAKER_OPEN,
+    STATUS_NO_RECORD,
+    STATUS_NXDOMAIN,
+    STATUS_OK,
+    STATUS_RETRIES_EXHAUSTED,
+    ARecordBackend,
+    GeoIPBackend,
+    MXBackend,
+    WhoisBackend,
+)
+from repro.enrich.resolver import (
+    EnrichResolver,
+    EnrichTask,
+    NegativeCache,
+    ResolverStats,
+)
+from repro.enrich.serial import enrich_serial
+from repro.enrich.table import BACKEND_ORDER, EnrichmentTable
+
+__all__ = [
+    "ARecordBackend",
+    "BACKEND_ORDER",
+    "EnrichResolver",
+    "EnrichTask",
+    "EnrichmentTable",
+    "GeoIPBackend",
+    "MISS_REASONS",
+    "MXBackend",
+    "NegativeCache",
+    "ResolverStats",
+    "STATUS_BREAKER_OPEN",
+    "STATUS_NO_RECORD",
+    "STATUS_NXDOMAIN",
+    "STATUS_OK",
+    "STATUS_RETRIES_EXHAUSTED",
+    "WhoisBackend",
+    "default_backends",
+    "enrich_serial",
+]
+
+
+def default_backends(zone, whois, geoip):
+    """The standard four-backend stack in resolve order (zone-membership
+    backends first so their NXDOMAINs seed the shared negative cache)."""
+    return [
+        ARecordBackend(zone),
+        MXBackend(zone),
+        WhoisBackend(whois),
+        GeoIPBackend(geoip, zone),
+    ]

@@ -1,0 +1,260 @@
+"""Pluggable enrichment-backend adapters.
+
+Each backend wraps one existing data source — the zone's A records, a
+synthetic MX presence model, :class:`~repro.phishworld.whois.WhoisRegistry`,
+:class:`~repro.phishworld.geoip.GeoIPRegistry` — behind one tiny protocol:
+
+* ``name`` — stable identifier, part of every fault-draw key;
+* ``host(domain)`` — which *server host* answers the lookup (circuit
+  breakers are per (backend, host): one dead WHOIS server must not trip
+  the breaker of another TLD's server);
+* ``base_latency`` — simulated seconds a clean lookup costs;
+* ``negcache_scope`` — negative-cache namespace this backend shares (all
+  zone-membership backends agree a name absent from the zone is NXDOMAIN
+  everywhere, so they share the ``"zone"`` scope);
+* ``lookup(domain)`` — the pure data access, returning ``(value, status)``.
+
+Lookups are *pure functions of the domain*: faults, retries, hedges, and
+caches change only timing and accounting — never the value — which is what
+makes the resolver's output byte-identical to the serial no-fault oracle.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Optional, Tuple
+
+from repro.dns.records import split_domain
+
+# ----------------------------------------------------------------------
+# per-cell status codes (the typed miss reasons of graceful degradation)
+# ----------------------------------------------------------------------
+STATUS_OK = 0
+STATUS_NXDOMAIN = 1           # name absent from the data source entirely
+STATUS_NO_RECORD = 2          # name known, this record type missing
+STATUS_RETRIES_EXHAUSTED = 3  # bounded ladder ran dry (partial row)
+STATUS_BREAKER_OPEN = 4       # host breaker refused the final attempt
+
+MISS_REASONS: Dict[int, str] = {
+    STATUS_OK: "ok",
+    STATUS_NXDOMAIN: "nxdomain",
+    STATUS_NO_RECORD: "no_record",
+    STATUS_RETRIES_EXHAUSTED: "retries_exhausted",
+    STATUS_BREAKER_OPEN: "breaker_open",
+}
+
+#: fraction of zone-present domains that publish an MX record; the draw is
+#: hash-addressed per domain so MX presence is a pure domain function
+MX_PRESENT_RATE = 0.85
+
+
+def _tld_of(domain: str) -> str:
+    _core, tld = split_domain(domain.lower())
+    return tld or "root"
+
+
+def _zone_records(zone, domains) -> list:
+    """One zone record (or None) per domain, bulk when the store can."""
+    if hasattr(zone, "get_many"):
+        return zone.get_many(domains)
+    get = zone.get
+    return [get(domain) for domain in domains]
+
+
+def tlds_many(domains) -> list:
+    """One TLD per domain, split once.
+
+    The resolver computes this list a single time per :meth:`resolve`
+    and shares it across every TLD-hosted backend (via
+    ``host_for_tld``), so the registered-domain split runs once per
+    domain instead of once per (backend, domain).
+    """
+    return [_tld_of(domain) for domain in domains]
+
+
+def ip_to_u32(ip: str) -> int:
+    """Dotted-quad → uint32 (0 for anything unparsable, e.g. ``0.0.0.0``)."""
+    parts = ip.split(".")
+    if len(parts) != 4:
+        return 0
+    try:
+        a, b, c, d = (int(parts[0]), int(parts[1]),
+                      int(parts[2]), int(parts[3]))
+    except ValueError:
+        return 0
+    if (a | b | c | d) & ~0xFF:
+        # a negative octet sets high bits too (two's complement), so one
+        # mask covers both the > 255 and the < 0 rejections
+        return 0
+    return (a << 24) | (b << 16) | (c << 8) | d
+
+
+def u32_to_ip(value: int) -> str:
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+class ARecordBackend:
+    """A-record lookup against the zone snapshot (one NS host per TLD)."""
+
+    name = "a"
+    base_latency = 0.05
+    negcache_scope = "zone"
+
+    def __init__(self, zone) -> None:
+        self.zone = zone
+
+    def host(self, domain: str) -> str:
+        return self.host_for_tld(_tld_of(domain))
+
+    def host_for_tld(self, tld: str) -> str:
+        return f"ns.{tld}"
+
+    def lookup(self, domain: str) -> Tuple[int, int]:
+        record = self.zone.get(domain)
+        if record is None:
+            return 0, STATUS_NXDOMAIN
+        packed = ip_to_u32(record.ip)
+        if packed == 0:
+            return 0, STATUS_NO_RECORD
+        return packed, STATUS_OK
+
+    def lookup_many(self, domains) -> list:
+        """Bulk path: one zone probe per domain, no per-call dispatch."""
+        out = []
+        append = out.append
+        for record in _zone_records(self.zone, domains):
+            if record is None:
+                append((0, STATUS_NXDOMAIN))
+                continue
+            packed = ip_to_u32(record.ip)
+            append((packed, STATUS_OK) if packed else (0, STATUS_NO_RECORD))
+        return out
+
+
+class MXBackend:
+    """MX-presence probe (one MX resolver host per TLD).
+
+    The synthetic world has no mail topology, so presence is modelled as a
+    hash-addressed per-domain draw at :data:`MX_PRESENT_RATE` over
+    zone-present names — deterministic, zone-membership-gated, and
+    independent of fault weather.
+    """
+
+    name = "mx"
+    base_latency = 0.05
+    negcache_scope = "zone"
+
+    def __init__(self, zone) -> None:
+        self.zone = zone
+
+    def host(self, domain: str) -> str:
+        return self.host_for_tld(_tld_of(domain))
+
+    def host_for_tld(self, tld: str) -> str:
+        return f"mx.{tld}"
+
+    def lookup(self, domain: str) -> Tuple[int, int]:
+        if self.zone.get(domain) is None:
+            return 0, STATUS_NXDOMAIN
+        draw = (zlib.crc32(f"mx|{domain}".encode()) % 1_000_000) / 1_000_000.0
+        if draw < MX_PRESENT_RATE:
+            return 1, STATUS_OK
+        return 0, STATUS_NO_RECORD
+
+    #: crc32("mx|") — the draw token's constant prefix, hashed once so the
+    #: bulk path only feeds the domain through the incremental CRC
+    _DRAW_PREFIX_CRC = zlib.crc32(b"mx|")
+
+    def lookup_many(self, domains) -> list:
+        """Bulk path mirroring :meth:`lookup` draw for draw."""
+        crc = zlib.crc32
+        prefix = self._DRAW_PREFIX_CRC
+        out = []
+        append = out.append
+        for domain, record in zip(domains, _zone_records(self.zone, domains)):
+            if record is None:
+                append((0, STATUS_NXDOMAIN))
+            elif (crc(domain.encode(), prefix)
+                  % 1_000_000) / 1_000_000.0 < MX_PRESENT_RATE:
+                append((1, STATUS_OK))
+            else:
+                append((0, STATUS_NO_RECORD))
+        return out
+
+
+class WhoisBackend:
+    """Registration metadata via the WHOIS registry (one server per TLD)."""
+
+    name = "whois"
+    base_latency = 0.4
+    negcache_scope = "whois"
+
+    def __init__(self, whois) -> None:
+        self.whois = whois
+
+    def host(self, domain: str) -> str:
+        return self.host_for_tld(_tld_of(domain))
+
+    def host_for_tld(self, tld: str) -> str:
+        return f"whois.{tld}"
+
+    def lookup(self, domain: str) -> Tuple[Optional[Tuple[int, Optional[str]]], int]:
+        record = self.whois.lookup(domain)
+        if record is None:
+            return None, STATUS_NO_RECORD
+        return (record.registration_year, record.registrar), STATUS_OK
+
+    def lookup_many(self, domains) -> list:
+        """Bulk path over :meth:`WhoisRegistry.lookup_many`."""
+        return [
+            (None, STATUS_NO_RECORD) if record is None
+            else ((record.registration_year, record.registrar), STATUS_OK)
+            for record in self.whois.lookup_many(domains)
+        ]
+
+
+class GeoIPBackend:
+    """ASN/GeoIP country of the domain's A record (one shared service host).
+
+    Composes the zone A lookup internally so a geolocation row never
+    depends on cross-backend ordering: absent from the zone → NXDOMAIN,
+    unallocated address → NO_RECORD.
+    """
+
+    name = "geo"
+    base_latency = 0.1
+    negcache_scope = "zone"
+
+    def __init__(self, geoip, zone) -> None:
+        self.geoip = geoip
+        self.zone = zone
+
+    def host(self, domain: str) -> str:
+        return "geoip.local"
+
+    def host_for_tld(self, tld: str) -> str:
+        return "geoip.local"
+
+    def lookup(self, domain: str) -> Tuple[Optional[str], int]:
+        record = self.zone.get(domain)
+        if record is None:
+            return None, STATUS_NXDOMAIN
+        country = self.geoip.country(record.ip)
+        if country is None:
+            return None, STATUS_NO_RECORD
+        return country, STATUS_OK
+
+    def lookup_many(self, domains) -> list:
+        """Bulk path over :meth:`GeoIPRegistry.country_many`."""
+        records = _zone_records(self.zone, domains)
+        countries = self.geoip.country_many(
+            [record.ip if record is not None else "" for record in records])
+        out = []
+        for record, country in zip(records, countries):
+            if record is None:
+                out.append((None, STATUS_NXDOMAIN))
+            elif country is None:
+                out.append((None, STATUS_NO_RECORD))
+            else:
+                out.append((country, STATUS_OK))
+        return out

@@ -1,0 +1,506 @@
+"""Event-loop bulk enrichment resolver.
+
+:class:`EnrichResolver` drives thousands of (domain × backend) lookups
+through a simulated-time event loop with bounded in-flight concurrency,
+deterministic retry ladders (:class:`~repro.faults.resilience.RetryPolicy`
+via capped rungs), per-(backend, host) circuit breakers, hedged duplicate
+requests for stragglers, and a TTL'd negative cache — all under a private
+:class:`~repro.faults.clock.SimClock`, so every timeline is reproducible.
+
+Determinism contract
+--------------------
+Backend lookups are pure functions of the domain, and every retry ladder
+is unbounded by default (``max_attempts=None``), so injected faults,
+hedging, concurrency, and caching change only *timing and accounting* —
+never a result value.  The finalized table therefore digests identically
+to the serial no-fault oracle (:func:`repro.enrich.serial.enrich_serial`)
+for any concurrency level, hedging setting, or fault seed.  Bounding
+``max_attempts`` (tests of graceful degradation) is the one way to get
+partial rows; those carry typed miss reasons instead of raising.
+
+Fast path
+---------
+At realistic fault rates most lookups never see any weather.  The
+resolver screens each (backend, domain) with
+:meth:`~repro.faults.plan.FaultInjector.backend_dirty_many` — the same
+hash draws :meth:`check_backend` would make on the first attempt,
+batched with per-host incremental CRC prefixes — and routes
+clean tasks through a vectorized bulk loop with zero event-loop/resilience
+overhead; only the dirty tail is simulated.  Backend flapping is
+time-dependent, so any flap rate disables the fast path entirely.
+"""
+
+from __future__ import annotations
+
+import heapq
+import zlib
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from itertools import compress
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.enrich.backends import (
+    STATUS_BREAKER_OPEN,
+    STATUS_NO_RECORD,
+    STATUS_NXDOMAIN,
+    STATUS_OK,
+    STATUS_RETRIES_EXHAUSTED,
+    tlds_many,
+)
+from repro.enrich.table import EnrichmentTable
+from repro.faults.clock import SimClock
+from repro.faults.errors import FaultError
+from repro.faults.plan import FaultInjector, FaultPlan
+from repro.faults.resilience import CircuitBreaker, RetryPolicy
+
+
+@dataclass
+class EnrichTask:
+    """One in-flight (domain, backend) lookup with its retry state."""
+
+    domain: str
+    backend: int  # index into the resolver's backend list
+    host: str
+    row: int  # the domain's row in the output table
+    attempt: int = 0
+
+
+@dataclass
+class ResolverStats:
+    """Resolver-local accounting (never merged into pipeline health).
+
+    Everything here is wall-clock/scheduling metadata: identical tables
+    can carry different stats across concurrency levels, which is exactly
+    why stats live outside every deterministic digest.
+    """
+
+    tasks: int = 0
+    fast_path_tasks: int = 0
+    event_loop_tasks: int = 0
+    attempts: int = 0
+    successes: int = 0
+    retries: int = 0
+    backoff_seconds: float = 0.0
+    hedges_fired: int = 0
+    hedge_wins: int = 0
+    negcache_hits: int = 0
+    negcache_stores: int = 0
+    breaker_deferrals: int = 0
+    breaker_trips: int = 0
+    partial_rows: int = 0
+    sim_seconds: float = 0.0
+    failures: Counter = field(default_factory=Counter)
+    injected: Dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "tasks": self.tasks,
+            "fast_path_tasks": self.fast_path_tasks,
+            "event_loop_tasks": self.event_loop_tasks,
+            "attempts": self.attempts,
+            "successes": self.successes,
+            "retries": self.retries,
+            "backoff_seconds": round(self.backoff_seconds, 6),
+            "hedges_fired": self.hedges_fired,
+            "hedge_wins": self.hedge_wins,
+            "negcache_hits": self.negcache_hits,
+            "negcache_stores": self.negcache_stores,
+            "breaker_deferrals": self.breaker_deferrals,
+            "breaker_trips": self.breaker_trips,
+            "partial_rows": self.partial_rows,
+            "sim_seconds": round(self.sim_seconds, 6),
+            "failures": dict(sorted(self.failures.items())),
+            "injected": dict(sorted(self.injected.items())),
+        }
+
+
+class NegativeCache:
+    """TTL'd (scope, domain) → permanent-miss cache on the resolver clock.
+
+    Scopes let backends share verdicts they agree on: every
+    zone-membership backend (A, MX, GeoIP) returns NXDOMAIN for a name
+    absent from the zone, so one backend's miss short-circuits the
+    others'.  Shortcut results are value-identical to a recomputation by
+    construction, so the cache affects timing and stats only.
+    """
+
+    def __init__(self, ttl: float = 3600.0) -> None:
+        self.ttl = ttl
+        self._expiry: Dict[Tuple[str, str], float] = {}
+
+    def __len__(self) -> int:
+        return len(self._expiry)
+
+    def put(self, scope: str, domain: str, now: float) -> None:
+        self._expiry[(scope, domain)] = now + self.ttl
+
+    def hit(self, scope: str, domain: str, now: float) -> bool:
+        expiry = self._expiry.get((scope, domain))
+        if expiry is None:
+            return False
+        if now >= expiry:
+            del self._expiry[(scope, domain)]
+            return False
+        return True
+
+
+#: delay chain cap: rung 6 is 64 × base, already past the default
+#: ``max_delay``, so higher rungs would be identical anyway
+DEFAULT_LADDER_CAP = 6
+
+#: per-task hard ceiling; unreachable under any valid plan (abort rate is
+#: capped at 0.999 and draws are attempt-keyed), purely a runaway backstop
+ATTEMPT_SAFETY_CAP = 10_000
+
+
+class EnrichResolver:
+    """Bulk resolver over a fixed backend list.
+
+    Args:
+        backends: adapter instances (see :mod:`repro.enrich.backends`),
+            resolved backend-major in list order — zone-membership
+            backends should come first so their NXDOMAINs seed the
+            negative cache for the rest.
+        plan: fault plan; ``None`` disables all weather.
+        concurrency: max in-flight tasks; a task holds its slot through
+            retries and breaker waits.
+        hedging: duplicate straggler attempts (see :meth:`_run_attempt`).
+        hedge_after: simulated seconds after which a straggling primary
+            attempt fires its hedge.
+        retry_policy: backoff ladder, shared semantics with the crawler.
+        ladder_cap: backoff rung where the exponential ladder plateaus.
+        max_attempts: ``None`` retries until success (the deterministic
+            default); an int bounds the ladder and produces partial rows
+            with typed miss reasons.
+        negcache_ttl: negative-cache TTL in simulated seconds.
+    """
+
+    def __init__(
+        self,
+        backends: Sequence,
+        plan: Optional[FaultPlan] = None,
+        *,
+        concurrency: int = 8,
+        hedging: bool = True,
+        hedge_after: float = 1.0,
+        retry_policy: Optional[RetryPolicy] = None,
+        ladder_cap: int = DEFAULT_LADDER_CAP,
+        max_attempts: Optional[int] = None,
+        negcache_ttl: float = 3600.0,
+        breaker_failure_threshold: int = 5,
+        breaker_reset_timeout: float = 300.0,
+    ) -> None:
+        if concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        if max_attempts is not None and max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1 (or None)")
+        self.backends = list(backends)
+        self.plan = plan or FaultPlan()
+        self.concurrency = concurrency
+        self.hedging = hedging
+        self.hedge_after = hedge_after
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.ladder_cap = ladder_cap
+        self.max_attempts = max_attempts
+        self.negcache = NegativeCache(negcache_ttl)
+        self.breaker_failure_threshold = breaker_failure_threshold
+        self.breaker_reset_timeout = breaker_reset_timeout
+        # private clock: enrichment must never advance the pipeline clock
+        # (crawl timelines would shift with a throughput knob otherwise)
+        self.clock = SimClock()
+        self.injector = FaultInjector(self.plan, self.clock)
+        self._breakers: Dict[Tuple[str, str], CircuitBreaker] = {}
+        self.stats = ResolverStats()
+
+    # ------------------------------------------------------------------
+    def _breaker(self, backend_name: str, host: str) -> CircuitBreaker:
+        key = (backend_name, host)
+        breaker = self._breakers.get(key)
+        if breaker is None:
+            breaker = CircuitBreaker(self.breaker_failure_threshold,
+                                     self.breaker_reset_timeout)
+            self._breakers[key] = breaker
+        return breaker
+
+    def _latency(self, backend, host: str, domain: str,
+                 attempt: int, hedge: int) -> float:
+        """Simulated clean-service latency, hash-jittered into
+        ``base × [0.5, 1.5)`` so stragglers exist even without faults."""
+        token = (f"{self.plan.seed}|lat|{backend.name}|{host}|{domain}"
+                 f"|{attempt}|{hedge}")
+        frac = (zlib.crc32(token.encode()) % 1_000_000) / 1_000_000.0
+        return backend.base_latency * (0.5 + frac)
+
+    def _simulate_attempt(self, backend, task: EnrichTask, start: float,
+                          hedge: int) -> Tuple[Optional[str], float]:
+        """One attempt starting at simulated ``start``.
+
+        Returns ``(fault kind or None, end time)``.  Fault penalties
+        (timeout, slow host) are measured off the private clock, which
+        only ever moves forward — event times are processed in
+        nondecreasing order, so ``advance_to`` is safe.
+        """
+        self.clock.advance_to(start)
+        before = self.clock.now()
+        kind: Optional[str] = None
+        try:
+            self.injector.check_backend(backend.name, task.host, task.domain,
+                                        task.attempt, hedge)
+        except FaultError as fault:
+            kind = fault.kind
+        charged = self.clock.now() - before
+        service = self._latency(backend, task.host, task.domain,
+                                task.attempt, hedge)
+        return kind, start + service + charged
+
+    def _run_attempt(self, task: EnrichTask,
+                     start: float) -> Tuple[Optional[str], float]:
+        """Primary attempt plus (maybe) its hedge; earliest success wins.
+
+        A hedge fires when the primary's simulated duration exceeds
+        ``hedge_after``: a duplicate request starts at ``start +
+        hedge_after`` under a fresh draw namespace (``hedge=1``).  If
+        either copy succeeds the earliest success is the outcome (ties go
+        to the primary); if both fail the primary's fault stands.  Since
+        lookups are pure, the winning copy's *value* is always the same —
+        hedging buys tail latency and converts some failed primaries into
+        successes, never different data.
+        """
+        backend = self.backends[task.backend]
+        fault, end = self._simulate_attempt(backend, task, start, hedge=0)
+        if not self.hedging or end - start <= self.hedge_after:
+            return fault, end
+        self.stats.hedges_fired += 1
+        h_fault, h_end = self._simulate_attempt(
+            backend, task, start + self.hedge_after, hedge=1)
+        if h_fault is None and (fault is not None or h_end < end):
+            self.stats.hedge_wins += 1
+            return None, h_end
+        return fault, end
+
+    # ------------------------------------------------------------------
+    def resolve(self, domains: Sequence[str]) -> EnrichmentTable:
+        """Enrich every domain through every backend; returns the
+        finalized table.  Accounting lands on :attr:`stats`."""
+        self.stats = ResolverStats()
+        table = EnrichmentTable(domains)
+        self.stats.tasks = len(table) * len(self.backends)
+        # one registered-domain split and one encoded screen tail per
+        # domain, shared by every backend below
+        tlds = tlds_many(table.domains)
+        tails = ([f"|{domain}|0|0".encode() for domain in table.domains]
+                 if self.plan.any_faults else None)
+        dirty: List[EnrichTask] = []
+        for backend_index, backend in enumerate(self.backends):
+            dirty.extend(
+                self._fast_path(backend_index, backend, table, tlds, tails))
+        self.stats.event_loop_tasks = len(dirty)
+        self.stats.fast_path_tasks = self.stats.tasks - len(dirty)
+        if dirty:
+            self._event_loop(dirty, table)
+        self.stats.breaker_trips = sum(
+            b.trips for b in self._breakers.values())
+        self.stats.injected = self.injector.counts()
+        for backend in self.backends:
+            column = table.status[backend.name]
+            self.stats.partial_rows += int(np.count_nonzero(
+                (column == STATUS_RETRIES_EXHAUSTED)
+                | (column == STATUS_BREAKER_OPEN)))
+        return table.finalize()
+
+    # ------------------------------------------------------------------
+    # fast path
+    # ------------------------------------------------------------------
+    def _fast_path(self, backend_index: int, backend, table: EnrichmentTable,
+                   tlds: List[str],
+                   tails: Optional[List[bytes]]) -> List[EnrichTask]:
+        """Bulk-resolve every clean (domain, backend) task; return the
+        dirty tail as event-loop tasks."""
+        domains = table.domains
+        if hasattr(backend, "host_for_tld"):
+            mapping = {tld: backend.host_for_tld(tld) for tld in set(tlds)}
+            hosts = [mapping[tld] for tld in tlds]
+        else:
+            hosts = [backend.host(domain) for domain in domains]
+        if not self.plan.any_faults:
+            self._bulk_fill(backend, table, domains, range(len(domains)))
+            return []
+        flags = self.injector.backend_dirty_many(backend.name, hosts, domains,
+                                                 tails)
+        if True not in flags:
+            self._bulk_fill(backend, table, domains, range(len(domains)))
+            return []
+        keep = [not flag for flag in flags]
+        rows = range(len(domains))
+        clean = list(compress(domains, keep))
+        clean_rows = list(compress(rows, keep))
+        dirty = [
+            EnrichTask(domain=domain, backend=backend_index,
+                       host=host, row=row)
+            for domain, host, row in zip(compress(domains, flags),
+                                         compress(hosts, flags),
+                                         compress(rows, flags))
+        ]
+        if clean:
+            self._bulk_fill(backend, table, clean, clean_rows)
+        return dirty
+
+    def _bulk_fill(self, backend, table: EnrichmentTable,
+                   domains: Sequence[str], rows: Sequence[int]) -> None:
+        """Write clean lookups straight into the table columns.
+
+        Statuses and the fixed-width value columns (A record, MX flag)
+        land as single numpy scatter writes; only interned strings
+        (countries, registrars) and negative-cache stores loop, over
+        their small OK/miss subsets.
+        """
+        name = backend.name
+        scope = backend.negcache_scope
+        now = self.clock.now()
+        if hasattr(backend, "lookup_many"):
+            results = backend.lookup_many(domains)
+        else:
+            lookup = backend.lookup
+            results = [lookup(domain) for domain in domains]
+        count = len(results)
+        if count == 0:
+            return
+        self.stats.attempts += count
+        self.stats.successes += count
+        values, statuses = zip(*results)
+        rows_arr = np.fromiter(rows, dtype=np.int64, count=count)
+        status_arr = np.fromiter(statuses, dtype=np.uint8, count=count)
+        table.status[name][rows_arr] = status_arr
+        if name == "a":
+            # misses carry value 0, identical to the column's initial
+            # state, so the unconditional scatter is value-exact
+            table.a_ip[rows_arr] = np.fromiter(
+                values, dtype=np.uint32, count=count)
+        elif name == "mx":
+            table.mx_present[rows_arr] = np.fromiter(
+                values, dtype=np.uint8, count=count)
+        else:
+            set_value = table.set_value
+            for row, (value, status) in zip(rows, results):
+                if status == STATUS_OK:
+                    set_value(name, row, value)
+        if scope == "zone":
+            misses = np.nonzero(status_arr == STATUS_NXDOMAIN)[0]
+        elif scope == "whois":
+            misses = np.nonzero(status_arr == STATUS_NO_RECORD)[0]
+        else:
+            misses = ()
+        put = self.negcache.put
+        for index in misses:
+            put(scope, domains[int(index)], now)
+        self.stats.negcache_stores += len(misses)
+
+    # ------------------------------------------------------------------
+    # event loop (the dirty tail)
+    # ------------------------------------------------------------------
+    def _negative_result(self, backend) -> Tuple[object, int]:
+        """The (value, status) a negative-cache shortcut stands for."""
+        if backend.negcache_scope == "zone":
+            return (0 if backend.name in ("a", "mx") else None,
+                    STATUS_NXDOMAIN)
+        return None, STATUS_NO_RECORD
+
+    def _event_loop(self, tasks: List[EnrichTask],
+                    table: EnrichmentTable) -> None:
+        """Simulated-time loop over the dirty tasks.
+
+        Event heap entries are ``(time, seq, kind, payload)``; ``seq``
+        makes ordering total, hence deterministic.  A task occupies one
+        of ``concurrency`` slots from admission to completion — through
+        retries, backoff sleeps, and breaker waits — modelling a real
+        bounded-connection resolver.
+        """
+        stats = self.stats
+        heap: List[Tuple[float, int, str, object]] = []
+        seq = 0
+        pending = deque(tasks)
+        in_flight = 0
+        start_time = self.clock.now()
+        makespan = start_time
+
+        def push(at: float, kind: str, payload) -> None:
+            nonlocal seq
+            heapq.heappush(heap, (at, seq, kind, payload))
+            seq += 1
+
+        def admit(at: float) -> None:
+            nonlocal in_flight
+            while in_flight < self.concurrency and pending:
+                task = pending.popleft()
+                in_flight += 1
+                push(at, "attempt", task)
+
+        admit(start_time)
+        while heap:
+            t, _seq, kind, payload = heapq.heappop(heap)
+            makespan = max(makespan, t)
+            if kind == "done":
+                task, value, status = payload
+                backend = self.backends[task.backend]
+                table.status[backend.name][task.row] = status
+                if status == STATUS_OK:
+                    table.set_value(backend.name, task.row, value)
+                in_flight -= 1
+                admit(t)
+                continue
+            task = payload
+            backend = self.backends[task.backend]
+            if task.attempt >= ATTEMPT_SAFETY_CAP:
+                raise RuntimeError(
+                    f"enrichment of {task.domain} via {backend.name} "
+                    f"exceeded {ATTEMPT_SAFETY_CAP} attempts — "
+                    "fault plan cannot terminate")
+            # negative cache: a sibling backend already proved the miss
+            if self.negcache.hit(backend.negcache_scope, task.domain, t):
+                stats.negcache_hits += 1
+                value, status = self._negative_result(backend)
+                push(t, "done", (task, value, status))
+                continue
+            breaker = self._breaker(backend.name, task.host)
+            if not breaker.allow(t):
+                if self.max_attempts is not None:
+                    # bounded mode fails fast, like the crawl scheduler
+                    stats.failures["breaker_open"] += 1
+                    push(t, "done", (task, None, STATUS_BREAKER_OPEN))
+                    continue
+                stats.breaker_deferrals += 1
+                assert breaker.opened_at is not None
+                push(breaker.opened_at + breaker.reset_timeout,
+                     "attempt", task)
+                continue
+            stats.attempts += 1
+            fault, end = self._run_attempt(task, t)
+            if fault is None:
+                breaker.record_success()
+                stats.successes += 1
+                value, status = backend.lookup(task.domain)
+                if status != STATUS_OK:
+                    scope = backend.negcache_scope
+                    if (status == STATUS_NXDOMAIN and scope == "zone") or \
+                            (status == STATUS_NO_RECORD and scope == "whois"):
+                        self.negcache.put(scope, task.domain, end)
+                        stats.negcache_stores += 1
+                push(end, "done", (task, value, status))
+                continue
+            breaker.record_failure(end)
+            stats.failures[fault] += 1
+            stats.retries += 1
+            task.attempt += 1
+            if self.max_attempts is not None and \
+                    task.attempt >= self.max_attempts:
+                push(end, "done", (task, None, STATUS_RETRIES_EXHAUSTED))
+                continue
+            rung = min(task.attempt - 1, self.ladder_cap)
+            delay = self.retry_policy.delay(
+                rung, f"{backend.name}|{task.host}|{task.domain}")
+            stats.backoff_seconds += delay
+            push(end + delay, "attempt", task)
+        stats.sim_seconds = makespan - start_time
+        self.clock.advance_to(makespan)

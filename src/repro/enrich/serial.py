@@ -1,0 +1,68 @@
+"""Serial per-domain enrichment: the resolver's reference twin.
+
+This is the "synchronous, per-domain, one lookup at a time" path the
+event-loop resolver replaces: every (backend, domain) task runs to
+completion through a :class:`~repro.faults.guard.GuardedCall` — the exact
+resilience wiring the crawl scheduler uses — before the next one starts.
+Run with no fault plan it is THE oracle: the bench and tests assert the
+resolver's finalized table digests byte-identical to this function's
+output at every concurrency level, hedging setting, and fault seed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.enrich.table import EnrichmentTable
+from repro.faults.clock import SimClock
+from repro.faults.guard import GuardedCall
+from repro.faults.plan import FaultInjector, FaultPlan
+from repro.faults.resilience import CircuitBreaker, CrawlHealth, RetryPolicy
+
+
+def enrich_serial(
+    domains: Sequence[str],
+    backends: Sequence,
+    plan: Optional[FaultPlan] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    ladder_cap: int = 6,
+    breaker_failure_threshold: int = 5,
+    breaker_reset_timeout: float = 300.0,
+) -> Tuple[EnrichmentTable, CrawlHealth]:
+    """Enrich ``domains`` one lookup at a time; returns (table, health).
+
+    Uses ``GuardedCall(max_retries=None, wait_for_breaker=True)``: every
+    lookup retries until it succeeds (lookups are pure, so faults cannot
+    change values), and an open breaker is waited out on the private
+    simulated clock instead of aborting — the serial path has no other
+    work to interleave, so waiting is the only faithful behaviour.
+    """
+    clock = SimClock()
+    injector = FaultInjector(plan or FaultPlan(), clock)
+    policy = retry_policy or RetryPolicy()
+    guard = GuardedCall(policy, clock, max_retries=None,
+                        wait_for_breaker=True, ladder_cap=ladder_cap)
+    breakers: Dict[Tuple[str, str], CircuitBreaker] = {}
+    health = CrawlHealth()
+    table = EnrichmentTable(domains)
+    for backend in backends:
+        for domain in table.domains:
+            host = backend.host(domain)
+            breaker = breakers.get((backend.name, host))
+            if breaker is None:
+                breaker = CircuitBreaker(breaker_failure_threshold,
+                                         breaker_reset_timeout)
+                breakers[(backend.name, host)] = breaker
+
+            def fn(attempt: int, backend=backend, domain=domain, host=host):
+                injector.check_backend(backend.name, host, domain, attempt)
+                clock.sleep(backend.base_latency)
+                return backend.lookup(domain)
+
+            outcome = guard.run(f"{backend.name}|{host}|{domain}",
+                                fn, breaker, health)
+            value, status = outcome.value
+            table.set_result(backend.name, domain, value, status)
+    health.breaker_trips = sum(b.trips for b in breakers.values())
+    health.slow_responses = injector.injected.get("slow_response", 0)
+    return table.finalize(), health

@@ -1,0 +1,210 @@
+"""Columnar bulk-enrichment result table.
+
+One row per input domain (lowercased, deduped, first-seen order), one
+numpy column per enrichment field, plus a per-backend status column
+carrying the typed miss reason for every cell — a partially-enriched
+domain keeps its row, it never aborts the run.
+
+String values (countries, registrars) are interned to small integer ids.
+Intern order during the fill is arrival order — which depends on
+scheduling — so :meth:`finalize` remaps every id column onto *sorted*
+intern tables, making the binary representation canonical.  The
+:meth:`digest` additionally hashes fully *decoded* rows, so two tables
+are digest-equal iff they agree on actual values, regardless of how they
+were produced (serial, concurrent, hedged, fault-swept).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.enrich.backends import (
+    MISS_REASONS,
+    STATUS_OK,
+    u32_to_ip,
+)
+
+#: the backends every table carries status columns for, in resolve order
+BACKEND_ORDER = ("a", "mx", "whois", "geo")
+
+
+def _dedupe_lower(domains: Sequence[str]) -> List[str]:
+    seen = set()
+    ordered: List[str] = []
+    for domain in domains:
+        lowered = domain.lower()
+        if lowered not in seen:
+            seen.add(lowered)
+            ordered.append(lowered)
+    return ordered
+
+
+class EnrichmentTable:
+    """Columnar (domain × enrichment field) result store."""
+
+    def __init__(self, domains: Sequence[str]) -> None:
+        self.domains: List[str] = _dedupe_lower(domains)
+        n = len(self.domains)
+        self._row_of: Dict[str, int] = {
+            domain: i for i, domain in enumerate(self.domains)}
+        self.a_ip = np.zeros(n, dtype=np.uint32)        # 0 == miss
+        self.country_id = np.zeros(n, dtype=np.uint16)  # 0 == miss
+        self.reg_year = np.zeros(n, dtype=np.uint16)    # 0 == miss
+        self.registrar_id = np.zeros(n, dtype=np.uint16)  # 0 == miss/none
+        self.mx_present = np.zeros(n, dtype=np.uint8)
+        self.status = {
+            backend: np.zeros(n, dtype=np.uint8) for backend in BACKEND_ORDER}
+        # id 0 is reserved for "missing" in both intern tables
+        self._countries: List[str] = [""]
+        self._country_ids: Dict[str, int] = {"": 0}
+        self._registrars: List[str] = [""]
+        self._registrar_ids: Dict[str, int] = {"": 0}
+        self._finalized = False
+
+    def __len__(self) -> int:
+        return len(self.domains)
+
+    def row_of(self, domain: str) -> int:
+        return self._row_of[domain.lower()]
+
+    # ------------------------------------------------------------------
+    # fill (resolver-facing)
+    # ------------------------------------------------------------------
+    def _intern(self, ids: Dict[str, int], values: List[str],
+                value: str) -> int:
+        got = ids.get(value)
+        if got is None:
+            got = len(values)
+            ids[value] = got
+            values.append(value)
+        return got
+
+    def set_result(self, backend: str, domain: str, value, status: int) -> None:
+        """Record one backend's outcome for one domain."""
+        row = self._row_of[domain.lower()]
+        self.status[backend][row] = status
+        if status == STATUS_OK:
+            self.set_value(backend, row, value)
+
+    def set_value(self, backend: str, row: int, value) -> None:
+        """Write a successful lookup's value into its column cell."""
+        if self._finalized:
+            raise RuntimeError("table is finalized")
+        if backend == "a":
+            self.a_ip[row] = value
+        elif backend == "mx":
+            self.mx_present[row] = value
+        elif backend == "whois":
+            year, registrar = value
+            self.reg_year[row] = year
+            if registrar is not None:
+                self.registrar_id[row] = self._intern(
+                    self._registrar_ids, self._registrars, registrar)
+        elif backend == "geo":
+            self.country_id[row] = self._intern(
+                self._country_ids, self._countries, value)
+        else:
+            raise KeyError(f"unknown backend {backend!r}")
+
+    def finalize(self) -> "EnrichmentTable":
+        """Remap intern ids onto sorted tables → canonical binary form."""
+        if self._finalized:
+            return self
+        for attr_values, attr_ids, column in (
+            ("_countries", "_country_ids", self.country_id),
+            ("_registrars", "_registrar_ids", self.registrar_id),
+        ):
+            values = getattr(self, attr_values)
+            canonical = [""] + sorted(values[1:])
+            remap = np.zeros(len(values), dtype=column.dtype)
+            for old_id, value in enumerate(values):
+                remap[old_id] = canonical.index(value) if old_id else 0
+            column[:] = remap[column]
+            setattr(self, attr_values, canonical)
+            setattr(self, attr_ids, {v: i for i, v in enumerate(canonical)})
+        self._finalized = True
+        return self
+
+    # ------------------------------------------------------------------
+    # decoded reads
+    # ------------------------------------------------------------------
+    @property
+    def countries(self) -> List[str]:
+        """Intern table; index 0 is the missing sentinel."""
+        return self._countries
+
+    @property
+    def registrars(self) -> List[str]:
+        return self._registrars
+
+    def country_of_row(self, row: int) -> Optional[str]:
+        cid = int(self.country_id[row])
+        return self._countries[cid] if cid else None
+
+    def registrar_of_row(self, row: int) -> Optional[str]:
+        rid = int(self.registrar_id[row])
+        return self._registrars[rid] if rid else None
+
+    def decoded_row(self, row: int) -> Dict[str, object]:
+        """One row as plain python values (reports, spot checks)."""
+        return {
+            "domain": self.domains[row],
+            "a_ip": u32_to_ip(int(self.a_ip[row])) if self.a_ip[row] else None,
+            "country": self.country_of_row(row),
+            "registration_year": int(self.reg_year[row]) or None,
+            "registrar": self.registrar_of_row(row),
+            "mx_present": bool(self.mx_present[row]),
+            "miss_reasons": {
+                backend: MISS_REASONS[int(self.status[backend][row])]
+                for backend in BACKEND_ORDER
+                if int(self.status[backend][row]) != STATUS_OK
+            },
+        }
+
+    def miss_reason_counts(self) -> Dict[str, Dict[str, int]]:
+        """backend → miss reason → count (degradation reporting)."""
+        out: Dict[str, Dict[str, int]] = {}
+        for backend in BACKEND_ORDER:
+            codes, counts = np.unique(self.status[backend],
+                                      return_counts=True)
+            reasons = {
+                MISS_REASONS[int(code)]: int(count)
+                for code, count in zip(codes, counts)
+                if int(code) != STATUS_OK
+            }
+            if reasons:
+                out[backend] = reasons
+        return out
+
+    # ------------------------------------------------------------------
+    # canonical digest
+    # ------------------------------------------------------------------
+    def digest(self) -> str:
+        """SHA-256 over fully decoded rows.
+
+        Decoding makes the digest independent of intern-id assignment, so
+        it compares *values*: the determinism contract asserts this digest
+        is byte-identical across concurrency levels, hedging on/off, and
+        fault seeds.
+        """
+        import hashlib
+        hasher = hashlib.sha256()
+        hasher.update(b"enrichment\n")
+        for row, domain in enumerate(self.domains):
+            statuses = ",".join(
+                str(int(self.status[backend][row]))
+                for backend in BACKEND_ORDER)
+            line = "|".join((
+                domain,
+                str(int(self.a_ip[row])),
+                self.country_of_row(row) or "-",
+                str(int(self.reg_year[row])),
+                self.registrar_of_row(row) or "-",
+                str(int(self.mx_present[row])),
+                statuses,
+            ))
+            hasher.update(line.encode())
+            hasher.update(b"\n")
+        return hasher.hexdigest()

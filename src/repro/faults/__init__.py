@@ -22,7 +22,9 @@ from repro.faults.errors import (
     DNSFault,
     FaultError,
     HTTPServerError,
+    SnapshotCorruptError,
 )
+from repro.faults.guard import GuardedCall, GuardOutcome
 from repro.faults.plan import FaultInjector, FaultKind, FaultPlan
 from repro.faults.resilience import (
     CircuitBreaker,
@@ -43,7 +45,10 @@ __all__ = [
     "FaultInjector",
     "FaultKind",
     "FaultPlan",
+    "GuardOutcome",
+    "GuardedCall",
     "HTTPServerError",
     "RetryPolicy",
     "SimClock",
+    "SnapshotCorruptError",
 ]

@@ -43,6 +43,21 @@ class BrowserCrashFault(FaultError):
     """The headless browser process died during the visit."""
 
 
+class SnapshotCorruptError(FaultError):
+    """A serialized DNS snapshot contains a truncated or corrupt line.
+
+    Raised by :func:`repro.dns.activedns.iter_snapshot` instead of silently
+    dropping the record — a truncated dump means the ingest was cut short,
+    and downstream zone statistics would be wrong without anyone noticing.
+    """
+
+    def __init__(self, path: str, line_number: int, detail: str = "") -> None:
+        self.path = path
+        self.line_number = line_number
+        super().__init__("snapshot_corrupt", f"{path}:{line_number}",
+                         detail=detail)
+
+
 class BreakerOpenError(FaultError):
     """A visit was refused locally because the host's circuit breaker is open.
 

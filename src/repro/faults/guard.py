@@ -1,0 +1,140 @@
+"""Shared retry-ladder + circuit-breaker wiring (``GuardedCall``).
+
+The crawl scheduler and the bulk enrichment resolver both push every
+backend call through the same resilience stack: a :class:`CircuitBreaker`
+gate, a deterministic exponential-backoff :class:`RetryPolicy`, and a
+:class:`CrawlHealth` ledger.  This module is the single implementation —
+one attempt loop, one set of counter semantics, one breaker protocol — so
+the two callers stay byte-compatible: identical fault sequences produce
+identical ``CircuitBreaker.state_key()`` digests and health tallies
+whichever subsystem drove them.
+
+Semantics (mirrors the original crawl-scheduler loop exactly):
+
+* each attempt first consults ``breaker.allow(now)``; a refusal counts a
+  ``breaker_skips`` and either aborts the call (crawler) or, with
+  ``wait_for_breaker=True`` (serial resolver), sleeps the simulated clock
+  to the breaker's half-open instant and re-gates without consuming an
+  attempt;
+* a raised :class:`FaultError` records a breaker failure, a health
+  failure, and — when attempts remain — sleeps
+  ``policy.delay(attempt, key)`` on the shared clock, charging
+  ``health.backoff_seconds``;
+* ``ladder_cap`` (resolver) freezes the backoff exponent once the ladder
+  reaches that rung, so unbounded retries plateau at a finite delay
+  instead of saturating ``max_delay`` through ever-larger raw steps;
+* ``max_retries=None`` retries forever (callers relying on this must
+  guarantee eventual success, e.g. via fault rates < 1 and hash-addressed
+  draws keyed by attempt).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.faults.clock import SimClock
+from repro.faults.errors import FaultError
+from repro.faults.resilience import CircuitBreaker, CrawlHealth, RetryPolicy
+
+#: hard ceiling on attempts for unbounded (``max_retries=None``) calls —
+#: unreachable under any sane fault plan (rates < 1, attempt-keyed draws),
+#: purely a runaway backstop so a misconfigured plan fails loudly.
+ATTEMPT_SAFETY_CAP = 10_000
+
+
+@dataclass
+class GuardOutcome:
+    """Result of one guarded call.
+
+    ``ok`` is the success discriminator — ``value`` may legitimately be
+    ``None`` on success (a cleanly dead site returns no capture).
+    """
+
+    value: Any = None
+    ok: bool = False
+    retries: int = 0
+    last_fault: Optional[str] = None
+
+
+class GuardedCall:
+    """One call-site wrapper around breaker + retry ladder + health ledger.
+
+    Args:
+        policy: backoff schedule (deterministic, hash-jittered).
+        clock: simulated clock all delays are charged to.
+        max_retries: extra attempts after the first failure; ``None``
+            retries until success (bounded by :data:`ATTEMPT_SAFETY_CAP`).
+        wait_for_breaker: instead of aborting on an open breaker, advance
+            the clock to its half-open instant and retry the gate.  No
+            attempt is consumed by the wait.
+        ladder_cap: highest backoff rung; attempts beyond it reuse the
+            capped rung's delay (``None`` leaves the ladder unbounded,
+            matching the crawler's historical behaviour).
+    """
+
+    def __init__(
+        self,
+        policy: RetryPolicy,
+        clock: SimClock,
+        max_retries: Optional[int] = None,
+        wait_for_breaker: bool = False,
+        ladder_cap: Optional[int] = None,
+    ) -> None:
+        self.policy = policy
+        self.clock = clock
+        self.max_retries = max_retries
+        self.wait_for_breaker = wait_for_breaker
+        self.ladder_cap = ladder_cap
+
+    def run(
+        self,
+        key: str,
+        fn: Callable[[int], Any],
+        breaker: CircuitBreaker,
+        health: CrawlHealth,
+    ) -> GuardOutcome:
+        """Drive ``fn(attempt)`` through the resilience stack.
+
+        ``fn`` receives the zero-based attempt index (fault draws are
+        attempt-keyed) and either returns a value or raises a
+        :class:`FaultError`.
+        """
+        retries = 0
+        last_fault: Optional[str] = None
+        attempt = 0
+        while self.max_retries is None or attempt <= self.max_retries:
+            if attempt >= ATTEMPT_SAFETY_CAP:
+                raise RuntimeError(
+                    f"guarded call {key!r} exceeded {ATTEMPT_SAFETY_CAP} "
+                    "attempts — fault plan cannot terminate")
+            if not breaker.allow(self.clock.now()):
+                health.breaker_skips += 1
+                if self.wait_for_breaker and breaker.opened_at is not None:
+                    self.clock.advance_to(
+                        breaker.opened_at + breaker.reset_timeout)
+                    continue
+                last_fault = last_fault or "breaker_open"
+                break
+            health.attempts += 1
+            try:
+                value = fn(attempt)
+            except FaultError as fault:
+                breaker.record_failure(self.clock.now())
+                health.record_failure(fault.kind)
+                health.retries += 1
+                retries += 1
+                last_fault = fault.kind
+                if self.max_retries is None or attempt < self.max_retries:
+                    step = attempt if self.ladder_cap is None else \
+                        min(attempt, self.ladder_cap)
+                    delay = self.policy.delay(step, key)
+                    self.clock.sleep(delay)
+                    health.backoff_seconds += delay
+                attempt += 1
+                continue
+            breaker.record_success()
+            health.successes += 1
+            return GuardOutcome(value=value, ok=True, retries=retries)
+        return GuardOutcome(ok=False, retries=retries,
+                            last_fault=last_fault or "unknown")

@@ -119,6 +119,11 @@ class PerfReport:
     train_seconds: float = 0.0
     registered_scanned: int = 0
     scan_seconds: float = 0.0
+    enrichments_done: int = 0
+    enrich_seconds: float = 0.0
+    hedges_fired: int = 0
+    negcache_hits: int = 0
+    negcache_misses: int = 0
     peak_rss_kb: int = 0
     cache: CacheStats = field(default_factory=CacheStats)
 
@@ -147,6 +152,21 @@ class PerfReport:
         self.registered_scanned += domains
         self.scan_seconds += seconds
 
+    def record_enrichment(self, tasks: int, seconds: float,
+                          hedges_fired: int = 0,
+                          negcache_hits: int = 0,
+                          negcache_misses: int = 0) -> None:
+        """Accumulate one bulk-enrichment run (resolver stats).
+
+        ``seconds`` is host wall clock; the resolver's simulated seconds
+        stay inside its own :class:`~repro.enrich.resolver.ResolverStats`.
+        """
+        self.enrichments_done += tasks
+        self.enrich_seconds += seconds
+        self.hedges_fired += hedges_fired
+        self.negcache_hits += negcache_hits
+        self.negcache_misses += negcache_misses
+
     def record_peak_rss(self) -> None:
         """Sample the process's peak resident set size (best effort).
 
@@ -173,6 +193,15 @@ class PerfReport:
         return self.registered_scanned / self.scan_seconds if self.scan_seconds else 0.0
 
     @property
+    def enrichments_per_second(self) -> float:
+        return self.enrichments_done / self.enrich_seconds if self.enrich_seconds else 0.0
+
+    @property
+    def negcache_hit_rate(self) -> float:
+        total = self.negcache_hits + self.negcache_misses
+        return self.negcache_hits / total if total else 0.0
+
+    @property
     def total_seconds(self) -> float:
         return sum(self.stage_seconds.values())
 
@@ -195,6 +224,13 @@ class PerfReport:
             "registered_scanned": self.registered_scanned,
             "scan_seconds": round(self.scan_seconds, 4),
             "scan_domains_per_second": round(self.scan_domains_per_second, 1),
+            "enrichments_done": self.enrichments_done,
+            "enrich_seconds": round(self.enrich_seconds, 4),
+            "enrichments_per_second": round(self.enrichments_per_second, 1),
+            "hedges_fired": self.hedges_fired,
+            "negcache_hits": self.negcache_hits,
+            "negcache_misses": self.negcache_misses,
+            "negcache_hit_rate": round(self.negcache_hit_rate, 4),
             "peak_rss_kb": self.peak_rss_kb,
             "cache": self.cache.to_dict(),
         }
@@ -264,6 +300,13 @@ class PerfReport:
                 f"  scan: {self.registered_scanned} registered domains in "
                 f"{self.scan_seconds:.2f}s "
                 f"({self.scan_domains_per_second:.0f} domains/s)")
+        if self.enrichments_done:
+            lines.append(
+                f"  enrichment: {self.enrichments_done} lookups in "
+                f"{self.enrich_seconds:.2f}s "
+                f"({self.enrichments_per_second:.0f} lookups/s, "
+                f"{self.hedges_fired} hedges, "
+                f"{100 * self.negcache_hit_rate:.1f}% negcache hits)")
         if self.peak_rss_kb:
             lines.append(f"  peak RSS: {self.peak_rss_kb / 1024:.1f} MiB")
         return "\n".join(lines)

@@ -74,6 +74,11 @@ class GeoIPRegistry:
         """Country code hosting an address, or None if unallocated."""
         return self._country_of.get(ip)
 
+    def country_many(self, ips: Sequence[str]) -> List[Optional[str]]:
+        """Bulk reverse lookup, one result slot per input address."""
+        country_of = self._country_of
+        return [country_of.get(ip) for ip in ips]
+
     def histogram(self, ips: Sequence[str]) -> Dict[str, int]:
         """Country → count over a list of addresses (the Fig 15 series)."""
         counts: Dict[str, int] = {}

@@ -85,6 +85,11 @@ class WhoisRegistry:
     def lookup(self, domain: str) -> Optional[WhoisRecord]:
         return self._records.get(domain.lower())
 
+    def lookup_many(self, domains: Sequence[str]) -> List[Optional[WhoisRecord]]:
+        """Bulk lookup, one result slot per input (None for misses)."""
+        records = self._records
+        return [records.get(domain.lower()) for domain in domains]
+
     def year_histogram(self, domains: Sequence[str]) -> Dict[int, int]:
         """Registration-year counts over a domain list (Fig 16 series)."""
         counts: Dict[int, int] = {}

@@ -30,6 +30,7 @@ from repro.stages.artifacts import (
     digest_crawl_snapshots,
     digest_cv_reports,
     digest_detections,
+    digest_enrichment,
     digest_evasion,
     digest_ground_truth,
     digest_packed_zone,
@@ -66,6 +67,7 @@ __all__ = [
     "digest_crawl_snapshots",
     "digest_cv_reports",
     "digest_detections",
+    "digest_enrichment",
     "digest_evasion",
     "digest_ground_truth",
     "digest_packed_zone",

@@ -86,6 +86,16 @@ def digest_packed_zone(zone: Any) -> str:
     return _hash_lines("packed_zone", [zone.content_digest])
 
 
+def digest_enrichment(table: Any) -> str:
+    """Digest of a bulk-enrichment table (the enrich stage's artifact).
+
+    The table's own :meth:`digest` hashes fully decoded rows — values,
+    not intern ids — so this artifact digest is identical however the
+    table was produced (serial, concurrent, hedged, fault-swept).
+    """
+    return _hash_lines("enrichment", [table.digest()])
+
+
 def digest_crawl_snapshot(snapshot: Any) -> str:
     """Digest of one :class:`~repro.web.crawler.CrawlSnapshot`.
 

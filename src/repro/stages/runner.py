@@ -61,6 +61,7 @@ def code_digest(fn: Any) -> str:
 #: invalidate a stored stage.  ``config_slice_digest`` enforces this.
 THROUGHPUT_FIELDS = frozenset({
     "scan_workers", "crawl_workers", "train_workers", "extract_workers",
+    "enrich_workers", "enrich_hedging",
     "capture_cache", "checkpoint_interval", "legacy_ml",
 })
 

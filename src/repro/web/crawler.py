@@ -58,7 +58,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.faults.clock import SimClock
-from repro.faults.errors import BrowserCrashFault, FaultError
+from repro.faults.errors import BrowserCrashFault
+from repro.faults.guard import GuardedCall
 from repro.faults.plan import FaultInjector, FaultKind
 from repro.faults.resilience import (
     CircuitBreaker,
@@ -342,35 +343,19 @@ class DistributedCrawler:
 
         Returns (capture, failed attempts, dead letter or None).
         """
-        backoff_key = f"{domain}|{profile.name}|{snapshot}"
-        retries = 0
-        last_fault: Optional[str] = None
-        for attempt in range(self.max_retries + 1):
-            if not breaker.allow(clock.now()):
-                health.breaker_skips += 1
-                last_fault = last_fault or "breaker_open"
-                break
-            health.attempts += 1
-            try:
-                capture = self._visit_once(browser, injector, domain, profile,
-                                           snapshot, attempt)
-            except FaultError as fault:
-                breaker.record_failure(clock.now())
-                health.record_failure(fault.kind)
-                health.retries += 1
-                retries += 1
-                last_fault = fault.kind
-                if attempt < self.max_retries:
-                    delay = self.retry_policy.delay(attempt, backoff_key)
-                    clock.sleep(delay)
-                    health.backoff_seconds += delay
-                continue
-            breaker.record_success()
-            health.successes += 1
-            return capture, retries, None
+        guard = GuardedCall(self.retry_policy, clock,
+                            max_retries=self.max_retries)
+        outcome = guard.run(
+            f"{domain}|{profile.name}|{snapshot}",
+            lambda attempt: self._visit_once(browser, injector, domain,
+                                             profile, snapshot, attempt),
+            breaker, health)
+        if outcome.ok:
+            return outcome.value, outcome.retries, None
         dead = DeadLetter(domain=domain, profile=profile.name, snapshot=snapshot,
-                          attempts=retries, last_fault=last_fault or "unknown")
-        return None, retries, dead
+                          attempts=outcome.retries,
+                          last_fault=outcome.last_fault or "unknown")
+        return None, outcome.retries, dead
 
     def _run_group(self, spec: _GroupSpec, snapshot: int,
                    base_time: float) -> _GroupOutcome:

@@ -1,7 +1,10 @@
 """Snapshot serialization round-trips."""
 
+import pytest
+
 from repro.dns.activedns import iter_snapshot, load_snapshot, write_snapshot
 from repro.dns.records import DNSRecord
+from repro.faults.errors import SnapshotCorruptError
 
 
 RECORDS = [
@@ -25,20 +28,51 @@ def test_roundtrip_gzip(tmp_path):
     assert load_snapshot(path).get("faceb00k.pw").ip == "5.6.7.8"
 
 
-def test_skips_malformed_lines(tmp_path):
-    path = tmp_path / "dirty.tsv"
+def test_skips_blanks_and_comments_defaults_short_records(tmp_path):
+    path = tmp_path / "clean.tsv"
     path.write_text(
         "# comment line\n"
         "\n"
-        "only-one-field\n"
         "good.com\t1.2.3.4\tA\tzone\n"
         "short.com\t4.3.2.1\n",
         encoding="utf-8",
     )
     loaded = list(iter_snapshot(path))
     assert [r.name for r in loaded] == ["good.com", "short.com"]
+    # a two-field line is valid: type and source take their defaults
     assert loaded[1].record_type == "A"
     assert loaded[1].source == "zone"
+
+
+def test_truncated_line_raises_typed_error_with_line_number(tmp_path):
+    path = tmp_path / "dirty.tsv"
+    path.write_text(
+        "# comment line\n"
+        "\n"
+        "only-one-field\n"
+        "good.com\t1.2.3.4\tA\tzone\n",
+        encoding="utf-8",
+    )
+    with pytest.raises(SnapshotCorruptError) as excinfo:
+        list(iter_snapshot(path))
+    assert excinfo.value.line_number == 3
+    assert excinfo.value.path == str(path)
+    assert excinfo.value.kind == "snapshot_corrupt"
+
+
+def test_truncation_mid_file_stops_before_corrupt_line(tmp_path):
+    path = tmp_path / "cut.tsv.gz"
+    write_snapshot(RECORDS, path)
+    import gzip
+    with gzip.open(path, "at", encoding="utf-8") as handle:
+        handle.write("truncated-tail\n")
+    records = iter_snapshot(path)
+    assert next(records).name == "facebook.com"
+    assert next(records).name == "faceb00k.pw"
+    assert next(records).name == "xn--fcebook-8va.com"
+    with pytest.raises(SnapshotCorruptError) as excinfo:
+        next(records)
+    assert excinfo.value.line_number == 4
 
 
 def test_load_builds_indexed_store(tmp_path):

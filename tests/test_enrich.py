@@ -1,0 +1,370 @@
+"""Bulk enrichment resolver: determinism, resilience, degradation.
+
+The contract under test (DESIGN.md §12): the event-loop resolver's
+finalized table digests byte-identical to the serial no-fault oracle at
+every concurrency level, hedging setting, and fault seed; faults change
+only timing and accounting.  Bounded retry ladders are the one sanctioned
+deviation — they degrade rows to typed miss reasons instead of raising.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dns.packedzone import PackedZoneBuilder, attach_enrichment
+from repro.enrich import (
+    STATUS_BREAKER_OPEN,
+    STATUS_NXDOMAIN,
+    STATUS_OK,
+    STATUS_RETRIES_EXHAUSTED,
+    EnrichResolver,
+    EnrichmentTable,
+    NegativeCache,
+    default_backends,
+    enrich_serial,
+)
+from repro.analysis.figures import (
+    geolocation_histogram,
+    geolocation_histogram_from_table,
+    registration_year_histogram,
+    registration_year_histogram_from_table,
+    registrar_histogram_from_table,
+)
+from repro.faults.clock import SimClock
+from repro.faults.errors import FaultError
+from repro.faults.guard import GuardedCall
+from repro.faults.plan import FaultInjector, FaultPlan
+from repro.faults.resilience import CircuitBreaker, CrawlHealth, RetryPolicy
+
+
+@pytest.fixture(scope="module")
+def backends(micro_world):
+    return default_backends(micro_world.zone, micro_world.whois,
+                            micro_world.geoip)
+
+
+@pytest.fixture(scope="module")
+def domains(micro_world):
+    """A mixed sample: real zone names plus guaranteed NXDOMAINs."""
+    present = sorted(micro_world.zone.registered_domains())[:150]
+    absent = [f"definitely-not-registered-{i}.test" for i in range(12)]
+    return present + absent
+
+
+@pytest.fixture(scope="module")
+def oracle(domains, backends):
+    """The serial no-fault reference table."""
+    table, _health = enrich_serial(domains, backends)
+    return table
+
+
+# ----------------------------------------------------------------------
+# the determinism contract
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("rate", [0.0, 0.05, 0.2])
+@pytest.mark.parametrize("concurrency", [1, 8, 64])
+def test_resolver_matches_oracle_across_faults_and_concurrency(
+        domains, backends, oracle, rate, concurrency):
+    plan = FaultPlan.uniform(rate, seed=1803) if rate else None
+    resolver = EnrichResolver(backends, plan, concurrency=concurrency)
+    table = resolver.resolve(domains)
+    assert table.digest() == oracle.digest()
+    assert resolver.stats.tasks == len(table) * len(backends)
+
+
+def test_resolver_matches_oracle_without_hedging(domains, backends, oracle):
+    plan = FaultPlan.uniform(0.2, seed=99)
+    resolver = EnrichResolver(backends, plan, concurrency=8, hedging=False)
+    assert resolver.resolve(domains).digest() == oracle.digest()
+
+
+def test_serial_fault_sweep_matches_oracle(domains, backends, oracle):
+    plan = FaultPlan.uniform(0.2, seed=4)
+    table, health = enrich_serial(domains, backends, plan)
+    assert table.digest() == oracle.digest()
+    assert health.retries > 0            # weather happened, values held
+
+
+def test_identical_runs_have_identical_stats(domains, backends):
+    plan = FaultPlan.uniform(0.1, seed=7)
+    first = EnrichResolver(backends, plan, concurrency=8)
+    second = EnrichResolver(backends, plan, concurrency=8)
+    first.resolve(domains)
+    second.resolve(domains)
+    assert first.stats.to_dict() == second.stats.to_dict()
+
+
+# ----------------------------------------------------------------------
+# fast-path screening equivalences
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("plan", [
+    FaultPlan(),
+    FaultPlan.uniform(0.05, seed=1803),
+    FaultPlan.uniform(0.3, seed=9),
+    FaultPlan(slow_response_rate=0.1),
+    FaultPlan(dns_servfail_rate=0.2, conn_reset_rate=0.1),
+    FaultPlan(backend_flap_rate=0.5),
+], ids=["none", "uniform-5", "uniform-30", "slow-only", "abort-only", "flap"])
+def test_bulk_screen_matches_scalar_screen(domains, backends, plan):
+    """`backend_dirty_many` must reproduce per-call `backend_dirty`
+    decisions exactly — it is the same draw, hashed incrementally."""
+    injector = FaultInjector(plan)
+    for backend in backends:
+        hosts = [backend.host(domain) for domain in domains]
+        bulk = injector.backend_dirty_many(backend.name, hosts, domains)
+        scalar = [injector.backend_dirty(backend.name, host, domain)
+                  for host, domain in zip(hosts, domains)]
+        assert bulk == scalar
+
+
+def test_bulk_backend_paths_match_scalar_paths(domains, backends):
+    """`host_for_tld` and `lookup_many` are pure restatements of
+    `host`/`lookup` — the fast path must not change a single value."""
+    from repro.enrich.backends import _tld_of
+    for backend in backends:
+        assert [backend.host_for_tld(tld) for tld in
+                (_tld_of(domain) for domain in domains)] \
+            == [backend.host(domain) for domain in domains]
+        assert backend.lookup_many(domains) \
+            == [backend.lookup(domain) for domain in domains]
+
+
+# ----------------------------------------------------------------------
+# hedging
+# ----------------------------------------------------------------------
+
+def test_hedging_fires_and_cuts_makespan_without_changing_table(
+        domains, backends, oracle):
+    plan = FaultPlan.uniform(0.2, seed=17)
+    hedged = EnrichResolver(backends, plan, concurrency=8, hedging=True)
+    plain = EnrichResolver(backends, plan, concurrency=8, hedging=False)
+    hedged_table = hedged.resolve(domains)
+    plain_table = plain.resolve(domains)
+    assert hedged_table.digest() == oracle.digest()
+    assert plain_table.digest() == oracle.digest()
+    assert hedged.stats.hedges_fired > 0
+    assert hedged.stats.hedge_wins <= hedged.stats.hedges_fired
+    assert hedged.stats.sim_seconds < plain.stats.sim_seconds
+
+
+# ----------------------------------------------------------------------
+# negative cache
+# ----------------------------------------------------------------------
+
+def test_negative_cache_unit_semantics():
+    cache = NegativeCache(ttl=10.0)
+    cache.put("zone", "gone.test", now=0.0)
+    assert cache.hit("zone", "gone.test", now=5.0)
+    assert not cache.hit("whois", "gone.test", now=5.0)   # scoped
+    assert not cache.hit("zone", "gone.test", now=10.0)   # expired
+    assert not cache.hit("zone", "gone.test", now=5.0)    # expiry evicted
+
+
+def test_negcache_short_circuits_sibling_backends(domains, backends, oracle):
+    # an (effectively zero) flap rate disables the fast path, so every
+    # task runs through the event loop: the A backend's NXDOMAIN for each
+    # absent name is then served from the cache to MX and GeoIP
+    plan = FaultPlan(backend_flap_rate=1e-12)
+    resolver = EnrichResolver(backends, plan, concurrency=8)
+    table = resolver.resolve(domains)
+    assert table.digest() == oracle.digest()
+    absent = sum(1 for d in table.domains
+                 if table.status["a"][table.row_of(d)] == STATUS_NXDOMAIN)
+    assert absent >= 12
+    assert resolver.stats.negcache_stores >= absent
+    assert resolver.stats.negcache_hits >= 2 * absent  # mx + geo shortcuts
+
+
+def test_fast_path_stores_negatives_too(domains, backends):
+    resolver = EnrichResolver(backends, None, concurrency=8)
+    resolver.resolve(domains)
+    assert resolver.stats.event_loop_tasks == 0
+    assert resolver.stats.negcache_stores > 0
+
+
+# ----------------------------------------------------------------------
+# backend flapping
+# ----------------------------------------------------------------------
+
+def test_flapping_backends_are_tallied_and_harmless(
+        domains, backends, oracle):
+    plan = FaultPlan(backend_flap_rate=0.3, backend_flap_period=60.0)
+    resolver = EnrichResolver(backends, plan, concurrency=8)
+    table = resolver.resolve(domains)
+    assert table.digest() == oracle.digest()
+    assert resolver.stats.injected.get("backend_flap", 0) > 0
+
+
+# ----------------------------------------------------------------------
+# graceful degradation (bounded ladders)
+# ----------------------------------------------------------------------
+
+def test_bounded_attempts_degrade_to_typed_miss_reasons(domains, backends):
+    plan = FaultPlan.uniform(0.6, seed=23)
+    resolver = EnrichResolver(backends, plan, concurrency=8,
+                              max_attempts=2,
+                              breaker_failure_threshold=3)
+    table = resolver.resolve(domains)   # must not raise at 60% weather
+    assert resolver.stats.partial_rows > 0
+    reasons = table.miss_reason_counts()
+    degraded = {reason
+                for by_backend in reasons.values()
+                for reason in by_backend}
+    assert {"retries_exhausted", "breaker_open"} & degraded
+    # degraded rows survive with their typed reason, never as bogus values
+    for d in table.domains:
+        row = table.row_of(d)
+        decoded = table.decoded_row(row)
+        if int(table.status["a"][row]) in (STATUS_RETRIES_EXHAUSTED,
+                                           STATUS_BREAKER_OPEN):
+            assert decoded["a_ip"] is None
+
+
+def test_unbounded_resolver_never_produces_partial_rows(domains, backends):
+    plan = FaultPlan.uniform(0.4, seed=31)
+    resolver = EnrichResolver(backends, plan, concurrency=16)
+    table = resolver.resolve(domains)
+    assert resolver.stats.partial_rows == 0
+    assert resolver.stats.breaker_deferrals >= 0
+    for backend in ("a", "mx", "whois", "geo"):
+        assert not ((table.status[backend] == STATUS_RETRIES_EXHAUSTED)
+                    | (table.status[backend] == STATUS_BREAKER_OPEN)).any()
+
+
+# ----------------------------------------------------------------------
+# PZON enrichment columns
+# ----------------------------------------------------------------------
+
+def test_packed_zone_attach_roundtrip(micro_world, backends, oracle):
+    builder = PackedZoneBuilder()
+    for record in micro_world.zone:
+        builder.add_name(record.name, ip=record.ip)
+    packed = builder.build()
+    assert not packed.has_enrichment
+
+    enriched = attach_enrichment(packed, oracle)
+    enriched.verify()
+    assert enriched.has_enrichment
+    assert len(enriched) == len(packed)
+
+    has = enriched.enrichment_column("has")
+    status_a = enriched.enrichment_column("status_a")
+    countries = enriched.enrichment_meta["countries"]
+    regs = enriched._regs()
+    for domain in oracle.domains:
+        row = oracle.row_of(domain)
+        idx = regs.get(domain)
+        if idx is None:          # absent names have no zone row to carry
+            continue
+        assert has[idx] == 1
+        assert int(status_a[idx]) == int(oracle.status["a"][row])
+        cid = int(enriched.enrichment_column("country")[idx])
+        assert (countries[cid] or None) == oracle.country_of_row(row)
+    # re-attaching is byte-idempotent
+    again = attach_enrichment(enriched, oracle)
+    assert again.to_bytes() == enriched.to_bytes()
+
+
+# ----------------------------------------------------------------------
+# figure series from the table
+# ----------------------------------------------------------------------
+
+def test_table_histograms_equal_registry_walks(micro_world, oracle):
+    domains = oracle.domains
+    records = [micro_world.zone.get(d) for d in domains]
+    ips = [r.ip if r is not None else "" for r in records]
+    assert geolocation_histogram_from_table(oracle) == \
+        geolocation_histogram(micro_world.geoip, ips)
+    assert registration_year_histogram_from_table(oracle) == \
+        registration_year_histogram(micro_world.whois, domains)
+    assert registrar_histogram_from_table(oracle) == \
+        micro_world.whois.registrar_histogram(domains)
+    # a sub-selection selects the matching rows
+    subset = domains[:40]
+    sub_records = [micro_world.zone.get(d) for d in subset]
+    sub_ips = [r.ip if r is not None else "" for r in sub_records]
+    assert geolocation_histogram_from_table(oracle, subset) == \
+        geolocation_histogram(micro_world.geoip, sub_ips)
+
+
+# ----------------------------------------------------------------------
+# the table itself
+# ----------------------------------------------------------------------
+
+def test_table_dedupes_and_lowercases():
+    table = EnrichmentTable(["A.com", "a.COM", "b.org"])
+    assert table.domains == ["a.com", "b.org"]
+    assert table.row_of("A.CoM") == 0
+
+
+def test_table_digest_is_value_level():
+    first = EnrichmentTable(["x.com", "y.com"])
+    second = EnrichmentTable(["x.com", "y.com"])
+    # intern in opposite arrival orders; decoded values agree
+    first.set_result("geo", "x.com", "US", STATUS_OK)
+    first.set_result("geo", "y.com", "DE", STATUS_OK)
+    second.set_result("geo", "y.com", "DE", STATUS_OK)
+    second.set_result("geo", "x.com", "US", STATUS_OK)
+    assert first.finalize().digest() == second.finalize().digest()
+
+
+def test_finalized_table_refuses_writes():
+    table = EnrichmentTable(["x.com"]).finalize()
+    with pytest.raises(RuntimeError, match="finalized"):
+        table.set_value("a", 0, 1)
+
+
+# ----------------------------------------------------------------------
+# GuardedCall (the shared crawler/resolver wiring)
+# ----------------------------------------------------------------------
+
+def _failing_then_ok(failures: int):
+    def fn(attempt: int):
+        if attempt < failures:
+            raise FaultError("timeout", "host")
+        return f"ok@{attempt}"
+    return fn
+
+
+def test_guarded_call_retries_until_success():
+    clock = SimClock()
+    guard = GuardedCall(RetryPolicy(), clock, max_retries=None)
+    outcome = guard.run("k", _failing_then_ok(3),
+                        CircuitBreaker(), CrawlHealth())
+    assert outcome.ok and outcome.value == "ok@3"
+    assert outcome.retries == 3
+    assert clock.now() > 0.0            # backoff was charged
+
+
+def test_guarded_call_bounded_exhaustion():
+    health = CrawlHealth()
+    guard = GuardedCall(RetryPolicy(), SimClock(), max_retries=1)
+    outcome = guard.run("k", _failing_then_ok(5), CircuitBreaker(), health)
+    assert not outcome.ok
+    assert outcome.last_fault == "timeout"
+    assert health.attempts == 2
+
+
+def test_guarded_call_waits_out_open_breaker():
+    clock = SimClock()
+    breaker = CircuitBreaker(failure_threshold=1, reset_timeout=50.0)
+    breaker.record_failure(clock.now())         # trip it at t=0
+    health = CrawlHealth()
+    guard = GuardedCall(RetryPolicy(), clock, max_retries=None,
+                        wait_for_breaker=True)
+    outcome = guard.run("k", _failing_then_ok(0), breaker, health)
+    assert outcome.ok
+    assert health.breaker_skips == 1
+    assert clock.now() >= 50.0          # slept to the half-open instant
+    assert breaker.state == CircuitBreaker.CLOSED
+
+
+def test_guarded_call_ladder_cap_freezes_backoff():
+    policy = RetryPolicy(base_delay=1.0, max_delay=10_000.0, jitter=0.0)
+    capped = GuardedCall(policy, SimClock(), max_retries=None, ladder_cap=2)
+    free = GuardedCall(policy, SimClock(), max_retries=None)
+    capped.run("k", _failing_then_ok(6), CircuitBreaker(10), CrawlHealth())
+    free.run("k", _failing_then_ok(6), CircuitBreaker(10), CrawlHealth())
+    assert capped.clock.now() < free.clock.now()

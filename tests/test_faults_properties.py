@@ -1,0 +1,149 @@
+"""Property tests for the resilience primitives.
+
+Satellites of the enrichment PR: the retry ladder must be deterministic
+*across processes* (checkpoint/resume replays delays computed by an
+earlier process), its envelope must be monotone, and health merging must
+be order-independent (the pipeline folds per-snapshot health in whatever
+order stages complete).
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+
+from hypothesis import given, settings, strategies as st
+
+from repro.faults.resilience import CrawlHealth, RetryPolicy
+
+
+# ----------------------------------------------------------------------
+# RetryPolicy: cross-process determinism
+# ----------------------------------------------------------------------
+
+_SUBPROCESS_SNIPPET = """
+import json, sys
+sys.path.insert(0, {src!r})
+from repro.faults.resilience import RetryPolicy
+policy = RetryPolicy(base_delay=1.5, max_delay=40.0, jitter=0.5)
+print(json.dumps([policy.delay(a, k)
+                  for k in ("web|host-a|0", "mx|ns.pw|shop.pw", "whois|x|y")
+                  for a in range(8)]))
+"""
+
+
+def test_delay_is_identical_across_processes():
+    """PYTHONHASHSEED must not leak into backoff (crc32, not hash())."""
+    import repro
+    src = repro.__file__.rsplit("/repro/", 1)[0]
+    policy = RetryPolicy(base_delay=1.5, max_delay=40.0, jitter=0.5)
+    local = [policy.delay(a, k)
+             for k in ("web|host-a|0", "mx|ns.pw|shop.pw", "whois|x|y")
+             for a in range(8)]
+    for seed in ("0", "1", "random"):
+        out = subprocess.run(
+            [sys.executable, "-c", _SUBPROCESS_SNIPPET.format(src=src)],
+            capture_output=True, text=True, check=True,
+            env={"PYTHONHASHSEED": seed, "PATH": "/usr/bin:/bin"})
+        assert json.loads(out.stdout) == local
+
+
+# ----------------------------------------------------------------------
+# RetryPolicy: ladder shape
+# ----------------------------------------------------------------------
+
+@given(
+    base=st.floats(0.01, 10.0, allow_nan=False),
+    max_delay=st.floats(1.0, 500.0, allow_nan=False),
+    jitter=st.floats(0.0, 1.0, allow_nan=False),
+    key=st.text(min_size=0, max_size=30),
+)
+@settings(max_examples=200, deadline=None)
+def test_ladder_monotone_envelope(base, max_delay, jitter, key):
+    """Raw rungs are nondecreasing; jitter only ever shaves downward."""
+    policy = RetryPolicy(base_delay=base, max_delay=max_delay, jitter=jitter)
+    raws = [min(base * (2.0 ** a), max_delay) for a in range(12)]
+    assert raws == sorted(raws)
+    for attempt, raw in enumerate(raws):
+        delay = policy.delay(attempt, key)
+        assert raw * (1.0 - jitter) - 1e-9 <= delay <= raw + 1e-9
+        # deterministic: same (policy, key, attempt) -> same delay
+        assert delay == policy.delay(attempt, key)
+
+
+def test_ladder_cap_rung_bounds_every_later_delay():
+    """The resolver reuses rung ``cap`` forever: its delay must bound the
+    plateau regardless of how high the uncapped ladder would climb."""
+    policy = RetryPolicy(base_delay=2.0, max_delay=10_000.0, jitter=0.5)
+    cap = 6
+    plateau = policy.delay(cap, "some|host|domain")
+    assert plateau <= min(2.0 * 2.0 ** cap, 10_000.0)
+    assert plateau >= min(2.0 * 2.0 ** cap, 10_000.0) * 0.5
+
+
+# ----------------------------------------------------------------------
+# CrawlHealth.merge: order independence
+# ----------------------------------------------------------------------
+
+# dyadic rationals keep float addition exact, so associativity is an
+# equality (not an approximation) and the property is crisp
+_counts = st.integers(0, 1000)
+_seconds = st.integers(0, 4000).map(lambda i: i / 4)
+_tallies = st.dictionaries(
+    st.sampled_from(["timeout", "connection_reset", "http_error",
+                     "slow_response", "backend_flap"]),
+    st.integers(1, 50), max_size=4)
+
+
+@st.composite
+def healths(draw):
+    health = CrawlHealth(
+        attempts=draw(_counts),
+        successes=draw(_counts),
+        retries=draw(_counts),
+        backoff_seconds=draw(_seconds),
+        breaker_trips=draw(_counts),
+        breaker_skips=draw(_counts),
+        dead_letters=draw(_counts),
+        slow_responses=draw(_counts),
+        resumes=draw(_counts),
+    )
+    health.failures.update(draw(_tallies))
+    health.degraded.update(draw(_tallies))
+    return health
+
+
+def _merged(*parts: CrawlHealth) -> dict:
+    total = CrawlHealth()
+    for part in parts:
+        total.merge(part)
+    return total.state_dict()
+
+
+@given(a=healths(), b=healths())
+@settings(max_examples=100, deadline=None)
+def test_merge_commutes(a, b):
+    assert _merged(a, b) == _merged(b, a)
+
+
+@given(a=healths(), b=healths(), c=healths())
+@settings(max_examples=100, deadline=None)
+def test_merge_associates(a, b, c):
+    ab = CrawlHealth()
+    ab.merge(a)
+    ab.merge(b)
+    bc = CrawlHealth()
+    bc.merge(b)
+    bc.merge(c)
+    assert _merged(ab, c) == _merged(a, bc)
+
+
+@given(a=healths())
+@settings(max_examples=50, deadline=None)
+def test_merge_identity(a):
+    assert _merged(a, CrawlHealth()) == _merged(a)
+    # state_dict -> apply_delta round-trips to the same totals
+    clone = CrawlHealth()
+    clone.apply_delta(a.state_dict())
+    assert clone.state_dict() == a.state_dict()

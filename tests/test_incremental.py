@@ -74,7 +74,7 @@ def _assert_matches_reference(result, reference) -> None:
 def test_every_stage_is_timed(fresh):
     pipeline, _ = fresh
     assert set(pipeline.perf.stage_seconds) == {
-        "scan", "crawl", "ground_truth", "train",
+        "scan", "enrich", "crawl", "ground_truth", "train",
         "classify", "verify", "follow_ups", "evasion",
     }
     assert all(s >= 0.0 for s in pipeline.perf.stage_seconds.values())
@@ -101,7 +101,7 @@ def test_resume_after_kill_matches_fresh(fresh, tmp_path):
     killed = make_pipeline()
     assert killed.run(store=store, stop_after="train") is None
     manifest = store.load_manifest(killed.run_id)
-    assert sorted(manifest.records) == ["crawl", "ground_truth",
+    assert sorted(manifest.records) == ["crawl", "enrich", "ground_truth",
                                         "scan", "train"]
     assert all(r.status == "complete" for r in manifest.records.values())
 
@@ -109,12 +109,13 @@ def test_resume_after_kill_matches_fresh(fresh, tmp_path):
     result = resumed.run(store=store, resume=killed.run_id)
     assert result is not None
     _assert_matches_reference(result, reference)
-    assert sorted(resumed.perf.cached_stages) == ["crawl", "ground_truth",
+    assert sorted(resumed.perf.cached_stages) == ["crawl", "enrich",
+                                                  "ground_truth",
                                                   "scan", "train"]
     # the executed remainder was timed; the cached prefix charged nothing
     assert {"classify", "verify", "follow_ups", "evasion"} <= \
         set(resumed.perf.stage_seconds)
-    assert not {"scan", "crawl"} & set(resumed.perf.stage_seconds)
+    assert not {"scan", "enrich", "crawl"} & set(resumed.perf.stage_seconds)
     assert result.run_id == killed.run_id
 
 
@@ -178,8 +179,8 @@ def test_retrain_only_rerun_reuses_scan_and_crawl(fresh, tmp_path):
     result = rerun.run(store=store, resume=first.run_id, from_stage="train")
     assert result is not None
     _assert_matches_reference(result, reference)
-    assert sorted(rerun.perf.cached_stages) == ["crawl", "ground_truth",
-                                                "scan"]
+    assert sorted(rerun.perf.cached_stages) == ["crawl", "enrich",
+                                                "ground_truth", "scan"]
     assert {"train", "classify", "verify"} <= set(rerun.perf.stage_seconds)
 
 
@@ -195,7 +196,7 @@ def test_changed_verify_slice_invalidates_exactly_verify(fresh, tmp_path):
     result = rerun.run(store=store, resume=first.run_id)
     assert result is not None
     assert sorted(rerun.perf.cached_stages) == \
-        ["classify", "crawl", "ground_truth", "scan", "train"]
+        ["classify", "crawl", "enrich", "ground_truth", "scan", "train"]
     assert "verify" in rerun.perf.stage_seconds
     manifest = rerun.last_manifest
     assert not manifest.records["verify"].cached
@@ -216,7 +217,7 @@ def test_changed_extraction_slice_invalidates_ground_truth_chain(
     rerun = make_pipeline(use_ocr=False)
     result = rerun.run(store=store, resume=first.run_id)
     assert result is not None
-    assert sorted(rerun.perf.cached_stages) == ["crawl", "scan"]
+    assert sorted(rerun.perf.cached_stages) == ["crawl", "enrich", "scan"]
     assert {"ground_truth", "train", "classify", "verify"} <= \
         set(rerun.perf.stage_seconds)
 

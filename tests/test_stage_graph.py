@@ -373,7 +373,7 @@ class TestPipelineGraph:
         pipe = SquatPhi(micro_world, PipelineConfig())
         graph = pipe.build_graph(follow_up_snapshots=True)
         assert [s.name for s in graph.topological_order()] == [
-            "scan", "crawl", "ground_truth", "train",
+            "scan", "enrich", "crawl", "ground_truth", "train",
             "classify", "verify", "follow_ups", "evasion",
         ]
         no_follow = pipe.build_graph(follow_up_snapshots=False)
@@ -392,6 +392,7 @@ class TestPipelineGraph:
         pipe = SquatPhi(micro_world, PipelineConfig())
         graph = pipe.build_graph(follow_up_snapshots=True)
         execution_only = {"scan_workers", "crawl_workers", "capture_cache",
-                          "checkpoint_interval"}
+                          "checkpoint_interval", "enrich_workers",
+                          "enrich_hedging"}
         for stage in graph.topological_order():
             assert not execution_only & set(stage.config_fields), stage.name
