@@ -1,0 +1,282 @@
+"""Serving bench: the batched multi-worker query front vs scalar lookups.
+
+PR 7 added :mod:`repro.serve` — an interactive verdict engine whose
+workers mmap the packed snapshot zero-copy (the scan kernel's fork/COW
+pool plumbing), micro-batch incoming queries under (max_batch,
+max_delay) bounds, short-circuit repeat negatives through a TTL'd cache,
+and hot-reload published snapshot generations between batches — all
+bound by the determinism contract: every served verdict is a pure
+function of (name, snapshot generation), so batching, workers, caching,
+and reload timing are throughput/latency knobs only.
+
+This bench synthesizes a 10^5-record snapshot (reusing the zone-scale
+synthesizer) plus a repetitive Poisson query stream, and serves the SAME
+stream through:
+
+* ``unbatched-1w``      — every request its own batch, serial: the
+  scalar baseline the speedup floor is measured against;
+* ``batched-1w``        — micro-batching alone (vectorized classify);
+* ``batched-4w``        — batching + 4 mmap workers: the headline leg;
+* ``batched-16w``       — the wide-pool point of the scaling curve;
+* ``batched-4w-nocache``— the headline leg with the negative cache off.
+
+It asserts every leg's verdict stream is byte-identical (digest) to the
+offline scan/classify oracle (``offline_verdicts``), then the headline
+number: batched-4w QPS >= 3x unbatched-1w (min-of-attempts, gc-paused
+timing, as in ``bench_enrichment.py``).  On hosts with fewer than 4
+CPUs a process pool can only time-slice one core while paying IPC
+overhead, so there the floor falls back to the batching win alone
+(batched-1w >= 3x unbatched-1w) and the JSON records which leg was
+gated.  A final hot-reload leg
+republishes the snapshot as generation 2 mid-burst and checks zero
+dropped responses with per-generation byte equality against the oracle.
+A ``BENCH_serving.json`` summary is written for the perf trajectory; CI
+runs the smoke scale and archives the JSON as an artifact.
+
+Environment knobs (the ``__main__`` flags override them, for CI):
+    SERVE_BENCH_SCALE  "default" (10^5 records, QPS floor asserted)
+                       or "smoke" (20k records, equality checks only).
+    SERVE_BENCH_OUT    summary path (default: BENCH_serving.json).
+"""
+
+import gc
+import json
+import os
+import tempfile
+import time
+
+from repro.analysis.render import table
+from repro.brands import build_paper_catalog
+from repro.dns.packedzone import PackedZone
+from repro.serve import (SnapshotPublisher, digest_verdicts,
+                         offline_verdicts, plan_batches, serve_load,
+                         synth_requests)
+from repro.squatting.detector import SquattingDetector
+
+from bench_snapshot_scale import build_packed_zone, synth_names
+from exhibits import print_exhibit
+
+SCALE = os.environ.get("SERVE_BENCH_SCALE", "default")
+OUT_PATH = os.environ.get("SERVE_BENCH_OUT", "BENCH_serving.json")
+
+QPS = 50_000.0           # sim-clock arrival rate; dense enough that the
+                         # batcher actually fills its max_batch windows
+MAX_BATCH = 256          # bench batches run larger than the serving
+                         # default (64): one IPC round trip per 256
+                         # queries keeps the pool legs compute-bound
+MAX_DELAY = 0.005
+HEADLINE_WORKERS = 4
+
+
+def _scale_params(scale):
+    """(records, queries, qps_floor) per scale."""
+    if scale == "smoke":
+        return 20_000, 4_000, None
+    return 100_000, 24_000, 3.0
+
+
+# ----------------------------------------------------------------------
+# serve legs
+# ----------------------------------------------------------------------
+
+def _run_leg(label, detector, zone, requests, workers, max_batch,
+             max_delay, negcache=True, publisher=None, on_dispatch=None):
+    verdicts, stats = serve_load(
+        detector, zone, requests, workers=workers,
+        max_batch=max_batch, max_delay=max_delay, negcache=negcache,
+        publisher=publisher, on_dispatch=on_dispatch)
+    return {
+        "leg": label,
+        "workers": workers,
+        "max_batch": max_batch,
+        "batches": stats.batches,
+        "seconds": round(stats.wall_seconds, 4),
+        "qps": round(stats.qps),
+        "p50_ms": round(stats.p50_ms, 3),
+        "p99_ms": round(stats.p99_ms, 3),
+        "negcache_hits": stats.negcache_hits,
+        "dropped": stats.dropped,
+        "swaps": stats.generation_swaps,
+        "served_by_generation": {str(g): n for g, n in
+                                 sorted(stats.served_by_generation.items())},
+        "digest": digest_verdicts(verdicts),
+        "_verdicts": verdicts,
+    }
+
+
+# ----------------------------------------------------------------------
+# bench driver
+# ----------------------------------------------------------------------
+
+def run_bench(scale=SCALE, out_path=OUT_PATH):
+    # collector pauses land randomly across legs otherwise, and the
+    # scalar baseline is short enough for one pause to flip the ratio
+    gc.collect()
+    gc.disable()
+    try:
+        return _run_bench(scale, out_path)
+    finally:
+        gc.enable()
+
+
+def _run_bench(scale, out_path):
+    n_records, n_queries, qps_floor = _scale_params(scale)
+    catalog = build_paper_catalog()
+    detector = SquattingDetector(catalog)
+
+    print(f"synthesizing {n_records} records / {n_queries} queries "
+          f"({scale} scale) ...")
+    names = synth_names(n_records, catalog)
+    workdir = tempfile.mkdtemp(prefix="bench_serving_")
+    packed_path = os.path.join(workdir, "snapshot.pzon")
+    build_packed_zone(names).save(packed_path)
+    zone = PackedZone.load(packed_path)
+
+    requests = synth_requests(n_queries, QPS,
+                              registered=list(zone.registered_domains()))
+
+    # THE oracle: the offline scan/classify pass every served verdict
+    # stream must reproduce byte for byte
+    started = time.perf_counter()
+    oracle = offline_verdicts(detector, zone,
+                              [name for _at, name in requests])
+    oracle_seconds = time.perf_counter() - started
+    reference = digest_verdicts(oracle)
+
+    legs = [
+        ("unbatched-1w", 1, 1, 0.0, True),
+        ("batched-1w", 1, MAX_BATCH, MAX_DELAY, True),
+        ("batched-4w", 4, MAX_BATCH, MAX_DELAY, True),
+        ("batched-16w", 16, MAX_BATCH, MAX_DELAY, True),
+        ("batched-4w-nocache", 4, MAX_BATCH, MAX_DELAY, False),
+    ]
+    rows = []
+    for label, workers, max_batch, max_delay, negcache in legs:
+        rows.append(_run_leg(label, detector, zone, requests, workers,
+                             max_batch, max_delay, negcache=negcache))
+    by_leg = {r["leg"]: r for r in rows}
+    baseline = by_leg["unbatched-1w"]
+    # the pool leg is the headline where it can actually parallelize;
+    # on a 1-core box it only time-slices the CPU plus pays IPC, so the
+    # floor is measured against the batching win instead
+    cores = os.cpu_count() or 1
+    floor_leg = ("batched-4w" if cores >= HEADLINE_WORKERS
+                 else "batched-1w")
+    headline = by_leg[floor_leg]
+    headline_workers = headline["workers"]
+
+    def _speedup():
+        return (headline["qps"]) / max(baseline["qps"], 1e-9)
+
+    # single-run wall clocks are noisy; min-of-attempts on the two
+    # headline legs (see bench_enrichment.py) — re-timing keeps each
+    # leg's best wall clock, i.e. its max QPS
+    attempts = 1
+    while qps_floor is not None and attempts < 3:
+        attempts += 1
+        again_base = _run_leg("unbatched-1w", detector, zone, requests,
+                              1, 1, 0.0)
+        again_head = _run_leg(floor_leg, detector, zone, requests,
+                              headline_workers, MAX_BATCH, MAX_DELAY)
+        for leg, again in ((baseline, again_base), (headline, again_head)):
+            if again["seconds"] < leg["seconds"]:
+                leg["seconds"] = again["seconds"]
+                leg["qps"] = again["qps"]
+                leg["p50_ms"] = again["p50_ms"]
+                leg["p99_ms"] = again["p99_ms"]
+
+    # hot-reload leg: publish the snapshot as generation 1, serve on it,
+    # and republish as generation 2 halfway through the burst — workers
+    # must drain in-flight batches on the old mmap, swap, and drop nothing
+    publisher = SnapshotPublisher(os.path.join(workdir, "published"))
+    _gen, gen1_path = publisher.publish(zone)
+    gen1_zone = PackedZone.load(gen1_path)
+    n_batches = len(plan_batches(requests, MAX_BATCH, MAX_DELAY))
+    swap_at = max(1, n_batches // 2)
+
+    def republish(index):
+        if index == swap_at:
+            publisher.publish(zone)
+
+    reload_leg = _run_leg("hot-reload-4w", detector, gen1_zone, requests,
+                          4, MAX_BATCH, MAX_DELAY,
+                          publisher=publisher, on_dispatch=republish)
+    rows.append(reload_leg)
+
+    print_exhibit(
+        "Serving bench - legs (identical verdicts)",
+        table(
+            ["leg", "batches", "seconds", "qps", "p50 ms", "p99 ms",
+             "neg hits"],
+            [[r["leg"], r["batches"], f"{r['seconds']:.3f}", r["qps"],
+              f"{r['p50_ms']:.3f}", f"{r['p99_ms']:.3f}",
+              r["negcache_hits"]] for r in rows],
+        ),
+    )
+
+    speedup = _speedup()
+    summary = {
+        "bench": "serving",
+        "scale": scale,
+        "records": n_records,
+        "queries": n_queries,
+        "qps_sim": QPS,
+        "oracle_seconds": round(oracle_seconds, 3),
+        "timing_attempts": attempts,
+        "cpu_count": cores,
+        "floor_leg": floor_leg,
+        "runs": [{k: v for k, v in r.items() if k != "_verdicts"}
+                 for r in rows],
+        "speedup_headline_vs_unbatched1": round(speedup, 3),
+    }
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(summary, handle, indent=2)
+    print(f"\nwrote {out_path} ({floor_leg} vs unbatched-1w: "
+          f"{speedup:.2f}x QPS, {cores} cpus)")
+
+    # determinism contract: every leg (any batching/worker/cache setting)
+    # must reproduce the offline oracle's verdicts byte for byte
+    for row in rows[:-1]:
+        assert row["digest"] == reference, \
+            f"{row['leg']} diverged from the offline scan/classify oracle"
+        assert row["dropped"] == 0, f"{row['leg']} dropped responses"
+
+    # hot-reload acceptance: nothing dropped, the swap actually happened,
+    # both generations answered queries, and each generation's verdicts
+    # match the offline oracle run against THAT generation's snapshot
+    assert reload_leg["dropped"] == 0, "hot reload dropped responses"
+    assert reload_leg["swaps"] == 1, "mid-burst republish was not adopted"
+    assert set(reload_leg["served_by_generation"]) == {"1", "2"}, \
+        f"expected both generations: {reload_leg['served_by_generation']}"
+    gen2_zone = publisher.open_current()
+    for generation, gen_zone in ((1, gen1_zone), (2, gen2_zone)):
+        group = [v for v in reload_leg["_verdicts"]
+                 if v.generation == generation]
+        expected = offline_verdicts(detector, gen_zone,
+                                    [v.domain for v in group],
+                                    generation=generation)
+        assert digest_verdicts(group) == digest_verdicts(expected), \
+            f"generation {generation} verdicts diverged from the oracle"
+
+    # headline acceptance (skipped at smoke scale: too short to time)
+    if qps_floor is not None:
+        assert speedup >= qps_floor, (
+            f"expected >= {qps_floor}x QPS from {floor_leg} over the "
+            f"scalar baseline, measured {speedup:.2f}x")
+    return summary
+
+
+def test_serving_bench():
+    run_bench()
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="20k records, equality assertions only")
+    parser.add_argument("--out", default=None, help="summary JSON path")
+    cli = parser.parse_args()
+    run_bench(scale="smoke" if cli.smoke else SCALE,
+              out_path=cli.out or OUT_PATH)

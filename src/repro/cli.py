@@ -9,7 +9,11 @@ equivalent workflows over this reproduction:
   the Fig 2/Fig 4 breakdowns;
 * ``squatphi world <out.tsv>`` — generate a synthetic snapshot to play with;
 * ``squatphi pipeline`` — run the end-to-end demo pipeline and print the
-  headline exhibits.
+  headline exhibits;
+* ``squatphi query <snapshot> <domain> ...`` — per-domain verdicts from the
+  interactive serving engine (squat family, registration, enrichment);
+* ``squatphi serve <snapshot>`` — replay a synthetic query burst through the
+  batched multi-worker serving front and report QPS/latency.
 
 Each command is a plain function taking parsed args and returning an exit
 code, so the test suite drives them directly.
@@ -250,6 +254,115 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_packed(path: str):
+    """mmap a packed snapshot; pack a TSV one on the fly."""
+    from repro.dns.packedzone import PackedZone, is_packed_file, pack_zone
+
+    if is_packed_file(path):
+        return PackedZone.load(path)
+    return pack_zone(load_snapshot(path))
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """Answer per-domain verdict queries over a packed snapshot."""
+    from repro.serve import QueryEngine, verdict_line
+
+    zone = _load_packed(args.snapshot)
+    detector = SquattingDetector(_build_catalog(args.brands, args.sectors))
+    engine = QueryEngine(detector, zone)
+    exit_code = 1
+    for verdict in engine.lookup_batch(args.domains):
+        print(verdict_line(verdict))
+        if verdict.is_squat:
+            exit_code = 0
+    return exit_code
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Replay a deterministic query burst against the serving front."""
+    import tempfile
+
+    from repro.dns.packedzone import PackedZone
+    from repro.perf.report import PerfReport
+    from repro.serve import (SnapshotPublisher, digest_verdicts, plan_batches,
+                             serve_load, synth_requests)
+
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.queries < 1:
+        print("error: --queries must be >= 1", file=sys.stderr)
+        return 2
+    if args.qps <= 0:
+        print("error: --qps must be positive", file=sys.stderr)
+        return 2
+
+    zone = _load_packed(args.snapshot)
+    detector = SquattingDetector(_build_catalog(args.brands, args.sectors))
+    requests = synth_requests(args.queries, args.qps, seed=args.seed,
+                              registered=list(zone.registered_domains()))
+    max_batch = 1 if args.no_batching else args.max_batch
+    max_delay = 0.0 if args.no_batching else args.max_delay
+
+    publisher = None
+    on_dispatch = None
+    tmp = None
+    if args.hot_swap:
+        # publish gen 1 into a scratch dir, then republish the same
+        # snapshot as gen 2 halfway through the burst: the workers'
+        # hot-reload path runs while in-flight batches drain on gen 1
+        tmp = tempfile.TemporaryDirectory(prefix="squatphi-serve-")
+        publisher = SnapshotPublisher(tmp.name)
+        _generation, path = publisher.publish(zone)
+        zone = PackedZone.load(path)
+        swap_at = max(1, len(plan_batches(requests, max_batch, max_delay)) // 2)
+
+        def on_dispatch(index: int, _zone=zone) -> None:
+            if index == swap_at:
+                publisher.publish(_zone)
+
+    try:
+        verdicts, stats = serve_load(
+            detector, zone, requests,
+            workers=args.workers, max_batch=max_batch, max_delay=max_delay,
+            negcache=not args.no_negcache,
+            publisher=publisher, on_dispatch=on_dispatch)
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+
+    # deterministic counters + the verdict digest -> stdout; wall-clock
+    # throughput/latency -> stderr (same split as `pipeline`)
+    squats = sum(1 for v in verdicts if v.is_squat)
+    registered = sum(1 for v in verdicts if v.registered)
+    print(f"served {stats.queries} queries in {stats.batches} batches "
+          f"({stats.dropped} dropped)")
+    print(f"  squatting verdicts: {squats}")
+    print(f"  registered domains: {registered}")
+    if args.hot_swap:
+        by_gen = ", ".join(f"gen {g}: {n}" for g, n in
+                           sorted(stats.served_by_generation.items()))
+        print(f"  generation swaps:   {stats.generation_swaps} ({by_gen})")
+    print(f"  verdict digest:     {digest_verdicts(verdicts)}")
+    if args.out:
+        from repro.serve import verdict_line
+        with open(args.out, "w", encoding="utf-8") as handle:
+            for verdict in verdicts:
+                handle.write(verdict_line(verdict) + "\n")
+        print(f"  wrote verdicts to {args.out}")
+
+    perf = PerfReport()
+    perf.record_stage("serve", stats.wall_seconds)
+    perf.record_serving(stats.queries, stats.batches, stats.wall_seconds,
+                        swaps=stats.generation_swaps,
+                        negcache_hits=stats.negcache_hits)
+    print(perf.format_timings(), file=sys.stderr)
+    print(f"  p50 {stats.p50_ms:.3f} ms, p99 {stats.p99_ms:.3f} ms "
+          f"({stats.qps:.0f} qps, {stats.workers} workers)",
+          file=sys.stderr)
+    return 0
+
+
 # ----------------------------------------------------------------------
 # parser
 # ----------------------------------------------------------------------
@@ -354,6 +467,50 @@ def build_parser() -> argparse.ArgumentParser:
                           help="emit the machine-readable run summary as "
                                "JSON on stdout instead of the tables")
     pipeline.set_defaults(func=cmd_pipeline)
+
+    query = sub.add_parser("query", help="per-domain verdicts from the "
+                                         "interactive serving engine")
+    query.add_argument("snapshot",
+                       help="packed snapshot from `world --packed` "
+                            "(TSV snapshots are packed on the fly)")
+    query.add_argument("domains", nargs="+")
+    query.add_argument("--brands", nargs="*",
+                       help="restrict the catalog to these brand domains")
+    query.add_argument("--sectors", nargs="*", choices=sector_choices,
+                       help="add sector catalogs (§7 extension)")
+    query.set_defaults(func=cmd_query)
+
+    serve = sub.add_parser("serve", help="replay a synthetic query burst "
+                                         "through the serving front")
+    serve.add_argument("snapshot",
+                       help="packed snapshot from `world --packed` "
+                            "(TSV snapshots are packed on the fly)")
+    serve.add_argument("--queries", type=int, default=5000,
+                       help="synthetic queries in the burst")
+    serve.add_argument("--qps", type=float, default=2000.0,
+                       help="target arrival rate (sim clock)")
+    serve.add_argument("--seed", type=int, default=1803)
+    serve.add_argument("--workers", type=int, default=1,
+                       help="serving worker processes (each mmaps the "
+                            "snapshot zero-copy; verdicts are identical "
+                            "at any width)")
+    serve.add_argument("--max-batch", type=int, default=64,
+                       help="micro-batch size bound")
+    serve.add_argument("--max-delay", type=float, default=0.005,
+                       help="micro-batch delay bound, seconds (sim clock)")
+    serve.add_argument("--no-batching", action="store_true",
+                       help="dispatch every request as its own batch")
+    serve.add_argument("--no-negcache", action="store_true",
+                       help="disable the TTL'd negative-verdict cache")
+    serve.add_argument("--hot-swap", action="store_true",
+                       help="republish the snapshot as a new generation "
+                            "mid-burst to exercise worker hot-reload")
+    serve.add_argument("--brands", nargs="*",
+                       help="restrict the catalog to these brand domains")
+    serve.add_argument("--sectors", nargs="*", choices=sector_choices,
+                       help="add sector catalogs (§7 extension)")
+    serve.add_argument("--out", help="write verdict lines to this file")
+    serve.set_defaults(func=cmd_serve)
 
     return parser
 

@@ -44,6 +44,16 @@ class PipelineConfig:
     # table is byte-identical to the serial oracle at any setting.
     enrich_workers: int = 8
     enrich_hedging: bool = True
+    # serving front (repro.serve): worker pool width and micro-batching
+    # bounds for interactive verdict queries.  Same contract: verdicts
+    # are pure in (name, snapshot generation), so these change QPS and
+    # latency only.
+    serve_workers: int = 1
+    serve_max_batch: int = 64
+    serve_max_delay: float = 0.005
+    # when set, packed pipeline runs publish the enriched snapshot into
+    # this directory as the next serving generation (see repro.serve)
+    publish_dir: Optional[str] = None
     capture_cache: bool = True
     # route the learning core (tree split search, prediction, embedding)
     # and the extraction hot paths (OCR band decode, form-line removal,

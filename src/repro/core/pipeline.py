@@ -210,6 +210,11 @@ class PipelineResult:
     # execution metadata (never part of determinism comparisons)
     run_id: str = field(default="", compare=False)
     perf: Optional[PerfReport] = field(default=None, compare=False)
+    # serving generation published by this run, when config.publish_dir
+    # is set on a packed world: {"generation": int, "path": str}.
+    # Generation numbers depend on the publish directory's history, so
+    # this is execution metadata too.
+    published: Optional[Dict[str, Any]] = field(default=None, compare=False)
 
     def verified_domains(self) -> List[str]:
         return sorted({v.domain for v in self.verified})
@@ -255,6 +260,8 @@ class PipelineResult:
         }
         if self.enrichment is not None:
             data["enrichment_digest"] = self.enrichment.digest()
+        if self.published is not None:
+            data["published"] = dict(self.published)
         if self.perf is not None:
             data["perf"] = self.perf.to_dict()
         return data
@@ -973,6 +980,21 @@ class SquatPhi:
             outputs["enriched_zone"] = attach_enrichment(self.world.zone, table)
         return outputs
 
+    def _stage_publish(self, inputs: Dict[str, Any], ctx: StageContext) -> Dict[str, Any]:
+        """Publish the enriched snapshot as the next serving generation.
+
+        The serving layer (repro.serve) hot-reloads whatever generation
+        the publish directory's CURRENT pointer names; this stage is how
+        a pipeline run hands its freshly-enriched snapshot to a running
+        query server.  The payload records where it landed — generation
+        numbers continue the directory's history, so the artifact digest
+        is fingerprint-derived, not content-derived.
+        """
+        from repro.serve.publisher import SnapshotPublisher  # lazy import
+        publisher = SnapshotPublisher(self.config.publish_dir)
+        generation, path = publisher.publish(inputs["enriched_zone"])
+        return {"published": {"generation": generation, "path": str(path)}}
+
     def _stage_crawl(self, inputs: Dict[str, Any], ctx: StageContext) -> Dict[str, Any]:
         domains = [m.domain for m in inputs["squat_matches"]]
         checkpoint: Optional[CrawlCheckpoint] = None
@@ -1118,6 +1140,11 @@ class SquatPhi:
                                  "verification_seed"),
                   digesters={"verified": digest_verified}),
         ]
+        if packed and self.config.publish_dir:
+            stages.append(Stage(
+                name="publish", compute=self._stage_publish,
+                inputs=("enriched_zone",), outputs=("published",),
+                config_fields=("publish_dir",)))
         if follow_up_snapshots:
             stages.append(Stage(
                 name="follow_ups", compute=self._stage_follow_ups,
@@ -1205,6 +1232,7 @@ class SquatPhi:
             evasion_squatting=payloads["evasion_squatting"],
             evasion_reported=payloads["evasion_reported"],
             enrichment=payloads.get("enrichment"),
+            published=payloads.get("published"),
             health=self.health,
             injected_faults=(self.fault_injector.counts()
                              if self.fault_injector else {}),

@@ -51,6 +51,7 @@ from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Set,
 import numpy as np
 
 from repro.dns.records import DNSRecord, split_domain
+from repro.dns.zone import MISS
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.dns.zone import ZoneStore
@@ -301,6 +302,9 @@ class PackedZone:
         self.n_records: int = meta["records"]
         self.n_registered: int = meta["registered"]
         self.n_cores: int = meta["cores"]
+        # snapshot generation for serving hot-reload; files that predate
+        # the field (or were never published) read as generation 0
+        self.generation: int = int(meta.get("generation", 0))
         self.tlds: List[str] = meta["tlds"]
         self.sources: List[str] = meta["sources"]
         self.record_types: List[str] = meta["record_types"]
@@ -335,6 +339,8 @@ class PackedZone:
         self._name_lookup: Optional[Dict[str, int]] = None
         self._reg_lookup: Optional[Dict[str, int]] = None
         self._core_lookup: Optional[Dict[str, int]] = None
+        self._tld_lookup: Optional[Dict[str, int]] = None
+        self._reg_key_cache: Optional[Tuple] = None
         self._tempfile: Optional[Path] = None
 
     # ------------------------------------------------------------------
@@ -378,6 +384,16 @@ class PackedZone:
             self._tempfile = Path(raw)
             weakref.finalize(self, _unlink_quiet, raw)
         return self._tempfile
+
+    def reopen(self) -> "PackedZone":
+        """A fresh mmap of this snapshot's backing file.
+
+        Serving workers hot-reload across generations by reopening the
+        published path; the superseded mapping stays valid for any
+        in-flight batch that still holds views into it, and is released
+        only when the last reference drops.
+        """
+        return PackedZone.load(self.ensure_file())
 
     @property
     def nbytes(self) -> int:
@@ -468,6 +484,18 @@ class PackedZone:
         rec_id = self._names().get(name.lower().rstrip("."))
         return None if rec_id is None else self.record_at(rec_id)
 
+    def get_many(self, names: Iterable[str]) -> list:
+        """Bulk :meth:`get`, with :data:`~repro.dns.zone.MISS` for
+        unknown names (``ZoneStore.get_many``'s contract): batched
+        consumers test ``if not record`` instead of raising per name."""
+        get = self._names().get
+        record_at = self.record_at
+        out = []
+        for name in names:
+            rec_id = get(name.lower().rstrip("."))
+            out.append(MISS if rec_id is None else record_at(rec_id))
+        return out
+
     def resolve(self, name: str, snapshot: int = 0,
                 attempt: int = 0) -> Optional[DNSRecord]:
         """Live-query semantics, identical to ``ZoneStore.resolve``."""
@@ -478,6 +506,88 @@ class PackedZone:
 
     def has_registered_domain(self, registered: str) -> bool:
         return registered.lower() in self._regs()
+
+    def _tlds_lookup(self) -> Dict[str, int]:
+        if self._tld_lookup is None:
+            self._tld_lookup = {tld: i for i, tld in enumerate(self.tlds)}
+        return self._tld_lookup
+
+    def _reg_keys(self) -> Tuple:
+        """Sorted join keys for :meth:`registered_ids`, built lazily.
+
+        Core labels are gathered from the blob into one fixed-width
+        ``S``-dtype array and argsorted; registered domains become u64
+        ``core_id << 16 | tld_id`` pair keys (``reg_tld`` is u16, so the
+        pack is exact) and argsorted likewise.  Both stay cached for the
+        zone's lifetime — the serving membership pre-check probes them
+        with two searchsorteds per batch.
+        """
+        if self._reg_key_cache is None:
+            lens = np.diff(self.core_off.astype(np.int64))
+            width = max(int(lens.max()), 1) if lens.size else 1
+            cols = np.arange(width, dtype=np.int64)
+            blob = self.core_blob
+            if blob.size:
+                idx = self.core_off[:-1].astype(np.int64)[:, None] + cols[None, :]
+                np.minimum(idx, blob.size - 1, out=idx)
+                padded = blob[idx]
+            else:
+                padded = np.zeros((self.n_cores, width), dtype=np.uint8)
+            padded[cols[None, :] >= lens[:, None]] = 0
+            core_keys = np.ascontiguousarray(padded).view(
+                np.dtype(f"S{width}")).ravel()
+            core_order = np.argsort(core_keys, kind="stable")
+            pair_keys = ((self.reg_core.astype(np.uint64) << np.uint64(16))
+                         | self.reg_tld.astype(np.uint64))
+            pair_order = np.argsort(pair_keys, kind="stable")
+            self._reg_key_cache = (width, core_keys[core_order],
+                                   core_order.astype(np.int64),
+                                   pair_keys[pair_order],
+                                   pair_order.astype(np.int64))
+        return self._reg_key_cache
+
+    def registered_ids(self, names: Iterable[str]) -> np.ndarray:
+        """Vectorized membership pre-check: registered-domain id per name.
+
+        Each name reduces to its registrable domain (core label + TLD)
+        and hash-joins against the packed columns via sorted
+        searchsorted; misses come back ``-1`` — no per-name exceptions,
+        no :class:`DNSRecord` materialization.  The serving hot path
+        uses the ids both for the "registered" verdict bit and to gather
+        enrichment columns for hits.
+        """
+        names = list(names)
+        out = np.full(len(names), -1, dtype=np.int64)
+        if not names or self.n_registered == 0:
+            return out
+        width, core_keys, core_order, pair_keys, pair_order = self._reg_keys()
+        tld_ids = self._tlds_lookup()
+        rows: List[int] = []
+        encoded: List[bytes] = []
+        tld_col: List[int] = []
+        for i, name in enumerate(names):
+            core, tld = split_domain(name.lower().rstrip("."))
+            tld_id = tld_ids.get(tld)
+            if tld_id is None:
+                continue
+            raw = core.encode("utf-8")
+            if 0 < len(raw) <= width:
+                rows.append(i)
+                encoded.append(raw)
+                tld_col.append(tld_id)
+        if not rows:
+            return out
+        probe = np.array(encoded, dtype=core_keys.dtype)
+        pos = np.searchsorted(core_keys, probe)
+        np.minimum(pos, core_keys.size - 1, out=pos)
+        core_hit = core_keys[pos] == probe
+        pair = ((core_order[pos].astype(np.uint64) << np.uint64(16))
+                | np.asarray(tld_col, dtype=np.uint64))
+        rpos = np.searchsorted(pair_keys, pair)
+        np.minimum(rpos, pair_keys.size - 1, out=rpos)
+        hit = core_hit & (pair_keys[rpos] == pair)
+        out[np.asarray(rows)] = np.where(hit, pair_order[rpos], -1)
+        return out
 
     def names_under(self, registered: str) -> List[str]:
         reg_id = self._regs().get(registered.lower())
@@ -542,6 +652,42 @@ def _unlink_quiet(path: str) -> None:
         pass
 
 
+def _unpack_meta(zone: PackedZone) -> Tuple[Dict[str, object],
+                                            List[Tuple[str, np.ndarray]]]:
+    """(meta sans section table, sections in physical order) of a loaded
+    snapshot — the starting point for re-emitting it with edits.
+
+    JSON round-trips dict keys alphabetically, so physical layout order
+    is recovered from the recorded offsets.
+    """
+    meta_len = int.from_bytes(bytes(zone._buf[8:16]), "little")
+    meta = json.loads(bytes(zone._buf[_HEADER_LEN:_HEADER_LEN + meta_len]))
+    table = meta.pop("sections")
+    sections: List[Tuple[str, np.ndarray]] = [
+        (name, zone._sections[name])
+        for name, _spec in sorted(table.items(),
+                                  key=lambda kv: int(kv[1]["offset"]))
+    ]
+    return meta, sections
+
+
+def stamp_generation(zone: PackedZone, generation: int) -> PackedZone:
+    """Re-emit ``zone`` with ``generation`` stamped into the header meta.
+
+    Sections carry over byte-for-byte; only the meta JSON (and therefore
+    the content digest) changes, so two publishes of the same payload
+    under different generations are distinct artifacts.  Generation 0 —
+    what unstamped files read as — is stored implicitly, keeping
+    never-published snapshots byte-identical to their builder output.
+    """
+    meta, sections = _unpack_meta(zone)
+    if int(generation):
+        meta["generation"] = int(generation)
+    else:
+        meta.pop("generation", None)
+    return PackedZone.from_bytes(_pack_file(meta, sections))
+
+
 def attach_enrichment(zone: PackedZone, table) -> PackedZone:
     """Append enrichment columns to a packed snapshot → new PackedZone.
 
@@ -554,18 +700,10 @@ def attach_enrichment(zone: PackedZone, table) -> PackedZone:
     of this zone are skipped; un-enriched registered domains have
     ``enr_has == 0``.
     """
-    meta_len = int.from_bytes(bytes(zone._buf[8:16]), "little")
-    meta = json.loads(bytes(zone._buf[_HEADER_LEN:_HEADER_LEN + meta_len]))
-    old_table = meta.pop("sections")
+    meta, sections = _unpack_meta(zone)
     meta.pop("enrichment", None)
-    # JSON round-trips dict keys alphabetically; recover physical layout
-    # order from the recorded offsets
-    sections: List[Tuple[str, np.ndarray]] = [
-        (name, zone._sections[name])
-        for name, _spec in sorted(old_table.items(),
-                                  key=lambda kv: int(kv[1]["offset"]))
-        if not name.startswith("enr_")
-    ]
+    sections = [(name, arr) for name, arr in sections
+                if not name.startswith("enr_")]
     n = zone.n_registered
     columns = {
         "enr_has": np.zeros(n, dtype=np.uint8),

@@ -23,6 +23,28 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.faults.plan import FaultInjector
 
 
+class ZoneMiss:
+    """Typed miss marker for bulk lookups (:data:`MISS` is the singleton).
+
+    ``get_many`` callers iterate thousands-deep result lists where most
+    entries are hits; a typed falsy marker lets them write ``if not
+    record`` without conflating a miss with a legitimately-falsy value,
+    and keeps batched server lookups of never-registered names on the
+    vectorized path instead of raising per name.
+    """
+
+    __slots__ = ()
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "MISS"
+
+
+MISS = ZoneMiss()
+
+
 class ZoneStore:
     """A snapshot of DNS records with the indices squat detection needs."""
 
@@ -94,11 +116,14 @@ class ZoneStore:
     def get_many(self, names: Iterable[str]) -> list:
         """Bulk :meth:`get` — one list pass, no per-call dispatch.
 
+        Unknown names yield the typed (falsy) :data:`MISS` marker rather
+        than None, so bulk consumers can tell "never registered" apart
+        from any future nullable record field with an identity check.
         Feeds the enrichment resolver's fast path, where three of the
         four backends probe zone membership for thousands of names.
         """
         get = self._records.get
-        return [get(name.lower().rstrip(".")) for name in names]
+        return [get(name.lower().rstrip("."), MISS) for name in names]
 
     def resolve(self, name: str, snapshot: int = 0,
                 attempt: int = 0) -> Optional[DNSRecord]:

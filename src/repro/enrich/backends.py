@@ -54,7 +54,12 @@ def _tld_of(domain: str) -> str:
 
 
 def _zone_records(zone, domains) -> list:
-    """One zone record (or None) per domain, bulk when the store can."""
+    """One zone record per domain, bulk when the store can.
+
+    Misses come back falsy — :data:`~repro.dns.zone.MISS` from the bulk
+    stores, None from a bare ``get`` fallback — so consumers test
+    ``if not record`` and never raise on never-registered names.
+    """
     if hasattr(zone, "get_many"):
         return zone.get_many(domains)
     get = zone.get
@@ -123,7 +128,7 @@ class ARecordBackend:
         out = []
         append = out.append
         for record in _zone_records(self.zone, domains):
-            if record is None:
+            if not record:
                 append((0, STATUS_NXDOMAIN))
                 continue
             packed = ip_to_u32(record.ip)
@@ -172,7 +177,7 @@ class MXBackend:
         out = []
         append = out.append
         for domain, record in zip(domains, _zone_records(self.zone, domains)):
-            if record is None:
+            if not record:
                 append((0, STATUS_NXDOMAIN))
             elif (crc(domain.encode(), prefix)
                   % 1_000_000) / 1_000_000.0 < MX_PRESENT_RATE:
@@ -248,10 +253,10 @@ class GeoIPBackend:
         """Bulk path over :meth:`GeoIPRegistry.country_many`."""
         records = _zone_records(self.zone, domains)
         countries = self.geoip.country_many(
-            [record.ip if record is not None else "" for record in records])
+            [record.ip if record else "" for record in records])
         out = []
         for record, country in zip(records, countries):
-            if record is None:
+            if not record:
                 out.append((None, STATUS_NXDOMAIN))
             elif country is None:
                 out.append((None, STATUS_NO_RECORD))

@@ -124,6 +124,11 @@ class PerfReport:
     hedges_fired: int = 0
     negcache_hits: int = 0
     negcache_misses: int = 0
+    queries_served: int = 0
+    serve_seconds: float = 0.0
+    serve_batches: int = 0
+    serve_swaps: int = 0
+    serve_negcache_hits: int = 0
     peak_rss_kb: int = 0
     cache: CacheStats = field(default_factory=CacheStats)
 
@@ -167,6 +172,19 @@ class PerfReport:
         self.negcache_hits += negcache_hits
         self.negcache_misses += negcache_misses
 
+    def record_serving(self, queries: int, batches: int, seconds: float,
+                       swaps: int = 0, negcache_hits: int = 0) -> None:
+        """Accumulate one serving burst (query front stats).
+
+        The serving negcache is a different cache from the resolver's
+        (verdicts vs lookup results), so its hits are tracked apart.
+        """
+        self.queries_served += queries
+        self.serve_batches += batches
+        self.serve_seconds += seconds
+        self.serve_swaps += swaps
+        self.serve_negcache_hits += negcache_hits
+
     def record_peak_rss(self) -> None:
         """Sample the process's peak resident set size (best effort).
 
@@ -195,6 +213,10 @@ class PerfReport:
     @property
     def enrichments_per_second(self) -> float:
         return self.enrichments_done / self.enrich_seconds if self.enrich_seconds else 0.0
+
+    @property
+    def serve_qps(self) -> float:
+        return self.queries_served / self.serve_seconds if self.serve_seconds else 0.0
 
     @property
     def negcache_hit_rate(self) -> float:
@@ -231,6 +253,12 @@ class PerfReport:
             "negcache_hits": self.negcache_hits,
             "negcache_misses": self.negcache_misses,
             "negcache_hit_rate": round(self.negcache_hit_rate, 4),
+            "queries_served": self.queries_served,
+            "serve_seconds": round(self.serve_seconds, 4),
+            "serve_qps": round(self.serve_qps, 1),
+            "serve_batches": self.serve_batches,
+            "serve_swaps": self.serve_swaps,
+            "serve_negcache_hits": self.serve_negcache_hits,
             "peak_rss_kb": self.peak_rss_kb,
             "cache": self.cache.to_dict(),
         }
@@ -307,6 +335,14 @@ class PerfReport:
                 f"({self.enrichments_per_second:.0f} lookups/s, "
                 f"{self.hedges_fired} hedges, "
                 f"{100 * self.negcache_hit_rate:.1f}% negcache hits)")
+        if self.queries_served:
+            lines.append(
+                f"  serving: {self.queries_served} queries in "
+                f"{self.serve_batches} batches, "
+                f"{self.serve_seconds:.2f}s "
+                f"({self.serve_qps:.0f} qps, "
+                f"{self.serve_swaps} generation swaps, "
+                f"{self.serve_negcache_hits} negcache hits)")
         if self.peak_rss_kb:
             lines.append(f"  peak RSS: {self.peak_rss_kb / 1024:.1f} MiB")
         return "\n".join(lines)

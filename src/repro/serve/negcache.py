@@ -1,0 +1,86 @@
+"""TTL'd negative-verdict cache for the query engine.
+
+The operational query mix is dominated by domains that squat nothing:
+every lookup of such a name runs the full vector reject just to say
+"benign".  Verdicts are pure functions of (name, snapshot generation),
+so caching them is transparent — a hit returns the exact object an
+uncached lookup would rebuild — and the cache only needs two safety
+valves: a TTL (so an operator's mental model of "recently checked"
+stays bounded) and a generation stamp (so a snapshot hot-reload
+invalidates every stale answer without a sweep).
+
+Time comes from the serve loop's :class:`~repro.faults.clock.SimClock`,
+eviction is insertion-ordered under a fixed capacity, and hit/miss
+accounting never feeds back into any verdict — determinism holds by
+construction.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+
+class NegativeVerdictCache:
+    """domain -> (generation, expiry, verdict), FIFO-evicted at capacity."""
+
+    def __init__(self, ttl: float = 300.0, capacity: int = 1 << 16) -> None:
+        if ttl <= 0:
+            raise ValueError("negative-cache TTL must be positive")
+        if capacity < 1:
+            raise ValueError("negative-cache capacity must be >= 1")
+        self.ttl = float(ttl)
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[str, Tuple[int, float, object]]" = \
+            OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, domain: str, generation: int, now: float):
+        """The cached verdict, or None on miss/expiry/generation change."""
+        entry = self._entries.get(domain)
+        if entry is None:
+            self.misses += 1
+            return None
+        gen, expiry, verdict = entry
+        if gen != generation:
+            # stale generation: drop eagerly so a reloaded server sheds
+            # old answers as it re-touches names, not all at once
+            del self._entries[domain]
+            self.invalidations += 1
+            self.misses += 1
+            return None
+        if now >= expiry:
+            del self._entries[domain]
+            self.misses += 1
+            return None
+        self.hits += 1
+        return verdict
+
+    def put(self, domain: str, generation: int, now: float, verdict) -> None:
+        entries = self._entries
+        if domain in entries:
+            del entries[domain]  # re-put refreshes both TTL and FIFO slot
+        elif len(entries) >= self.capacity:
+            entries.popitem(last=False)
+            self.evictions += 1
+        entries[domain] = (generation, now + self.ttl, verdict)
+
+    def purge_stale(self, generation: int) -> int:
+        """Drop every entry not stamped ``generation``; returns the count.
+
+        Optional eager invalidation after a hot reload — lazily expiring
+        per-hit (see :meth:`get`) is equivalent for correctness, this
+        just reclaims the memory immediately.
+        """
+        stale = [domain for domain, (gen, _, _) in self._entries.items()
+                 if gen != generation]
+        for domain in stale:
+            del self._entries[domain]
+        self.invalidations += len(stale)
+        return len(stale)

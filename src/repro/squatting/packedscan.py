@@ -39,6 +39,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.dns.packedzone import PackedZone
+from repro.dns.records import split_domain
 from repro.perf.engine import process_map
 from repro.squatting.confusables import CONFUSABLES
 from repro.squatting.types import SquatMatch, SquatType
@@ -83,36 +84,37 @@ def _membership(keys: np.ndarray, values: np.ndarray) -> Tuple[np.ndarray, np.nd
     return keys[pos] == values, pos
 
 
-class PackedScanContext:
-    """Per-process scan state: detector + packed zone + vector indices."""
+class DetectorMatrices:
+    """Vector-side detector indices for one (detector, label width) pair.
 
-    def __init__(self, detector, zone: PackedZone) -> None:
-        self.detector = detector
-        self.zone = zone
-        if zone.n_cores:
-            lens = np.diff(zone.core_off.astype(np.int64))
-            self.width = max(int(lens.max()), 1)
-        else:
-            self.width = 1
-        self.sdtype = np.dtype(f"S{self.width}")
+    Everything here is a pure function of the detector's python indices
+    and the fixed label width — independent of which zone slice (or
+    which arbitrary query batch) is being classified — so one build is
+    shared between the batch scan context and the serve engine via
+    :func:`detector_matrices`.
+    """
+
+    def __init__(self, detector, width: int) -> None:
+        self.width = width
+        sdtype = np.dtype(f"S{width}")
 
         # enumerable candidates (homograph-ASCII / bits / typo), sorted for
         # the hash join; labels longer than any observed core cannot match
         items = [(label.encode("utf-8"), brand, squat_type)
                  for label, (brand, squat_type)
                  in detector._candidate_index.items()]
-        items = [item for item in items if len(item[0]) <= self.width]
-        raw = np.array([item[0] for item in items], dtype=self.sdtype) \
-            if items else np.zeros(0, dtype=self.sdtype)
+        items = [item for item in items if len(item[0]) <= width]
+        raw = np.array([item[0] for item in items], dtype=sdtype) \
+            if items else np.zeros(0, dtype=sdtype)
         order = np.argsort(raw, kind="stable")
         self.cand_keys = raw[order]
         self.cand_brands: List[str] = [items[i][1] for i in order]
         self.cand_types: List[SquatType] = [items[i][2] for i in order]
 
         brands = [label.encode("utf-8") for label in detector._brand_by_label]
-        brands = [b for b in brands if len(b) <= self.width]
-        self.brand_keys = np.sort(np.array(brands, dtype=self.sdtype)) \
-            if brands else np.zeros(0, dtype=self.sdtype)
+        brands = [b for b in brands if len(b) <= width]
+        self.brand_keys = np.sort(np.array(brands, dtype=sdtype)) \
+            if brands else np.zeros(0, dtype=sdtype)
 
         # homograph bucket occupancy tables keyed (observed length, edge
         # byte), plus per-bucket allowed-character masks.  The confusables
@@ -122,13 +124,13 @@ class PackedScanContext:
         # bucket cannot match any brand in that bucket — the step-3 reject
         # this makes vectorizable is what keeps random labels off the
         # per-domain Python fallback.
-        self.hb_first = np.zeros((self.width + 1, 256), dtype=bool)
-        self.hb_last = np.zeros((self.width + 1, 256), dtype=bool)
-        self.hb_first_allow = np.zeros((self.width + 1, 256, 256), dtype=bool)
-        self.hb_last_allow = np.zeros((self.width + 1, 256, 256), dtype=bool)
+        self.hb_first = np.zeros((width + 1, 256), dtype=bool)
+        self.hb_last = np.zeros((width + 1, 256), dtype=bool)
+        self.hb_first_allow = np.zeros((width + 1, 256, 256), dtype=bool)
+        self.hb_last_allow = np.zeros((width + 1, 256, 256), dtype=bool)
         allow_memo: Dict[str, np.ndarray] = {}
         for (length, edge, char), labels in detector._homograph_buckets.items():
-            if not (0 <= length <= self.width and len(char) == 1
+            if not (0 <= length <= width and len(char) == 1
                     and ord(char) < 256):
                 continue
             occupancy = self.hb_first if edge == 0 else self.hb_last
@@ -148,6 +150,54 @@ class PackedScanContext:
                 for prefix in detector._combo_prefix_index
                 if len(prefix.encode("utf-8")) == self.combo_w)
             self.combo_keys = np.array(codes, dtype=np.uint64)
+
+
+# (id(detector), width) -> (detector, matrices).  A handful of entries per
+# process at most — one per live detector × snapshot shape; the detector
+# strong ref both pins the id against address recycling and keeps the
+# matrices valid for as long as anyone could present the same key.
+_MATRICES_CACHE: Dict[Tuple[int, int], Tuple[object, DetectorMatrices]] = {}
+
+
+def detector_matrices(detector, width: int) -> DetectorMatrices:
+    """The shared :class:`DetectorMatrices` build for (detector, width).
+
+    The allow-mask tables are the expensive part (the (width+1, 256, 256)
+    byte cubes); caching here means a process that both scans a snapshot
+    and serves queries over it pays for them once.
+    """
+    key = (id(detector), width)
+    entry = _MATRICES_CACHE.get(key)
+    if entry is None or entry[0] is not detector:
+        entry = (detector, DetectorMatrices(detector, width))
+        _MATRICES_CACHE[key] = entry
+    return entry[1]
+
+
+class PackedScanContext:
+    """Per-process scan state: detector + packed zone + vector indices."""
+
+    def __init__(self, detector, zone: PackedZone) -> None:
+        self.detector = detector
+        self.zone = zone
+        if zone.n_cores:
+            lens = np.diff(zone.core_off.astype(np.int64))
+            self.width = max(int(lens.max()), 1)
+        else:
+            self.width = 1
+        self.sdtype = np.dtype(f"S{self.width}")
+        matrices = detector_matrices(detector, self.width)
+        self.matrices = matrices
+        self.cand_keys = matrices.cand_keys
+        self.cand_brands = matrices.cand_brands
+        self.cand_types = matrices.cand_types
+        self.brand_keys = matrices.brand_keys
+        self.hb_first = matrices.hb_first
+        self.hb_last = matrices.hb_last
+        self.hb_first_allow = matrices.hb_first_allow
+        self.hb_last_allow = matrices.hb_last_allow
+        self.combo_w = matrices.combo_w
+        self.combo_keys = matrices.combo_keys
 
     # ------------------------------------------------------------------
     def _survivors(self, start: int, stop: int):
@@ -176,37 +226,9 @@ class PackedScanContext:
         else:
             padded = np.zeros((uniq.size, width), dtype=np.uint8)
         padded[cols[None, :] >= lens[:, None]] = 0
-        keys = np.ascontiguousarray(padded).view(self.sdtype).ravel()
-
-        is_brand, _ = _membership(self.brand_keys, keys)
-        cand_hit, cand_pos = _membership(self.cand_keys, keys)
-        nonascii = (padded & 0x80).any(axis=1)
-        hyphen = (padded == _HYPHEN).any(axis=1)
-        if width >= 4:
-            xn = ((lens >= 4)
-                  & (padded[:, 0] == 120) & (padded[:, 1] == 110)
-                  & (padded[:, 2] == 45) & (padded[:, 3] == 45))
-        else:
-            xn = np.zeros(uniq.size, dtype=bool)
-        rows = np.arange(uniq.size)
-        first = padded[:, 0]
-        last = padded[rows, np.maximum(lens - 1, 0)]
-        # which bytes occur in each label (NUL padding cleared), to test
-        # against the per-bucket allowed-character masks
-        present = np.zeros((uniq.size, 256), dtype=bool)
-        present[rows[:, None], padded] = True
-        present[:, 0] = False
-        ok_first = ~(present & ~self.hb_first_allow[lens, first]).any(axis=1)
-        ok_last = ~(present & ~self.hb_last_allow[lens, last]).any(axis=1)
-        homograph = ((self.hb_first[lens, first] & ok_first)
-                     | (self.hb_last[lens, last] & ok_last))
-        combo = self._combo_window_hits(padded, uniq.size)
-
-        fast = cand_hit & ~is_brand
-        keep = is_brand | cand_hit | xn | homograph | hyphen | combo | nonascii
+        keep, fast_pos = self._vector_flags(padded, lens)
         if not keep.any():
             return
-        fast_pos = np.where(fast, cand_pos, -1)
 
         tld_ids = zone.reg_tld[start:stop]
         tlds = zone.tlds
@@ -220,6 +242,100 @@ class PackedScanContext:
             tld = tlds[tld_ids[position]]
             domain = f"{core}.{tld}" if tld else core
             yield domain, int(fast_pos[u]), core
+
+    def _vector_flags(self, padded: np.ndarray,
+                      lens: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """(keep mask, fast candidate position) of the vector reject.
+
+        ``padded`` is a NUL-padded ``(rows, width)`` uint8 label matrix
+        with ``lens`` true byte lengths (each ``1..width``) — either
+        gathered from the snapshot's core blob (:meth:`_survivors`) or
+        encoded from arbitrary query labels (:meth:`classify_batch`).
+        ``fast_pos[i] >= 0`` marks a pure step-1 candidate hit; entries
+        kept with ``-1`` need the Python classifier.
+        """
+        n = padded.shape[0]
+        keys = np.ascontiguousarray(padded).view(self.sdtype).ravel()
+
+        is_brand, _ = _membership(self.brand_keys, keys)
+        cand_hit, cand_pos = _membership(self.cand_keys, keys)
+        nonascii = (padded & 0x80).any(axis=1)
+        hyphen = (padded == _HYPHEN).any(axis=1)
+        if self.width >= 4:
+            xn = ((lens >= 4)
+                  & (padded[:, 0] == 120) & (padded[:, 1] == 110)
+                  & (padded[:, 2] == 45) & (padded[:, 3] == 45))
+        else:
+            xn = np.zeros(n, dtype=bool)
+        rows = np.arange(n)
+        first = padded[:, 0]
+        last = padded[rows, np.maximum(lens - 1, 0)]
+        # which bytes occur in each label (NUL padding cleared), to test
+        # against the per-bucket allowed-character masks
+        present = np.zeros((n, 256), dtype=bool)
+        present[rows[:, None], padded] = True
+        present[:, 0] = False
+        ok_first = ~(present & ~self.hb_first_allow[lens, first]).any(axis=1)
+        ok_last = ~(present & ~self.hb_last_allow[lens, last]).any(axis=1)
+        homograph = ((self.hb_first[lens, first] & ok_first)
+                     | (self.hb_last[lens, last] & ok_last))
+        combo = self._combo_window_hits(padded, n)
+
+        fast = cand_hit & ~is_brand
+        keep = is_brand | cand_hit | xn | homograph | hyphen | combo | nonascii
+        fast_pos = np.where(fast, cand_pos, -1)
+        return keep, fast_pos
+
+    def classify_batch(self, domains) -> List[Optional[SquatMatch]]:
+        """Vectorized ``classify_domain`` over arbitrary domain names.
+
+        The serving hot path: query names are not zone members, so the
+        label matrix is encoded from the queries themselves and run
+        through the same vector reject as :meth:`_survivors`; the rare
+        survivors (plus labels the key arrays cannot represent — empty,
+        or wider than the snapshot's interned cores) fall back to the
+        reference classifier.  Output is byte-identical to per-name
+        :meth:`SquattingDetector.classify_domain` calls, in input order.
+        """
+        n = len(domains)
+        verdicts: List[Optional[SquatMatch]] = [None] * n
+        normalized: List[str] = [""] * n
+        cores: List[str] = [""] * n
+        vec_rows: List[int] = []
+        encoded: List[bytes] = []
+        fallback: List[int] = []
+        for i, domain in enumerate(domains):
+            name = domain.lower().rstrip(".")
+            core = split_domain(name)[0]
+            normalized[i] = name
+            cores[i] = core
+            raw = core.encode("utf-8")
+            if 0 < len(raw) <= self.width:
+                vec_rows.append(i)
+                encoded.append(raw)
+            else:
+                fallback.append(i)
+        classify = self.detector._classify
+        if encoded:
+            padded = np.array(encoded, dtype=self.sdtype) \
+                .view(np.uint8).reshape(len(encoded), self.width)
+            lens = np.fromiter((len(raw) for raw in encoded),
+                               dtype=np.int64, count=len(encoded))
+            keep, fast_pos = self._vector_flags(padded, lens)
+            for row in np.nonzero(keep)[0]:
+                i = vec_rows[row]
+                fast_idx = int(fast_pos[row])
+                if fast_idx >= 0:
+                    verdicts[i] = SquatMatch(
+                        domain=normalized[i],
+                        brand=self.cand_brands[fast_idx],
+                        squat_type=self.cand_types[fast_idx],
+                    )
+                else:
+                    verdicts[i] = classify(normalized[i], cores[i])
+        for i in fallback:
+            verdicts[i] = classify(normalized[i], cores[i])
+        return verdicts
 
     def _combo_window_hits(self, padded: np.ndarray, rows: int) -> np.ndarray:
         """Mask of labels with any ``combo_w``-byte window in the combo
