@@ -1,0 +1,270 @@
+"""Streaming bench: sustained events/sec + registration→detection latency.
+
+PR 8 refactors the batch pipeline into an always-on incremental feed:
+a deterministic registration/CT-log event tape streams through
+ingest → delta-scan → (conditional compact), with every compaction
+boundary asserting the streaming match state byte-identical to a
+from-scratch batch scan of the compacted union.
+
+This bench drives one tape through the :class:`repro.stream.StreamingDriver`
+at worker counts {1, 4} and reports the two headline numbers from the
+issue: **sustained events/sec ingested** (host wall clock) and **median
+sim-clock registration→detection latency** (flush time − event time).
+Both legs must land on the digest of the from-scratch batch scan over
+the full tape's union — the determinism contract at every worker count.
+
+The third exhibit is the refactor's point: **delta-scan latency is
+sublinear in base-snapshot size**.  The same ~fixed-size delta segment
+is scanned against a small base and a 4x base; because the incremental
+scan touches only the delta's rows (reusing the cached
+``DetectorMatrices`` via the forced label width), its latency must not
+grow with the base — asserted as: delta-scan seconds against the big
+base < 2x against the small base, while a full batch scan of the big
+base costs >= 2x the small one (min-of-attempts, gc-paused timing, as
+in ``bench_serving.py``).
+
+A ``BENCH_streaming.json`` summary is written for the perf trajectory;
+CI runs the smoke scale and archives the JSON as an artifact.
+
+Environment knobs (the ``__main__`` flags override them, for CI):
+    STREAM_BENCH_SCALE  "default" (6k-event tape, sublinearity floor
+                        asserted) or "smoke" (1.2k events, digest
+                        equality only).
+    STREAM_BENCH_OUT    summary path (default: BENCH_streaming.json).
+"""
+
+import gc
+import json
+import os
+import time
+
+from repro.analysis.render import table
+from repro.brands import build_paper_catalog
+from repro.dns.deltazone import DeltaSegmentBuilder
+from repro.dns.packedzone import pack_zone
+from repro.phishworld.events import (
+    EventTapeConfig,
+    build_tape,
+    replay_into_store,
+)
+from repro.squatting.detector import SquattingDetector
+from repro.squatting.packedscan import PackedScanContext, packed_scan
+from repro.stages import digest_squat_matches
+from repro.stream import StreamingDriver
+
+from exhibits import print_exhibit
+
+SCALE = os.environ.get("STREAM_BENCH_SCALE", "default")
+OUT_PATH = os.environ.get("STREAM_BENCH_OUT", "BENCH_streaming.json")
+
+ATTEMPTS = 3             # min-of-attempts for the timed scans
+
+
+def _scale_params(scale):
+    """(tape events, base events, segment events, compact every,
+    small/large sublinearity bases, assert floors?)."""
+    if scale == "smoke":
+        return 1_200, 400, 150, 3, (600, 2_400), False
+    return 6_000, 2_000, 200, 5, (2_000, 8_000), True
+
+
+# ----------------------------------------------------------------------
+# streaming legs
+# ----------------------------------------------------------------------
+
+def _run_leg(detector, tape_config, base_events, segment_events,
+             compact_every, workers):
+    driver = StreamingDriver(
+        detector, tape_config, base_events=base_events,
+        segment_events=segment_events, compact_every=compact_every,
+        workers=workers)
+    outcome = driver.run()
+    stats = outcome.stats
+    return {
+        "leg": f"streaming-{workers}w",
+        "workers": workers,
+        "events": stats.events,
+        "segments": stats.segments,
+        "compactions": stats.compactions,
+        "digest_checks": stats.digest_checks,
+        "detections": stats.detections,
+        "seconds": round(stats.wall_seconds, 4),
+        "events_per_sec": round(stats.events_per_sec, 1),
+        "latency_p50_s": round(stats.latency_p50, 4),
+        "latency_p95_s": round(stats.latency_p95, 4),
+        "live_matches": stats.live_matches,
+        "digest": outcome.match_digest,
+    }
+
+
+# ----------------------------------------------------------------------
+# delta-scan sublinearity
+# ----------------------------------------------------------------------
+
+def _timed_scan(detector, zone, width=None, attempts=ATTEMPTS):
+    best = float("inf")
+    matches = None
+    for _ in range(attempts):
+        started = time.perf_counter()
+        matches = packed_scan(detector, zone, width=width)
+        best = min(best, time.perf_counter() - started)
+    return best, matches
+
+
+def _sublinearity_probe(detector, small_events, large_events, delta_events,
+                        seed=77):
+    """Delta-scan seconds against a small and a 4x base snapshot.
+
+    The same delta segment (by construction: the events right after the
+    large base prefix) is scanned standalone — the streaming path — and
+    each base is scanned in full — the rebuild path the refactor
+    replaces.  The delta leg's cost must track the delta, not the base.
+    """
+    tape = build_tape(EventTapeConfig(
+        seed=seed, n_events=large_events + delta_events))
+    small = pack_zone(replay_into_store(tape[:small_events]))
+    large = pack_zone(replay_into_store(tape[:large_events]))
+    builder = DeltaSegmentBuilder()
+    from repro.phishworld.events import apply_event
+    for event in tape[large_events:]:
+        apply_event(builder, event)
+    delta_small = builder.build(1, small.content_digest).zone
+    delta_large = builder.build(1, large.content_digest).zone
+
+    rows = []
+    for label, base, delta in (("small", small, delta_small),
+                               ("large", large, delta_large)):
+        width = PackedScanContext(detector, base).width
+        _timed_scan(detector, delta, width=width, attempts=1)  # warm caches
+        delta_seconds, _ = _timed_scan(detector, delta, width=width)
+        full_seconds, _ = _timed_scan(detector, base)
+        rows.append({
+            "base": label,
+            "base_registered": base.n_registered,
+            "delta_registered": delta.n_registered,
+            "delta_scan_seconds": round(delta_seconds, 5),
+            "full_scan_seconds": round(full_seconds, 5),
+            "delta_vs_full": round(delta_seconds / max(full_seconds, 1e-9), 4),
+        })
+    return rows
+
+
+# ----------------------------------------------------------------------
+# bench driver
+# ----------------------------------------------------------------------
+
+def run_bench(scale=SCALE, out_path=OUT_PATH):
+    gc.collect()
+    gc.disable()
+    try:
+        return _run_bench(scale, out_path)
+    finally:
+        gc.enable()
+
+
+def _run_bench(scale, out_path):
+    (n_events, base_events, segment_events, compact_every,
+     (small_base, large_base), assert_floors) = _scale_params(scale)
+    detector = SquattingDetector(build_paper_catalog())
+    tape_config = EventTapeConfig(seed=1803, n_events=n_events)
+
+    # THE oracle: a from-scratch batch scan over the full tape's union
+    print(f"building batch oracle over {n_events} events ({scale} scale) ...")
+    tape = build_tape(tape_config)
+    union = pack_zone(replay_into_store(tape))
+    started = time.perf_counter()
+    reference = digest_squat_matches(packed_scan(detector, union))
+    oracle_seconds = time.perf_counter() - started
+
+    rows = [
+        _run_leg(detector, tape_config, base_events, segment_events,
+                 compact_every, workers)
+        for workers in (1, 4)
+    ]
+
+    print(f"probing delta-scan sublinearity "
+          f"({small_base} vs {large_base} base events) ...")
+    probe = _sublinearity_probe(detector, small_base, large_base,
+                                segment_events)
+
+    print_exhibit(
+        "Streaming bench - legs (identical match digests)",
+        table(
+            ["leg", "events", "segments", "seconds", "events/s",
+             "p50 latency", "p95 latency", "detections"],
+            [[r["leg"], r["events"], r["segments"], f"{r['seconds']:.3f}",
+              r["events_per_sec"], f"{r['latency_p50_s']:.3f}s",
+              f"{r['latency_p95_s']:.3f}s", r["detections"]]
+             for r in rows],
+        ),
+    )
+    print_exhibit(
+        "Delta-scan latency vs base size (sublinearity)",
+        table(
+            ["base", "base regs", "delta regs", "delta scan", "full scan",
+             "delta/full"],
+            [[p["base"], p["base_registered"], p["delta_registered"],
+              f"{p['delta_scan_seconds']:.5f}s",
+              f"{p['full_scan_seconds']:.5f}s",
+              p["delta_vs_full"]] for p in probe],
+        ),
+    )
+
+    summary = {
+        "bench": "streaming",
+        "scale": scale,
+        "tape_events": n_events,
+        "base_events": base_events,
+        "segment_events": segment_events,
+        "compact_every": compact_every,
+        "oracle_seconds": round(oracle_seconds, 3),
+        "batch_digest": reference,
+        "runs": rows,
+        "sublinearity": probe,
+    }
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(summary, handle, indent=2)
+    print(f"\nwrote {out_path} "
+          f"(1w: {rows[0]['events_per_sec']} events/s, "
+          f"p50 detection latency {rows[0]['latency_p50_s']}s sim)")
+
+    # determinism contract: streaming == batch at every worker count,
+    # and the driver's own per-compaction assertions all fired
+    for row in rows:
+        assert row["digest"] == reference, \
+            f"{row['leg']} diverged from the from-scratch batch scan"
+        assert row["digest_checks"] >= row["compactions"] > 0
+        assert row["latency_p50_s"] > 0.0, "no detection latency measured"
+
+    # sublinearity: the delta leg must not inherit the base's cost.
+    # (skipped at smoke scale: the scans are too short to time)
+    if assert_floors:
+        small_probe, large_probe = probe
+        assert large_probe["full_scan_seconds"] >= \
+            2.0 * small_probe["full_scan_seconds"], \
+            "4x base did not cost >= 2x to rescan; probe is miscalibrated"
+        assert large_probe["delta_scan_seconds"] < \
+            2.0 * small_probe["delta_scan_seconds"], (
+                "delta-scan latency grew with base size: "
+                f"{small_probe['delta_scan_seconds']:.5f}s -> "
+                f"{large_probe['delta_scan_seconds']:.5f}s")
+        assert large_probe["delta_scan_seconds"] < \
+            large_probe["full_scan_seconds"], \
+            "scanning the delta cost as much as rescanning the base"
+    return summary
+
+
+def test_streaming_bench():
+    run_bench()
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="short tape, digest-equality assertions only")
+    parser.add_argument("--out", default=None, help="summary JSON path")
+    cli = parser.parse_args()
+    run_bench(scale="smoke" if cli.smoke else SCALE,
+              out_path=cli.out or OUT_PATH)

@@ -13,7 +13,10 @@ equivalent workflows over this reproduction:
 * ``squatphi query <snapshot> <domain> ...`` — per-domain verdicts from the
   interactive serving engine (squat family, registration, enrichment);
 * ``squatphi serve <snapshot>`` — replay a synthetic query burst through the
-  batched multi-worker serving front and report QPS/latency.
+  batched multi-worker serving front and report QPS/latency;
+* ``squatphi stream`` — drive a deterministic registration/CT-log event tape
+  through the incremental ingest→delta-scan→compact loop and report
+  events/sec plus sim-clock detection latency.
 
 Each command is a plain function taking parsed args and returning an exit
 code, so the test suite drives them directly.
@@ -363,6 +366,78 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stream(args: argparse.Namespace) -> int:
+    """Stream an event tape through ingest→delta-scan→compact."""
+    from repro.perf.report import PerfReport
+    from repro.phishworld.events import EventTapeConfig
+    from repro.serve import SnapshotPublisher
+    from repro.stages import ArtifactStore
+    from repro.stream import StreamingDriver
+
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.events < 1:
+        print("error: --events must be >= 1", file=sys.stderr)
+        return 2
+    if args.segment_events < 1 or args.compact_every < 1:
+        print("error: --segment-events/--compact-every must be >= 1",
+              file=sys.stderr)
+        return 2
+    if args.base_events < 0 or args.base_events >= args.events:
+        print("error: --base-events must be in [0, --events)", file=sys.stderr)
+        return 2
+
+    detector = SquattingDetector(_build_catalog(args.brands, args.sectors))
+    perf = PerfReport(scan_workers=args.workers)
+    driver = StreamingDriver(
+        detector,
+        EventTapeConfig(seed=args.seed, n_events=args.events),
+        base_events=args.base_events,
+        segment_events=args.segment_events,
+        compact_every=args.compact_every,
+        workers=args.workers,
+        delta_dir=args.delta_dir,
+        store=ArtifactStore(args.store) if args.store else None,
+        publisher=SnapshotPublisher(args.publish) if args.publish else None,
+        perf=perf)
+    try:
+        outcome = driver.run(limit_segments=args.limit_segments)
+    except (RuntimeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    stats = outcome.stats
+    if args.json:
+        summary = dict(stats.as_dict())
+        summary["match_digest"] = outcome.match_digest
+        summary["tape_digest"] = outcome.tape_digest
+        summary["interrupted"] = outcome.interrupted
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        # deterministic counters + digests -> stdout; wall clock -> stderr
+        print(f"streamed {stats.events} events in {stats.segments} segments "
+              f"({stats.base_events} base events, "
+              f"{stats.cached_segments} segments from cache)")
+        print(f"  adds/removals:      {stats.adds}/{stats.removals}")
+        print(f"  compactions:        {stats.compactions} "
+              f"({stats.digest_checks} streaming-vs-batch digest checks)")
+        print(f"  live records:       {stats.live_records}")
+        print(f"  live squat matches: {stats.live_matches} "
+              f"({stats.detections} detected while streaming)")
+        print(f"  detection latency:  p50 {stats.latency_p50:.3f}s, "
+              f"p95 {stats.latency_p95:.3f}s (sim clock)")
+        print(f"  match digest:       {outcome.match_digest}")
+        print(f"  tape digest:        {outcome.tape_digest}")
+        if outcome.interrupted:
+            print(f"  interrupted after {stats.segments} segments "
+                  f"({len(outcome.pending)} deltas pending compaction)")
+    timings = perf.format_timings()
+    if timings:
+        print(timings, file=sys.stderr)
+    return 0
+
+
 # ----------------------------------------------------------------------
 # parser
 # ----------------------------------------------------------------------
@@ -511,6 +586,41 @@ def build_parser() -> argparse.ArgumentParser:
                        help="add sector catalogs (§7 extension)")
     serve.add_argument("--out", help="write verdict lines to this file")
     serve.set_defaults(func=cmd_serve)
+
+    stream = sub.add_parser("stream", help="drive a registration event tape "
+                                           "through incremental delta scans")
+    stream.add_argument("--events", type=int, default=2000,
+                        help="total events on the deterministic tape")
+    stream.add_argument("--base-events", type=int, default=400,
+                        help="tape prefix that builds the initial base "
+                             "snapshot (the rest streams)")
+    stream.add_argument("--segment-events", type=int, default=120,
+                        help="events per sealed delta segment")
+    stream.add_argument("--compact-every", type=int, default=4,
+                        help="segments between LSM-style compactions (each "
+                             "asserts streaming == batch digests)")
+    stream.add_argument("--seed", type=int, default=1803)
+    stream.add_argument("--workers", type=int, default=1,
+                        help="process-pool width for delta scans (digests "
+                             "are identical at any width)")
+    stream.add_argument("--delta-dir", metavar="DIR",
+                        help="write sealed delta-segment files here")
+    stream.add_argument("--store", metavar="DIR",
+                        help="persist per-segment scan artifacts here "
+                             "(a killed run resumes from cache)")
+    stream.add_argument("--publish", metavar="DIR",
+                        help="publish base + delta generations into this "
+                             "directory for the serving layer")
+    stream.add_argument("--limit-segments", type=int, default=None,
+                        help="stop after N segments without the final "
+                             "compaction (kill/resume harnesses)")
+    stream.add_argument("--brands", nargs="*",
+                        help="restrict the catalog to these brand domains")
+    stream.add_argument("--sectors", nargs="*", choices=sector_choices,
+                        help="add sector catalogs (§7 extension)")
+    stream.add_argument("--json", action="store_true",
+                        help="emit the run summary as JSON on stdout")
+    stream.set_defaults(func=cmd_stream)
 
     return parser
 

@@ -11,6 +11,13 @@ snapshot file format compatible with ActiveDNS-style dumps
 """
 
 from repro.dns.activedns import load_snapshot, write_snapshot
+from repro.dns.deltazone import (
+    DeltaSegment,
+    DeltaSegmentBuilder,
+    SegmentedZone,
+    compact,
+    is_delta_file,
+)
 from repro.dns.idna import (
     IDNAError,
     domain_to_ascii,
@@ -23,9 +30,14 @@ from repro.dns.zone import ZoneStore
 
 __all__ = [
     "DNSRecord",
+    "DeltaSegment",
+    "DeltaSegmentBuilder",
     "IDNAError",
+    "SegmentedZone",
     "ZoneStore",
+    "compact",
     "domain_to_ascii",
+    "is_delta_file",
     "domain_to_unicode",
     "is_valid_hostname",
     "load_snapshot",

@@ -65,6 +65,16 @@ _ALIGN = 64
 PathLike = Union[str, Path]
 
 
+class PackedZoneCorruptError(ValueError):
+    """A packed snapshot file failed a structural or digest check.
+
+    Subclasses :class:`ValueError` so existing ``except ValueError``
+    callers keep working; the dedicated type lets callers distinguish
+    "this file is damaged" (truncated payload, flipped bytes, bad
+    digest) from ordinary argument errors.
+    """
+
+
 def _align(offset: int) -> int:
     return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
 
@@ -296,7 +306,16 @@ class PackedZone:
             raise ValueError("not a packed zone snapshot (bad magic)")
         meta_len = int.from_bytes(bytes(buffer[8:16]), "little")
         self.content_digest: str = bytes(buffer[16:48]).hex()
-        meta = json.loads(bytes(buffer[_HEADER_LEN:_HEADER_LEN + meta_len]))
+        raw_meta = bytes(buffer[_HEADER_LEN:_HEADER_LEN + meta_len])
+        if len(raw_meta) < meta_len:
+            raise PackedZoneCorruptError(
+                f"packed zone meta truncated: header declares {meta_len} "
+                f"bytes, file holds {len(raw_meta)}")
+        try:
+            meta = json.loads(raw_meta)
+        except json.JSONDecodeError as exc:
+            raise PackedZoneCorruptError(
+                f"packed zone meta is not valid JSON: {exc}") from exc
         if meta["version"] != VERSION:
             raise ValueError(f"unsupported packed zone version {meta['version']}")
         self.n_records: int = meta["records"]
@@ -314,12 +333,24 @@ class PackedZone:
         # old readers ignore the key, old files simply lack it)
         self.enrichment_meta: Optional[Dict[str, List[str]]] = \
             meta.get("enrichment")
+        # delta-segment binding (seq, base digest, tombstone count) when
+        # this file is an append-only delta rather than a base snapshot
+        # (see repro.dns.deltazone); plain snapshots read None
+        self.delta_meta: Optional[Dict[str, object]] = meta.get("delta")
         data_start = _align(_HEADER_LEN + meta_len)
         self._sections: Dict[str, np.ndarray] = {}
         for name, spec in meta["sections"].items():
+            dtype = np.dtype(spec["dtype"])
+            end = data_start + int(spec["offset"]) + int(spec["count"]) * dtype.itemsize
+            if end > len(buffer):
+                # header + meta intact but the payload is short: surface a
+                # typed corruption error instead of numpy's buffer error
+                raise PackedZoneCorruptError(
+                    f"packed zone payload truncated: section {name!r} needs "
+                    f"{end} bytes, file has {len(buffer)}")
             self._sections[name] = np.frombuffer(
-                buffer, dtype=np.dtype(spec["dtype"]), count=spec["count"],
-                offset=data_start + spec["offset"])
+                buffer, dtype=dtype, count=spec["count"],
+                offset=data_start + int(spec["offset"]))
         self.name_blob = self._sections["name_blob"]
         self.name_off = self._sections["name_off"]
         self.rec_reg = self._sections["rec_reg"]
@@ -405,11 +436,12 @@ class PackedZone:
 
         Deliberately not run on :meth:`load` — hashing the whole file
         would fault every mmap page in and defeat the lazy zero-copy
-        open.  Raises :class:`ValueError` on a corrupt snapshot.
+        open.  Raises :class:`PackedZoneCorruptError` on a corrupt
+        snapshot.
         """
         actual = hashlib.sha256(bytes(self._buf[_HEADER_LEN:])).hexdigest()
         if actual != self.content_digest:
-            raise ValueError(
+            raise PackedZoneCorruptError(
                 "packed zone payload digest mismatch (corrupt snapshot)")
 
     def __reduce__(self):

@@ -129,6 +129,13 @@ class PerfReport:
     serve_batches: int = 0
     serve_swaps: int = 0
     serve_negcache_hits: int = 0
+    stream_events: int = 0
+    stream_seconds: float = 0.0
+    stream_segments: int = 0
+    stream_cached_segments: int = 0
+    stream_compactions: int = 0
+    stream_detections: int = 0
+    stream_latency_p50: float = 0.0
     peak_rss_kb: int = 0
     cache: CacheStats = field(default_factory=CacheStats)
 
@@ -185,6 +192,21 @@ class PerfReport:
         self.serve_swaps += swaps
         self.serve_negcache_hits += negcache_hits
 
+    def record_streaming(self, stats) -> None:
+        """Accumulate one streaming run (driver stats).
+
+        ``stats`` is a :class:`~repro.stream.driver.StreamStats`; host
+        wall clock and sim-clock detection latency both land here as
+        throughput metadata — neither participates in any digest.
+        """
+        self.stream_events += stats.events
+        self.stream_seconds += stats.wall_seconds
+        self.stream_segments += stats.segments
+        self.stream_cached_segments += stats.cached_segments
+        self.stream_compactions += stats.compactions
+        self.stream_detections += stats.detections
+        self.stream_latency_p50 = stats.latency_p50
+
     def record_peak_rss(self) -> None:
         """Sample the process's peak resident set size (best effort).
 
@@ -217,6 +239,10 @@ class PerfReport:
     @property
     def serve_qps(self) -> float:
         return self.queries_served / self.serve_seconds if self.serve_seconds else 0.0
+
+    @property
+    def stream_events_per_second(self) -> float:
+        return self.stream_events / self.stream_seconds if self.stream_seconds else 0.0
 
     @property
     def negcache_hit_rate(self) -> float:
@@ -259,6 +285,14 @@ class PerfReport:
             "serve_batches": self.serve_batches,
             "serve_swaps": self.serve_swaps,
             "serve_negcache_hits": self.serve_negcache_hits,
+            "stream_events": self.stream_events,
+            "stream_seconds": round(self.stream_seconds, 4),
+            "stream_events_per_second": round(self.stream_events_per_second, 1),
+            "stream_segments": self.stream_segments,
+            "stream_cached_segments": self.stream_cached_segments,
+            "stream_compactions": self.stream_compactions,
+            "stream_detections": self.stream_detections,
+            "stream_latency_p50": round(self.stream_latency_p50, 4),
             "peak_rss_kb": self.peak_rss_kb,
             "cache": self.cache.to_dict(),
         }
@@ -343,6 +377,16 @@ class PerfReport:
                 f"({self.serve_qps:.0f} qps, "
                 f"{self.serve_swaps} generation swaps, "
                 f"{self.serve_negcache_hits} negcache hits)")
+        if self.stream_events:
+            lines.append(
+                f"  streaming: {self.stream_events} events in "
+                f"{self.stream_segments} segments "
+                f"({self.stream_cached_segments} cached), "
+                f"{self.stream_seconds:.2f}s "
+                f"({self.stream_events_per_second:.0f} events/s, "
+                f"{self.stream_compactions} compactions, "
+                f"{self.stream_detections} detections, "
+                f"p50 latency {self.stream_latency_p50:.2f}s sim)")
         if self.peak_rss_kb:
             lines.append(f"  peak RSS: {self.peak_rss_kb / 1024:.1f} MiB")
         return "\n".join(lines)

@@ -21,6 +21,22 @@ Everything draws from one seeded generator, so a given config is a fully
 reproducible universe.
 """
 
+from repro.phishworld.events import (
+    EventTapeConfig,
+    ZoneEvent,
+    build_tape,
+    digest_tape,
+    replay_into_store,
+)
 from repro.phishworld.world import SyntheticInternet, WorldConfig, build_world
 
-__all__ = ["SyntheticInternet", "WorldConfig", "build_world"]
+__all__ = [
+    "EventTapeConfig",
+    "SyntheticInternet",
+    "WorldConfig",
+    "ZoneEvent",
+    "build_tape",
+    "build_world",
+    "digest_tape",
+    "replay_into_store",
+]

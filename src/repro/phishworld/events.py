@@ -1,0 +1,237 @@
+"""Deterministic simulated registration / CT-log event stream.
+
+The paper scans a frozen snapshot; real squat hunting watches a *feed* —
+new registrations and certificate-transparency log entries arriving
+continuously, with takedowns and expiries removing names again.  This
+module turns the synthetic-world machinery (brand catalog, the five
+squat models) into a seeded event tape: a list of timestamped
+``add``/``remove`` :class:`ZoneEvent` rows whose inter-arrival times
+follow an exponential clock on the shared
+:class:`~repro.faults.clock.SimClock` timeline.
+
+The tape is a pure function of its :class:`EventTapeConfig` — the same
+config always yields the same events in the same order with the same
+timestamps, so every downstream digest (delta segments, scan matches,
+compacted snapshots) is reproducible and the streaming driver can be
+killed and re-driven deterministically.
+
+Event mix:
+
+* **organic adds** — fresh pronounceable names (never squats);
+* **squat adds** — minted from a brand via the Fig 2 type mix
+  (combo/typo/bits/wrongTLD/homograph), brand drawn uniformly;
+* **subdomain adds** — a label (``www``, ``login``, …) in front of a
+  previously-added live name, exercising registered-domain grouping;
+* **replacement adds** — re-adding a live name with a new IP replaces it
+  in place (``ZoneStore.add`` semantics);
+* **removes** — takedown of a uniformly-drawn live name (tombstone in
+  the delta layer).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.brands.alexa import synth_brand_name
+from repro.brands.catalog import build_paper_catalog
+from repro.dns.zone import ZoneStore
+from repro.squatting.bits import BitsModel
+from repro.squatting.combo import COMMON_AFFIXES
+from repro.squatting.homograph import HomographModel
+from repro.squatting.typo import TypoModel
+from repro.squatting.types import SquatType
+from repro.squatting.wrongtld import WrongTLDModel
+
+# Fig 2 proportions, same mix the world builder uses for its registered
+# squat population
+_SQUAT_MIX = (
+    (SquatType.COMBO, 0.565),
+    (SquatType.TYPO, 0.253),
+    (SquatType.BITS, 0.073),
+    (SquatType.WRONG_TLD, 0.060),
+    (SquatType.HOMOGRAPH, 0.049),
+)
+
+_TLDS = ("com", "net", "org", "pw", "tk", "ml", "ga", "top", "xyz",
+         "online", "site", "bid", "link", "info", "de", "nl", "in",
+         "it", "pl", "eu", "co")
+
+_SUB_LABELS = ("www", "login", "mail", "secure", "account", "m")
+
+
+@dataclass(frozen=True)
+class ZoneEvent:
+    """One timestamped zone mutation (sim-clock seconds)."""
+
+    at: float
+    kind: str                   # "add" | "remove"
+    name: str
+    ip: str = "0.0.0.0"
+    source: str = "ct-log"
+    record_type: str = "A"
+
+
+@dataclass(frozen=True)
+class EventTapeConfig:
+    """Scale/mix knobs for one deterministic event tape."""
+
+    seed: int = 1803
+    n_events: int = 2000
+    rate: float = 50.0          # mean event arrivals per sim second
+    remove_share: float = 0.12  # chance an event is a takedown
+    squat_share: float = 0.40   # among adds: squat-minted names
+    subdomain_share: float = 0.06   # among adds: subdomain of a live name
+    replace_share: float = 0.04     # among adds: re-add of a live name
+    n_brands: int = 702
+    start_at: float = 0.0
+
+
+def event_line(event: ZoneEvent) -> str:
+    """Canonical one-line form (the tape-digest unit)."""
+    return (f"{event.at:.6f}|{event.kind}|{event.name}|{event.ip}"
+            f"|{event.record_type}|{event.source}")
+
+
+def digest_tape(events: Iterable[ZoneEvent]) -> str:
+    hasher = hashlib.sha256()
+    hasher.update(b"zone-events\n")
+    for event in events:
+        hasher.update(event_line(event).encode("utf-8"))
+        hasher.update(b"\n")
+    return hasher.hexdigest()
+
+
+def build_tape(config: Optional[EventTapeConfig] = None) -> List[ZoneEvent]:
+    """Generate the event tape for ``config`` (pure in the config)."""
+    config = config or EventTapeConfig()
+    rng = np.random.default_rng(config.seed)
+    catalog = list(build_paper_catalog(config.n_brands))
+    typo, bits = TypoModel(), BitsModel()
+    homograph, wrongtld = HomographModel(), WrongTLDModel()
+
+    events: List[ZoneEvent] = []
+    live: List[str] = []
+    live_pos = {}
+    t = float(config.start_at)
+    organic_serial = 0
+
+    def draw_tld() -> str:
+        return _TLDS[int(rng.integers(0, len(_TLDS)))]
+
+    def draw_ip() -> str:
+        octets = rng.integers(0, 256, size=3)
+        return f"10.{octets[0]}.{octets[1]}.{octets[2]}"
+
+    def mint_squat() -> Optional[str]:
+        brand = catalog[int(rng.integers(0, len(catalog)))]
+        label = brand.core_label
+        roll = rng.random()
+        accumulated = 0.0
+        squat_type = _SQUAT_MIX[-1][0]
+        for candidate, share in _SQUAT_MIX:
+            accumulated += share
+            if roll < accumulated:
+                squat_type = candidate
+                break
+        if squat_type == SquatType.COMBO:
+            affix = COMMON_AFFIXES[int(rng.integers(0, len(COMMON_AFFIXES)))]
+            core = (f"{label}-{affix}" if rng.random() < 0.5
+                    else f"{affix}-{label}")
+            return f"{core}.{draw_tld()}"
+        if squat_type == SquatType.WRONG_TLD:
+            pool = sorted(wrongtld.generate(brand.domain))
+        elif squat_type == SquatType.TYPO:
+            pool = sorted(typo.generate(label))
+        elif squat_type == SquatType.BITS:
+            pool = sorted(bits.generate(label))
+        else:
+            pool = sorted(homograph.generate(label))
+        if not pool:
+            return None
+        choice = pool[int(rng.integers(0, len(pool)))]
+        if squat_type == SquatType.WRONG_TLD:
+            return choice
+        return f"{choice}.{draw_tld()}"
+
+    def mint_organic() -> str:
+        nonlocal organic_serial
+        organic_serial += 1
+        return (f"{synth_brand_name(2_000_000 + config.seed * 1000 + organic_serial)}"
+                f".{draw_tld()}")
+
+    def track_add(name: str) -> None:
+        if name not in live_pos:
+            live_pos[name] = len(live)
+            live.append(name)
+
+    def track_remove(name: str) -> None:
+        pos = live_pos.pop(name, None)
+        if pos is None:
+            return
+        last = live.pop()
+        if last != name:
+            live[pos] = last
+            live_pos[last] = pos
+
+    for _ in range(config.n_events):
+        t += float(rng.exponential(1.0 / config.rate))
+        if live and rng.random() < config.remove_share:
+            victim = live[int(rng.integers(0, len(live)))]
+            events.append(ZoneEvent(at=t, kind="remove", name=victim))
+            track_remove(victim)
+            continue
+        roll = rng.random()
+        if live and roll < config.replace_share:
+            name = live[int(rng.integers(0, len(live)))]
+            source = "ct-log"
+        elif live and roll < config.replace_share + config.subdomain_share:
+            parent = live[int(rng.integers(0, len(live)))]
+            label = _SUB_LABELS[int(rng.integers(0, len(_SUB_LABELS)))]
+            name = f"{label}.{parent}"
+            source = "ct-log"
+        elif roll < (config.replace_share + config.subdomain_share
+                     + config.squat_share):
+            name = mint_squat() or mint_organic()
+            source = "ct-log"
+        else:
+            name = mint_organic()
+            source = "zone-feed"
+        events.append(ZoneEvent(at=t, kind="add", name=name,
+                                ip=draw_ip(), source=source))
+        track_add(name.lower().rstrip("."))
+    return events
+
+
+def apply_event(target, event: ZoneEvent) -> None:
+    """Apply one event to anything with ``add_name``/``remove_name``
+    (``DeltaSegmentBuilder``) or ``add_name``/``remove`` (``ZoneStore``)."""
+    if event.kind == "add":
+        target.add_name(event.name, ip=event.ip, source=event.source)
+    elif event.kind == "remove":
+        remover = getattr(target, "remove_name", None) or target.remove
+        remover(event.name)
+    else:
+        raise ValueError(f"unknown event kind {event.kind!r}")
+
+
+def replay_into_store(events: Iterable[ZoneEvent],
+                      store: Optional[ZoneStore] = None) -> ZoneStore:
+    """Replay a tape into a dict-backed store (the batch oracle).
+
+    Removing a name the store never had is a legal stream condition
+    (a takedown racing a snapshot boundary), so unknown removes are
+    ignored rather than raised.
+    """
+    store = store if store is not None else ZoneStore()
+    for event in events:
+        if event.kind == "add":
+            store.add_name(event.name, ip=event.ip, source=event.source)
+        else:
+            normalized = event.name.lower().rstrip(".")
+            if normalized in store:
+                store.remove(normalized)
+    return store

@@ -2,20 +2,29 @@
 
 A publish directory holds generation-stamped PZON files plus a
 ``CURRENT`` pointer file; both are written via temp-file + ``os.replace``
-so a reader polling :meth:`SnapshotPublisher.current` sees either the
-old complete generation or the new complete generation, never a torn
-state.  Workers hot-reload by comparing the polled generation number
-against their engine's — the stamp inside the PZON meta (see
+(and a directory fsync so the rename itself is durable), so a reader
+polling :meth:`SnapshotPublisher.current` sees either the old complete
+generation or the new complete generation, never a torn state.  Workers
+hot-reload by comparing the polled generation number against their
+engine's — the stamp inside the PZON meta (see
 :func:`~repro.dns.packedzone.stamp_generation`) makes the handle
 self-describing, so a worker that mmaps the file late still knows which
 generation is answering.
+
+The streaming path extends the pointer to a *chain*: one tab-separated
+line ``generation<TAB>base<TAB>delta1<TAB>...``.  :meth:`current` keeps
+returning the first two fields (pre-streaming readers see the base);
+chain-aware readers call :meth:`current_chain` and open the union as a
+:class:`~repro.dns.deltazone.SegmentedZone`.  :meth:`publish_delta`
+appends one delta segment and bumps the generation; :meth:`publish`
+resets the chain to a lone base (a compaction boundary).
 """
 
 from __future__ import annotations
 
 import os
 from pathlib import Path
-from typing import Optional, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
 from repro.dns.packedzone import PackedZone, stamp_generation
 
@@ -33,17 +42,23 @@ class SnapshotPublisher:
 
     # ------------------------------------------------------------------
     def current(self) -> Optional[Tuple[int, Path]]:
-        """(generation, snapshot path) of the live pointer, or None."""
+        """(generation, base snapshot path) of the live pointer, or None."""
+        chain = self.current_chain()
+        return None if chain is None else (chain[0], chain[1])
+
+    def current_chain(self) -> Optional[Tuple[int, Path, List[Path]]]:
+        """(generation, base path, ordered delta paths), or None."""
         pointer = self.root / _CURRENT
         try:
             text = pointer.read_text(encoding="utf-8").strip()
         except FileNotFoundError:
             return None
-        generation, _tab, name = text.partition("\t")
-        return int(generation), self.root / name
+        fields = text.split("\t")
+        return (int(fields[0]), self.root / fields[1],
+                [self.root / name for name in fields[2:]])
 
     def open_current(self) -> Optional[PackedZone]:
-        """mmap the live generation, or None before any publish."""
+        """mmap the live generation's base, or None before any publish."""
         state = self.current()
         return None if state is None else PackedZone.load(state[1])
 
@@ -54,7 +69,8 @@ class SnapshotPublisher:
         The data file lands first (write to temp, fsync, rename), the
         pointer swaps second — so a crash between the two leaves the old
         generation live and an orphaned-but-complete data file, never a
-        pointer to a partial snapshot.
+        pointer to a partial snapshot.  Any delta chain is reset: the new
+        pointer names the base alone (this is the compaction boundary).
         """
         state = self.current()
         generation = (state[0] if state else 0) + 1
@@ -66,6 +82,30 @@ class SnapshotPublisher:
                            f"{generation}\t{name}\n".encode("utf-8"))
         return generation, path
 
+    def publish_delta(self, segment_bytes: bytes) -> Tuple[int, Path]:
+        """Append one delta segment to the live chain and bump generation.
+
+        ``segment_bytes`` is a sealed delta-segment file (see
+        :class:`~repro.dns.deltazone.DeltaSegmentBuilder`).  The segment
+        is stamped with the new generation so late-mmapping readers can
+        self-identify, then the pointer grows one more chain entry.
+        Requires a published base (the chain needs something to hang off).
+        """
+        chain = self.current_chain()
+        if chain is None:
+            raise ValueError("publish_delta requires a published base")
+        generation, base_path, delta_paths = chain
+        generation += 1
+        stamped = stamp_generation(
+            PackedZone.from_bytes(segment_bytes), generation)
+        name = f"gen-{generation:06d}.delta.pzon"
+        path = self.root / name
+        self._write_atomic(path, stamped.to_bytes())
+        names = [base_path.name] + [p.name for p in delta_paths] + [name]
+        pointer = "\t".join([str(generation)] + names) + "\n"
+        self._write_atomic(self.root / _CURRENT, pointer.encode("utf-8"))
+        return generation, path
+
     def _write_atomic(self, path: Path, data: bytes) -> None:
         tmp = path.with_name(path.name + ".tmp")
         with open(tmp, "wb") as handle:
@@ -73,3 +113,11 @@ class SnapshotPublisher:
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp, path)
+        # make the rename durable: fsync the directory entry, else a
+        # crash can roll CURRENT back to a generation whose data file
+        # outlived it (or vice versa)
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)

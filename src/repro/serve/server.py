@@ -81,6 +81,26 @@ class ServeStats:
 
 
 # ----------------------------------------------------------------------
+# pathspec plumbing: one snapshot path, or a newline-joined
+# base+delta chain (the streaming publisher's current_chain) — kept as a
+# single string so batch tasks stay trivially picklable
+# ----------------------------------------------------------------------
+
+def _zone_pathspec(zone) -> str:
+    paths = zone.paths() if hasattr(zone, "paths") else [zone.ensure_file()]
+    return "\n".join(str(path) for path in paths)
+
+
+def _open_pathspec(pathspec: str):
+    """mmap one snapshot, or a base+delta chain as a SegmentedZone."""
+    paths = [entry for entry in pathspec.split("\n") if entry]
+    if len(paths) == 1:
+        return PackedZone.load(paths[0])
+    from repro.dns.deltazone import SegmentedZone  # lazy: no import cycle
+    return SegmentedZone.load_chain(paths[0], paths[1:])
+
+
+# ----------------------------------------------------------------------
 # pool plumbing (same shape as packedscan's _POOL_STATE)
 # ----------------------------------------------------------------------
 
@@ -121,7 +141,7 @@ def _serve_pool_init(catalog, generator, key: Tuple, path: str,
         return  # fork-inherited from the parent, nothing to rebuild
     from repro.squatting.detector import SquattingDetector  # lazy: no cycle
     detector = SquattingDetector(catalog, generator)
-    _SERVE_STATE = _build_state(detector, PackedZone.load(path), generation,
+    _SERVE_STATE = _build_state(detector, _open_pathspec(path), generation,
                                 use_negcache, ttl, capacity, key)
 
 
@@ -133,7 +153,7 @@ def _serve_batch(task: Tuple[int, str, Tuple[str, ...], float]
     assert state is not None, "serve worker used before initialization"
     engine: QueryEngine = state["engine"]
     if engine.generation != generation:
-        engine.reload(PackedZone.load(path), generation)
+        engine.reload(_open_pathspec(path), generation)
     hits_before = engine.stats.negcache_hits
     started = time.perf_counter()
     verdicts = engine.lookup_batch(list(names), now=now)
@@ -175,7 +195,7 @@ def serve_load(detector, zone: PackedZone,
     stats.batches = len(batches)
 
     generation = zone.generation
-    path = str(zone.ensure_file()) if batches and workers > 1 else ""
+    path = _zone_pathspec(zone) if batches and workers > 1 else ""
     swaps = 0
 
     def poll(index: int) -> None:
@@ -183,11 +203,20 @@ def serve_load(detector, zone: PackedZone,
         if on_dispatch is not None:
             on_dispatch(index)
         if publisher is not None:
-            state = publisher.current()
-            if state is not None and state[0] > generation:
-                generation = state[0]
-                path = str(state[1])
-                swaps += 1
+            chain = getattr(publisher, "current_chain", None)
+            if chain is not None:
+                state = chain()
+                if state is not None and state[0] > generation:
+                    generation = state[0]
+                    path = "\n".join(
+                        [str(state[1])] + [str(p) for p in state[2]])
+                    swaps += 1
+            else:
+                state = publisher.current()
+                if state is not None and state[0] > generation:
+                    generation = state[0]
+                    path = str(state[1])
+                    swaps += 1
 
     results: List[Optional[List[Verdict]]] = [None] * len(batches)
     latencies: List[float] = []
@@ -202,7 +231,7 @@ def serve_load(detector, zone: PackedZone,
         for index, batch in enumerate(batches):
             poll(index)
             if engine.generation != generation:
-                engine.reload(PackedZone.load(path), generation)
+                engine.reload(_open_pathspec(path), generation)
             clock.advance_to(batch.dispatch_at)
             t0 = time.perf_counter()
             results[index] = engine.lookup_batch(

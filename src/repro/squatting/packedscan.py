@@ -177,14 +177,21 @@ def detector_matrices(detector, width: int) -> DetectorMatrices:
 class PackedScanContext:
     """Per-process scan state: detector + packed zone + vector indices."""
 
-    def __init__(self, detector, zone: PackedZone) -> None:
+    def __init__(self, detector, zone: PackedZone,
+                 width: Optional[int] = None) -> None:
         self.detector = detector
         self.zone = zone
         if zone.n_cores:
             lens = np.diff(zone.core_off.astype(np.int64))
-            self.width = max(int(lens.max()), 1)
+            natural = max(int(lens.max()), 1)
         else:
-            self.width = 1
+            natural = 1
+        # a caller-forced width only ever *widens* the label matrix:
+        # narrower than the zone's longest core would truncate labels in
+        # the gather and could false-reject.  The streaming driver pins
+        # one width across all delta segments so every segment scan hits
+        # the same cached DetectorMatrices build.
+        self.width = max(natural, int(width)) if width else natural
         self.sdtype = np.dtype(f"S{self.width}")
         matrices = detector_matrices(detector, self.width)
         self.matrices = matrices
@@ -398,21 +405,22 @@ class PackedScanContext:
 # and the per-worker initializer reduces to a key comparison.  The
 # detector strong ref pins id(detector), so a key can never alias a
 # recycled address while it is cached.
-_POOL_STATE: Optional[Tuple[object, PackedScanContext, Tuple[int, str]]] = None
+_POOL_STATE: Optional[Tuple[object, PackedScanContext, Tuple]] = None
 
 
-def _pool_context(detector, zone: PackedZone) -> Tuple[PackedScanContext,
-                                                       Tuple[int, str]]:
-    """The scan context for (detector, zone), cached in module state."""
+def _pool_context(detector, zone: PackedZone,
+                  width: Optional[int] = None) -> Tuple[PackedScanContext,
+                                                        Tuple]:
+    """The scan context for (detector, zone, width), cached in module state."""
     global _POOL_STATE
-    key = (id(detector), zone.content_digest)
+    key = (id(detector), zone.content_digest, width or 0)
     if _POOL_STATE is None or _POOL_STATE[2] != key:
-        _POOL_STATE = (detector, PackedScanContext(detector, zone), key)
+        _POOL_STATE = (detector,
+                       PackedScanContext(detector, zone, width=width), key)
     return _POOL_STATE[1], key
 
 
-def _packed_pool_init(catalog, generator, path: str,
-                      key: Tuple[int, str]) -> None:
+def _packed_pool_init(catalog, generator, path: str, key: Tuple) -> None:
     global _POOL_STATE
     key = tuple(key)
     if _POOL_STATE is not None and _POOL_STATE[2] == key:
@@ -421,8 +429,10 @@ def _packed_pool_init(catalog, generator, path: str,
     # picklable initargs
     from repro.squatting.detector import SquattingDetector  # lazy: no cycle
     detector = SquattingDetector(catalog, generator)
+    width = int(key[2]) or None
     _POOL_STATE = (detector,
-                   PackedScanContext(detector, PackedZone.load(path)), key)
+                   PackedScanContext(detector, PackedZone.load(path),
+                                     width=width), key)
 
 
 def _packed_scan_slice(bounds: Tuple[int, int]) -> List[SquatMatch]:
@@ -443,21 +453,26 @@ def _slice_bounds(total: int, chunk_size: int) -> List[Tuple[int, int]]:
 
 
 def packed_scan(detector, zone: PackedZone, workers: int = 1,
-                chunk_size: int = PACKED_CHUNK) -> List[SquatMatch]:
+                chunk_size: int = PACKED_CHUNK,
+                width: Optional[int] = None) -> List[SquatMatch]:
     """Vectorized :meth:`SquattingDetector.scan` over a packed zone.
 
     Slice results concatenate in id order, so output equals the serial
-    dict-backed scan for any worker count.
+    dict-backed scan for any worker count.  ``width`` forces a (>=
+    natural) label-matrix width so repeated scans over differently-sized
+    zones — the streaming driver's per-segment delta scans — share one
+    cached :class:`DetectorMatrices` build; results are identical at any
+    legal width.
     """
     bounds = _slice_bounds(zone.n_registered, chunk_size)
     if workers <= 1 or len(bounds) <= 1:
-        context, _ = _pool_context(detector, zone)
+        context, _ = _pool_context(detector, zone, width)
         matches: List[SquatMatch] = []
         for start, stop in bounds:
             matches.extend(context.scan_slice(start, stop))
         return matches
     path = zone.ensure_file()
-    _, key = _pool_context(detector, zone)  # prefork: workers inherit it
+    _, key = _pool_context(detector, zone, width)  # prefork: workers inherit it
     chunks = process_map(
         _packed_scan_slice, bounds, workers,
         initializer=_packed_pool_init,
@@ -466,17 +481,18 @@ def packed_scan(detector, zone: PackedZone, workers: int = 1,
 
 
 def packed_scan_counts(detector, zone: PackedZone, workers: int = 1,
-                       chunk_size: int = PACKED_CHUNK) -> Dict[SquatType, int]:
+                       chunk_size: int = PACKED_CHUNK,
+                       width: Optional[int] = None) -> Dict[SquatType, int]:
     """Vectorized :meth:`SquattingDetector.scan_counts` over a packed zone."""
     counts: Dict[SquatType, int] = {t: 0 for t in SquatType}
     bounds = _slice_bounds(zone.n_registered, chunk_size)
     if workers <= 1 or len(bounds) <= 1:
-        context, _ = _pool_context(detector, zone)
+        context, _ = _pool_context(detector, zone, width)
         histograms = [context.count_slice(start, stop)
                       for start, stop in bounds]
     else:
         path = zone.ensure_file()
-        _, key = _pool_context(detector, zone)  # prefork: workers inherit it
+        _, key = _pool_context(detector, zone, width)  # prefork: workers inherit it
         histograms = process_map(
             _packed_count_slice, bounds, workers,
             initializer=_packed_pool_init,

@@ -1,0 +1,7 @@
+"""Always-on streaming ingestion: event tape → delta segments → scan."""
+
+from repro.stream.driver import (  # noqa: F401
+    StreamOutcome,
+    StreamStats,
+    StreamingDriver,
+)

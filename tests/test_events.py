@@ -1,0 +1,86 @@
+"""The simulated registration/CT-log event stream: determinism + replay."""
+
+import pytest
+
+from repro.dns.zone import ZoneStore
+from repro.phishworld.events import (
+    EventTapeConfig,
+    ZoneEvent,
+    apply_event,
+    build_tape,
+    digest_tape,
+    event_line,
+    replay_into_store,
+)
+
+
+def test_tape_is_pure_in_config():
+    config = EventTapeConfig(seed=42, n_events=300)
+    first, second = build_tape(config), build_tape(config)
+    assert first == second
+    assert digest_tape(first) == digest_tape(second)
+
+
+def test_tape_seed_changes_tape():
+    base = EventTapeConfig(seed=1, n_events=200)
+    other = EventTapeConfig(seed=2, n_events=200)
+    assert digest_tape(build_tape(base)) != digest_tape(build_tape(other))
+
+
+def test_tape_timestamps_strictly_increase():
+    tape = build_tape(EventTapeConfig(seed=3, n_events=400, rate=25.0))
+    times = [event.at for event in tape]
+    assert all(late > early for early, late in zip(times, times[1:]))
+
+
+def test_tape_mixes_adds_and_removes():
+    tape = build_tape(EventTapeConfig(seed=4, n_events=500))
+    kinds = {event.kind for event in tape}
+    assert kinds == {"add", "remove"}
+    removes = [event for event in tape if event.kind == "remove"]
+    # every takedown targets a name that was added earlier on the tape
+    added = set()
+    for event in tape:
+        if event.kind == "add":
+            added.add(event.name.lower().rstrip("."))
+        else:
+            assert event.name.lower().rstrip(".") in added
+
+
+def test_event_line_round_trip_fields():
+    event = ZoneEvent(at=1.25, kind="add", name="login.example.com",
+                      ip="10.1.2.3", source="ct-log")
+    line = event_line(event)
+    assert line == "1.250000|add|login.example.com|10.1.2.3|A|ct-log"
+
+
+def test_replay_matches_manual_store():
+    tape = build_tape(EventTapeConfig(seed=5, n_events=350))
+    replayed = replay_into_store(tape)
+    manual = ZoneStore()
+    for event in tape:
+        if event.kind == "add":
+            manual.add_name(event.name, ip=event.ip, source=event.source)
+        else:
+            name = event.name.lower().rstrip(".")
+            if name in manual:
+                manual.remove(name)
+    assert [r.name for r in replayed] == [r.name for r in manual]
+
+
+def test_replay_ignores_unknown_removes():
+    events = [
+        ZoneEvent(at=0.1, kind="add", name="keep.com"),
+        ZoneEvent(at=0.2, kind="remove", name="never-added.com"),
+        ZoneEvent(at=0.3, kind="remove", name="keep.com"),
+        ZoneEvent(at=0.4, kind="add", name="keep.com", ip="10.0.0.9"),
+    ]
+    store = replay_into_store(events)
+    assert [r.name for r in store] == ["keep.com"]
+    assert store.get("keep.com").ip == "10.0.0.9"
+
+
+def test_apply_event_rejects_unknown_kind():
+    store = ZoneStore()
+    with pytest.raises(ValueError):
+        apply_event(store, ZoneEvent(at=0.0, kind="renew", name="a.com"))

@@ -149,6 +149,40 @@ def test_corrupt_payload_rejected():
         PackedZone.from_bytes(b"not a snapshot")  # bad magic
 
 
+def test_flipped_payload_byte_raises_typed_error():
+    from repro.dns.packedzone import PackedZoneCorruptError
+
+    _, packed = both_stores()
+    blob = bytearray(packed.to_bytes())
+    blob[-1] ^= 0xFF
+    with pytest.raises(PackedZoneCorruptError):
+        PackedZone.from_bytes(bytes(blob)).verify()
+    # the typed error subclasses ValueError, so existing callers keep
+    # catching it
+    assert issubclass(PackedZoneCorruptError, ValueError)
+
+
+def test_truncated_payload_raises_typed_error_not_numpy():
+    from repro.dns.packedzone import PackedZoneCorruptError
+
+    _, packed = both_stores()
+    blob = packed.to_bytes()
+    # header + meta intact, payload cut short: section mapping must fail
+    # with the typed error at load, never a numpy buffer exception
+    with pytest.raises(PackedZoneCorruptError):
+        PackedZone.from_bytes(blob[:len(blob) - 64])
+
+
+def test_truncated_meta_raises_typed_error():
+    from repro.dns.packedzone import PackedZoneCorruptError
+
+    _, packed = both_stores()
+    blob = packed.to_bytes()
+    # magic + declared meta length intact, meta JSON itself cut short
+    with pytest.raises(PackedZoneCorruptError):
+        PackedZone.from_bytes(blob[:56])
+
+
 # ----------------------------------------------------------------------
 # split_domain memoization (satellite: no behavior change)
 # ----------------------------------------------------------------------
