@@ -34,7 +34,6 @@ Environment knobs (the ``__main__`` flags override them, for CI):
     ENRICH_BENCH_OUT    summary path (default: BENCH_enrichment.json).
 """
 
-import gc
 import json
 import os
 import time
@@ -49,6 +48,7 @@ from repro.phishworld.geoip import GeoIPRegistry
 from repro.phishworld.whois import WhoisRegistry
 
 from exhibits import print_exhibit
+from timing import gc_paused, merge_best
 
 SCALE = os.environ.get("ENRICH_BENCH_SCALE", "default")
 OUT_PATH = os.environ.get("ENRICH_BENCH_OUT", "BENCH_enrichment.json")
@@ -155,12 +155,8 @@ def _leg_resolver(label, domains, backends, plan, workers, hedging=True):
 def run_bench(scale=SCALE, out_path=OUT_PATH):
     # collector pauses land randomly across legs otherwise, and the legs
     # are short enough for one pause to flip the speedup ratio
-    gc.collect()
-    gc.disable()
-    try:
+    with gc_paused():
         return _run_bench(scale, out_path)
-    finally:
-        gc.enable()
 
 
 def _run_bench(scale, out_path):
@@ -217,10 +213,8 @@ def _run_bench(scale, out_path):
                                    plan_for(0.05))
         again_resolver = _leg_resolver("resolver-8-5%", domains, backends,
                                        plan_for(0.05), 8)
-        comparator["seconds"] = min(comparator["seconds"],
-                                    again_serial["seconds"])
-        resolver_5["seconds"] = min(resolver_5["seconds"],
-                                    again_resolver["seconds"])
+        merge_best(comparator, again_serial)
+        merge_best(resolver_5, again_resolver)
 
     speedup = _speedup()
     summary = {

@@ -1,0 +1,250 @@
+"""Snapshot-diff kernel + lifecycle analytics bench.
+
+Two questions, answered at snapshot scale:
+
+1. **Kernel throughput** — how many records/sec does the vectorized
+   :func:`~repro.dns.zonediff.diff_packed` kernel classify versus the
+   dict-set serial oracle :func:`~repro.dns.zonediff.diff_serial`, on
+   synthetic A→B pairs with realistic churn (removals, IP rewrites,
+   additions)?  Every timed leg first asserts **digest equality** —
+   the kernel must produce byte-identical diff tables, the speedup is
+   only meaningful on identical output.  The default scale asserts a
+   >=5x floor at the 10^6-record pair (min-of-attempts, gc-paused
+   timing, as in bench_serving.py / bench_streaming.py).
+2. **Series stability** — consecutive-pair diffs of a generated dated
+   series fanned over the process pool must produce the same diff-chain
+   digest at 1, 2 and 4 workers, equal to the serial chain.
+
+Env knobs:
+
+    LIFECYCLE_BENCH_SCALE  "default" (10^5 + 10^6 record pairs, floor
+                           asserted at 10^6) or "smoke" (2x10^4, digest
+                           equality only).
+    LIFECYCLE_BENCH_OUT    summary path (default: BENCH_lifecycle.json).
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.analysis.lifecycle import (
+    diff_chain_digest,
+    diff_series,
+    diff_series_serial,
+)
+from repro.analysis.render import table
+from repro.brands import build_paper_catalog
+from repro.dns.packedzone import PackedZoneBuilder
+from repro.dns.zonediff import diff_packed, diff_serial
+from repro.phishworld.series import SeriesConfig, generate_series
+
+from bench_snapshot_scale import synth_names
+from exhibits import print_exhibit
+from timing import best_of, gc_paused
+
+SCALE = os.environ.get("LIFECYCLE_BENCH_SCALE", "default")
+OUT_PATH = os.environ.get("LIFECYCLE_BENCH_OUT", "BENCH_lifecycle.json")
+
+ATTEMPTS = 3             # min-of-attempts for the kernel legs
+REMOVE_RATE = 0.02       # share of A's records missing from B
+CHANGE_RATE = 0.03       # share of A's records with a rewritten IP in B
+ADD_RATE = 0.02          # share of fresh records appended to B
+SPEEDUP_FLOOR = 5.0      # packed vs oracle at the largest default leg
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _scale_params(scale):
+    if scale == "smoke":
+        # digest equality only: the floor needs the big pair to be
+        # meaningful and CI smoke boxes are too noisy for ratios
+        return [20_000], None
+    if scale == "default":
+        return [100_000, 1_000_000], SPEEDUP_FLOOR
+    raise SystemExit(f"unknown LIFECYCLE_BENCH_SCALE {scale!r}")
+
+
+# ----------------------------------------------------------------------
+# synthetic churn pairs
+# ----------------------------------------------------------------------
+
+def synth_pair(n_records, catalog, seed=1803):
+    """One deterministic A→B snapshot pair with mixed churn."""
+    rng = np.random.default_rng(seed)
+    names = synth_names(n_records, catalog, seed=seed)
+    ips = [f"10.{i >> 16 & 255}.{i >> 8 & 255}.{i & 255}"
+           for i in rng.integers(0, 2 ** 24, size=n_records)]
+
+    builder_a = PackedZoneBuilder()
+    for name, ip in zip(names, ips):
+        builder_a.add_name(name, ip=ip)
+
+    rolls = rng.random(n_records)
+    removed = rolls < REMOVE_RATE
+    changed = (~removed) & (rolls < REMOVE_RATE + CHANGE_RATE)
+    builder_b = PackedZoneBuilder()
+    for pos, (name, ip) in enumerate(zip(names, ips)):
+        if removed[pos]:
+            continue
+        if changed[pos]:
+            ip = f"192.0.2.{pos % 256}"
+        builder_b.add_name(name, ip=ip)
+    n_added = int(n_records * ADD_RATE)
+    for serial in range(n_added):
+        builder_b.add_name(f"fresh-{seed}-{serial}.example", ip="10.9.9.9")
+    return builder_a.build(), builder_b.build()
+
+
+# ----------------------------------------------------------------------
+# kernel legs
+# ----------------------------------------------------------------------
+
+def _run_pair_leg(n_records, catalog, attempts=ATTEMPTS):
+    zone_a, zone_b = synth_pair(n_records, catalog)
+
+    # contract first: byte-identical diff tables, then the stopwatch
+    packed = diff_packed(zone_a, zone_b)
+    oracle = diff_serial(zone_a, zone_b)
+    if packed.digest != oracle.digest:
+        raise SystemExit(
+            f"kernel/oracle digest mismatch at {n_records} records: "
+            f"{packed.digest[:12]}… != {oracle.digest[:12]}…")
+
+    packed_seconds, _ = best_of(
+        lambda: diff_packed(zone_a, zone_b), attempts=attempts)
+    # the oracle rebuilds per-record dicts; one timed pass is plenty
+    oracle_seconds, _ = best_of(
+        lambda: diff_serial(zone_a, zone_b), attempts=1)
+
+    counts = packed.counts()
+    records = zone_a.n_records + zone_b.n_records
+    return {
+        "records_a": zone_a.n_records,
+        "records_b": zone_b.n_records,
+        "domains": packed.n_domains,
+        "added": counts["added"],
+        "removed": counts["removed"],
+        "changed": counts["changed"],
+        "retained": counts["retained"],
+        "packed_seconds": round(packed_seconds, 5),
+        "oracle_seconds": round(oracle_seconds, 5),
+        "packed_records_per_sec": round(records / max(packed_seconds, 1e-9)),
+        "oracle_records_per_sec": round(records / max(oracle_seconds, 1e-9)),
+        "speedup": round(oracle_seconds / max(packed_seconds, 1e-9), 2),
+        "digest": packed.digest,
+    }
+
+
+# ----------------------------------------------------------------------
+# series leg: worker-count invariance of the diff chain
+# ----------------------------------------------------------------------
+
+def _run_series_leg():
+    config = SeriesConfig(n_snapshots=6, base_events=500,
+                          events_per_snapshot=200)
+    series = generate_series(config)
+    serial_chain = diff_chain_digest(diff_series_serial(series))
+    chains = {}
+    for workers in WORKER_COUNTS:
+        started = time.perf_counter()
+        diffs = diff_series(series, workers=workers)
+        seconds = time.perf_counter() - started
+        chains[workers] = {
+            "chain_digest": diff_chain_digest(diffs),
+            "seconds": round(seconds, 3),
+        }
+    digests = {row["chain_digest"] for row in chains.values()}
+    digests.add(serial_chain)
+    if len(digests) != 1:
+        raise SystemExit(
+            f"diff chain digest varies with worker count: {digests}")
+    return {
+        "snapshots": config.n_snapshots,
+        "pairs": config.n_snapshots - 1,
+        "chain_digest": serial_chain,
+        "workers": {str(w): row for w, row in chains.items()},
+    }
+
+
+# ----------------------------------------------------------------------
+# bench driver
+# ----------------------------------------------------------------------
+
+def run_bench(scale=SCALE, out_path=OUT_PATH):
+    with gc_paused():
+        return _run_bench(scale, out_path)
+
+
+def _run_bench(scale, out_path):
+    pair_sizes, speedup_floor = _scale_params(scale)
+    catalog = build_paper_catalog()
+
+    rows = []
+    for n_records in pair_sizes:
+        print(f"diffing a {n_records}-record pair ({scale} scale) ...")
+        rows.append(_run_pair_leg(n_records, catalog))
+
+    print_exhibit(
+        "Lifecycle bench - diff kernel vs dict-set oracle "
+        "(identical digests)",
+        table(
+            ["records", "domains", "+", "-", "~", "packed s", "oracle s",
+             "rec/s packed", "speedup"],
+            [[r["records_a"], r["domains"], r["added"], r["removed"],
+              r["changed"], f"{r['packed_seconds']:.4f}",
+              f"{r['oracle_seconds']:.4f}",
+              r["packed_records_per_sec"], f"{r['speedup']:.2f}x"]
+             for r in rows],
+        ),
+    )
+
+    print("diffing a dated series at workers", WORKER_COUNTS, "...")
+    series_leg = _run_series_leg()
+
+    headline = rows[-1]
+    summary = {
+        "bench": "lifecycle",
+        "scale": scale,
+        "timing_attempts": ATTEMPTS,
+        "pair_legs": rows,
+        "series_leg": series_leg,
+        "speedup_packed_vs_oracle": headline["speedup"],
+    }
+    if speedup_floor is not None:
+        assert headline["speedup"] >= speedup_floor, (
+            f"diff kernel speedup {headline['speedup']:.2f}x below the "
+            f"{speedup_floor:.0f}x floor at {headline['records_a']} records")
+        summary["speedup_floor"] = speedup_floor
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nwrote {out_path} "
+          f"({headline['speedup']:.2f}x over the oracle at "
+          f"{headline['records_a']} records, chain digest stable at "
+          f"workers {WORKER_COUNTS})")
+    return summary
+
+
+def test_lifecycle_bench():
+    """pytest hook: smoke scale, digest equality + chain stability."""
+    summary = run_bench(scale="smoke",
+                        out_path=os.path.join(
+                            os.environ.get("TMPDIR", "/tmp"),
+                            "BENCH_lifecycle_smoke.json"))
+    assert summary["pair_legs"], "no pair legs ran"
+    workers = summary["series_leg"]["workers"]
+    assert len({row["chain_digest"] for row in workers.values()}) == 1
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the small digest-equality-only scale")
+    parser.add_argument("--out", default=OUT_PATH)
+    cli_args = parser.parse_args()
+    run_bench(scale="smoke" if cli_args.smoke else SCALE,
+              out_path=cli_args.out)

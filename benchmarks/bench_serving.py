@@ -39,7 +39,6 @@ Environment knobs (the ``__main__`` flags override them, for CI):
     SERVE_BENCH_OUT    summary path (default: BENCH_serving.json).
 """
 
-import gc
 import json
 import os
 import tempfile
@@ -55,6 +54,7 @@ from repro.squatting.detector import SquattingDetector
 
 from bench_snapshot_scale import build_packed_zone, synth_names
 from exhibits import print_exhibit
+from timing import gc_paused, merge_best
 
 SCALE = os.environ.get("SERVE_BENCH_SCALE", "default")
 OUT_PATH = os.environ.get("SERVE_BENCH_OUT", "BENCH_serving.json")
@@ -111,12 +111,8 @@ def _run_leg(label, detector, zone, requests, workers, max_batch,
 def run_bench(scale=SCALE, out_path=OUT_PATH):
     # collector pauses land randomly across legs otherwise, and the
     # scalar baseline is short enough for one pause to flip the ratio
-    gc.collect()
-    gc.disable()
-    try:
+    with gc_paused():
         return _run_bench(scale, out_path)
-    finally:
-        gc.enable()
 
 
 def _run_bench(scale, out_path):
@@ -179,11 +175,8 @@ def _run_bench(scale, out_path):
         again_head = _run_leg(floor_leg, detector, zone, requests,
                               headline_workers, MAX_BATCH, MAX_DELAY)
         for leg, again in ((baseline, again_base), (headline, again_head)):
-            if again["seconds"] < leg["seconds"]:
-                leg["seconds"] = again["seconds"]
-                leg["qps"] = again["qps"]
-                leg["p50_ms"] = again["p50_ms"]
-                leg["p99_ms"] = again["p99_ms"]
+            merge_best(leg, again,
+                       keys=("seconds", "qps", "p50_ms", "p99_ms"))
 
     # hot-reload leg: publish the snapshot as generation 1, serve on it,
     # and republish as generation 2 halfway through the burst — workers

@@ -33,7 +33,6 @@ Environment knobs (the ``__main__`` flags override them, for CI):
     STREAM_BENCH_OUT    summary path (default: BENCH_streaming.json).
 """
 
-import gc
 import json
 import os
 import time
@@ -53,6 +52,7 @@ from repro.stages import digest_squat_matches
 from repro.stream import StreamingDriver
 
 from exhibits import print_exhibit
+from timing import best_of, gc_paused
 
 SCALE = os.environ.get("STREAM_BENCH_SCALE", "default")
 OUT_PATH = os.environ.get("STREAM_BENCH_OUT", "BENCH_streaming.json")
@@ -102,13 +102,8 @@ def _run_leg(detector, tape_config, base_events, segment_events,
 # ----------------------------------------------------------------------
 
 def _timed_scan(detector, zone, width=None, attempts=ATTEMPTS):
-    best = float("inf")
-    matches = None
-    for _ in range(attempts):
-        started = time.perf_counter()
-        matches = packed_scan(detector, zone, width=width)
-        best = min(best, time.perf_counter() - started)
-    return best, matches
+    return best_of(lambda: packed_scan(detector, zone, width=width),
+                   attempts=attempts)
 
 
 def _sublinearity_probe(detector, small_events, large_events, delta_events,
@@ -154,12 +149,8 @@ def _sublinearity_probe(detector, small_events, large_events, delta_events,
 # ----------------------------------------------------------------------
 
 def run_bench(scale=SCALE, out_path=OUT_PATH):
-    gc.collect()
-    gc.disable()
-    try:
+    with gc_paused():
         return _run_bench(scale, out_path)
-    finally:
-        gc.enable()
 
 
 def _run_bench(scale, out_path):

@@ -5,7 +5,10 @@
   indicators);
 * :mod:`repro.analysis.figures` — data series behind every figure;
 * :mod:`repro.analysis.tables` — row producers behind every table, with
-  ASCII rendering helpers used by the benches and examples.
+  ASCII rendering helpers used by the benches and examples;
+* :mod:`repro.analysis.lifecycle` — longitudinal lifecycle analytics
+  over a dated snapshot series (survival, re-registration, blacklist
+  lag), built on the vectorized snapshot-diff kernel.
 """
 
 from repro.analysis.evasion import (
@@ -14,10 +17,24 @@ from repro.analysis.evasion import (
     measure_evasion,
     string_obfuscated,
 )
+from repro.analysis.lifecycle import (
+    FamilyLifecycle,
+    LifecycleReport,
+    diff_chain_digest,
+    diff_series,
+    diff_series_serial,
+    lifecycle_report,
+)
 
 __all__ = [
     "EvasionMeasurement",
+    "FamilyLifecycle",
+    "LifecycleReport",
+    "diff_chain_digest",
+    "diff_series",
+    "diff_series_serial",
     "layout_distance",
+    "lifecycle_report",
     "measure_evasion",
     "string_obfuscated",
 ]

@@ -16,7 +16,14 @@ equivalent workflows over this reproduction:
   batched multi-worker serving front and report QPS/latency;
 * ``squatphi stream`` — drive a deterministic registration/CT-log event tape
   through the incremental ingest→delta-scan→compact loop and report
-  events/sec plus sim-clock detection latency.
+  events/sec plus sim-clock detection latency;
+* ``squatphi lifecycle`` — generate a dated snapshot series with churn,
+  diff consecutive packs with the vectorized kernel, and print the
+  longitudinal exhibits (survival, re-registration, blacklist lag).
+
+``scan``/``query``/``stream`` accept ``--verify`` to recompute every
+packed snapshot's payload digest before use (corruption surfaces as a
+typed :class:`~repro.dns.packedzone.PackedZoneCorruptError`, exit 2).
 
 Each command is a plain function taking parsed args and returning an exit
 code, so the test suite drives them directly.
@@ -107,6 +114,25 @@ def cmd_classify(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _verify_zone(zone, label: str) -> Optional[int]:
+    """Run a snapshot's ``verify()`` when it has one; exit code on failure.
+
+    ``PackedZone``/``SegmentedZone`` recompute their payload digests;
+    dict-backed stores have nothing to verify and pass through.
+    """
+    from repro.dns.packedzone import PackedZoneCorruptError
+
+    verifier = getattr(zone, "verify", None)
+    if verifier is None:
+        return None
+    try:
+        verifier()
+    except PackedZoneCorruptError as exc:
+        print(f"error: {label} failed verification: {exc}", file=sys.stderr)
+        return 2
+    return None
+
+
 def cmd_scan(args: argparse.Namespace) -> int:
     """Scan a DNS snapshot file (TSV or packed) for squatting domains."""
     from repro.dns.packedzone import PackedZone, is_packed_file
@@ -119,6 +145,10 @@ def cmd_scan(args: argparse.Namespace) -> int:
         zone = PackedZone.load(args.snapshot)
     else:
         zone = load_snapshot(args.snapshot)
+    if args.verify:
+        failed = _verify_zone(zone, args.snapshot)
+        if failed is not None:
+            return failed
     detector = SquattingDetector(_build_catalog(args.brands, args.sectors))
     matches = detector.scan_sharded(zone, workers=args.workers)
 
@@ -271,6 +301,10 @@ def cmd_query(args: argparse.Namespace) -> int:
     from repro.serve import QueryEngine, verdict_line
 
     zone = _load_packed(args.snapshot)
+    if args.verify:
+        failed = _verify_zone(zone, args.snapshot)
+        if failed is not None:
+            return failed
     detector = SquattingDetector(_build_catalog(args.brands, args.sectors))
     engine = QueryEngine(detector, zone)
     exit_code = 1
@@ -368,6 +402,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 def cmd_stream(args: argparse.Namespace) -> int:
     """Stream an event tape through ingest→delta-scan→compact."""
+    from repro.dns.packedzone import PackedZoneCorruptError
     from repro.perf.report import PerfReport
     from repro.phishworld.events import EventTapeConfig
     from repro.serve import SnapshotPublisher
@@ -400,9 +435,13 @@ def cmd_stream(args: argparse.Namespace) -> int:
         delta_dir=args.delta_dir,
         store=ArtifactStore(args.store) if args.store else None,
         publisher=SnapshotPublisher(args.publish) if args.publish else None,
-        perf=perf)
+        perf=perf,
+        verify=args.verify)
     try:
         outcome = driver.run(limit_segments=args.limit_segments)
+    except PackedZoneCorruptError as exc:
+        print(f"error: snapshot failed verification: {exc}", file=sys.stderr)
+        return 2
     except (RuntimeError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -432,6 +471,109 @@ def cmd_stream(args: argparse.Namespace) -> int:
         if outcome.interrupted:
             print(f"  interrupted after {stats.segments} segments "
                   f"({len(outcome.pending)} deltas pending compaction)")
+    timings = perf.format_timings()
+    if timings:
+        print(timings, file=sys.stderr)
+    return 0
+
+
+def cmd_lifecycle(args: argparse.Namespace) -> int:
+    """Generate a dated series, diff it, print lifecycle analytics."""
+    from repro.analysis.lifecycle import (
+        diff_chain_digest,
+        diff_series,
+        diff_series_serial,
+        lifecycle_report,
+    )
+    from repro.analysis.lifetime import survival_at
+    from repro.perf.report import PerfReport
+    from repro.phishworld.series import SeriesConfig, generate_series
+    from repro.stages import ArtifactStore
+
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        config = SeriesConfig(
+            seed=args.seed, n_snapshots=args.snapshots,
+            base_events=args.base_events,
+            events_per_snapshot=args.events_per_snapshot,
+            start_date=args.start_date, cadence_days=args.cadence_days)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    perf = PerfReport(scan_workers=args.workers)
+    store = ArtifactStore(args.store) if args.store else None
+    series = generate_series(config, store=store, perf=perf)
+    diffs = diff_series(series, workers=args.workers, perf=perf)
+    chain = diff_chain_digest(diffs)
+    perf.record_stage("lifecycle", series.stats.wall_seconds
+                      + perf.diff_seconds)
+
+    oracle_checked = False
+    if args.oracle:
+        oracle = diff_chain_digest(diff_series_serial(series))
+        if oracle != chain:
+            print(f"error: packed diff chain {chain[:12]}… diverged from "
+                  f"the dict-set oracle {oracle[:12]}…", file=sys.stderr)
+            return 2
+        oracle_checked = True
+
+    detector = SquattingDetector(_build_catalog(args.brands, args.sectors))
+    report = lifecycle_report(series, diffs=diffs, detector=detector)
+
+    if args.json:
+        summary = report.as_dict()
+        summary["series_digest"] = series.series_digest
+        summary["tape_digest"] = series.tape_digest
+        summary["series_stats"] = series.stats.as_dict()
+        summary["oracle_checked"] = oracle_checked
+        summary["workers"] = args.workers
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        stats = series.stats
+        print(f"series: {len(series)} snapshots, {series[0].date} → "
+              f"{series[-1].date} every {config.cadence_days}d "
+              f"({stats.cached_snapshots} from cache)")
+        print(f"  tape digest:   {series.tape_digest}")
+        print(f"  series digest: {series.series_digest}")
+        print(f"  diff chain:    {chain}"
+              + ("  (== dict-set oracle)" if oracle_checked else ""))
+        print()
+        print(table(
+            ["pair", "added", "removed", "changed", "retained", "rec +",
+             "rec -", "rec ~"],
+            [[f"{series[i].date}→{series[i + 1].date}",
+              c["added"], c["removed"], c["changed"], c["retained"],
+              c["records_added"], c["records_removed"],
+              c["records_changed"]]
+             for i, c in enumerate(report.pair_counts)],
+            title="snapshot-pair diffs (registered domains)",
+        ))
+        print()
+        families = [fam for name, fam in sorted(report.families.items())
+                    if name != "organic"]
+        print(table(
+            ["family", "born", "takedowns", "rereg rate", "weaponized",
+             "blacklisted", "lag (d)"],
+            [[f.family, f.born, f.takedowns, f"{f.rereg_rate:.2f}",
+              f.weaponized, f"{f.blacklist_coverage:.0%}",
+              "-" if f.blacklist_lag_days is None
+              else f"{f.blacklist_lag_days:.1f}"]
+             for f in families],
+            title="squat lifecycle by family",
+        ))
+        print()
+        horizon = len(series) - 1
+        print(table(
+            ["family"] + [f"S({t})" for t in range(1, horizon + 1)],
+            [[f.family] + [f"{survival_at(f.lifetimes, t):.2f}"
+                           for t in range(1, horizon + 1)]
+             for f in families],
+            title="squat survival S(t) over snapshots "
+                  f"({config.cadence_days}d cadence)",
+        ))
     timings = perf.format_timings()
     if timings:
         print(timings, file=sys.stderr)
@@ -480,6 +622,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="process-pool width for the sharded scan")
     scan.add_argument("--top", type=int, default=10)
     scan.add_argument("--out", help="write matches to this TSV file")
+    scan.add_argument("--verify", action="store_true",
+                      help="recompute the packed snapshot's payload digest "
+                           "before scanning (corrupt files exit 2)")
     scan.set_defaults(func=cmd_scan)
 
     world = sub.add_parser("world", help="generate a synthetic DNS snapshot")
@@ -553,6 +698,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="restrict the catalog to these brand domains")
     query.add_argument("--sectors", nargs="*", choices=sector_choices,
                        help="add sector catalogs (§7 extension)")
+    query.add_argument("--verify", action="store_true",
+                       help="recompute the packed snapshot's payload digest "
+                            "before serving (corrupt files exit 2)")
     query.set_defaults(func=cmd_query)
 
     serve = sub.add_parser("serve", help="replay a synthetic query burst "
@@ -620,7 +768,41 @@ def build_parser() -> argparse.ArgumentParser:
                         help="add sector catalogs (§7 extension)")
     stream.add_argument("--json", action="store_true",
                         help="emit the run summary as JSON on stdout")
+    stream.add_argument("--verify", action="store_true",
+                        help="verify every base snapshot and sealed delta "
+                             "segment (payload digests + chain binding) "
+                             "as the stream advances")
     stream.set_defaults(func=cmd_stream)
+
+    lifecycle = sub.add_parser(
+        "lifecycle", help="dated snapshot series + longitudinal analytics")
+    lifecycle.add_argument("--snapshots", type=int, default=8,
+                           help="dated snapshots in the series")
+    lifecycle.add_argument("--base-events", type=int, default=600,
+                           help="tape prefix behind snapshot 0")
+    lifecycle.add_argument("--events-per-snapshot", type=int, default=250,
+                           help="churn events between snapshots")
+    lifecycle.add_argument("--start-date", default="2018-03-01",
+                           help="ISO date of snapshot 0")
+    lifecycle.add_argument("--cadence-days", type=int, default=7,
+                           help="days between snapshots")
+    lifecycle.add_argument("--seed", type=int, default=1803)
+    lifecycle.add_argument("--workers", type=int, default=1,
+                           help="process-pool width for consecutive-pair "
+                                "diffs (digests identical at any width)")
+    lifecycle.add_argument("--store", metavar="DIR",
+                           help="persist per-snapshot artifacts here "
+                                "(re-runs skip unchanged snapshots)")
+    lifecycle.add_argument("--oracle", action="store_true",
+                           help="re-diff every pair with the dict-set "
+                                "oracle and require digest equality")
+    lifecycle.add_argument("--brands", nargs="*",
+                           help="restrict the catalog to these brand domains")
+    lifecycle.add_argument("--sectors", nargs="*", choices=sector_choices,
+                           help="add sector catalogs (§7 extension)")
+    lifecycle.add_argument("--json", action="store_true",
+                           help="emit the report as JSON on stdout")
+    lifecycle.set_defaults(func=cmd_lifecycle)
 
     return parser
 

@@ -27,15 +27,35 @@ from repro.dns.idna import (
 )
 from repro.dns.records import DNSRecord, is_valid_hostname, registered_domain, split_domain
 from repro.dns.zone import ZoneStore
+from repro.dns.zonediff import (
+    ADDED,
+    CHANGED,
+    REMOVED,
+    RETAINED,
+    DiffTable,
+    apply_diff,
+    diff_packed,
+    diff_serial,
+    diff_zones,
+)
 
 __all__ = [
+    "ADDED",
+    "CHANGED",
     "DNSRecord",
     "DeltaSegment",
     "DeltaSegmentBuilder",
+    "DiffTable",
     "IDNAError",
+    "REMOVED",
+    "RETAINED",
     "SegmentedZone",
     "ZoneStore",
+    "apply_diff",
     "compact",
+    "diff_packed",
+    "diff_serial",
+    "diff_zones",
     "domain_to_ascii",
     "is_delta_file",
     "domain_to_unicode",

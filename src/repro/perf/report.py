@@ -136,6 +136,8 @@ class PerfReport:
     stream_compactions: int = 0
     stream_detections: int = 0
     stream_latency_p50: float = 0.0
+    diff_pairs: int = 0
+    diff_seconds: float = 0.0
     peak_rss_kb: int = 0
     cache: CacheStats = field(default_factory=CacheStats)
 
@@ -206,6 +208,11 @@ class PerfReport:
         self.stream_compactions += stats.compactions
         self.stream_detections += stats.detections
         self.stream_latency_p50 = stats.latency_p50
+
+    def record_lifecycle(self, pairs: int, seconds: float) -> None:
+        """Accumulate one snapshot-diff fan-out (lifecycle analytics)."""
+        self.diff_pairs += pairs
+        self.diff_seconds += seconds
 
     def record_peak_rss(self) -> None:
         """Sample the process's peak resident set size (best effort).
@@ -293,6 +300,8 @@ class PerfReport:
             "stream_compactions": self.stream_compactions,
             "stream_detections": self.stream_detections,
             "stream_latency_p50": round(self.stream_latency_p50, 4),
+            "diff_pairs": self.diff_pairs,
+            "diff_seconds": round(self.diff_seconds, 4),
             "peak_rss_kb": self.peak_rss_kb,
             "cache": self.cache.to_dict(),
         }

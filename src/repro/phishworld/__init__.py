@@ -26,17 +26,29 @@ from repro.phishworld.events import (
     ZoneEvent,
     build_tape,
     digest_tape,
+    is_weaponized_ip,
     replay_into_store,
+)
+from repro.phishworld.series import (
+    DatedSnapshot,
+    SeriesConfig,
+    SnapshotSeries,
+    generate_series,
 )
 from repro.phishworld.world import SyntheticInternet, WorldConfig, build_world
 
 __all__ = [
+    "DatedSnapshot",
     "EventTapeConfig",
+    "SeriesConfig",
+    "SnapshotSeries",
     "SyntheticInternet",
     "WorldConfig",
     "ZoneEvent",
     "build_tape",
     "build_world",
     "digest_tape",
+    "generate_series",
+    "is_weaponized_ip",
     "replay_into_store",
 ]

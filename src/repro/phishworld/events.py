@@ -25,7 +25,17 @@ Event mix:
 * **replacement adds** — re-adding a live name with a new IP replaces it
   in place (``ZoneStore.add`` semantics);
 * **removes** — takedown of a uniformly-drawn live name (tombstone in
-  the delta layer).
+  the delta layer);
+* **re-registrations** (off by default) — re-add of a previously
+  taken-down name, the lifecycle study's drop-catch signal;
+* **weaponizations** (off by default) — a live name's IP flips into the
+  ``192.0.2.0/24`` hosting block, modeling a parked squat turning into
+  an active phishing page (the parked→weaponized transition the
+  longitudinal series measures).
+
+The two lifecycle shares default to ``0.0`` and consume **no** RNG draws
+when zero, so every tape minted before they existed replays to the same
+digest.
 """
 
 from __future__ import annotations
@@ -86,6 +96,8 @@ class EventTapeConfig:
     squat_share: float = 0.40   # among adds: squat-minted names
     subdomain_share: float = 0.06   # among adds: subdomain of a live name
     replace_share: float = 0.04     # among adds: re-add of a live name
+    reregister_share: float = 0.0   # among adds: revive a taken-down name
+    weaponize_share: float = 0.0    # among adds: live name -> 192.0.2/24
     n_brands: int = 702
     start_at: float = 0.0
 
@@ -116,6 +128,8 @@ def build_tape(config: Optional[EventTapeConfig] = None) -> List[ZoneEvent]:
     events: List[ZoneEvent] = []
     live: List[str] = []
     live_pos = {}
+    dead: List[str] = []            # taken down, not yet re-registered
+    dead_pos = {}
     t = float(config.start_at)
     organic_serial = 0
 
@@ -163,19 +177,35 @@ def build_tape(config: Optional[EventTapeConfig] = None) -> List[ZoneEvent]:
         return (f"{synth_brand_name(2_000_000 + config.seed * 1000 + organic_serial)}"
                 f".{draw_tld()}")
 
+    def _pool_drop(name: str, pool: List[str], pool_pos: dict) -> None:
+        pos = pool_pos.pop(name, None)
+        if pos is None:
+            return
+        last = pool.pop()
+        if last != name:
+            pool[pos] = last
+            pool_pos[last] = pos
+
     def track_add(name: str) -> None:
+        _pool_drop(name, dead, dead_pos)
         if name not in live_pos:
             live_pos[name] = len(live)
             live.append(name)
 
     def track_remove(name: str) -> None:
-        pos = live_pos.pop(name, None)
-        if pos is None:
-            return
-        last = live.pop()
-        if last != name:
-            live[pos] = last
-            live_pos[last] = pos
+        _pool_drop(name, live, live_pos)
+        if name not in dead_pos:
+            dead_pos[name] = len(dead)
+            dead.append(name)
+
+    # cumulative roll thresholds; the lifecycle shares default to 0.0,
+    # which reduces every threshold to its pre-lifecycle value and keeps
+    # old tapes digest-stable (no extra RNG draws on the zero branches)
+    t_weapon = config.weaponize_share
+    t_replace = t_weapon + config.replace_share
+    t_sub = t_replace + config.subdomain_share
+    t_rereg = t_sub + config.reregister_share
+    t_squat = t_rereg + config.squat_share
 
     for _ in range(config.n_events):
         t += float(rng.exponential(1.0 / config.rate))
@@ -185,25 +215,44 @@ def build_tape(config: Optional[EventTapeConfig] = None) -> List[ZoneEvent]:
             track_remove(victim)
             continue
         roll = rng.random()
-        if live and roll < config.replace_share:
+        ip: Optional[str] = None
+        if live and roll < t_weapon:
+            # parked → weaponized: the name stays, the IP moves into the
+            # (simulated) phishing hosting block
+            name = live[int(rng.integers(0, len(live)))]
+            ip = f"192.0.2.{int(rng.integers(0, 256))}"
+            source = "ct-log"
+        elif live and roll < t_replace:
             name = live[int(rng.integers(0, len(live)))]
             source = "ct-log"
-        elif live and roll < config.replace_share + config.subdomain_share:
+        elif live and roll < t_sub:
             parent = live[int(rng.integers(0, len(live)))]
             label = _SUB_LABELS[int(rng.integers(0, len(_SUB_LABELS)))]
             name = f"{label}.{parent}"
             source = "ct-log"
-        elif roll < (config.replace_share + config.subdomain_share
-                     + config.squat_share):
+        elif dead and roll < t_rereg:
+            # drop-catch: a taken-down name comes back with a new IP
+            name = dead[int(rng.integers(0, len(dead)))]
+            source = "zone-feed"
+        elif roll < t_squat:
             name = mint_squat() or mint_organic()
             source = "ct-log"
         else:
             name = mint_organic()
             source = "zone-feed"
         events.append(ZoneEvent(at=t, kind="add", name=name,
-                                ip=draw_ip(), source=source))
+                                ip=ip if ip is not None else draw_ip(),
+                                source=source))
         track_add(name.lower().rstrip("."))
     return events
+
+
+WEAPON_PREFIX = "192.0.2."
+
+
+def is_weaponized_ip(ip: str) -> bool:
+    """True when ``ip`` sits in the simulated phishing hosting block."""
+    return ip.startswith(WEAPON_PREFIX)
 
 
 def apply_event(target, event: ZoneEvent) -> None:

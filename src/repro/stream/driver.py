@@ -45,6 +45,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 from repro.dns.deltazone import (
     DeltaSegment,
     DeltaSegmentBuilder,
+    SegmentedZone,
     _registered,
     compact,
 )
@@ -145,7 +146,8 @@ class StreamingDriver:
                  store: Optional[ArtifactStore] = None,
                  publisher=None, perf=None,
                  clock: Optional[SimClock] = None,
-                 stream_id: str = "stream") -> None:
+                 stream_id: str = "stream",
+                 verify: bool = False) -> None:
         if segment_events <= 0:
             raise ValueError("segment_events must be positive")
         if compact_every <= 0:
@@ -162,6 +164,7 @@ class StreamingDriver:
         self.perf = perf
         self.clock = clock if clock is not None else SimClock()
         self.stream_id = stream_id
+        self.verify = bool(verify)
 
         # streaming state (rebuilt by run())
         self._base: Optional[PackedZone] = None
@@ -291,6 +294,10 @@ class StreamingDriver:
     # compaction boundary
     # ------------------------------------------------------------------
     def _compact(self, stats: StreamStats) -> None:
+        if self.verify:
+            # re-check payload digests + chain binding (ascending seqs,
+            # every segment sealed against this base) before folding
+            SegmentedZone(self._base, self._segments).verify()
         compacted = compact(self._base, self._segments)
         batch = packed_scan(self.detector, compacted, workers=self.workers)
         streaming = self.current_matches()
@@ -313,6 +320,8 @@ class StreamingDriver:
             # deltas must bind to the digest readers actually see
             _generation, path = self.publisher.publish(zone)
             zone = PackedZone.load(path)
+        if self.verify:
+            zone.verify()
         self._base = zone
         width = PackedScanContext(self.detector, zone).width
         self._width = width if self._width is None else max(self._width, width)
@@ -360,7 +369,10 @@ class StreamingDriver:
                 self._ingest_event(event, stats)
             self.clock.advance_to(window[-1].at)
             seg_bytes = self._run_segment(seq, window, stats)
-            self._segments.append(DeltaSegment.from_bytes(seg_bytes))
+            segment = DeltaSegment.from_bytes(seg_bytes)
+            if self.verify:
+                segment.verify()
+            self._segments.append(segment)
             stats.events += len(window)
             stats.segments += 1
             if self.delta_dir is not None:

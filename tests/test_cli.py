@@ -115,3 +115,76 @@ def test_pipeline_command_with_faults(capsys):
     assert "crawl health" in out
     assert "injected faults:" in out
     assert "dead letters:" in out
+
+
+class TestVerifyFlag:
+    @pytest.fixture
+    def packed_path(self, tmp_path):
+        path = tmp_path / "world.pzon"
+        assert main(["world", str(path), "--packed", "--organic", "200",
+                     "--squats", "60"]) == 0
+        return path
+
+    def test_scan_verify_accepts_intact_snapshot(self, packed_path, capsys):
+        assert main(["scan", str(packed_path), "--verify"]) == 0
+        assert "squatting domains" in capsys.readouterr().out
+
+    def test_scan_verify_rejects_corrupt_snapshot(self, packed_path,
+                                                  capsys):
+        data = bytearray(packed_path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        packed_path.write_bytes(bytes(data))
+        assert main(["scan", str(packed_path), "--verify"]) == 2
+        assert "failed verification" in capsys.readouterr().err
+
+    def test_query_verify_rejects_corrupt_snapshot(self, packed_path,
+                                                   capsys):
+        data = bytearray(packed_path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        packed_path.write_bytes(bytes(data))
+        assert main(["query", str(packed_path), "--verify",
+                     "anything.com"]) == 2
+        assert "failed verification" in capsys.readouterr().err
+
+    def test_stream_verify_happy_path(self, capsys):
+        code = main(["stream", "--events", "400", "--base-events", "150",
+                     "--segment-events", "80", "--verify"])
+        assert code == 0
+        assert "streamed" in capsys.readouterr().out
+
+
+class TestLifecycle:
+    ARGS = ["lifecycle", "--snapshots", "3", "--base-events", "120",
+            "--events-per-snapshot", "60"]
+
+    def test_report_text_mode(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "snapshot-pair diffs" in out
+        assert "squat lifecycle by family" in out
+        assert "diff chain:" in out
+
+    def test_oracle_flag_cross_checks(self, capsys):
+        assert main(self.ARGS + ["--oracle"]) == 0
+        assert "== dict-set oracle" in capsys.readouterr().out
+
+    def test_json_mode_round_trips(self, capsys):
+        import json
+
+        assert main(self.ARGS + ["--json", "--workers", "2"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["snapshots"] == 3
+        assert len(report["diff_digests"]) == 2
+        assert report["chain_digest"]
+        assert "families" in report
+
+    def test_store_caches_snapshots(self, tmp_path, capsys):
+        import json
+
+        store = str(tmp_path / "store")
+        assert main(self.ARGS + ["--store", store, "--json"]) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert main(self.ARGS + ["--store", store, "--json"]) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert cold["chain_digest"] == warm["chain_digest"]
+        assert warm["series_stats"]["cached_snapshots"] == 3

@@ -195,6 +195,68 @@ def test_compact_empty_deltas_is_identity():
     assert compact(base, []) is base
 
 
+def test_compact_empty_segment_is_byte_identity():
+    # a sealed segment with no net adds and no tombstones (every op
+    # cancelled inside the window) must not perturb a single byte
+    base = base_zone()
+    builder = DeltaSegmentBuilder()
+    builder.add_name("flash.com", ip="10.0.0.5")
+    builder.remove_name("flash.com")
+    segment = builder.build(1, base.content_digest)
+    assert len(segment) == 0 and segment.tombstones == ["flash.com"]
+    compacted = compact(base, [segment])
+    # the tombstone names a domain the base never had, so the replayed
+    # union is exactly the base
+    assert compacted.to_bytes() == base.to_bytes()
+
+    empty = DeltaSegmentBuilder().build(2, base.content_digest)
+    assert len(empty) == 0 and empty.tombstones == []
+    assert compact(base, [empty]).to_bytes() == base.to_bytes()
+
+
+def test_tombstone_for_never_registered_domain_is_noop():
+    base = base_zone()
+    builder = DeltaSegmentBuilder()
+    builder.remove_name("never-was-here.io")
+    builder.add_name("delta.pw", ip="4.4.4.4")
+    segment = builder.build(1, base.content_digest)
+    assert "never-was-here.io" in segment.tombstones
+
+    segmented = SegmentedZone(base, [segment])
+    oracle = ZoneStore()
+    for name, ip in BASE_NAMES:
+        oracle.add_name(name, ip=ip)
+    oracle.add_name("delta.pw", ip="4.4.4.4")
+    assert [r.name for r in segmented] == [r.name for r in oracle]
+    assert compact(base, [segment]).to_bytes() == \
+        pack_zone(oracle).to_bytes()
+
+
+def test_reregistration_after_tombstone_within_one_chain():
+    # takedown in segment 1, drop-catch in segment 2: the re-registered
+    # name must move to the END of the union (ZoneStore re-add order),
+    # and compaction must agree with the raw-event oracle byte for byte
+    base = base_zone()
+    digest = base.content_digest
+    first = DeltaSegmentBuilder()
+    first.remove_name("beta.net")
+    second = DeltaSegmentBuilder()
+    second.add_name("beta.net", ip="66.6.6.6")
+    segments = [first.build(1, digest), second.build(2, digest)]
+
+    oracle = ZoneStore()
+    for name, ip in BASE_NAMES:
+        oracle.add_name(name, ip=ip)
+    oracle.remove("beta.net")
+    oracle.add_name("beta.net", ip="66.6.6.6")
+
+    segmented = SegmentedZone(base, segments)
+    assert [r.name for r in segmented] == [r.name for r in oracle]
+    assert [r.name for r in segmented][-1] == "beta.net"
+    assert segmented.get("beta.net").ip == "66.6.6.6"
+    assert compact(base, segments).to_bytes() == pack_zone(oracle).to_bytes()
+
+
 # ----------------------------------------------------------------------
 # Hypothesis: compaction is byte-identical to packing the union
 # ----------------------------------------------------------------------

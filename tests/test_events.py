@@ -10,6 +10,7 @@ from repro.phishworld.events import (
     build_tape,
     digest_tape,
     event_line,
+    is_weaponized_ip,
     replay_into_store,
 )
 
@@ -84,3 +85,66 @@ def test_apply_event_rejects_unknown_kind():
     store = ZoneStore()
     with pytest.raises(ValueError):
         apply_event(store, ZoneEvent(at=0.0, kind="renew", name="a.com"))
+
+
+# ----------------------------------------------------------------------
+# lifecycle churn: re-registrations and parked -> weaponized flips
+# ----------------------------------------------------------------------
+
+def test_zero_lifecycle_shares_emit_no_lifecycle_events():
+    # the default tape must look exactly like the pre-lifecycle tape:
+    # no 192.0.2/24 rewrites, and explicit zeros match the defaults
+    default = build_tape(EventTapeConfig(seed=9, n_events=600))
+    explicit = build_tape(EventTapeConfig(
+        seed=9, n_events=600, reregister_share=0.0, weaponize_share=0.0))
+    assert digest_tape(default) == digest_tape(explicit)
+    assert not any(is_weaponized_ip(event.ip) for event in default)
+
+
+def test_weaponize_share_flips_live_names_into_the_block():
+    tape = build_tape(EventTapeConfig(
+        seed=10, n_events=800, weaponize_share=0.15))
+    live = set()
+    weaponized = 0
+    for event in tape:
+        name = event.name.lower().rstrip(".")
+        if event.kind == "add":
+            if is_weaponized_ip(event.ip):
+                weaponized += 1
+                assert name in live      # only live names get weaponized
+            live.add(name)
+        else:
+            live.discard(name)
+    assert weaponized > 0
+
+
+def test_reregister_share_revives_taken_down_names():
+    tape = build_tape(EventTapeConfig(
+        seed=11, n_events=900, remove_share=0.2, reregister_share=0.2))
+    removed_ever = set()
+    live = set()
+    revived = 0
+    for event in tape:
+        name = event.name.lower().rstrip(".")
+        if event.kind == "remove":
+            live.discard(name)
+            removed_ever.add(name)
+            continue
+        if name in removed_ever and name not in live \
+                and event.source == "zone-feed":
+            revived += 1
+        live.add(name)
+    assert revived > 0
+
+
+def test_lifecycle_tape_is_pure_in_config():
+    config = EventTapeConfig(seed=12, n_events=500,
+                             reregister_share=0.1, weaponize_share=0.08)
+    assert digest_tape(build_tape(config)) == \
+        digest_tape(build_tape(config))
+
+
+def test_is_weaponized_ip_prefix():
+    assert is_weaponized_ip("192.0.2.77")
+    assert not is_weaponized_ip("192.0.20.1")
+    assert not is_weaponized_ip("10.0.2.77")
