@@ -21,9 +21,19 @@ It asserts identical ``digest_squat_matches`` across every leg, then the
 headline numbers: packed at 4 workers >= 2x the dict-backed sharded scan
 (min-of-attempts timing, as in ``bench_training.py``), and the packed
 store resident in >= 4x less memory than ``ZoneStore`` at equal record
-count (each store built/mapped in a fresh subprocess, VmRSS delta).  A
-``BENCH_zone_scale.json`` summary is written for the perf trajectory; CI
-runs the smoke scale and archives the JSON as an artifact.
+count (each store built/mapped in a fresh subprocess, VmRSS delta).
+
+A second, survivor-heavy leg (DESIGN.md §16) synthesizes a mix built to
+*defeat* the vector reject — hyphen-rich organics, combo-prefix and
+homograph-bucket near-misses, true squats, a pinch of ``xn--`` rows —
+and runs it through the in-kernel family matchers against the PR 5
+legacy twin (``in_kernel=False``): identical digests (including a
+forced-wider matrix, the streaming delta-scan shape, and the serve
+engine's ``classify_batch`` against ``offline_verdicts``), a scalar
+fallback rate under 1%, and at default scale >= 2x over the legacy
+scalar tail.  A ``BENCH_zone_scale.json`` summary is written for the
+perf trajectory; CI runs the smoke scale and archives the JSON as an
+artifact.
 
 Environment knobs (the ``__main__`` flags override them, for CI):
     ZONE_BENCH_SCALE  "default" (10^6 records, speedup + memory asserts)
@@ -44,8 +54,11 @@ from repro.analysis.render import table
 from repro.brands import build_paper_catalog
 from repro.dns.packedzone import PackedZone, PackedZoneBuilder
 from repro.dns.zone import ZoneStore
+from repro.serve.engine import QueryEngine, digest_verdicts, offline_verdicts
+from repro.squatting import packedscan
 from repro.squatting.detector import SquattingDetector
 from repro.squatting.generator import SquattingGenerator
+from repro.squatting.packedscan import PackedScanContext, packed_scan
 from repro.stages import digest_squat_matches
 
 from exhibits import print_exhibit
@@ -117,6 +130,49 @@ def synth_names(n_records, catalog, seed=1803):
     return names
 
 
+def synth_survivor_names(n_records, catalog, seed=2203):
+    """A survivor-heavy name stream: rows the vector reject must *keep*.
+
+    The main stream is ~99% vector-rejected, so it times the reject, not
+    the classify tail.  This mix is built to defeat the reject on
+    purpose — hyphen-rich organics, combo-prefix near-misses, homograph-
+    bucket near-misses (interior rotations keep length, edge characters,
+    and the allowed-character set), true squats, and a 0.2% pinch of
+    ``xn--`` rows that must fall back — so the kernel-vs-legacy delta
+    measures the in-kernel family matchers themselves.
+    """
+    rng = np.random.default_rng(seed)
+    brands = [brand.core_label for brand in catalog
+              if 4 <= len(brand.core_label) <= 14][:400]
+    organic = _organic_labels(n_records, rng)
+    tld_idx = rng.integers(0, len(TLDS), size=n_records)
+    roll = rng.random(n_records)
+    bidx = rng.integers(0, len(brands), size=n_records)
+    squats = _squat_pool(catalog, rng, cap=10_000)
+    names = []
+    for i in range(n_records):
+        tld = TLDS[tld_idx[i]]
+        brand = brands[bidx[i]]
+        r = roll[i]
+        if r < 0.25:
+            lab = organic[i]
+            names.append(f"{lab[:3]}-{lab[3:6]}-{lab[6:]}".strip("-")
+                         + f".{tld}")
+        elif r < 0.40:
+            names.append(f"{brand[:4]}{organic[i][:6]}.{tld}")
+        elif r < 0.50:
+            mid = brand[1:-1]
+            lab = brand[0] + mid[1:] + mid[0] + brand[-1]
+            names.append(f"{lab}.{tld}")
+        elif r < 0.62:
+            names.append(squats[i % len(squats)])
+        elif r < 0.622:
+            names.append(f"xn--{organic[i][:8]}-8va.{tld}")
+        else:
+            names.append(f"{organic[i]}.{tld}")
+    return names
+
+
 def build_dict_zone(names):
     zone = ZoneStore()
     for name in names:
@@ -148,6 +204,112 @@ def _run_leg(label, detector, zone, workers):
         "domains_per_second": round(registered / max(elapsed, 1e-9)),
         "matches": len(matches),
         "digest": digest_squat_matches(matches),
+    }
+
+
+def _run_kernel_leg(label, detector, zone, workers, in_kernel=True,
+                    width=None):
+    """One packed scan with explicit kernel mode + KernelStats surfaced."""
+    started = time.perf_counter()
+    matches = packed_scan(detector, zone, workers=workers, width=width,
+                          in_kernel=in_kernel)
+    elapsed = time.perf_counter() - started
+    stats = packedscan.take_last_scan_stats()
+    return {
+        "leg": label,
+        "workers": workers,
+        "seconds": round(elapsed, 3),
+        "registered": zone.n_registered,
+        "domains_per_second": round(zone.n_registered / max(elapsed, 1e-9)),
+        "matches": len(matches),
+        "digest": digest_squat_matches(matches),
+        "survivors": stats.survivors,
+        "fallbacks": dict(sorted(stats.fallbacks.items())),
+        "fallback_rate": round(stats.fallback_rate, 6),
+    }
+
+
+# ----------------------------------------------------------------------
+# survivor-heavy legs: the in-kernel matchers vs the PR 5 scalar tail
+# ----------------------------------------------------------------------
+
+def _survivor_bench(detector, catalog, n_records, kernel_floor,
+                    fallback_ceiling=0.01):
+    """Kernel-vs-legacy scan over the survivor-heavy mix.
+
+    Asserts every leg (legacy twin, kernel, kernel at a forced wider
+    matrix — the streaming delta-scan shape, and the serve engine's
+    ``classify_batch``) is byte-identical to the dict-backed serial
+    reference, the kernel's scalar-fallback rate stays under
+    ``fallback_ceiling``, and (when ``kernel_floor`` is set) the kernel
+    beats the legacy twin by the floor, min-of-attempts timed.
+    """
+    names = synth_survivor_names(n_records, catalog)
+    dict_zone = build_dict_zone(names)
+    zone = build_packed_zone(names)
+    reference = digest_squat_matches(detector.scan(dict_zone))
+    workers = WORKER_COUNTS[-1]
+    natural = PackedScanContext(detector, zone).width
+
+    legacy = _run_kernel_leg("survivor-legacy", detector, zone, workers,
+                             in_kernel=False)
+    kernel = _run_kernel_leg("survivor-kernel", detector, zone, workers)
+    forced = _run_kernel_leg("survivor-kernel-wide", detector, zone,
+                             workers=1, width=natural + 8)
+    legs = [legacy, kernel, forced]
+
+    def _speedup():
+        return legacy["seconds"] / max(kernel["seconds"], 1e-9)
+
+    retries = 0
+    while (kernel_floor is not None and _speedup() < kernel_floor
+           and retries < 2):
+        retries += 1
+        again_legacy = _run_kernel_leg("survivor-legacy", detector, zone,
+                                       workers, in_kernel=False)
+        again_kernel = _run_kernel_leg("survivor-kernel", detector, zone,
+                                       workers)
+        legacy["seconds"] = min(legacy["seconds"], again_legacy["seconds"])
+        kernel["seconds"] = min(kernel["seconds"], again_kernel["seconds"])
+
+    # the serving path shares the matchers: engine verdicts over a query
+    # sample must equal the per-name reference oracle
+    sample = names[::max(len(names) // 2000, 1)][:2000]
+    engine = QueryEngine(detector, zone)
+    serve_ok = digest_verdicts(engine.lookup_batch(sample)) == \
+        digest_verdicts(offline_verdicts(detector, zone, sample))
+
+    print_exhibit(
+        "Zone-scale bench - survivor-heavy legs (identical outputs)",
+        table(
+            ["leg", "workers", "seconds", "domains/s", "survivors",
+             "fallback rate"],
+            [[leg["leg"], leg["workers"], f"{leg['seconds']:.2f}",
+              leg["domains_per_second"], leg["survivors"],
+              f"{100 * leg['fallback_rate']:.3f}%"] for leg in legs],
+        ),
+    )
+
+    speedup = _speedup()
+    for leg in legs:
+        assert leg["digest"] == reference, \
+            f"{leg['leg']} diverged from the dict-serial reference scan"
+    assert serve_ok, "serve classify_batch diverged from offline_verdicts"
+    assert kernel["fallback_rate"] < fallback_ceiling, (
+        f"kernel fallback rate {kernel['fallback_rate']:.4f} exceeds "
+        f"{fallback_ceiling}")
+    if kernel_floor is not None:
+        assert speedup >= kernel_floor, (
+            f"expected >= {kernel_floor}x kernel speedup over the legacy "
+            f"scalar tail, measured {speedup:.2f}x")
+    return {
+        "records": n_records,
+        "runs": legs,
+        "timing_attempts": retries + 1,
+        "kernel_speedup_vs_legacy": round(speedup, 3),
+        "fallback_rate": kernel["fallback_rate"],
+        "fallbacks": kernel["fallbacks"],
+        "serve_digest_ok": serve_ok,
     }
 
 
@@ -281,6 +443,13 @@ def run_bench(scale=SCALE, out_path=OUT_PATH):
         packed_tuned["seconds"] = min(packed_tuned["seconds"],
                                       again_packed["seconds"])
 
+    # survivor-heavy leg: rows that defeat the vector reject, so the
+    # kernel-vs-legacy delta times the in-kernel family matchers
+    survivor = _survivor_bench(
+        detector, catalog,
+        n_records // 5 if speedup_floor is not None else n_records // 3,
+        kernel_floor=2.0 if speedup_floor is not None else None)
+
     speedup = _speedup()
     summary = {
         "bench": "zone_scale",
@@ -290,11 +459,15 @@ def run_bench(scale=SCALE, out_path=OUT_PATH):
         "timing_attempts": retries + 1,
         "runs": rows,
         "speedup_packed4_vs_dict_sharded": round(speedup, 3),
+        "survivor": survivor,
         "memory": memory,
     }
     with open(out_path, "w", encoding="utf-8") as handle:
         json.dump(summary, handle, indent=2)
-    line = f"\nwrote {out_path} (packed-4 speedup: {speedup:.2f}x"
+    line = f"\nwrote {out_path} (packed-4 speedup: {speedup:.2f}x, " \
+           f"kernel vs scalar tail: " \
+           f"{survivor['kernel_speedup_vs_legacy']:.2f}x at " \
+           f"{100 * survivor['fallback_rate']:.3f}% fallback"
     if memory:
         line += f", memory ratio: {memory['ratio']:.1f}x"
     print(line + ")")

@@ -31,6 +31,7 @@ from repro.enrich import EnrichResolver, EnrichmentTable, default_backends
 from repro.ocr.engine import OCREngine
 from repro.phishworld.marketplace import classify_redirect
 from repro.phishworld.world import SyntheticInternet
+from repro.squatting import packedscan
 from repro.squatting.detector import SquattingDetector
 from repro.stages import (
     ArtifactStore,
@@ -379,7 +380,8 @@ class SquatPhi:
         matches = self.detector.scan_sharded(
             zone, workers=self.config.scan_workers)
         self.perf.record_scan(zone.stats()["registered_domains"],
-                              time.perf_counter() - start)
+                              time.perf_counter() - start,
+                              kernel=packedscan.take_last_scan_stats())
         return matches
 
     # ------------------------------------------------------------------

@@ -11,7 +11,7 @@ them participate in snapshot digests or determinism checks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 
 @dataclass
@@ -119,6 +119,8 @@ class PerfReport:
     train_seconds: float = 0.0
     registered_scanned: int = 0
     scan_seconds: float = 0.0
+    scan_kernel_rows: int = 0
+    scan_fallbacks: Dict[str, int] = field(default_factory=dict)
     enrichments_done: int = 0
     enrich_seconds: float = 0.0
     hedges_fired: int = 0
@@ -129,6 +131,8 @@ class PerfReport:
     serve_batches: int = 0
     serve_swaps: int = 0
     serve_negcache_hits: int = 0
+    serve_kernel_rows: int = 0
+    serve_fallbacks: Dict[str, int] = field(default_factory=dict)
     stream_events: int = 0
     stream_seconds: float = 0.0
     stream_segments: int = 0
@@ -136,6 +140,8 @@ class PerfReport:
     stream_compactions: int = 0
     stream_detections: int = 0
     stream_latency_p50: float = 0.0
+    stream_kernel_rows: int = 0
+    stream_fallbacks: Dict[str, int] = field(default_factory=dict)
     diff_pairs: int = 0
     diff_seconds: float = 0.0
     peak_rss_kb: int = 0
@@ -161,10 +167,27 @@ class PerfReport:
         self.folds_fitted += folds
         self.train_seconds += seconds
 
-    def record_scan(self, domains: int, seconds: float) -> None:
-        """Accumulate one zone scan (registered domains classified)."""
+    @staticmethod
+    def _merge_fallbacks(into: Dict[str, int],
+                         families: Optional[Dict[str, int]]) -> None:
+        for reason, count in (families or {}).items():
+            if count:
+                into[reason] = into.get(reason, 0) + count
+
+    def record_scan(self, domains: int, seconds: float,
+                    kernel=None) -> None:
+        """Accumulate one zone scan (registered domains classified).
+
+        ``kernel`` (optional) is the scan's
+        :class:`~repro.squatting.packedscan.KernelStats` — per-family
+        fallback counts land here as throughput metadata only (the
+        digest-ban contract lives in the stage runner's
+        ``THROUGHPUT_FIELDS``)."""
         self.registered_scanned += domains
         self.scan_seconds += seconds
+        if kernel is not None:
+            self.scan_kernel_rows += kernel.rows
+            self._merge_fallbacks(self.scan_fallbacks, kernel.fallbacks)
 
     def record_enrichment(self, tasks: int, seconds: float,
                           hedges_fired: int = 0,
@@ -182,17 +205,23 @@ class PerfReport:
         self.negcache_misses += negcache_misses
 
     def record_serving(self, queries: int, batches: int, seconds: float,
-                       swaps: int = 0, negcache_hits: int = 0) -> None:
+                       swaps: int = 0, negcache_hits: int = 0,
+                       kernel_rows: int = 0,
+                       fallbacks: Optional[Dict[str, int]] = None) -> None:
         """Accumulate one serving burst (query front stats).
 
         The serving negcache is a different cache from the resolver's
         (verdicts vs lookup results), so its hits are tracked apart.
+        ``kernel_rows``/``fallbacks`` carry the classify-batch kernel's
+        per-family fallback accounting.
         """
         self.queries_served += queries
         self.serve_batches += batches
         self.serve_seconds += seconds
         self.serve_swaps += swaps
         self.serve_negcache_hits += negcache_hits
+        self.serve_kernel_rows += kernel_rows
+        self._merge_fallbacks(self.serve_fallbacks, fallbacks)
 
     def record_streaming(self, stats) -> None:
         """Accumulate one streaming run (driver stats).
@@ -208,6 +237,9 @@ class PerfReport:
         self.stream_compactions += stats.compactions
         self.stream_detections += stats.detections
         self.stream_latency_p50 = stats.latency_p50
+        self.stream_kernel_rows += getattr(stats, "kernel_rows", 0)
+        self._merge_fallbacks(self.stream_fallbacks,
+                              getattr(stats, "fallbacks", None))
 
     def record_lifecycle(self, pairs: int, seconds: float) -> None:
         """Accumulate one snapshot-diff fan-out (lifecycle analytics)."""
@@ -256,6 +288,24 @@ class PerfReport:
         total = self.negcache_hits + self.negcache_misses
         return self.negcache_hits / total if total else 0.0
 
+    @staticmethod
+    def _fallback_rate(rows: int, fallbacks: Dict[str, int]) -> float:
+        return sum(fallbacks.values()) / rows if rows else 0.0
+
+    @property
+    def scan_fallback_rate(self) -> float:
+        return self._fallback_rate(self.scan_kernel_rows, self.scan_fallbacks)
+
+    @property
+    def serve_fallback_rate(self) -> float:
+        return self._fallback_rate(self.serve_kernel_rows,
+                                   self.serve_fallbacks)
+
+    @property
+    def stream_fallback_rate(self) -> float:
+        return self._fallback_rate(self.stream_kernel_rows,
+                                   self.stream_fallbacks)
+
     @property
     def total_seconds(self) -> float:
         return sum(self.stage_seconds.values())
@@ -279,6 +329,9 @@ class PerfReport:
             "registered_scanned": self.registered_scanned,
             "scan_seconds": round(self.scan_seconds, 4),
             "scan_domains_per_second": round(self.scan_domains_per_second, 1),
+            "scan_kernel_rows": self.scan_kernel_rows,
+            "scan_fallbacks": dict(sorted(self.scan_fallbacks.items())),
+            "scan_fallback_rate": round(self.scan_fallback_rate, 6),
             "enrichments_done": self.enrichments_done,
             "enrich_seconds": round(self.enrich_seconds, 4),
             "enrichments_per_second": round(self.enrichments_per_second, 1),
@@ -292,6 +345,9 @@ class PerfReport:
             "serve_batches": self.serve_batches,
             "serve_swaps": self.serve_swaps,
             "serve_negcache_hits": self.serve_negcache_hits,
+            "serve_kernel_rows": self.serve_kernel_rows,
+            "serve_fallbacks": dict(sorted(self.serve_fallbacks.items())),
+            "serve_fallback_rate": round(self.serve_fallback_rate, 6),
             "stream_events": self.stream_events,
             "stream_seconds": round(self.stream_seconds, 4),
             "stream_events_per_second": round(self.stream_events_per_second, 1),
@@ -300,6 +356,9 @@ class PerfReport:
             "stream_compactions": self.stream_compactions,
             "stream_detections": self.stream_detections,
             "stream_latency_p50": round(self.stream_latency_p50, 4),
+            "stream_kernel_rows": self.stream_kernel_rows,
+            "stream_fallbacks": dict(sorted(self.stream_fallbacks.items())),
+            "stream_fallback_rate": round(self.stream_fallback_rate, 6),
             "diff_pairs": self.diff_pairs,
             "diff_seconds": round(self.diff_seconds, 4),
             "peak_rss_kb": self.peak_rss_kb,
@@ -347,6 +406,13 @@ class PerfReport:
                 f"{stats.feature_bypasses} feature lookups")
         return "\n".join(lines)
 
+    @staticmethod
+    def _format_fallbacks(fallbacks: Dict[str, int]) -> str:
+        if not fallbacks:
+            return "none"
+        return ", ".join(f"{reason}={count}"
+                         for reason, count in sorted(fallbacks.items()))
+
     def format_timings(self) -> str:
         """The wall-clock block alone ("" when no stage ran)."""
         if not self.stage_seconds and not self.cached_stages:
@@ -371,6 +437,11 @@ class PerfReport:
                 f"  scan: {self.registered_scanned} registered domains in "
                 f"{self.scan_seconds:.2f}s "
                 f"({self.scan_domains_per_second:.0f} domains/s)")
+        if self.scan_kernel_rows:
+            lines.append(
+                f"  scan kernel: {self.scan_kernel_rows} rows, "
+                f"{100 * self.scan_fallback_rate:.3f}% scalar fallback "
+                f"({self._format_fallbacks(self.scan_fallbacks)})")
         if self.enrichments_done:
             lines.append(
                 f"  enrichment: {self.enrichments_done} lookups in "
@@ -386,6 +457,11 @@ class PerfReport:
                 f"({self.serve_qps:.0f} qps, "
                 f"{self.serve_swaps} generation swaps, "
                 f"{self.serve_negcache_hits} negcache hits)")
+        if self.serve_kernel_rows:
+            lines.append(
+                f"  serve kernel: {self.serve_kernel_rows} rows, "
+                f"{100 * self.serve_fallback_rate:.3f}% scalar fallback "
+                f"({self._format_fallbacks(self.serve_fallbacks)})")
         if self.stream_events:
             lines.append(
                 f"  streaming: {self.stream_events} events in "
@@ -396,6 +472,11 @@ class PerfReport:
                 f"{self.stream_compactions} compactions, "
                 f"{self.stream_detections} detections, "
                 f"p50 latency {self.stream_latency_p50:.2f}s sim)")
+        if self.stream_kernel_rows:
+            lines.append(
+                f"  stream kernel: {self.stream_kernel_rows} rows, "
+                f"{100 * self.stream_fallback_rate:.3f}% scalar fallback "
+                f"({self._format_fallbacks(self.stream_fallbacks)})")
         if self.peak_rss_kb:
             lines.append(f"  peak RSS: {self.peak_rss_kb / 1024:.1f} MiB")
         return "\n".join(lines)

@@ -20,7 +20,7 @@ reference paths, so byte-identity is testable on every leg.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.dns.packedzone import PackedZone, _u32_to_ip
@@ -80,18 +80,33 @@ def digest_verdicts(verdicts: Iterable[Verdict]) -> str:
 
 @dataclass
 class EngineStats:
-    """Per-engine accounting (throughput metadata, never in a verdict)."""
+    """Per-engine accounting (throughput metadata, never in a verdict).
+
+    ``kernel_rows``/``fallbacks`` mirror the scan-side
+    :class:`~repro.squatting.packedscan.KernelStats` contract: rows the
+    in-kernel matchers classified versus the per-reason counts of names
+    that fell back to the per-domain Python classifier.
+    """
 
     queries: int = 0
     batches: int = 0
     negcache_hits: int = 0
     classified: int = 0
     reloads: int = 0
+    kernel_rows: int = 0
+    fallbacks: Dict[str, int] = field(default_factory=dict)
 
-    def as_dict(self) -> Dict[str, int]:
+    def count_fallbacks(self, families: Dict[str, int]) -> None:
+        for reason, count in families.items():
+            if count:
+                self.fallbacks[reason] = self.fallbacks.get(reason, 0) + count
+
+    def as_dict(self) -> Dict[str, object]:
         return {"queries": self.queries, "batches": self.batches,
                 "negcache_hits": self.negcache_hits,
-                "classified": self.classified, "reloads": self.reloads}
+                "classified": self.classified, "reloads": self.reloads,
+                "kernel_rows": self.kernel_rows,
+                "fallbacks": dict(sorted(self.fallbacks.items()))}
 
 
 class QueryEngine:
@@ -186,7 +201,11 @@ class QueryEngine:
             pending_names.append(normalized)
         if pending_names:
             reg_ids = self.zone.registered_ids(pending_names)
+            kernel_before = self.context.kernel.copy()
             matches = self.context.classify_batch(pending_names)
+            kernel_delta = self.context.kernel.delta(kernel_before)
+            self.stats.kernel_rows += kernel_delta.rows
+            self.stats.count_fallbacks(kernel_delta.fallbacks)
             scorer = self.scorer
             for i, normalized, reg_id, match in zip(
                     pending, pending_names, reg_ids, matches):

@@ -58,10 +58,22 @@ class ServeStats:
     p50_ms: float = 0.0
     p99_ms: float = 0.0
     served_by_generation: Dict[int, int] = field(default_factory=dict)
+    kernel_rows: int = 0
+    fallbacks: Dict[str, int] = field(default_factory=dict)
 
     @property
     def qps(self) -> float:
         return self.queries / max(self.wall_seconds, 1e-9)
+
+    @property
+    def fallback_rate(self) -> float:
+        total = sum(self.fallbacks.values())
+        return total / self.kernel_rows if self.kernel_rows else 0.0
+
+    def count_fallbacks(self, families: Dict[str, int]) -> None:
+        for reason, count in families.items():
+            if count:
+                self.fallbacks[reason] = self.fallbacks.get(reason, 0) + count
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -77,6 +89,9 @@ class ServeStats:
             "p50_ms": round(self.p50_ms, 3), "p99_ms": round(self.p99_ms, 3),
             "served_by_generation": {str(gen): count for gen, count
                                      in sorted(self.served_by_generation.items())},
+            "kernel_rows": self.kernel_rows,
+            "fallbacks": dict(sorted(self.fallbacks.items())),
+            "fallback_rate": round(self.fallback_rate, 6),
         }
 
 
@@ -146,8 +161,11 @@ def _serve_pool_init(catalog, generator, key: Tuple, path: str,
 
 
 def _serve_batch(task: Tuple[int, str, Tuple[str, ...], float]
-                 ) -> Tuple[List[Verdict], float, int]:
-    """(verdicts, service seconds, negcache hits) for one batch task."""
+                 ) -> Tuple[List[Verdict], float, int,
+                            Tuple[int, Dict[str, int]]]:
+    """(verdicts, service seconds, negcache hits, kernel delta) for one
+    batch task; the kernel delta is (rows classified in-kernel, per-reason
+    scalar fallback counts)."""
     generation, path, names, now = task
     state = _SERVE_STATE
     assert state is not None, "serve worker used before initialization"
@@ -155,10 +173,16 @@ def _serve_batch(task: Tuple[int, str, Tuple[str, ...], float]
     if engine.generation != generation:
         engine.reload(_open_pathspec(path), generation)
     hits_before = engine.stats.negcache_hits
+    rows_before = engine.stats.kernel_rows
+    fb_before = dict(engine.stats.fallbacks)
     started = time.perf_counter()
     verdicts = engine.lookup_batch(list(names), now=now)
     elapsed = time.perf_counter() - started
-    return verdicts, elapsed, engine.stats.negcache_hits - hits_before
+    fb_delta = {reason: count - fb_before.get(reason, 0)
+                for reason, count in engine.stats.fallbacks.items()
+                if count - fb_before.get(reason, 0)}
+    return (verdicts, elapsed, engine.stats.negcache_hits - hits_before,
+            (engine.stats.kernel_rows - rows_before, fb_delta))
 
 
 # ----------------------------------------------------------------------
@@ -242,6 +266,8 @@ def serve_load(detector, zone: PackedZone,
                 (batch.dispatch_at - arrival + service) * 1e3
                 for arrival in batch.arrivals)
         stats.negcache_hits = engine.stats.negcache_hits
+        stats.kernel_rows = engine.stats.kernel_rows
+        stats.count_fallbacks(engine.stats.fallbacks)
     else:
         key = _prepare_state(detector, zone, generation, negcache,
                              negcache_ttl, negcache_capacity)
@@ -267,10 +293,12 @@ def serve_load(detector, zone: PackedZone,
                                       return_when=FIRST_COMPLETED)
                 for future in done:
                     index = inflight.pop(future)
-                    verdicts, service, hits = future.result()
+                    verdicts, service, hits, kernel = future.result()
                     results[index] = verdicts
                     stats.service_seconds += service
                     stats.negcache_hits += hits
+                    stats.kernel_rows += kernel[0]
+                    stats.count_fallbacks(kernel[1])
                     batch = batches[index]
                     latencies.extend(
                         (batch.dispatch_at - arrival + service) * 1e3

@@ -1,16 +1,219 @@
-"""Bit squatting: single bit-flips of a brand label (§3.1).
+"""Bit squatting plus the bit-parallel single-edit kernels (§3.1).
 
 A bits-squatting domain is exactly one flipped bit away from the target: a
 memory error in a resolver, proxy, or client turns ``facebook`` into
 ``facebnok`` and the attacker harvests the misdirected traffic.  Candidates
 must survive the flip as valid LDH hostname characters.
+
+This module also hosts the packed-matrix edit-distance kernels used by the
+vectorized scan path and its verification harnesses:
+
+* :func:`pack_window_codes` — every ``w``-byte window of a NUL-padded label
+  matrix packed big-endian into one ``uint64`` per window, the shift-or
+  encoding behind the combo prefix join.
+* :func:`edit1_profile` — the k=1 band of the Myers edit-distance DP,
+  evaluated for *all* rows of a label matrix against one target label in a
+  handful of ``uint64`` column ops: per-row mismatch bitmasks, SWAR
+  popcounts, and prefix/suffix agreement runs recovered with bit smears.
+  A DNS label is at most 63 bytes, so one 64-bit word always suffices.
+
+The profile codes drive :meth:`BitsModel.matches_batch` and
+:func:`edit1_typo_details`, whose outputs are definitionally identical to
+the per-string :meth:`BitsModel.matches` / ``TypoModel.matches`` loops —
+the property tests assert exactly that.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Set
+from typing import List, Optional, Set, Tuple, Union
+
+import numpy as np
 
 _VALID_CHARS = set("abcdefghijklmnopqrstuvwxyz0123456789-")
+
+# ----------------------------------------------------------------------
+# edit-relation codes emitted by edit1_profile
+# ----------------------------------------------------------------------
+EDIT_NONE = 0           # more than one edit away (or incompatible length)
+EDIT_EQUAL = 1          # byte-identical to the target
+EDIT_SUBSTITUTION = 2   # same length, exactly one differing byte
+EDIT_TRANSPOSITION = 3  # same length, one adjacent pair swapped
+EDIT_INSERTION = 4      # one byte longer, deleting one byte gives the target
+EDIT_REPETITION = 5     # the insertion that duplicates a target byte
+EDIT_OMISSION = 6       # one byte shorter, target deletes one byte to match
+
+_U1 = np.uint64(1)
+_M1 = np.uint64(0x5555555555555555)
+_M2 = np.uint64(0x3333333333333333)
+_M4 = np.uint64(0x0F0F0F0F0F0F0F0F)
+_H01 = np.uint64(0x0101010101010101)
+
+
+def _popcount(x: np.ndarray) -> np.ndarray:
+    """SWAR population count of a uint64 array."""
+    x = x - ((x >> _U1) & _M1)
+    x = (x & _M2) + ((x >> np.uint64(2)) & _M2)
+    x = (x + (x >> np.uint64(4))) & _M4
+    return (x * _H01) >> np.uint64(56)
+
+
+def _pack_mask(bits: np.ndarray) -> np.ndarray:
+    """Pack a ``(rows, nbits<=64)`` boolean matrix into uint64 words,
+    bit ``j`` of the word holding column ``j``."""
+    nbits = bits.shape[1]
+    if nbits == 0:
+        return np.zeros(bits.shape[0], dtype=np.uint64)
+    weights = _U1 << np.arange(nbits, dtype=np.uint64)
+    return (bits.astype(np.uint64) * weights[None, :]).sum(
+        axis=1, dtype=np.uint64)
+
+
+def _prefix_agreement(mask: np.ndarray, nbits: int) -> np.ndarray:
+    """Length of the leading zero-run (trailing zeros of the word)."""
+    lsb = mask & (~mask + _U1)
+    run = _popcount(lsb - _U1).astype(np.int64)
+    return np.where(mask == 0, np.int64(nbits), run)
+
+
+def _suffix_agreement(mask: np.ndarray, nbits: int) -> np.ndarray:
+    """Length of the trailing zero-run within an ``nbits``-wide window."""
+    smear = mask.copy()
+    for shift in (1, 2, 4, 8, 16, 32):
+        smear |= smear >> np.uint64(shift)
+    # popcount of the smear is the word's bit length
+    return nbits - _popcount(smear).astype(np.int64)
+
+
+def pack_window_codes(padded: np.ndarray, w: int) -> np.ndarray:
+    """Every ``w``-byte window of each row packed big-endian into uint64.
+
+    ``padded`` is a NUL-padded ``(rows, width)`` uint8 matrix; the result
+    is ``(rows, width - w + 1)``.  Windows overlapping the NUL padding
+    contain NUL bytes, which no real label prefix does, so join misses on
+    them are structural rather than coincidental.  Requires ``1 <= w <= 8``.
+    """
+    if not 1 <= w <= 8:
+        raise ValueError(f"window width {w} does not fit a uint64")
+    rows, width = padded.shape
+    nwin = width - w + 1
+    if nwin <= 0:
+        return np.zeros((rows, 0), dtype=np.uint64)
+    codes = np.zeros((rows, nwin), dtype=np.uint64)
+    for j in range(w):
+        codes <<= np.uint64(8)
+        codes |= padded[:, j:j + nwin]
+    return codes
+
+
+def edit1_profile(padded: np.ndarray, lens: np.ndarray,
+                  target: Union[str, bytes]) -> Tuple[np.ndarray, np.ndarray]:
+    """Single-edit relation of every row label to ``target``.
+
+    ``padded`` is a NUL-padded ``(rows, width)`` uint8 label matrix with
+    true byte lengths ``lens``; bytes are compared exactly (callers
+    normalize case upstream).  Returns ``(codes, pos)`` where ``codes``
+    holds the ``EDIT_*`` relation per row and ``pos`` the edit position:
+    the differing index for a substitution, the left index of the swapped
+    pair for a transposition, the longest-common-prefix length for
+    insertion/repetition/omission (the inserted byte sits at ``pos`` in
+    the row; the omitted one at ``pos`` in the target), and ``-1``
+    otherwise.
+
+    Everything is computed on per-row mismatch bitmasks: the prefix
+    agreement is the mask's trailing-zero count, the suffix agreement its
+    leading-zero run, and a row is within one edit exactly when the two
+    runs overlap — the k=1 Myers band without materializing a DP table.
+    """
+    raw = target.encode("utf-8") if isinstance(target, str) else bytes(target)
+    tgt = np.frombuffer(raw, dtype=np.uint8)
+    T = int(tgt.size)
+    n = padded.shape[0]
+    codes = np.zeros(n, dtype=np.uint8)
+    pos = np.full(n, -1, dtype=np.int64)
+    if T == 0 or n == 0:
+        return codes, pos
+    if T + 1 > 64:
+        raise ValueError(
+            f"target length {T} exceeds the 63-byte DNS label bound "
+            "(edit positions are packed into one uint64 word)")
+    lens = np.asarray(lens, dtype=np.int64)
+    width = padded.shape[1]
+    span = min(width, T + 1)
+    P = np.zeros((n, T + 1), dtype=np.uint8)
+    P[:, :span] = padded[:, :span]
+
+    eq_len = lens == T
+    plus = lens == T + 1
+    minus = lens == T - 1
+
+    # mismatch mask of the first T row bytes against the target; shared by
+    # the equal-length families and the insertion prefix run
+    m_pre = _pack_mask(P[:, :T] != tgt[None, :])
+    npop = _popcount(m_pre)
+    p_pre = _prefix_agreement(m_pre, T)
+
+    sel = eq_len & (m_pre == 0)
+    codes[sel] = EDIT_EQUAL
+
+    sel = eq_len & (npop == 1)
+    codes[sel] = EDIT_SUBSTITUTION
+    pos[sel] = p_pre[sel]
+
+    lsb = m_pre & (~m_pre + _U1)
+    two_adjacent = eq_len & (npop == 2) & (m_pre == (lsb | (lsb << _U1)))
+    if two_adjacent.any():
+        rows = np.nonzero(two_adjacent)[0]
+        i = p_pre[rows]
+        crossed = (P[rows, i] == tgt[i + 1]) & (P[rows, i + 1] == tgt[i])
+        rows = rows[crossed]
+        codes[rows] = EDIT_TRANSPOSITION
+        pos[rows] = i[crossed]
+
+    if plus.any():
+        # suffix agreement of row[1:] against the target; the row deletes
+        # one byte to give the target iff the runs cover it
+        m_suf = _pack_mask(P[:, 1:T + 1] != tgt[None, :])
+        s = _suffix_agreement(m_suf, T)
+        rel = plus & (p_pre + s >= T)
+        rep = rel & (p_pre > 0) & (s >= T - p_pre + 1)
+        codes[rel] = EDIT_INSERTION
+        codes[rep] = EDIT_REPETITION
+        pos[rel] = p_pre[rel]
+
+    if minus.any():
+        # the target deletes one byte to give the row: clear bit T-1 of the
+        # prefix mask (row padding vs the target's last byte) and compare
+        # the row against the target shifted left by one
+        m3 = m_pre & ((_U1 << np.uint64(T - 1)) - _U1) if T > 1 \
+            else np.zeros(n, dtype=np.uint64)
+        p3 = _prefix_agreement(m3, T - 1)
+        m4 = _pack_mask(P[:, :T - 1] != tgt[None, 1:])
+        s3 = _suffix_agreement(m4, T - 1)
+        rel = minus & (p3 + s3 >= T - 1)
+        codes[rel] = EDIT_OMISSION
+        pos[rel] = p3[rel]
+
+    return codes, pos
+
+
+#: edit1_profile code -> TypoModel.matches mechanism name
+_TYPO_DETAILS = {
+    EDIT_INSERTION: "insertion",
+    EDIT_REPETITION: "repetition",
+    EDIT_OMISSION: "omission",
+    EDIT_TRANSPOSITION: "transposition",
+}
+
+
+def edit1_typo_details(padded: np.ndarray, lens: np.ndarray,
+                       target: Union[str, bytes]) -> List[Optional[str]]:
+    """Batch twin of ``TypoModel.matches`` over lowercase ASCII rows.
+
+    Returns the mechanism name per row (or None), identical to calling
+    ``TypoModel.matches(label, target)`` on each decoded row.
+    """
+    codes, _ = edit1_profile(padded, lens, target)
+    return [_TYPO_DETAILS.get(int(code)) for code in codes]
 
 
 class BitsModel:
@@ -59,3 +262,17 @@ class BitsModel:
         if xor and (xor & (xor - 1)) == 0:
             return f"{target[i]}->{label[i]}@{i}"
         return None
+
+    def matches_batch(self, padded: np.ndarray, lens: np.ndarray,
+                      target: str) -> List[Optional[str]]:
+        """Batch twin of :meth:`matches` over lowercase ASCII rows."""
+        target = target.lower()
+        codes, pos = edit1_profile(padded, lens, target)
+        out: List[Optional[str]] = [None] * padded.shape[0]
+        for row in np.nonzero(codes == EDIT_SUBSTITUTION)[0]:
+            i = int(pos[row])
+            observed = int(padded[row, i])
+            xor = observed ^ ord(target[i])
+            if xor and (xor & (xor - 1)) == 0:
+                out[row] = f"{target[i]}->{chr(observed)}@{i}"
+        return out

@@ -131,6 +131,25 @@ def readable_bases(char: str) -> FrozenSet[str]:
     return frozenset(_REVERSE_SETS.get(char, ()))
 
 
+def ascii_readable_pairs() -> Tuple[Tuple[str, str], ...]:
+    """All ``(label_char, base_char)`` single-ASCII readings, identity excluded.
+
+    The flattened single-character slice of the reverse table restricted to
+    ASCII on both sides — exactly the pairs a byte-level matcher can apply
+    positionwise.  The packed-scan kernel expands these into its 256x256
+    confusable-translation table; multi-character variants and non-ASCII
+    characters stay with the dynamic program in :func:`matches_homograph`.
+    """
+    pairs: List[Tuple[str, str]] = []
+    for variant in sorted(_REVERSE_SETS):
+        if len(variant) != 1 or ord(variant) > 127:
+            continue
+        for base in sorted(_REVERSE_SETS[variant]):
+            if len(base) == 1 and ord(base) <= 127:
+                pairs.append((variant, base))
+    return tuple(pairs)
+
+
 def matches_homograph(label: str, target: str) -> bool:
     """True if ``label`` can be visually read as ``target`` and differs.
 

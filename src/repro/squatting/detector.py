@@ -188,7 +188,14 @@ class SquattingDetector:
                 )
         return None
 
-    def _match_ascii_homograph(self, domain: str, core: str) -> Optional[SquatMatch]:
+    def _ascii_homograph_label(self, core: str) -> Optional[Tuple[str, str]]:
+        """First matching ``(brand label, detail)`` for a non-brand core.
+
+        The bucket walk behind :meth:`_match_ascii_homograph`, split out so
+        the packed-scan kernel can resolve the rows its vectorized
+        confusable table cannot decide (multi-candidate buckets, length-
+        changing confusables) without rebuilding the SquatMatch envelope.
+        """
         if not core or self._brand_by_label.get(core) is not None:
             return None
         # bucket pre-filter: brand labels of compatible length sharing the
@@ -201,13 +208,20 @@ class SquattingDetector:
                 seen.add(label)
                 detail = self.generator.homograph.matches(core, label)
                 if detail is not None:
-                    return SquatMatch(
-                        domain=domain,
-                        brand=self._brand_by_label[label].name,
-                        squat_type=SquatType.HOMOGRAPH,
-                        detail=detail,
-                    )
+                    return label, detail
         return None
+
+    def _match_ascii_homograph(self, domain: str, core: str) -> Optional[SquatMatch]:
+        found = self._ascii_homograph_label(core)
+        if found is None:
+            return None
+        label, detail = found
+        return SquatMatch(
+            domain=domain,
+            brand=self._brand_by_label[label].name,
+            squat_type=SquatType.HOMOGRAPH,
+            detail=detail,
+        )
 
     def _match_combo(self, domain: str, core: str) -> Optional[SquatMatch]:
         # exact hyphen-delimited brand tokens (covers short brands too);
@@ -275,6 +289,9 @@ class SquattingDetector:
             return packedscan.packed_scan(
                 self, zone, workers=workers,
                 chunk_size=max(chunk_size, packedscan.PACKED_CHUNK))
+        # dict-backed scans have no kernel stats; clear any stale snapshot a
+        # previous packed scan left so perf reporting cannot misattribute it
+        packedscan.clear_last_scan_stats()
         if workers <= 1:
             return self.scan(zone)
         shards = shard(zone.registered_domains(), chunk_size)

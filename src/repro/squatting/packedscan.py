@@ -3,13 +3,10 @@
 The dict-backed scan calls ``classify_domain`` once per registered
 domain — dominated by Python dict lookups that reject the overwhelmingly
 benign majority.  A :class:`~repro.dns.packedzone.PackedZone` stores core
-labels as one contiguous byte blob, so the reject decision vectorizes:
-each scan slice gathers its unique core labels into a fixed-width
-``S``-dtype matrix and runs a sorted-array hash-join against the
-detector's enumerable candidate index plus cheap byte-level prefilters
-for every other rule.  Only the (rare) labels that *could* match fall
-back to the per-domain Python classifier, whose verdict defines the
-output — so results are byte-identical to the serial dict scan.
+labels as one contiguous byte blob, so the scan vectorizes: each slice
+gathers its unique core labels into a fixed-width ``S``-dtype matrix and
+runs a sorted-array hash-join against the detector's enumerable candidate
+index plus cheap byte-level prefilters for every other rule.
 
 A label is provably unclassifiable (the vector reject) when **all** hold:
 
@@ -20,13 +17,26 @@ A label is provably unclassifiable (the vector reject) when **all** hold:
 * no hyphen and no window of ``combo_min`` bytes matches a brand-label
   prefix (step 4 — a superset of ``_match_combo``'s candidates).
 
+Labels that survive the reject are resolved by **in-kernel family
+matchers** over the same matrix — a positionwise confusable-translation
+table for single-candidate homograph buckets, exact brand/affix span
+extraction for combo tokens and substrings, and per-row wrongTLD checks
+against the aligned brand tables — so the per-domain Python classifier
+(``SquattingDetector._classify``, kept verbatim as the byte-identity
+oracle) only sees labels the matrix genuinely cannot represent: ``xn--``
+punycode (the IDN decode path), non-ASCII bytes, over-width or empty
+query labels.  The residual fallback rate is tracked per reason in
+:class:`KernelStats` and surfaced through ``PerfReport``; it never enters
+a digest.
+
 Fixed-width ``S`` comparisons ignore trailing NUL padding, which is
 exactly padding-insensitive string equality here: labels are UTF-8 with
 no embedded NULs, so no two distinct labels collapse.
 
 Pool protocol: workers receive only ``(start, stop)`` registered-domain
 id ranges, mmap the snapshot file in their initializer, and scan their
-slices zero-copy — nothing per-chunk is pickled either way.
+slices zero-copy — nothing per-chunk is pickled except the per-slice
+match lists and a small stats delta.
 
 This module must not import ``repro.squatting.detector`` at module level
 (the detector imports us for dispatch); workers import it lazily.
@@ -34,6 +44,7 @@ This module must not import ``repro.squatting.detector`` at module level
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -41,7 +52,8 @@ import numpy as np
 from repro.dns.packedzone import PackedZone
 from repro.dns.records import split_domain
 from repro.perf.engine import process_map
-from repro.squatting.confusables import CONFUSABLES
+from repro.squatting.bits import pack_window_codes
+from repro.squatting.confusables import CONFUSABLES, ascii_readable_pairs
 from repro.squatting.types import SquatMatch, SquatType
 
 # floor on the per-slice registered-domain span: vector setup costs are
@@ -50,6 +62,93 @@ from repro.squatting.types import SquatMatch, SquatType
 PACKED_CHUNK = 4096
 
 _HYPHEN = ord("-")
+
+# per-label resolution kinds assigned by the in-kernel matchers
+KIND_NONE = 0       # vector-rejected, or no family matched: benign
+KIND_MATCH = 1      # match fully resolved in-kernel (brand/type/detail set)
+KIND_BRAND = 2      # core is a brand label: per-row wrongTLD check decides
+KIND_FALLBACK = 3   # unrepresentable in the matrix: Python classifier
+
+# fallback reason codes (KIND_FALLBACK rows)
+FB_IDN = 1          # xn-- punycode: the IDN decode path is scalar
+FB_UNICODE = 2      # non-ASCII bytes: the confusables DP is per character
+
+_FB_REASONS = {FB_IDN: "idn", FB_UNICODE: "unicode"}
+
+_TYPE_LIST: List[SquatType] = list(SquatType)
+_TYPE_INDEX: Dict[SquatType, int] = {t: i for i, t in enumerate(_TYPE_LIST)}
+_HOMOGRAPH_CODE = _TYPE_INDEX[SquatType.HOMOGRAPH]
+_COMBO_CODE = _TYPE_INDEX[SquatType.COMBO]
+
+
+@dataclass
+class KernelStats:
+    """Scan-kernel accounting: throughput metadata, never digest input.
+
+    ``rows`` counts every label presented to the kernel (slice rows or
+    query names), ``survivors`` the rows that survived the vector reject,
+    ``fast_hits`` the candidate-join rows among them.
+    ``homograph_assists`` counts unique labels the vector homograph
+    matcher handed to the scalar bucket walk (multi-candidate buckets or
+    length-changing confusables — still resolved without the full
+    cascade).  ``fallbacks`` maps fallback reason -> row count for the
+    rows that ran the per-domain Python classifier.
+    """
+
+    rows: int = 0
+    survivors: int = 0
+    fast_hits: int = 0
+    homograph_assists: int = 0
+    fallbacks: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def fallback_total(self) -> int:
+        return sum(self.fallbacks.values())
+
+    @property
+    def fallback_rate(self) -> float:
+        return self.fallback_total / self.rows if self.rows else 0.0
+
+    def count_fallback(self, reason: str, n: int = 1) -> None:
+        if n:
+            self.fallbacks[reason] = self.fallbacks.get(reason, 0) + n
+
+    def copy(self) -> "KernelStats":
+        return KernelStats(self.rows, self.survivors, self.fast_hits,
+                           self.homograph_assists, dict(self.fallbacks))
+
+    def delta(self, before: "KernelStats") -> "KernelStats":
+        """This snapshot minus an earlier one (for per-call accounting)."""
+        fallbacks = {
+            reason: count - before.fallbacks.get(reason, 0)
+            for reason, count in self.fallbacks.items()
+            if count - before.fallbacks.get(reason, 0)
+        }
+        return KernelStats(self.rows - before.rows,
+                           self.survivors - before.survivors,
+                           self.fast_hits - before.fast_hits,
+                           self.homograph_assists - before.homograph_assists,
+                           fallbacks)
+
+    def merge(self, other: Optional["KernelStats"]) -> None:
+        if other is None:
+            return
+        self.rows += other.rows
+        self.survivors += other.survivors
+        self.fast_hits += other.fast_hits
+        self.homograph_assists += other.homograph_assists
+        for reason, count in other.fallbacks.items():
+            self.count_fallback(reason, count)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rows": self.rows,
+            "survivors": self.survivors,
+            "fast_hits": self.fast_hits,
+            "homograph_assists": self.homograph_assists,
+            "fallbacks": dict(sorted(self.fallbacks.items())),
+            "fallback_rate": self.fallback_rate,
+        }
 
 
 def _allowed_bytes(label: str, memo: Dict[str, np.ndarray]) -> np.ndarray:
@@ -110,11 +209,23 @@ class DetectorMatrices:
         self.cand_keys = raw[order]
         self.cand_brands: List[str] = [items[i][1] for i in order]
         self.cand_types: List[SquatType] = [items[i][2] for i in order]
+        self.cand_type_codes = np.fromiter(
+            (_TYPE_INDEX[t] for t in self.cand_types),
+            dtype=np.int8, count=len(self.cand_types))
 
-        brands = [label.encode("utf-8") for label in detector._brand_by_label]
-        brands = [b for b in brands if len(b) <= width]
-        self.brand_keys = np.sort(np.array(brands, dtype=sdtype)) \
-            if brands else np.zeros(0, dtype=sdtype)
+        # brand labels sorted by raw bytes (identical to the S-dtype sort
+        # order: NUL padding is minimal), with the name/domain tables the
+        # in-kernel wrongTLD check reads by join position
+        blabels = [label for label in detector._brand_by_label
+                   if len(label.encode("utf-8")) <= width]
+        blabels.sort(key=lambda label: label.encode("utf-8"))
+        self.brand_keys = np.array(
+            [label.encode("utf-8") for label in blabels], dtype=sdtype) \
+            if blabels else np.zeros(0, dtype=sdtype)
+        self.brand_names: List[str] = [
+            detector._brand_by_label[label].name for label in blabels]
+        self.brand_domains: List[str] = [
+            detector._brand_by_label[label].domain for label in blabels]
 
         # homograph bucket occupancy tables keyed (observed length, edge
         # byte), plus per-bucket allowed-character masks.  The confusables
@@ -128,6 +239,23 @@ class DetectorMatrices:
         self.hb_last = np.zeros((width + 1, 256), dtype=bool)
         self.hb_first_allow = np.zeros((width + 1, 256, 256), dtype=bool)
         self.hb_last_allow = np.zeros((width + 1, 256, 256), dtype=bool)
+        # ordered candidate lists for the vector homograph matcher, keyed
+        # (edge, observed length, edge byte).  Each entry is a
+        # (label bytes, brand name, allow mask) triple: an ASCII label of
+        # the observed length carries its width-padded bytes — decidable
+        # positionwise against ``readable`` — while a shorter or
+        # non-ASCII candidate carries ``None`` bytes plus its
+        # allowed-byte mask, so rows with a byte outside the mask
+        # provably cannot match it and continue the vector walk; only
+        # rows compatible with such a marker go to the scalar DP.  The
+        # scalar bucket walk takes the first hit in insertion order,
+        # which the per-row walk below reproduces.  Labels *longer* than
+        # the observed length are dropped outright — the DP consumes at
+        # least one label char per brand char, so they can never match.
+        self.hom_buckets: Dict[Tuple[int, int, int],
+                               List[Tuple[Optional[np.ndarray],
+                                          Optional[str],
+                                          Optional[np.ndarray]]]] = {}
         allow_memo: Dict[str, np.ndarray] = {}
         for (length, edge, char), labels in detector._homograph_buckets.items():
             if not (0 <= length <= width and len(char) == 1
@@ -138,6 +266,33 @@ class DetectorMatrices:
             allow = self.hb_first_allow if edge == 0 else self.hb_last_allow
             for label in labels:
                 allow[length, ord(char)] |= _allowed_bytes(label, allow_memo)
+            entries: List[Tuple[Optional[np.ndarray], Optional[str],
+                                Optional[np.ndarray]]] = []
+            for label in dict.fromkeys(labels):
+                if len(label) > length:
+                    continue
+                raw = label.encode("utf-8")
+                if len(label) == length and len(raw) == length:
+                    enc = np.zeros(width, dtype=np.uint8)
+                    enc[:length] = np.frombuffer(raw, dtype=np.uint8)
+                    entries.append(
+                        (enc, detector._brand_by_label[label].name, None))
+                else:
+                    entries.append(
+                        (None, None, _allowed_bytes(label, allow_memo)))
+            if entries:
+                self.hom_buckets[(edge, length, ord(char))] = entries
+
+        # confusable-translation table: readable[l, t] <=> a lone byte l
+        # can be read as byte t (identity included; NUL reads as NUL so
+        # padding aligns).  For equal-length labels the confusables DP
+        # degenerates to a positionwise check against this table, which is
+        # how single-candidate homograph buckets resolve without Python.
+        self.readable = np.zeros((256, 256), dtype=bool)
+        diag = np.arange(256)
+        self.readable[diag, diag] = True
+        for variant, base in ascii_readable_pairs():
+            self.readable[ord(variant), ord(base)] = True
 
         # combo window keys: every combo-index prefix packed big-endian
         # into a u64 (W <= 8 always holds for the default combo model; a
@@ -150,6 +305,47 @@ class DetectorMatrices:
                 for prefix in detector._combo_prefix_index
                 if len(prefix.encode("utf-8")) == self.combo_w)
             self.combo_keys = np.array(codes, dtype=np.uint64)
+
+        # combo matcher entries: (label bytes, length, brand name,
+        # token-eligible, substring-eligible).  A hyphenated brand label
+        # can never equal a hyphen-delimited token; only labels of at
+        # least combo_min length are in the scalar 4-gram substring index.
+        self.combo_entries: List[Tuple[np.ndarray, int, str, bool, bool]] = []
+        for label, brand in detector._brand_by_label.items():
+            raw = label.encode("utf-8")
+            if not raw or len(raw) != len(label) or len(raw) > width:
+                continue
+            token_ok = "-" not in label
+            sub_ok = len(label) >= self.combo_w
+            if token_ok or sub_ok:
+                self.combo_entries.append(
+                    (np.frombuffer(raw, dtype=np.uint8), len(raw),
+                     brand.name, token_ok, sub_ok))
+        # prefix-code join index over the entries: substring-eligible
+        # labels (len >= combo_w) grouped by their first combo_w bytes
+        # packed big-endian into a u64.  The combo matcher joins each
+        # row's packed windows against ``combo_entry_codes`` once per
+        # slice and only verifies full occurrences at actual (row,
+        # window) hits, instead of building dense occurrence masks for
+        # every catalog entry.  Entries shorter than combo_w can only be
+        # hyphen-delimited tokens and keep the dense path (they are few).
+        self.combo_entry_codes: Optional[np.ndarray] = None
+        self.combo_code_groups: List[List[int]] = []
+        self.combo_short_ids: List[int] = []
+        if 1 <= self.combo_w <= 8:
+            groups: Dict[int, List[int]] = {}
+            for idx, (enc, length, _b, _t, sub_ok) in enumerate(
+                    self.combo_entries):
+                if sub_ok:
+                    code = int.from_bytes(
+                        enc[:self.combo_w].tobytes(), "big")
+                    groups.setdefault(code, []).append(idx)
+                else:
+                    self.combo_short_ids.append(idx)
+            self.combo_entry_codes = np.array(sorted(groups),
+                                              dtype=np.uint64)
+            self.combo_code_groups = [
+                groups[int(code)] for code in self.combo_entry_codes]
 
 
 # (id(detector), width) -> (detector, matrices).  A handful of entries per
@@ -174,13 +370,55 @@ def detector_matrices(detector, width: int) -> DetectorMatrices:
     return entry[1]
 
 
+@dataclass
+class _VectorFlags:
+    """Per-unique-label vector reject terms (one row per matrix row)."""
+
+    is_brand: np.ndarray
+    brand_pos: np.ndarray
+    cand_pos: np.ndarray
+    nonascii: np.ndarray
+    hyphen: np.ndarray
+    xn: np.ndarray
+    ok_first: np.ndarray
+    ok_last: np.ndarray
+    present: np.ndarray
+    homograph: np.ndarray
+    combo: np.ndarray
+    keep: np.ndarray
+    fast: np.ndarray
+
+
+@dataclass
+class _LabelResolution:
+    """In-kernel verdict per unique label: kind + match payload."""
+
+    kind: np.ndarray                 # KIND_* per row
+    type_code: np.ndarray            # SquatType index (KIND_MATCH rows)
+    brands: List[Optional[str]]      # brand name (KIND_MATCH rows)
+    details: List[Optional[str]]     # match detail (KIND_MATCH rows)
+    brand_pos: np.ndarray            # brand-key join position (KIND_BRAND)
+    fb_code: np.ndarray              # FB_* reason (KIND_FALLBACK rows)
+    keep: np.ndarray                 # vector-reject survivors
+    fast: np.ndarray                 # candidate-join hits
+
+
 class PackedScanContext:
-    """Per-process scan state: detector + packed zone + vector indices."""
+    """Per-process scan state: detector + packed zone + vector indices.
+
+    ``in_kernel=False`` keeps the PR 5 behaviour — every vector-reject
+    survivor goes through the per-domain Python classifier — as a live
+    twin for benchmarking and differential testing; the output is
+    byte-identical either way.
+    """
 
     def __init__(self, detector, zone: PackedZone,
-                 width: Optional[int] = None) -> None:
+                 width: Optional[int] = None,
+                 in_kernel: bool = True) -> None:
         self.detector = detector
         self.zone = zone
+        self.in_kernel = bool(in_kernel)
+        self.kernel = KernelStats()
         if zone.n_cores:
             lens = np.diff(zone.core_off.astype(np.int64))
             natural = max(int(lens.max()), 1)
@@ -207,19 +445,9 @@ class PackedScanContext:
         self.combo_keys = matrices.combo_keys
 
     # ------------------------------------------------------------------
-    def _survivors(self, start: int, stop: int):
-        """Yield ``(domain, fast_candidate_pos, core)`` for every domain in
-        ``[start, stop)`` that survives the vector reject, in id order.
-
-        ``fast_candidate_pos >= 0`` marks a pure step-1 hit whose match is
-        emitted straight from the candidate index; ``-1`` means the Python
-        classifier must decide.
-        """
+    def _gather_labels(self, uniq: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """NUL-padded (rows, width) byte matrix + lengths for core ids."""
         zone = self.zone
-        reg_core = zone.reg_core[start:stop]
-        if reg_core.size == 0:
-            return
-        uniq, inv = np.unique(reg_core, return_inverse=True)
         core_off = zone.core_off
         starts = core_off[uniq].astype(np.int64)
         lens = core_off[uniq + 1].astype(np.int64) - starts
@@ -233,38 +461,19 @@ class PackedScanContext:
         else:
             padded = np.zeros((uniq.size, width), dtype=np.uint8)
         padded[cols[None, :] >= lens[:, None]] = 0
-        keep, fast_pos = self._vector_flags(padded, lens)
-        if not keep.any():
-            return
+        return padded, lens
 
-        tld_ids = zone.reg_tld[start:stop]
-        tlds = zone.tlds
-        core_cache: Dict[int, str] = {}
-        for position in np.nonzero(keep[inv])[0]:
-            u = int(inv[position])
-            core = core_cache.get(u)
-            if core is None:
-                core = padded[u, :lens[u]].tobytes().decode("utf-8")
-                core_cache[u] = core
-            tld = tlds[tld_ids[position]]
-            domain = f"{core}.{tld}" if tld else core
-            yield domain, int(fast_pos[u]), core
+    def _flags(self, padded: np.ndarray, lens: np.ndarray) -> _VectorFlags:
+        """All vector reject terms for a NUL-padded label matrix.
 
-    def _vector_flags(self, padded: np.ndarray,
-                      lens: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        """(keep mask, fast candidate position) of the vector reject.
-
-        ``padded`` is a NUL-padded ``(rows, width)`` uint8 label matrix
-        with ``lens`` true byte lengths (each ``1..width``) — either
-        gathered from the snapshot's core blob (:meth:`_survivors`) or
-        encoded from arbitrary query labels (:meth:`classify_batch`).
-        ``fast_pos[i] >= 0`` marks a pure step-1 candidate hit; entries
-        kept with ``-1`` need the Python classifier.
+        ``padded`` is a ``(rows, width)`` uint8 matrix with ``lens`` true
+        byte lengths (each ``1..width``) — either gathered from the
+        snapshot's core blob or encoded from arbitrary query labels.
         """
         n = padded.shape[0]
         keys = np.ascontiguousarray(padded).view(self.sdtype).ravel()
 
-        is_brand, _ = _membership(self.brand_keys, keys)
+        is_brand, brand_pos = _membership(self.brand_keys, keys)
         cand_hit, cand_pos = _membership(self.cand_keys, keys)
         nonascii = (padded & 0x80).any(axis=1)
         hyphen = (padded == _HYPHEN).any(axis=1)
@@ -290,19 +499,472 @@ class PackedScanContext:
 
         fast = cand_hit & ~is_brand
         keep = is_brand | cand_hit | xn | homograph | hyphen | combo | nonascii
-        fast_pos = np.where(fast, cand_pos, -1)
-        return keep, fast_pos
+        return _VectorFlags(is_brand, brand_pos, cand_pos, nonascii, hyphen,
+                            xn, ok_first, ok_last, present, homograph, combo,
+                            keep, fast)
 
+    def _vector_flags(self, padded: np.ndarray,
+                      lens: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """(keep mask, fast candidate position) — the PR 5 reject view.
+
+        ``fast_pos[i] >= 0`` marks a pure step-1 candidate hit; entries
+        kept with ``-1`` need the Python classifier (legacy mode)."""
+        flags = self._flags(padded, lens)
+        fast_pos = np.where(flags.fast, flags.cand_pos, -1)
+        return flags.keep, fast_pos
+
+    def _combo_window_hits(self, padded: np.ndarray, rows: int) -> np.ndarray:
+        """Mask of labels with any ``combo_w``-byte window in the combo
+        prefix index.  Padding windows hold NUL bytes and real prefixes
+        never do, so out-of-length windows can't false-positive."""
+        if self.combo_keys is None:
+            # reject term unavailable: conservatively keep everything
+            return np.ones(rows, dtype=bool)
+        if self.combo_keys.size == 0 or self.width - self.combo_w + 1 <= 0:
+            return np.zeros(rows, dtype=bool)
+        codes = pack_window_codes(padded, self.combo_w)
+        hit, _ = _membership(self.combo_keys, codes.ravel())
+        return hit.reshape(rows, codes.shape[1]).any(axis=1)
+
+    # ------------------------------------------------------------------
+    # in-kernel family matchers
+    # ------------------------------------------------------------------
+    def _resolve_labels(self, padded: np.ndarray,
+                        lens: np.ndarray) -> _LabelResolution:
+        """Classify every row of a label matrix with the in-kernel matchers.
+
+        Mirrors the ``_classify`` cascade exactly: brand-domain veto and
+        wrongTLD (KIND_BRAND, decided per row later), candidate hash join,
+        IDN/unicode fallback routing, vector homograph, vector combo.
+        Rows the vector reject proves benign stay KIND_NONE.
+        """
+        mat = self.matrices
+        flags = self._flags(padded, lens)
+        n = padded.shape[0]
+        kind = np.zeros(n, dtype=np.int8)
+        type_code = np.full(n, -1, dtype=np.int8)
+        brands: List[Optional[str]] = [None] * n
+        details: List[Optional[str]] = [None] * n
+        fb_code = np.zeros(n, dtype=np.int8)
+
+        # candidate hits outrank the IDN step in the scalar cascade, so an
+        # enumerated punycode candidate still resolves in-kernel; all other
+        # xn--/non-ASCII labels take the scalar cascade (steps 2/3 run a
+        # per-character DP the byte matrix cannot express)
+        fb_mask = (flags.nonascii | flags.xn) & ~flags.fast
+        kind[fb_mask] = KIND_FALLBACK
+        fb_code[flags.nonascii & fb_mask] = FB_UNICODE
+        fb_code[flags.xn & ~flags.nonascii & fb_mask] = FB_IDN
+        brand_mask = flags.is_brand & ~fb_mask
+        kind[brand_mask] = KIND_BRAND
+        kind[flags.fast] = KIND_MATCH
+        fast_rows = np.nonzero(flags.fast)[0]
+        if fast_rows.size:
+            type_code[fast_rows] = mat.cand_type_codes[
+                flags.cand_pos[fast_rows]]
+            for r in fast_rows:
+                brands[r] = self.cand_brands[flags.cand_pos[r]]
+
+        rest = flags.keep & (kind == KIND_NONE)
+        self._resolve_homograph(padded, lens, flags, rest, kind, type_code,
+                                brands, details)
+        self._resolve_combo(padded, flags, kind, type_code, brands, details)
+        return _LabelResolution(kind, type_code, brands, details,
+                                flags.brand_pos, fb_code, flags.keep,
+                                flags.fast)
+
+    def _resolve_homograph(self, padded, lens, flags, rest, kind, type_code,
+                           brands, details) -> None:
+        """Vector step 3: resolve homograph-flagged rows.
+
+        Rows are grouped by (length, edge byte) bucket and walked through
+        the bucket's candidates in scalar order; equal-length ASCII
+        candidates are decided positionwise against the
+        confusable-translation table (for equal lengths every DP step
+        consumes exactly one character, so the positionwise check *is*
+        the DP).  A row that reaches a shorter or non-ASCII candidate
+        goes through the detector's scalar bucket walk — still cheap,
+        and counted as a homograph assist rather than a fallback.
+        """
+        mat = self.matrices
+        hom_rows = np.nonzero(flags.homograph & rest)[0]
+        if hom_rows.size == 0:
+            return
+        n = hom_rows.size
+        L = lens[hom_rows]
+        first = padded[hom_rows, 0]
+        last = padded[hom_rows, np.maximum(L - 1, 0)]
+        viable = (mat.hb_first[L, first] & flags.ok_first[hom_rows],
+                  mat.hb_last[L, last] & flags.ok_last[hom_rows])
+        edges = (first.astype(np.int64), last.astype(np.int64))
+        sub = padded[hom_rows]
+        pres = flags.present[hom_rows]
+        # the scalar walk tries first-bucket candidates before last-bucket
+        # ones, in insertion order with duplicates skipped; re-checking a
+        # candidate is idempotent (a positionwise miss stays a miss), so
+        # the two passes below need no cross-bucket dedup
+        open_mask = np.ones(n, dtype=bool)
+        assist = np.zeros(n, dtype=bool)
+        for edge in (0, 1):
+            active = np.nonzero(open_mask & viable[edge])[0]
+            if active.size == 0:
+                continue
+            keys = L[active] * 256 + edges[edge][active]
+            for key in np.unique(keys):
+                bucket = mat.hom_buckets.get(
+                    (edge, int(key) // 256, int(key) % 256))
+                if not bucket:
+                    continue
+                group = active[keys == key]
+                alive = np.ones(group.size, dtype=bool)
+                for enc, brand, allow in bucket:
+                    live = group[alive]
+                    if live.size == 0:
+                        break
+                    if enc is None:
+                        # shorter or non-ASCII candidate: the scalar DP
+                        # must arbitrate any row whose bytes all fall in
+                        # the label's allowed set; the rest provably
+                        # cannot match it and keep walking
+                        compat = ~(pres[live] & ~allow).any(axis=1)
+                        if compat.any():
+                            assist[live[compat]] = True
+                            open_mask[live[compat]] = False
+                            alive[alive] = ~compat
+                        continue
+                    okpos = mat.readable[sub[live], enc].all(axis=1)
+                    if okpos.any():
+                        for g in live[okpos]:
+                            r = int(hom_rows[g])
+                            kind[r] = KIND_MATCH
+                            type_code[r] = _HOMOGRAPH_CODE
+                            brands[r] = brand
+                            details[r] = "ascii"
+                        open_mask[live[okpos]] = False
+                        alive[alive] = ~okpos
+        arows = hom_rows[assist]
+        if arows.size:
+            self.kernel.homograph_assists += int(arows.size)
+            detector = self.detector
+            for r in arows:
+                r = int(r)
+                core = padded[r, :lens[r]].tobytes().decode("utf-8")
+                found = detector._ascii_homograph_label(core)
+                if found is not None:
+                    label, detail = found
+                    kind[r] = KIND_MATCH
+                    type_code[r] = _HOMOGRAPH_CODE
+                    brands[r] = detector._brand_by_label[label].name
+                    details[r] = detail
+
+    def _resolve_combo(self, padded, flags, kind, type_code,
+                       brands, details) -> None:
+        """Vector step 4: exact brand/affix span extraction.
+
+        A hyphen-delimited occurrence is a combo *token* (leftmost token
+        wins, as in ``core.split('-')`` order), any occurrence of a
+        ``combo_min``-or-longer label is a *substring* candidate (longest
+        label wins, earliest position on ties — the scalar window scan's
+        strictly-longer-replaces rule).  Token verdicts outrank substring
+        verdicts, mirroring ``_match_combo``.
+
+        Long entries (len >= combo_w) are found by joining each row's
+        packed ``combo_w``-byte windows against the sorted entry-prefix
+        codes; full occurrences and boundaries are verified only at the
+        sparse (row, window) hit pairs.  Short token-only entries — and
+        every entry when the u64 prefix index is unavailable — take the
+        dense per-entry occurrence masks.
+        """
+        mat = self.matrices
+        crows = np.nonzero((kind == KIND_NONE) & flags.keep
+                           & (flags.hyphen | flags.combo))[0]
+        if crows.size == 0 or not mat.combo_entries:
+            return
+        sub = padded[crows]
+        m = crows.size
+        hy = flags.hyphen[crows]
+        any_hy = bool(hy.any())
+        big = np.int64(1 << 62)
+        best_tok_pos = np.full(m, big, dtype=np.int64)
+        best_tok = np.full(m, -1, dtype=np.int64)
+        best_sub_len = np.zeros(m, dtype=np.int64)
+        best_sub_pos = np.full(m, big, dtype=np.int64)
+        best_sub = np.full(m, -1, dtype=np.int64)
+        width = self.width
+        if mat.combo_entry_codes is not None:
+            self._combo_join(sub, m, hy, any_hy, best_tok_pos, best_tok,
+                             best_sub_len, best_sub_pos, best_sub)
+            dense_ids = mat.combo_short_ids
+        else:
+            dense_ids = range(len(mat.combo_entries))
+        if dense_ids:
+            ext = np.concatenate([sub, np.zeros((m, 1), dtype=np.uint8)],
+                                 axis=1)
+            for e_idx in dense_ids:
+                enc, length, _name, token_ok, sub_ok = \
+                    mat.combo_entries[e_idx]
+                nwin = width - length + 1
+                if nwin <= 0:
+                    continue
+                occ = np.ones((m, nwin), dtype=bool)
+                for j in range(length):
+                    occ &= sub[:, j:j + nwin] == enc[j]
+                if not occ.any():
+                    continue
+                if token_ok and any_hy:
+                    left = np.empty((m, nwin), dtype=bool)
+                    left[:, 0] = True
+                    left[:, 1:] = sub[:, :nwin - 1] == _HYPHEN
+                    right = ext[:, length:length + nwin]
+                    tocc = occ & left & ((right == _HYPHEN) | (right == 0)) \
+                        & hy[:, None]
+                    thit = tocc.any(axis=1)
+                    if thit.any():
+                        tpos = np.argmax(tocc, axis=1)
+                        better = thit & (tpos < best_tok_pos)
+                        best_tok_pos[better] = tpos[better]
+                        best_tok[better] = e_idx
+                if sub_ok:
+                    shit = occ.any(axis=1)
+                    spos = np.argmax(occ, axis=1)
+                    better = shit & ((length > best_sub_len)
+                                     | ((length == best_sub_len)
+                                        & (spos < best_sub_pos)))
+                    best_sub_len[better] = length
+                    best_sub_pos[better] = spos[better]
+                    best_sub[better] = e_idx
+        for k in np.nonzero(best_tok >= 0)[0]:
+            r = int(crows[k])
+            kind[r] = KIND_MATCH
+            type_code[r] = _COMBO_CODE
+            brands[r] = mat.combo_entries[int(best_tok[k])][2]
+            details[r] = "token"
+        for k in np.nonzero((best_tok < 0) & (best_sub >= 0))[0]:
+            r = int(crows[k])
+            kind[r] = KIND_MATCH
+            type_code[r] = _COMBO_CODE
+            brands[r] = mat.combo_entries[int(best_sub[k])][2]
+            details[r] = "substring"
+
+    def _combo_join(self, sub, m, hy, any_hy, best_tok_pos, best_tok,
+                    best_sub_len, best_sub_pos, best_sub) -> None:
+        """Prefix-code join leg of the combo matcher (long entries).
+
+        Packs every ``combo_w``-byte window of ``sub`` into u64 codes,
+        joins them against the sorted unique entry-prefix codes, then per
+        matching code verifies the candidate entries' remaining bytes and
+        boundaries only at the hit (row, window) pairs.  Updates the
+        shared best-token / best-substring reduction in place with the
+        same strict orderings as the dense path.
+        """
+        mat = self.matrices
+        width = self.width
+        w = mat.combo_w
+        if mat.combo_entry_codes.size == 0 or width - w + 1 <= 0:
+            return
+        codes = pack_window_codes(sub, w)
+        hit, pos = _membership(mat.combo_entry_codes, codes.ravel())
+        nwin = codes.shape[1]
+        hit = hit.reshape(m, nwin)
+        hrows, hcols = np.nonzero(hit)
+        if hrows.size == 0:
+            return
+        hcodes = pos.reshape(m, nwin)[hrows, hcols]
+        big = np.int64(1 << 62)
+        for code_idx in np.unique(hcodes):
+            sel = hcodes == code_idx
+            rows_sel = hrows[sel]
+            cols_sel = hcols[sel]
+            for e_idx in mat.combo_code_groups[int(code_idx)]:
+                enc, length, _name, token_ok, _sub_ok = \
+                    mat.combo_entries[e_idx]
+                fit = cols_sel <= width - length
+                r = rows_sel[fit]
+                c = cols_sel[fit]
+                ok = np.ones(r.size, dtype=bool)
+                for k in range(w, length):
+                    ok &= sub[r, c + k] == enc[k]
+                r = r[ok]
+                c = c[ok]
+                if r.size == 0:
+                    continue
+                # substring reduction: long entries are always in the
+                # scalar 4-gram substring index
+                tmp = np.full(m, big, dtype=np.int64)
+                np.minimum.at(tmp, r, c)
+                better = (tmp < big) & ((length > best_sub_len)
+                                        | ((length == best_sub_len)
+                                           & (tmp < best_sub_pos)))
+                best_sub_len[better] = length
+                best_sub_pos[better] = tmp[better]
+                best_sub[better] = e_idx
+                if token_ok and any_hy:
+                    leftbyte = sub[r, np.maximum(c - 1, 0)]
+                    left = (c == 0) | (leftbyte == _HYPHEN)
+                    rb = c + length
+                    rbyte = np.where(rb < width,
+                                     sub[r, np.minimum(rb, width - 1)], 0)
+                    tok = left & ((rbyte == _HYPHEN) | (rbyte == 0)) & hy[r]
+                    rt = r[tok]
+                    if rt.size:
+                        tmp = np.full(m, big, dtype=np.int64)
+                        np.minimum.at(tmp, rt, c[tok])
+                        better = tmp < best_tok_pos
+                        best_tok_pos[better] = tmp[better]
+                        best_tok[better] = e_idx
+
+    def _wrongtld_verdict(self, domain: str,
+                          brand_pos: int) -> Optional[SquatMatch]:
+        """Steps 0 + 5 of the cascade for a row whose core is a brand label."""
+        detector = self.detector
+        if domain in detector._brand_domains:
+            return None  # the brand's own site is not a squat
+        brand_domain = self.matrices.brand_domains[brand_pos]
+        if brand_domain.lower() == domain:
+            return None
+        detail = detector.generator.wrongtld.matches(domain, brand_domain)
+        if detail is None:
+            return None
+        return SquatMatch(
+            domain=domain,
+            brand=self.matrices.brand_names[brand_pos],
+            squat_type=SquatType.WRONG_TLD,
+            detail=detail,
+        )
+
+    # ------------------------------------------------------------------
+    # the shared classify-and-emit core behind scan_slice / count_slice
+    # ------------------------------------------------------------------
+    def _resolve_slice(self, start: int, stop: int,
+                       emit: bool = True) -> Tuple[List[SquatMatch],
+                                                   np.ndarray]:
+        """Classify one id slice: ``(matches, per-type counts)``.
+
+        The single classify-and-emit helper behind :meth:`scan_slice`
+        (``emit=True``: SquatMatch objects in id order) and
+        :meth:`count_slice` (``emit=False``: histogram only, match rows
+        counted without materializing domain strings).
+        """
+        matches: List[SquatMatch] = []
+        counts = np.zeros(len(_TYPE_LIST), dtype=np.int64)
+        zone = self.zone
+        reg_core = zone.reg_core[start:stop]
+        if reg_core.size == 0:
+            return matches, counts
+        stats = self.kernel
+        stats.rows += int(reg_core.size)
+        uniq, inv = np.unique(reg_core, return_inverse=True)
+        padded, lens = self._gather_labels(uniq)
+        if not self.in_kernel:
+            self._legacy_slice(start, stop, inv, padded, lens,
+                               emit, matches, counts)
+            return matches, counts
+        res = self._resolve_labels(padded, lens)
+        kind_rows = res.kind[inv]
+        stats.survivors += int(res.keep[inv].sum())
+        stats.fast_hits += int(res.fast[inv].sum())
+        interesting = np.nonzero(kind_rows != KIND_NONE)[0]
+        if interesting.size == 0:
+            return matches, counts
+        if not emit:
+            match_rows = kind_rows == KIND_MATCH
+            if match_rows.any():
+                counts += np.bincount(
+                    res.type_code[inv][match_rows].astype(np.int64),
+                    minlength=len(_TYPE_LIST))
+            interesting = interesting[kind_rows[interesting] != KIND_MATCH]
+        tld_ids = zone.reg_tld[start:stop]
+        tlds = zone.tlds
+        core_cache: Dict[int, str] = {}
+        classify = self.detector._classify
+        for position in interesting:
+            u = int(inv[position])
+            core = core_cache.get(u)
+            if core is None:
+                core = padded[u, :lens[u]].tobytes().decode("utf-8")
+                core_cache[u] = core
+            tld = tlds[tld_ids[position]]
+            domain = f"{core}.{tld}" if tld else core
+            row_kind = kind_rows[position]
+            if row_kind == KIND_MATCH:
+                matches.append(SquatMatch(
+                    domain=domain,
+                    brand=res.brands[u],
+                    squat_type=_TYPE_LIST[res.type_code[u]],
+                    detail=res.details[u],
+                ))
+                continue
+            if row_kind == KIND_BRAND:
+                match = self._wrongtld_verdict(domain, int(res.brand_pos[u]))
+            else:
+                stats.count_fallback(_FB_REASONS[int(res.fb_code[u])])
+                match = classify(domain, core)
+            if match is None:
+                continue
+            if emit:
+                matches.append(match)
+            else:
+                counts[_TYPE_INDEX[match.squat_type]] += 1
+        return matches, counts
+
+    def _legacy_slice(self, start: int, stop: int, inv, padded, lens,
+                      emit: bool, matches: List[SquatMatch],
+                      counts: np.ndarray) -> None:
+        """PR 5 survivor loop: every non-candidate survivor runs
+        ``_classify``.  Kept as the live benchmark/differential twin."""
+        stats = self.kernel
+        keep, fast_pos = self._vector_flags(padded, lens)
+        keep_rows = keep[inv]
+        n_keep = int(keep_rows.sum())
+        if n_keep == 0:
+            return
+        stats.survivors += n_keep
+        n_fast = int((fast_pos[inv] >= 0).sum())
+        stats.fast_hits += n_fast
+        stats.count_fallback("scalar", n_keep - n_fast)
+        zone = self.zone
+        tld_ids = zone.reg_tld[start:stop]
+        tlds = zone.tlds
+        core_cache: Dict[int, str] = {}
+        classify = self.detector._classify
+        for position in np.nonzero(keep_rows)[0]:
+            u = int(inv[position])
+            core = core_cache.get(u)
+            if core is None:
+                core = padded[u, :lens[u]].tobytes().decode("utf-8")
+                core_cache[u] = core
+            tld = tlds[tld_ids[position]]
+            domain = f"{core}.{tld}" if tld else core
+            fast_idx = int(fast_pos[u])
+            if fast_idx >= 0:
+                if emit:
+                    matches.append(SquatMatch(
+                        domain=domain,
+                        brand=self.cand_brands[fast_idx],
+                        squat_type=self.cand_types[fast_idx],
+                    ))
+                else:
+                    counts[_TYPE_INDEX[self.cand_types[fast_idx]]] += 1
+                continue
+            match = classify(domain, core)
+            if match is None:
+                continue
+            if emit:
+                matches.append(match)
+            else:
+                counts[_TYPE_INDEX[match.squat_type]] += 1
+
+    # ------------------------------------------------------------------
     def classify_batch(self, domains) -> List[Optional[SquatMatch]]:
         """Vectorized ``classify_domain`` over arbitrary domain names.
 
         The serving hot path: query names are not zone members, so the
-        label matrix is encoded from the queries themselves and run
-        through the same vector reject as :meth:`_survivors`; the rare
-        survivors (plus labels the key arrays cannot represent — empty,
-        or wider than the snapshot's interned cores) fall back to the
-        reference classifier.  Output is byte-identical to per-name
-        :meth:`SquattingDetector.classify_domain` calls, in input order.
+        label matrix is encoded from the queries themselves and resolved
+        by the same in-kernel matchers as the zone scan; only
+        unrepresentable labels (empty, over-width, punycode, non-ASCII)
+        fall back to the reference classifier.  Output is byte-identical
+        to per-name :meth:`SquattingDetector.classify_domain` calls, in
+        input order.
         """
         n = len(domains)
         verdicts: List[Optional[SquatMatch]] = [None] * n
@@ -322,76 +984,87 @@ class PackedScanContext:
                 encoded.append(raw)
             else:
                 fallback.append(i)
+        stats = self.kernel
+        stats.rows += n
         classify = self.detector._classify
         if encoded:
             padded = np.array(encoded, dtype=self.sdtype) \
                 .view(np.uint8).reshape(len(encoded), self.width)
             lens = np.fromiter((len(raw) for raw in encoded),
                                dtype=np.int64, count=len(encoded))
-            keep, fast_pos = self._vector_flags(padded, lens)
-            for row in np.nonzero(keep)[0]:
-                i = vec_rows[row]
-                fast_idx = int(fast_pos[row])
-                if fast_idx >= 0:
-                    verdicts[i] = SquatMatch(
-                        domain=normalized[i],
-                        brand=self.cand_brands[fast_idx],
-                        squat_type=self.cand_types[fast_idx],
-                    )
-                else:
-                    verdicts[i] = classify(normalized[i], cores[i])
+            if self.in_kernel:
+                res = self._resolve_labels(padded, lens)
+                stats.survivors += int(res.keep.sum())
+                stats.fast_hits += int(res.fast.sum())
+                for row in np.nonzero(res.kind != KIND_NONE)[0]:
+                    row = int(row)
+                    i = vec_rows[row]
+                    row_kind = res.kind[row]
+                    if row_kind == KIND_MATCH:
+                        verdicts[i] = SquatMatch(
+                            domain=normalized[i],
+                            brand=res.brands[row],
+                            squat_type=_TYPE_LIST[res.type_code[row]],
+                            detail=res.details[row],
+                        )
+                    elif row_kind == KIND_BRAND:
+                        verdicts[i] = self._wrongtld_verdict(
+                            normalized[i], int(res.brand_pos[row]))
+                    else:
+                        stats.count_fallback(_FB_REASONS[int(res.fb_code[row])])
+                        verdicts[i] = classify(normalized[i], cores[i])
+            else:
+                keep, fast_pos = self._vector_flags(padded, lens)
+                n_keep = int(keep.sum())
+                stats.survivors += n_keep
+                n_fast = int((fast_pos >= 0).sum())
+                stats.fast_hits += n_fast
+                stats.count_fallback("scalar", n_keep - n_fast)
+                for row in np.nonzero(keep)[0]:
+                    i = vec_rows[row]
+                    fast_idx = int(fast_pos[row])
+                    if fast_idx >= 0:
+                        verdicts[i] = SquatMatch(
+                            domain=normalized[i],
+                            brand=self.cand_brands[fast_idx],
+                            squat_type=self.cand_types[fast_idx],
+                        )
+                    else:
+                        verdicts[i] = classify(normalized[i], cores[i])
         for i in fallback:
+            stats.count_fallback("empty" if not cores[i] else "width")
             verdicts[i] = classify(normalized[i], cores[i])
         return verdicts
 
-    def _combo_window_hits(self, padded: np.ndarray, rows: int) -> np.ndarray:
-        """Mask of labels with any ``combo_w``-byte window in the combo
-        prefix index.  Padding windows hold NUL bytes and real prefixes
-        never do, so out-of-length windows can't false-positive."""
-        w = self.combo_w
-        if self.combo_keys is None:
-            # reject term unavailable: conservatively keep everything
-            return np.ones(rows, dtype=bool)
-        nwin = self.width - w + 1
-        if nwin <= 0 or self.combo_keys.size == 0:
-            return np.zeros(rows, dtype=bool)
-        codes = np.zeros((rows, nwin), dtype=np.uint64)
-        for j in range(w):
-            codes <<= np.uint64(8)
-            codes |= padded[:, j:j + nwin]
-        hit, _ = _membership(self.combo_keys, codes.ravel())
-        return hit.reshape(rows, nwin).any(axis=1)
-
     # ------------------------------------------------------------------
     def scan_slice(self, start: int, stop: int) -> List[SquatMatch]:
-        matches: List[SquatMatch] = []
-        classify = self.detector._classify
-        for domain, fast_idx, core in self._survivors(start, stop):
-            if fast_idx >= 0:
-                matches.append(SquatMatch(
-                    domain=domain,
-                    brand=self.cand_brands[fast_idx],
-                    squat_type=self.cand_types[fast_idx],
-                ))
-            else:
-                match = classify(domain, core)
-                if match is not None:
-                    matches.append(match)
+        matches, _ = self._resolve_slice(start, stop, emit=True)
         return matches
 
     def count_slice(self, start: int, stop: int) -> Dict[SquatType, int]:
-        counts: Dict[SquatType, int] = {}
-        classify = self.detector._classify
-        for domain, fast_idx, core in self._survivors(start, stop):
-            if fast_idx >= 0:
-                squat_type = self.cand_types[fast_idx]
-            else:
-                match = classify(domain, core)
-                if match is None:
-                    continue
-                squat_type = match.squat_type
-            counts[squat_type] = counts.get(squat_type, 0) + 1
-        return counts
+        _, counts = self._resolve_slice(start, stop, emit=False)
+        return {squat_type: int(count)
+                for squat_type, count in zip(_TYPE_LIST, counts) if count}
+
+
+# ----------------------------------------------------------------------
+# kernel stats surfacing: the last packed scan's accounting, consumed by
+# the perf report (throughput metadata only — never digest input)
+# ----------------------------------------------------------------------
+_LAST_SCAN_STATS: Optional[KernelStats] = None
+
+
+def take_last_scan_stats() -> Optional[KernelStats]:
+    """Stats of the most recent packed scan in this process, consumed on
+    read so a later dict-backed scan cannot be misattributed."""
+    global _LAST_SCAN_STATS
+    stats, _LAST_SCAN_STATS = _LAST_SCAN_STATS, None
+    return stats
+
+
+def clear_last_scan_stats() -> None:
+    global _LAST_SCAN_STATS
+    _LAST_SCAN_STATS = None
 
 
 # ----------------------------------------------------------------------
@@ -409,14 +1082,16 @@ _POOL_STATE: Optional[Tuple[object, PackedScanContext, Tuple]] = None
 
 
 def _pool_context(detector, zone: PackedZone,
-                  width: Optional[int] = None) -> Tuple[PackedScanContext,
-                                                        Tuple]:
-    """The scan context for (detector, zone, width), cached in module state."""
+                  width: Optional[int] = None,
+                  in_kernel: bool = True) -> Tuple[PackedScanContext, Tuple]:
+    """The scan context for (detector, zone, width, mode), cached in
+    module state."""
     global _POOL_STATE
-    key = (id(detector), zone.content_digest, width or 0)
+    key = (id(detector), zone.content_digest, width or 0, bool(in_kernel))
     if _POOL_STATE is None or _POOL_STATE[2] != key:
         _POOL_STATE = (detector,
-                       PackedScanContext(detector, zone, width=width), key)
+                       PackedScanContext(detector, zone, width=width,
+                                         in_kernel=in_kernel), key)
     return _POOL_STATE[1], key
 
 
@@ -432,19 +1107,28 @@ def _packed_pool_init(catalog, generator, path: str, key: Tuple) -> None:
     width = int(key[2]) or None
     _POOL_STATE = (detector,
                    PackedScanContext(detector, PackedZone.load(path),
-                                     width=width), key)
+                                     width=width, in_kernel=bool(key[3])),
+                   key)
 
 
-def _packed_scan_slice(bounds: Tuple[int, int]) -> List[SquatMatch]:
+def _packed_scan_slice(
+        bounds: Tuple[int, int]) -> Tuple[List[SquatMatch], KernelStats]:
     state = _POOL_STATE
     assert state is not None, "pool worker used before initialization"
-    return state[1].scan_slice(*bounds)
+    context = state[1]
+    before = context.kernel.copy()
+    matches = context.scan_slice(*bounds)
+    return matches, context.kernel.delta(before)
 
 
-def _packed_count_slice(bounds: Tuple[int, int]) -> Dict[SquatType, int]:
+def _packed_count_slice(
+        bounds: Tuple[int, int]) -> Tuple[Dict[SquatType, int], KernelStats]:
     state = _POOL_STATE
     assert state is not None, "pool worker used before initialization"
-    return state[1].count_slice(*bounds)
+    context = state[1]
+    before = context.kernel.copy()
+    histogram = context.count_slice(*bounds)
+    return histogram, context.kernel.delta(before)
 
 
 def _slice_bounds(total: int, chunk_size: int) -> List[Tuple[int, int]]:
@@ -454,7 +1138,8 @@ def _slice_bounds(total: int, chunk_size: int) -> List[Tuple[int, int]]:
 
 def packed_scan(detector, zone: PackedZone, workers: int = 1,
                 chunk_size: int = PACKED_CHUNK,
-                width: Optional[int] = None) -> List[SquatMatch]:
+                width: Optional[int] = None,
+                in_kernel: bool = True) -> List[SquatMatch]:
     """Vectorized :meth:`SquattingDetector.scan` over a packed zone.
 
     Slice results concatenate in id order, so output equals the serial
@@ -462,42 +1147,65 @@ def packed_scan(detector, zone: PackedZone, workers: int = 1,
     natural) label-matrix width so repeated scans over differently-sized
     zones — the streaming driver's per-segment delta scans — share one
     cached :class:`DetectorMatrices` build; results are identical at any
-    legal width.
+    legal width.  ``in_kernel=False`` routes survivors through the PR 5
+    per-domain classifier loop (the benchmark twin) — identical output,
+    scalar-tail throughput.  Either way the run's :class:`KernelStats`
+    are published via :func:`take_last_scan_stats`.
     """
+    global _LAST_SCAN_STATS
     bounds = _slice_bounds(zone.n_registered, chunk_size)
+    total = KernelStats()
     if workers <= 1 or len(bounds) <= 1:
-        context, _ = _pool_context(detector, zone, width)
+        context, _ = _pool_context(detector, zone, width, in_kernel)
+        before = context.kernel.copy()
         matches: List[SquatMatch] = []
         for start, stop in bounds:
             matches.extend(context.scan_slice(start, stop))
+        total = context.kernel.delta(before)
+        _LAST_SCAN_STATS = total
         return matches
     path = zone.ensure_file()
-    _, key = _pool_context(detector, zone, width)  # prefork: workers inherit it
+    _, key = _pool_context(detector, zone, width, in_kernel)  # prefork
     chunks = process_map(
         _packed_scan_slice, bounds, workers,
         initializer=_packed_pool_init,
         initargs=(detector.catalog, detector.generator, str(path), key))
-    return [match for chunk in chunks for match in chunk]
+    matches = []
+    for chunk, delta in chunks:
+        matches.extend(chunk)
+        total.merge(delta)
+    _LAST_SCAN_STATS = total
+    return matches
 
 
 def packed_scan_counts(detector, zone: PackedZone, workers: int = 1,
                        chunk_size: int = PACKED_CHUNK,
-                       width: Optional[int] = None) -> Dict[SquatType, int]:
+                       width: Optional[int] = None,
+                       in_kernel: bool = True) -> Dict[SquatType, int]:
     """Vectorized :meth:`SquattingDetector.scan_counts` over a packed zone."""
+    global _LAST_SCAN_STATS
     counts: Dict[SquatType, int] = {t: 0 for t in SquatType}
     bounds = _slice_bounds(zone.n_registered, chunk_size)
+    total = KernelStats()
     if workers <= 1 or len(bounds) <= 1:
-        context, _ = _pool_context(detector, zone, width)
+        context, _ = _pool_context(detector, zone, width, in_kernel)
+        before = context.kernel.copy()
         histograms = [context.count_slice(start, stop)
                       for start, stop in bounds]
+        total = context.kernel.delta(before)
     else:
         path = zone.ensure_file()
-        _, key = _pool_context(detector, zone, width)  # prefork: workers inherit it
-        histograms = process_map(
+        _, key = _pool_context(detector, zone, width, in_kernel)  # prefork
+        results = process_map(
             _packed_count_slice, bounds, workers,
             initializer=_packed_pool_init,
             initargs=(detector.catalog, detector.generator, str(path), key))
+        histograms = []
+        for histogram, delta in results:
+            histograms.append(histogram)
+            total.merge(delta)
     for histogram in histograms:
         for squat_type, count in histogram.items():
             counts[squat_type] += count
+    _LAST_SCAN_STATS = total
     return counts

@@ -29,6 +29,11 @@ class TypoModel:
 
     name = "typo"
 
+    def __init__(self) -> None:
+        # keyboard_insertions is pure per label and the scan/enumeration
+        # paths re-request the same brand labels constantly, so memoize
+        self._keyboard_memo: Dict[str, List[str]] = {}
+
     def generate(self, label: str) -> Set[str]:
         """All typo variants of ``label`` (deduplicated, label excluded)."""
         variants: Set[str] = set()
@@ -70,16 +75,19 @@ class TypoModel:
 
     def keyboard_insertions(self, label: str) -> List[str]:
         """Insertions restricted to QWERTY neighbours of adjacent keys."""
-        out: List[str] = []
-        for i in range(len(label) + 1):
-            context = set()
-            if i > 0:
-                context.update(QWERTY_NEIGHBOURS.get(label[i - 1], ""))
-            if i < len(label):
-                context.update(QWERTY_NEIGHBOURS.get(label[i], ""))
-            for char in sorted(context):
-                out.append(label[:i] + char + label[i:])
-        return out
+        cached = self._keyboard_memo.get(label)
+        if cached is None:
+            cached = []
+            for i in range(len(label) + 1):
+                context = set()
+                if i > 0:
+                    context.update(QWERTY_NEIGHBOURS.get(label[i - 1], ""))
+                if i < len(label):
+                    context.update(QWERTY_NEIGHBOURS.get(label[i], ""))
+                for char in sorted(context):
+                    cached.append(label[:i] + char + label[i:])
+            self._keyboard_memo[label] = cached
+        return list(cached)
 
     # ------------------------------------------------------------------
     # detection
@@ -93,17 +101,20 @@ class TypoModel:
         """
         label = label.lower()
         target = target.lower()
-        if label == target:
+        # every typo mechanism changes the length by at most one, so any
+        # larger delta short-circuits before the per-character checks
+        delta = len(label) - len(target)
+        if delta > 1 or delta < -1 or label == target:
             return None
-        if len(label) == len(target) + 1 and self._is_deletion_of(label, target):
+        if delta == 1 and self._is_deletion_of(label, target):
             # label is target + 1 char; repetition is the special insertion
             # that duplicates a neighbour.
             if self._is_repetition(label, target):
                 return "repetition"
             return "insertion"
-        if len(label) == len(target) - 1 and self._is_deletion_of(target, label):
+        if delta == -1 and self._is_deletion_of(target, label):
             return "omission"
-        if len(label) == len(target) and self._is_transposition(label, target):
+        if delta == 0 and self._is_transposition(label, target):
             return "transposition"
         return None
 
@@ -127,11 +138,17 @@ class TypoModel:
 
     @staticmethod
     def _is_repetition(label: str, target: str) -> bool:
-        """True if ``label`` duplicates one character of ``target``."""
-        for i in range(len(target)):
-            if target[:i] + target[i] + target[i:] == label:
-                return True
-        return False
+        """True if ``label`` duplicates one character of ``target``.
+
+        O(len) instead of building a candidate string per position: a
+        duplication at any position implies one at ``p - 1`` where ``p``
+        is the longest common prefix, so a single suffix compare decides.
+        """
+        p = 0
+        limit = len(target)
+        while p < limit and label[p] == target[p]:
+            p += 1
+        return p > 0 and label[p:] == target[p - 1:]
 
     @staticmethod
     def _is_transposition(label: str, target: str) -> bool:

@@ -60,6 +60,7 @@ from repro.phishworld.events import (
     replay_into_store,
 )
 from repro.serve.loadgen import percentile
+from repro.squatting import packedscan
 from repro.squatting.packedscan import PackedScanContext, packed_scan
 from repro.stages.artifacts import digest_packed_zone, digest_squat_matches
 from repro.stages.graph import Stage, StageGraph
@@ -86,6 +87,18 @@ class StreamStats:
     live_matches: int = 0
     wall_seconds: float = 0.0
     latencies: List[float] = field(default_factory=list)  # sim seconds
+    kernel_rows: int = 0            # rows seen by the packed-scan kernel
+    fallbacks: Dict[str, int] = field(default_factory=dict)
+
+    def merge_kernel(self, kernel) -> None:
+        """Fold one packed scan's :class:`KernelStats` in (None = cached
+        segment or dict-backed scan: contributes nothing)."""
+        if kernel is None:
+            return
+        self.kernel_rows += kernel.rows
+        for reason, count in kernel.fallbacks.items():
+            if count:
+                self.fallbacks[reason] = self.fallbacks.get(reason, 0) + count
 
     @property
     def events_per_sec(self) -> float:
@@ -114,6 +127,8 @@ class StreamStats:
             "events_per_sec": round(self.events_per_sec, 1),
             "latency_p50_s": round(self.latency_p50, 4),
             "latency_p95_s": round(self.latency_p95, 4),
+            "kernel_rows": self.kernel_rows,
+            "fallbacks": dict(sorted(self.fallbacks.items())),
         }
 
 
@@ -233,8 +248,12 @@ class StreamingDriver:
             segment = DeltaSegment.from_bytes(inputs["segment_bytes"])
             if segment.zone.n_records == 0:
                 return {"segment_matches": []}
-            return {"segment_matches": packed_scan(
-                detector, segment.zone, workers=workers, width=width)}
+            matches = packed_scan(
+                detector, segment.zone, workers=workers, width=width)
+            # cached segments never reach here, so kernel accounting only
+            # charges scans that actually ran
+            stats.merge_kernel(packedscan.take_last_scan_stats())
+            return {"segment_matches": matches}
 
         graph = StageGraph([
             Stage(name="ingest", compute=ingest,
@@ -300,6 +319,7 @@ class StreamingDriver:
             SegmentedZone(self._base, self._segments).verify()
         compacted = compact(self._base, self._segments)
         batch = packed_scan(self.detector, compacted, workers=self.workers)
+        stats.merge_kernel(packedscan.take_last_scan_stats())
         streaming = self.current_matches()
         stream_digest = digest_squat_matches(streaming)
         batch_digest = digest_squat_matches(batch)
@@ -355,6 +375,7 @@ class StreamingDriver:
         for match in packed_scan(self.detector, self._base,
                                  workers=self.workers, width=self._width):
             self._match_index[match.domain] = match
+        stats.merge_kernel(packedscan.take_last_scan_stats())
 
         interrupted = False
         started = time.perf_counter()
